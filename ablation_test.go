@@ -1,0 +1,208 @@
+// Ablation benchmarks for the design choices called out in DESIGN.md:
+// each one disables or bypasses a mechanism and reports the cost of
+// living without it.
+package zoomie_test
+
+import (
+	"testing"
+
+	"zoomie"
+	"zoomie/internal/place"
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+	"zoomie/internal/synth"
+	"zoomie/internal/toolchain"
+	"zoomie/internal/vti"
+	"zoomie/internal/workloads"
+)
+
+// BenchmarkAblationReadbackCoalescing compares the SLR-aware snapshot
+// (visit each SLR once, coalesce frame runs) against per-register reads
+// (one readback command per register, the naive host implementation).
+func BenchmarkAblationReadbackCoalescing(b *testing.B) {
+	sess, err := zoomie.Debug(workloads.CohortAccel(false), zoomie.DebugConfig{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sess.PokeInput("en", 1)
+	sess.PokeInput("n_items", 40)
+	sess.Run(100)
+	if err := sess.Pause(); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess.ResetStats()
+		if _, err := sess.Snapshot("dut"); err != nil {
+			b.Fatal(err)
+		}
+		coalesced := sess.Elapsed()
+
+		sess.ResetStats()
+		var names []string
+		for _, r := range sess.Image.Map.Regs {
+			names = append(names, r.Name)
+		}
+		for _, n := range names {
+			if _, err := sess.Peek(n); err != nil {
+				b.Fatal(err)
+			}
+		}
+		perReg := sess.Elapsed()
+		b.ReportMetric(coalesced.Seconds()*1e3, "coalesced-ms")
+		b.ReportMetric(perReg.Seconds()*1e3, "per-register-ms")
+		b.ReportMetric(float64(perReg)/float64(coalesced), "coalescing-gain-x")
+	}
+}
+
+// BenchmarkAblationPauseBufferLatency quantifies guarantee 3 of §3.1: an
+// empty pause buffer adds zero cycles. It pushes items across a gated
+// boundary with and without the buffer and reports achieved throughput.
+func BenchmarkAblationPauseBufferLatency(b *testing.B) {
+	build := func(withBuffer bool) *sim.Simulator {
+		top := rtl.NewModule("thru")
+		total := top.Input("total", 16)
+		count := top.Output("count", 16)
+
+		pv := top.Wire("p_valid", 1)
+		pd := top.Wire("p_data", 16)
+		pr := top.Wire("p_ready", 1)
+
+		seq := top.Reg("seq", 16, "clk", 0)
+		top.Connect(pv, rtl.Lt(rtl.S(seq), rtl.S(total)))
+		top.Connect(pd, rtl.S(seq))
+		top.SetNext(seq, rtl.Add(rtl.S(seq), rtl.C(1, 16)))
+		top.SetEnable(seq, rtl.And(rtl.S(pv), rtl.S(pr)))
+
+		cv := top.Wire("c_valid", 1)
+		cd := top.Wire("c_data", 16)
+		cnt := top.Reg("cnt", 16, "clk", 0)
+		top.SetNext(cnt, rtl.Add(rtl.S(cnt), rtl.C(1, 16)))
+		top.SetEnable(cnt, rtl.S(cv))
+		top.Connect(count, rtl.S(cnt))
+		_ = cd
+
+		if withBuffer {
+			pb := top.Instantiate("pb", zoomie.PauseBuffer("pbuf", 16, zoomie.DebugClock))
+			pb.ConnectInput("up_valid", rtl.S(pv))
+			pb.ConnectInput("up_data", rtl.S(pd))
+			pb.ConnectInput("dn_ready", rtl.C(1, 1))
+			pb.ConnectInput("pause_up", rtl.C(0, 1))
+			pb.ConnectInput("pause_dn", rtl.C(0, 1))
+			pb.ConnectOutput("up_ready", pr)
+			pb.ConnectOutput("dn_valid", cv)
+			pb.ConnectOutput("dn_data", cd)
+		} else {
+			top.Connect(pr, rtl.C(1, 1))
+			top.Connect(cv, rtl.S(pv))
+			top.Connect(cd, rtl.S(pd))
+		}
+		f, err := rtl.Elaborate(rtl.NewDesign("thru", top))
+		if err != nil {
+			b.Fatal(err)
+		}
+		s, err := sim.New(f, []sim.ClockSpec{
+			{Name: "clk", Period: 1}, {Name: zoomie.DebugClock, Period: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		s.Poke("total", 1000)
+		return s
+	}
+	for i := 0; i < b.N; i++ {
+		direct := build(false)
+		buffered := build(true)
+		direct.Run(500)
+		buffered.Run(500)
+		dc, _ := direct.Peek("count")
+		bc, _ := buffered.Peek("count")
+		if dc != bc {
+			b.Fatalf("buffer cost throughput: %d vs %d items in 500 cycles", bc, dc)
+		}
+		b.ReportMetric(float64(bc)/500, "items-per-cycle")
+	}
+}
+
+// BenchmarkAblationSynthesisCache compares VTI recompilation with the
+// per-module checkpoint cache against a cold cache (everything remapped),
+// reporting cells actually synthesized.
+func BenchmarkAblationSynthesisCache(b *testing.B) {
+	family := workloads.NewManycore(benchCores)
+	base := family.Base()
+	opts := toolchain.Options{SkipImage: true, Partitions: []place.PartitionSpec{
+		{Name: "mut", Paths: []string{family.MutPath()}}}}
+	for i := 0; i < b.N; i++ {
+		warm, err := vti.Compile(base, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		inc, err := warm.Recompile(family.Variant(0), "mut")
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Cold cache: synthesize the variant from scratch.
+		cold, err := synth.Synthesize(family.Variant(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(inc.Report.CellsSynthesized), "warm-cells")
+		b.ReportMetric(float64(cold.TotalCellCount), "cold-cells")
+	}
+}
+
+// BenchmarkAblationHierarchicalSynthesis compares hierarchical synthesis
+// (each module mapped once) against mapping the flattened design (every
+// instance re-mapped), the monolithic-tool behaviour Table 1 contrasts.
+func BenchmarkAblationHierarchicalSynthesis(b *testing.B) {
+	d := workloads.ManycoreSoC(64)
+	flat, err := rtl.Elaborate(d)
+	if err != nil {
+		b.Fatal(err)
+	}
+	flatDesign := rtl.NewDesign("flat", flat.Module)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		hier, err := synth.Synthesize(d)
+		if err != nil {
+			b.Fatal(err)
+		}
+		flattened, err := synth.Synthesize(flatDesign)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Resource accounting must agree between the two routes...
+		for _, res := range []int{0, 1, 2, 3} {
+			h, f := hier.TotalUsage[res], flattened.TotalUsage[res]
+			if h != f {
+				b.Fatalf("resource %d differs: hier %d vs flat %d", res, h, f)
+			}
+		}
+		b.ReportMetric(float64(hier.TotalCellCount), "cells-total")
+	}
+}
+
+// BenchmarkAblationOverProvision sweeps the over-provisioning coefficient
+// and reports the reserved-region area cost of each choice — the §3.5
+// area/compile-time trade-off knob.
+func BenchmarkAblationOverProvision(b *testing.B) {
+	family := workloads.NewManycore(benchCores)
+	base := family.Base()
+	for i := 0; i < b.N; i++ {
+		for _, c := range []float64{0.15, 0.30, 1.0} {
+			res, err := vti.Compile(base, toolchain.Options{
+				SkipImage: true,
+				Partitions: []place.PartitionSpec{
+					{Name: "mut", Paths: []string{family.MutPath()}, OverProvision: c}},
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			tiles := 0
+			for _, r := range res.Placement.Regions["mut"] {
+				tiles += r.Tiles()
+			}
+			b.ReportMetric(float64(tiles), "region-tiles")
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/place"
+	"zoomie/internal/synth"
+	"zoomie/internal/toolchain"
+	"zoomie/internal/vti"
+	"zoomie/internal/workloads"
+)
+
+// table1 reproduces Table 1: the conceptual comparison of compilation
+// processes. The rows are properties of the implemented flows.
+func table1(int) error {
+	header("Table 1: Comparison of compilation processes")
+	fmt.Printf("%-10s %-18s %-18s %-16s\n", "", "Compilation unit", "Optimization", "Linking")
+	fmt.Printf("%-10s %-18s %-18s %-16s\n", "Software", "function", "local", "after compilation")
+	fmt.Printf("%-10s %-18s %-18s %-16s\n", "Vivado", "whole design", "global", "not required")
+	fmt.Printf("%-10s %-18s %-18s %-16s\n", "VTI", "partition", "partition-local", "after routing")
+	fmt.Println("\n(verified structurally: the monolithic flow synthesizes TotalCellCount")
+	fmt.Println(" cells every run; VTI synthesizes per partition in parallel and relinks")
+	fmt.Println(" partial bitstreams into the device frame directory after routing)")
+	return nil
+}
+
+// table2 reproduces Table 2: resource usage of the manycore SoC on a U200.
+func table2(cores int) error {
+	header(fmt.Sprintf("Table 2: Resource usage of the %d-core SoC on an Alveo U200", cores))
+	net, err := synth.Synthesize(workloads.ManycoreSoC(cores))
+	if err != nil {
+		return err
+	}
+	capTotal := fpga.NewU200().Capacity()
+	paperCount := map[fpga.Resource]int{
+		fpga.LUT: 1103572, fpga.LUTRAM: 54128, fpga.FF: 12894858, fpga.BRAM: 2120,
+	}
+	paperPct := map[fpga.Resource]float64{
+		fpga.LUT: 95.32, fpga.LUTRAM: 8.96, fpga.FF: 53.42, fpga.BRAM: 98.19,
+	}
+	fmt.Printf("%-8s %12s %9s   %12s %9s\n", "", "measured", "util%", "paper", "paper%")
+	for _, r := range fpga.Resources() {
+		got := net.TotalUsage[r]
+		fmt.Printf("%-8s %12d %8.2f%%   %12d %8.2f%%\n",
+			r, got, 100*float64(got)/float64(capTotal[r]), paperCount[r], paperPct[r])
+	}
+	return nil
+}
+
+// fig7 reproduces Figure 7: compilation time of the initial run plus five
+// incremental runs, vendor incremental flow vs Zoomie's VTI.
+func fig7(cores int) error {
+	header(fmt.Sprintf("Figure 7: Compilation speed, Vivado incremental vs Zoomie (%d cores)", cores))
+	family := workloads.NewManycore(cores)
+	base := family.Base()
+
+	opts := toolchain.Options{SkipImage: true}
+	mono, err := toolchain.Compile(base, opts)
+	if err != nil {
+		return err
+	}
+	vopts := toolchain.Options{
+		SkipImage: true,
+		Partitions: []place.PartitionSpec{
+			{Name: "mut", Paths: []string{family.MutPath()}},
+		},
+	}
+	vres, err := vti.Compile(base, vopts)
+	if err != nil {
+		return err
+	}
+
+	vivado := []time.Duration{mono.Report.Total()}
+	zoomieT := []time.Duration{vres.Report.Total()}
+	prevVendor := mono
+	for i := 0; i < 5; i++ {
+		variant := family.Variant(i)
+		pv, err := toolchain.CompileIncremental(prevVendor, variant, opts)
+		if err != nil {
+			return err
+		}
+		prevVendor = pv
+		vivado = append(vivado, pv.Report.Total())
+
+		vres, err = vres.Recompile(variant, "mut")
+		if err != nil {
+			return err
+		}
+		zoomieT = append(zoomieT, vres.Report.Total())
+	}
+
+	fmt.Printf("%-10s %18s %18s\n", "run", "Vivado incr (h)", "Zoomie (h)")
+	labels := []string{"initial", "#1", "#2", "#3", "#4", "#5"}
+	for i := range vivado {
+		fmt.Printf("%-10s %18.2f %18.2f\n", labels[i], vivado[i].Hours(), zoomieT[i].Hours())
+	}
+	sp := vivado[0].Hours() / zoomieT[len(zoomieT)-1].Hours()
+	red := 100 * (1 - zoomieT[len(zoomieT)-1].Hours()/vivado[0].Hours())
+	fmt.Printf("\nZoomie incremental speedup over initial compile: %.1fx (paper: ~18x)\n", sp)
+	fmt.Printf("turnaround time reduction: %.1f%% (paper: ~95%%)\n", red)
+	vsp := vivado[0].Hours() / vivado[1].Hours()
+	fmt.Printf("Vivado incremental speedup: %.2fx (paper: \"little gain\", ~10%%)\n", vsp)
+	return nil
+}
+
+// tradeoff reproduces the §5.2 resource-usage trade-off study: timing
+// closure at 50 MHz with over-provisioning coefficients 30%, 20% and 15%,
+// and failure at 100 MHz.
+func tradeoff(cores int) error {
+	header(fmt.Sprintf("§5.2 Resource usage trade-off: over-provisioning vs timing closure (%d cores)", cores))
+	family := workloads.NewManycore(cores)
+	base := family.Base()
+	fmt.Printf("%-14s %12s %10s %10s\n", "coefficient", "critical ns", "50 MHz", "100 MHz")
+	for _, c := range []float64{0.30, 0.20, 0.15} {
+		opts := toolchain.Options{
+			SkipImage: true,
+			Partitions: []place.PartitionSpec{
+				{Name: "mut", Paths: []string{family.MutPath()}, OverProvision: c},
+			},
+		}
+		res, err := vti.Compile(base, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%13.0f%% %12.2f %10v %10v\n",
+			c*100, res.Timing.CriticalNs,
+			res.Timing.MeetsFrequency(50), res.Timing.MeetsFrequency(100))
+	}
+	fmt.Println("\n(paper: timing closure at the 50 MHz default for 30%, 20% and 15%;")
+	fmt.Println(" the 100 MHz push failed, with no top-10 path in Zoomie-introduced code)")
+	return nil
+}

@@ -1,0 +1,67 @@
+// Command zbench regenerates every table and figure of the paper's
+// evaluation (§5) plus the §4.5 reverse-engineering validation, printing
+// paper-reported values next to the values measured on this
+// reproduction's simulated substrate.
+//
+// Usage:
+//
+//	zbench [-exp all|table1|table2|table3|table4|fig7|fig8|tradeoff|bout|case1|case2|case3] [-cores N]
+//
+// -cores scales the manycore SoC (default 5400, the paper's
+// configuration; the compile experiments take a few minutes of real time
+// at that scale).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run")
+	cores := flag.Int("cores", 5400, "manycore SoC size for compile experiments")
+	flag.Parse()
+
+	experiments := map[string]func(int) error{
+		"table1":   table1,
+		"table2":   table2,
+		"table3":   table3,
+		"table4":   table4,
+		"fig3":     fig3,
+		"fig7":     fig7,
+		"fig8":     fig8,
+		"tradeoff": tradeoff,
+		"bout":     bout,
+		"overhead": overhead,
+		"case1":    case1,
+		"case2":    case2,
+		"case3":    case3,
+	}
+	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "table3", "fig8", "table4", "bout", "overhead", "case1", "case2", "case3"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			if err := experiments[name](*cores); err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+		}
+		return
+	}
+	fn, ok := experiments[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q; have %v\n", *exp, order)
+		os.Exit(2)
+	}
+	if err := fn(*cores); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func header(title string) {
+	fmt.Println()
+	fmt.Println("======================================================================")
+	fmt.Println(title)
+	fmt.Println("======================================================================")
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+
+	"zoomie/internal/core"
+	"zoomie/internal/fpga"
+	"zoomie/internal/ila"
+	"zoomie/internal/synth"
+	"zoomie/internal/workloads"
+)
+
+// overhead quantifies the §2.1/§7.7 comparison of debug-infrastructure
+// hardware costs on the same design: a vendor-style ILA (whose buffer
+// grows with window depth and whose probes are compile-time fixed)
+// against Zoomie's Debug Controller (fixed small trigger unit, readback
+// through existing configuration circuitry; DESSERT, for contrast, paid
+// up to 85% logic overhead for its scan chains).
+func overhead(int) error {
+	header("Debug-infrastructure hardware overhead: ILA vs Zoomie Debug Controller")
+	base := workloads.CohortAccelProbed(false, 4)
+	plain, err := synth.Synthesize(base)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-34s %8s %8s %8s %10s\n", "configuration", "LUT", "FF", "BRAM", "overhead")
+	pr := func(name string, net *synth.ModuleNetlist) {
+		over := 100 * (float64(net.TotalUsage[fpga.LUT]+net.TotalUsage[fpga.FF])/
+			float64(plain.TotalUsage[fpga.LUT]+plain.TotalUsage[fpga.FF]) - 1)
+		fmt.Printf("%-34s %8d %8d %8d %9.1f%%\n", name,
+			net.TotalUsage[fpga.LUT], net.TotalUsage[fpga.FF], net.TotalUsage[fpga.BRAM], over)
+	}
+	pr("bare accelerator", plain)
+
+	for _, depth := range []int{64, 1024, 4096} {
+		d := workloads.CohortAccelProbed(false, 4)
+		wrapped, _, err := ila.Instrument(d, ila.Config{
+			Probes: []string{"mmu_busy", "mmu_sel", "mmu_id", "lsu_state"},
+			Depth:  depth, TriggerSignal: "lsu_state", TriggerValue: 2,
+		})
+		if err != nil {
+			return err
+		}
+		net, err := synth.Synthesize(wrapped)
+		if err != nil {
+			return err
+		}
+		pr(fmt.Sprintf("+ ILA (4 probes, %d-deep window)", depth), net)
+	}
+
+	d := workloads.CohortAccelProbed(false, 4)
+	wrapped, _, err := core.Instrument(d, core.Config{
+		Watches: []string{"result_count", "lsu_state", "mmu_busy", "mmu_sel"},
+	})
+	if err != nil {
+		return err
+	}
+	net, err := synth.Synthesize(wrapped)
+	if err != nil {
+		return err
+	}
+	pr("+ Zoomie Debug Controller", net)
+
+	// The controller is a FIXED cost: on a realistic design it vanishes.
+	fmt.Println()
+	soc := workloads.ManycoreSoC(400)
+	socPlain, err := synth.Synthesize(soc)
+	if err != nil {
+		return err
+	}
+	socWrapped, _, err := core.Instrument(workloads.ManycoreSoC(400), core.Config{
+		Watches: []string{"checksum"},
+	})
+	if err != nil {
+		return err
+	}
+	socNet, err := synth.Synthesize(socWrapped)
+	if err != nil {
+		return err
+	}
+	dl := socNet.TotalUsage[fpga.LUT] - socPlain.TotalUsage[fpga.LUT]
+	df := socNet.TotalUsage[fpga.FF] - socPlain.TotalUsage[fpga.FF]
+	fmt.Printf("on a 400-core SoC (%d LUT / %d FF), the same controller adds %d LUT / %d FF: %.3f%% overhead\n",
+		socPlain.TotalUsage[fpga.LUT], socPlain.TotalUsage[fpga.FF], dl, df,
+		100*float64(dl+df)/float64(socPlain.TotalUsage[fpga.LUT]+socPlain.TotalUsage[fpga.FF]))
+
+	fmt.Println("\nthe ILA's capture buffer burns BRAM per window-cycle, scales with probe")
+	fmt.Println("count and window depth, and still sees a fixed probe set; the Debug")
+	fmt.Println("Controller is a fixed few-hundred-LUT trigger unit — full visibility")
+	fmt.Println("rides the existing readback circuitry (§4.7), so overhead is negligible")
+	fmt.Println("on real designs. (DESSERT's scan chains cost up to 85% for comparison.)")
+	return nil
+}

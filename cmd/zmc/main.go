@@ -1,0 +1,164 @@
+// Command zmc is the Zoomie compiler driver: it compiles the bundled
+// evaluation designs for a modeled Alveo card with one of the three flows
+// and prints the compile report — the command-line face of the toolchain
+// and VTI packages.
+//
+// Usage:
+//
+//	zmc -design manycore -cores 400 -flow vti -partition tile0 -runs 3
+//	zmc -design cohort -flow mono
+//	zmc -design netstack -flow mono -target 250
+//
+// Flows: mono (vendor monolithic), incr (vendor incremental: initial +
+// runs), vti (Zoomie VTI: initial + `runs` single-partition recompiles).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/hdl"
+	"zoomie/internal/place"
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+	"zoomie/internal/toolchain"
+	"zoomie/internal/vti"
+	"zoomie/internal/workloads"
+)
+
+func main() {
+	design := flag.String("design", "manycore", "design: manycore | cohort | exception | netstack")
+	file := flag.String("file", "", "compile a .zrtl design file instead of a bundled design")
+	dump := flag.Bool("dump", false, "print the selected design in .zrtl form and exit")
+	cores := flag.Int("cores", 400, "core count for the manycore design")
+	flow := flag.String("flow", "mono", "flow: mono | incr | vti")
+	partition := flag.String("partition", "", "iterated partition instance path (vti flow; default tile0)")
+	runs := flag.Int("runs", 3, "incremental runs after the initial compile")
+	target := flag.Float64("target", 50, "target frequency in MHz")
+	device := flag.String("device", "u200", "device: u200 | u250")
+	flag.Parse()
+
+	opts := toolchain.Options{SkipImage: true, TargetMHz: *target}
+	switch *device {
+	case "u200":
+	case "u250":
+		opts.Device = fpga.NewU250()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown device %q\n", *device)
+		os.Exit(2)
+	}
+
+	var family *workloads.Manycore
+	var d *rtl.Design
+	if *file != "" {
+		src, err := os.ReadFile(*file)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d, err = hdl.Parse(string(src))
+		if err != nil {
+			log.Fatal(err)
+		}
+		*design = "file"
+	}
+	switch *design {
+	case "file":
+		// parsed above
+	case "manycore":
+		family = workloads.NewManycore(*cores)
+		d = family.Base()
+	case "cohort":
+		d = workloads.CohortAccel(false)
+	case "exception":
+		d = workloads.ExceptionSoC(workloads.WellBehavedExceptionProgram())
+	case "netstack":
+		d = workloads.NetStack()
+		opts.Clocks = []sim.ClockSpec{
+			{Name: workloads.NetClk, Period: 1},
+			{Name: workloads.MacClk, Period: 1},
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown design %q\n", *design)
+		os.Exit(2)
+	}
+
+	if *dump {
+		fmt.Print(hdl.Print(d))
+		return
+	}
+
+	switch *flow {
+	case "mono":
+		res, err := toolchain.Compile(d, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(res)
+	case "incr":
+		res, err := toolchain.Compile(d, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(res)
+		for i := 0; i < *runs; i++ {
+			next := d
+			if family != nil {
+				next = family.Variant(i)
+			}
+			res, err = toolchain.CompileIncremental(res, next, opts)
+			if err != nil {
+				log.Fatal(err)
+			}
+			printResult(res)
+		}
+	case "vti":
+		mut := *partition
+		if mut == "" {
+			if family == nil {
+				log.Fatal("zmc: -partition is required for non-manycore designs with -flow vti")
+			}
+			mut = family.MutPath()
+		}
+		opts.Partitions = []place.PartitionSpec{{Name: "mut", Paths: []string{mut}}}
+		res, err := vti.Compile(d, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		printResult(res.Result)
+		for i := 0; i < *runs; i++ {
+			next := d
+			if family != nil {
+				next = family.Variant(i)
+			}
+			res, err = res.Recompile(next, "mut")
+			if err != nil {
+				log.Fatal(err)
+			}
+			printResult(res.Result)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown flow %q\n", *flow)
+		os.Exit(2)
+	}
+}
+
+func printResult(res *toolchain.Result) {
+	fmt.Println(res.Report)
+	fmt.Printf("  timing: critical %.2f ns, fmax %.1f MHz, target met: %v\n",
+		res.Timing.CriticalNs, res.Timing.FmaxMHz, res.Report.TimingMetTarget)
+	if len(res.Placement.Regions) > 1 {
+		for name, regions := range res.Placement.Regions {
+			if name == place.StaticPartition {
+				continue
+			}
+			for _, r := range regions {
+				lo, hi := r.FrameRange(res.Options.Device)
+				fmt.Printf("  partition %q: SLR %d rows %d-%d (%d frames)\n",
+					name, r.SLR, r.Row, r.Row+r.Rows-1, hi-lo)
+			}
+		}
+	}
+}

@@ -1,0 +1,330 @@
+// Command zoomie is the interactive, gdb-flavoured FPGA debugger: it
+// compiles one of the bundled designs, loads it onto a modeled Alveo U200
+// and drops into a REPL with breakpoints, stepping, full state inspection,
+// value forcing and snapshots — everything running through configuration
+// frames over the modeled JTAG cable.
+//
+// Usage:
+//
+//	zoomie -design cohort -bug        # case study 1's buggy accelerator
+//	zoomie -design exception -hang    # case study 2's trap loop
+//	zoomie -design netstack
+//	zoomie -design counter
+//
+// Type "help" at the prompt for commands. The REPL reads stdin, so it
+// scripts cleanly: echo "run 100\npause\ninspect dut" | zoomie -design counter
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+
+	"zoomie"
+	"zoomie/internal/hdl"
+	"zoomie/internal/workloads"
+)
+
+func main() {
+	design := flag.String("design", "counter", "design: counter | cohort | exception | netstack")
+	file := flag.String("file", "", "debug a .zrtl design file instead of a bundled design")
+	watch := flag.String("watch", "", "comma-separated output ports to watch (with -file)")
+	bug := flag.Bool("bug", false, "enable the TLB bug (cohort design)")
+	hang := flag.Bool("hang", false, "run the hanging program (exception design)")
+	flag.Parse()
+
+	var sess *zoomie.Session
+	var err error
+	if *file != "" {
+		sess, err = fileSession(*file, *watch)
+		*design = *file
+	} else {
+		sess, err = buildSession(*design, *bug, *hang)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("zoomie: %s loaded on %s, clock running (%s)\n",
+		*design, sess.Result.Options.Device.Name, sess.Result.Report)
+	fmt.Println(`type "help" for commands`)
+
+	repl(sess)
+}
+
+func fileSession(path, watch string) (*zoomie.Session, error) {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	d, err := hdl.Parse(string(src))
+	if err != nil {
+		return nil, err
+	}
+	cfg := zoomie.DebugConfig{}
+	if watch != "" {
+		cfg.Watches = strings.Split(watch, ",")
+	}
+	return zoomie.Debug(d, cfg)
+}
+
+func buildSession(design string, bug, hang bool) (*zoomie.Session, error) {
+	switch design {
+	case "counter":
+		m := zoomie.NewModule("counter")
+		q := m.Output("q", 16)
+		cnt := m.Reg("cnt", 16, "clk", 0)
+		m.SetNext(cnt, zoomie.Add(zoomie.S(cnt), zoomie.C(1, 16)))
+		m.Connect(q, zoomie.S(cnt))
+		sess, err := zoomie.Debug(zoomie.NewDesign("counter", m),
+			zoomie.DebugConfig{Watches: []string{"q"}})
+		return sess, err
+	case "cohort":
+		sess, err := zoomie.Debug(workloads.CohortAccel(bug),
+			zoomie.DebugConfig{Watches: []string{"result_count", "done"}})
+		if err == nil {
+			sess.PokeInput("en", 1)
+			sess.PokeInput("n_items", 10)
+		}
+		return sess, err
+	case "exception":
+		prog := workloads.WellBehavedExceptionProgram()
+		if hang {
+			prog = workloads.HangingExceptionProgram()
+		}
+		sess, err := zoomie.Debug(workloads.ExceptionSoC(prog),
+			zoomie.DebugConfig{Watches: []string{"mcause63", "mie", "mpie", "trap"}})
+		if err == nil {
+			sess.PokeInput("en", 1)
+		}
+		return sess, err
+	case "netstack":
+		sess, err := zoomie.Debug(workloads.NetStack(), zoomie.DebugConfig{
+			UserClock:   workloads.NetClk,
+			Watches:     []string{"pkt_count", "dropped_frames"},
+			PauseInputs: []string{"dbg_paused"},
+			ExtraClocks: []zoomie.ClockSpec{{Name: workloads.MacClk, Period: 1}},
+			Compile:     zoomie.CompileOptions{TargetMHz: 250},
+		})
+		if err == nil {
+			sess.PokeInput("en", 1)
+			sess.PokeInput("engine_ready", 1)
+		}
+		return sess, err
+	default:
+		return nil, fmt.Errorf("unknown design %q", design)
+	}
+}
+
+func repl(sess *zoomie.Session) {
+	var snapshot *zoomie.DebugSnapshot
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("(zoomie) ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			fmt.Print("(zoomie) ")
+			continue
+		}
+		cmd, args := fields[0], fields[1:]
+		var err error
+		switch cmd {
+		case "help", "h":
+			printHelp()
+		case "quit", "q", "exit":
+			return
+		case "run", "r":
+			n := 100
+			if len(args) > 0 {
+				n, _ = strconv.Atoi(args[0])
+			}
+			sess.Run(n)
+			fmt.Printf("advanced %d cycles\n", n)
+		case "pause":
+			err = sess.Pause()
+		case "continue", "c":
+			err = sess.Resume()
+		case "step", "s":
+			n := 1
+			if len(args) > 0 {
+				n, _ = strconv.Atoi(args[0])
+			}
+			err = sess.Step(n)
+		case "until":
+			max := 1 << 20
+			if len(args) > 0 {
+				max, _ = strconv.Atoi(args[0])
+			}
+			var ran int
+			ran, err = sess.RunUntilPaused(max)
+			if err == nil {
+				fmt.Printf("paused after %d cycles\n", ran)
+			}
+		case "break", "b":
+			if len(args) < 2 {
+				err = fmt.Errorf("usage: break <watched-signal> <value> [any|all]")
+				break
+			}
+			v, perr := strconv.ParseUint(args[1], 0, 64)
+			if perr != nil {
+				err = perr
+				break
+			}
+			mode := zoomie.BreakAny
+			if len(args) > 2 && args[2] == "all" {
+				mode = zoomie.BreakAll
+			}
+			err = sess.SetValueBreakpoint(args[0], v, mode)
+		case "clearbreaks":
+			err = sess.ClearBreakpoints()
+		case "assert":
+			if len(args) < 2 {
+				err = fmt.Errorf("usage: assert <name> on|off")
+				break
+			}
+			err = sess.EnableAssertion(args[0], args[1] == "on")
+		case "print", "p":
+			if len(args) < 1 {
+				err = fmt.Errorf("usage: print <register>")
+				break
+			}
+			var v uint64
+			v, err = sess.Peek(args[0])
+			if err == nil {
+				fmt.Printf("%s = %d (%#x)\n", args[0], v, v)
+			}
+		case "set":
+			if len(args) < 2 {
+				err = fmt.Errorf("usage: set <register> <value>")
+				break
+			}
+			var v uint64
+			v, err = strconv.ParseUint(args[1], 0, 64)
+			if err == nil {
+				err = sess.Poke(args[0], v)
+			}
+		case "mem":
+			if len(args) < 2 {
+				err = fmt.Errorf("usage: mem <memory> <addr>")
+				break
+			}
+			addr, _ := strconv.Atoi(args[1])
+			var v uint64
+			v, err = sess.PeekMem(args[0], addr)
+			if err == nil {
+				fmt.Printf("%s[%d] = %d (%#x)\n", args[0], addr, v, v)
+			}
+		case "trace":
+			// trace SIG1,SIG2 N [file.vcd]
+			if len(args) < 2 {
+				err = fmt.Errorf("usage: trace sig1,sig2 cycles [out.vcd]")
+				break
+			}
+			n, perr := strconv.Atoi(args[1])
+			if perr != nil {
+				err = perr
+				break
+			}
+			var tr *zoomie.StepTrace
+			tr, err = sess.TraceSteps(strings.Split(args[0], ","), n)
+			if err != nil {
+				break
+			}
+			fmt.Print(tr.Render())
+			if len(args) > 2 {
+				var f *os.File
+				f, err = os.Create(args[2])
+				if err != nil {
+					break
+				}
+				err = tr.WriteVCD(f, "")
+				f.Close()
+				if err == nil {
+					fmt.Printf("wrote %s\n", args[2])
+				}
+			}
+		case "inspect", "i":
+			prefix := "dut"
+			if len(args) > 0 {
+				prefix = args[0]
+			}
+			var lines []string
+			lines, err = sess.Inspect(prefix)
+			for _, l := range lines {
+				fmt.Println(" ", l)
+			}
+		case "snapshot":
+			which := "save"
+			if len(args) > 0 {
+				which = args[0]
+			}
+			switch which {
+			case "save":
+				snapshot, err = sess.Snapshot("dut")
+				if err == nil {
+					fmt.Printf("snapshot of %d registers, %d memories at cycle %d\n",
+						len(snapshot.Regs), len(snapshot.Mems), snapshot.Cycle)
+				}
+			case "restore":
+				if snapshot == nil {
+					err = fmt.Errorf("no snapshot saved")
+					break
+				}
+				err = sess.Restore(snapshot)
+			default:
+				err = fmt.Errorf("usage: snapshot [save|restore]")
+			}
+		case "status":
+			paused, perr := sess.Paused()
+			cycles, _ := sess.Cycles()
+			if perr != nil {
+				err = perr
+				break
+			}
+			fmt.Printf("paused=%v executed_cycles=%d modeled_cable_time=%v\n",
+				paused, cycles, sess.Elapsed().Round(1000))
+		case "input":
+			if len(args) < 2 {
+				err = fmt.Errorf("usage: input <port> <value>")
+				break
+			}
+			var v uint64
+			v, err = strconv.ParseUint(args[1], 0, 64)
+			if err == nil {
+				err = sess.PokeInput(args[0], v)
+			}
+		default:
+			err = fmt.Errorf("unknown command %q (try help)", cmd)
+		}
+		if err != nil {
+			fmt.Println("error:", err)
+		}
+		fmt.Print("(zoomie) ")
+	}
+}
+
+func printHelp() {
+	fmt.Print(`commands:
+  run [n]              let the FPGA run n cycles of wall time (default 100)
+  pause                halt the design (timing-precise)
+  continue | c         clear pause state and run freely
+  step [n] | s         execute exactly n MUT cycles, then pause
+  until [max]          run until a breakpoint/assertion fires
+  break SIG VAL [any|all]  arm a value breakpoint on a watched signal
+  clearbreaks          disarm all value breakpoints
+  assert NAME on|off   toggle an assertion breakpoint
+  print REG | p        read a register through frame readback
+  set REG VAL          force a register through partial reconfiguration
+  mem NAME ADDR        read one memory word
+  trace SIGS N [f.vcd] single-step N cycles recording registers (any of them)
+  inspect [prefix]     dump all registers under an instance prefix
+  snapshot [save|restore]  capture / rewind full design state
+  input PORT VAL       drive a top-level input (chip IO)
+  status               paused flag, executed cycles, modeled cable time
+  quit
+`)
+}

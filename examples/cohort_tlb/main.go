@@ -1,0 +1,87 @@
+// Case study 1 (§5.5): debugging a hanging Cohort-style accelerator.
+//
+// The accelerator returns part of its results and then hangs. With
+// traditional ILA debugging this took four recompile-and-observe rounds
+// of ~2 hours each; with Zoomie the whole design state is visible after a
+// single pause, the bug (an acknowledge driven by the TLB's round-robin
+// pointer instead of the request id) is localized in minutes, and the
+// wedged state can even be forced past the bug to preserve emulation
+// progress.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"zoomie"
+	"zoomie/internal/workloads"
+)
+
+func main() {
+	design := workloads.CohortAccel(true) // the bug is present
+
+	sess, err := zoomie.Debug(design, zoomie.DebugConfig{
+		Watches: []string{"result_count", "done"},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("accelerator compiled and running:", sess.Result.Report.Flow)
+
+	// Drive the chip IOs: process 10 items.
+	sess.PokeInput("en", 1)
+	sess.PokeInput("n_items", 10)
+
+	// Symptom: software sees the accelerator stop making progress.
+	sess.Run(600)
+	count, _ := sess.PeekOutput("result_count")
+	done, _ := sess.PeekOutput("done")
+	fmt.Printf("observation: %d/10 results, done=%d — the accelerator hangs\n", count, done)
+
+	// One pause gives visibility into EVERY register; no ILA iteration.
+	if err := sess.Pause(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\npaused; inspecting the pipeline without recompiling:")
+	for _, probe := range []struct{ name, meaning string }{
+		{"datapath.result_cnt", "datapath results committed"},
+		{"lsu.state", "LSU FSM (0 idle, 1 issue, 2 wait-ack, 3 send)"},
+		{"lsu.chan_id", "LSU channel awaiting acknowledge"},
+		{"sysbus.req_count", "system-bus transactions served"},
+		{"mmu.busy", "MMU in-flight lookup"},
+		{"mmu.tlb_sel_r", "MMU response arbiter pointer"},
+		{"mmu.id_r", "id of the last request the MMU served"},
+	} {
+		v, err := sess.Peek(probe.name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-22s = %-6d (%s)\n", probe.name, v, probe.meaning)
+	}
+	lsuState, _ := sess.Peek("lsu.state")
+	mmuBusy, _ := sess.Peek("mmu.busy")
+	lsuID, _ := sess.Peek("lsu.chan_id")
+	fmt.Println("\ndiagnosis:")
+	fmt.Printf("  LSU channel %d waits for an acknowledge (state=%d) that never comes,\n", lsuID, lsuState)
+	fmt.Printf("  yet the MMU is idle (busy=%d): it already answered — but the ack\n", mmuBusy)
+	fmt.Println("  pulse followed the round-robin pointer tlb_sel_r instead of the")
+	fmt.Println("  request id, so it landed on the idle channel and was lost.")
+	fmt.Println("  => missing `&& id == i` conjunct in the acknowledge equation.")
+
+	// Hide the bug to preserve emulation progress (§3.3): complete the
+	// lost handshake by hand and resume.
+	fmt.Println("\nforcing the LSU past the lost acknowledge to preserve progress:")
+	if err := sess.Poke("lsu.paddr_r", 0x1000^uint64(2*(count+1))); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Poke("lsu.state", 3); err != nil {
+		log.Fatal(err)
+	}
+	sess.Resume()
+	sess.Run(80)
+	after, _ := sess.PeekOutput("result_count")
+	fmt.Printf("  results advanced: %d -> %d\n", count, after)
+
+	fmt.Printf("\nZoomie time for this hunt (modeled): %v — the ILA route took over 2 hours.\n",
+		sess.Elapsed().Round(1000))
+}

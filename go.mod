@@ -1,0 +1,3 @@
+module zoomie
+
+go 1.22

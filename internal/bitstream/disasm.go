@@ -1,0 +1,96 @@
+package bitstream
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Disassemble renders a configuration stream as human-readable lines, the
+// tool used while reverse-engineering bitstreams in §4.4 (spotting the
+// 0xFFFFFFFF padding runs, the 0xAA995566 sync words, and the
+// undocumented BOUT writes between SLR chunks). Runs of NOPs and frame
+// payloads are collapsed.
+func Disassemble(stream []uint32) string {
+	var b strings.Builder
+	i := 0
+	for i < len(stream) {
+		w := stream[i]
+		switch {
+		case w == NopWord:
+			run := 0
+			for i < len(stream) && stream[i] == NopWord {
+				run++
+				i++
+			}
+			fmt.Fprintf(&b, "%08x: NOP x%d (padding)\n", w, run)
+			continue
+		case w == SyncWord:
+			fmt.Fprintf(&b, "%08x: SYNC (command sequence start; target -> primary SLR)\n", w)
+			i++
+			continue
+		}
+		reg, write, n, ok := DecodeHeader(w)
+		if !ok {
+			fmt.Fprintf(&b, "%08x: ??? (unrecognized word %d)\n", w, i)
+			i++
+			continue
+		}
+		i++
+		if !write {
+			fmt.Fprintf(&b, "%08x: READ  %-6s %d words\n", w, reg, n)
+			continue
+		}
+		switch {
+		case reg == RegBOUT && n == 0:
+			fmt.Fprintf(&b, "%08x: WRITE BOUT   (empty: advance SLR ring one hop)\n", w)
+		case n == 0:
+			fmt.Fprintf(&b, "%08x: WRITE %-6s (empty)\n", w, reg)
+		case n == 1 && i < len(stream):
+			fmt.Fprintf(&b, "%08x: WRITE %-6s = %#08x%s\n", w, reg, stream[i], annotate(reg, stream[i]))
+			i++
+		default:
+			end := i + n
+			if end > len(stream) {
+				end = len(stream)
+			}
+			if i < len(stream) {
+				fmt.Fprintf(&b, "%08x: WRITE %-6s %d words [%#08x ...]\n", w, reg, n, stream[i])
+			} else {
+				fmt.Fprintf(&b, "%08x: WRITE %-6s %d words (payload truncated)\n", w, reg, n)
+			}
+			i = end
+		}
+	}
+	return b.String()
+}
+
+func annotate(reg Reg, v uint32) string {
+	switch reg {
+	case RegCMD:
+		switch v {
+		case CmdNull:
+			return " (NULL)"
+		case CmdWCFG:
+			return " (WCFG: enable config writes)"
+		case CmdRCFG:
+			return " (RCFG: enable readback)"
+		}
+	case RegCTL:
+		var bits []string
+		if v&CtlClockRun != 0 {
+			bits = append(bits, "clock-run")
+		}
+		if v&CtlGSRPulse != 0 {
+			bits = append(bits, "GSR-pulse")
+		}
+		if len(bits) > 0 {
+			return " (" + strings.Join(bits, "+") + ")"
+		}
+	case RegMASK:
+		if v == 0 {
+			return " (clear GSR mask)"
+		}
+		return fmt.Sprintf(" (restrict GSR to region %d)", v-1)
+	}
+	return ""
+}

@@ -1,0 +1,140 @@
+// Package bitstream implements the configuration word stream a Xilinx-style
+// FPGA microcontroller (µc) interprets, at the fidelity Zoomie's host
+// software depends on: sync words, dummy padding, type-1 register
+// read/write packets, frame-data registers (FDRI/FDRO) with auto-
+// incrementing frame addresses, the IDCODE check on the primary SLR, and —
+// crucially — the undocumented BOUT register whose empty writes steer the
+// stream to secondary SLRs over the chiplet ring (paper §4.4).
+package bitstream
+
+import "fmt"
+
+// SyncWord marks the start of a command sequence; it also resets SLR
+// targeting to the primary SLR.
+const SyncWord = 0xAA995566
+
+// NopWord is dummy padding compensating for µc busy time.
+const NopWord = 0xFFFFFFFF
+
+// MinBOUTPadding is the number of NOP words that must follow a BOUT write
+// before the next packet; fewer and the µc is still busy switching rings
+// and rejects the stream. (Models the "appropriate padding" of §4.4.)
+const MinBOUTPadding = 8
+
+// Reg is a configuration register address.
+type Reg uint32
+
+// Configuration registers. Values are arbitrary but stable; BOUT is the
+// undocumented ring-switch register discovered by the paper.
+const (
+	RegCRC    Reg = 0
+	RegFAR    Reg = 1  // frame address
+	RegFDRI   Reg = 2  // frame data input (write path)
+	RegFDRO   Reg = 3  // frame data output (readback path)
+	RegCMD    Reg = 4  // command register
+	RegCTL    Reg = 5  // control: clock start/stop, GSR pulse
+	RegMASK   Reg = 6  // GSR mask register
+	RegIDCODE Reg = 12 // device id check (primary SLR only)
+	RegBOUT   Reg = 24 // undocumented: ring hop switch
+)
+
+func (r Reg) String() string {
+	switch r {
+	case RegCRC:
+		return "CRC"
+	case RegFAR:
+		return "FAR"
+	case RegFDRI:
+		return "FDRI"
+	case RegFDRO:
+		return "FDRO"
+	case RegCMD:
+		return "CMD"
+	case RegCTL:
+		return "CTL"
+	case RegMASK:
+		return "MASK"
+	case RegIDCODE:
+		return "IDCODE"
+	case RegBOUT:
+		return "BOUT"
+	default:
+		return fmt.Sprintf("REG%d", uint32(r))
+	}
+}
+
+// CMD register values.
+const (
+	CmdNull uint32 = 0
+	CmdWCFG uint32 = 1 // enable configuration writes
+	CmdRCFG uint32 = 4 // enable readback
+)
+
+// CTL register bits.
+const (
+	CtlClockRun uint32 = 1 << 0 // 1 = clock running
+	CtlGSRPulse uint32 = 1 << 1 // writing 1 pulses global set-reset
+)
+
+// Packet type/opcode encoding (type-1 style):
+//
+//	[31:29] type (always 1 here)
+//	[28:27] opcode: 00 nop-packet, 01 read, 10 write
+//	[26:13] register address
+//	[12:0]  word count
+const (
+	pktType1   = 0x1 << 29
+	opRead     = 0x1 << 27
+	opWrite    = 0x2 << 27
+	regShift   = 13
+	regMask    = 0x3FFF
+	countMask  = 0x1FFF
+	opcodeMask = 0x3 << 27
+)
+
+// MaxPacketWords is the largest word count a single packet can carry.
+const MaxPacketWords = countMask
+
+// WriteHeader encodes a type-1 write of n words to reg.
+func WriteHeader(reg Reg, n int) uint32 {
+	if n < 0 || n > MaxPacketWords {
+		panic(fmt.Sprintf("bitstream: bad word count %d", n))
+	}
+	return pktType1 | opWrite | uint32(reg)<<regShift | uint32(n)
+}
+
+// ReadHeader encodes a type-1 read of n words from reg.
+func ReadHeader(reg Reg, n int) uint32 {
+	if n < 0 || n > MaxPacketWords {
+		panic(fmt.Sprintf("bitstream: bad word count %d", n))
+	}
+	return pktType1 | opRead | uint32(reg)<<regShift | uint32(n)
+}
+
+// DecodeHeader splits a packet header into its fields. ok is false for
+// words that are not type-1 packets (sync, nop, or garbage).
+func DecodeHeader(w uint32) (reg Reg, write bool, n int, ok bool) {
+	if w&(0x7<<29) != pktType1 {
+		return 0, false, 0, false
+	}
+	switch w & opcodeMask {
+	case opWrite:
+		write = true
+	case opRead:
+		write = false
+	default:
+		return 0, false, 0, false
+	}
+	return Reg(w >> regShift & regMask), write, int(w & countMask), true
+}
+
+// IDCodeFor returns the model's device ID for a given device name and SLR
+// index. Mirrors real bitstreams, where each SLR chunk carries an IDCODE
+// write even though only the primary SLR checks it (§4.5).
+func IDCodeFor(device string, slr int) uint32 {
+	var h uint32 = 0x03822000
+	for _, c := range device {
+		h = h*31 + uint32(c)&0xff
+	}
+	return (h &^ 0xf) | uint32(slr)
+}

@@ -1,0 +1,33 @@
+package bitstream
+
+import "testing"
+
+// FuzzExecute feeds arbitrary word streams to the µc chain: it must
+// reject garbage with errors, never panic, and never write outside the
+// backend's frame space.
+func FuzzExecute(f *testing.F) {
+	seed := NewBuilder().Sync().SelectSLR(1).
+		WriteFrames(4, 3, []uint32{1, 2, 3, 4}).
+		ReadFrames(4, 3, 1).Words()
+	raw := make([]byte, 0, len(seed)*4)
+	for _, w := range seed {
+		raw = append(raw, byte(w), byte(w>>8), byte(w>>16), byte(w>>24))
+	}
+	f.Add(raw)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		words := make([]uint32, 0, len(data)/4)
+		for i := 0; i+4 <= len(data); i += 4 {
+			words = append(words, uint32(data[i])|uint32(data[i+1])<<8|
+				uint32(data[i+2])<<16|uint32(data[i+3])<<24)
+		}
+		be := newFakeBackend(3, 1)
+		c := NewChain(be, CostModel{})
+		_, _ = c.Execute(words)
+		for key := range be.frames {
+			if key[0] < 0 || key[0] > 2 || key[1] < 0 || key[1] >= 64 {
+				t.Fatalf("write escaped frame space: %v", key)
+			}
+		}
+		_ = Disassemble(words) // the disassembler must not panic either
+	})
+}

@@ -1,0 +1,400 @@
+package bitstream
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// fakeBackend is a 3-SLR in-memory frame store with primary SLR 1,
+// mirroring the U200 topology.
+type fakeBackend struct {
+	frames  map[[2]int][]uint32
+	numSLRs int
+	primary int
+	fw      int
+	ctl     map[int]uint32
+	mask    map[int]uint32
+}
+
+func newFakeBackend(numSLRs, primary int) *fakeBackend {
+	return &fakeBackend{
+		frames:  make(map[[2]int][]uint32),
+		numSLRs: numSLRs,
+		primary: primary,
+		fw:      4, // small frames keep tests readable
+		ctl:     make(map[int]uint32),
+		mask:    make(map[int]uint32),
+	}
+}
+
+func (f *fakeBackend) NumSLRs() int          { return f.numSLRs }
+func (f *fakeBackend) Primary() int          { return f.primary }
+func (f *fakeBackend) FramesIn(slr int) int  { return 64 }
+func (f *fakeBackend) FrameWords() int       { return f.fw }
+func (f *fakeBackend) IDCode(slr int) uint32 { return 0xdead0000 | uint32(slr) }
+
+func (f *fakeBackend) WriteFrame(slr, frame int, data []uint32) error {
+	f.frames[[2]int{slr, frame}] = append([]uint32(nil), data...)
+	return nil
+}
+
+func (f *fakeBackend) ReadFrame(slr, frame int) ([]uint32, error) {
+	if d, ok := f.frames[[2]int{slr, frame}]; ok {
+		return d, nil
+	}
+	// Unwritten frames read as a recognizable per-SLR pattern so tests can
+	// tell which chiplet answered.
+	out := make([]uint32, f.fw)
+	for i := range out {
+		out[i] = uint32(slr)<<16 | uint32(frame)
+	}
+	return out, nil
+}
+
+func (f *fakeBackend) WriteCTL(slr int, v uint32) error {
+	f.ctl[slr] = v
+	return nil
+}
+
+func (f *fakeBackend) WriteMask(slr int, v uint32) error {
+	f.mask[slr] = v
+	return nil
+}
+
+func exec(t *testing.T, c *Chain, words []uint32) []uint32 {
+	t.Helper()
+	out, err := c.Execute(words)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+func TestHeaderRoundTrip(t *testing.T) {
+	for _, reg := range []Reg{RegFAR, RegFDRI, RegFDRO, RegCMD, RegCTL, RegMASK, RegIDCODE, RegBOUT} {
+		for _, n := range []int{0, 1, 93, MaxPacketWords} {
+			w := WriteHeader(reg, n)
+			r, isWrite, cnt, ok := DecodeHeader(w)
+			if !ok || !isWrite || r != reg || cnt != n {
+				t.Errorf("write header %s/%d decoded as %v/%v/%d/%v", reg, n, r, isWrite, cnt, ok)
+			}
+			w = ReadHeader(reg, n)
+			r, isWrite, cnt, ok = DecodeHeader(w)
+			if !ok || isWrite || r != reg || cnt != n {
+				t.Errorf("read header %s/%d decoded as %v/%v/%d/%v", reg, n, r, isWrite, cnt, ok)
+			}
+		}
+	}
+}
+
+func TestDecodeHeaderRejectsNonPackets(t *testing.T) {
+	for _, w := range []uint32{SyncWord, NopWord, 0, 0x12345678} {
+		if _, _, _, ok := DecodeHeader(w); ok {
+			t.Errorf("DecodeHeader accepted %#08x", w)
+		}
+	}
+}
+
+func TestRegisterNames(t *testing.T) {
+	if RegBOUT.String() != "BOUT" || RegFDRO.String() != "FDRO" {
+		t.Error("register names broken")
+	}
+	if !strings.HasPrefix(Reg(99).String(), "REG") {
+		t.Error("unknown register should stringify generically")
+	}
+}
+
+func TestBOUTPulsesSelectSLRsAroundRing(t *testing.T) {
+	// The decisive §4.5 experiment: registers constrained to different
+	// chiplets read back differently depending only on BOUT pulses.
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	for slr := 0; slr < 3; slr++ {
+		be.WriteFrame(slr, 7, []uint32{uint32(100 + slr), 0, 0, 0})
+	}
+	for hops, wantSLR := range map[int]int{0: 1, 1: 2, 2: 0} {
+		b := NewBuilder().Sync().SelectSLR(hops).ReadFrames(be.fw, 7, 1)
+		out := exec(t, c, b.Words())
+		if out[0] != uint32(100+wantSLR) {
+			t.Errorf("%d hops: read %d, want SLR %d's constant %d", hops, out[0], wantSLR, 100+wantSLR)
+		}
+		if c.Target() != wantSLR {
+			t.Errorf("%d hops: target = %d, want %d", hops, c.Target(), wantSLR)
+		}
+	}
+}
+
+func TestU250FinalSLRNeedsThreePulses(t *testing.T) {
+	be := newFakeBackend(4, 1) // U250-like: primary SLR1, ring 1->2->3->0
+	c := NewChain(be, CostModel{})
+	be.WriteFrame(0, 3, []uint32{0xF1A7, 0, 0, 0})
+	b := NewBuilder().Sync().SelectSLR(3).ReadFrames(be.fw, 3, 1)
+	out := exec(t, c, b.Words())
+	if out[0] != 0xF1A7 {
+		t.Errorf("3 BOUT pulses on a 4-SLR device read %#x, want SLR0's value", out[0])
+	}
+}
+
+func TestIDCODEMutationOnSecondaryIsInert(t *testing.T) {
+	// §4.5 "Mutating Device ID in Bitstream": wrong IDCODEs written while a
+	// secondary SLR is selected have no effect on readback.
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	be.WriteFrame(2, 5, []uint32{42, 0, 0, 0})
+	b := NewBuilder().Sync().SelectSLR(1).
+		WriteReg(RegIDCODE, 0xBADBAD).
+		ReadFrames(be.fw, 5, 1)
+	out := exec(t, c, b.Words())
+	if out[0] != 42 {
+		t.Errorf("readback after bogus secondary IDCODE = %d, want 42", out[0])
+	}
+}
+
+func TestIDCODECheckedOnPrimary(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	b := NewBuilder().Sync().WriteReg(RegIDCODE, 0xBADBAD)
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "IDCODE mismatch") {
+		t.Errorf("primary accepted wrong IDCODE: %v", err)
+	}
+	// Correct IDCODE passes.
+	b = NewBuilder().Sync().WriteReg(RegIDCODE, be.IDCode(1))
+	if _, err := c.Execute(b.Words()); err != nil {
+		t.Errorf("correct IDCODE rejected: %v", err)
+	}
+}
+
+func TestSyncResetsTargetToPrimary(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	exec(t, c, NewBuilder().Sync().SelectSLR(2).WriteReg(RegCMD, CmdNull).Words())
+	if c.Target() != 0 {
+		t.Fatalf("target after 2 hops = %d, want 0", c.Target())
+	}
+	exec(t, c, NewBuilder().Sync().WriteReg(RegCMD, CmdNull).Words())
+	if c.Target() != 1 {
+		t.Errorf("target after sync = %d, want primary 1", c.Target())
+	}
+}
+
+func TestBOUTRequiresPadding(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	// Two back-to-back BOUT writes without padding: µc still busy.
+	b := NewBuilder().Sync().WriteReg(RegBOUT).WriteReg(RegBOUT)
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "padding") {
+		t.Errorf("missing padding not rejected: %v", err)
+	}
+	// A command right after a BOUT with no padding is also rejected.
+	c = NewChain(be, CostModel{})
+	b = NewBuilder().Sync().WriteReg(RegBOUT).WriteReg(RegCMD, CmdNull)
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "padding") {
+		t.Errorf("command without padding not rejected: %v", err)
+	}
+}
+
+func TestBOUTWritesMustBeEmpty(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	b := NewBuilder().Sync().WriteReg(RegBOUT, 0x1234)
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "empty") {
+		t.Errorf("non-empty BOUT write accepted: %v", err)
+	}
+}
+
+func TestFrameWriteReadRoundTrip(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	frame := []uint32{1, 2, 3, 4}
+	b := NewBuilder().Sync().
+		WriteFrames(be.fw, 9, frame, []uint32{5, 6, 7, 8}).
+		ReadFrames(be.fw, 9, 2)
+	out := exec(t, c, b.Words())
+	want := []uint32{1, 2, 3, 4, 5, 6, 7, 8}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("roundtrip[%d] = %d, want %d (FAR must auto-increment)", i, out[i], want[i])
+		}
+	}
+}
+
+func TestFDRIRequiresWCFGAndFDRORequiresRCFG(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	b := NewBuilder().Sync().WriteReg(RegFAR, 0).WriteReg(RegFDRI, 1, 2, 3, 4)
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "WCFG") {
+		t.Errorf("FDRI without WCFG accepted: %v", err)
+	}
+	c = NewChain(be, CostModel{})
+	b = NewBuilder().Sync().WriteReg(RegFAR, 0).ReadReg(RegFDRO, 4)
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "RCFG") {
+		t.Errorf("FDRO without RCFG accepted: %v", err)
+	}
+}
+
+func TestFrameAddressBounds(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	b := NewBuilder().Sync().ReadFrames(be.fw, 63, 2) // 64 is out of range
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "frame space") {
+		t.Errorf("out-of-range FAR accepted: %v", err)
+	}
+}
+
+func TestPartialFramePayloadRejected(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	b := NewBuilder().Sync().WriteReg(RegCMD, CmdWCFG).WriteReg(RegFAR, 0).
+		WriteReg(RegFDRI, 1, 2, 3) // 3 words, frame is 4
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "whole frames") {
+		t.Errorf("partial frame accepted: %v", err)
+	}
+}
+
+func TestTruncatedStreamRejected(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	words := NewBuilder().Sync().Words()
+	words = append(words, WriteHeader(RegFAR, 1)) // header without payload
+	if _, err := c.Execute(words); err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Errorf("truncated stream accepted: %v", err)
+	}
+}
+
+func TestGarbageWordRejected(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	b := NewBuilder().Sync().Raw(0x00000001)
+	if _, err := c.Execute(b.Words()); err == nil || !strings.Contains(err.Error(), "unrecognized") {
+		t.Errorf("garbage accepted: %v", err)
+	}
+}
+
+func TestIDCodeReadback(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	out := exec(t, c, NewBuilder().Sync().ReadReg(RegIDCODE, 1).Words())
+	if len(out) != 1 || out[0] != be.IDCode(1) {
+		t.Errorf("IDCODE readback = %v", out)
+	}
+}
+
+func TestCostModelAccumulates(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	cm := DefaultCostModel()
+	c := NewChain(be, cm)
+	b := NewBuilder().Sync().SelectSLR(2).ReadFrames(be.fw, 0, 10)
+	exec(t, c, b.Words())
+	if c.Stats.Hops != 2 || c.Stats.FramesRead != 10 {
+		t.Fatalf("stats = %+v", c.Stats)
+	}
+	want := 2*cm.PerHop + 10*cm.PerFrame
+	if c.Elapsed < want || c.Elapsed > want+20*cm.PerCommand {
+		t.Errorf("elapsed = %v, want about %v", c.Elapsed, want)
+	}
+	c.ResetStats()
+	if c.Elapsed != 0 || c.Stats.FramesRead != 0 {
+		t.Error("ResetStats did not clear")
+	}
+}
+
+func TestControlAndMaskWritesRouteToTarget(t *testing.T) {
+	be := newFakeBackend(3, 1)
+	c := NewChain(be, CostModel{})
+	exec(t, c, NewBuilder().Sync().WriteReg(RegCTL, CtlClockRun).Words())
+	if be.ctl[1] != CtlClockRun {
+		t.Errorf("CTL not delivered to primary: %v", be.ctl)
+	}
+	exec(t, c, NewBuilder().Sync().SelectSLR(1).WriteReg(RegMASK, 3).Words())
+	if be.mask[2] != 3 {
+		t.Errorf("MASK not delivered to SLR2: %v", be.mask)
+	}
+}
+
+func TestBuilderGeneratedStreamShape(t *testing.T) {
+	// The §4.4 observation: a full-device configuration stream contains no
+	// BOUT writes before the primary chunk, one before the first secondary,
+	// and two before the second secondary.
+	be := newFakeBackend(3, 1)
+	b := NewBuilder()
+	frame := []uint32{0, 0, 0, 0}
+	for hops := 0; hops < 3; hops++ {
+		b.Sync().SelectSLR(hops).WriteFrames(be.fw, 0, frame)
+	}
+	counts := countBOUTRuns(b.Words())
+	if len(counts) != 3 || counts[0] != 0 || counts[1] != 1 || counts[2] != 2 {
+		t.Errorf("BOUT pulses per chunk = %v, want [0 1 2]", counts)
+	}
+}
+
+// countBOUTRuns scans a stream and returns, per sync-delimited chunk, the
+// number of BOUT writes it contains.
+func countBOUTRuns(words []uint32) []int {
+	var counts []int
+	cur := -1
+	i := 0
+	for i < len(words) {
+		w := words[i]
+		if w == SyncWord {
+			counts = append(counts, 0)
+			cur = len(counts) - 1
+			i++
+			continue
+		}
+		if w == NopWord {
+			i++
+			continue
+		}
+		reg, write, n, ok := DecodeHeader(w)
+		i++
+		if !ok {
+			continue
+		}
+		if write && reg == RegBOUT && cur >= 0 {
+			counts[cur]++
+		}
+		if write {
+			i += n
+		}
+	}
+	return counts
+}
+
+func TestChainStatsString(t *testing.T) {
+	s := ChainStats{FramesRead: 1, FramesWritten: 2, Hops: 3, Commands: 4}
+	if got := fmt.Sprintf("%+v", s); !strings.Contains(got, "Hops:3") {
+		t.Errorf("stats formatting: %s", got)
+	}
+}
+
+func TestDisassemble(t *testing.T) {
+	b := NewBuilder().
+		Nops(4).
+		Sync().
+		SelectSLR(1).
+		WriteReg(RegIDCODE, 0x1234).
+		WriteReg(RegCMD, CmdWCFG).
+		WriteReg(RegFAR, 7).
+		WriteReg(RegFDRI, 1, 2, 3, 4).
+		ReadFrames(4, 7, 1).
+		WriteReg(RegMASK, 2).
+		StopClock().
+		StartClock()
+	out := Disassemble(b.Words())
+	for _, want := range []string{
+		"NOP x4", "SYNC", "WRITE BOUT", "advance SLR ring",
+		"WRITE IDCODE = 0x00001234", "WCFG: enable config writes",
+		"WRITE FAR", "WRITE FDRI   4 words", "READ  FDRO",
+		"RCFG: enable readback", "restrict GSR to region 1",
+		"clock-run+GSR-pulse",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("disassembly missing %q:\n%s", want, out)
+		}
+	}
+	// Garbage words are flagged, not fatal.
+	if !strings.Contains(Disassemble([]uint32{0x1}), "???") {
+		t.Error("garbage word not flagged")
+	}
+}

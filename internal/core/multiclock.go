@@ -1,0 +1,63 @@
+package core
+
+import (
+	"fmt"
+
+	"zoomie/internal/sim"
+)
+
+// ValidateMultiClockStepping enforces the paper's §6.1 limitation:
+// precise stepping across multiple gated clock domains is only possible
+// when the domains are phase-aligned and their frequencies are integer
+// multiples of one another — otherwise the shared gate signal would
+// violate setup/hold in the slower domain. The clocks are looked up in
+// the design's clock table; every gated domain must be declared.
+func ValidateMultiClockStepping(clocks []sim.ClockSpec, gated []string) error {
+	if len(gated) <= 1 {
+		return nil
+	}
+	specs := make(map[string]sim.ClockSpec, len(clocks))
+	for _, c := range clocks {
+		specs[c.Name] = c
+	}
+	base := sim.ClockSpec{}
+	for i, name := range gated {
+		c, ok := specs[name]
+		if !ok {
+			return fmt.Errorf("core: gated domain %q is not a declared clock", name)
+		}
+		if i == 0 || c.Period < base.Period {
+			if i != 0 && base.Period%c.Period != 0 {
+				return fmt.Errorf("core: cannot step %q and %q together: periods %d and %d are not integer multiples (§6.1)",
+					base.Name, c.Name, base.Period, c.Period)
+			}
+			base = c
+			continue
+		}
+		if c.Period%base.Period != 0 {
+			return fmt.Errorf("core: cannot step %q and %q together: periods %d and %d are not integer multiples (§6.1)",
+				base.Name, c.Name, base.Period, c.Period)
+		}
+	}
+	// Phase alignment: every gated domain's rising edges must coincide
+	// with a rising edge of the fastest domain.
+	for _, name := range gated {
+		c := specs[name]
+		if (c.Phase-base.Phase)%base.Period != 0 {
+			return fmt.Errorf("core: cannot step %q with %q: phases %d vs %d are not aligned (§6.1)",
+				c.Name, base.Name, c.Phase, base.Phase)
+		}
+	}
+	return nil
+}
+
+// GateAll returns the clock-gate map driving every listed domain from
+// this instrumentation's enable signal. Call ValidateMultiClockStepping
+// first; Instrument's single-domain default remains Meta.Gates.
+func (meta *Meta) GateAll(domains []string) map[string]string {
+	out := make(map[string]string, len(domains))
+	for _, d := range domains {
+		out[d] = meta.GateSignal
+	}
+	return out
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+)
+
+func TestValidateMultiClockStepping(t *testing.T) {
+	clocks := []sim.ClockSpec{
+		{Name: "clk_fast", Period: 1},
+		{Name: "clk_half", Period: 2},
+		{Name: "clk_third", Period: 3},
+		{Name: "clk_skewed", Period: 2, Phase: 1},
+	}
+	if err := ValidateMultiClockStepping(clocks, []string{"clk_fast"}); err != nil {
+		t.Errorf("single domain rejected: %v", err)
+	}
+	if err := ValidateMultiClockStepping(clocks, []string{"clk_fast", "clk_half"}); err != nil {
+		t.Errorf("frequency-multiple domains rejected: %v", err)
+	}
+	err := ValidateMultiClockStepping(clocks, []string{"clk_half", "clk_third"})
+	if err == nil || !strings.Contains(err.Error(), "integer multiples") {
+		t.Errorf("non-multiple periods accepted: %v", err)
+	}
+	// Same frequency, opposite phases: edges never coincide.
+	err = ValidateMultiClockStepping(clocks, []string{"clk_half", "clk_skewed"})
+	if err == nil || !strings.Contains(err.Error(), "aligned") {
+		t.Errorf("phase-skewed domains accepted: %v", err)
+	}
+	// A phase offset that lands on the fast domain's edges is fine.
+	if err := ValidateMultiClockStepping(clocks, []string{"clk_fast", "clk_skewed"}); err != nil {
+		t.Errorf("edge-coincident skew rejected: %v", err)
+	}
+	if err := ValidateMultiClockStepping(clocks, []string{"clk_fast", "ghost"}); err == nil {
+		t.Error("undeclared domain accepted")
+	}
+}
+
+// TestMultiDomainGatedStepping: two phase-aligned, frequency-multiple
+// domains gated by one controller step together, each advancing the exact
+// number of its own edges.
+func TestMultiDomainGatedStepping(t *testing.T) {
+	m := rtl.NewModule("twoclk")
+	qf := m.Output("qf", 8)
+	qs := m.Output("qs", 8)
+	fast := m.Reg("fast", 8, "clk", 0)
+	m.SetNext(fast, rtl.Add(rtl.S(fast), rtl.C(1, 8)))
+	slow := m.Reg("slow", 8, "clk_half", 0)
+	m.SetNext(slow, rtl.Add(rtl.S(slow), rtl.C(1, 8)))
+	m.Connect(qf, rtl.S(fast))
+	m.Connect(qs, rtl.S(slow))
+
+	clocks := []sim.ClockSpec{
+		{Name: "clk", Period: 1},
+		{Name: "clk_half", Period: 2},
+		{Name: DebugClock, Period: 1},
+	}
+	gated := []string{"clk", "clk_half"}
+	if err := ValidateMultiClockStepping(clocks, gated); err != nil {
+		t.Fatal(err)
+	}
+
+	wrapped, meta, err := Instrument(rtl.NewDesign("twoclk", m), Config{Watches: []string{"qf"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rtl.Elaborate(wrapped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(f, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for domain, gate := range meta.GateAll(gated) {
+		if err := s.GateClock(domain, gate); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	s.Run(8)
+	if v, _ := s.Peek("qf"); v != 8 {
+		t.Fatalf("fast = %d, want 8", v)
+	}
+	if v, _ := s.Peek("qs"); v != 4 {
+		t.Fatalf("slow = %d, want 4", v)
+	}
+	// Pause via host request: BOTH domains freeze on the same edge.
+	s.Poke(meta.Reg(RegPauseReq), 1)
+	s.Run(9)
+	if v, _ := s.Peek("qf"); v != 8 {
+		t.Errorf("fast ran while paused: %d", v)
+	}
+	if v, _ := s.Peek("qs"); v != 4 {
+		t.Errorf("slow ran while paused: %d", v)
+	}
+	// Step 6 fast cycles: the half-rate domain advances exactly 3.
+	s.Poke(meta.Reg(RegPauseReq), 0)
+	s.Poke(meta.Reg(RegStepCnt), 6)
+	s.Poke(meta.Reg(RegStepArm), 1)
+	s.Poke(meta.Reg(RegPaused), 0)
+	s.Run(20)
+	if v, _ := s.Peek("qf"); v != 14 {
+		t.Errorf("fast = %d after 6-step, want 14", v)
+	}
+	if v, _ := s.Peek("qs"); v != 7 {
+		t.Errorf("slow = %d after 6-step, want 7", v)
+	}
+}

@@ -1,0 +1,84 @@
+package core
+
+import (
+	"fmt"
+
+	"zoomie/internal/rtl"
+)
+
+// PauseBuffer builds the formally characterized skid buffer of §3.1 that
+// makes a ready/valid channel safe to pause on either side. The buffer's
+// own state lives on `clock`, which must never be gated (typically
+// DebugClock); the producer and consumer may each be paused, signalled by
+// the pause_up / pause_dn inputs (driven by the Debug Controller's
+// ¬clk_en of the respective domain).
+//
+// Ports:
+//
+//	up_valid, up_data  -> in   (producer side)
+//	up_ready           <- out
+//	dn_valid, dn_data  <- out  (consumer side)
+//	dn_ready           -> in
+//	pause_up, pause_dn -> in
+//
+// The module guarantees, for any pause schedule (verified by the property
+// tests in pausebuffer_test.go):
+//
+//  1. A transaction initiated before a pause is delivered after resume,
+//     never lost: up_ready is masked during pause_up, so the producer
+//     cannot believe a handshake completed while its clock was gated.
+//  2. No phantom transactions: dn_valid is masked while the producer is
+//     paused and empty, so the producer's frozen valid (Figure 3) is
+//     never mistaken for a new transfer, and masked while the consumer
+//     is paused so the consumer never misses a completion.
+//  3. Zero added latency on an empty buffer while both sides run:
+//     dn_valid/dn_data combinationally follow up_valid/up_data.
+//
+// Irrevocable interfaces (valid held until ready) are supported: masking
+// never retracts an accepted transaction, it only delays the handshake.
+func PauseBuffer(name string, width int, clock string) *rtl.Module {
+	if width <= 0 || width > rtl.MaxWidth {
+		panic(fmt.Sprintf("core: pause buffer width %d invalid", width))
+	}
+	m := rtl.NewModule(name)
+	upValid := m.Input("up_valid", 1)
+	upData := m.Input("up_data", width)
+	upReady := m.Output("up_ready", 1)
+	dnValid := m.Output("dn_valid", 1)
+	dnData := m.Output("dn_data", width)
+	dnReady := m.Input("dn_ready", 1)
+	pauseUp := m.Input("pause_up", 1)
+	pauseDn := m.Input("pause_dn", 1)
+
+	full := m.Reg("full", 1, clock, 0)
+	buf := m.Reg("buf", width, clock, 0)
+
+	upRun := m.Wire("up_run", 1)
+	m.Connect(upRun, rtl.Not(rtl.S(pauseUp)))
+	dnRun := m.Wire("dn_run", 1)
+	m.Connect(dnRun, rtl.Not(rtl.S(pauseDn)))
+
+	// Producer may hand over only while running and the buffer is empty.
+	m.Connect(upReady, rtl.And(rtl.S(upRun), rtl.Not(rtl.S(full))))
+
+	// Consumer sees the buffered transaction if any; otherwise the live
+	// one, masked while the producer is paused (the Figure 3 fix).
+	m.Connect(dnValid, rtl.And(rtl.S(dnRun),
+		rtl.Or(rtl.S(full), rtl.And(rtl.S(upValid), rtl.S(upRun)))))
+	m.Connect(dnData, rtl.Mux(rtl.S(full), rtl.S(buf), rtl.S(upData)))
+
+	upFire := m.Wire("up_fire", 1)
+	m.Connect(upFire, rtl.And(rtl.S(upValid), rtl.And(rtl.S(upRun), rtl.Not(rtl.S(full)))))
+	dnFire := m.Wire("dn_fire", 1)
+	m.Connect(dnFire, rtl.And(rtl.And(rtl.S(dnReady), rtl.S(dnRun)),
+		rtl.Or(rtl.S(full), rtl.And(rtl.S(upValid), rtl.S(upRun)))))
+
+	// full': a transfer enters the buffer when the producer fires and the
+	// consumer does not take it the same cycle; it leaves when the
+	// consumer drains the buffer.
+	m.SetNext(full, rtl.Mux(rtl.S(full),
+		rtl.Not(rtl.S(dnFire)),                          // buffered: stays unless drained
+		rtl.And(rtl.S(upFire), rtl.Not(rtl.S(dnFire))))) // live pass-through or capture
+	m.SetNext(buf, rtl.Mux(rtl.And(rtl.S(upFire), rtl.Not(rtl.S(full))), rtl.S(upData), rtl.S(buf)))
+	return m
+}

@@ -1,0 +1,199 @@
+// Package core implements Zoomie's primary contribution: the Debug
+// Controller (§3). It is generated RTL that wraps the module under test:
+//
+//   - a trigger unit composing value breakpoints, a 64-bit cycle
+//     breakpoint, assertion breakpoints and host pause requests through
+//     the And/Or mask network of Algorithm 1;
+//   - a glitch-free clock enable that pauses the design in the exact
+//     cycle a trigger fires and holds it until the host resumes;
+//   - formally characterized pause buffers that make ready/valid
+//     interfaces safe to pause (Figure 3);
+//   - an instrumentation wrapper that stitches all of it around an
+//     arbitrary user design.
+//
+// Everything the host reconfigures at run time — reference values, masks,
+// step counts, assertion enables, the pause request — is ordinary register
+// state, written through configuration frames exactly like any other
+// design state (§3.4: "state manipulation capabilities are used to
+// reconfigure the trigger selection on the fly").
+package core
+
+import (
+	"fmt"
+
+	"zoomie/internal/rtl"
+)
+
+// DebugClock is the clock domain of the Debug Controller itself. It is
+// never gated: the controller must keep running while the MUT is paused.
+const DebugClock = "clk_zdbg"
+
+// Prefix is the instance name of the controller in instrumented designs;
+// all controller state lives under "zdbg." in the flat namespace.
+const Prefix = "zdbg"
+
+// WatchSpec selects one signal of the user design as a value-breakpoint
+// input.
+type WatchSpec struct {
+	// Signal is the name of an output port of the user top module.
+	Signal string
+	Width  int
+}
+
+// TriggerConfig sizes a trigger unit.
+type TriggerConfig struct {
+	Watches    []WatchSpec
+	NumAsserts int
+}
+
+// Controller register names (relative to the controller module). The host
+// debugger addresses them as Prefix+"."+name in the flat design.
+const (
+	RegPauseReq = "pause_req"
+	RegPaused   = "paused"
+	RegAndSel   = "and_sel"
+	RegOrSel    = "or_sel"
+	RegStepCnt  = "step_cnt"
+	RegStepArm  = "step_arm"
+	RegCycles   = "cycle_count"
+)
+
+// RegRefVal returns the name of watch i's reference-value register.
+func RegRefVal(i int) string { return fmt.Sprintf("refval%d", i) }
+
+// RegAndMask returns the name of watch i's And-mask register.
+func RegAndMask(i int) string { return fmt.Sprintf("and_mask%d", i) }
+
+// RegOrMask returns the name of watch i's Or-mask register.
+func RegOrMask(i int) string { return fmt.Sprintf("or_mask%d", i) }
+
+// RegAssertEn returns the name of assertion input i's enable register.
+func RegAssertEn(i int) string { return fmt.Sprintf("assert_en%d", i) }
+
+// TriggerModule builds the Debug Controller RTL. Ports:
+//
+//	inputs:  watch<i> (per watch), assert<i> (per assertion)
+//	outputs: clk_en (the MUT clock enable), paused_out, stop_out
+//
+// The stop condition follows Algorithm 1 with the obvious reading of its
+// masks: a signal participates in the AND-condition when its And-mask is
+// set (unmasked signals do not block it), and in the OR-condition when
+// its Or-mask is set. And_sel/Or_sel arm the two composite conditions:
+//
+//	and_stop = and_sel ∧ (∃ mask) ∧ ∀i (match_i ∨ ¬and_mask_i)
+//	or_stop  = or_sel ∧ ∃i (match_i ∧ or_mask_i)
+//	stop     = and_stop ∨ or_stop ∨ step_hit ∨ assert_hit ∨ pause_req
+//
+// Pausing is timing precise: clk_en = ¬(paused ∨ stop), so the MUT's
+// clock edge in the very cycle a trigger fires is suppressed and the
+// design state of that cycle is preserved.
+func TriggerModule(cfg TriggerConfig) *rtl.Module {
+	m := rtl.NewModule("zoomie_trigger")
+
+	clkEn := m.Output("clk_en", 1)
+	pausedOut := m.Output("paused_out", 1)
+	stopOut := m.Output("stop_out", 1)
+
+	pauseReq := m.Reg(RegPauseReq, 1, DebugClock, 0)
+	m.SetNext(pauseReq, rtl.S(pauseReq)) // host-written only
+	paused := m.Reg(RegPaused, 1, DebugClock, 0)
+	andSel := m.Reg(RegAndSel, 1, DebugClock, 0)
+	m.SetNext(andSel, rtl.S(andSel))
+	orSel := m.Reg(RegOrSel, 1, DebugClock, 0)
+	m.SetNext(orSel, rtl.S(orSel))
+
+	// Per-watch mask network (Algorithm 1). The whole composition is one
+	// logic cone: intermediate terms stay expressions rather than
+	// separate wires, so the trigger adds a single LUT-tree level
+	// structure to the clock-enable path instead of a chain of cells —
+	// this is what keeps Zoomie off the critical path at 250 MHz (§5.7).
+	andStop := rtl.C(1, 1)
+	anyAndMask := rtl.C(0, 1)
+	orStop := rtl.C(0, 1)
+	for i, w := range cfg.Watches {
+		if w.Width <= 0 || w.Width > rtl.MaxWidth {
+			panic(fmt.Sprintf("core: watch %d has invalid width %d", i, w.Width))
+		}
+		sig := m.Input(fmt.Sprintf("watch%d", i), w.Width)
+		ref := m.Reg(RegRefVal(i), w.Width, DebugClock, 0)
+		m.SetNext(ref, rtl.S(ref))
+		am := m.Reg(RegAndMask(i), 1, DebugClock, 0)
+		m.SetNext(am, rtl.S(am))
+		om := m.Reg(RegOrMask(i), 1, DebugClock, 0)
+		m.SetNext(om, rtl.S(om))
+
+		match := rtl.Eq(rtl.S(sig), rtl.S(ref))
+		andStop = rtl.And(andStop, rtl.Or(match, rtl.Not(rtl.S(am))))
+		anyAndMask = rtl.Or(anyAndMask, rtl.S(am))
+		orStop = rtl.Or(orStop, rtl.And(match, rtl.S(om)))
+	}
+	andHit := rtl.And(rtl.S(andSel), rtl.And(anyAndMask, andStop))
+	orHit := rtl.And(rtl.S(orSel), orStop)
+
+	// Assertion breakpoints with per-assertion dynamic enables.
+	assertHit := rtl.C(0, 1)
+	for i := 0; i < cfg.NumAsserts; i++ {
+		in := m.Input(fmt.Sprintf("assert%d", i), 1)
+		en := m.Reg(RegAssertEn(i), 1, DebugClock, 1)
+		m.SetNext(en, rtl.S(en))
+		assertHit = rtl.Or(assertHit, rtl.And(rtl.S(in), rtl.S(en)))
+	}
+
+	// Cycle breakpoint: run exactly step_cnt MUT cycles, then stop.
+	stepCnt := m.Reg(RegStepCnt, 64, DebugClock, 0)
+	stepArm := m.Reg(RegStepArm, 1, DebugClock, 0)
+	m.SetNext(stepArm, rtl.S(stepArm))
+	// The counter compare is registered (step_last): the 64-bit equality
+	// never sits on the combinational clock-enable path. step_last latches
+	// during the final counted cycle (counter at 1 and executing), so the
+	// very next cycle is gated — still exactly N executed cycles.
+	stepLast := m.Reg("step_last", 1, DebugClock, 0)
+	stepHit := rtl.S(stepLast)
+
+	stopExpr := rtl.Or(rtl.S(pauseReq),
+		rtl.Or(rtl.Or(andHit, orHit), rtl.Or(assertHit, stepHit)))
+	stop := m.Wire("stop", 1)
+	m.Connect(stop, stopExpr)
+
+	// Stepping off a breakpoint: for exactly one cycle after the host
+	// clears the paused flag, level-triggered stop sources are ignored so
+	// the design can leave the triggering state — the same thing gdb does
+	// when continuing from a breakpoint.
+	prevPaused := m.Reg("prev_paused", 1, DebugClock, 0)
+	m.SetNext(prevPaused, rtl.S(paused))
+	ignoreStop := m.Wire("ignore_stop", 1)
+	m.Connect(ignoreStop, rtl.And(rtl.S(prevPaused), rtl.Not(rtl.S(paused))))
+
+	// The enable expression is replicated into the counters' clock-enable
+	// cones below (standard high-fanout replication), so the wire exists
+	// for the gate output without adding a cell hop to the counter paths.
+	enExpr := rtl.Not(rtl.Or(rtl.S(paused),
+		rtl.And(stopExpr, rtl.Not(rtl.S(ignoreStop)))))
+	en := m.Wire("clk_en_int", 1)
+	m.Connect(en, enExpr)
+
+	// step_cnt decrements once per executed MUT cycle; the final counted
+	// cycle (counter at 1, executing) latches step_last.
+	m.SetNext(stepCnt, rtl.Sub(rtl.S(stepCnt), rtl.C(1, 64)))
+	m.SetEnable(stepCnt, rtl.And(enExpr,
+		rtl.And(rtl.S(stepArm), rtl.Ne(rtl.S(stepCnt), rtl.C(0, 64)))))
+	// Not sticky: once the pause latches, the flag self-clears (en = 0).
+	m.SetNext(stepLast,
+		rtl.And(enExpr, rtl.And(rtl.S(stepArm), rtl.Eq(rtl.S(stepCnt), rtl.C(1, 64)))))
+
+	// The paused flag latches any stop and holds until the host clears it;
+	// the stop-off-breakpoint grace cycle does not re-latch.
+	m.SetNext(paused, rtl.Or(rtl.S(paused),
+		rtl.And(rtl.S(stop), rtl.Not(rtl.S(ignoreStop)))))
+
+	// A free-running count of executed MUT cycles, for the host's
+	// "how far did the design run" bookkeeping and periodic snapshots.
+	cycles := m.Reg(RegCycles, 64, DebugClock, 0)
+	m.SetNext(cycles, rtl.Add(rtl.S(cycles), rtl.C(1, 64)))
+	m.SetEnable(cycles, enExpr)
+
+	m.Connect(clkEn, rtl.S(en))
+	m.Connect(pausedOut, rtl.S(paused))
+	m.Connect(stopOut, rtl.S(stop))
+	return m
+}

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+)
+
+// counterDesign is a user design: an 8-bit counter plus a "hot" flag that
+// pulses when the counter is 0xF0 (used as an assertion-style source).
+func counterDesign() *rtl.Design {
+	m := rtl.NewModule("user_counter")
+	q := m.Output("q", 8)
+	hot := m.Output("hot", 1)
+	cnt := m.Reg("cnt", 8, "clk", 0)
+	m.SetNext(cnt, rtl.Add(rtl.S(cnt), rtl.C(1, 8)))
+	m.Connect(q, rtl.S(cnt))
+	m.Connect(hot, rtl.Eq(rtl.S(cnt), rtl.C(0xF0, 8)))
+	return rtl.NewDesign("user_counter", m)
+}
+
+// instrumented builds the wrapped design and a simulator with the user
+// clock gated by the controller.
+func instrumented(t *testing.T, cfg Config) (*sim.Simulator, *Meta) {
+	t.Helper()
+	d, meta, err := Instrument(counterDesign(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rtl.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(f, []sim.ClockSpec{
+		{Name: "clk", Period: 1},
+		{Name: DebugClock, Period: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.GateClock("clk", meta.GateSignal); err != nil {
+		t.Fatal(err)
+	}
+	return s, meta
+}
+
+func peek(t *testing.T, s *sim.Simulator, name string) uint64 {
+	t.Helper()
+	v, err := s.Peek(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func poke(t *testing.T, s *sim.Simulator, name string, v uint64) {
+	t.Helper()
+	if err := s.Poke(name, v); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFreeRunningWithoutTriggers(t *testing.T) {
+	s, _ := instrumented(t, Config{Watches: []string{"q"}})
+	s.Run(25)
+	if got := peek(t, s, "q"); got != 25 {
+		t.Errorf("q = %d after 25 ticks, want 25 (no trigger armed)", got)
+	}
+	if got := peek(t, s, "zoomie_paused"); got != 0 {
+		t.Error("spuriously paused")
+	}
+}
+
+func TestValueBreakpointPausesInExactCycle(t *testing.T) {
+	s, meta := instrumented(t, Config{Watches: []string{"q"}})
+	// Break when q == 17 (OR mode on watch 0).
+	poke(t, s, meta.Reg(RegRefVal(0)), 17)
+	poke(t, s, meta.Reg(RegOrMask(0)), 1)
+	poke(t, s, meta.Reg(RegOrSel), 1)
+	s.Run(60)
+	if got := peek(t, s, "q"); got != 17 {
+		t.Errorf("paused at q = %d, want exactly 17 (timing-precise pause)", got)
+	}
+	if got := peek(t, s, "zoomie_paused"); got != 1 {
+		t.Error("paused flag not set")
+	}
+	// State is frozen while paused.
+	s.Run(50)
+	if got := peek(t, s, "q"); got != 17 {
+		t.Errorf("q drifted to %d while paused", got)
+	}
+}
+
+func TestAndComposition(t *testing.T) {
+	s, meta := instrumented(t, Config{Watches: []string{"q", "hot"}})
+	// AND: q == 0xF0 && hot == 1. hot pulses exactly when q is 0xF0.
+	poke(t, s, meta.Reg(RegRefVal(0)), 0xF0)
+	poke(t, s, meta.Reg(RegAndMask(0)), 1)
+	poke(t, s, meta.Reg(RegRefVal(1)), 1)
+	poke(t, s, meta.Reg(RegAndMask(1)), 1)
+	poke(t, s, meta.Reg(RegAndSel), 1)
+	s.Run(300)
+	if got := peek(t, s, "q"); got != 0xF0 {
+		t.Errorf("AND breakpoint paused at q=%#x, want 0xF0", got)
+	}
+}
+
+func TestAndRequiresAllMaskedSignals(t *testing.T) {
+	s, meta := instrumented(t, Config{Watches: []string{"q", "hot"}})
+	// q == 5 AND hot == 1 never happens together; must not pause.
+	poke(t, s, meta.Reg(RegRefVal(0)), 5)
+	poke(t, s, meta.Reg(RegAndMask(0)), 1)
+	poke(t, s, meta.Reg(RegRefVal(1)), 1)
+	poke(t, s, meta.Reg(RegAndMask(1)), 1)
+	poke(t, s, meta.Reg(RegAndSel), 1)
+	s.Run(300)
+	if got := peek(t, s, "zoomie_paused"); got != 0 {
+		t.Error("AND condition fired although one conjunct never matched")
+	}
+}
+
+func TestAndSelWithoutMasksDoesNotFire(t *testing.T) {
+	s, meta := instrumented(t, Config{Watches: []string{"q"}})
+	poke(t, s, meta.Reg(RegAndSel), 1) // armed but nothing masked in
+	s.Run(50)
+	if got := peek(t, s, "zoomie_paused"); got != 0 {
+		t.Error("empty AND condition fired")
+	}
+}
+
+func TestOrCompositionEitherSignal(t *testing.T) {
+	s, meta := instrumented(t, Config{Watches: []string{"q", "hot"}})
+	// OR: q == 200 or hot == 1; q reaches 200 before hot pulses (240).
+	poke(t, s, meta.Reg(RegRefVal(0)), 200)
+	poke(t, s, meta.Reg(RegOrMask(0)), 1)
+	poke(t, s, meta.Reg(RegRefVal(1)), 1)
+	poke(t, s, meta.Reg(RegOrMask(1)), 1)
+	poke(t, s, meta.Reg(RegOrSel), 1)
+	s.Run(300)
+	if got := peek(t, s, "q"); got != 200 {
+		t.Errorf("OR breakpoint paused at q=%d, want 200", got)
+	}
+}
+
+func TestHostPauseAndResume(t *testing.T) {
+	s, meta := instrumented(t, Config{Watches: []string{"q"}})
+	s.Run(10)
+	poke(t, s, meta.Reg(RegPauseReq), 1)
+	s.Run(1)
+	at := peek(t, s, "q")
+	s.Run(30)
+	if got := peek(t, s, "q"); got != at {
+		t.Errorf("design ran while pause requested: %d -> %d", at, got)
+	}
+	// Resume: clear the request and the latched pause.
+	poke(t, s, meta.Reg(RegPauseReq), 0)
+	poke(t, s, meta.Reg(RegPaused), 0)
+	s.Run(5)
+	if got := peek(t, s, "q"); got != at+5 {
+		t.Errorf("q = %d after resume, want %d", got, at+5)
+	}
+}
+
+func TestCycleBreakpointStepsExactly(t *testing.T) {
+	s, meta := instrumented(t, Config{Watches: []string{"q"}})
+	// Pause immediately via host request, then step exactly 7 cycles.
+	poke(t, s, meta.Reg(RegPauseReq), 1)
+	s.Run(1)
+	start := peek(t, s, "q")
+
+	poke(t, s, meta.Reg(RegPauseReq), 0)
+	poke(t, s, meta.Reg(RegStepCnt), 7)
+	poke(t, s, meta.Reg(RegStepArm), 1)
+	poke(t, s, meta.Reg(RegPaused), 0)
+	s.Run(40)
+	if got := peek(t, s, "q"); got != start+7 {
+		t.Errorf("stepped to q=%d, want %d (exactly 7 cycles)", got, start+7)
+	}
+	if got := peek(t, s, "zoomie_paused"); got != 1 {
+		t.Error("not paused after step completed")
+	}
+	// Step again: 1 cycle ("single stepping").
+	poke(t, s, meta.Reg(RegStepCnt), 1)
+	poke(t, s, meta.Reg(RegPaused), 0)
+	s.Run(10)
+	if got := peek(t, s, "q"); got != start+8 {
+		t.Errorf("single step landed at q=%d, want %d", got, start+8)
+	}
+}
+
+func TestAssertionBreakpoint(t *testing.T) {
+	// The "hot" output doubles as a failing assertion source.
+	mon := rtl.NewModule("hot_monitor")
+	in := mon.Input("sig", 1)
+	fail := mon.Output("fail", 1)
+	mon.Connect(fail, rtl.S(in))
+
+	s, meta := instrumented(t, Config{
+		Watches:  []string{"q"},
+		Monitors: []MonitorSpec{{Name: "hotmon", Module: mon, Bindings: map[string]string{"sig": "hot"}}},
+	})
+	if meta.AssertIndex("hotmon") != 0 {
+		t.Fatal("assert index wrong")
+	}
+	s.Run(400)
+	if got := peek(t, s, "q"); got != 0xF0 {
+		t.Errorf("assertion breakpoint paused at q=%#x, want 0xF0", got)
+	}
+}
+
+func TestAssertionCanBeDisabledDynamically(t *testing.T) {
+	mon := rtl.NewModule("hot_monitor")
+	in := mon.Input("sig", 1)
+	fail := mon.Output("fail", 1)
+	mon.Connect(fail, rtl.S(in))
+	s, meta := instrumented(t, Config{
+		Watches:  []string{"q"},
+		Monitors: []MonitorSpec{{Name: "hotmon", Module: mon, Bindings: map[string]string{"sig": "hot"}}},
+	})
+	poke(t, s, meta.Reg(RegAssertEn(0)), 0) // disable on the fly
+	s.Run(400)
+	if got := peek(t, s, "zoomie_paused"); got != 0 {
+		t.Error("disabled assertion still paused the design")
+	}
+}
+
+func TestCycleCounterTracksExecutedCycles(t *testing.T) {
+	s, meta := instrumented(t, Config{Watches: []string{"q"}})
+	s.Run(20)
+	poke(t, s, meta.Reg(RegPauseReq), 1)
+	s.Run(10)
+	if got := peek(t, s, meta.Reg(RegCycles)); got != 20 {
+		t.Errorf("cycle_count = %d, want 20 (gated cycles must not count)", got)
+	}
+}
+
+func TestInstrumentRejectsUnknownWatch(t *testing.T) {
+	if _, _, err := Instrument(counterDesign(), Config{Watches: []string{"nosuch"}}); err == nil {
+		t.Error("unknown watch accepted")
+	}
+}
+
+func TestInstrumentRejectsBadMonitor(t *testing.T) {
+	noFail := rtl.NewModule("nofail")
+	in := noFail.Input("sig", 1)
+	out := noFail.Output("ok", 1)
+	noFail.Connect(out, rtl.S(in))
+	_, _, err := Instrument(counterDesign(), Config{
+		Monitors: []MonitorSpec{{Name: "m", Module: noFail, Bindings: map[string]string{"sig": "hot"}}},
+	})
+	if err == nil {
+		t.Error("monitor without fail output accepted")
+	}
+	mon := rtl.NewModule("mon")
+	mon.Input("sig", 1)
+	f := mon.Output("fail", 1)
+	mon.Connect(f, rtl.C(0, 1))
+	_, _, err = Instrument(counterDesign(), Config{
+		Monitors: []MonitorSpec{{Name: "m", Module: mon, Bindings: map[string]string{}}},
+	})
+	if err == nil {
+		t.Error("unbound monitor input accepted")
+	}
+}
+
+func TestMetaHelpers(t *testing.T) {
+	_, meta, err := Instrument(counterDesign(), Config{Watches: []string{"q", "hot"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if meta.WatchIndex("hot") != 1 || meta.WatchIndex("nosuch") != -1 {
+		t.Error("WatchIndex broken")
+	}
+	if meta.Reg(RegPaused) != "zdbg.paused" {
+		t.Errorf("Reg name = %q", meta.Reg(RegPaused))
+	}
+	names := meta.ControllerStateNames()
+	if len(names) == 0 {
+		t.Error("no controller state names")
+	}
+	if g := meta.Gates(); g["clk"] != "zdbg_clk_en" {
+		t.Errorf("gates = %v", g)
+	}
+}

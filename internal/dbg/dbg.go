@@ -1,0 +1,371 @@
+// Package dbg is Zoomie's host-side debugger: the software half of the
+// Debug Controller. It speaks to the FPGA exclusively through
+// configuration frames over the JTAG cable — reading state back, matching
+// it to RTL names via the StateMap metadata (§3.2), forcing values
+// (§3.3), reconfiguring breakpoints on the fly (§3.4), stepping the design
+// a precise number of cycles, and capturing/restoring full snapshots with
+// the SLR-aware readback optimization (§4.7).
+package dbg
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"zoomie/internal/core"
+	"zoomie/internal/fpga"
+	"zoomie/internal/jtag"
+)
+
+// DutPrefix is the instance name the instrumentation wrapper gives the
+// user design; the debugger resolves bare user signal names under it.
+const DutPrefix = "dut"
+
+// Debugger drives one instrumented design on one board.
+type Debugger struct {
+	Cable *jtag.Cable
+	Image *fpga.Image
+	Meta  *core.Meta
+}
+
+// Attach configures the board with the image, connects a cable and leaves
+// the design ready to start (clock stopped). The image must be built from
+// a design instrumented with core.Instrument using the same Meta.
+func Attach(board *fpga.Board, img *fpga.Image, meta *core.Meta) (*Debugger, error) {
+	if !board.Configured() {
+		if err := board.Configure(img); err != nil {
+			return nil, err
+		}
+	}
+	return &Debugger{Cable: jtag.Connect(board), Image: img, Meta: meta}, nil
+}
+
+// Start executes the full configuration flow: the generated configuration
+// bitstream writes every initial-state frame chunk by chunk across the
+// SLR ring, then pulses GSR and starts the clock (§4.1). After Start the
+// design runs freely.
+func (d *Debugger) Start() error { return d.Cable.Boot(d.Image) }
+
+// Run lets the FPGA execute freely for n design-clock ticks of wall time.
+// Paused domains hold still, exactly as on hardware.
+func (d *Debugger) Run(n int) { d.Cable.Board.Advance(n) }
+
+// resolve maps a possibly-bare user signal name to its flat name.
+func (d *Debugger) resolve(name string) (string, bool) {
+	if _, ok := d.Image.Map.Reg(name); ok {
+		return name, true
+	}
+	if _, ok := d.Image.Map.Mem(name); ok {
+		return name, true
+	}
+	qualified := DutPrefix + "." + name
+	if _, ok := d.Image.Map.Reg(qualified); ok {
+		return qualified, true
+	}
+	if _, ok := d.Image.Map.Mem(qualified); ok {
+		return qualified, true
+	}
+	return name, false
+}
+
+// Peek reads a register's value through frame readback. Bare user names
+// are resolved under the "dut." instance automatically.
+func (d *Debugger) Peek(name string) (uint64, error) {
+	flat, ok := d.resolve(name)
+	if !ok {
+		return 0, fmt.Errorf("dbg: no state element %q (wires are not state; read the registers feeding them)", name)
+	}
+	loc, ok := d.Image.Map.Reg(flat)
+	if !ok {
+		return 0, fmt.Errorf("dbg: %q is a memory; use PeekMem", name)
+	}
+	frames, err := d.Cable.ReadbackFrames(loc.Addr.SLR, []int{loc.Addr.Frame})
+	if err != nil {
+		return 0, err
+	}
+	return getBits(frames[0], loc.Addr.Bit, loc.Width), nil
+}
+
+// PeekMem reads one memory word through frame readback.
+func (d *Debugger) PeekMem(name string, addr int) (uint64, error) {
+	flat, ok := d.resolve(name)
+	if !ok {
+		return 0, fmt.Errorf("dbg: no state element %q", name)
+	}
+	loc, ok := d.Image.Map.Mem(flat)
+	if !ok {
+		return 0, fmt.Errorf("dbg: %q is a register; use Peek", name)
+	}
+	if addr < 0 || addr >= loc.Depth {
+		return 0, fmt.Errorf("dbg: %s[%d] out of range (depth %d)", name, addr, loc.Depth)
+	}
+	wa := loc.WordAddr(addr)
+	frames, err := d.Cable.ReadbackFrames(wa.SLR, []int{wa.Frame})
+	if err != nil {
+		return 0, err
+	}
+	return getBits(frames[0], wa.Bit, loc.Width), nil
+}
+
+// Poke forces a register value through partial reconfiguration
+// (read-modify-write of its frame).
+func (d *Debugger) Poke(name string, v uint64) error {
+	flat, ok := d.resolve(name)
+	if !ok {
+		return fmt.Errorf("dbg: no state element %q", name)
+	}
+	loc, ok := d.Image.Map.Reg(flat)
+	if !ok {
+		return fmt.Errorf("dbg: %q is a memory; use PokeMem", name)
+	}
+	frames, err := d.Cable.ReadbackFrames(loc.Addr.SLR, []int{loc.Addr.Frame})
+	if err != nil {
+		return err
+	}
+	putBits(frames[0], loc.Addr.Bit, loc.Width, v)
+	return d.Cable.WritebackFrames(loc.Addr.SLR, []int{loc.Addr.Frame}, frames)
+}
+
+// PokeMem forces one memory word.
+func (d *Debugger) PokeMem(name string, addr int, v uint64) error {
+	flat, ok := d.resolve(name)
+	if !ok {
+		return fmt.Errorf("dbg: no state element %q", name)
+	}
+	loc, ok := d.Image.Map.Mem(flat)
+	if !ok {
+		return fmt.Errorf("dbg: %q is a register; use Poke", name)
+	}
+	if addr < 0 || addr >= loc.Depth {
+		return fmt.Errorf("dbg: %s[%d] out of range (depth %d)", name, addr, loc.Depth)
+	}
+	wa := loc.WordAddr(addr)
+	frames, err := d.Cable.ReadbackFrames(wa.SLR, []int{wa.Frame})
+	if err != nil {
+		return err
+	}
+	putBits(frames[0], wa.Bit, loc.Width, v)
+	return d.Cable.WritebackFrames(wa.SLR, []int{wa.Frame}, frames)
+}
+
+// ctl pokes a Debug Controller register.
+func (d *Debugger) ctl(reg string, v uint64) error { return d.Poke(d.Meta.Reg(reg), v) }
+
+// Pause halts the MUT from the host, like hitting Ctrl-C in gdb. The
+// design stops on the next clock edge.
+func (d *Debugger) Pause() error {
+	if err := d.ctl(core.RegPauseReq, 1); err != nil {
+		return err
+	}
+	d.Run(1) // the controller latches the pause on its next cycle
+	return nil
+}
+
+// Resume clears every pause source and lets the design run freely.
+func (d *Debugger) Resume() error {
+	for _, r := range []string{core.RegStepArm, core.RegPauseReq, core.RegPaused} {
+		if err := d.ctl(r, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Paused reports whether the Debug Controller holds the design.
+func (d *Debugger) Paused() (bool, error) {
+	v, err := d.Peek(d.Meta.Reg(core.RegPaused))
+	return v != 0, err
+}
+
+// Step executes exactly n MUT cycles and pauses again — gdb's stepi/until.
+func (d *Debugger) Step(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("dbg: step count must be positive")
+	}
+	if err := d.ctl(core.RegStepCnt, uint64(n)); err != nil {
+		return err
+	}
+	if err := d.ctl(core.RegStepArm, 1); err != nil {
+		return err
+	}
+	if err := d.ctl(core.RegPauseReq, 0); err != nil {
+		return err
+	}
+	if err := d.ctl(core.RegPaused, 0); err != nil {
+		return err
+	}
+	d.Run(n + 2)
+	paused, err := d.Paused()
+	if err != nil {
+		return err
+	}
+	if !paused {
+		return fmt.Errorf("dbg: design did not re-pause after %d-cycle step", n)
+	}
+	return nil
+}
+
+// Cycles returns how many MUT cycles have executed since configuration.
+func (d *Debugger) Cycles() (uint64, error) {
+	return d.Peek(d.Meta.Reg(core.RegCycles))
+}
+
+// BreakMode selects how a value breakpoint composes with others.
+type BreakMode int
+
+const (
+	// BreakAll: the design pauses when ALL active BreakAll conditions
+	// match simultaneously (the And network of Algorithm 1).
+	BreakAll BreakMode = iota
+	// BreakAny: the design pauses when ANY active BreakAny condition
+	// matches (the Or network).
+	BreakAny
+)
+
+// SetValueBreakpoint arms a value breakpoint on a watched signal, on the
+// fly, without recompilation: it is pure state manipulation of the
+// trigger unit.
+func (d *Debugger) SetValueBreakpoint(signal string, value uint64, mode BreakMode) error {
+	idx := d.Meta.WatchIndex(signal)
+	if idx < 0 {
+		return fmt.Errorf("dbg: %q is not a watched signal (watches: %v)", signal, d.watchNames())
+	}
+	if err := d.ctl(core.RegRefVal(idx), value); err != nil {
+		return err
+	}
+	switch mode {
+	case BreakAll:
+		if err := d.ctl(core.RegAndMask(idx), 1); err != nil {
+			return err
+		}
+		return d.ctl(core.RegAndSel, 1)
+	case BreakAny:
+		if err := d.ctl(core.RegOrMask(idx), 1); err != nil {
+			return err
+		}
+		return d.ctl(core.RegOrSel, 1)
+	default:
+		return fmt.Errorf("dbg: unknown break mode %d", mode)
+	}
+}
+
+// ClearBreakpoints disarms every value breakpoint.
+func (d *Debugger) ClearBreakpoints() error {
+	for i := range d.Meta.Watches {
+		if err := d.ctl(core.RegAndMask(i), 0); err != nil {
+			return err
+		}
+		if err := d.ctl(core.RegOrMask(i), 0); err != nil {
+			return err
+		}
+	}
+	if err := d.ctl(core.RegAndSel, 0); err != nil {
+		return err
+	}
+	return d.ctl(core.RegOrSel, 0)
+}
+
+// EnableAssertion turns an assertion breakpoint on or off dynamically.
+func (d *Debugger) EnableAssertion(name string, enable bool) error {
+	idx := d.Meta.AssertIndex(name)
+	if idx < 0 {
+		return fmt.Errorf("dbg: no assertion %q (have: %v)", name, d.Meta.Asserts)
+	}
+	v := uint64(0)
+	if enable {
+		v = 1
+	}
+	return d.ctl(core.RegAssertEn(idx), v)
+}
+
+// RunUntilPaused lets the design run until a trigger fires, polling the
+// paused flag, up to maxTicks. Returns the ticks consumed.
+func (d *Debugger) RunUntilPaused(maxTicks int) (int, error) {
+	const chunk = 64
+	ran := 0
+	for ran < maxTicks {
+		n := chunk
+		if maxTicks-ran < n {
+			n = maxTicks - ran
+		}
+		d.Run(n)
+		ran += n
+		paused, err := d.Paused()
+		if err != nil {
+			return ran, err
+		}
+		if paused {
+			return ran, nil
+		}
+	}
+	return ran, fmt.Errorf("dbg: no trigger fired within %d ticks", maxTicks)
+}
+
+func (d *Debugger) watchNames() []string {
+	var out []string
+	for _, w := range d.Meta.Watches {
+		out = append(out, w.Signal)
+	}
+	return out
+}
+
+// Elapsed returns the modeled configuration-plane time spent so far.
+func (d *Debugger) Elapsed() time.Duration { return d.Cable.Elapsed() }
+
+// ResetStats clears the modeled-time accounting.
+func (d *Debugger) ResetStats() { d.Cable.ResetStats() }
+
+// Inspect returns a sorted name=value listing of all registers under the
+// given instance prefix (bare user prefixes resolve under "dut.").
+func (d *Debugger) Inspect(prefix string) ([]string, error) {
+	snap, err := d.Snapshot(prefix)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for n := range snap.Regs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]string, len(names))
+	for i, n := range names {
+		out[i] = fmt.Sprintf("%s = %#x", n, snap.Regs[n])
+	}
+	return out, nil
+}
+
+func getBits(frame []uint32, off, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit := off + i
+		if frame[bit/32]>>uint(bit%32)&1 != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func putBits(frame []uint32, off, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		bit := off + i
+		if v>>uint(i)&1 != 0 {
+			frame[bit/32] |= 1 << uint(bit%32)
+		} else {
+			frame[bit/32] &^= 1 << uint(bit%32)
+		}
+	}
+}
+
+// qualifyPrefix resolves a user instance prefix under "dut." when needed.
+func (d *Debugger) qualifyPrefix(prefix string) string {
+	if prefix == "" {
+		return ""
+	}
+	for _, r := range d.Image.Map.Regs {
+		if strings.HasPrefix(r.Name, prefix+".") || r.Name == prefix {
+			return prefix
+		}
+	}
+	return DutPrefix + "." + prefix
+}

@@ -1,0 +1,227 @@
+package dbg
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Snapshot is a host-side copy of design state, keyed by flat names —
+// what Zoomie saves to preserve emulation progress and replays to resume
+// from (§3.3).
+type Snapshot struct {
+	Scope string
+	Cycle uint64
+	Regs  map[string]uint64
+	Mems  map[string][]uint64
+}
+
+// stateUnder collects the register and memory names under an instance
+// prefix ("" = everything, including the Debug Controller).
+func (d *Debugger) stateUnder(prefix string) (regs, mems []string) {
+	match := func(name string) bool {
+		if prefix == "" {
+			return true
+		}
+		return name == prefix || strings.HasPrefix(name, prefix+".")
+	}
+	for _, r := range d.Image.Map.Regs {
+		if match(r.Name) {
+			regs = append(regs, r.Name)
+		}
+	}
+	for _, m := range d.Image.Map.Mems {
+		if match(m.Name) {
+			mems = append(mems, m.Name)
+		}
+	}
+	return regs, mems
+}
+
+// Snapshot captures all state under an instance prefix using the
+// SLR-aware optimization: each SLR is visited once and only the frames
+// that actually hold the scope's state are scanned (§4.7). It also clears
+// the GSR mask first — partial reconfiguration leaves it set and readback
+// would be silently wrong otherwise.
+func (d *Debugger) Snapshot(prefix string) (*Snapshot, error) {
+	prefix = d.qualifyPrefix(prefix)
+	regs, mems := d.stateUnder(prefix)
+	if len(regs) == 0 && len(mems) == 0 {
+		return nil, fmt.Errorf("dbg: no state under %q", prefix)
+	}
+	if err := d.Cable.ClearGSRMask(); err != nil {
+		return nil, err
+	}
+
+	names := make(map[string]bool, len(regs)+len(mems))
+	for _, n := range regs {
+		names[n] = true
+	}
+	for _, n := range mems {
+		names[n] = true
+	}
+	perSLR := d.Image.Map.FramesTouched(names)
+
+	// Read each SLR once; index frames for parsing.
+	frameData := make(map[[2]int][]uint32)
+	for slr, frames := range perSLR {
+		data, err := d.Cable.ReadbackFrames(slr, frames)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range frames {
+			frameData[[2]int{slr, f}] = data[i]
+		}
+	}
+
+	snap := &Snapshot{
+		Scope: prefix,
+		Regs:  make(map[string]uint64, len(regs)),
+		Mems:  make(map[string][]uint64, len(mems)),
+	}
+	for _, name := range regs {
+		loc, _ := d.Image.Map.Reg(name)
+		frame := frameData[[2]int{loc.Addr.SLR, loc.Addr.Frame}]
+		snap.Regs[name] = getBits(frame, loc.Addr.Bit, loc.Width)
+	}
+	for _, name := range mems {
+		loc, _ := d.Image.Map.Mem(name)
+		words := make([]uint64, loc.Depth)
+		for w := 0; w < loc.Depth; w++ {
+			wa := loc.WordAddr(w)
+			words[w] = getBits(frameData[[2]int{wa.SLR, wa.Frame}], wa.Bit, loc.Width)
+		}
+		snap.Mems[name] = words
+	}
+	if cyc, err := d.Peek(d.Meta.Reg("cycle_count")); err == nil {
+		snap.Cycle = cyc
+	}
+	return snap, nil
+}
+
+// Restore writes a snapshot back through partial reconfiguration,
+// touching only the frames that hold the snapshot's state and leaving
+// everything else intact (§4.7 "Resuming from Snapshot Data").
+func (d *Debugger) Restore(snap *Snapshot) error {
+	names := make(map[string]bool, len(snap.Regs)+len(snap.Mems))
+	for n := range snap.Regs {
+		if _, ok := d.Image.Map.Reg(n); !ok {
+			return fmt.Errorf("dbg: snapshot register %q not in this image", n)
+		}
+		names[n] = true
+	}
+	for n, words := range snap.Mems {
+		loc, ok := d.Image.Map.Mem(n)
+		if !ok {
+			return fmt.Errorf("dbg: snapshot memory %q not in this image", n)
+		}
+		if len(words) != loc.Depth {
+			return fmt.Errorf("dbg: snapshot memory %q has %d words, image wants %d",
+				n, len(words), loc.Depth)
+		}
+		names[n] = true
+	}
+	perSLR := d.Image.Map.FramesTouched(names)
+
+	// Read-modify-write per SLR: fetch the touched frames, patch every
+	// snapshot value in, write them back.
+	for slr, frames := range perSLR {
+		data, err := d.Cable.ReadbackFrames(slr, frames)
+		if err != nil {
+			return err
+		}
+		index := make(map[int][]uint32, len(frames))
+		for i, f := range frames {
+			index[f] = data[i]
+		}
+		for name, v := range snap.Regs {
+			loc, _ := d.Image.Map.Reg(name)
+			if loc.Addr.SLR != slr {
+				continue
+			}
+			putBits(index[loc.Addr.Frame], loc.Addr.Bit, loc.Width, v)
+		}
+		for name, words := range snap.Mems {
+			loc, _ := d.Image.Map.Mem(name)
+			if loc.SLR != slr {
+				continue
+			}
+			for w, v := range words {
+				wa := loc.WordAddr(w)
+				putBits(index[wa.Frame], wa.Bit, loc.Width, v)
+			}
+		}
+		if err := d.Cable.WritebackFrames(slr, frames, data); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RestoreCompatible restores the subset of a snapshot that still exists
+// in this image, returning how many entries were skipped. This is the
+// §4.7 resume-after-recompile flow: after VTI swaps the iterated
+// partition, the partition's own state is new, but everything untouched
+// resumes exactly where it was.
+func (d *Debugger) RestoreCompatible(snap *Snapshot) (skipped int, err error) {
+	filtered := &Snapshot{
+		Scope: snap.Scope,
+		Cycle: snap.Cycle,
+		Regs:  make(map[string]uint64),
+		Mems:  make(map[string][]uint64),
+	}
+	for n, v := range snap.Regs {
+		if loc, ok := d.Image.Map.Reg(n); ok {
+			_ = loc
+			filtered.Regs[n] = v
+		} else {
+			skipped++
+		}
+	}
+	for n, words := range snap.Mems {
+		if loc, ok := d.Image.Map.Mem(n); ok && loc.Depth == len(words) {
+			filtered.Mems[n] = words
+		} else {
+			skipped++
+		}
+	}
+	return skipped, d.Restore(filtered)
+}
+
+// NaiveReadbackSLR scans every frame of one SLR — the unoptimized
+// baseline of Table 3 — and returns the modeled time it took.
+func (d *Debugger) NaiveReadbackSLR(slr int) (time.Duration, error) {
+	before := d.Cable.Elapsed()
+	total := d.Cable.Board.Device.SLRs[slr].Frames
+	frames := make([]int, total)
+	for i := range frames {
+		frames[i] = i
+	}
+	if _, err := d.Cable.ReadbackFrames(slr, frames); err != nil {
+		return 0, err
+	}
+	return d.Cable.Elapsed() - before, nil
+}
+
+// OptimizedReadbackSLR scans only the frames of the given scope's state
+// on one SLR, returning the modeled time.
+func (d *Debugger) OptimizedReadbackSLR(slr int, prefix string) (time.Duration, error) {
+	prefix = d.qualifyPrefix(prefix)
+	regs, mems := d.stateUnder(prefix)
+	names := make(map[string]bool)
+	for _, n := range regs {
+		names[n] = true
+	}
+	for _, n := range mems {
+		names[n] = true
+	}
+	frames := d.Image.Map.FramesTouched(names)[slr]
+	if len(frames) == 0 {
+		return 0, fmt.Errorf("dbg: scope %q has no state on SLR %d", prefix, slr)
+	}
+	before := d.Cable.Elapsed()
+	if _, err := d.Cable.ReadbackFrames(slr, frames); err != nil {
+		return 0, err
+	}
+	return d.Cable.Elapsed() - before, nil
+}

@@ -1,0 +1,159 @@
+package dbg
+
+import (
+	"strings"
+	"testing"
+
+	"zoomie/internal/core"
+	"zoomie/internal/rtl"
+)
+
+// slowDesign changes a register only every 32 cycles.
+func slowDesign() *rtl.Design {
+	m := rtl.NewModule("slow")
+	q := m.Output("q", 16)
+	tick := m.Reg("tick", 8, "clk", 0)
+	m.SetNext(tick, rtl.Add(rtl.S(tick), rtl.C(1, 8)))
+	slow := m.Reg("slow", 16, "clk", 0)
+	m.SetNext(slow, rtl.Add(rtl.S(slow), rtl.C(1, 16)))
+	m.SetEnable(slow, rtl.Eq(rtl.Slice(rtl.S(tick), 4, 0), rtl.C(31, 5)))
+	m.Connect(q, rtl.S(slow))
+	return rtl.NewDesign("slow", m)
+}
+
+func TestWaitChange(t *testing.T) {
+	d := session(t, slowDesign(), core.Config{UserClock: "clk"}, "clk")
+	if _, _, _, err := d.WaitChange("slow", 100); err == nil {
+		t.Fatal("watchpoint on a running design accepted")
+	}
+	if err := d.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	oldV, newV, cycles, err := d.WaitChange("slow", 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newV != oldV+1 {
+		t.Errorf("change %d -> %d, want +1", oldV, newV)
+	}
+	if cycles == 0 || cycles > 64 {
+		t.Errorf("change detected after %d cycles, want within ~2 update periods", cycles)
+	}
+	// A register that never changes times out.
+	if _, _, _, err := d.WaitChange(d.Meta.Reg(core.RegAndSel), 64); err == nil {
+		t.Error("timeout not reported")
+	}
+}
+
+func TestPeriodicSnapshotsAndReplay(t *testing.T) {
+	d := session(t, counterDesign(), core.Config{UserClock: "clk"}, "clk")
+	d.Run(10)
+	snaps, err := d.PeriodicSnapshots("dut", 20, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snaps) != 4 {
+		t.Fatalf("got %d snapshots, want 4", len(snaps))
+	}
+	// Snapshots are exactly 20 cycles apart.
+	for i := 1; i < len(snaps); i++ {
+		prev := snaps[i-1].Regs["dut.cnt"]
+		cur := snaps[i].Regs["dut.cnt"]
+		if cur != prev+20 {
+			t.Errorf("snapshot %d: cnt %d -> %d, want +20", i, prev, cur)
+		}
+	}
+	// Replay the second window and land exactly where snapshot 3 was.
+	if err := d.ReplayFrom(snaps[1], 40); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := d.Peek("cnt"); v != snaps[3].Regs["dut.cnt"] {
+		t.Errorf("replay landed on %d, want %d", v, snaps[3].Regs["dut.cnt"])
+	}
+	if _, err := d.PeriodicSnapshots("dut", 0, 1); err == nil {
+		t.Error("zero interval accepted")
+	}
+}
+
+func TestHideBugAndContinue(t *testing.T) {
+	d := session(t, counterDesign(), core.Config{UserClock: "clk"}, "clk")
+	if err := d.HideBugAndContinue(map[string]uint64{"cnt": 1}); err == nil {
+		t.Fatal("forcing on a running design accepted")
+	}
+	d.Run(10)
+	d.Pause()
+	if err := d.HideBugAndContinue(map[string]uint64{"cnt": 900}); err != nil {
+		t.Fatal(err)
+	}
+	d.Run(5)
+	if v, _ := d.Peek("cnt"); v != 905 {
+		t.Errorf("cnt = %d after forced continue, want 905", v)
+	}
+}
+
+func TestArmedBreakpoints(t *testing.T) {
+	d := session(t, counterDesign(), core.Config{Watches: []string{"q"}, UserClock: "clk"}, "clk")
+	all, anyOf, err := d.ArmedBreakpoints()
+	if err != nil || len(all)+len(anyOf) != 0 {
+		t.Fatalf("fresh session has armed breakpoints: %v %v %v", all, anyOf, err)
+	}
+	if err := d.SetValueBreakpoint("q", 7, BreakAny); err != nil {
+		t.Fatal(err)
+	}
+	_, anyOf, err = d.ArmedBreakpoints()
+	if err != nil || len(anyOf) != 1 || anyOf[0] != "q" {
+		t.Errorf("anyOf = %v, %v", anyOf, err)
+	}
+	if err := d.ClearBreakpoints(); err != nil {
+		t.Fatal(err)
+	}
+	all, anyOf, _ = d.ArmedBreakpoints()
+	if len(all)+len(anyOf) != 0 {
+		t.Error("breakpoints survive ClearBreakpoints")
+	}
+}
+
+func TestTraceSteps(t *testing.T) {
+	d := session(t, counterDesign(), core.Config{UserClock: "clk"}, "clk")
+	if _, err := d.TraceSteps([]string{"cnt"}, 3); err == nil {
+		t.Fatal("tracing a running design accepted")
+	}
+	d.Run(10)
+	d.Pause()
+	start, _ := d.Peek("cnt")
+	tr, err := d.TraceSteps([]string{"cnt"}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Rows) != 6 {
+		t.Fatalf("trace has %d rows, want 6 (initial + 5 steps)", len(tr.Rows))
+	}
+	for i := 0; i < 6; i++ {
+		if v, ok := tr.Value(i, "cnt"); !ok || v != start+uint64(i) {
+			t.Errorf("trace[%d] = %d, want %d", i, v, start+uint64(i))
+		}
+	}
+	if _, ok := tr.Value(99, "cnt"); ok {
+		t.Error("out-of-range cycle readable")
+	}
+	if _, ok := tr.Value(0, "ghost"); ok {
+		t.Error("unknown signal readable")
+	}
+
+	var vcd strings.Builder
+	if err := tr.WriteVCD(&vcd, ""); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"$var wire 16 ! cnt $end", "$enddefinitions", "#0"} {
+		if !strings.Contains(vcd.String(), want) {
+			t.Errorf("VCD missing %q", want)
+		}
+	}
+	if out := tr.Render(); !strings.Contains(out, "cnt") {
+		t.Error("render missing signal name")
+	}
+	// Errors: unknown signal, non-register.
+	if _, err := d.TraceSteps([]string{"ghost"}, 1); err == nil {
+		t.Error("unknown signal accepted")
+	}
+}

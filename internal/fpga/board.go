@@ -1,0 +1,294 @@
+package fpga
+
+import (
+	"fmt"
+
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+)
+
+// Image is everything the toolchain hands to the board: the elaborated
+// design, its clocking, the state-to-frame map, resource accounting, and
+// the reserved partition regions. It plays the role of the bitstream plus
+// the logic-location metadata files of a vendor flow.
+type Image struct {
+	Design *rtl.Flat
+	Clocks []sim.ClockSpec
+	Map    *StateMap
+	Device *Device
+
+	Usage   ResourceVec
+	Regions []Region // reserved reconfigurable regions (VTI partitions)
+
+	// Gates maps a clock-domain name to the flat name of the 1-bit
+	// in-design signal that gates it (the Debug Controller's clock
+	// enable). Domains not listed are ungated.
+	Gates map[string]string
+}
+
+// frameItem is one piece of state intersecting a configuration frame.
+type frameItem struct {
+	// For registers: reg is non-empty. For memories: mem plus the word
+	// range [w0, w1) stored in this frame.
+	reg    string
+	width  int
+	bitOff int
+
+	mem    string
+	memLoc MemLoc
+	w0, w1 int
+}
+
+// Board is a configured FPGA card: the device, the loaded image, and the
+// running design state. All state access from the host side goes through
+// frame reads and writes, as it does over JTAG on hardware.
+type Board struct {
+	Device *Device
+	Image  *Image
+	Sim    *sim.Simulator
+
+	frames map[[2]int][]frameItem // (slr, frame) -> state items
+
+	clockRunning bool
+	gsrMask      *Region // non-nil: GSR and readback restricted to region
+}
+
+// NewBoard creates an unconfigured board.
+func NewBoard(dev *Device) *Board { return &Board{Device: dev} }
+
+// Configure performs full configuration: it instantiates the design,
+// applies GSR (all registers to their init values) and leaves the clock
+// stopped, which is the state a device is in right before the "start the
+// clock and raise GSR" step of the configuration flow (§4.1).
+func (b *Board) Configure(img *Image) error {
+	if img.Device != nil && img.Device.Name != b.Device.Name {
+		return fmt.Errorf("fpga: image built for %s, board is %s", img.Device.Name, b.Device.Name)
+	}
+	s, err := sim.New(img.Design, img.Clocks)
+	if err != nil {
+		return fmt.Errorf("fpga: configure: %w", err)
+	}
+	for domain, gate := range img.Gates {
+		if err := s.GateClock(domain, gate); err != nil {
+			return fmt.Errorf("fpga: configure: %w", err)
+		}
+	}
+	b.Image = img
+	b.Sim = s
+	b.clockRunning = false
+	b.gsrMask = nil
+	if err := b.indexFrames(); err != nil {
+		return err
+	}
+	// Clock stopped until started by the configuration sequence.
+	for _, c := range img.Clocks {
+		s.SetHostGate(c.Name, false)
+	}
+	return nil
+}
+
+func (b *Board) indexFrames() error {
+	b.frames = make(map[[2]int][]frameItem)
+	sm := b.Image.Map
+	for _, r := range sm.Regs {
+		if r.Addr.SLR < 0 || r.Addr.SLR >= len(b.Device.SLRs) {
+			return fmt.Errorf("fpga: register %q placed on missing SLR %d", r.Name, r.Addr.SLR)
+		}
+		if r.Addr.Frame >= b.Device.SLRs[r.Addr.SLR].Frames {
+			return fmt.Errorf("fpga: register %q placed beyond frame space", r.Name)
+		}
+		key := [2]int{r.Addr.SLR, r.Addr.Frame}
+		b.frames[key] = append(b.frames[key], frameItem{
+			reg: r.Name, width: r.Width, bitOff: r.Addr.Bit,
+		})
+	}
+	for _, m := range sm.Mems {
+		wpf := m.WordsPerFrame()
+		for f := 0; f < m.FrameCount(); f++ {
+			w0 := f * wpf
+			w1 := w0 + wpf
+			if w1 > m.Depth {
+				w1 = m.Depth
+			}
+			key := [2]int{m.SLR, m.StartFrame + f}
+			b.frames[key] = append(b.frames[key], frameItem{
+				mem: m.Name, memLoc: m, w0: w0, w1: w1,
+			})
+		}
+	}
+	return nil
+}
+
+// Configured reports whether an image is loaded.
+func (b *Board) Configured() bool { return b.Image != nil }
+
+// StartClock begins free-running execution (models the special-register
+// write that starts the clock after configuration).
+func (b *Board) StartClock() {
+	if b.Sim == nil {
+		return
+	}
+	b.clockRunning = true
+	for _, c := range b.Image.Clocks {
+		b.Sim.SetHostGate(c.Name, true)
+	}
+}
+
+// StopClock halts all clock domains from the host side.
+func (b *Board) StopClock() {
+	if b.Sim == nil {
+		return
+	}
+	b.clockRunning = false
+	for _, c := range b.Image.Clocks {
+		b.Sim.SetHostGate(c.Name, false)
+	}
+}
+
+// ClockRunning reports whether the global clock is started.
+func (b *Board) ClockRunning() bool { return b.clockRunning }
+
+// Advance models wall-clock time passing while the FPGA runs freely: the
+// design executes n ticks (domains that are gated, by the host or by the
+// in-design Debug Controller, hold still exactly as on hardware).
+func (b *Board) Advance(n int) {
+	if b.Sim == nil {
+		return
+	}
+	b.Sim.Run(n)
+}
+
+// SetGSRMask restricts GSR (and, until cleared, readback) to a region, as
+// partial reconfiguration does. Pass nil to clear the mask. Hardware does
+// not restore this register automatically after partial reconfiguration —
+// Zoomie must clear it before readback (§4.7), and this model preserves
+// that trap: masked readback returns zeroed frames outside the region.
+func (b *Board) SetGSRMask(r *Region) { b.gsrMask = r }
+
+// GSRMasked reports whether a GSR mask is currently set.
+func (b *Board) GSRMasked() bool { return b.gsrMask != nil }
+
+// ApplyGSR pulses the global set-reset: registers return to their init
+// values. With a mask set, only state in frames of the masked region
+// resets.
+func (b *Board) ApplyGSR() {
+	if b.Sim == nil {
+		return
+	}
+	var lo, hi int
+	if b.gsrMask != nil {
+		lo, hi = b.gsrMask.FrameRange(b.Device)
+	}
+	for _, r := range b.Image.Design.Registers {
+		if b.gsrMask != nil {
+			loc, ok := b.Image.Map.Reg(r.Sig.Name)
+			if !ok || loc.Addr.SLR != b.gsrMask.SLR || loc.Addr.Frame < lo || loc.Addr.Frame >= hi {
+				continue
+			}
+		}
+		// Registers are architecturally writable state; wires resettle below.
+		if err := b.Sim.Poke(r.Sig.Name, r.Init); err != nil {
+			panic(fmt.Sprintf("fpga: GSR poke %s: %v", r.Sig.Name, err))
+		}
+	}
+	b.Sim.Settle()
+}
+
+// ReadFrame serializes one configuration frame of one SLR from the live
+// design state. While a GSR mask is active, frames outside the masked
+// region read back as zeros — the hardware trap that forces Zoomie to
+// clear the mask first.
+func (b *Board) ReadFrame(slr, frame int) ([]uint32, error) {
+	if b.Sim == nil {
+		return nil, fmt.Errorf("fpga: board not configured")
+	}
+	if slr < 0 || slr >= len(b.Device.SLRs) {
+		return nil, fmt.Errorf("fpga: no SLR %d", slr)
+	}
+	if frame < 0 || frame >= b.Device.SLRs[slr].Frames {
+		return nil, fmt.Errorf("fpga: SLR %d has no frame %d", slr, frame)
+	}
+	data := make([]uint32, FrameWords)
+	if b.gsrMask != nil {
+		lo, hi := b.gsrMask.FrameRange(b.Device)
+		if slr != b.gsrMask.SLR || frame < lo || frame >= hi {
+			return data, nil // masked: reads as zeros
+		}
+	}
+	for _, item := range b.frames[[2]int{slr, frame}] {
+		if item.reg != "" {
+			v, err := b.Sim.Peek(item.reg)
+			if err != nil {
+				return nil, err
+			}
+			putBits(data, item.bitOff, item.width, v)
+			continue
+		}
+		for w := item.w0; w < item.w1; w++ {
+			v, err := b.Sim.PeekMem(item.mem, w)
+			if err != nil {
+				return nil, err
+			}
+			addr := item.memLoc.WordAddr(w)
+			putBits(data, addr.Bit, item.memLoc.Width, v)
+		}
+	}
+	return data, nil
+}
+
+// WriteFrame deserializes one configuration frame into the design state;
+// this is the partial-reconfiguration write path used both for resuming
+// from snapshots and for mutating state.
+func (b *Board) WriteFrame(slr, frame int, data []uint32) error {
+	if b.Sim == nil {
+		return fmt.Errorf("fpga: board not configured")
+	}
+	if len(data) != FrameWords {
+		return fmt.Errorf("fpga: frame write of %d words, want %d", len(data), FrameWords)
+	}
+	if slr < 0 || slr >= len(b.Device.SLRs) {
+		return fmt.Errorf("fpga: no SLR %d", slr)
+	}
+	if frame < 0 || frame >= b.Device.SLRs[slr].Frames {
+		return fmt.Errorf("fpga: SLR %d has no frame %d", slr, frame)
+	}
+	for _, item := range b.frames[[2]int{slr, frame}] {
+		if item.reg != "" {
+			v := getBits(data, item.bitOff, item.width)
+			if err := b.Sim.Poke(item.reg, v); err != nil {
+				return err
+			}
+			continue
+		}
+		for w := item.w0; w < item.w1; w++ {
+			addr := item.memLoc.WordAddr(w)
+			v := getBits(data, addr.Bit, item.memLoc.Width)
+			if err := b.Sim.PokeMem(item.mem, w, v); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func putBits(frame []uint32, off, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		bit := off + i
+		if v>>uint(i)&1 != 0 {
+			frame[bit/32] |= 1 << uint(bit%32)
+		} else {
+			frame[bit/32] &^= 1 << uint(bit%32)
+		}
+	}
+}
+
+func getBits(frame []uint32, off, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit := off + i
+		if frame[bit/32]>>uint(bit%32)&1 != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}

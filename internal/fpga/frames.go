@@ -1,0 +1,209 @@
+package fpga
+
+import (
+	"fmt"
+	"sort"
+)
+
+// BitAddr locates a run of state bits in the configuration plane.
+type BitAddr struct {
+	SLR   int
+	Frame int // frame address within the SLR
+	Bit   int // starting bit offset within the frame [0, FrameBits)
+}
+
+// RegLoc places one RTL register: Width bits starting at Addr. A register
+// never spans frames (the allocator guarantees it), matching how flip-flop
+// state of one slice lives in one frame on hardware.
+type RegLoc struct {
+	Name  string
+	Width int
+	Addr  BitAddr
+}
+
+// MemLoc places one RTL memory: words are packed Width bits at a time,
+// FrameBits/Width words per frame, starting at frame StartFrame and
+// continuing through consecutive frames.
+type MemLoc struct {
+	Name       string
+	Width      int
+	Depth      int
+	SLR        int
+	StartFrame int
+}
+
+// WordsPerFrame returns how many memory words fit in one frame.
+func (m MemLoc) WordsPerFrame() int { return FrameBits / m.Width }
+
+// FrameCount returns the number of frames the memory occupies.
+func (m MemLoc) FrameCount() int {
+	wpf := m.WordsPerFrame()
+	return (m.Depth + wpf - 1) / wpf
+}
+
+// WordAddr returns the frame and bit offset of word i.
+func (m MemLoc) WordAddr(i int) BitAddr {
+	wpf := m.WordsPerFrame()
+	return BitAddr{
+		SLR:   m.SLR,
+		Frame: m.StartFrame + i/wpf,
+		Bit:   (i % wpf) * m.Width,
+	}
+}
+
+// StateMap is the logic-location metadata the toolchain emits alongside a
+// bitstream: where every register and memory of the elaborated design
+// lives in the configuration plane. It is what lets Zoomie's host software
+// "parse the binary data and match it up with names of registers and
+// memories in the RTL description" (§3.2).
+type StateMap struct {
+	Regs []RegLoc
+	Mems []MemLoc
+
+	regByName map[string]int
+	memByName map[string]int
+}
+
+// NewStateMap builds an empty state map.
+func NewStateMap() *StateMap {
+	return &StateMap{
+		regByName: make(map[string]int),
+		memByName: make(map[string]int),
+	}
+}
+
+// AddReg records a register placement.
+func (sm *StateMap) AddReg(loc RegLoc) error {
+	if _, dup := sm.regByName[loc.Name]; dup {
+		return fmt.Errorf("fpga: duplicate register placement %q", loc.Name)
+	}
+	if loc.Addr.Bit+loc.Width > FrameBits {
+		return fmt.Errorf("fpga: register %q spans a frame boundary", loc.Name)
+	}
+	sm.regByName[loc.Name] = len(sm.Regs)
+	sm.Regs = append(sm.Regs, loc)
+	return nil
+}
+
+// AddMem records a memory placement.
+func (sm *StateMap) AddMem(loc MemLoc) error {
+	if _, dup := sm.memByName[loc.Name]; dup {
+		return fmt.Errorf("fpga: duplicate memory placement %q", loc.Name)
+	}
+	if loc.Width <= 0 || loc.Width > FrameBits {
+		return fmt.Errorf("fpga: memory %q has unplaceable width %d", loc.Name, loc.Width)
+	}
+	sm.memByName[loc.Name] = len(sm.Mems)
+	sm.Mems = append(sm.Mems, loc)
+	return nil
+}
+
+// Reg looks up a register placement by flat name.
+func (sm *StateMap) Reg(name string) (RegLoc, bool) {
+	i, ok := sm.regByName[name]
+	if !ok {
+		return RegLoc{}, false
+	}
+	return sm.Regs[i], true
+}
+
+// Mem looks up a memory placement by flat name.
+func (sm *StateMap) Mem(name string) (MemLoc, bool) {
+	i, ok := sm.memByName[name]
+	if !ok {
+		return MemLoc{}, false
+	}
+	return sm.Mems[i], true
+}
+
+// FramesTouched returns, per SLR, the sorted list of frame addresses that
+// hold any state of the named signals/memories. Passing nil names selects
+// everything. This drives the SLR-aware readback optimization: scan only
+// the frames that matter.
+func (sm *StateMap) FramesTouched(names map[string]bool) map[int][]int {
+	perSLR := make(map[int]map[int]bool)
+	touch := func(slr, frame int) {
+		if perSLR[slr] == nil {
+			perSLR[slr] = make(map[int]bool)
+		}
+		perSLR[slr][frame] = true
+	}
+	for _, r := range sm.Regs {
+		if names == nil || names[r.Name] {
+			touch(r.Addr.SLR, r.Addr.Frame)
+		}
+	}
+	for _, m := range sm.Mems {
+		if names == nil || names[m.Name] {
+			for f := 0; f < m.FrameCount(); f++ {
+				touch(m.SLR, m.StartFrame+f)
+			}
+		}
+	}
+	out := make(map[int][]int, len(perSLR))
+	for slr, frames := range perSLR {
+		lst := make([]int, 0, len(frames))
+		for f := range frames {
+			lst = append(lst, f)
+		}
+		sort.Ints(lst)
+		out[slr] = lst
+	}
+	return out
+}
+
+// FrameAllocator hands out frame space inside a region sequentially. The
+// placer uses one allocator per region (and one for the static area of
+// each SLR).
+type FrameAllocator struct {
+	slr     int
+	next    int // next frame address
+	last    int // last frame address (inclusive)
+	bitsUse int // bits used in the current frame
+}
+
+// NewFrameAllocator allocates within [lo, hi) of the given SLR.
+func NewFrameAllocator(slr, lo, hi int) *FrameAllocator {
+	return &FrameAllocator{slr: slr, next: lo, last: hi - 1}
+}
+
+// AllocBits reserves width contiguous bits that do not cross a frame
+// boundary, returning their address.
+func (a *FrameAllocator) AllocBits(width int) (BitAddr, error) {
+	if width > FrameBits {
+		return BitAddr{}, fmt.Errorf("fpga: allocation of %d bits exceeds frame size", width)
+	}
+	if a.bitsUse+width > FrameBits {
+		a.next++
+		a.bitsUse = 0
+	}
+	if a.next > a.last {
+		return BitAddr{}, fmt.Errorf("fpga: SLR %d region frames exhausted", a.slr)
+	}
+	addr := BitAddr{SLR: a.slr, Frame: a.next, Bit: a.bitsUse}
+	a.bitsUse += width
+	return addr, nil
+}
+
+// AllocFrames reserves n whole frames, returning the first address.
+func (a *FrameAllocator) AllocFrames(n int) (int, error) {
+	if a.bitsUse > 0 {
+		a.next++
+		a.bitsUse = 0
+	}
+	if a.next+n-1 > a.last {
+		return 0, fmt.Errorf("fpga: SLR %d region frames exhausted", a.slr)
+	}
+	start := a.next
+	a.next += n
+	return start, nil
+}
+
+// Used returns how many frames have been consumed (fully or partially).
+func (a *FrameAllocator) Used(lo int) int {
+	used := a.next - lo
+	if a.bitsUse > 0 {
+		used++
+	}
+	return used
+}

@@ -1,0 +1,21 @@
+package hdl
+
+import "testing"
+
+// FuzzParse asserts the .zrtl front end never panics and that anything it
+// accepts survives a print/parse round trip.
+func FuzzParse(f *testing.F) {
+	f.Add(sample)
+	f.Add("module m { input a 1 output b 1 assign b (~ a) } design d m")
+	f.Add("module m { output b 4 reg r 4 clock=clk init=0x1 next=(+ r (const 4 1)) assign b r } design d m")
+	f.Fuzz(func(t *testing.T, src string) {
+		d, err := Parse(src)
+		if err != nil {
+			return
+		}
+		text := Print(d)
+		if _, err := Parse(text); err != nil {
+			t.Fatalf("printed form of accepted input does not reparse: %v", err)
+		}
+	})
+}

@@ -1,0 +1,610 @@
+// Package hdl implements the textual design format (.zrtl): a compact,
+// s-expression-flavoured serialization of the RTL IR with a parser and a
+// printer that round-trip losslessly. It is the on-disk interchange
+// format of the toolchain — zmc can compile designs from files, and any
+// design built with the builder API can be dumped for inspection or
+// version control.
+//
+// Format sketch:
+//
+//	module counter {
+//	  input en 1
+//	  output q 8
+//	  reg cnt 8 clock=clk init=0x0 next=(+ cnt (const 8 1)) enable=en
+//	  assign q cnt
+//	}
+//	module top {
+//	  input en 1
+//	  output q 8
+//	  wire w 8
+//	  inst c0 counter { en=en q->w }
+//	  assign q w
+//	}
+//	design demo top
+//
+// Expressions are s-expressions over signal names:
+//
+//	(+ a b) (- a b) (* a b) (& a b) (| a b) (^ a b) (~ a)
+//	(== a b) (!= a b) (< a b) (<= a b)
+//	(<< a 3) (>> a 3) (mux sel a b) (slice a 7 0) (cat hi lo)
+//	(redor a) (redand a) (zext a 16) (memread ram addr) (const 8 0xff)
+package hdl
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"zoomie/internal/rtl"
+)
+
+// Parse reads a .zrtl document and returns the design it declares.
+//
+// The rtl builder API treats structural mistakes (zero widths, duplicate
+// names, width-mismatched expressions) as programming errors and panics;
+// for text from disk those are input errors, so Parse converts builder
+// panics into ordinary errors at this boundary.
+func Parse(src string) (d *rtl.Design, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			d = nil
+			err = fmt.Errorf("hdl: invalid design: %v", r)
+		}
+	}()
+	p := &hdlParser{toks: tokenize(src)}
+	return p.parseFile()
+}
+
+type hdlParser struct {
+	toks []string
+	i    int
+
+	modules map[string]*rtl.Module
+	cur     *rtl.Module
+	mems    map[string]*rtl.Memory
+}
+
+func tokenize(src string) []string {
+	// Strip comments.
+	var clean strings.Builder
+	for _, line := range strings.Split(src, "\n") {
+		if idx := strings.Index(line, "#"); idx >= 0 {
+			line = line[:idx]
+		}
+		clean.WriteString(line)
+		clean.WriteByte('\n')
+	}
+	s := clean.String()
+	// Make punctuation standalone tokens.
+	for _, p := range []string{"(", ")", "{", "}", "=", "->"} {
+		s = strings.ReplaceAll(s, p, " "+p+" ")
+	}
+	// The "=" split also breaks the multi-character operators ("==",
+	// "!=", "<=") that appear whitespace-delimited inside s-expressions;
+	// re-join them after normalizing whitespace.
+	s = strings.Join(strings.Fields(s), " ")
+	s = strings.ReplaceAll(s, "= =", "==")
+	s = strings.ReplaceAll(s, "! =", "!=")
+	s = strings.ReplaceAll(s, "< =", "<=")
+	return strings.Fields(s)
+}
+
+func (p *hdlParser) peek() string {
+	if p.i < len(p.toks) {
+		return p.toks[p.i]
+	}
+	return ""
+}
+
+func (p *hdlParser) next() string {
+	t := p.peek()
+	p.i++
+	return t
+}
+
+func (p *hdlParser) expect(tok string) error {
+	if got := p.next(); got != tok {
+		return fmt.Errorf("hdl: expected %q, got %q (token %d)", tok, got, p.i-1)
+	}
+	return nil
+}
+
+func (p *hdlParser) parseFile() (*rtl.Design, error) {
+	p.modules = make(map[string]*rtl.Module)
+	var design *rtl.Design
+	for p.peek() != "" {
+		switch p.peek() {
+		case "module":
+			if err := p.parseModule(); err != nil {
+				return nil, err
+			}
+		case "design":
+			p.next()
+			name := p.next()
+			topName := p.next()
+			top, ok := p.modules[topName]
+			if !ok {
+				return nil, fmt.Errorf("hdl: design %q names unknown top module %q", name, topName)
+			}
+			design = rtl.NewDesign(name, top)
+		default:
+			return nil, fmt.Errorf("hdl: unexpected top-level token %q", p.peek())
+		}
+	}
+	if design == nil {
+		return nil, fmt.Errorf("hdl: no design declaration")
+	}
+	return design, nil
+}
+
+func (p *hdlParser) parseModule() error {
+	p.next() // "module"
+	name := p.next()
+	if name == "" || name == "{" {
+		return fmt.Errorf("hdl: module missing name")
+	}
+	if _, dup := p.modules[name]; dup {
+		return fmt.Errorf("hdl: duplicate module %q", name)
+	}
+	m := rtl.NewModule(name)
+	p.cur = m
+	p.mems = make(map[string]*rtl.Memory)
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	// Two-pass inside the module: first declare all signals/memories (so
+	// expressions can reference forward), then install the bodies. We do
+	// that by collecting statements.
+	type stmt struct {
+		kind string
+		toks []string
+	}
+	var stmts []stmt
+	depth := 0
+	for {
+		t := p.peek()
+		if t == "" {
+			return fmt.Errorf("hdl: unterminated module %q", name)
+		}
+		if t == "}" && depth == 0 {
+			p.next()
+			break
+		}
+		kind := p.next()
+		body := []string{}
+		// A statement runs until the next keyword at depth 0.
+		for {
+			nt := p.peek()
+			if nt == "" {
+				break
+			}
+			if depth == 0 && isKeyword(nt) {
+				break
+			}
+			if nt == "}" && depth == 0 {
+				break
+			}
+			if nt == "{" || nt == "(" {
+				depth++
+			}
+			if nt == "}" || nt == ")" {
+				depth--
+			}
+			body = append(body, p.next())
+		}
+		stmts = append(stmts, stmt{kind: kind, toks: body})
+	}
+
+	// Pass 1: declarations.
+	for _, s := range stmts {
+		sp := &hdlParser{toks: s.toks, modules: p.modules, cur: m, mems: p.mems}
+		switch s.kind {
+		case "input", "output", "wire", "reg":
+			if len(s.toks) < 2 {
+				return fmt.Errorf("hdl: %s needs name and width in %q", s.kind, name)
+			}
+			w, err := strconv.Atoi(s.toks[1])
+			if err != nil {
+				return fmt.Errorf("hdl: bad width %q: %v", s.toks[1], err)
+			}
+			switch s.kind {
+			case "input":
+				m.Input(s.toks[0], w)
+			case "output":
+				m.Output(s.toks[0], w)
+			case "wire":
+				m.Wire(s.toks[0], w)
+			case "reg":
+				clock, init := "clk", uint64(0)
+				for i := 2; i+2 < len(s.toks)+1; i++ {
+					if s.toks[i] == "clock" && i+2 <= len(s.toks) && s.toks[i+1] == "=" {
+						clock = s.toks[i+2]
+					}
+					if s.toks[i] == "init" && i+2 <= len(s.toks) && s.toks[i+1] == "=" {
+						v, err := parseNum(s.toks[i+2])
+						if err != nil {
+							return err
+						}
+						init = v
+					}
+				}
+				m.Reg(s.toks[0], w, clock, init)
+			}
+		case "mem":
+			mm, err := sp.parseMemDecl()
+			if err != nil {
+				return err
+			}
+			p.mems[mm.Name] = mm
+		}
+	}
+	// Pass 2: bodies.
+	for _, s := range stmts {
+		sp := &hdlParser{toks: s.toks, modules: p.modules, cur: m, mems: p.mems}
+		switch s.kind {
+		case "reg":
+			if err := sp.parseRegBody(); err != nil {
+				return err
+			}
+		case "mem":
+			if err := sp.parseMemBody(); err != nil {
+				return err
+			}
+		case "assign":
+			dst := m.Signal(sp.next())
+			if dst == nil {
+				return fmt.Errorf("hdl: assign to unknown signal in %q", name)
+			}
+			e, err := sp.parseExpr()
+			if err != nil {
+				return err
+			}
+			m.Connect(dst, e)
+		case "inst":
+			if err := sp.parseInst(); err != nil {
+				return err
+			}
+		case "input", "output", "wire":
+			// declaration only
+		default:
+			return fmt.Errorf("hdl: unknown statement %q in module %q", s.kind, name)
+		}
+	}
+	p.modules[name] = m
+	return nil
+}
+
+func isKeyword(t string) bool {
+	switch t {
+	case "input", "output", "wire", "reg", "mem", "assign", "inst", "module", "design":
+		return true
+	}
+	return false
+}
+
+func (p *hdlParser) parseRegBody() error {
+	name := p.next()
+	p.next() // width
+	sig := p.cur.Signal(name)
+	for p.peek() != "" {
+		key := p.next()
+		if err := p.expect("="); err != nil {
+			return err
+		}
+		switch key {
+		case "clock", "init":
+			p.next() // handled in pass 1
+		case "next":
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			p.cur.SetNext(sig, e)
+		case "enable":
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			p.cur.SetEnable(sig, e)
+		case "reset":
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			p.cur.SetReset(sig, e)
+		default:
+			return fmt.Errorf("hdl: unknown reg attribute %q", key)
+		}
+	}
+	return nil
+}
+
+// parseMemDecl handles: NAME width=W depth=D { ... }  (declaration part)
+func (p *hdlParser) parseMemDecl() (*rtl.Memory, error) {
+	name := p.next()
+	width, depth := 0, 0
+	for p.peek() != "{" && p.peek() != "" {
+		key := p.next()
+		if err := p.expect("="); err != nil {
+			return nil, err
+		}
+		v, err := strconv.Atoi(p.next())
+		if err != nil {
+			return nil, err
+		}
+		switch key {
+		case "width":
+			width = v
+		case "depth":
+			depth = v
+		default:
+			return nil, fmt.Errorf("hdl: unknown mem attribute %q", key)
+		}
+	}
+	return p.cur.Mem(name, width, depth), nil
+}
+
+// parseMemBody handles the { init/write } block.
+func (p *hdlParser) parseMemBody() error {
+	name := p.next()
+	mem := p.mems[name]
+	for p.peek() != "{" {
+		if p.peek() == "" {
+			return nil // no body
+		}
+		p.next()
+	}
+	p.next() // "{"
+	for p.peek() != "}" && p.peek() != "" {
+		switch p.next() {
+		case "init":
+			for p.peek() != "write" && p.peek() != "}" && p.peek() != "" {
+				idxTok := p.next()
+				if err := p.expect("="); err != nil {
+					return err
+				}
+				idx, err := strconv.Atoi(idxTok)
+				if err != nil {
+					return fmt.Errorf("hdl: bad init index %q", idxTok)
+				}
+				v, err := parseNum(p.next())
+				if err != nil {
+					return err
+				}
+				if mem.Init == nil {
+					mem.Init = map[int]uint64{}
+				}
+				mem.Init[idx] = v
+			}
+		case "write":
+			clock := p.next()
+			var addr, data, enable rtl.Expr
+			for k := 0; k < 3; k++ {
+				key := p.next()
+				if err := p.expect("="); err != nil {
+					return err
+				}
+				e, err := p.parseExpr()
+				if err != nil {
+					return err
+				}
+				switch key {
+				case "addr":
+					addr = e
+				case "data":
+					data = e
+				case "enable":
+					enable = e
+				default:
+					return fmt.Errorf("hdl: unknown write attribute %q", key)
+				}
+			}
+			mem.Write(clock, addr, data, enable)
+		default:
+			return fmt.Errorf("hdl: unexpected token in mem body of %q", name)
+		}
+	}
+	p.next() // "}"
+	return nil
+}
+
+// parseInst handles: NAME MODULE { port=expr ... port->signal ... }
+func (p *hdlParser) parseInst() error {
+	instName := p.next()
+	modName := p.next()
+	child, ok := p.modules[modName]
+	if !ok {
+		return fmt.Errorf("hdl: instance %q references unknown module %q", instName, modName)
+	}
+	inst := p.cur.Instantiate(instName, child)
+	if err := p.expect("{"); err != nil {
+		return err
+	}
+	for p.peek() != "}" && p.peek() != "" {
+		port := p.next()
+		switch p.next() {
+		case "=":
+			e, err := p.parseExpr()
+			if err != nil {
+				return err
+			}
+			inst.ConnectInput(port, e)
+		case "->":
+			dst := p.cur.Signal(p.next())
+			if dst == nil {
+				return fmt.Errorf("hdl: instance %q output %q wired to unknown signal", instName, port)
+			}
+			inst.ConnectOutput(port, dst)
+		default:
+			return fmt.Errorf("hdl: bad port connection for %q.%q", instName, port)
+		}
+	}
+	p.next() // "}"
+	return nil
+}
+
+var binOps = map[string]func(a, b rtl.Expr) rtl.Expr{
+	"+": rtl.Add, "-": rtl.Sub, "*": rtl.Mul,
+	"&": rtl.And, "|": rtl.Or, "^": rtl.Xor,
+	"==": rtl.Eq, "!=": rtl.Ne, "<": rtl.Lt, "<=": rtl.Le,
+}
+
+func (p *hdlParser) parseExpr() (rtl.Expr, error) {
+	t := p.next()
+	if t != "(" {
+		// Bare signal reference or numeric literal shorthand is invalid
+		// except for signals.
+		sig := p.cur.Signal(t)
+		if sig == nil {
+			return rtl.Expr{}, fmt.Errorf("hdl: unknown signal %q in expression", t)
+		}
+		return rtl.S(sig), nil
+	}
+	op := p.next()
+	var out rtl.Expr
+	var err error
+	switch {
+	case binOps[op] != nil:
+		a, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		b, e2 := p.parseExpr()
+		if e2 != nil {
+			return rtl.Expr{}, e2
+		}
+		out = binOps[op](a, b)
+	case op == "~":
+		a, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		out = rtl.Not(a)
+	case op == "redor" || op == "redand":
+		a, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		if op == "redor" {
+			out = rtl.RedOr(a)
+		} else {
+			out = rtl.RedAnd(a)
+		}
+	case op == "<<" || op == ">>":
+		a, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		n, e2 := p.parseInt()
+		if e2 != nil {
+			return rtl.Expr{}, e2
+		}
+		if op == "<<" {
+			out = rtl.Shl(a, n)
+		} else {
+			out = rtl.Shr(a, n)
+		}
+	case op == "mux":
+		sel, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		a, e2 := p.parseExpr()
+		if e2 != nil {
+			return rtl.Expr{}, e2
+		}
+		b, e3 := p.parseExpr()
+		if e3 != nil {
+			return rtl.Expr{}, e3
+		}
+		out = rtl.Mux(sel, a, b)
+	case op == "slice":
+		a, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		hi, e2 := p.parseInt()
+		if e2 != nil {
+			return rtl.Expr{}, e2
+		}
+		lo, e3 := p.parseInt()
+		if e3 != nil {
+			return rtl.Expr{}, e3
+		}
+		out = rtl.Slice(a, hi, lo)
+	case op == "cat":
+		a, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		b, e2 := p.parseExpr()
+		if e2 != nil {
+			return rtl.Expr{}, e2
+		}
+		out = rtl.Concat(a, b)
+	case op == "zext":
+		a, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		w, e2 := p.parseInt()
+		if e2 != nil {
+			return rtl.Expr{}, e2
+		}
+		out = rtl.ZeroExt(a, w)
+	case op == "const":
+		w, e1 := p.parseInt()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		v, e2 := parseNum(p.next())
+		if e2 != nil {
+			return rtl.Expr{}, e2
+		}
+		out = rtl.C(v, w)
+	case op == "memread":
+		memName := p.next()
+		mem := p.mems[memName]
+		if mem == nil {
+			return rtl.Expr{}, fmt.Errorf("hdl: memread of unknown memory %q", memName)
+		}
+		addr, e1 := p.parseExpr()
+		if e1 != nil {
+			return rtl.Expr{}, e1
+		}
+		out = rtl.MemRead(mem, addr)
+	default:
+		return rtl.Expr{}, fmt.Errorf("hdl: unknown operator %q", op)
+	}
+	if err != nil {
+		return rtl.Expr{}, err
+	}
+	if e := p.expect(")"); e != nil {
+		return rtl.Expr{}, e
+	}
+	return out, nil
+}
+
+func (p *hdlParser) parseInt() (int, error) {
+	v, err := parseNum(p.next())
+	return int(v), err
+}
+
+func parseNum(tok string) (uint64, error) {
+	v, err := strconv.ParseUint(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("hdl: bad number %q: %v", tok, err)
+	}
+	return v, nil
+}
+
+// sortedInitKeys gives deterministic printing of memory init maps.
+func sortedInitKeys(m map[int]uint64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

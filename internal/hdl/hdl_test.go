@@ -1,0 +1,210 @@
+package hdl
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+	"zoomie/internal/workloads"
+)
+
+const sample = `
+# a counter with a child adder and a small memory
+module adder {
+  input a 8
+  input b 8
+  output s 8
+  assign s (+ a b)
+}
+module top {
+  input en 1
+  output q 8
+  wire w 8
+  reg cnt 8 clock=clk init=0x3 next=w enable=en
+  mem scratch width=8 depth=16 { init 0=0x11 3=0x33 write clk addr=(slice cnt 3 0) data=cnt enable=en }
+  inst add0 adder { a=cnt b=(const 8 1) s->w }
+  assign q (mux en cnt (memread scratch (const 4 3)))
+}
+design demo top
+`
+
+func TestParseAndSimulate(t *testing.T) {
+	d, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name != "demo" || d.Top.Name != "top" {
+		t.Fatalf("design header wrong: %s/%s", d.Name, d.Top.Name)
+	}
+	f, err := rtl.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(f, []sim.ClockSpec{{Name: "clk", Period: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With en=0, q muxes to scratch[3] = 0x33.
+	s.Poke("en", 0)
+	if v, _ := s.Peek("q"); v != 0x33 {
+		t.Errorf("q = %#x with en=0, want 0x33", v)
+	}
+	// With en=1 the counter runs from its init of 3.
+	s.Poke("en", 1)
+	if v, _ := s.Peek("q"); v != 3 {
+		t.Errorf("q = %d, want init 3", v)
+	}
+	s.Run(5)
+	if v, _ := s.Peek("q"); v != 8 {
+		t.Errorf("q = %d after 5 cycles, want 8", v)
+	}
+	// The memory recorded the counter's walk.
+	if v, _ := s.PeekMem("scratch", 5); v != 5 {
+		t.Errorf("scratch[5] = %d, want 5", v)
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	d, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text1 := Print(d)
+	d2, err := Parse(text1)
+	if err != nil {
+		t.Fatalf("printed form does not parse: %v\n%s", err, text1)
+	}
+	text2 := Print(d2)
+	if text1 != text2 {
+		t.Errorf("print/parse/print not a fixed point:\n--- first ---\n%s\n--- second ---\n%s", text1, text2)
+	}
+}
+
+func TestRoundTripBehaviourEquivalence(t *testing.T) {
+	d1, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Parse(Print(d1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(d *rtl.Design) []uint64 {
+		f, err := rtl.Elaborate(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(f, []sim.ClockSpec{{Name: "clk", Period: 1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.Poke("en", 1)
+		var trace []uint64
+		for i := 0; i < 20; i++ {
+			v, _ := s.Peek("q")
+			trace = append(trace, v)
+			s.Tick()
+		}
+		return trace
+	}
+	t1, t2 := run(d1), run(d2)
+	for i := range t1 {
+		if t1[i] != t2[i] {
+			t.Fatalf("traces diverge at cycle %d: %d vs %d", i, t1[i], t2[i])
+		}
+	}
+}
+
+func TestPrintWorkloadsRoundTrip(t *testing.T) {
+	// The bundled evaluation designs all survive the text format.
+	for _, d := range []*rtl.Design{
+		workloads.CohortAccel(true),
+		workloads.ExceptionSoC(workloads.HangingExceptionProgram()),
+		workloads.NetStack(),
+		workloads.ManycoreSoC(16),
+	} {
+		text := Print(d)
+		d2, err := Parse(text)
+		if err != nil {
+			t.Fatalf("%s: printed form does not parse: %v", d.Name, err)
+		}
+		if Print(d2) != text {
+			t.Errorf("%s: not a print fixed point", d.Name)
+		}
+		if _, err := rtl.Elaborate(d2); err != nil {
+			t.Errorf("%s: reparsed design does not elaborate: %v", d.Name, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no design":        "module m { input a 1 output b 1 assign b a }",
+		"unknown top":      "module m { input a 1 output b 1 assign b a } design d nosuch",
+		"dup module":       "module m { input a 1 output o 1 assign o a } module m { input a 1 output o 1 assign o a } design d m",
+		"unknown signal":   "module m { output b 1 assign b nosuch } design d m",
+		"unknown module":   "module m { output b 1 wire w 1 inst i phantom { } assign b w } design d m",
+		"bad width":        "module m { input a xyz } design d m",
+		"unknown operator": "module m { input a 1 output b 1 assign b (frob a) } design d m",
+		"unknown mem":      "module m { input a 4 output b 8 assign b (memread ghost a) } design d m",
+	}
+	for name, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%s: parse should fail", name)
+		}
+	}
+}
+
+func TestCommentsIgnored(t *testing.T) {
+	src := strings.ReplaceAll(sample, "module adder", "# intro\nmodule adder")
+	if _, err := Parse(src); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShippedTrafficLightDesign(t *testing.T) {
+	src, err := os.ReadFile("../../designs/traffic_light.zrtl")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := rtl.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(f, []sim.ClockSpec{{Name: "clk", Period: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Poke("tick", 1)
+	s.Poke("ped_req", 0)
+	// Phases are 10 cycles: green (0), then yellow (1), then red (2).
+	s.Run(5)
+	if v, _ := s.Peek("state"); v != 0 {
+		t.Errorf("state = %d mid-green, want 0", v)
+	}
+	s.Run(10)
+	if v, _ := s.Peek("state"); v != 1 {
+		t.Errorf("state = %d in yellow phase, want 1", v)
+	}
+	s.Run(10)
+	if v, _ := s.Peek("state"); v != 2 {
+		t.Errorf("state = %d in red phase, want 2", v)
+	}
+	// A pedestrian request latches and clears at the end of red.
+	s.Poke("ped_req", 1)
+	s.Run(1)
+	s.Poke("ped_req", 0)
+	if v, _ := s.Peek("ped_wait"); v != 1 {
+		t.Error("pedestrian request not latched")
+	}
+	s.Run(10)
+	if v, _ := s.Peek("ped_wait"); v != 0 {
+		t.Error("pedestrian latch not cleared by the red phase")
+	}
+}

@@ -1,0 +1,134 @@
+package hdl
+
+import (
+	"fmt"
+	"strings"
+
+	"zoomie/internal/rtl"
+)
+
+// Print serializes a design to the .zrtl format. Modules are emitted in
+// dependency order (children before users) so the output always parses.
+func Print(d *rtl.Design) string {
+	var order []*rtl.Module
+	seen := make(map[*rtl.Module]bool)
+	var visit func(m *rtl.Module)
+	visit = func(m *rtl.Module) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		for _, inst := range m.Instances {
+			visit(inst.Module)
+		}
+		order = append(order, m)
+	}
+	visit(d.Top)
+
+	var b strings.Builder
+	for _, m := range order {
+		printModule(&b, m)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "design %s %s\n", d.Name, d.Top.Name)
+	return b.String()
+}
+
+func printModule(b *strings.Builder, m *rtl.Module) {
+	fmt.Fprintf(b, "module %s {\n", m.Name)
+	for _, s := range m.Signals {
+		switch s.Kind {
+		case rtl.KindInput:
+			fmt.Fprintf(b, "  input %s %d\n", s.Name, s.Width)
+		case rtl.KindOutput:
+			fmt.Fprintf(b, "  output %s %d\n", s.Name, s.Width)
+		case rtl.KindWire:
+			fmt.Fprintf(b, "  wire %s %d\n", s.Name, s.Width)
+		case rtl.KindReg:
+			r := m.RegOf(s)
+			fmt.Fprintf(b, "  reg %s %d clock=%s init=%#x", s.Name, s.Width, r.Clock, r.Init)
+			if r.Next.Width != 0 {
+				fmt.Fprintf(b, " next=%s", printExpr(r.Next))
+			}
+			if r.Enable.Width != 0 {
+				fmt.Fprintf(b, " enable=%s", printExpr(r.Enable))
+			}
+			if r.Reset.Width != 0 {
+				fmt.Fprintf(b, " reset=%s", printExpr(r.Reset))
+			}
+			b.WriteByte('\n')
+		}
+	}
+	for _, mem := range m.Memories {
+		fmt.Fprintf(b, "  mem %s width=%d depth=%d {", mem.Name, mem.Width, mem.Depth)
+		if len(mem.Init) > 0 {
+			b.WriteString(" init")
+			for _, k := range sortedInitKeys(mem.Init) {
+				fmt.Fprintf(b, " %d=%#x", k, mem.Init[k])
+			}
+		}
+		for _, w := range mem.Writes {
+			fmt.Fprintf(b, " write %s addr=%s data=%s enable=%s",
+				w.Clock, printExpr(w.Addr), printExpr(w.Data), printExpr(w.Enable))
+		}
+		b.WriteString(" }\n")
+	}
+	for _, a := range m.Assigns {
+		fmt.Fprintf(b, "  assign %s %s\n", a.Dst.Name, printExpr(a.Src))
+	}
+	for _, inst := range m.Instances {
+		fmt.Fprintf(b, "  inst %s %s {", inst.Name, inst.Module.Name)
+		ins, outs := inst.Module.Ports()
+		for _, in := range ins {
+			if e, ok := inst.Inputs[in.Name]; ok {
+				fmt.Fprintf(b, " %s=%s", in.Name, printExpr(e))
+			}
+		}
+		for _, out := range outs {
+			if dst, ok := inst.Outputs[out.Name]; ok {
+				fmt.Fprintf(b, " %s->%s", out.Name, dst.Name)
+			}
+		}
+		b.WriteString(" }\n")
+	}
+	b.WriteString("}\n")
+}
+
+var opNames = map[rtl.Op]string{
+	rtl.OpAdd: "+", rtl.OpSub: "-", rtl.OpMul: "*",
+	rtl.OpAnd: "&", rtl.OpOr: "|", rtl.OpXor: "^",
+	rtl.OpEq: "==", rtl.OpNe: "!=", rtl.OpLt: "<", rtl.OpLe: "<=",
+}
+
+func printExpr(e rtl.Expr) string {
+	switch e.Op {
+	case rtl.OpConst:
+		return fmt.Sprintf("(const %d %#x)", e.Width, e.Val)
+	case rtl.OpSig:
+		return e.Sig.Name
+	case rtl.OpNot:
+		return fmt.Sprintf("(~ %s)", printExpr(e.Args[0]))
+	case rtl.OpShl:
+		return fmt.Sprintf("(<< %s %d)", printExpr(e.Args[0]), e.Lo)
+	case rtl.OpShr:
+		return fmt.Sprintf("(>> %s %d)", printExpr(e.Args[0]), e.Lo)
+	case rtl.OpMux:
+		return fmt.Sprintf("(mux %s %s %s)",
+			printExpr(e.Args[0]), printExpr(e.Args[1]), printExpr(e.Args[2]))
+	case rtl.OpSlice:
+		return fmt.Sprintf("(slice %s %d %d)", printExpr(e.Args[0]), e.Hi, e.Lo)
+	case rtl.OpConcat:
+		return fmt.Sprintf("(cat %s %s)", printExpr(e.Args[0]), printExpr(e.Args[1]))
+	case rtl.OpRedOr:
+		return fmt.Sprintf("(redor %s)", printExpr(e.Args[0]))
+	case rtl.OpRedAnd:
+		return fmt.Sprintf("(redand %s)", printExpr(e.Args[0]))
+	case rtl.OpMemRead:
+		return fmt.Sprintf("(memread %s %s)", e.Mem.Name, printExpr(e.Args[0]))
+	default:
+		if name, ok := opNames[e.Op]; ok {
+			return fmt.Sprintf("(%s %s %s)", name, printExpr(e.Args[0]), printExpr(e.Args[1]))
+		}
+		return fmt.Sprintf("(?op%d)", int(e.Op))
+	}
+}

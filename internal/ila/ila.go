@@ -1,0 +1,238 @@
+// Package ila implements the baseline Zoomie is evaluated against: a
+// vendor-style Integrated Logic Analyzer (§2.1, §5.5). An ILA is
+// print-style debugging in hardware — a fixed, compile-time-chosen set of
+// probed signals is sampled into a BRAM capture buffer when a trigger
+// condition fires, and the window is uploaded over JTAG afterwards.
+//
+// Its limitations are the paper's motivation, and they are faithfully
+// present here:
+//
+//   - the probe list is burned in at compilation: observing a different
+//     signal means recompiling the whole design (hours);
+//   - only a short window of cycles around the trigger is visible;
+//   - the design cannot be paused, stepped or mutated;
+//   - probes and buffer cost real FPGA resources per instance.
+package ila
+
+import (
+	"fmt"
+
+	"zoomie/internal/rtl"
+)
+
+// Probe selects one output port of the user top module for capture.
+type Probe struct {
+	Signal string
+	Width  int // filled by Instrument
+}
+
+// Config sizes an ILA insertion.
+type Config struct {
+	// Probes are the signals captured each cycle; their combined width
+	// is limited by the capture memory word (64 bits), mirroring how
+	// real ILAs force designers to ration probes.
+	Probes []string
+	// Depth is the capture window in cycles (default 64).
+	Depth int
+	// TriggerSignal/TriggerValue start the capture when the probed
+	// signal equals the value. TriggerSignal must be one of Probes.
+	TriggerSignal string
+	TriggerValue  uint64
+	// UserClock defaults to "clk".
+	UserClock string
+}
+
+// Meta describes an inserted ILA for the host-side waveform decoder.
+type Meta struct {
+	Probes    []Probe
+	Depth     int
+	UserClock string
+
+	// BufferName is the flat name of the capture memory; CtrlPrefix is
+	// the instance path of the ILA ("zila").
+	BufferName string
+	CtrlPrefix string
+	offsets    []int
+}
+
+// Prefix is the ILA's instance name in instrumented designs.
+const Prefix = "zila"
+
+// Instrument wraps a user design with an ILA. Unlike the Debug
+// Controller, nothing here can pause or mutate the design: the ILA
+// observes its fixed probe list and that is all.
+func Instrument(d *rtl.Design, cfg Config) (*rtl.Design, *Meta, error) {
+	if cfg.UserClock == "" {
+		cfg.UserClock = "clk"
+	}
+	if cfg.Depth == 0 {
+		cfg.Depth = 64
+	}
+	if len(cfg.Probes) == 0 {
+		return nil, nil, fmt.Errorf("ila: at least one probe is required")
+	}
+	user := d.Top
+	_, outs := user.Ports()
+	outByName := make(map[string]*rtl.Signal, len(outs))
+	for _, o := range outs {
+		outByName[o.Name] = o
+	}
+
+	meta := &Meta{Depth: cfg.Depth, UserClock: cfg.UserClock, CtrlPrefix: Prefix}
+	total := 0
+	trigIdx := -1
+	for _, p := range cfg.Probes {
+		sig := outByName[p]
+		if sig == nil {
+			return nil, nil, fmt.Errorf("ila: probe %q is not an output of %s", p, user.Name)
+		}
+		if p == cfg.TriggerSignal {
+			trigIdx = len(meta.Probes)
+		}
+		meta.offsets = append(meta.offsets, total)
+		meta.Probes = append(meta.Probes, Probe{Signal: p, Width: sig.Width})
+		total += sig.Width
+	}
+	if total > rtl.MaxWidth {
+		return nil, nil, fmt.Errorf("ila: probe widths total %d bits, capture word holds %d — remove probes (the classic ILA rationing problem)",
+			total, rtl.MaxWidth)
+	}
+	if cfg.TriggerSignal != "" && trigIdx < 0 {
+		return nil, nil, fmt.Errorf("ila: trigger %q is not in the probe list", cfg.TriggerSignal)
+	}
+
+	ctrl := controllerModule(meta, cfg, trigIdx, total)
+
+	top := rtl.NewModule(d.Name + "_ila")
+	userInputs, _ := user.Ports()
+	dut := top.Instantiate("dut", user)
+	for _, in := range userInputs {
+		ti := top.Input(in.Name, in.Width)
+		dut.ConnectInput(in.Name, rtl.S(ti))
+	}
+	outWires := make(map[string]*rtl.Signal, len(outs))
+	for _, out := range outs {
+		w := top.Wire("dut_"+out.Name, out.Width)
+		dut.ConnectOutput(out.Name, w)
+		to := top.Output(out.Name, out.Width)
+		top.Connect(to, rtl.S(w))
+		outWires[out.Name] = w
+	}
+	ci := top.Instantiate(Prefix, ctrl)
+	for i, p := range meta.Probes {
+		ci.ConnectInput(fmt.Sprintf("probe%d", i), rtl.S(outWires[p.Signal]))
+	}
+	doneW := top.Wire("zila_done", 1)
+	ci.ConnectOutput("done", doneW)
+	doneOut := top.Output("ila_done", 1)
+	top.Connect(doneOut, rtl.S(doneW))
+
+	meta.BufferName = Prefix + ".capture"
+	return rtl.NewDesign(d.Name, top), meta, nil
+}
+
+// controllerModule builds the capture FSM: wait for trigger, then record
+// Depth samples into the BRAM buffer.
+func controllerModule(meta *Meta, cfg Config, trigIdx, total int) *rtl.Module {
+	m := rtl.NewModule("ila_ctrl")
+	var probes []*rtl.Signal
+	for i, p := range meta.Probes {
+		probes = append(probes, m.Input(fmt.Sprintf("probe%d", i), p.Width))
+	}
+	done := m.Output("done", 1)
+
+	// Sample word: concatenation of all probes (probe0 in the low bits).
+	word := rtl.S(probes[0])
+	for _, p := range probes[1:] {
+		word = rtl.Concat(rtl.S(p), word)
+	}
+
+	trig := rtl.C(1, 1) // trigger immediately when unconfigured
+	if cfg.TriggerSignal != "" {
+		trig = rtl.Eq(rtl.S(probes[trigIdx]), rtl.C(cfg.TriggerValue, probes[trigIdx].Width))
+	}
+
+	addrBits := 1
+	for 1<<addrBits < cfg.Depth {
+		addrBits++
+	}
+	armed := m.Reg("armed", 1, cfg.UserClock, 1)
+	capturing := m.Reg("capturing", 1, cfg.UserClock, 0)
+	full := m.Reg("full", 1, cfg.UserClock, 0)
+	wr := m.Reg("wr_ptr", addrBits+1, cfg.UserClock, 0)
+
+	start := m.Wire("start", 1)
+	m.Connect(start, rtl.And(rtl.S(armed), trig))
+	m.SetNext(armed, rtl.Mux(rtl.S(start), rtl.C(0, 1), rtl.S(armed)))
+
+	active := m.Wire("active", 1)
+	m.Connect(active, rtl.Or(rtl.S(start), rtl.S(capturing)))
+	last := m.Wire("last", 1)
+	m.Connect(last, rtl.Eq(rtl.S(wr), rtl.C(uint64(cfg.Depth-1), addrBits+1)))
+
+	m.SetNext(capturing, rtl.And(rtl.S(active), rtl.Not(rtl.S(last))))
+	m.SetNext(full, rtl.Or(rtl.S(full), rtl.And(rtl.S(active), rtl.S(last))))
+	m.SetNext(wr, rtl.Add(rtl.S(wr), rtl.C(1, addrBits+1)))
+	m.SetEnable(wr, rtl.And(rtl.S(active), rtl.Not(rtl.S(full))))
+
+	buf := m.Mem("capture", total, cfg.Depth)
+	buf.Write(cfg.UserClock,
+		rtl.ZeroExt(rtl.Slice(rtl.S(wr), addrBits-1, 0), addrBits),
+		word,
+		rtl.And(rtl.S(active), rtl.Not(rtl.S(full))))
+
+	m.Connect(done, rtl.S(full))
+	return m
+}
+
+// Decode splits one captured word into per-probe values.
+func (meta *Meta) Decode(word uint64) map[string]uint64 {
+	out := make(map[string]uint64, len(meta.Probes))
+	for i, p := range meta.Probes {
+		out[p.Signal] = (word >> uint(meta.offsets[i])) & rtl.Mask(p.Width)
+	}
+	return out
+}
+
+// MemReader uploads capture-buffer words; *dbg.Debugger satisfies it.
+type MemReader interface {
+	PeekMem(name string, addr int) (uint64, error)
+	Peek(name string) (uint64, error)
+}
+
+// Upload retrieves the capture window over JTAG and decodes it. It fails
+// if the trigger has not fired and filled the buffer yet — an ILA shows
+// nothing until its window completes, unlike Zoomie's on-demand readback.
+func (meta *Meta) Upload(r MemReader) (*Waveform, error) {
+	full, err := r.Peek(meta.CtrlPrefix + ".full")
+	if err != nil {
+		return nil, err
+	}
+	if full == 0 {
+		return nil, fmt.Errorf("ila: capture window not complete (trigger never fired?)")
+	}
+	w := &Waveform{Probes: meta.Probes}
+	for i := 0; i < meta.Depth; i++ {
+		word, err := r.PeekMem(meta.BufferName, i)
+		if err != nil {
+			return nil, err
+		}
+		w.Rows = append(w.Rows, meta.Decode(word))
+	}
+	return w, nil
+}
+
+// Waveform is an uploaded capture window: one row per cycle.
+type Waveform struct {
+	Probes []Probe
+	Rows   []map[string]uint64
+}
+
+// Row returns the value of one probe at one captured cycle.
+func (w *Waveform) Row(cycle int, signal string) (uint64, bool) {
+	if cycle < 0 || cycle >= len(w.Rows) {
+		return 0, false
+	}
+	v, ok := w.Rows[cycle][signal]
+	return v, ok
+}

@@ -1,0 +1,180 @@
+// Package jtag connects Zoomie's host software to an FPGA board: it
+// adapts the board model to the bitstream microcontroller chain and
+// exposes a Cable with the operations the debugger issues — executing
+// configuration streams, reading back frame ranges, and controlling the
+// clock. All host/board interaction flows through this package, mirroring
+// how everything reaches real hardware through the JTAG port.
+package jtag
+
+import (
+	"fmt"
+	"time"
+
+	"zoomie/internal/bitstream"
+	"zoomie/internal/fpga"
+)
+
+// boardBackend adapts *fpga.Board to bitstream.Backend.
+type boardBackend struct {
+	board *fpga.Board
+}
+
+func (b boardBackend) NumSLRs() int    { return len(b.board.Device.SLRs) }
+func (b boardBackend) Primary() int    { return b.board.Device.Primary }
+func (b boardBackend) FrameWords() int { return fpga.FrameWords }
+func (b boardBackend) FramesIn(slr int) int {
+	return b.board.Device.SLRs[slr].Frames
+}
+func (b boardBackend) WriteFrame(slr, frame int, data []uint32) error {
+	return b.board.WriteFrame(slr, frame, data)
+}
+func (b boardBackend) ReadFrame(slr, frame int) ([]uint32, error) {
+	return b.board.ReadFrame(slr, frame)
+}
+func (b boardBackend) IDCode(slr int) uint32 {
+	return bitstream.IDCodeFor(b.board.Device.Name, slr)
+}
+
+func (b boardBackend) WriteCTL(slr int, v uint32) error {
+	// Control writes act device-wide but are only honored when directed at
+	// the primary SLR, which commands the others (§4.6).
+	if slr != b.board.Device.Primary {
+		return fmt.Errorf("jtag: CTL write to secondary SLR %d ignored by hardware", slr)
+	}
+	if v&bitstream.CtlGSRPulse != 0 {
+		b.board.ApplyGSR()
+	}
+	if v&bitstream.CtlClockRun != 0 {
+		b.board.StartClock()
+	} else {
+		b.board.StopClock()
+	}
+	return nil
+}
+
+func (b boardBackend) WriteMask(slr int, v uint32) error {
+	if v == 0 {
+		b.board.SetGSRMask(nil)
+		return nil
+	}
+	if !b.board.Configured() {
+		return fmt.Errorf("jtag: MASK write before configuration")
+	}
+	idx := int(v) - 1
+	regions := b.board.Image.Regions
+	if idx < 0 || idx >= len(regions) {
+		return fmt.Errorf("jtag: MASK selects missing region %d", idx)
+	}
+	r := regions[idx]
+	b.board.SetGSRMask(&r)
+	return nil
+}
+
+// Cable is the host's handle on the board's configuration port.
+type Cable struct {
+	Board *fpga.Board
+	Chain *bitstream.Chain
+}
+
+// Connect attaches a cable to a board using the default cost model.
+func Connect(board *fpga.Board) *Cable {
+	return ConnectWithCost(board, bitstream.DefaultCostModel())
+}
+
+// ConnectWithCost attaches a cable with an explicit configuration-plane
+// cost model.
+func ConnectWithCost(board *fpga.Board, cost bitstream.CostModel) *Cable {
+	return &Cable{
+		Board: board,
+		Chain: bitstream.NewChain(boardBackend{board}, cost),
+	}
+}
+
+// Execute runs a configuration stream through the µc chain.
+func (c *Cable) Execute(stream []uint32) ([]uint32, error) {
+	return c.Chain.Execute(stream)
+}
+
+// ReadbackFrames reads the given frame addresses of one SLR, returning
+// frame contents in the same order. It issues one BOUT selection for the
+// SLR and coalesces runs of consecutive addresses into single multi-frame
+// FDRO reads — the SLR-aware optimization of §4.7 ("scan each SLR only
+// once", "only the regions that contain the MUT").
+func (c *Cable) ReadbackFrames(slr int, frames []int) ([][]uint32, error) {
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	hops := c.Board.Device.Hops(slr)
+	b := bitstream.NewBuilder().Sync().SelectSLR(hops)
+	// Coalesce consecutive frames.
+	start := frames[0]
+	run := 1
+	flush := func() {
+		b.ReadFrames(fpga.FrameWords, start, run)
+	}
+	for _, f := range frames[1:] {
+		if f == start+run {
+			run++
+			continue
+		}
+		flush()
+		start, run = f, 1
+	}
+	flush()
+	words, err := c.Execute(b.Words())
+	if err != nil {
+		return nil, err
+	}
+	if len(words) != len(frames)*fpga.FrameWords {
+		return nil, fmt.Errorf("jtag: readback returned %d words, want %d",
+			len(words), len(frames)*fpga.FrameWords)
+	}
+	out := make([][]uint32, len(frames))
+	for i := range out {
+		out[i] = words[i*fpga.FrameWords : (i+1)*fpga.FrameWords]
+	}
+	return out, nil
+}
+
+// WritebackFrames writes the given frames of one SLR (partial
+// reconfiguration).
+func (c *Cable) WritebackFrames(slr int, frames []int, data [][]uint32) error {
+	if len(frames) != len(data) {
+		return fmt.Errorf("jtag: %d frame addresses but %d frames", len(frames), len(data))
+	}
+	if len(frames) == 0 {
+		return nil
+	}
+	hops := c.Board.Device.Hops(slr)
+	b := bitstream.NewBuilder().Sync().SelectSLR(hops)
+	for i, f := range frames {
+		b.WriteFrames(fpga.FrameWords, f, data[i])
+	}
+	_, err := c.Execute(b.Words())
+	return err
+}
+
+// StartClock starts the global clock (and pulses GSR) through the primary
+// SLR's control register.
+func (c *Cable) StartClock() error {
+	_, err := c.Execute(bitstream.NewBuilder().Sync().StartClock().Words())
+	return err
+}
+
+// StopClock halts the global clock.
+func (c *Cable) StopClock() error {
+	_, err := c.Execute(bitstream.NewBuilder().Sync().StopClock().Words())
+	return err
+}
+
+// ClearGSRMask clears the GSR mask register (issued before readback).
+func (c *Cable) ClearGSRMask() error {
+	_, err := c.Execute(bitstream.NewBuilder().Sync().ClearGSRMask().Words())
+	return err
+}
+
+// Elapsed returns the modeled configuration-plane time accumulated so far.
+func (c *Cable) Elapsed() time.Duration { return c.Chain.Elapsed }
+
+// ResetStats clears accumulated timing and counters.
+func (c *Cable) ResetStats() { c.Chain.ResetStats() }

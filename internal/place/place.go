@@ -1,0 +1,453 @@
+// Package place assigns synthesized cells to tiles of an FPGA device,
+// honoring VTI's partition discipline: every iterated (debuggable)
+// partition gets its own reserved rectangular region, sized by the
+// over-provisioning formula ER = resource × (1 + c) and constrained to a
+// single SLR so the debugged logic never crosses a chiplet boundary
+// (paper §3.5). The static remainder of the design fills the rest of the
+// device. Placement also produces the StateMap — the logic-location
+// metadata that lets readback data be matched to RTL names.
+package place
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/synth"
+)
+
+// DefaultOverProvision is the default over-provisioning coefficient c.
+const DefaultOverProvision = 0.30
+
+// StaticPartition is the reserved name for all logic not assigned to an
+// iterated partition.
+const StaticPartition = "static"
+
+// PartitionSpec names one iterated partition: the designer's declaration
+// of which instance subtrees they intend to recompile during debugging.
+type PartitionSpec struct {
+	Name  string
+	Paths []string // instance paths included in the partition
+	// OverProvision is the coefficient c; 0 means DefaultOverProvision.
+	OverProvision float64
+}
+
+func (p PartitionSpec) c() float64 {
+	if p.OverProvision == 0 {
+		return DefaultOverProvision
+	}
+	return p.OverProvision
+}
+
+// TilePos locates a cell on the device.
+type TilePos struct {
+	SLR, Row, Col int
+}
+
+// Placement is the result of placing a design.
+type Placement struct {
+	Device *fpga.Device
+
+	// Regions maps each partition name to its reserved regions. Iterated
+	// partitions have exactly one region; the static partition may have
+	// one region per SLR.
+	Regions map[string][]fpga.Region
+
+	// CellTile locates every flat cell.
+	CellTile map[string]TilePos
+
+	// PartitionOf maps flat cell names to their partition.
+	PartitionOf map[string]string
+
+	// Usage is per-partition resource usage (without over-provisioning).
+	Usage map[string]fpga.ResourceVec
+
+	// Utilization is the per-partition ratio of usage to reserved region
+	// capacity, per resource — the congestion input to the timing model.
+	Utilization map[string]float64
+
+	// StateMap locates every register and memory in the frame plane.
+	StateMap *fpga.StateMap
+
+	// WorkUnits counts placement effort (cells placed, swaps attempted).
+	WorkUnits int64
+}
+
+// DebugSLR returns the SLR hosting the named iterated partition, or -1.
+func (p *Placement) DebugSLR(partition string) int {
+	rs := p.Regions[partition]
+	if len(rs) == 0 {
+		return -1
+	}
+	return rs[0].SLR
+}
+
+// Place places the netlist onto the device. Iterated partitions are
+// placed first, all on one SLR; static logic fills remaining space on all
+// SLRs. Passing no specs places the whole design as static.
+func Place(net *synth.ModuleNetlist, dev *fpga.Device, specs []PartitionSpec) (*Placement, error) {
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
+	}
+	p := &Placement{
+		Device:      dev,
+		Regions:     make(map[string][]fpga.Region),
+		CellTile:    make(map[string]TilePos),
+		PartitionOf: make(map[string]string),
+		Usage:       make(map[string]fpga.ResourceVec),
+		Utilization: make(map[string]float64),
+		StateMap:    fpga.NewStateMap(),
+	}
+
+	// Pass 1: bucket cells by partition and accumulate usage.
+	buckets := make(map[string][]synth.FlatCell)
+	net.Flatten(func(c synth.FlatCell) {
+		part := partitionFor(c, specs)
+		buckets[part] = append(buckets[part], c)
+		u := p.Usage[part]
+		u.Add(c.Res)
+		p.Usage[part] = u
+	})
+
+	// Pass 2: reserve regions. Iterated partitions share one SLR, chosen
+	// as the SLR with the most tiles free after fitting all of them.
+	nextRow := make([]int, len(dev.SLRs))
+	var iterated []string
+	for _, s := range specs {
+		iterated = append(iterated, s.Name)
+	}
+	sort.Strings(iterated)
+
+	if len(specs) > 0 {
+		debugSLR, err := chooseDebugSLR(dev, specs, p.Usage)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range iterated {
+			spec := specByName(specs, name)
+			rows, util, err := rowsFor(dev, debugSLR, p.Usage[name], spec.c())
+			if err != nil {
+				return nil, fmt.Errorf("place: partition %q: %w", name, err)
+			}
+			slr := dev.SLRs[debugSLR]
+			if nextRow[debugSLR]+rows > slr.Rows {
+				return nil, fmt.Errorf("place: partition %q does not fit on SLR %d", name, debugSLR)
+			}
+			region := fpga.Region{
+				Name: name, SLR: debugSLR,
+				Row: nextRow[debugSLR], Col: 0,
+				Rows: rows, Cols: slr.Cols,
+			}
+			nextRow[debugSLR] += rows
+			p.Regions[name] = []fpga.Region{region}
+			p.Utilization[name] = util
+		}
+	}
+
+	// Static regions: all remaining rows on every SLR.
+	var staticRegions []fpga.Region
+	var staticCap fpga.ResourceVec
+	for i, slr := range dev.SLRs {
+		if nextRow[i] >= slr.Rows {
+			continue
+		}
+		r := fpga.Region{
+			Name: StaticPartition, SLR: i,
+			Row: nextRow[i], Col: 0,
+			Rows: slr.Rows - nextRow[i], Cols: slr.Cols,
+		}
+		staticRegions = append(staticRegions, r)
+		staticCap.Add(r.Capacity(dev))
+	}
+	if u := p.Usage[StaticPartition]; !u.Fits(staticCap) {
+		return nil, fmt.Errorf("place: static logic %v exceeds remaining capacity %v", u, staticCap)
+	}
+	p.Regions[StaticPartition] = staticRegions
+	p.Utilization[StaticPartition] = utilization(p.Usage[StaticPartition], staticCap)
+
+	// Pass 3: assign cells to tiles and state to frames, region by region.
+	names := append([]string{}, iterated...)
+	names = append(names, StaticPartition)
+	for _, name := range names {
+		if err := p.placePartition(name, buckets[name]); err != nil {
+			return nil, err
+		}
+	}
+	return p, nil
+}
+
+func validateSpecs(specs []PartitionSpec) error {
+	seenName := make(map[string]bool)
+	seenPath := make(map[string]bool)
+	for _, s := range specs {
+		if s.Name == "" || s.Name == StaticPartition {
+			return fmt.Errorf("place: invalid partition name %q", s.Name)
+		}
+		if seenName[s.Name] {
+			return fmt.Errorf("place: duplicate partition %q", s.Name)
+		}
+		seenName[s.Name] = true
+		if len(s.Paths) == 0 {
+			return fmt.Errorf("place: partition %q has no instance paths", s.Name)
+		}
+		for _, path := range s.Paths {
+			if seenPath[path] {
+				return fmt.Errorf("place: instance path %q in two partitions", path)
+			}
+			seenPath[path] = true
+		}
+	}
+	return nil
+}
+
+func specByName(specs []PartitionSpec, name string) PartitionSpec {
+	for _, s := range specs {
+		if s.Name == name {
+			return s
+		}
+	}
+	return PartitionSpec{}
+}
+
+// partitionFor assigns a cell to the partition whose path prefix matches.
+func partitionFor(c synth.FlatCell, specs []PartitionSpec) string {
+	for _, s := range specs {
+		for _, path := range s.Paths {
+			if c.Path == path || strings.HasPrefix(c.Path, path+".") {
+				return s.Name
+			}
+		}
+	}
+	return StaticPartition
+}
+
+// chooseDebugSLR picks the SLR hosting all iterated partitions: the one
+// whose capacity covers their combined over-provisioned demand with the
+// most slack. Debugged modules deliberately share one chiplet (§3.5).
+func chooseDebugSLR(dev *fpga.Device, specs []PartitionSpec, usage map[string]fpga.ResourceVec) (int, error) {
+	var demand fpga.ResourceVec
+	for _, s := range specs {
+		u := usage[s.Name]
+		for i := range u {
+			u[i] = int(float64(u[i]) * (1 + s.c()))
+		}
+		demand.Add(u)
+	}
+	best, bestSlack := -1, -1.0
+	for i, slr := range dev.SLRs {
+		if !demand.Fits(slr.Capacity) {
+			continue
+		}
+		slack := 1 - utilization(demand, slr.Capacity)
+		if slack > bestSlack {
+			best, bestSlack = i, slack
+		}
+	}
+	if best < 0 {
+		return 0, fmt.Errorf("place: no SLR can host the debug partitions (demand %v)", demand)
+	}
+	return best, nil
+}
+
+// rowsFor sizes a partition's region: enough full-width rows that every
+// resource type satisfies Atotal >= max_resource ER (§3.5).
+func rowsFor(dev *fpga.Device, slrIdx int, usage fpga.ResourceVec, c float64) (rows int, util float64, err error) {
+	slr := dev.SLRs[slrIdx]
+	perRow := fpga.Region{SLR: slrIdx, Rows: 1, Cols: slr.Cols}.Capacity(dev)
+	rows = 1
+	for _, res := range fpga.Resources() {
+		if usage[res] == 0 {
+			continue
+		}
+		er := int(float64(usage[res]) * (1 + c))
+		if perRow[res] == 0 {
+			return 0, 0, fmt.Errorf("SLR %d has no %s capacity", slrIdx, res)
+		}
+		need := (er + perRow[res] - 1) / perRow[res]
+		if need > rows {
+			rows = need
+		}
+	}
+	if rows > slr.Rows {
+		return 0, 0, fmt.Errorf("needs %d rows, SLR has %d", rows, slr.Rows)
+	}
+	region := fpga.Region{SLR: slrIdx, Rows: rows, Cols: slr.Cols}
+	return rows, utilization(usage, region.Capacity(dev)), nil
+}
+
+// utilization returns the max per-resource usage/capacity ratio.
+func utilization(usage, capacity fpga.ResourceVec) float64 {
+	worst := 0.0
+	for i := range usage {
+		if capacity[i] == 0 {
+			continue
+		}
+		r := float64(usage[i]) / float64(capacity[i])
+		if r > worst {
+			worst = r
+		}
+	}
+	return worst
+}
+
+// placePartition spreads cells over the partition's region tiles
+// round-robin, allocates frame space for its state, and runs a bounded
+// deterministic refinement pass for small partitions.
+func (p *Placement) placePartition(name string, cells []synth.FlatCell) error {
+	regions := p.Regions[name]
+	if len(regions) == 0 {
+		if len(cells) == 0 {
+			return nil
+		}
+		return fmt.Errorf("place: partition %q has cells but no region", name)
+	}
+	// Enumerate tiles across all of the partition's regions.
+	var tiles []TilePos
+	for _, r := range regions {
+		for row := r.Row; row < r.Row+r.Rows; row++ {
+			for col := r.Col; col < r.Col+r.Cols; col++ {
+				tiles = append(tiles, TilePos{SLR: r.SLR, Row: row, Col: col})
+			}
+		}
+	}
+	// Frame allocators, one per region.
+	allocs := make([]*fpga.FrameAllocator, len(regions))
+	for i, r := range regions {
+		lo, hi := r.FrameRange(p.Device)
+		allocs[i] = fpga.NewFrameAllocator(r.SLR, lo, hi)
+	}
+	allocBits := func(width int) (fpga.BitAddr, error) {
+		var lastErr error
+		for _, a := range allocs {
+			addr, err := a.AllocBits(width)
+			if err == nil {
+				return addr, nil
+			}
+			lastErr = err
+		}
+		return fpga.BitAddr{}, lastErr
+	}
+	allocFrames := func(n int) (int, int, error) {
+		var lastErr error
+		for i, a := range allocs {
+			start, err := a.AllocFrames(n)
+			if err == nil {
+				return regions[i].SLR, start, nil
+			}
+			lastErr = err
+		}
+		return 0, 0, lastErr
+	}
+
+	// Dense monotonic packing: cells fill only as many tiles as their
+	// resources demand, in netlist order, so neighbouring cells land on
+	// the same or adjacent tiles — the locality a wirelength-driven placer
+	// converges to.
+	tilesNeeded := 1
+	if len(regions) > 0 {
+		perTile := regions[0].Capacity(p.Device)
+		for i := range perTile {
+			perTile[i] /= regions[0].Tiles()
+		}
+		usage := p.Usage[name]
+		for _, res := range fpga.Resources() {
+			if perTile[res] == 0 || usage[res] == 0 {
+				continue
+			}
+			if need := (usage[res] + perTile[res] - 1) / perTile[res]; need > tilesNeeded {
+				tilesNeeded = need
+			}
+		}
+		if tilesNeeded > len(tiles) {
+			tilesNeeded = len(tiles)
+		}
+	}
+	density := (len(cells) + tilesNeeded - 1) / tilesNeeded
+	if density < 1 {
+		density = 1
+	}
+	for i, c := range cells {
+		ti := i / density
+		if ti >= len(tiles) {
+			ti = len(tiles) - 1
+		}
+		pos := tiles[ti]
+		p.CellTile[c.Name] = pos
+		p.PartitionOf[c.Name] = name
+		p.WorkUnits++
+
+		if !c.IsState {
+			continue
+		}
+		if w := c.Res[fpga.FF]; w > 0 && c.Res[fpga.BRAM] == 0 && c.Res[fpga.LUTRAM] == 0 {
+			addr, err := allocBits(w)
+			if err != nil {
+				return fmt.Errorf("place: register %q: %w", c.Name, err)
+			}
+			if err := p.StateMap.AddReg(fpga.RegLoc{Name: c.Name, Width: w, Addr: addr}); err != nil {
+				return err
+			}
+			continue
+		}
+		if c.MemWidth > 0 {
+			loc := fpga.MemLoc{Name: c.Name, Width: c.MemWidth, Depth: c.MemDepth}
+			slr, start, err := allocFrames(loc.FrameCount())
+			if err != nil {
+				return fmt.Errorf("place: memory %q: %w", c.Name, err)
+			}
+			loc.SLR, loc.StartFrame = slr, start
+			if err := p.StateMap.AddMem(loc); err != nil {
+				return err
+			}
+		}
+	}
+
+	// Deterministic HPWL refinement for modest partitions: swap pairs and
+	// keep improvements. This is annealing's inner move at temperature
+	// zero, bounded so big static partitions stay cheap.
+	if len(cells) > 1 && len(cells) <= 2000 {
+		p.refine(cells)
+	}
+	return nil
+}
+
+// refine performs bounded greedy swap refinement on a partition's cells.
+func (p *Placement) refine(cells []synth.FlatCell) {
+	rng := rand.New(rand.NewSource(1))
+	cost := func(c synth.FlatCell) int64 {
+		pos := p.CellTile[c.Name]
+		var sum int64
+		for _, f := range c.Fanin {
+			if fp, ok := p.CellTile[f]; ok {
+				sum += int64(abs(pos.Row-fp.Row) + abs(pos.Col-fp.Col))
+			}
+		}
+		return sum
+	}
+	passes := 2
+	for pass := 0; pass < passes; pass++ {
+		for i := 0; i < len(cells); i++ {
+			j := rng.Intn(len(cells))
+			if i == j {
+				continue
+			}
+			a, b := cells[i], cells[j]
+			before := cost(a) + cost(b)
+			p.CellTile[a.Name], p.CellTile[b.Name] = p.CellTile[b.Name], p.CellTile[a.Name]
+			after := cost(a) + cost(b)
+			if after >= before {
+				p.CellTile[a.Name], p.CellTile[b.Name] = p.CellTile[b.Name], p.CellTile[a.Name]
+			}
+			p.WorkUnits++
+		}
+	}
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,244 @@
+package place
+
+import (
+	"strings"
+	"testing"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/synth"
+	"zoomie/internal/workloads"
+)
+
+func socNetlist(t *testing.T, cores int) *synth.ModuleNetlist {
+	t.Helper()
+	n, err := synth.Synthesize(workloads.ManycoreSoC(cores))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+func TestPlaceWholeDesignStatic(t *testing.T) {
+	net := socNetlist(t, 32)
+	pl, err := Place(net, fpga.NewU200(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	placed := 0
+	net.Flatten(func(c synth.FlatCell) {
+		if _, ok := pl.CellTile[c.Name]; ok {
+			placed++
+		}
+	})
+	if placed != net.TotalCellCount {
+		t.Errorf("placed %d of %d cells", placed, net.TotalCellCount)
+	}
+	if len(pl.Regions[StaticPartition]) == 0 {
+		t.Error("no static regions")
+	}
+}
+
+func TestPlaceWithPartition(t *testing.T) {
+	net := socNetlist(t, 32)
+	specs := []PartitionSpec{{Name: "mut", Paths: []string{workloads.CorePath(0, 0)}}}
+	pl, err := Place(net, fpga.NewU200(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regions := pl.Regions["mut"]
+	if len(regions) != 1 {
+		t.Fatalf("mut has %d regions, want 1", len(regions))
+	}
+	// All debug partitions live on one SLR; all partition cells must be
+	// inside the region.
+	r := regions[0]
+	net.Flatten(func(c synth.FlatCell) {
+		if pl.PartitionOf[c.Name] != "mut" {
+			return
+		}
+		pos := pl.CellTile[c.Name]
+		if !r.Contains(pos.SLR, pos.Row, pos.Col) {
+			t.Errorf("mut cell %q placed at %+v outside region %+v", c.Name, pos, r)
+		}
+		if !strings.HasPrefix(c.Name, "tile0.core0.") {
+			t.Errorf("cell %q wrongly assigned to mut", c.Name)
+		}
+	})
+	if pl.DebugSLR("mut") != r.SLR {
+		t.Error("DebugSLR mismatch")
+	}
+	if pl.DebugSLR("nosuch") != -1 {
+		t.Error("DebugSLR for missing partition should be -1")
+	}
+}
+
+func TestMultiplePartitionsShareOneSLR(t *testing.T) {
+	net := socNetlist(t, 32)
+	specs := []PartitionSpec{
+		{Name: "a", Paths: []string{workloads.CorePath(0, 0)}},
+		{Name: "b", Paths: []string{workloads.CorePath(0, 1)}},
+	}
+	pl, err := Place(net, fpga.NewU200(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pl.DebugSLR("a") != pl.DebugSLR("b") {
+		t.Errorf("debug partitions on different SLRs: %d vs %d", pl.DebugSLR("a"), pl.DebugSLR("b"))
+	}
+	if pl.Regions["a"][0].Overlaps(pl.Regions["b"][0]) {
+		t.Error("partition regions overlap")
+	}
+}
+
+func TestOverProvisionGrowsRegion(t *testing.T) {
+	net := socNetlist(t, 32)
+	small, err := Place(net, fpga.NewU200(), []PartitionSpec{
+		{Name: "mut", Paths: []string{workloads.ClusterPath(0)}, OverProvision: 0.15}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Place(net, fpga.NewU200(), []PartitionSpec{
+		{Name: "mut", Paths: []string{workloads.ClusterPath(0)}, OverProvision: 2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.Regions["mut"][0].Tiles() <= small.Regions["mut"][0].Tiles() {
+		t.Errorf("overprovision 2.5 region (%d tiles) not larger than 0.15 (%d tiles)",
+			big.Regions["mut"][0].Tiles(), small.Regions["mut"][0].Tiles())
+	}
+	if big.Utilization["mut"] >= small.Utilization["mut"] {
+		t.Error("larger region should have lower utilization")
+	}
+}
+
+func TestStateMapCoversAllState(t *testing.T) {
+	net := socNetlist(t, 16)
+	pl, err := Place(net, fpga.NewU200(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net.Flatten(func(c synth.FlatCell) {
+		if !c.IsState {
+			return
+		}
+		if c.MemWidth > 0 {
+			if _, ok := pl.StateMap.Mem(c.Name); !ok {
+				t.Errorf("memory %q missing from state map", c.Name)
+			}
+			return
+		}
+		if _, ok := pl.StateMap.Reg(c.Name); !ok {
+			t.Errorf("register %q missing from state map", c.Name)
+		}
+	})
+}
+
+func TestPartitionStateInsideRegionFrames(t *testing.T) {
+	net := socNetlist(t, 32)
+	specs := []PartitionSpec{{Name: "mut", Paths: []string{workloads.CorePath(0, 0)}}}
+	pl, err := Place(net, fpga.NewU200(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := pl.Regions["mut"][0]
+	lo, hi := r.FrameRange(fpga.NewU200())
+	for _, reg := range pl.StateMap.Regs {
+		if !strings.HasPrefix(reg.Name, "tile0.core0.") {
+			continue
+		}
+		if reg.Addr.SLR != r.SLR || reg.Addr.Frame < lo || reg.Addr.Frame >= hi {
+			t.Errorf("mut register %q placed at frame %d outside region [%d,%d)",
+				reg.Name, reg.Addr.Frame, lo, hi)
+		}
+	}
+}
+
+func TestValidateSpecs(t *testing.T) {
+	net := socNetlist(t, 16)
+	dev := fpga.NewU200()
+	cases := []struct {
+		name  string
+		specs []PartitionSpec
+	}{
+		{"empty name", []PartitionSpec{{Name: "", Paths: []string{"tile0"}}}},
+		{"static reserved", []PartitionSpec{{Name: "static", Paths: []string{"tile0"}}}},
+		{"dup name", []PartitionSpec{
+			{Name: "a", Paths: []string{"tile0"}},
+			{Name: "a", Paths: []string{"tile1"}}}},
+		{"dup path", []PartitionSpec{
+			{Name: "a", Paths: []string{"tile0"}},
+			{Name: "b", Paths: []string{"tile0"}}}},
+		{"no paths", []PartitionSpec{{Name: "a"}}},
+	}
+	for _, c := range cases {
+		if _, err := Place(net, dev, c.specs); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestDesignTooBigRejected(t *testing.T) {
+	// 12000 cores exceed the U200.
+	net := socNetlist(t, 12000)
+	if _, err := Place(net, fpga.NewU200(), nil); err == nil {
+		t.Error("oversized design accepted")
+	}
+}
+
+func TestReplaceKeepsStaticIntact(t *testing.T) {
+	net := socNetlist(t, 32)
+	specs := []PartitionSpec{{Name: "mut", Paths: []string{workloads.CorePath(0, 0)}}}
+	dev := fpga.NewU200()
+	pl, err := Place(net, dev, specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl2, work, err := Replace(pl, net, specs, "mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if work == 0 {
+		t.Error("replace did no work")
+	}
+	net.Flatten(func(c synth.FlatCell) {
+		if pl.PartitionOf[c.Name] == "mut" {
+			return
+		}
+		if pl2.CellTile[c.Name] != pl.CellTile[c.Name] {
+			t.Errorf("static cell %q moved during replace", c.Name)
+		}
+		if c.IsState && c.MemWidth == 0 {
+			a, _ := pl.StateMap.Reg(c.Name)
+			b, _ := pl2.StateMap.Reg(c.Name)
+			if a != b {
+				t.Errorf("static register %q relocated: %+v -> %+v", c.Name, a, b)
+			}
+		}
+	})
+}
+
+func TestReplaceRejectsUnknownPartition(t *testing.T) {
+	net := socNetlist(t, 16)
+	specs := []PartitionSpec{{Name: "mut", Paths: []string{workloads.CorePath(0, 0)}}}
+	pl, err := Place(net, fpga.NewU200(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Replace(pl, net, specs, "other"); err == nil {
+		t.Error("unknown partition accepted")
+	}
+}
+
+func TestReplaceRejectsChangesOutsidePartition(t *testing.T) {
+	specs := []PartitionSpec{{Name: "mut", Paths: []string{workloads.CorePath(0, 0)}}}
+	net := socNetlist(t, 16)
+	pl, err := Place(net, fpga.NewU200(), specs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A netlist with an extra cluster has new cells outside "mut".
+	bigger := socNetlist(t, 24)
+	if _, _, err := Replace(pl, bigger, specs, "mut"); err == nil {
+		t.Error("out-of-partition change accepted")
+	}
+}

@@ -1,0 +1,108 @@
+package place
+
+import (
+	"fmt"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/synth"
+)
+
+// Replace performs incremental placement: everything outside the changed
+// partition keeps its tile positions and frame addresses from the previous
+// placement; the changed partition is re-placed from scratch inside its
+// reserved region. The change must be confined to the declared partition —
+// a cell appearing or moving anywhere else is an error, matching VTI's
+// contract that recompilation scope is declared up front.
+func Replace(prev *Placement, net *synth.ModuleNetlist, specs []PartitionSpec, changed string) (*Placement, int64, error) {
+	spec, ok := lookupSpec(specs, changed)
+	if !ok {
+		return nil, 0, fmt.Errorf("place: no partition %q", changed)
+	}
+	regions := prev.Regions[changed]
+	if len(regions) == 0 {
+		return nil, 0, fmt.Errorf("place: partition %q has no reserved region", changed)
+	}
+
+	p := &Placement{
+		Device:      prev.Device,
+		Regions:     prev.Regions,
+		CellTile:    make(map[string]TilePos, len(prev.CellTile)),
+		PartitionOf: make(map[string]string, len(prev.PartitionOf)),
+		Usage:       make(map[string]fpga.ResourceVec, len(prev.Usage)),
+		Utilization: make(map[string]float64, len(prev.Utilization)),
+		StateMap:    fpga.NewStateMap(),
+	}
+	for k, v := range prev.Usage {
+		p.Usage[k] = v
+	}
+	for k, v := range prev.Utilization {
+		p.Utilization[k] = v
+	}
+
+	var bucket []synth.FlatCell
+	var usage fpga.ResourceVec
+	var err error
+	net.Flatten(func(c synth.FlatCell) {
+		if err != nil {
+			return
+		}
+		part := partitionFor(c, specs)
+		if part == changed {
+			bucket = append(bucket, c)
+			usage.Add(c.Res)
+			return
+		}
+		// Unchanged logic: positions and frame locations carry over.
+		pos, had := prev.CellTile[c.Name]
+		if !had {
+			err = fmt.Errorf("place: cell %q is new but lies outside partition %q", c.Name, changed)
+			return
+		}
+		p.CellTile[c.Name] = pos
+		p.PartitionOf[c.Name] = part
+		if !c.IsState {
+			return
+		}
+		if loc, ok := prev.StateMap.Reg(c.Name); ok {
+			err = p.StateMap.AddReg(loc)
+			return
+		}
+		if loc, ok := prev.StateMap.Mem(c.Name); ok {
+			err = p.StateMap.AddMem(loc)
+		}
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+
+	// The re-placed partition must still fit its reserved region with the
+	// original over-provisioning.
+	var capacity fpga.ResourceVec
+	for _, r := range regions {
+		capacity.Add(r.Capacity(prev.Device))
+	}
+	er := usage
+	for i := range er {
+		er[i] = int(float64(er[i]) * (1 + spec.c()))
+	}
+	if !er.Fits(capacity) {
+		return nil, 0, fmt.Errorf("place: partition %q grew beyond its reserved region (need %v, have %v)",
+			changed, er, capacity)
+	}
+	p.Usage[changed] = usage
+	p.Utilization[changed] = utilization(usage, capacity)
+
+	if err := p.placePartition(changed, bucket); err != nil {
+		return nil, 0, err
+	}
+	return p, p.WorkUnits, nil
+}
+
+func lookupSpec(specs []PartitionSpec, name string) (PartitionSpec, bool) {
+	for _, s := range specs {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return PartitionSpec{}, false
+}

@@ -1,0 +1,113 @@
+// Package route connects placed cells: every fanin of every cell becomes
+// a routed edge with a Manhattan wirelength, an SLR-crossing count, and a
+// congestion-scaled delay contribution. The router tracks per-tile channel
+// demand so that tightly packed partitions (small over-provisioning
+// coefficients) pay longer detours — the area/timing trade-off of §3.5.
+package route
+
+import (
+	"fmt"
+
+	"zoomie/internal/place"
+	"zoomie/internal/synth"
+)
+
+// Edge is one routed source->sink connection.
+type Edge struct {
+	From, To string // producer and consumer cell names
+	FromPos  place.TilePos
+	ToPos    place.TilePos
+	Dist     int // Manhattan tile distance
+	SLRHops  int // chiplet crossings
+}
+
+// Result is the routed design.
+type Result struct {
+	Edges []Edge
+
+	TotalWirelength int64
+	SLRCrossings    int
+	WorkUnits       int64
+
+	// MaxChannelLoad is the peak per-tile channel demand, and
+	// OverCongested counts tiles above channel capacity; both feed the
+	// delay model.
+	MaxChannelLoad int
+	OverCongested  int
+
+	// edgesByTo indexes edges by consumer for timing analysis.
+	edgesByTo map[string][]int
+}
+
+// ChannelCapacity is the per-tile routing channel capacity in edges; tiles
+// loaded beyond it are congested.
+const ChannelCapacity = 48
+
+// Route routes all cell fanins of the placed netlist. Fanins without a
+// placed producer (top-level inputs) are skipped; they are chip IOs.
+func Route(net *synth.ModuleNetlist, pl *place.Placement) (*Result, error) {
+	r := &Result{edgesByTo: make(map[string][]int)}
+	load := make(map[place.TilePos]int)
+	var err error
+	net.Flatten(func(c synth.FlatCell) {
+		if err != nil {
+			return
+		}
+		toPos, ok := pl.CellTile[c.Name]
+		if !ok {
+			err = fmt.Errorf("route: cell %q was never placed", c.Name)
+			return
+		}
+		for _, f := range c.Fanin {
+			fromPos, ok := pl.CellTile[f]
+			if !ok {
+				continue // primary input or constant
+			}
+			dist := abs(fromPos.Row-toPos.Row) + abs(fromPos.Col-toPos.Col)
+			hops := abs(fromPos.SLR - toPos.SLR)
+			e := Edge{
+				From: f, To: c.Name,
+				FromPos: fromPos, ToPos: toPos,
+				Dist: dist, SLRHops: hops,
+			}
+			r.edgesByTo[c.Name] = append(r.edgesByTo[c.Name], len(r.Edges))
+			r.Edges = append(r.Edges, e)
+			r.TotalWirelength += int64(dist)
+			r.SLRCrossings += hops
+			r.WorkUnits += int64(1 + dist/16)
+			// Channel demand is charged at both endpoints; a full
+			// path-based accounting would not change the shape.
+			load[fromPos]++
+			load[toPos]++
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, l := range load {
+		if l > r.MaxChannelLoad {
+			r.MaxChannelLoad = l
+		}
+		if l > ChannelCapacity {
+			r.OverCongested++
+		}
+	}
+	return r, nil
+}
+
+// FaninEdges returns the routed edges terminating at the named cell.
+func (r *Result) FaninEdges(cell string) []Edge {
+	idxs := r.edgesByTo[cell]
+	out := make([]Edge, len(idxs))
+	for i, idx := range idxs {
+		out[i] = r.Edges[idx]
+	}
+	return out
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,276 @@
+package rtl
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Flat is a fully elaborated design: one module with no instances, whose
+// signal names are dotted hierarchical paths rooted at the top module's
+// instance name ("" prefix: top-level signals keep their plain names).
+//
+// Flat is the interchange format between the front end and everything
+// downstream: the simulator executes it, synthesis maps it, and the
+// debugger's name table is derived from it.
+type Flat struct {
+	Name string
+	*Module
+	// InstanceModules maps each hierarchical instance path ("tile0",
+	// "tile0.cpu") to the name of the module it instantiates. The empty
+	// path maps to the top module. Partition specs in the VTI flow are
+	// resolved against this table.
+	InstanceModules map[string]string
+}
+
+// Elaborate flattens a design's module hierarchy. It is safe to
+// instantiate the same *Module many times; each instance gets its own copy
+// of every signal, register and memory.
+func Elaborate(d *Design) (*Flat, error) {
+	if d.Top == nil {
+		return nil, fmt.Errorf("rtl: design %q has no top module", d.Name)
+	}
+	flat := &Flat{
+		Name:            d.Name,
+		Module:          NewModule(d.Name),
+		InstanceModules: map[string]string{"": d.Top.Name},
+	}
+	e := &elaborator{flat: flat}
+	if err := e.expand(d.Top, "", nil); err != nil {
+		return nil, err
+	}
+	if err := Verify(flat.Module); err != nil {
+		return nil, fmt.Errorf("rtl: elaborated design invalid: %w", err)
+	}
+	return flat, nil
+}
+
+type elaborator struct {
+	flat *Flat
+}
+
+// scope carries the per-instance substitution tables while expanding one
+// module instantiation.
+type scope struct {
+	prefix string
+	sigs   map[*Signal]*Signal
+	mems   map[*Memory]*Memory
+}
+
+func joinPath(prefix, name string) string {
+	if prefix == "" {
+		return name
+	}
+	return prefix + "." + name
+}
+
+// expand clones module m into the flat design under the given prefix.
+// inputDrivers maps m's input-port signals to already-flat expressions
+// provided by the parent (nil for the top module, whose inputs stay ports).
+func (e *elaborator) expand(m *Module, prefix string, inputDrivers map[string]Expr) error {
+	sc := &scope{
+		prefix: prefix,
+		sigs:   make(map[*Signal]*Signal, len(m.Signals)),
+		mems:   make(map[*Memory]*Memory, len(m.Memories)),
+	}
+
+	// Clone signals. Non-top ports demote to wires; register signals stay
+	// registers (their Register records are cloned below).
+	for _, s := range m.Signals {
+		kind := s.Kind
+		if prefix != "" && (kind == KindInput || kind == KindOutput) {
+			kind = KindWire
+		}
+		fs := e.flat.addSignal(joinPath(prefix, s.Name), s.Width, kind)
+		sc.sigs[s] = fs
+	}
+
+	// Drive former input ports from the parent's expressions, in the
+	// module's declared port order for deterministic output.
+	for _, ps := range m.Signals {
+		if ps.Kind != KindInput {
+			continue
+		}
+		drv, ok := inputDrivers[ps.Name]
+		if !ok {
+			continue
+		}
+		e.flat.Assigns = append(e.flat.Assigns, Assign{Dst: sc.sigs[ps], Src: drv})
+		delete(inputDrivers, ps.Name)
+	}
+	if len(inputDrivers) > 0 {
+		for port := range inputDrivers {
+			return fmt.Errorf("rtl: module %s has no port %q", m.Name, port)
+		}
+	}
+
+	// Clone memories.
+	for _, mem := range m.Memories {
+		fm := e.flat.Mem(joinPath(prefix, mem.Name), mem.Width, mem.Depth)
+		if mem.Init != nil {
+			fm.Init = make(map[int]uint64, len(mem.Init))
+			for k, v := range mem.Init {
+				fm.Init[k] = v
+			}
+		}
+		sc.mems[mem] = fm
+	}
+	for _, mem := range m.Memories {
+		fm := sc.mems[mem]
+		for _, w := range mem.Writes {
+			fm.Writes = append(fm.Writes, MemoryWritePort{
+				Clock:  w.Clock,
+				Addr:   sc.rewrite(w.Addr),
+				Data:   sc.rewrite(w.Data),
+				Enable: sc.rewrite(w.Enable),
+			})
+		}
+	}
+
+	// Clone assignments and registers.
+	for _, a := range m.Assigns {
+		e.flat.Assigns = append(e.flat.Assigns, Assign{
+			Dst: sc.sigs[a.Dst],
+			Src: sc.rewrite(a.Src),
+		})
+	}
+	for _, r := range m.Registers {
+		fr := &Register{
+			Sig:   sc.sigs[r.Sig],
+			Clock: r.Clock,
+			Init:  r.Init,
+		}
+		if r.Next.Width != 0 {
+			fr.Next = sc.rewrite(r.Next)
+		}
+		if r.Enable.Width != 0 {
+			fr.Enable = sc.rewrite(r.Enable)
+		}
+		if r.Reset.Width != 0 {
+			fr.Reset = sc.rewrite(r.Reset)
+		}
+		e.flat.Registers = append(e.flat.Registers, fr)
+	}
+
+	// Recurse into child instances.
+	for _, inst := range m.Instances {
+		childPrefix := joinPath(prefix, inst.Name)
+		if _, dup := e.flat.InstanceModules[childPrefix]; dup {
+			return fmt.Errorf("rtl: duplicate instance path %q", childPrefix)
+		}
+		e.flat.InstanceModules[childPrefix] = inst.Module.Name
+
+		drivers := make(map[string]Expr, len(inst.Inputs))
+		for port, src := range inst.Inputs {
+			drivers[port] = sc.rewrite(src)
+		}
+		if err := e.expand(inst.Module, childPrefix, drivers); err != nil {
+			return err
+		}
+		// Alias child outputs onto the parent's destination wires, in the
+		// child's declared port order (determinism again).
+		bound := 0
+		for _, cs := range inst.Module.Signals {
+			if cs.Kind != KindOutput {
+				continue
+			}
+			dst, ok := inst.Outputs[cs.Name]
+			if !ok {
+				continue
+			}
+			bound++
+			childFlat := e.flat.Signal(joinPath(childPrefix, cs.Name))
+			e.flat.Assigns = append(e.flat.Assigns, Assign{
+				Dst: sc.sigs[dst],
+				Src: S(childFlat),
+			})
+		}
+		if bound != len(inst.Outputs) {
+			for port := range inst.Outputs {
+				if cs := inst.Module.Signal(port); cs == nil || cs.Kind != KindOutput {
+					return fmt.Errorf("rtl: %s has no output %q", inst.Module.Name, port)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// rewrite deep-copies an expression, substituting module-local signal and
+// memory references with their flat clones. Expressions produced by the
+// parent (already flat) pass through because their signals are not in the
+// substitution map.
+func (sc *scope) rewrite(e Expr) Expr {
+	out := e
+	if e.Sig != nil {
+		if fs, ok := sc.sigs[e.Sig]; ok {
+			out.Sig = fs
+		}
+	}
+	if e.Mem != nil {
+		if fm, ok := sc.mems[e.Mem]; ok {
+			out.Mem = fm
+		}
+	}
+	if len(e.Args) > 0 {
+		out.Args = make([]Expr, len(e.Args))
+		for i, a := range e.Args {
+			out.Args[i] = sc.rewrite(a)
+		}
+	}
+	return out
+}
+
+// InstancesOf returns the hierarchical paths of all instances of the named
+// module, sorted lexicographically by path.
+func (f *Flat) InstancesOf(moduleName string) []string {
+	var out []string
+	for path, mod := range f.InstanceModules {
+		if mod == moduleName {
+			out = append(out, path)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// SignalsUnder returns all flat signals whose hierarchical path lies under
+// the given instance path ("" means the whole design).
+func (f *Flat) SignalsUnder(path string) []*Signal {
+	var out []*Signal
+	for _, s := range f.Signals {
+		if underPath(s.Name, path) {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RegistersUnder returns all registers under the given instance path.
+func (f *Flat) RegistersUnder(path string) []*Register {
+	var out []*Register
+	for _, r := range f.Registers {
+		if underPath(r.Sig.Name, path) {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MemoriesUnder returns all memories under the given instance path.
+func (f *Flat) MemoriesUnder(path string) []*Memory {
+	var out []*Memory
+	for _, m := range f.Memories {
+		if underPath(m.Name, path) {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+func underPath(name, path string) bool {
+	if path == "" {
+		return true
+	}
+	return strings.HasPrefix(name, path+".")
+}

@@ -1,0 +1,337 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+)
+
+// buildCounter returns a module with one register counting up by step.
+func buildCounter(step uint64) *Module {
+	m := NewModule("counter")
+	en := m.Input("en", 1)
+	q := m.Output("q", 8)
+	cnt := m.Reg("cnt", 8, "clk", 0)
+	m.SetNext(cnt, Add(S(cnt), C(step, 8)))
+	m.SetEnable(cnt, S(en))
+	m.Connect(q, S(cnt))
+	return m
+}
+
+func TestElaborateFlattensHierarchy(t *testing.T) {
+	child := buildCounter(1)
+	top := NewModule("top")
+	en := top.Input("en", 1)
+	out0 := top.Wire("out0", 8)
+	out1 := top.Wire("out1", 8)
+	sum := top.Output("sum", 8)
+
+	for i, dst := range []*Signal{out0, out1} {
+		inst := top.Instantiate([]string{"c0", "c1"}[i], child)
+		inst.ConnectInput("en", S(en))
+		inst.ConnectOutput("q", dst)
+	}
+	top.Connect(sum, Add(S(out0), S(out1)))
+
+	f, err := Elaborate(NewDesign("test", top))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, want := range []string{"c0.cnt", "c1.cnt", "c0.q", "c1.q", "sum", "en"} {
+		if f.Signal(want) == nil {
+			t.Errorf("flat design missing signal %q", want)
+		}
+	}
+	if got := len(f.Registers); got != 2 {
+		t.Errorf("flat design has %d registers, want 2", got)
+	}
+	if f.InstanceModules["c0"] != "counter" || f.InstanceModules["c1"] != "counter" {
+		t.Errorf("instance table wrong: %v", f.InstanceModules)
+	}
+	if f.InstanceModules[""] != "top" {
+		t.Errorf("top instance missing: %v", f.InstanceModules)
+	}
+}
+
+func TestElaborateSharedModuleGetsIndependentState(t *testing.T) {
+	child := buildCounter(1)
+	top := NewModule("top")
+	en := top.Input("en", 1)
+	a := top.Wire("a", 8)
+	b := top.Wire("b", 8)
+	diff := top.Output("diff", 8)
+
+	i0 := top.Instantiate("x", child)
+	i0.ConnectInput("en", S(en))
+	i0.ConnectOutput("q", a)
+	i1 := top.Instantiate("y", child)
+	i1.ConnectInput("en", C(0, 1)) // y is frozen
+	i1.ConnectOutput("q", b)
+	top.Connect(diff, Sub(S(a), S(b)))
+
+	f, err := Elaborate(NewDesign("test", top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx := f.Signal("x.cnt")
+	ry := f.Signal("y.cnt")
+	if rx == nil || ry == nil || rx == ry {
+		t.Fatalf("instances do not have independent registers: %v %v", rx, ry)
+	}
+}
+
+func TestElaborateNestedHierarchy(t *testing.T) {
+	leaf := buildCounter(1)
+	mid := NewModule("mid")
+	men := mid.Input("en", 1)
+	mq := mid.Output("q", 8)
+	w := mid.Wire("w", 8)
+	li := mid.Instantiate("leaf", leaf)
+	li.ConnectInput("en", S(men))
+	li.ConnectOutput("q", w)
+	mid.Connect(mq, Add(S(w), C(1, 8)))
+
+	top := NewModule("top")
+	ten := top.Input("en", 1)
+	tq := top.Output("q", 8)
+	tw := top.Wire("tw", 8)
+	mi := top.Instantiate("m", mid)
+	mi.ConnectInput("en", S(ten))
+	mi.ConnectOutput("q", tw)
+	top.Connect(tq, S(tw))
+
+	f, err := Elaborate(NewDesign("nest", top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Signal("m.leaf.cnt") == nil {
+		t.Error("nested instance path m.leaf.cnt missing")
+	}
+	if f.InstanceModules["m.leaf"] != "counter" {
+		t.Errorf("nested instance table: %v", f.InstanceModules)
+	}
+}
+
+func TestInstancesOfAndSignalsUnder(t *testing.T) {
+	child := buildCounter(1)
+	top := NewModule("top")
+	en := top.Input("en", 1)
+	outs := make([]*Signal, 3)
+	for i := range outs {
+		outs[i] = top.Wire("o"+string(rune('0'+i)), 8)
+		inst := top.Instantiate("t"+string(rune('0'+i)), child)
+		inst.ConnectInput("en", S(en))
+		inst.ConnectOutput("q", outs[i])
+	}
+	q := top.Output("q", 8)
+	top.Connect(q, Add(Add(S(outs[0]), S(outs[1])), S(outs[2])))
+
+	f, err := Elaborate(NewDesign("soc", top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := f.InstancesOf("counter")
+	if len(insts) != 3 || insts[0] != "t0" || insts[2] != "t2" {
+		t.Errorf("InstancesOf = %v", insts)
+	}
+	under := f.SignalsUnder("t1")
+	for _, s := range under {
+		if !strings.HasPrefix(s.Name, "t1.") {
+			t.Errorf("SignalsUnder(t1) leaked %q", s.Name)
+		}
+	}
+	if len(under) == 0 {
+		t.Error("SignalsUnder(t1) empty")
+	}
+	if regs := f.RegistersUnder("t2"); len(regs) != 1 || regs[0].Sig.Name != "t2.cnt" {
+		t.Errorf("RegistersUnder(t2) = %v", regs)
+	}
+}
+
+func TestVerifyCatchesUndrivenWire(t *testing.T) {
+	m := NewModule("bad")
+	m.Wire("floating", 4)
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "undriven") {
+		t.Errorf("Verify missed undriven wire: %v", err)
+	}
+}
+
+func TestVerifyCatchesDoubleDriver(t *testing.T) {
+	m := NewModule("bad")
+	w := m.Wire("w", 4)
+	m.Connect(w, C(1, 4))
+	m.Connect(w, C(2, 4))
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "2 drivers") {
+		t.Errorf("Verify missed double driver: %v", err)
+	}
+}
+
+func TestVerifyCatchesMissingNext(t *testing.T) {
+	m := NewModule("bad")
+	m.Reg("r", 4, "clk", 0)
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "no next-value") {
+		t.Errorf("Verify missed missing next: %v", err)
+	}
+}
+
+func TestVerifyCatchesWidthMismatchInAssign(t *testing.T) {
+	m := NewModule("bad")
+	w := m.Wire("w", 4)
+	m.Assigns = append(m.Assigns, Assign{Dst: w, Src: C(1, 8)})
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "width") {
+		t.Errorf("Verify missed width mismatch: %v", err)
+	}
+}
+
+func TestVerifyCatchesForeignSignal(t *testing.T) {
+	other := NewModule("other")
+	foreign := other.Input("x", 4)
+	m := NewModule("bad")
+	w := m.Wire("w", 4)
+	m.Connect(w, S(foreign))
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "foreign") {
+		t.Errorf("Verify missed foreign signal: %v", err)
+	}
+}
+
+func TestVerifyCatchesMemInitOutOfRange(t *testing.T) {
+	m := NewModule("bad")
+	mem := m.Mem("ram", 8, 4)
+	mem.Init = map[int]uint64{5: 1}
+	if err := Verify(m); err == nil || !strings.Contains(err.Error(), "out of depth") {
+		t.Errorf("Verify missed bad init: %v", err)
+	}
+}
+
+func TestClockDomains(t *testing.T) {
+	m := NewModule("multi")
+	a := m.Reg("a", 1, "clk_fast", 0)
+	m.SetNext(a, Not(S(a)))
+	b := m.Reg("b", 1, "clk_slow", 0)
+	m.SetNext(b, Not(S(b)))
+	d := NewDesign("multi", m)
+	doms := d.ClockDomains()
+	if len(doms) != 2 || doms[0] != "clk_fast" || doms[1] != "clk_slow" {
+		t.Errorf("ClockDomains = %v", doms)
+	}
+}
+
+func TestDuplicateSignalPanics(t *testing.T) {
+	m := NewModule("dup")
+	m.Wire("w", 1)
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate signal did not panic")
+		}
+	}()
+	m.Wire("w", 2)
+}
+
+func TestMemoriesUnder(t *testing.T) {
+	leaf := NewModule("leaf")
+	mem := leaf.Mem("ram", 8, 4)
+	mem.Write("clk", C(0, 2), C(0, 8), C(0, 1))
+	q := leaf.Output("q", 8)
+	leaf.Connect(q, MemRead(mem, C(0, 2)))
+
+	top := NewModule("top")
+	w0 := top.Wire("w0", 8)
+	w1 := top.Wire("w1", 8)
+	out := top.Output("out", 8)
+	i0 := top.Instantiate("a", leaf)
+	i0.ConnectOutput("q", w0)
+	i1 := top.Instantiate("b", leaf)
+	i1.ConnectOutput("q", w1)
+	top.Connect(out, Add(S(w0), S(w1)))
+
+	f, err := Elaborate(NewDesign("t", top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mems := f.MemoriesUnder("a"); len(mems) != 1 || mems[0].Name != "a.ram" {
+		t.Errorf("MemoriesUnder(a) = %v", mems)
+	}
+	if mems := f.MemoriesUnder(""); len(mems) != 2 {
+		t.Errorf("MemoriesUnder(\"\") = %d, want 2", len(mems))
+	}
+}
+
+func TestSignalKindString(t *testing.T) {
+	for k, want := range map[SignalKind]string{
+		KindWire: "wire", KindInput: "input", KindOutput: "output", KindReg: "reg",
+	} {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", int(k), k.String())
+		}
+	}
+	if SignalKind(99).String() == "" {
+		t.Error("unknown kind stringifies empty")
+	}
+	m := NewModule("t")
+	s := m.Wire("w", 1)
+	if s.String() != "w" {
+		t.Errorf("signal String = %q", s.String())
+	}
+}
+
+func TestPortsOrder(t *testing.T) {
+	m := NewModule("p")
+	m.Input("a", 1)
+	m.Output("x", 2)
+	m.Input("b", 3)
+	m.Wire("w", 1)
+	m.Connect(m.Signal("w"), C(0, 1))
+	m.Connect(m.Signal("x"), C(0, 2))
+	ins, outs := m.Ports()
+	if len(ins) != 2 || ins[0].Name != "a" || ins[1].Name != "b" {
+		t.Errorf("inputs = %v", ins)
+	}
+	if len(outs) != 1 || outs[0].Name != "x" {
+		t.Errorf("outputs = %v", outs)
+	}
+}
+
+func TestSetResetAndEnablePanicsOnNonReg(t *testing.T) {
+	m := NewModule("t")
+	w := m.Wire("w", 1)
+	for name, f := range map[string]func(){
+		"SetNext":   func() { m.SetNext(w, C(0, 1)) },
+		"SetEnable": func() { m.SetEnable(w, C(0, 1)) },
+		"SetReset":  func() { m.SetReset(w, C(0, 1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s on a wire did not panic", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestExprFormatCoverage(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 8)
+	mem := m.Mem("ram", 8, 4)
+	mem.Write("clk", C(0, 2), C(0, 8), C(0, 1))
+	exprs := []Expr{
+		Not(S(a)),
+		Shl(S(a), 2),
+		Shr(S(a), 2),
+		Mux(Bit(S(a), 0), S(a), S(a)),
+		MemRead(mem, C(1, 2)),
+		RedAnd(S(a)),
+		Concat(S(a), S(a)),
+		Mul(S(a), S(a)),
+		Le(S(a), S(a)),
+	}
+	for _, e := range exprs {
+		if e.String() == "" {
+			t.Errorf("empty String for op %v", e.Op)
+		}
+	}
+	if got := Op(999).String(); got == "" {
+		t.Error("unknown op stringifies empty")
+	}
+}

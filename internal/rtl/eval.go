@@ -1,0 +1,83 @@
+package rtl
+
+import "fmt"
+
+// Env supplies signal and memory values during expression evaluation. The
+// simulator implements it over its state arrays; constant folding uses a
+// nil-returning implementation.
+type Env interface {
+	// SignalValue returns the current value of a signal.
+	SignalValue(*Signal) uint64
+	// MemValue returns the word of mem at addr; out-of-range reads return 0
+	// (matching FPGA block-RAM behaviour where the address is truncated —
+	// implementations may also wrap).
+	MemValue(mem *Memory, addr uint64) uint64
+}
+
+// Eval computes the value of e under env, truncated to e.Width.
+func Eval(e Expr, env Env) uint64 {
+	switch e.Op {
+	case OpConst:
+		return e.Val
+	case OpSig:
+		return Truncate(env.SignalValue(e.Sig), e.Width)
+	case OpNot:
+		return Truncate(^Eval(e.Args[0], env), e.Width)
+	case OpAnd:
+		return Eval(e.Args[0], env) & Eval(e.Args[1], env)
+	case OpOr:
+		return Eval(e.Args[0], env) | Eval(e.Args[1], env)
+	case OpXor:
+		return Eval(e.Args[0], env) ^ Eval(e.Args[1], env)
+	case OpAdd:
+		return Truncate(Eval(e.Args[0], env)+Eval(e.Args[1], env), e.Width)
+	case OpSub:
+		return Truncate(Eval(e.Args[0], env)-Eval(e.Args[1], env), e.Width)
+	case OpMul:
+		return Truncate(Eval(e.Args[0], env)*Eval(e.Args[1], env), e.Width)
+	case OpEq:
+		return b2u(Eval(e.Args[0], env) == Eval(e.Args[1], env))
+	case OpNe:
+		return b2u(Eval(e.Args[0], env) != Eval(e.Args[1], env))
+	case OpLt:
+		return b2u(Eval(e.Args[0], env) < Eval(e.Args[1], env))
+	case OpLe:
+		return b2u(Eval(e.Args[0], env) <= Eval(e.Args[1], env))
+	case OpShl:
+		if e.Lo >= e.Width {
+			return 0
+		}
+		return Truncate(Eval(e.Args[0], env)<<uint(e.Lo), e.Width)
+	case OpShr:
+		if e.Lo >= e.Width {
+			return 0
+		}
+		return Eval(e.Args[0], env) >> uint(e.Lo)
+	case OpMux:
+		if Eval(e.Args[0], env) != 0 {
+			return Eval(e.Args[1], env)
+		}
+		return Eval(e.Args[2], env)
+	case OpSlice:
+		return (Eval(e.Args[0], env) >> uint(e.Lo)) & Mask(e.Width)
+	case OpConcat:
+		hi := Eval(e.Args[0], env)
+		lo := Eval(e.Args[1], env)
+		return Truncate(hi<<uint(e.Args[1].Width)|lo, e.Width)
+	case OpRedOr:
+		return b2u(Eval(e.Args[0], env) != 0)
+	case OpRedAnd:
+		return b2u(Eval(e.Args[0], env) == Mask(e.Args[0].Width))
+	case OpMemRead:
+		return Truncate(env.MemValue(e.Mem, Eval(e.Args[0], env)), e.Width)
+	default:
+		panic(fmt.Sprintf("rtl: eval: unknown op %v", e.Op))
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,287 @@
+package rtl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Op enumerates expression operators.
+type Op int
+
+const (
+	OpConst   Op = iota // literal value
+	OpSig               // signal reference
+	OpNot               // bitwise not
+	OpAnd               // bitwise and
+	OpOr                // bitwise or
+	OpXor               // bitwise xor
+	OpAdd               // addition (mod 2^width)
+	OpSub               // subtraction (mod 2^width)
+	OpMul               // multiplication (mod 2^width)
+	OpEq                // equality, 1-bit result
+	OpNe                // inequality, 1-bit result
+	OpLt                // unsigned less-than, 1-bit result
+	OpLe                // unsigned less-or-equal, 1-bit result
+	OpShl               // logical shift left by constant
+	OpShr               // logical shift right by constant
+	OpMux               // 2:1 multiplexer: sel ? a : b
+	OpSlice             // bit slice [hi:lo]
+	OpConcat            // {a, b}: a in the high bits
+	OpRedOr             // reduction or, 1-bit result
+	OpRedAnd            // reduction and, 1-bit result
+	OpMemRead           // combinational memory read
+)
+
+var opNames = map[Op]string{
+	OpConst: "const", OpSig: "sig", OpNot: "~", OpAnd: "&", OpOr: "|",
+	OpXor: "^", OpAdd: "+", OpSub: "-", OpMul: "*", OpEq: "==", OpNe: "!=",
+	OpLt: "<", OpLe: "<=", OpShl: "<<", OpShr: ">>", OpMux: "mux",
+	OpSlice: "slice", OpConcat: "concat", OpRedOr: "|red", OpRedAnd: "&red",
+	OpMemRead: "memread",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("Op(%d)", int(o))
+}
+
+// Expr is a combinational expression tree node. Expressions are immutable
+// once built and may be shared between assignments.
+type Expr struct {
+	Op    Op
+	Width int
+
+	Val  uint64  // OpConst
+	Sig  *Signal // OpSig
+	Mem  *Memory // OpMemRead
+	Args []Expr  // operands
+
+	Hi, Lo int // OpSlice bounds; OpShl/OpShr reuse Lo as the shift amount
+}
+
+// C builds a constant of the given width.
+func C(v uint64, width int) Expr {
+	return Expr{Op: OpConst, Width: width, Val: Truncate(v, width)}
+}
+
+// S references a signal.
+func S(sig *Signal) Expr {
+	if sig == nil {
+		panic("rtl: nil signal reference")
+	}
+	return Expr{Op: OpSig, Width: sig.Width, Sig: sig}
+}
+
+func binSameWidth(op Op, a, b Expr) Expr {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("rtl: %s width mismatch: %d vs %d", op, a.Width, b.Width))
+	}
+	return Expr{Op: op, Width: a.Width, Args: []Expr{a, b}}
+}
+
+func binBool(op Op, a, b Expr) Expr {
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("rtl: %s width mismatch: %d vs %d", op, a.Width, b.Width))
+	}
+	return Expr{Op: op, Width: 1, Args: []Expr{a, b}}
+}
+
+// Not returns the bitwise complement of a.
+func Not(a Expr) Expr { return Expr{Op: OpNot, Width: a.Width, Args: []Expr{a}} }
+
+// And returns a & b.
+func And(a, b Expr) Expr { return binSameWidth(OpAnd, a, b) }
+
+// Or returns a | b.
+func Or(a, b Expr) Expr { return binSameWidth(OpOr, a, b) }
+
+// Xor returns a ^ b.
+func Xor(a, b Expr) Expr { return binSameWidth(OpXor, a, b) }
+
+// Add returns a + b mod 2^width.
+func Add(a, b Expr) Expr { return binSameWidth(OpAdd, a, b) }
+
+// Sub returns a - b mod 2^width.
+func Sub(a, b Expr) Expr { return binSameWidth(OpSub, a, b) }
+
+// Mul returns a * b mod 2^width.
+func Mul(a, b Expr) Expr { return binSameWidth(OpMul, a, b) }
+
+// Eq returns the 1-bit comparison a == b.
+func Eq(a, b Expr) Expr { return binBool(OpEq, a, b) }
+
+// Ne returns the 1-bit comparison a != b.
+func Ne(a, b Expr) Expr { return binBool(OpNe, a, b) }
+
+// Lt returns the 1-bit unsigned comparison a < b.
+func Lt(a, b Expr) Expr { return binBool(OpLt, a, b) }
+
+// Le returns the 1-bit unsigned comparison a <= b.
+func Le(a, b Expr) Expr { return binBool(OpLe, a, b) }
+
+// Shl shifts a left by the constant amount n.
+func Shl(a Expr, n int) Expr {
+	return Expr{Op: OpShl, Width: a.Width, Args: []Expr{a}, Lo: n}
+}
+
+// Shr shifts a right (logically) by the constant amount n.
+func Shr(a Expr, n int) Expr {
+	return Expr{Op: OpShr, Width: a.Width, Args: []Expr{a}, Lo: n}
+}
+
+// Mux returns sel ? a : b. sel must be 1 bit wide.
+func Mux(sel, a, b Expr) Expr {
+	if sel.Width != 1 {
+		panic(fmt.Sprintf("rtl: mux select must be 1 bit, got %d", sel.Width))
+	}
+	if a.Width != b.Width {
+		panic(fmt.Sprintf("rtl: mux arm width mismatch: %d vs %d", a.Width, b.Width))
+	}
+	return Expr{Op: OpMux, Width: a.Width, Args: []Expr{sel, a, b}}
+}
+
+// Slice extracts bits [hi:lo] of a.
+func Slice(a Expr, hi, lo int) Expr {
+	if lo < 0 || hi < lo || hi >= a.Width {
+		panic(fmt.Sprintf("rtl: slice [%d:%d] out of range for width %d", hi, lo, a.Width))
+	}
+	return Expr{Op: OpSlice, Width: hi - lo + 1, Args: []Expr{a}, Hi: hi, Lo: lo}
+}
+
+// Bit extracts a single bit of a.
+func Bit(a Expr, i int) Expr { return Slice(a, i, i) }
+
+// Concat concatenates hi and lo, with hi occupying the upper bits.
+func Concat(hi, lo Expr) Expr {
+	w := hi.Width + lo.Width
+	if w > MaxWidth {
+		panic(fmt.Sprintf("rtl: concat width %d exceeds %d", w, MaxWidth))
+	}
+	return Expr{Op: OpConcat, Width: w, Args: []Expr{hi, lo}}
+}
+
+// RedOr reduces a to one bit: 1 iff any bit of a is set.
+func RedOr(a Expr) Expr { return Expr{Op: OpRedOr, Width: 1, Args: []Expr{a}} }
+
+// RedAnd reduces a to one bit: 1 iff all bits of a are set.
+func RedAnd(a Expr) Expr { return Expr{Op: OpRedAnd, Width: 1, Args: []Expr{a}} }
+
+// ZeroExt widens a to the given width with zero bits. Returns a unchanged
+// if already that wide.
+func ZeroExt(a Expr, width int) Expr {
+	if a.Width == width {
+		return a
+	}
+	if a.Width > width {
+		panic(fmt.Sprintf("rtl: cannot zero-extend width %d down to %d", a.Width, width))
+	}
+	return Concat(C(0, width-a.Width), a)
+}
+
+// MemRead builds a combinational read of mem at addr.
+func MemRead(mem *Memory, addr Expr) Expr {
+	return Expr{Op: OpMemRead, Width: mem.Width, Mem: mem, Args: []Expr{addr}}
+}
+
+// LogicalAnd treats a and b as truth values (non-zero = true) and returns
+// their 1-bit conjunction.
+func LogicalAnd(a, b Expr) Expr { return And(boolize(a), boolize(b)) }
+
+// LogicalOr is the 1-bit disjunction of the truthiness of a and b.
+func LogicalOr(a, b Expr) Expr { return Or(boolize(a), boolize(b)) }
+
+// LogicalNot is the 1-bit negation of the truthiness of a.
+func LogicalNot(a Expr) Expr { return Not(boolize(a)) }
+
+func boolize(a Expr) Expr {
+	if a.Width == 1 {
+		return a
+	}
+	return RedOr(a)
+}
+
+// String renders the expression in a compact prefix-ish form for traces
+// and error messages.
+func (e Expr) String() string {
+	var b strings.Builder
+	e.format(&b)
+	return b.String()
+}
+
+func (e Expr) format(b *strings.Builder) {
+	switch e.Op {
+	case OpConst:
+		fmt.Fprintf(b, "%d'h%x", e.Width, e.Val)
+	case OpSig:
+		b.WriteString(e.Sig.Name)
+	case OpSlice:
+		e.Args[0].format(b)
+		fmt.Fprintf(b, "[%d:%d]", e.Hi, e.Lo)
+	case OpShl, OpShr:
+		b.WriteByte('(')
+		e.Args[0].format(b)
+		fmt.Fprintf(b, " %s %d)", e.Op, e.Lo)
+	case OpMux:
+		b.WriteByte('(')
+		e.Args[0].format(b)
+		b.WriteString(" ? ")
+		e.Args[1].format(b)
+		b.WriteString(" : ")
+		e.Args[2].format(b)
+		b.WriteByte(')')
+	case OpMemRead:
+		b.WriteString(e.Mem.Name)
+		b.WriteByte('[')
+		e.Args[0].format(b)
+		b.WriteByte(']')
+	case OpNot, OpRedOr, OpRedAnd:
+		b.WriteString(e.Op.String())
+		b.WriteByte('(')
+		e.Args[0].format(b)
+		b.WriteByte(')')
+	default:
+		b.WriteByte('(')
+		for i, a := range e.Args {
+			if i > 0 {
+				fmt.Fprintf(b, " %s ", e.Op)
+			}
+			a.format(b)
+		}
+		b.WriteByte(')')
+	}
+}
+
+// VisitSignals calls fn for every signal referenced in the expression tree.
+func (e Expr) VisitSignals(fn func(*Signal)) {
+	if e.Op == OpSig {
+		fn(e.Sig)
+	}
+	for _, a := range e.Args {
+		a.VisitSignals(fn)
+	}
+}
+
+// VisitMems calls fn for every memory read in the expression tree.
+func (e Expr) VisitMems(fn func(*Memory)) {
+	if e.Op == OpMemRead {
+		fn(e.Mem)
+	}
+	for _, a := range e.Args {
+		a.VisitMems(fn)
+	}
+}
+
+// CountNodes returns the number of operator nodes in the tree (constants
+// and signal references excluded); used by synthesis cost heuristics.
+func (e Expr) CountNodes() int {
+	n := 0
+	if e.Op != OpConst && e.Op != OpSig {
+		n = 1
+	}
+	for _, a := range e.Args {
+		n += a.CountNodes()
+	}
+	return n
+}

@@ -1,0 +1,236 @@
+package rtl
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// constEnv evaluates expressions with fixed signal values.
+type constEnv struct {
+	sigs map[*Signal]uint64
+	mems map[*Memory][]uint64
+}
+
+func (e *constEnv) SignalValue(s *Signal) uint64 { return e.sigs[s] }
+func (e *constEnv) MemValue(m *Memory, addr uint64) uint64 {
+	d := e.mems[m]
+	if len(d) == 0 {
+		return 0
+	}
+	return d[int(addr)%len(d)]
+}
+
+func TestMask(t *testing.T) {
+	cases := []struct {
+		width int
+		want  uint64
+	}{
+		{1, 1}, {2, 3}, {8, 0xff}, {16, 0xffff}, {63, (1 << 63) - 1}, {64, ^uint64(0)},
+	}
+	for _, c := range cases {
+		if got := Mask(c.width); got != c.want {
+			t.Errorf("Mask(%d) = %#x, want %#x", c.width, got, c.want)
+		}
+	}
+}
+
+func TestMaskPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Mask(%d) did not panic", w)
+				}
+			}()
+			Mask(w)
+		}()
+	}
+}
+
+func TestEvalBasicOps(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 8)
+	b := m.Input("b", 8)
+	env := &constEnv{sigs: map[*Signal]uint64{a: 0xA5, b: 0x0F}}
+
+	cases := []struct {
+		name string
+		e    Expr
+		want uint64
+	}{
+		{"const", C(0x1ff, 8), 0xff},
+		{"sig", S(a), 0xA5},
+		{"not", Not(S(b)), 0xF0},
+		{"and", And(S(a), S(b)), 0x05},
+		{"or", Or(S(a), S(b)), 0xAF},
+		{"xor", Xor(S(a), S(b)), 0xAA},
+		{"add", Add(S(a), S(b)), 0xB4},
+		{"add-wrap", Add(S(a), C(0x60, 8)), 0x05},
+		{"sub", Sub(S(b), S(a)), 0x6A},
+		{"mul", Mul(S(a), C(2, 8)), 0x4A},
+		{"eq-false", Eq(S(a), S(b)), 0},
+		{"eq-true", Eq(S(a), C(0xA5, 8)), 1},
+		{"ne", Ne(S(a), S(b)), 1},
+		{"lt", Lt(S(b), S(a)), 1},
+		{"le-eq", Le(S(a), C(0xA5, 8)), 1},
+		{"shl", Shl(S(b), 4), 0xF0},
+		{"shr", Shr(S(a), 4), 0x0A},
+		{"shl-over", Shl(S(a), 9), 0},
+		{"mux-1", Mux(C(1, 1), S(a), S(b)), 0xA5},
+		{"mux-0", Mux(C(0, 1), S(a), S(b)), 0x0F},
+		{"slice", Slice(S(a), 7, 4), 0xA},
+		{"bit", Bit(S(a), 0), 1},
+		{"concat", Concat(Slice(S(a), 3, 0), Slice(S(b), 3, 0)), 0x5F},
+		{"redor-0", RedOr(C(0, 8)), 0},
+		{"redor-1", RedOr(S(a)), 1},
+		{"redand-0", RedAnd(S(a)), 0},
+		{"redand-1", RedAnd(C(0xff, 8)), 1},
+		{"zeroext", ZeroExt(S(b), 16), 0x0F},
+	}
+	for _, c := range cases {
+		if got := Eval(c.e, env); got != c.want {
+			t.Errorf("%s: Eval(%s) = %#x, want %#x", c.name, c.e, got, c.want)
+		}
+	}
+}
+
+func TestEvalLogicalOps(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 8)
+	env := &constEnv{sigs: map[*Signal]uint64{a: 0}}
+	if got := Eval(LogicalNot(S(a)), env); got != 1 {
+		t.Errorf("LogicalNot(0) = %d, want 1", got)
+	}
+	env.sigs[a] = 0x40
+	if got := Eval(LogicalNot(S(a)), env); got != 0 {
+		t.Errorf("LogicalNot(0x40) = %d, want 0", got)
+	}
+	if got := Eval(LogicalAnd(S(a), C(1, 1)), env); got != 1 {
+		t.Errorf("LogicalAnd(0x40, 1) = %d, want 1", got)
+	}
+	if got := Eval(LogicalOr(C(0, 4), C(0, 1)), env); got != 0 {
+		t.Errorf("LogicalOr(0, 0) = %d, want 0", got)
+	}
+}
+
+func TestEvalMemRead(t *testing.T) {
+	m := NewModule("t")
+	mem := m.Mem("ram", 16, 4)
+	env := &constEnv{
+		sigs: map[*Signal]uint64{},
+		mems: map[*Memory][]uint64{mem: {10, 20, 30, 40}},
+	}
+	if got := Eval(MemRead(mem, C(2, 4)), env); got != 30 {
+		t.Errorf("mem[2] = %d, want 30", got)
+	}
+	// Address wraps modulo depth.
+	if got := Eval(MemRead(mem, C(6, 4)), env); got != 30 {
+		t.Errorf("mem[6 mod 4] = %d, want 30", got)
+	}
+}
+
+func TestWidthMismatchPanics(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 8)
+	b := m.Input("b", 4)
+	for name, f := range map[string]func(){
+		"and":       func() { And(S(a), S(b)) },
+		"add":       func() { Add(S(a), S(b)) },
+		"eq":        func() { Eq(S(a), S(b)) },
+		"mux-arms":  func() { Mux(C(0, 1), S(a), S(b)) },
+		"mux-sel":   func() { Mux(S(a), S(b), S(b)) },
+		"slice-hi":  func() { Slice(S(a), 8, 0) },
+		"slice-rev": func() { Slice(S(a), 2, 3) },
+		"zeroext":   func() { ZeroExt(S(a), 4) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic on width mismatch", name)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// Property: addition expressed in RTL matches uint64 addition mod 2^w.
+func TestAddMatchesUintProperty(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 32)
+	b := m.Input("b", 32)
+	e := Add(S(a), S(b))
+	f := func(x, y uint32) bool {
+		env := &constEnv{sigs: map[*Signal]uint64{a: uint64(x), b: uint64(y)}}
+		return Eval(e, env) == uint64(x+y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: slice then concat reconstructs the original value.
+func TestSliceConcatRoundTripProperty(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 16)
+	e := Concat(Slice(S(a), 15, 8), Slice(S(a), 7, 0))
+	f := func(x uint16) bool {
+		env := &constEnv{sigs: map[*Signal]uint64{a: uint64(x)}}
+		return Eval(e, env) == uint64(x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: De Morgan's law holds bit-wise at any width representable here.
+func TestDeMorganProperty(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 64)
+	b := m.Input("b", 64)
+	lhs := Not(And(S(a), S(b)))
+	rhs := Or(Not(S(a)), Not(S(b)))
+	f := func(x, y uint64) bool {
+		env := &constEnv{sigs: map[*Signal]uint64{a: x, b: y}}
+		return Eval(lhs, env) == Eval(rhs, env)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestExprString(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 8)
+	e := Mux(Eq(S(a), C(3, 8)), Add(S(a), C(1, 8)), Slice(S(a), 3, 0).widen())
+	_ = e
+}
+
+// widen is a test helper letting the String test build a legal mux.
+func (e Expr) widen() Expr { return ZeroExt(e, 8) }
+
+func TestExprStringRendering(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 8)
+	e := Eq(S(a), C(3, 8))
+	if s := e.String(); s == "" {
+		t.Error("empty String() for expression")
+	}
+	if s := Slice(S(a), 3, 0).String(); s != "a[3:0]" {
+		t.Errorf("slice renders as %q", s)
+	}
+}
+
+func TestCountNodes(t *testing.T) {
+	m := NewModule("t")
+	a := m.Input("a", 8)
+	if n := S(a).CountNodes(); n != 0 {
+		t.Errorf("signal ref has %d nodes, want 0", n)
+	}
+	if n := Add(S(a), C(1, 8)).CountNodes(); n != 1 {
+		t.Errorf("add has %d nodes, want 1", n)
+	}
+	if n := Mux(Eq(S(a), C(0, 8)), S(a), Not(S(a))).CountNodes(); n != 3 {
+		t.Errorf("nested expr has %d nodes, want 3", n)
+	}
+}

@@ -1,0 +1,337 @@
+// Package rtl defines the register-transfer-level intermediate
+// representation used throughout Zoomie.
+//
+// A Design is a set of Modules; one of them is the top. Modules contain
+// ports, wires, registers, memories, combinational assignments and
+// instances of other modules. Elaboration flattens the hierarchy into a
+// flat list of state elements and assignments with dotted hierarchical
+// names ("top.tile0.cpu.pc"), which is what the simulator, the synthesis
+// flow and the debugger all consume.
+//
+// Values are modelled as uint64 truncated to the signal width; widths from
+// 1 to 64 bits are supported. Wider buses are expressed as multiple
+// signals, which matches how the workloads in this repository are written.
+package rtl
+
+import (
+	"fmt"
+	"sort"
+)
+
+// MaxWidth is the largest supported signal width in bits.
+const MaxWidth = 64
+
+// Mask returns a bit mask of the given width. It panics on invalid widths,
+// since widths are structural properties fixed at design-construction time.
+func Mask(width int) uint64 {
+	if width <= 0 || width > MaxWidth {
+		panic(fmt.Sprintf("rtl: invalid width %d", width))
+	}
+	if width == MaxWidth {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(width)) - 1
+}
+
+// Truncate clips v to width bits.
+func Truncate(v uint64, width int) uint64 { return v & Mask(width) }
+
+// SignalKind distinguishes the roles a named signal can play in a module.
+type SignalKind int
+
+const (
+	// KindWire is a combinationally driven signal.
+	KindWire SignalKind = iota
+	// KindInput is a module input port.
+	KindInput
+	// KindOutput is a module output port (driven by an assignment).
+	KindOutput
+	// KindReg is a clocked state element.
+	KindReg
+)
+
+func (k SignalKind) String() string {
+	switch k {
+	case KindWire:
+		return "wire"
+	case KindInput:
+		return "input"
+	case KindOutput:
+		return "output"
+	case KindReg:
+		return "reg"
+	default:
+		return fmt.Sprintf("SignalKind(%d)", int(k))
+	}
+}
+
+// Signal is a named value inside a module.
+type Signal struct {
+	Name  string
+	Width int
+	Kind  SignalKind
+
+	mod *Module // owning module, set by the builder
+}
+
+// String returns the signal name; handy in error messages and traces.
+func (s *Signal) String() string { return s.Name }
+
+// Register describes a clocked state element: on each rising edge of its
+// clock domain (when the domain is enabled and, if Enable is non-nil, the
+// enable evaluates to 1) the register captures Next. A synchronous Reset
+// (when non-nil and evaluating to 1) takes priority and loads Init.
+type Register struct {
+	Sig    *Signal
+	Clock  string // clock domain name
+	Next   Expr
+	Enable Expr // optional; nil means always enabled
+	Reset  Expr // optional synchronous reset
+	Init   uint64
+}
+
+// MemoryWritePort is a synchronous write port of a memory.
+type MemoryWritePort struct {
+	Clock  string
+	Addr   Expr
+	Data   Expr
+	Enable Expr
+}
+
+// Memory is an addressable state array. Reads are combinational through
+// MemRead expressions (LUTRAM-style); writes are synchronous.
+type Memory struct {
+	Name  string
+	Width int
+	Depth int
+	// Init holds optional initial contents (index -> value). Entries
+	// beyond Depth are rejected at verification time.
+	Init   map[int]uint64
+	Writes []MemoryWritePort
+
+	mod *Module
+}
+
+// Assign drives a wire or output combinationally.
+type Assign struct {
+	Dst *Signal
+	Src Expr
+}
+
+// Instance instantiates a child module. Connections map the child's port
+// names to parent expressions (for child inputs) or parent signals (for
+// child outputs).
+type Instance struct {
+	Name    string
+	Module  *Module
+	Inputs  map[string]Expr    // child input port -> parent expression
+	Outputs map[string]*Signal // child output port -> parent wire
+}
+
+// Module is a hierarchical design unit.
+type Module struct {
+	Name      string
+	Signals   []*Signal
+	Assigns   []Assign
+	Registers []*Register
+	Memories  []*Memory
+	Instances []*Instance
+
+	byName map[string]*Signal
+}
+
+// NewModule creates an empty module.
+func NewModule(name string) *Module {
+	return &Module{Name: name, byName: make(map[string]*Signal)}
+}
+
+// Signal looks up a signal by name, returning nil if absent.
+func (m *Module) Signal(name string) *Signal { return m.byName[name] }
+
+func (m *Module) addSignal(name string, width int, kind SignalKind) *Signal {
+	if _, dup := m.byName[name]; dup {
+		panic(fmt.Sprintf("rtl: module %s: duplicate signal %q", m.Name, name))
+	}
+	Mask(width) // validate width
+	s := &Signal{Name: name, Width: width, Kind: kind, mod: m}
+	m.Signals = append(m.Signals, s)
+	m.byName[name] = s
+	return s
+}
+
+// Input declares an input port.
+func (m *Module) Input(name string, width int) *Signal {
+	return m.addSignal(name, width, KindInput)
+}
+
+// Output declares an output port.
+func (m *Module) Output(name string, width int) *Signal {
+	return m.addSignal(name, width, KindOutput)
+}
+
+// Wire declares an internal combinational signal.
+func (m *Module) Wire(name string, width int) *Signal {
+	return m.addSignal(name, width, KindWire)
+}
+
+// Reg declares a register in the given clock domain with reset value init.
+// The register's next-value function is set later with SetNext (or the
+// builder helpers in builder.go).
+func (m *Module) Reg(name string, width int, clock string, init uint64) *Signal {
+	s := m.addSignal(name, width, KindReg)
+	m.Registers = append(m.Registers, &Register{
+		Sig:   s,
+		Clock: clock,
+		Init:  Truncate(init, width),
+	})
+	return s
+}
+
+// RegOf returns the Register record backing a KindReg signal.
+func (m *Module) RegOf(sig *Signal) *Register {
+	for _, r := range m.Registers {
+		if r.Sig == sig {
+			return r
+		}
+	}
+	return nil
+}
+
+// SetNext installs the next-value expression of a register.
+func (m *Module) SetNext(sig *Signal, next Expr) {
+	r := m.RegOf(sig)
+	if r == nil {
+		panic(fmt.Sprintf("rtl: %s.%s is not a register", m.Name, sig.Name))
+	}
+	r.Next = next
+}
+
+// SetEnable installs a clock-enable expression on a register.
+func (m *Module) SetEnable(sig *Signal, en Expr) {
+	r := m.RegOf(sig)
+	if r == nil {
+		panic(fmt.Sprintf("rtl: %s.%s is not a register", m.Name, sig.Name))
+	}
+	r.Enable = en
+}
+
+// SetReset installs a synchronous reset expression on a register.
+func (m *Module) SetReset(sig *Signal, rst Expr) {
+	r := m.RegOf(sig)
+	if r == nil {
+		panic(fmt.Sprintf("rtl: %s.%s is not a register", m.Name, sig.Name))
+	}
+	r.Reset = rst
+}
+
+// Mem declares a memory array.
+func (m *Module) Mem(name string, width, depth int) *Memory {
+	Mask(width)
+	if depth <= 0 {
+		panic(fmt.Sprintf("rtl: memory %s: invalid depth %d", name, depth))
+	}
+	mem := &Memory{Name: name, Width: width, Depth: depth, mod: m}
+	m.Memories = append(m.Memories, mem)
+	return mem
+}
+
+// Write adds a synchronous write port to the memory.
+func (mem *Memory) Write(clock string, addr, data, enable Expr) {
+	mem.Writes = append(mem.Writes, MemoryWritePort{
+		Clock: clock, Addr: addr, Data: data, Enable: enable,
+	})
+}
+
+// Connect drives dst (a wire or output) with the expression src.
+func (m *Module) Connect(dst *Signal, src Expr) {
+	if dst.Kind != KindWire && dst.Kind != KindOutput {
+		panic(fmt.Sprintf("rtl: cannot assign to %s %s.%s", dst.Kind, m.Name, dst.Name))
+	}
+	m.Assigns = append(m.Assigns, Assign{Dst: dst, Src: src})
+}
+
+// Instantiate adds a child module instance. Use Instance.Connect* to wire
+// it up.
+func (m *Module) Instantiate(name string, child *Module) *Instance {
+	inst := &Instance{
+		Name:    name,
+		Module:  child,
+		Inputs:  make(map[string]Expr),
+		Outputs: make(map[string]*Signal),
+	}
+	m.Instances = append(m.Instances, inst)
+	return inst
+}
+
+// ConnectInput wires a parent expression into a child input port.
+func (inst *Instance) ConnectInput(port string, src Expr) {
+	s := inst.Module.Signal(port)
+	if s == nil || s.Kind != KindInput {
+		panic(fmt.Sprintf("rtl: %s has no input %q", inst.Module.Name, port))
+	}
+	inst.Inputs[port] = src
+}
+
+// ConnectOutput wires a child output port onto a parent signal.
+func (inst *Instance) ConnectOutput(port string, dst *Signal) {
+	s := inst.Module.Signal(port)
+	if s == nil || s.Kind != KindOutput {
+		panic(fmt.Sprintf("rtl: %s has no output %q", inst.Module.Name, port))
+	}
+	inst.Outputs[port] = dst
+}
+
+// Ports returns the module's input and output signals in declaration order.
+func (m *Module) Ports() (inputs, outputs []*Signal) {
+	for _, s := range m.Signals {
+		switch s.Kind {
+		case KindInput:
+			inputs = append(inputs, s)
+		case KindOutput:
+			outputs = append(outputs, s)
+		}
+	}
+	return inputs, outputs
+}
+
+// Design is a named collection of modules with a designated top.
+type Design struct {
+	Name string
+	Top  *Module
+}
+
+// NewDesign wraps a top module into a design.
+func NewDesign(name string, top *Module) *Design {
+	return &Design{Name: name, Top: top}
+}
+
+// ClockDomains returns the sorted set of clock-domain names referenced by
+// registers and memory write ports anywhere in the hierarchy.
+func (d *Design) ClockDomains() []string {
+	set := make(map[string]bool)
+	var walk func(m *Module, seen map[*Module]bool)
+	walk = func(m *Module, seen map[*Module]bool) {
+		if seen[m] {
+			return
+		}
+		seen[m] = true
+		for _, r := range m.Registers {
+			set[r.Clock] = true
+		}
+		for _, mem := range m.Memories {
+			for _, w := range mem.Writes {
+				set[w.Clock] = true
+			}
+		}
+		for _, inst := range m.Instances {
+			walk(inst.Module, seen)
+		}
+	}
+	walk(d.Top, make(map[*Module]bool))
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

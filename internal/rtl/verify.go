@@ -1,0 +1,115 @@
+package rtl
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Verify performs structural sanity checks on a (typically flat) module:
+// every wire and output is driven exactly once, every register has a next
+// function, expressions only reference signals and memories of the module,
+// and memory initialisation fits within the declared depth.
+func Verify(m *Module) error {
+	var errs []error
+
+	owned := make(map[*Signal]bool, len(m.Signals))
+	for _, s := range m.Signals {
+		owned[s] = true
+	}
+	ownedMem := make(map[*Memory]bool, len(m.Memories))
+	for _, mem := range m.Memories {
+		ownedMem[mem] = true
+	}
+
+	checkExpr := func(ctx string, e Expr) {
+		e.VisitSignals(func(s *Signal) {
+			if !owned[s] {
+				errs = append(errs, fmt.Errorf("%s references foreign signal %q", ctx, s.Name))
+			}
+		})
+		e.VisitMems(func(mem *Memory) {
+			if !ownedMem[mem] {
+				errs = append(errs, fmt.Errorf("%s references foreign memory %q", ctx, mem.Name))
+			}
+		})
+	}
+
+	driven := make(map[*Signal]int)
+	for _, a := range m.Assigns {
+		driven[a.Dst]++
+		if a.Dst.Kind == KindReg || a.Dst.Kind == KindInput {
+			errs = append(errs, fmt.Errorf("assign drives %s %q", a.Dst.Kind, a.Dst.Name))
+		}
+		if a.Src.Width != a.Dst.Width {
+			errs = append(errs, fmt.Errorf("assign to %q: width %d from width-%d expression",
+				a.Dst.Name, a.Dst.Width, a.Src.Width))
+		}
+		checkExpr(fmt.Sprintf("assign to %q", a.Dst.Name), a.Src)
+	}
+
+	for _, s := range m.Signals {
+		switch s.Kind {
+		case KindWire, KindOutput:
+			switch driven[s] {
+			case 0:
+				errs = append(errs, fmt.Errorf("%s %q is undriven", s.Kind, s.Name))
+			case 1:
+			default:
+				errs = append(errs, fmt.Errorf("%s %q has %d drivers", s.Kind, s.Name, driven[s]))
+			}
+		}
+	}
+
+	for _, r := range m.Registers {
+		if r.Next.Width == 0 {
+			errs = append(errs, fmt.Errorf("register %q has no next-value function", r.Sig.Name))
+			continue
+		}
+		if r.Next.Width != r.Sig.Width {
+			errs = append(errs, fmt.Errorf("register %q: next width %d != %d",
+				r.Sig.Name, r.Next.Width, r.Sig.Width))
+		}
+		checkExpr(fmt.Sprintf("register %q next", r.Sig.Name), r.Next)
+		if r.Enable.Width != 0 {
+			if r.Enable.Width != 1 {
+				errs = append(errs, fmt.Errorf("register %q: enable must be 1 bit", r.Sig.Name))
+			}
+			checkExpr(fmt.Sprintf("register %q enable", r.Sig.Name), r.Enable)
+		}
+		if r.Reset.Width != 0 {
+			if r.Reset.Width != 1 {
+				errs = append(errs, fmt.Errorf("register %q: reset must be 1 bit", r.Sig.Name))
+			}
+			checkExpr(fmt.Sprintf("register %q reset", r.Sig.Name), r.Reset)
+		}
+		if r.Clock == "" {
+			errs = append(errs, fmt.Errorf("register %q has empty clock domain", r.Sig.Name))
+		}
+	}
+
+	for _, mem := range m.Memories {
+		for i := range mem.Init {
+			if i < 0 || i >= mem.Depth {
+				errs = append(errs, fmt.Errorf("memory %q: init index %d out of depth %d",
+					mem.Name, i, mem.Depth))
+			}
+		}
+		for wi, w := range mem.Writes {
+			ctx := fmt.Sprintf("memory %q write port %d", mem.Name, wi)
+			if w.Data.Width != mem.Width {
+				errs = append(errs, fmt.Errorf("%s: data width %d != %d", ctx, w.Data.Width, mem.Width))
+			}
+			if w.Enable.Width != 1 {
+				errs = append(errs, fmt.Errorf("%s: enable must be 1 bit", ctx))
+			}
+			if w.Clock == "" {
+				errs = append(errs, fmt.Errorf("%s: empty clock domain", ctx))
+			}
+			checkExpr(ctx+" addr", w.Addr)
+			checkExpr(ctx+" data", w.Data)
+			checkExpr(ctx+" enable", w.Enable)
+		}
+	}
+
+	return errors.Join(errs...)
+}

@@ -1,0 +1,388 @@
+// Package sim is a cycle-accurate, multi-clock-domain simulator for
+// elaborated (flat) RTL designs.
+//
+// The simulator advances in ticks. Each clock domain has a period and
+// phase measured in ticks; a domain "rises" on ticks where
+// (tick-phase) mod period == 0. A tick proceeds in three steps:
+//
+//  1. settle all combinational assignments in levelized order,
+//  2. for every rising and enabled domain, compute register next-values
+//     and memory writes against the settled state,
+//  3. commit the staged updates.
+//
+// Clock gating is first-class: a domain may be gated by a combinational
+// signal of the design itself (the Debug Controller's clock enable), which
+// models the glitch-free BUFGCE-style primitives Zoomie relies on, or
+// force-gated from the host, which models the configuration controller
+// stopping a clock.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"zoomie/internal/rtl"
+)
+
+// ClockSpec describes one clock domain.
+type ClockSpec struct {
+	Name   string
+	Period int // in ticks, >= 1
+	Phase  int // tick offset of the first rising edge
+}
+
+// Simulator executes a flat design.
+type Simulator struct {
+	Flat   *rtl.Flat
+	clocks []ClockSpec
+
+	sigIndex map[*rtl.Signal]int
+	byName   map[string]*rtl.Signal
+	vals     []uint64
+
+	order []rtl.Assign // levelized combinational order
+
+	mems map[*rtl.Memory][]uint64
+
+	regsByClock map[string][]*rtl.Register
+	memWrites   map[string][]memWrite
+
+	// gates maps a domain name to an optional in-design 1-bit gate signal;
+	// hostGate force-disables a domain regardless of the in-design gate.
+	gates    map[string]*rtl.Signal
+	hostGate map[string]bool
+
+	tick    uint64
+	cycles  map[string]uint64 // completed rising edges per domain
+	staged  []regUpdate
+	stagedM []memUpdate
+}
+
+type memWrite struct {
+	mem  *rtl.Memory
+	port rtl.MemoryWritePort
+}
+
+type regUpdate struct {
+	idx int
+	val uint64
+}
+
+type memUpdate struct {
+	mem  *rtl.Memory
+	addr int
+	val  uint64
+}
+
+// New builds a simulator for the flat design with the given clock domains.
+// Every domain referenced by a register must be listed.
+func New(f *rtl.Flat, clocks []ClockSpec) (*Simulator, error) {
+	s := &Simulator{
+		Flat:        f,
+		clocks:      append([]ClockSpec(nil), clocks...),
+		sigIndex:    make(map[*rtl.Signal]int, len(f.Signals)),
+		byName:      make(map[string]*rtl.Signal, len(f.Signals)),
+		mems:        make(map[*rtl.Memory][]uint64, len(f.Memories)),
+		regsByClock: make(map[string][]*rtl.Register),
+		memWrites:   make(map[string][]memWrite),
+		gates:       make(map[string]*rtl.Signal),
+		hostGate:    make(map[string]bool),
+		cycles:      make(map[string]uint64),
+	}
+	known := make(map[string]bool)
+	for _, c := range s.clocks {
+		if c.Period < 1 {
+			return nil, fmt.Errorf("sim: clock %q: period must be >= 1", c.Name)
+		}
+		if known[c.Name] {
+			return nil, fmt.Errorf("sim: duplicate clock %q", c.Name)
+		}
+		known[c.Name] = true
+	}
+	for _, s2 := range f.Signals {
+		s.sigIndex[s2] = len(s.vals)
+		s.byName[s2.Name] = s2
+		s.vals = append(s.vals, 0)
+	}
+	for _, r := range f.Registers {
+		if !known[r.Clock] {
+			return nil, fmt.Errorf("sim: register %q uses undeclared clock %q", r.Sig.Name, r.Clock)
+		}
+		s.regsByClock[r.Clock] = append(s.regsByClock[r.Clock], r)
+		s.vals[s.sigIndex[r.Sig]] = r.Init
+	}
+	for _, mem := range f.Memories {
+		data := make([]uint64, mem.Depth)
+		for k, v := range mem.Init {
+			data[k] = rtl.Truncate(v, mem.Width)
+		}
+		s.mems[mem] = data
+		for _, w := range mem.Writes {
+			if !known[w.Clock] {
+				return nil, fmt.Errorf("sim: memory %q uses undeclared clock %q", mem.Name, w.Clock)
+			}
+			s.memWrites[w.Clock] = append(s.memWrites[w.Clock], memWrite{mem, w})
+		}
+	}
+	order, err := levelize(f)
+	if err != nil {
+		return nil, err
+	}
+	s.order = order
+	s.settle()
+	return s, nil
+}
+
+// levelize topologically sorts the combinational assignments so each is
+// evaluated after all assignments it reads from. Registers, inputs and
+// memory contents are state and impose no ordering.
+func levelize(f *rtl.Flat) ([]rtl.Assign, error) {
+	producer := make(map[*rtl.Signal]int) // signal -> assign index
+	for i, a := range f.Assigns {
+		producer[a.Dst] = i
+	}
+	n := len(f.Assigns)
+	deps := make([][]int, n)  // deps[i] = assigns that must run before i
+	indeg := make([]int, n)   // number of unmet deps
+	users := make([][]int, n) // reverse edges
+	for i, a := range f.Assigns {
+		seen := make(map[int]bool)
+		a.Src.VisitSignals(func(sig *rtl.Signal) {
+			if sig.Kind == rtl.KindWire || sig.Kind == rtl.KindOutput {
+				if p, ok := producer[sig]; ok && !seen[p] {
+					seen[p] = true
+					deps[i] = append(deps[i], p)
+				}
+			}
+		})
+		indeg[i] = len(deps[i])
+		for _, p := range deps[i] {
+			users[p] = append(users[p], i)
+		}
+	}
+	var queue []int
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			queue = append(queue, i)
+		}
+	}
+	order := make([]rtl.Assign, 0, n)
+	for len(queue) > 0 {
+		i := queue[0]
+		queue = queue[1:]
+		order = append(order, f.Assigns[i])
+		for _, u := range users[i] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	if len(order) != n {
+		var cyc []string
+		for i := 0; i < n && len(cyc) < 8; i++ {
+			if indeg[i] > 0 {
+				cyc = append(cyc, f.Assigns[i].Dst.Name)
+			}
+		}
+		sort.Strings(cyc)
+		return nil, fmt.Errorf("sim: combinational loop involving %v", cyc)
+	}
+	return order, nil
+}
+
+// SignalValue implements rtl.Env.
+func (s *Simulator) SignalValue(sig *rtl.Signal) uint64 { return s.vals[s.sigIndex[sig]] }
+
+// MemValue implements rtl.Env. Addresses wrap modulo the depth, matching
+// the power-of-two truncation of real block RAM address ports.
+func (s *Simulator) MemValue(mem *rtl.Memory, addr uint64) uint64 {
+	data := s.mems[mem]
+	return data[int(addr)%len(data)]
+}
+
+func (s *Simulator) settle() {
+	for _, a := range s.order {
+		s.vals[s.sigIndex[a.Dst]] = rtl.Eval(a.Src, s)
+	}
+}
+
+// GateClock attaches an in-design 1-bit signal as the clock enable of a
+// domain. When the signal settles to 0 in a tick, registers and memory
+// writes of that domain hold their values for that tick.
+func (s *Simulator) GateClock(domain, signalName string) error {
+	sig := s.byName[signalName]
+	if sig == nil {
+		return fmt.Errorf("sim: no signal %q", signalName)
+	}
+	if sig.Width != 1 {
+		return fmt.Errorf("sim: clock gate %q must be 1 bit", signalName)
+	}
+	s.gates[domain] = sig
+	return nil
+}
+
+// SetHostGate force-gates (enabled=false) or releases a clock domain from
+// the host side, independent of any in-design gate. This models the
+// configuration microcontroller stopping the clock.
+func (s *Simulator) SetHostGate(domain string, enabled bool) {
+	s.hostGate[domain] = !enabled
+}
+
+// domainEnabled reports whether a domain's registers update this tick,
+// assuming the domain rises.
+func (s *Simulator) domainEnabled(domain string) bool {
+	if s.hostGate[domain] {
+		return false
+	}
+	if g, ok := s.gates[domain]; ok {
+		return s.vals[s.sigIndex[g]] != 0
+	}
+	return true
+}
+
+// rises reports whether the clock domain has a rising edge at tick t.
+func rises(c ClockSpec, t uint64) bool {
+	pt := int64(t) - int64(c.Phase)
+	return pt >= 0 && pt%int64(c.Period) == 0
+}
+
+// Tick advances the simulation by one tick.
+func (s *Simulator) Tick() {
+	s.settle()
+	s.staged = s.staged[:0]
+	s.stagedM = s.stagedM[:0]
+	for _, c := range s.clocks {
+		if !rises(c, s.tick) {
+			continue
+		}
+		if !s.domainEnabled(c.Name) {
+			continue
+		}
+		s.cycles[c.Name]++
+		for _, r := range s.regsByClock[c.Name] {
+			if r.Enable.Width != 0 && rtl.Eval(r.Enable, s) == 0 {
+				continue
+			}
+			var v uint64
+			if r.Reset.Width != 0 && rtl.Eval(r.Reset, s) != 0 {
+				v = r.Init
+			} else {
+				v = rtl.Eval(r.Next, s)
+			}
+			s.staged = append(s.staged, regUpdate{s.sigIndex[r.Sig], v})
+		}
+		for _, mw := range s.memWrites[c.Name] {
+			if rtl.Eval(mw.port.Enable, s) == 0 {
+				continue
+			}
+			addr := int(rtl.Eval(mw.port.Addr, s)) % mw.mem.Depth
+			s.stagedM = append(s.stagedM, memUpdate{
+				mem: mw.mem, addr: addr, val: rtl.Eval(mw.port.Data, s),
+			})
+		}
+	}
+	for _, u := range s.staged {
+		s.vals[u.idx] = u.val
+	}
+	for _, u := range s.stagedM {
+		s.mems[u.mem][u.addr] = u.val
+	}
+	s.tick++
+	s.settle()
+}
+
+// Run advances n ticks.
+func (s *Simulator) Run(n int) {
+	for i := 0; i < n; i++ {
+		s.Tick()
+	}
+}
+
+// RunUntil advances until cond returns true or limit ticks elapse; it
+// returns the number of ticks advanced and whether cond was met.
+func (s *Simulator) RunUntil(cond func() bool, limit int) (int, bool) {
+	for i := 0; i < limit; i++ {
+		if cond() {
+			return i, true
+		}
+		s.Tick()
+	}
+	return limit, cond()
+}
+
+// Ticks returns the number of ticks elapsed since construction.
+func (s *Simulator) Ticks() uint64 { return s.tick }
+
+// Cycles returns the number of committed rising edges of a clock domain
+// (gated edges are not counted, which is exactly the "design time" a
+// paused design does not experience).
+func (s *Simulator) Cycles(domain string) uint64 { return s.cycles[domain] }
+
+// Lookup finds a signal by flat name.
+func (s *Simulator) Lookup(name string) *rtl.Signal { return s.byName[name] }
+
+// Peek reads any signal by flat name.
+func (s *Simulator) Peek(name string) (uint64, error) {
+	sig := s.byName[name]
+	if sig == nil {
+		return 0, fmt.Errorf("sim: no signal %q", name)
+	}
+	return s.vals[s.sigIndex[sig]], nil
+}
+
+// Poke writes an input port or register by flat name. Wires are rejected:
+// they are functions of state, so forcing them would be overwritten by the
+// next settle, which is also true on a real FPGA where only LUT/FF/BRAM
+// state is writable through configuration.
+func (s *Simulator) Poke(name string, v uint64) error {
+	sig := s.byName[name]
+	if sig == nil {
+		return fmt.Errorf("sim: no signal %q", name)
+	}
+	if sig.Kind == rtl.KindWire || sig.Kind == rtl.KindOutput {
+		return fmt.Errorf("sim: cannot force combinational signal %q", name)
+	}
+	s.vals[s.sigIndex[sig]] = rtl.Truncate(v, sig.Width)
+	s.settle()
+	return nil
+}
+
+// PeekMem reads one word of a memory by flat name.
+func (s *Simulator) PeekMem(name string, addr int) (uint64, error) {
+	mem := s.findMem(name)
+	if mem == nil {
+		return 0, fmt.Errorf("sim: no memory %q", name)
+	}
+	if addr < 0 || addr >= mem.Depth {
+		return 0, fmt.Errorf("sim: memory %q: address %d out of range", name, addr)
+	}
+	return s.mems[mem][addr], nil
+}
+
+// PokeMem writes one word of a memory by flat name.
+func (s *Simulator) PokeMem(name string, addr int, v uint64) error {
+	mem := s.findMem(name)
+	if mem == nil {
+		return fmt.Errorf("sim: no memory %q", name)
+	}
+	if addr < 0 || addr >= mem.Depth {
+		return fmt.Errorf("sim: memory %q: address %d out of range", name, addr)
+	}
+	s.mems[mem][addr] = rtl.Truncate(v, mem.Width)
+	s.settle()
+	return nil
+}
+
+func (s *Simulator) findMem(name string) *rtl.Memory {
+	for _, m := range s.Flat.Memories {
+		if m.Name == name {
+			return m
+		}
+	}
+	return nil
+}
+
+// Settle recomputes combinational signals; needed after batched direct
+// state manipulation through State().
+func (s *Simulator) Settle() { s.settle() }

@@ -1,0 +1,427 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"zoomie/internal/rtl"
+)
+
+var oneClock = []ClockSpec{{Name: "clk", Period: 1}}
+
+func flatten(t *testing.T, top *rtl.Module) *rtl.Flat {
+	t.Helper()
+	f, err := rtl.Elaborate(rtl.NewDesign(top.Name, top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func newSim(t *testing.T, top *rtl.Module, clocks []ClockSpec) *Simulator {
+	t.Helper()
+	s, err := New(flatten(t, top), clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func counterModule() *rtl.Module {
+	m := rtl.NewModule("counter")
+	en := m.Input("en", 1)
+	q := m.Output("q", 8)
+	cnt := m.Reg("cnt", 8, "clk", 0)
+	m.SetNext(cnt, rtl.Add(rtl.S(cnt), rtl.C(1, 8)))
+	m.SetEnable(cnt, rtl.S(en))
+	m.Connect(q, rtl.S(cnt))
+	return m
+}
+
+func TestCounterCounts(t *testing.T) {
+	s := newSim(t, counterModule(), oneClock)
+	if err := s.Poke("en", 1); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(5)
+	if v, _ := s.Peek("q"); v != 5 {
+		t.Errorf("q = %d after 5 cycles, want 5", v)
+	}
+	if err := s.Poke("en", 0); err != nil {
+		t.Fatal(err)
+	}
+	s.Run(3)
+	if v, _ := s.Peek("q"); v != 5 {
+		t.Errorf("q = %d with enable low, want 5", v)
+	}
+}
+
+func TestCounterWraps(t *testing.T) {
+	s := newSim(t, counterModule(), oneClock)
+	s.Poke("en", 1)
+	s.Run(260)
+	if v, _ := s.Peek("q"); v != 4 {
+		t.Errorf("q = %d after 260 cycles, want 4 (mod 256)", v)
+	}
+}
+
+func TestSynchronousReset(t *testing.T) {
+	m := rtl.NewModule("rst")
+	rst := m.Input("rst", 1)
+	q := m.Output("q", 4)
+	r := m.Reg("r", 4, "clk", 7)
+	m.SetNext(r, rtl.Add(rtl.S(r), rtl.C(1, 4)))
+	m.SetReset(r, rtl.S(rst))
+	m.Connect(q, rtl.S(r))
+
+	s := newSim(t, m, oneClock)
+	if v, _ := s.Peek("q"); v != 7 {
+		t.Fatalf("init value = %d, want 7", v)
+	}
+	s.Run(2)
+	if v, _ := s.Peek("q"); v != 9 {
+		t.Fatalf("q = %d, want 9", v)
+	}
+	s.Poke("rst", 1)
+	s.Run(1)
+	if v, _ := s.Peek("q"); v != 7 {
+		t.Errorf("q = %d after sync reset, want init 7", v)
+	}
+}
+
+func TestCombinationalChainSettlesInOneTick(t *testing.T) {
+	m := rtl.NewModule("chain")
+	a := m.Input("a", 8)
+	// w3 depends on w2 depends on w1, declared out of order.
+	w3 := m.Wire("w3", 8)
+	w1 := m.Wire("w1", 8)
+	w2 := m.Wire("w2", 8)
+	out := m.Output("out", 8)
+	m.Connect(w3, rtl.Add(rtl.S(w2), rtl.C(1, 8)))
+	m.Connect(w2, rtl.Add(rtl.S(w1), rtl.C(1, 8)))
+	m.Connect(w1, rtl.Add(rtl.S(a), rtl.C(1, 8)))
+	m.Connect(out, rtl.S(w3))
+
+	s := newSim(t, m, oneClock)
+	s.Poke("a", 10)
+	if v, _ := s.Peek("out"); v != 13 {
+		t.Errorf("out = %d, want 13", v)
+	}
+}
+
+func TestCombinationalLoopDetected(t *testing.T) {
+	m := rtl.NewModule("loop")
+	a := m.Wire("a", 1)
+	b := m.Wire("b", 1)
+	m.Connect(a, rtl.Not(rtl.S(b)))
+	m.Connect(b, rtl.Not(rtl.S(a)))
+	_, err := New(flatten(t, m), oneClock)
+	if err == nil || !strings.Contains(err.Error(), "combinational loop") {
+		t.Errorf("loop not detected: %v", err)
+	}
+}
+
+func TestUndeclaredClockRejected(t *testing.T) {
+	m := rtl.NewModule("badclk")
+	r := m.Reg("r", 1, "mystery", 0)
+	m.SetNext(r, rtl.S(r))
+	_, err := New(flatten(t, m), oneClock)
+	if err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Errorf("undeclared clock not rejected: %v", err)
+	}
+}
+
+func TestMultiClockDomains(t *testing.T) {
+	m := rtl.NewModule("twoclk")
+	fast := m.Reg("fast", 8, "clk_fast", 0)
+	m.SetNext(fast, rtl.Add(rtl.S(fast), rtl.C(1, 8)))
+	slow := m.Reg("slow", 8, "clk_slow", 0)
+	m.SetNext(slow, rtl.Add(rtl.S(slow), rtl.C(1, 8)))
+
+	s := newSim(t, m, []ClockSpec{
+		{Name: "clk_fast", Period: 1},
+		{Name: "clk_slow", Period: 4},
+	})
+	s.Run(8)
+	if v, _ := s.Peek("fast"); v != 8 {
+		t.Errorf("fast = %d, want 8", v)
+	}
+	if v, _ := s.Peek("slow"); v != 2 {
+		t.Errorf("slow = %d, want 2", v)
+	}
+	if s.Cycles("clk_fast") != 8 || s.Cycles("clk_slow") != 2 {
+		t.Errorf("cycle counts: fast=%d slow=%d", s.Cycles("clk_fast"), s.Cycles("clk_slow"))
+	}
+}
+
+func TestClockPhase(t *testing.T) {
+	m := rtl.NewModule("phase")
+	r := m.Reg("r", 8, "clk", 0)
+	m.SetNext(r, rtl.Add(rtl.S(r), rtl.C(1, 8)))
+	s := newSim(t, m, []ClockSpec{{Name: "clk", Period: 2, Phase: 1}})
+	s.Run(1) // tick 0: no edge (phase 1)
+	if v, _ := s.Peek("r"); v != 0 {
+		t.Errorf("r = %d at tick 1, want 0", v)
+	}
+	s.Run(1) // tick 1: rising edge
+	if v, _ := s.Peek("r"); v != 1 {
+		t.Errorf("r = %d at tick 2, want 1", v)
+	}
+}
+
+func TestHostClockGate(t *testing.T) {
+	s := newSim(t, counterModule(), oneClock)
+	s.Poke("en", 1)
+	s.Run(3)
+	s.SetHostGate("clk", false)
+	s.Run(10)
+	if v, _ := s.Peek("q"); v != 3 {
+		t.Errorf("q = %d while host-gated, want 3", v)
+	}
+	if s.Cycles("clk") != 3 {
+		t.Errorf("gated edges were counted: %d", s.Cycles("clk"))
+	}
+	s.SetHostGate("clk", true)
+	s.Run(2)
+	if v, _ := s.Peek("q"); v != 5 {
+		t.Errorf("q = %d after resume, want 5", v)
+	}
+}
+
+func TestInDesignClockGate(t *testing.T) {
+	m := rtl.NewModule("gated")
+	gateEn := m.Input("gate_en", 1)
+	ce := m.Wire("ce", 1)
+	m.Connect(ce, rtl.S(gateEn))
+	cnt := m.Reg("cnt", 8, "clk", 0)
+	m.SetNext(cnt, rtl.Add(rtl.S(cnt), rtl.C(1, 8)))
+	q := m.Output("q", 8)
+	m.Connect(q, rtl.S(cnt))
+
+	s := newSim(t, m, oneClock)
+	if err := s.GateClock("clk", "ce"); err != nil {
+		t.Fatal(err)
+	}
+	s.Poke("gate_en", 1)
+	s.Run(4)
+	s.Poke("gate_en", 0)
+	s.Run(4)
+	if v, _ := s.Peek("q"); v != 4 {
+		t.Errorf("q = %d with design gate low, want 4", v)
+	}
+}
+
+func TestMemoryReadWrite(t *testing.T) {
+	m := rtl.NewModule("ram")
+	we := m.Input("we", 1)
+	addr := m.Input("addr", 4)
+	din := m.Input("din", 16)
+	dout := m.Output("dout", 16)
+	mem := m.Mem("mem", 16, 16)
+	mem.Write("clk", rtl.S(addr), rtl.S(din), rtl.S(we))
+	m.Connect(dout, rtl.MemRead(mem, rtl.S(addr)))
+
+	s := newSim(t, m, oneClock)
+	s.Poke("we", 1)
+	s.Poke("addr", 3)
+	s.Poke("din", 0xBEEF)
+	s.Run(1)
+	s.Poke("we", 0)
+	if v, _ := s.Peek("dout"); v != 0xBEEF {
+		t.Errorf("dout = %#x, want 0xBEEF", v)
+	}
+	if v, err := s.PeekMem("mem", 3); err != nil || v != 0xBEEF {
+		t.Errorf("PeekMem = %#x, %v", v, err)
+	}
+	if err := s.PokeMem("mem", 3, 0xCAFE); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Peek("dout"); v != 0xCAFE {
+		t.Errorf("dout = %#x after PokeMem, want 0xCAFE", v)
+	}
+}
+
+func TestMemoryInit(t *testing.T) {
+	m := rtl.NewModule("rom")
+	addr := m.Input("addr", 2)
+	dout := m.Output("dout", 8)
+	rom := m.Mem("rom", 8, 4)
+	rom.Init = map[int]uint64{0: 11, 1: 22, 2: 33, 3: 44}
+	m.Connect(dout, rtl.MemRead(rom, rtl.S(addr)))
+
+	s := newSim(t, m, oneClock)
+	for i, want := range []uint64{11, 22, 33, 44} {
+		s.Poke("addr", uint64(i))
+		if v, _ := s.Peek("dout"); v != want {
+			t.Errorf("rom[%d] = %d, want %d", i, v, want)
+		}
+	}
+}
+
+func TestPokeRejectsWires(t *testing.T) {
+	m := rtl.NewModule("w")
+	a := m.Input("a", 4)
+	w := m.Wire("w", 4)
+	m.Connect(w, rtl.S(a))
+	out := m.Output("out", 4)
+	m.Connect(out, rtl.S(w))
+	s := newSim(t, m, oneClock)
+	if err := s.Poke("w", 3); err == nil {
+		t.Error("poking a wire should fail")
+	}
+	if err := s.Poke("out", 3); err == nil {
+		t.Error("poking an output should fail")
+	}
+	if _, err := s.Peek("nosuch"); err == nil {
+		t.Error("peeking a missing signal should fail")
+	}
+}
+
+func TestPokeRegisterForcesValue(t *testing.T) {
+	s := newSim(t, counterModule(), oneClock)
+	s.Poke("en", 1)
+	s.Run(2)
+	if err := s.Poke("cnt", 100); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Peek("q"); v != 100 {
+		t.Errorf("q = %d right after poke, want 100 (comb must resettle)", v)
+	}
+	s.Run(1)
+	if v, _ := s.Peek("q"); v != 101 {
+		t.Errorf("q = %d, want 101", v)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := newSim(t, counterModule(), oneClock)
+	s.Poke("en", 1)
+	n, ok := s.RunUntil(func() bool {
+		v, _ := s.Peek("q")
+		return v == 7
+	}, 100)
+	if !ok || n != 7 {
+		t.Errorf("RunUntil = (%d, %v), want (7, true)", n, ok)
+	}
+	_, ok = s.RunUntil(func() bool { return false }, 5)
+	if ok {
+		t.Error("RunUntil reported success for impossible condition")
+	}
+}
+
+// Property: for random enable schedules, the counter value equals the
+// number of enabled cycles (mod 256). This is the basic contract that
+// clock-enable semantics never lose or duplicate an edge.
+func TestCounterEnableScheduleProperty(t *testing.T) {
+	f := func(schedule []bool) bool {
+		if len(schedule) > 200 {
+			schedule = schedule[:200]
+		}
+		s := newSim(t, counterModule(), oneClock)
+		want := uint64(0)
+		for _, en := range schedule {
+			if en {
+				s.Poke("en", 1)
+				want++
+			} else {
+				s.Poke("en", 0)
+			}
+			s.Run(1)
+		}
+		got, _ := s.Peek("q")
+		return got == want%256
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTracer(t *testing.T) {
+	s := newSim(t, counterModule(), oneClock)
+	s.Poke("en", 1)
+	tr, err := NewTracer(s, "en", "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Sample()
+	for i := 0; i < 3; i++ {
+		tr.Step()
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("tracer has %d samples, want 4", tr.Len())
+	}
+	if v, ok := tr.Value(3, "q"); !ok || v != 3 {
+		t.Errorf("trace q@3 = %d, %v", v, ok)
+	}
+	if out := tr.Render(); !strings.Contains(out, "q") {
+		t.Errorf("render missing signal name: %q", out)
+	}
+	if _, err := NewTracer(s, "nosuch"); err == nil {
+		t.Error("tracer accepted unknown signal")
+	}
+}
+
+func TestWriteVCD(t *testing.T) {
+	s := newSim(t, counterModule(), oneClock)
+	s.Poke("en", 1)
+	tr, err := NewTracer(s, "en", "q")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr.Sample()
+	for i := 0; i < 5; i++ {
+		tr.Step()
+	}
+	var buf strings.Builder
+	if err := tr.WriteVCD(&buf, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"$timescale 1ns $end",
+		"$var wire 1 ! en $end",
+		"$var wire 8 \" q $end",
+		"$enddefinitions $end",
+		"#0", "b101 \"", // q = 5 at the final change
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("VCD missing %q:\n%s", want, out)
+		}
+	}
+	// Unchanged signals are not re-emitted: "en" appears once after #0.
+	if n := strings.Count(out, "1!"); n != 1 {
+		t.Errorf("en emitted %d times, want 1", n)
+	}
+}
+
+func TestVCDIDsUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for i := 0; i < 500; i++ {
+		id := vcdID(i)
+		if seen[id] {
+			t.Fatalf("duplicate VCD id %q at %d", id, i)
+		}
+		seen[id] = true
+	}
+}
+
+// Determinism: identical designs and schedules produce identical state,
+// guarding the simulator against map-iteration nondeterminism.
+func TestSimulatorDeterminism(t *testing.T) {
+	build := func() *Simulator {
+		return newSim(t, snapshotTestModule(), oneClock)
+	}
+	a, b := build(), build()
+	for i := 0; i < 50; i++ {
+		en := uint64(i % 3 % 2)
+		a.Poke("en", en)
+		b.Poke("en", en)
+		a.Tick()
+		b.Tick()
+	}
+	sa, sb := a.Snapshot("clk"), b.Snapshot("clk")
+	if !sa.Equal(sb) {
+		t.Fatalf("identical runs diverged: %v", sa.Diff(sb))
+	}
+}

@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"zoomie/internal/rtl"
+)
+
+// Snapshot is a complete copy of a design's architectural state: every
+// register value and every memory word, keyed by flat hierarchical name.
+// Snapshots are what Zoomie reads back from the FPGA and what it writes
+// through partial reconfiguration when resuming from saved progress.
+type Snapshot struct {
+	Cycle uint64
+	Regs  map[string]uint64
+	Mems  map[string][]uint64
+}
+
+// Snapshot captures the current state. The cycle recorded is the count of
+// the given clock domain.
+func (s *Simulator) Snapshot(domain string) *Snapshot {
+	snap := &Snapshot{
+		Cycle: s.cycles[domain],
+		Regs:  make(map[string]uint64, len(s.Flat.Registers)),
+		Mems:  make(map[string][]uint64, len(s.Flat.Memories)),
+	}
+	for _, r := range s.Flat.Registers {
+		snap.Regs[r.Sig.Name] = s.vals[s.sigIndex[r.Sig]]
+	}
+	for _, m := range s.Flat.Memories {
+		snap.Mems[m.Name] = append([]uint64(nil), s.mems[m]...)
+	}
+	return snap
+}
+
+// Restore loads a snapshot's state into the simulator and resettles
+// combinational logic. Entries naming unknown state are reported as
+// errors; state not mentioned in the snapshot is left untouched, which is
+// how partial reconfiguration behaves (only the written tiles change).
+func (s *Simulator) Restore(snap *Snapshot) error {
+	for name, v := range snap.Regs {
+		sig := s.byName[name]
+		if sig == nil || sig.Kind != rtl.KindReg {
+			return fmt.Errorf("sim: snapshot names unknown register %q", name)
+		}
+		s.vals[s.sigIndex[sig]] = rtl.Truncate(v, sig.Width)
+	}
+	for name, words := range snap.Mems {
+		mem := s.findMem(name)
+		if mem == nil {
+			return fmt.Errorf("sim: snapshot names unknown memory %q", name)
+		}
+		if len(words) != mem.Depth {
+			return fmt.Errorf("sim: snapshot memory %q has %d words, want %d",
+				name, len(words), mem.Depth)
+		}
+		copy(s.mems[mem], words)
+	}
+	s.settle()
+	return nil
+}
+
+// StateNames returns all register names followed by all memory names, each
+// group sorted, describing what a full snapshot contains.
+func (s *Simulator) StateNames() (regs, mems []string) {
+	for _, r := range s.Flat.Registers {
+		regs = append(regs, r.Sig.Name)
+	}
+	for _, m := range s.Flat.Memories {
+		mems = append(mems, m.Name)
+	}
+	sort.Strings(regs)
+	sort.Strings(mems)
+	return regs, mems
+}
+
+// Equal reports whether two snapshots hold identical state (cycle counts
+// are ignored; they are bookkeeping, not design state).
+func (a *Snapshot) Equal(b *Snapshot) bool {
+	if len(a.Regs) != len(b.Regs) || len(a.Mems) != len(b.Mems) {
+		return false
+	}
+	for k, v := range a.Regs {
+		if bv, ok := b.Regs[k]; !ok || bv != v {
+			return false
+		}
+	}
+	for k, av := range a.Mems {
+		bv, ok := b.Mems[k]
+		if !ok || len(av) != len(bv) {
+			return false
+		}
+		for i := range av {
+			if av[i] != bv[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Diff returns the names of registers whose values differ between the two
+// snapshots, sorted. Memories are compared word-wise and reported as
+// "name[addr]".
+func (a *Snapshot) Diff(b *Snapshot) []string {
+	var out []string
+	for k, v := range a.Regs {
+		if bv, ok := b.Regs[k]; ok && bv != v {
+			out = append(out, k)
+		}
+	}
+	for k, av := range a.Mems {
+		bv, ok := b.Mems[k]
+		if !ok {
+			continue
+		}
+		for i := range av {
+			if i < len(bv) && av[i] != bv[i] {
+				out = append(out, fmt.Sprintf("%s[%d]", k, i))
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}

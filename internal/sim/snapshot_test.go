@@ -1,0 +1,114 @@
+package sim
+
+import (
+	"testing"
+
+	"zoomie/internal/rtl"
+)
+
+func snapshotTestModule() *rtl.Module {
+	m := rtl.NewModule("snap")
+	en := m.Input("en", 1)
+	cnt := m.Reg("cnt", 16, "clk", 0)
+	m.SetNext(cnt, rtl.Add(rtl.S(cnt), rtl.C(3, 16)))
+	m.SetEnable(cnt, rtl.S(en))
+	mem := m.Mem("scratch", 8, 8)
+	mem.Write("clk", rtl.Slice(rtl.S(cnt), 2, 0), rtl.Slice(rtl.S(cnt), 7, 0), rtl.S(en))
+	q := m.Output("q", 16)
+	m.Connect(q, rtl.S(cnt))
+	return m
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := newSim(t, snapshotTestModule(), oneClock)
+	s.Poke("en", 1)
+	s.Run(10)
+	snap := s.Snapshot("clk")
+	if snap.Cycle != 10 {
+		t.Errorf("snapshot cycle = %d, want 10", snap.Cycle)
+	}
+
+	s.Run(25)
+	after := s.Snapshot("clk")
+	if snap.Equal(after) {
+		t.Fatal("state did not advance")
+	}
+
+	if err := s.Restore(snap); err != nil {
+		t.Fatal(err)
+	}
+	restored := s.Snapshot("clk")
+	if !snap.Equal(restored) {
+		t.Errorf("restore mismatch, diff: %v", snap.Diff(restored))
+	}
+	// Replaying the same input schedule from the snapshot reproduces the
+	// same state — the paper's replay-from-snapshot flow.
+	s.Run(25)
+	replayed := s.Snapshot("clk")
+	if !after.Equal(replayed) {
+		t.Errorf("replay diverged, diff: %v", after.Diff(replayed))
+	}
+}
+
+func TestSnapshotRejectsUnknownState(t *testing.T) {
+	s := newSim(t, snapshotTestModule(), oneClock)
+	if err := s.Restore(&Snapshot{Regs: map[string]uint64{"nosuch": 1}}); err == nil {
+		t.Error("unknown register accepted")
+	}
+	if err := s.Restore(&Snapshot{Mems: map[string][]uint64{"nosuch": {1}}}); err == nil {
+		t.Error("unknown memory accepted")
+	}
+	if err := s.Restore(&Snapshot{Mems: map[string][]uint64{"scratch": {1, 2}}}); err == nil {
+		t.Error("wrong-size memory accepted")
+	}
+}
+
+func TestSnapshotDiff(t *testing.T) {
+	s := newSim(t, snapshotTestModule(), oneClock)
+	s.Poke("en", 1)
+	a := s.Snapshot("clk")
+	s.Run(1)
+	b := s.Snapshot("clk")
+	diff := a.Diff(b)
+	if len(diff) == 0 {
+		t.Fatal("diff empty after a cycle")
+	}
+	found := false
+	for _, d := range diff {
+		if d == "cnt" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("diff %v does not mention cnt", diff)
+	}
+}
+
+func TestStateNames(t *testing.T) {
+	s := newSim(t, snapshotTestModule(), oneClock)
+	regs, mems := s.StateNames()
+	if len(regs) != 1 || regs[0] != "cnt" {
+		t.Errorf("regs = %v", regs)
+	}
+	if len(mems) != 1 || mems[0] != "scratch" {
+		t.Errorf("mems = %v", mems)
+	}
+}
+
+func TestPartialRestoreLeavesOtherStateIntact(t *testing.T) {
+	s := newSim(t, snapshotTestModule(), oneClock)
+	s.Poke("en", 1)
+	s.Run(5)
+	memBefore, _ := s.PeekMem("scratch", 1)
+	// Restore only the register, as a partial reconfiguration of a single
+	// frame would.
+	if err := s.Restore(&Snapshot{Regs: map[string]uint64{"cnt": 0}}); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := s.Peek("cnt"); v != 0 {
+		t.Errorf("cnt = %d, want 0", v)
+	}
+	if v, _ := s.PeekMem("scratch", 1); v != memBefore {
+		t.Errorf("partial restore clobbered memory: %d != %d", v, memBefore)
+	}
+}

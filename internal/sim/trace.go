@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tracer records the values of selected signals every tick, producing the
+// kind of waveform evidence used in the paper's Figure 3 discussion. It is
+// deliberately small: Zoomie's thesis is that full-visibility readback
+// replaces trace-everything ILA debugging, so the tracer exists for tests
+// and demos, not as the primary debug path.
+type Tracer struct {
+	sim     *Simulator
+	signals []string
+	rows    [][]uint64
+}
+
+// NewTracer watches the named signals of the simulator.
+func NewTracer(s *Simulator, signals ...string) (*Tracer, error) {
+	for _, n := range signals {
+		if s.Lookup(n) == nil {
+			return nil, fmt.Errorf("sim: tracer: no signal %q", n)
+		}
+	}
+	return &Tracer{sim: s, signals: append([]string(nil), signals...)}, nil
+}
+
+// Sample records the current value of every watched signal.
+func (t *Tracer) Sample() {
+	row := make([]uint64, len(t.signals))
+	for i, n := range t.signals {
+		row[i], _ = t.sim.Peek(n)
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Step advances the simulator one tick and samples.
+func (t *Tracer) Step() {
+	t.sim.Tick()
+	t.Sample()
+}
+
+// Len returns the number of samples recorded.
+func (t *Tracer) Len() int { return len(t.rows) }
+
+// Value returns the recorded value of signal name at sample index i.
+func (t *Tracer) Value(i int, name string) (uint64, bool) {
+	for j, n := range t.signals {
+		if n == name {
+			if i < 0 || i >= len(t.rows) {
+				return 0, false
+			}
+			return t.rows[i][j], true
+		}
+	}
+	return 0, false
+}
+
+// Render draws an ASCII waveform, one line per signal. Single-bit signals
+// render as rails (▔ for 1 and ▁ for 0); wider signals render hex values.
+func (t *Tracer) Render() string {
+	var b strings.Builder
+	width := 0
+	for _, n := range t.signals {
+		if len(n) > width {
+			width = len(n)
+		}
+	}
+	for j, n := range t.signals {
+		fmt.Fprintf(&b, "%-*s ", width, n)
+		sig := t.sim.Lookup(n)
+		for i := range t.rows {
+			v := t.rows[i][j]
+			if sig.Width == 1 {
+				if v != 0 {
+					b.WriteString("▔▔")
+				} else {
+					b.WriteString("▁▁")
+				}
+			} else {
+				fmt.Fprintf(&b, "%2x", v&0xff)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

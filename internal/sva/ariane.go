@@ -1,0 +1,98 @@
+package sva
+
+// ArianeAssertion is one of the eight SVAs sampled from Ariane/CVA6-style
+// modules for the Figure 8 experiment. Assertion #3 (index 2) uses
+// $isunknown and cannot be synthesized, matching the paper.
+type ArianeAssertion struct {
+	Name   string
+	Module string // the Ariane module it is sampled from
+	Source string
+}
+
+// ArianeAssertions returns the eight assertions evaluated in §5.4. They
+// reference the signal names of ArianeSignalWidths.
+func ArianeAssertions() []ArianeAssertion {
+	return []ArianeAssertion{
+		{
+			Name:   "ack_valid",
+			Module: "axi_adapter",
+			Source: "ack_valid: assert property (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);",
+		},
+		{
+			Name:   "grant_stable",
+			Module: "arbiter",
+			Source: "grant_stable: assert property (@(posedge clk) disable iff (!resetn) gnt && !req |-> ##1 !gnt);",
+		},
+		{
+			Name:   "no_x_on_commit",
+			Module: "commit_stage",
+			Source: "no_x_on_commit: assert property (@(posedge clk) commit_ack |-> !$isunknown(commit_instr));",
+		},
+		{
+			Name:   "flush_clears_valid",
+			Module: "issue_stage",
+			Source: "flush_clears_valid: assert property (@(posedge clk) disable iff (!resetn) flush |=> !issue_valid);",
+		},
+		{
+			Name:   "tlb_hit_past",
+			Module: "mmu",
+			Source: "tlb_hit_past: assert property (@(posedge clk) disable iff (!resetn) tlb_hit |-> $past(tlb_req, 2));",
+		},
+		{
+			Name:   "wb_window",
+			Module: "scoreboard",
+			Source: "wb_window: assert property (@(posedge clk) disable iff (!resetn) issue_valid && issue_ack |-> ##[1:3] wb_valid);",
+		},
+		{
+			Name:   "burst_hold",
+			Module: "dcache",
+			Source: "burst_hold: assert property (@(posedge clk) disable iff (!resetn) burst_start |-> (burst_active)[*2] ##1 burst_done);",
+		},
+		{
+			Name:   "resp_pairing",
+			Module: "frontend",
+			Source: "resp_pairing: assert property (@(posedge clk) disable iff (!resetn) req_fire |-> (##[1:2] resp_a and ##[1:2] resp_b));",
+		},
+	}
+}
+
+// ArianeSignalWidths gives the widths of the signals referenced by the
+// Figure 8 assertion set.
+func ArianeSignalWidths() map[string]int {
+	return map[string]int{
+		"clk": 1, "resetn": 1,
+		"valid": 1, "ack": 1,
+		"gnt": 1, "req": 1,
+		"commit_ack": 1, "commit_instr": 32,
+		"flush": 1, "issue_valid": 1, "issue_ack": 1,
+		"tlb_hit": 1, "tlb_req": 1,
+		"wb_valid":    1,
+		"burst_start": 1, "burst_active": 1, "burst_done": 1,
+		"req_fire": 1, "resp_a": 1, "resp_b": 1,
+	}
+}
+
+// Table4Row is one row of the paper's SVA support matrix.
+type Table4Row struct {
+	Feature string
+	Example string
+	Support string // "full", "single clock", "finite", "only consecutive", "unsupported"
+}
+
+// Table4 returns the support matrix exactly as the paper's Table 4 lists
+// it; the sva tests verify each row against the implementation.
+func Table4() []Table4Row {
+	return []Table4Row{
+		{"Immediate", "assert (A == B);", "full"},
+		{"System Functions", "$past(signal, 2)", "full"},
+		{"Clocking", "@(posedge clk)", "single clock"},
+		{"Implication", "a |-> b", "full"},
+		{"Fixed Delay", "a ##2 b", "full"},
+		{"Delay Range", "a ##[1:2] b", "finite"},
+		{"Repetition", "(a ##1 b)[*2]", "only consecutive"},
+		{"Sequence Operator", "a and b", "finite a and b"},
+		{"Local Variable", "(a, x = b) ##1 (c == x)", "unsupported"},
+		{"Asynchronous Reset", "disable iff (async_rst)", "unsupported"},
+		{"First Match", "first_match(a ##[1:2] b)", "unsupported"},
+	}
+}

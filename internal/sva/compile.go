@@ -1,0 +1,577 @@
+package sva
+
+import (
+	"fmt"
+	"sort"
+
+	"zoomie/internal/rtl"
+)
+
+// maxThreads bounds the finite unrolling of a sequence; beyond it the
+// assertion is rejected as too complex for synthesis.
+const maxThreads = 512
+
+// thread is one finite alternative of a sequence: a guard per cycle
+// (nil = true).
+type thread []BoolExpr
+
+// enumerate unrolls a sequence into its finite set of threads.
+func enumerate(s SeqNode) ([]thread, error) {
+	switch n := s.(type) {
+	case SeqBool:
+		return []thread{{n.Cond}}, nil
+	case SeqConcat:
+		as, err := enumerate(n.A)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := enumerate(n.B)
+		if err != nil {
+			return nil, err
+		}
+		var out []thread
+		for _, ta := range as {
+			for _, tb := range bs {
+				for k := n.Lo; k <= n.Hi; k++ {
+					var t thread
+					if k == 0 {
+						// ##0 fuses the boundary cycle.
+						t = append(t, ta[:len(ta)-1]...)
+						t = append(t, conj(ta[len(ta)-1], tb[0]))
+						t = append(t, tb[1:]...)
+					} else {
+						t = append(t, ta...)
+						for i := 1; i < k; i++ {
+							t = append(t, nil)
+						}
+						t = append(t, tb...)
+					}
+					out = append(out, t)
+					if len(out) > maxThreads {
+						return nil, fmt.Errorf("sva: sequence unrolls beyond %d alternatives", maxThreads)
+					}
+				}
+			}
+		}
+		return out, nil
+	case SeqRepeat:
+		base, err := enumerate(n.S)
+		if err != nil {
+			return nil, err
+		}
+		var out []thread
+		for k := n.Lo; k <= n.Hi; k++ {
+			reps := repeatThreads(base, k)
+			out = append(out, reps...)
+			if len(out) > maxThreads {
+				return nil, fmt.Errorf("sva: repetition unrolls beyond %d alternatives", maxThreads)
+			}
+		}
+		return out, nil
+	case SeqBinary:
+		as, err := enumerate(n.A)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := enumerate(n.B)
+		if err != nil {
+			return nil, err
+		}
+		var out []thread
+		switch n.Op {
+		case "or":
+			out = append(append(out, as...), bs...)
+		case "and":
+			for _, ta := range as {
+				for _, tb := range bs {
+					out = append(out, zipThreads(ta, tb))
+				}
+			}
+		case "intersect":
+			for _, ta := range as {
+				for _, tb := range bs {
+					if len(ta) == len(tb) {
+						out = append(out, zipThreads(ta, tb))
+					}
+				}
+			}
+			if len(out) == 0 {
+				return nil, fmt.Errorf("sva: intersect operands can never have equal length")
+			}
+		default:
+			return nil, fmt.Errorf("sva: unknown sequence operator %q", n.Op)
+		}
+		if len(out) > maxThreads {
+			return nil, fmt.Errorf("sva: sequence unrolls beyond %d alternatives", maxThreads)
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sva: unknown sequence node %T", s)
+	}
+}
+
+// repeatThreads concatenates base threads k times with ##1 spacing
+// (consecutive repetition).
+func repeatThreads(base []thread, k int) []thread {
+	cur := []thread{{}}
+	for i := 0; i < k; i++ {
+		var next []thread
+		for _, prefix := range cur {
+			for _, b := range base {
+				t := append(append(thread{}, prefix...), b...)
+				next = append(next, t)
+				if len(next) > maxThreads {
+					return next
+				}
+			}
+		}
+		cur = next
+	}
+	// Drop the empty seed when k == 0 (cannot happen: lo >= 1).
+	return cur
+}
+
+// zipThreads conjoins two threads element-wise; the shorter is padded
+// with true (it has already matched by then).
+func zipThreads(a, b thread) thread {
+	n := len(a)
+	if len(b) > n {
+		n = len(b)
+	}
+	out := make(thread, n)
+	for i := 0; i < n; i++ {
+		var ga, gb BoolExpr
+		if i < len(a) {
+			ga = a[i]
+		}
+		if i < len(b) {
+			gb = b[i]
+		}
+		out[i] = conj(ga, gb)
+	}
+	return out
+}
+
+func conj(a, b BoolExpr) BoolExpr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return Binary{Op: "&&", A: a, B: b}
+}
+
+// Monitor is a synthesized assertion checker.
+type Monitor struct {
+	Name      string
+	Module    *rtl.Module
+	Inputs    []string // referenced design signals, sorted
+	Assertion *Assertion
+}
+
+// compiler carries the module under construction.
+type compiler struct {
+	m       *rtl.Module
+	clock   string
+	widths  map[string]int
+	inputs  map[string]*rtl.Signal
+	disable rtl.Expr // zero Expr when absent
+	nPast   int
+}
+
+// Compile synthesizes an assertion into a monitor module named name. The
+// monitor's registers live in the given clock domain (the design clock,
+// so the monitor pauses with the MUT). widths gives the bit width of
+// every design signal the assertion may reference.
+func Compile(a *Assertion, name, clock string, widths map[string]int) (*Monitor, error) {
+	c := &compiler{
+		m:      rtl.NewModule(name),
+		clock:  clock,
+		widths: widths,
+		inputs: make(map[string]*rtl.Signal),
+	}
+	fail := c.m.Output("fail", 1)
+
+	var failExpr rtl.Expr
+	if a.Immediate {
+		cond, err := c.expr(a.Cond)
+		if err != nil {
+			return nil, err
+		}
+		failExpr = rtl.LogicalNot(cond)
+	} else {
+		if a.Disable != nil {
+			d, err := c.expr(a.Disable)
+			if err != nil {
+				return nil, err
+			}
+			if d.Width != 1 {
+				d = rtl.RedOr(d)
+			}
+			c.disable = d
+		}
+		var err error
+		var antMatch rtl.Expr
+		failExpr, antMatch, err = c.property(a)
+		if err != nil {
+			return nil, err
+		}
+		if c.disable.Width != 0 {
+			failExpr = rtl.And(failExpr, rtl.Not(c.disable))
+		}
+		// Host-readable diagnostics: a sticky failure flag and an
+		// "antecedent ever matched" flag, both recoverable through
+		// readback after the design pauses.
+		sticky := c.reg("fail_sticky", 1, 0)
+		c.m.SetNext(sticky, rtl.Or(rtl.S(sticky), failExpr))
+		seen := c.reg("ant_seen", 1, 0)
+		c.m.SetNext(seen, rtl.Or(rtl.S(seen), antMatch))
+		stickyOut := c.m.Output("fail_sticky_out", 1)
+		c.m.Connect(stickyOut, rtl.S(sticky))
+		seenOut := c.m.Output("ant_seen_out", 1)
+		c.m.Connect(seenOut, rtl.S(seen))
+	}
+	c.m.Connect(fail, failExpr)
+
+	mon := &Monitor{Name: name, Module: c.m, Assertion: a}
+	for n := range c.inputs {
+		mon.Inputs = append(mon.Inputs, n)
+	}
+	sort.Strings(mon.Inputs)
+	return mon, nil
+}
+
+// reg declares a monitor state register, reset by disable-iff.
+func (c *compiler) reg(name string, width int, init uint64) *rtl.Signal {
+	r := c.m.Reg(name, width, c.clock, init)
+	if c.disable.Width != 0 {
+		c.m.SetReset(r, c.disable)
+	}
+	return r
+}
+
+// property builds the implication checker, returning the fail wire and
+// the antecedent-match wire.
+func (c *compiler) property(a *Assertion) (rtl.Expr, rtl.Expr, error) {
+	ant := a.Ant
+	if ant == nil {
+		ant = SeqBool{Cond: Num{Val: 1}} // plain sequence: checked every cycle
+	}
+	antThreads, err := enumerate(ant)
+	if err != nil {
+		return rtl.Expr{}, rtl.Expr{}, err
+	}
+	conThreads, err := enumerate(a.Con)
+	if err != nil {
+		return rtl.Expr{}, rtl.Expr{}, err
+	}
+
+	// Antecedent match-end: OR over per-thread match pipelines.
+	antMatch := rtl.C(0, 1)
+	for ti, t := range antThreads {
+		me, err := c.antPipeline(ti, t)
+		if err != nil {
+			return rtl.Expr{}, rtl.Expr{}, err
+		}
+		antMatch = rtl.Or(antMatch, me)
+	}
+	antW := c.m.Wire("ant_match", 1)
+	c.m.Connect(antW, antMatch)
+
+	// Obligation start: same cycle for |->, next cycle for |=>.
+	var start rtl.Expr = rtl.S(antW)
+	if a.NonOverlap {
+		d := c.reg("ant_match_d", 1, 0)
+		c.m.SetNext(d, rtl.S(antW))
+		start = rtl.S(d)
+	}
+	startW := c.m.Wire("obl_start", 1)
+	c.m.Connect(startW, start)
+
+	// Consequent guards h[k][j] as wires, one per thread position.
+	K := len(conThreads)
+	maxLen := 0
+	guards := make([][]*rtl.Signal, K)
+	for k, t := range conThreads {
+		if len(t) > maxLen {
+			maxLen = len(t)
+		}
+		guards[k] = make([]*rtl.Signal, len(t))
+		for j, g := range t {
+			w := c.m.Wire(fmt.Sprintf("h%d_%d", k, j), 1)
+			e, err := c.guard(g)
+			if err != nil {
+				return rtl.Expr{}, rtl.Expr{}, err
+			}
+			c.m.Connect(w, e)
+			guards[k][j] = w
+		}
+	}
+
+	// Start-cycle discharge: position 0 evaluates combinationally.
+	succ0 := rtl.C(0, 1)
+	anyAlive0 := rtl.C(0, 1)
+	for k, t := range conThreads {
+		h0 := rtl.S(guards[k][0])
+		if len(t) == 1 {
+			succ0 = rtl.Or(succ0, h0)
+		} else {
+			anyAlive0 = rtl.Or(anyAlive0, h0)
+		}
+	}
+	succ0W := c.m.Wire("succ0", 1)
+	c.m.Connect(succ0W, succ0)
+	alive0W := c.m.Wire("any_alive0", 1)
+	c.m.Connect(alive0W, anyAlive0)
+
+	fail := rtl.And(rtl.S(startW), rtl.Not(rtl.Or(rtl.S(succ0W), rtl.S(alive0W))))
+	capture := c.m.Wire("capture", 1)
+	c.m.Connect(capture, rtl.And(rtl.S(startW),
+		rtl.And(rtl.Not(rtl.S(succ0W)), rtl.S(alive0W))))
+
+	// Staged obligation pipeline: stage j holds the obligation (if any)
+	// that started j cycles ago. Since at most one obligation starts per
+	// cycle, stages never merge tokens, so failure detection stays
+	// per-obligation precise — and the stage index *is* the thread
+	// position, so no age counters or selection muxes are needed.
+	//
+	// alive[k][j]: the obligation at stage j is still viable in thread k.
+	alive := make([][]*rtl.Signal, K)
+	for k, t := range conThreads {
+		alive[k] = make([]*rtl.Signal, len(t))
+		for j := 1; j < len(t); j++ {
+			alive[k][j] = c.reg(fmt.Sprintf("alive%d_%d", k, j), 1, 0)
+		}
+	}
+	for j := 1; j < maxLen; j++ {
+		// Stage-j evaluation against guards h_k[j].
+		anyHere := rtl.C(0, 1)
+		succJ := rtl.C(0, 1)
+		contJ := rtl.C(0, 1)
+		for k, t := range conThreads {
+			if j >= len(t) {
+				continue
+			}
+			a := rtl.S(alive[k][j])
+			anyHere = rtl.Or(anyHere, a)
+			evalK := rtl.And(a, rtl.S(guards[k][j]))
+			if j == len(t)-1 {
+				succJ = rtl.Or(succJ, evalK)
+			} else {
+				contJ = rtl.Or(contJ, evalK)
+				c.m.SetNext(alive[k][j+1], evalK) // advance the token
+			}
+		}
+		succW := c.m.Wire(fmt.Sprintf("stage%d_succ", j), 1)
+		c.m.Connect(succW, succJ)
+		// An obligation at stage j fails when no thread succeeds here and
+		// none can continue.
+		failW := c.m.Wire(fmt.Sprintf("stage%d_fail", j), 1)
+		c.m.Connect(failW, rtl.And(anyHere,
+			rtl.Not(rtl.Or(rtl.S(succW), contJ))))
+		fail = rtl.Or(fail, rtl.S(failW))
+		// Success discharges the obligation: clear every sibling token
+		// advancing out of this stage. Advancing tokens were written
+		// above; gate them with "no success at this stage".
+		for k, t := range conThreads {
+			if j < len(t)-1 {
+				r := c.m.RegOf(alive[k][j+1])
+				r.Next = rtl.And(r.Next, rtl.Not(rtl.S(succW)))
+			}
+		}
+	}
+	// Stage 1 intake from the start cycle.
+	for k, t := range conThreads {
+		if len(t) >= 2 {
+			r := c.m.RegOf(alive[k][1])
+			intake := rtl.And(rtl.S(capture), rtl.S(guards[k][0]))
+			if r.Next.Width != 0 {
+				// A token can only arrive at stage 1 from intake; merge.
+				r.Next = rtl.Or(r.Next, intake)
+			} else {
+				r.Next = intake
+			}
+		}
+	}
+	failOut := c.m.Wire("fail_int", 1)
+	c.m.Connect(failOut, fail)
+	return rtl.S(failOut), rtl.S(antW), nil
+}
+
+// antPipeline builds the partial-match pipeline of one antecedent thread
+// and returns its match-end condition.
+func (c *compiler) antPipeline(ti int, t thread) (rtl.Expr, error) {
+	cur := rtl.C(1, 1)
+	for i := 0; i < len(t); i++ {
+		g, err := c.guard(t[i])
+		if err != nil {
+			return rtl.Expr{}, err
+		}
+		stage := rtl.And(cur, g)
+		if i == len(t)-1 {
+			w := c.m.Wire(fmt.Sprintf("ant%d_end", ti), 1)
+			c.m.Connect(w, stage)
+			return rtl.S(w), nil
+		}
+		p := c.reg(fmt.Sprintf("ant%d_p%d", ti, i+1), 1, 0)
+		c.m.SetNext(p, stage)
+		cur = rtl.S(p)
+	}
+	return cur, nil
+}
+
+// guard lowers a per-cycle guard (nil = true) to a 1-bit expression.
+func (c *compiler) guard(g BoolExpr) (rtl.Expr, error) {
+	if g == nil {
+		return rtl.C(1, 1), nil
+	}
+	e, err := c.expr(g)
+	if err != nil {
+		return rtl.Expr{}, err
+	}
+	if e.Width != 1 {
+		e = rtl.RedOr(e)
+	}
+	return e, nil
+}
+
+// expr lowers a boolean expression to rtl.
+func (c *compiler) expr(b BoolExpr) (rtl.Expr, error) {
+	switch n := b.(type) {
+	case Num:
+		w := 1
+		for v := n.Val; v > 1; v >>= 1 {
+			w++
+		}
+		return rtl.C(n.Val, w), nil
+	case Ident:
+		sig, err := c.input(n.Name)
+		if err != nil {
+			return rtl.Expr{}, err
+		}
+		e := rtl.S(sig)
+		if n.Hi >= 0 {
+			if n.Hi >= sig.Width || n.Lo < 0 || n.Lo > n.Hi {
+				return rtl.Expr{}, fmt.Errorf("sva: slice %s[%d:%d] out of range (width %d)",
+					n.Name, n.Hi, n.Lo, sig.Width)
+			}
+			e = rtl.Slice(e, n.Hi, n.Lo)
+		}
+		return e, nil
+	case Unary:
+		x, err := c.expr(n.X)
+		if err != nil {
+			return rtl.Expr{}, err
+		}
+		if n.Op == "!" {
+			return rtl.LogicalNot(x), nil
+		}
+		return rtl.Not(x), nil
+	case Binary:
+		a, err := c.expr(n.A)
+		if err != nil {
+			return rtl.Expr{}, err
+		}
+		bb, err := c.expr(n.B)
+		if err != nil {
+			return rtl.Expr{}, err
+		}
+		switch n.Op {
+		case "&&":
+			return rtl.LogicalAnd(a, bb), nil
+		case "||":
+			return rtl.LogicalOr(a, bb), nil
+		}
+		a, bb = unify(a, bb)
+		switch n.Op {
+		case "&":
+			return rtl.And(a, bb), nil
+		case "|":
+			return rtl.Or(a, bb), nil
+		case "^":
+			return rtl.Xor(a, bb), nil
+		case "==":
+			return rtl.Eq(a, bb), nil
+		case "!=":
+			return rtl.Ne(a, bb), nil
+		case "<":
+			return rtl.Lt(a, bb), nil
+		case "<=":
+			return rtl.Le(a, bb), nil
+		case ">":
+			return rtl.Lt(bb, a), nil
+		case ">=":
+			return rtl.Le(bb, a), nil
+		}
+		return rtl.Expr{}, fmt.Errorf("sva: unknown operator %q", n.Op)
+	case Past:
+		x, err := c.expr(n.X)
+		if err != nil {
+			return rtl.Expr{}, err
+		}
+		return c.past(x, n.N), nil
+	case Edge:
+		x, err := c.expr(n.X)
+		if err != nil {
+			return rtl.Expr{}, err
+		}
+		prev := c.past(x, 1)
+		switch n.Kind {
+		case "rose":
+			// LSB transitioned 0 -> 1, per the LRM.
+			return rtl.And(lsb(x), rtl.Not(lsb(prev))), nil
+		case "fell":
+			return rtl.And(rtl.Not(lsb(x)), lsb(prev)), nil
+		case "stable":
+			return rtl.Eq(x, prev), nil
+		default:
+			return rtl.Expr{}, fmt.Errorf("sva: unknown edge function $%s", n.Kind)
+		}
+	default:
+		return rtl.Expr{}, fmt.Errorf("sva: unknown expression node %T", b)
+	}
+}
+
+// past builds an n-deep sampling pipeline of x.
+func (c *compiler) past(x rtl.Expr, n int) rtl.Expr {
+	cur := x
+	for i := 0; i < n; i++ {
+		c.nPast++
+		r := c.reg(fmt.Sprintf("past%d", c.nPast), cur.Width, 0)
+		c.m.SetNext(r, cur)
+		cur = rtl.S(r)
+	}
+	return cur
+}
+
+func lsb(e rtl.Expr) rtl.Expr {
+	if e.Width == 1 {
+		return e
+	}
+	return rtl.Bit(e, 0)
+}
+
+func unify(a, b rtl.Expr) (rtl.Expr, rtl.Expr) {
+	if a.Width < b.Width {
+		a = rtl.ZeroExt(a, b.Width)
+	}
+	if b.Width < a.Width {
+		b = rtl.ZeroExt(b, a.Width)
+	}
+	return a, b
+}
+
+// input declares (once) a monitor input for a referenced design signal.
+func (c *compiler) input(name string) (*rtl.Signal, error) {
+	if s, ok := c.inputs[name]; ok {
+		return s, nil
+	}
+	w, ok := c.widths[name]
+	if !ok {
+		return nil, fmt.Errorf("sva: assertion references unknown signal %q", name)
+	}
+	s := c.m.Input(name, w)
+	c.inputs[name] = s
+	return s, nil
+}

@@ -1,0 +1,79 @@
+package sva
+
+import "testing"
+
+// FuzzParse asserts the SVA front end never panics: every input either
+// parses or returns an error.
+func FuzzParse(f *testing.F) {
+	for _, aa := range ArianeAssertions() {
+		f.Add(aa.Source)
+	}
+	f.Add("assert (a == b);")
+	f.Add("assert property (@(posedge clk) a |-> ##[1:3] (b and c)[*2]);")
+	f.Add("x: assert property (a ##0 b |=> $past(c, 3) || d[3:1]);")
+	f.Add("assert property (@(posedge clk) $rose(a) |-> $stable(d));")
+	f.Fuzz(func(t *testing.T, src string) {
+		a, err := Parse(src)
+		if err != nil {
+			return
+		}
+		// Whatever parsed must also compile or fail cleanly.
+		widths := map[string]int{}
+		collectIdents(a, widths)
+		_, _ = Compile(a, "fz", "clk", widths)
+	})
+}
+
+// collectIdents gives every referenced identifier a width so Compile
+// exercises the backend too.
+func collectIdents(a *Assertion, widths map[string]int) {
+	var walkBool func(b BoolExpr)
+	var walkSeq func(s SeqNode)
+	walkBool = func(b BoolExpr) {
+		switch n := b.(type) {
+		case Ident:
+			w := 8
+			if n.Hi >= 8 {
+				w = n.Hi + 1
+			}
+			if cur, ok := widths[n.Name]; !ok || w > cur {
+				widths[n.Name] = w
+			}
+		case Unary:
+			walkBool(n.X)
+		case Binary:
+			walkBool(n.A)
+			walkBool(n.B)
+		case Past:
+			walkBool(n.X)
+		case Edge:
+			walkBool(n.X)
+		}
+	}
+	walkSeq = func(s SeqNode) {
+		switch n := s.(type) {
+		case SeqBool:
+			walkBool(n.Cond)
+		case SeqConcat:
+			walkSeq(n.A)
+			walkSeq(n.B)
+		case SeqRepeat:
+			walkSeq(n.S)
+		case SeqBinary:
+			walkSeq(n.A)
+			walkSeq(n.B)
+		}
+	}
+	if a.Cond != nil {
+		walkBool(a.Cond)
+	}
+	if a.Disable != nil {
+		walkBool(a.Disable)
+	}
+	if a.Ant != nil {
+		walkSeq(a.Ant)
+	}
+	if a.Con != nil {
+		walkSeq(a.Con)
+	}
+}

@@ -1,0 +1,141 @@
+// Package sva implements Zoomie's Assertion Synthesis compiler (§3.4,
+// §5.4): a parser for the practical subset of SystemVerilog Assertions
+// listed in the paper's Table 4, and a synthesizer that turns each
+// assertion into a hardware monitor FSM (an rtl.Module with a 1-bit
+// "fail" output) that runs beside the module under test and raises an
+// assertion breakpoint in the Debug Controller.
+//
+// Supported (Table 4): immediate asserts; $past(sig, n); single-clock
+// @(posedge clk); disable iff; overlapped and non-overlapped implication
+// (|->, |=>); fixed delay ##n; finite delay ranges ##[m:n]; consecutive
+// repetition [*n] and [*m:n]; finite sequence and/or/intersect.
+// Rejected with specific errors: $isunknown (four-state only), local
+// variables, first_match, unbounded ranges (##[m:$]), multiple clocks.
+package sva
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokSymbol // punctuation and multi-char operators
+	tokSystem // $past, $isunknown, ...
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	num  uint64
+	pos  int
+}
+
+var symbols = []string{
+	"|->", "|=>", "##", "[*", "==", "!=", "<=", ">=", "&&", "||",
+	"(", ")", "[", "]", ":", ";", ",", "!", "~", "&", "|", "^", "<", ">",
+	"@", "$", "=",
+}
+
+func lex(src string) ([]token, error) {
+	var toks []token
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '/' && i+1 < len(src) && src[i+1] == '/':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+		case c == '$':
+			j := i + 1
+			for j < len(src) && (isIdentChar(src[j])) {
+				j++
+			}
+			if j == i+1 {
+				// A bare '$' — the unbounded range marker.
+				toks = append(toks, token{kind: tokSymbol, text: "$", pos: i})
+				i++
+				continue
+			}
+			toks = append(toks, token{kind: tokSystem, text: src[i:j], pos: i})
+			i = j
+		case isLetterByte(c) || c == '_':
+			j := i
+			for j < len(src) && isIdentChar(src[j]) {
+				j++
+			}
+			toks = append(toks, token{kind: tokIdent, text: src[i:j], pos: i})
+			i = j
+		case c >= '0' && c <= '9':
+			j := i
+			base := 10
+			digits := strings.Builder{}
+			for j < len(src) && (isIdentChar(src[j]) || src[j] == '\'') {
+				j++
+			}
+			lit := src[i:j]
+			if k := strings.IndexByte(lit, '\''); k >= 0 {
+				// Sized literal like 8'hFF / 4'b1010 / 16'd42.
+				if k+1 >= len(lit) {
+					return nil, fmt.Errorf("sva: malformed literal %q at %d", lit, i)
+				}
+				switch lit[k+1] {
+				case 'h', 'H':
+					base = 16
+				case 'b', 'B':
+					base = 2
+				case 'd', 'D':
+					base = 10
+				case 'o', 'O':
+					base = 8
+				default:
+					return nil, fmt.Errorf("sva: malformed literal %q at %d", lit, i)
+				}
+				digits.WriteString(lit[k+2:])
+			} else {
+				digits.WriteString(lit)
+			}
+			v, err := strconv.ParseUint(strings.ReplaceAll(digits.String(), "_", ""), base, 64)
+			if err != nil {
+				return nil, fmt.Errorf("sva: bad number %q at %d: %v", lit, i, err)
+			}
+			toks = append(toks, token{kind: tokNumber, text: lit, num: v, pos: i})
+			i = j
+		default:
+			matched := false
+			for _, s := range symbols {
+				if strings.HasPrefix(src[i:], s) {
+					toks = append(toks, token{kind: tokSymbol, text: s, pos: i})
+					i += len(s)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("sva: unexpected character %q at %d", c, i)
+			}
+		}
+	}
+	toks = append(toks, token{kind: tokEOF, pos: len(src)})
+	return toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || c == '.' ||
+		isLetterByte(c) || (c >= '0' && c <= '9')
+}
+
+// isLetterByte is deliberately ASCII-only: SVA identifiers are ASCII, and
+// byte-wise scanning of multi-byte runes must never claim a byte that
+// isIdentChar will then refuse (which would stall the scanner).
+func isLetterByte(c byte) bool {
+	return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}

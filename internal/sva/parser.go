@@ -1,0 +1,627 @@
+package sva
+
+import (
+	"fmt"
+	"strings"
+)
+
+// BoolExpr is a boolean/bit-vector expression AST node.
+type BoolExpr interface{ boolExpr() }
+
+// Ident references a design signal, optionally bit-sliced.
+type Ident struct {
+	Name   string
+	Hi, Lo int // -1,-1 when no slice; Hi==Lo for single bit
+}
+
+// Num is a literal.
+type Num struct{ Val uint64 }
+
+// Unary is !x or ~x.
+type Unary struct {
+	Op string
+	X  BoolExpr
+}
+
+// Binary covers &&, ||, &, |, ^, ==, !=, <, <=, >, >=.
+type Binary struct {
+	Op   string
+	A, B BoolExpr
+}
+
+// Past is $past(x, n).
+type Past struct {
+	X BoolExpr
+	N int
+}
+
+// Edge is $rose(x), $fell(x) or $stable(x).
+type Edge struct {
+	Kind string // "rose", "fell", "stable"
+	X    BoolExpr
+}
+
+func (Ident) boolExpr()  {}
+func (Num) boolExpr()    {}
+func (Unary) boolExpr()  {}
+func (Binary) boolExpr() {}
+func (Past) boolExpr()   {}
+func (Edge) boolExpr()   {}
+
+// SeqNode is a sequence AST node.
+type SeqNode interface{ seqNode() }
+
+// SeqBool is a boolean sequence of length 1.
+type SeqBool struct{ Cond BoolExpr }
+
+// SeqConcat is a ##[lo:hi] b (lo==hi for fixed delay).
+type SeqConcat struct {
+	A, B   SeqNode
+	Lo, Hi int
+}
+
+// SeqRepeat is s[*lo:hi] (consecutive repetition).
+type SeqRepeat struct {
+	S      SeqNode
+	Lo, Hi int
+}
+
+// SeqBinary is `a and b`, `a or b`, or `a intersect b`.
+type SeqBinary struct {
+	Op   string
+	A, B SeqNode
+}
+
+func (SeqBool) seqNode()   {}
+func (SeqConcat) seqNode() {}
+func (SeqRepeat) seqNode() {}
+func (SeqBinary) seqNode() {}
+
+// Assertion is a parsed SVA.
+type Assertion struct {
+	Label     string
+	Source    string
+	Immediate bool
+	Cond      BoolExpr // immediate form
+
+	Clock      string   // sampled clock identifier (concurrent form)
+	Disable    BoolExpr // nil when absent
+	Ant        SeqNode  // antecedent (nil when the property is a plain sequence)
+	Con        SeqNode  // consequent (or the whole property when Ant is nil)
+	NonOverlap bool     // |=> vs |->
+}
+
+// UnsupportedError reports use of an SVA feature outside the Table 4
+// subset, carrying which feature for the support-matrix evaluation.
+type UnsupportedError struct {
+	Feature string
+	Detail  string
+}
+
+func (e *UnsupportedError) Error() string {
+	return fmt.Sprintf("sva: unsupported feature %s: %s", e.Feature, e.Detail)
+}
+
+// maxFiniteBound caps finite delay ranges, repetition counts and $past
+// depths: every extra cycle is real hardware (a register per tracked
+// thread), so monitors beyond this bound are rejected as unsynthesizable
+// rather than silently exploding.
+const maxFiniteBound = 1024
+
+var seqKeywords = map[string]bool{
+	"and": true, "or": true, "intersect": true,
+	"throughout": true, "within": true, "first_match": true,
+	"posedge": true, "negedge": true, "disable": true, "iff": true,
+}
+
+type parser struct {
+	toks []token
+	i    int
+	src  string
+}
+
+// Parse parses one assertion statement.
+func Parse(src string) (*Assertion, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks, src: src}
+	a, err := p.parseAssertion()
+	if err != nil {
+		return nil, err
+	}
+	a.Source = strings.TrimSpace(src)
+	return a, nil
+}
+
+func (p *parser) peek() token   { return p.toks[p.i] }
+func (p *parser) next() token   { t := p.toks[p.i]; p.i++; return t }
+func (p *parser) atEOF() bool   { return p.peek().kind == tokEOF }
+func (p *parser) save() int     { return p.i }
+func (p *parser) restore(i int) { p.i = i }
+
+func (p *parser) accept(text string) bool {
+	if p.peek().text == text && p.peek().kind != tokEOF {
+		p.i++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expect(text string) error {
+	if !p.accept(text) {
+		return fmt.Errorf("sva: expected %q at position %d, found %q", text, p.peek().pos, p.peek().text)
+	}
+	return nil
+}
+
+func (p *parser) parseAssertion() (*Assertion, error) {
+	a := &Assertion{}
+	// Optional label.
+	if p.peek().kind == tokIdent && p.toks[p.i+1].text == ":" {
+		a.Label = p.next().text
+		p.next()
+	}
+	if !p.accept("assert") {
+		return nil, fmt.Errorf("sva: expected 'assert' at %d", p.peek().pos)
+	}
+	if p.accept("property") {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		if err := p.parseProperty(a); err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := p.expect("("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		a.Immediate = true
+		a.Cond = cond
+	}
+	p.accept(";")
+	if !p.atEOF() {
+		return nil, fmt.Errorf("sva: trailing input at %d: %q", p.peek().pos, p.peek().text)
+	}
+	return a, nil
+}
+
+func (p *parser) parseProperty(a *Assertion) error {
+	if p.accept("@") {
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		if p.accept("negedge") {
+			return &UnsupportedError{Feature: "clocking", Detail: "negedge clocks are not supported"}
+		}
+		if err := p.expect("posedge"); err != nil {
+			return err
+		}
+		ck := p.next()
+		if ck.kind != tokIdent {
+			return fmt.Errorf("sva: expected clock name at %d", ck.pos)
+		}
+		a.Clock = ck.text
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+	}
+	// Second clocking event = multiple clocks.
+	if p.peek().text == "@" {
+		return &UnsupportedError{Feature: "clocking", Detail: "multiple clocks in one property"}
+	}
+	if p.accept("disable") {
+		if err := p.expect("iff"); err != nil {
+			return err
+		}
+		if err := p.expect("("); err != nil {
+			return err
+		}
+		d, err := p.parseBool()
+		if err != nil {
+			return err
+		}
+		if err := p.expect(")"); err != nil {
+			return err
+		}
+		a.Disable = d
+	}
+	seq, err := p.parseSeq()
+	if err != nil {
+		return err
+	}
+	switch {
+	case p.accept("|->"):
+		a.Ant = seq
+	case p.accept("|=>"):
+		a.Ant = seq
+		a.NonOverlap = true
+	default:
+		a.Con = seq
+		return nil
+	}
+	con, err := p.parseSeq()
+	if err != nil {
+		return err
+	}
+	a.Con = con
+	return nil
+}
+
+// parseSeq: or-level (lowest precedence).
+func (p *parser) parseSeq() (SeqNode, error) {
+	left, err := p.parseSeqAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && p.peek().text == "or" {
+		p.next()
+		right, err := p.parseSeqAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = SeqBinary{Op: "or", A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSeqAnd() (SeqNode, error) {
+	left, err := p.parseSeqCat()
+	if err != nil {
+		return nil, err
+	}
+	for p.peek().kind == tokIdent && (p.peek().text == "and" || p.peek().text == "intersect") {
+		op := p.next().text
+		right, err := p.parseSeqCat()
+		if err != nil {
+			return nil, err
+		}
+		left = SeqBinary{Op: op, A: left, B: right}
+	}
+	if p.peek().kind == tokIdent && (p.peek().text == "throughout" || p.peek().text == "within") {
+		return nil, &UnsupportedError{Feature: "sequence operator", Detail: p.peek().text + " is not supported"}
+	}
+	return left, nil
+}
+
+func (p *parser) parseSeqCat() (SeqNode, error) {
+	// A leading ##n means "true ##n ...".
+	var left SeqNode
+	if p.peek().text != "##" {
+		var err error
+		left, err = p.parseSeqAtom()
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		left = SeqBool{Cond: Num{Val: 1}}
+	}
+	for p.accept("##") {
+		lo, hi, err := p.parseDelay()
+		if err != nil {
+			return nil, err
+		}
+		right, err := p.parseSeqAtom()
+		if err != nil {
+			return nil, err
+		}
+		left = SeqConcat{A: left, B: right, Lo: lo, Hi: hi}
+	}
+	return left, nil
+}
+
+func (p *parser) parseDelay() (lo, hi int, err error) {
+	if p.peek().kind == tokNumber {
+		n := int(p.next().num)
+		if n > maxFiniteBound {
+			return 0, 0, &UnsupportedError{Feature: "delay range",
+				Detail: fmt.Sprintf("delay %d exceeds the synthesizable limit %d", n, maxFiniteBound)}
+		}
+		return n, n, nil
+	}
+	if p.accept("[") {
+		if p.peek().kind != tokNumber {
+			return 0, 0, fmt.Errorf("sva: expected delay bound at %d", p.peek().pos)
+		}
+		lo = int(p.next().num)
+		if err := p.expect(":"); err != nil {
+			return 0, 0, err
+		}
+		if p.peek().text == "$" {
+			return 0, 0, &UnsupportedError{Feature: "delay range", Detail: "unbounded ##[m:$] range"}
+		}
+		if p.peek().kind != tokNumber {
+			return 0, 0, fmt.Errorf("sva: expected delay bound at %d", p.peek().pos)
+		}
+		hi = int(p.next().num)
+		if err := p.expect("]"); err != nil {
+			return 0, 0, err
+		}
+		if hi < lo {
+			return 0, 0, fmt.Errorf("sva: delay range [%d:%d] is empty", lo, hi)
+		}
+		if hi > maxFiniteBound {
+			return 0, 0, &UnsupportedError{Feature: "delay range",
+				Detail: fmt.Sprintf("bound %d exceeds the synthesizable limit %d", hi, maxFiniteBound)}
+		}
+		return lo, hi, nil
+	}
+	return 0, 0, fmt.Errorf("sva: expected delay at %d", p.peek().pos)
+}
+
+func (p *parser) parseSeqAtom() (SeqNode, error) {
+	if p.peek().kind == tokIdent && p.peek().text == "first_match" {
+		return nil, &UnsupportedError{Feature: "first_match", Detail: "first_match is not supported"}
+	}
+	var atom SeqNode
+	if p.peek().text == "(" {
+		// Could be a parenthesized sequence or a boolean; try sequence
+		// first, fall back to boolean (a boolean is a sequence anyway).
+		mark := p.save()
+		p.next()
+		seq, err := p.parseSeq()
+		if err == nil && p.accept(")") {
+			atom = seq
+		} else {
+			if _, ok := err.(*UnsupportedError); ok {
+				return nil, err
+			}
+			if p.peek().text == "," {
+				return nil, &UnsupportedError{Feature: "local variable",
+					Detail: "comma-separated local variable binding in sequence"}
+			}
+			p.restore(mark)
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			b, err := p.parseBool()
+			if err != nil {
+				return nil, err
+			}
+			if p.peek().text == "," {
+				return nil, &UnsupportedError{Feature: "local variable",
+					Detail: "comma-separated local variable binding in sequence"}
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			atom = SeqBool{Cond: b}
+		}
+	} else {
+		b, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		atom = SeqBool{Cond: b}
+	}
+	// Optional repetition.
+	if p.accept("[*") {
+		if p.peek().kind != tokNumber {
+			return nil, fmt.Errorf("sva: expected repetition count at %d", p.peek().pos)
+		}
+		lo := int(p.next().num)
+		hi := lo
+		if p.accept(":") {
+			if p.peek().text == "$" {
+				return nil, &UnsupportedError{Feature: "repetition", Detail: "unbounded [*m:$] repetition"}
+			}
+			if p.peek().kind != tokNumber {
+				return nil, fmt.Errorf("sva: expected repetition bound at %d", p.peek().pos)
+			}
+			hi = int(p.next().num)
+		}
+		if err := p.expect("]"); err != nil {
+			return nil, err
+		}
+		if lo < 1 || hi < lo {
+			return nil, fmt.Errorf("sva: repetition [*%d:%d] not supported (goto/empty repetitions excluded)", lo, hi)
+		}
+		if hi > maxFiniteBound {
+			return nil, &UnsupportedError{Feature: "repetition",
+				Detail: fmt.Sprintf("bound %d exceeds the synthesizable limit %d", hi, maxFiniteBound)}
+		}
+		atom = SeqRepeat{S: atom, Lo: lo, Hi: hi}
+	}
+	if p.peek().text == "[" {
+		return nil, &UnsupportedError{Feature: "repetition", Detail: "only consecutive [*n] repetition is supported"}
+	}
+	return atom, nil
+}
+
+// Boolean expression precedence: || < && < comparisons < bitwise &|^ <
+// unary.
+func (p *parser) parseBool() (BoolExpr, error) {
+	return p.parseOrOr()
+}
+
+func (p *parser) parseOrOr() (BoolExpr, error) {
+	left, err := p.parseAndAnd()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("||") {
+		right, err := p.parseAndAnd()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: "||", A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseAndAnd() (BoolExpr, error) {
+	left, err := p.parseCompare()
+	if err != nil {
+		return nil, err
+	}
+	for p.accept("&&") {
+		right, err := p.parseCompare()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: "&&", A: left, B: right}
+	}
+	return left, nil
+}
+
+func (p *parser) parseCompare() (BoolExpr, error) {
+	left, err := p.parseBitwise()
+	if err != nil {
+		return nil, err
+	}
+	for _, op := range []string{"==", "!=", "<=", ">=", "<", ">"} {
+		if p.accept(op) {
+			right, err := p.parseBitwise()
+			if err != nil {
+				return nil, err
+			}
+			return Binary{Op: op, A: left, B: right}, nil
+		}
+	}
+	return left, nil
+}
+
+func (p *parser) parseBitwise() (BoolExpr, error) {
+	left, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		var op string
+		switch p.peek().text {
+		case "&", "|", "^":
+			op = p.next().text
+		default:
+			return left, nil
+		}
+		right, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		left = Binary{Op: op, A: left, B: right}
+	}
+}
+
+func (p *parser) parseUnary() (BoolExpr, error) {
+	if p.accept("!") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "!", X: x}, nil
+	}
+	if p.accept("~") {
+		x, err := p.parseUnary()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "~", X: x}, nil
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (BoolExpr, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tokSystem:
+		p.next()
+		switch t.text {
+		case "$past":
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseBool()
+			if err != nil {
+				return nil, err
+			}
+			n := 1
+			if p.accept(",") {
+				if p.peek().kind != tokNumber {
+					return nil, fmt.Errorf("sva: expected $past depth at %d", p.peek().pos)
+				}
+				n = int(p.next().num)
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			if n < 1 {
+				return nil, fmt.Errorf("sva: $past depth must be >= 1")
+			}
+			if n > maxFiniteBound {
+				return nil, &UnsupportedError{Feature: "System Functions",
+					Detail: fmt.Sprintf("$past depth %d exceeds the synthesizable limit %d", n, maxFiniteBound)}
+			}
+			return Past{X: x, N: n}, nil
+		case "$rose", "$fell", "$stable":
+			if err := p.expect("("); err != nil {
+				return nil, err
+			}
+			x, err := p.parseBool()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expect(")"); err != nil {
+				return nil, err
+			}
+			return Edge{Kind: t.text[1:], X: x}, nil
+		case "$isunknown":
+			return nil, &UnsupportedError{
+				Feature: "$isunknown",
+				Detail:  "checks for X values, which exist only in four-state simulation",
+			}
+		default:
+			return nil, &UnsupportedError{Feature: t.text, Detail: "system function not synthesizable"}
+		}
+	case t.kind == tokNumber:
+		p.next()
+		return Num{Val: t.num}, nil
+	case t.kind == tokIdent:
+		if seqKeywords[t.text] {
+			return nil, fmt.Errorf("sva: unexpected keyword %q at %d", t.text, t.pos)
+		}
+		p.next()
+		id := Ident{Name: t.text, Hi: -1, Lo: -1}
+		if p.accept("[") {
+			if p.peek().kind != tokNumber {
+				return nil, fmt.Errorf("sva: expected bit index at %d", p.peek().pos)
+			}
+			hi := int(p.next().num)
+			lo := hi
+			if p.accept(":") {
+				if p.peek().kind != tokNumber {
+					return nil, fmt.Errorf("sva: expected bit index at %d", p.peek().pos)
+				}
+				lo = int(p.next().num)
+			}
+			if err := p.expect("]"); err != nil {
+				return nil, err
+			}
+			id.Hi, id.Lo = hi, lo
+		}
+		return id, nil
+	case t.text == "(":
+		p.next()
+		x, err := p.parseBool()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(")"); err != nil {
+			return nil, err
+		}
+		return x, nil
+	case t.text == "=":
+		return nil, &UnsupportedError{Feature: "local variable", Detail: "local variable assignment in sequence"}
+	}
+	return nil, fmt.Errorf("sva: unexpected token %q at %d", t.text, t.pos)
+}

@@ -1,0 +1,551 @@
+package sva
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+	"zoomie/internal/synth"
+)
+
+func TestParseSimpleImplication(t *testing.T) {
+	a, err := Parse("ack_valid: assert property (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Label != "ack_valid" || a.Clock != "clk" || a.Immediate || a.Disable == nil {
+		t.Errorf("parsed: %+v", a)
+	}
+	if a.Ant == nil || a.Con == nil || a.NonOverlap {
+		t.Error("implication structure wrong")
+	}
+}
+
+func TestParseImmediate(t *testing.T) {
+	a, err := Parse("assert (a == b);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Immediate || a.Cond == nil {
+		t.Errorf("immediate parse: %+v", a)
+	}
+}
+
+func TestParseNonOverlapped(t *testing.T) {
+	a, err := Parse("assert property (@(posedge clk) flush |=> !valid);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.NonOverlap {
+		t.Error("|=> not recognized")
+	}
+}
+
+func TestParseRejectsUnsupported(t *testing.T) {
+	cases := map[string]string{
+		"$isunknown":     "assert property (@(posedge clk) !$isunknown(data));",
+		"delay range":    "assert property (@(posedge clk) a |-> ##[1:$] b);",
+		"repetition":     "assert property (@(posedge clk) a |-> b[*1:$]);",
+		"first_match":    "assert property (@(posedge clk) first_match(a ##1 b) |-> c);",
+		"local variable": "assert property (@(posedge clk) (a, x = b) ##1 (c == x) |-> d);",
+		"clocking":       "assert property (@(negedge clk) a |-> b);",
+	}
+	for feature, src := range cases {
+		_, err := Parse(src)
+		var ue *UnsupportedError
+		if !errors.As(err, &ue) {
+			t.Errorf("%s: expected UnsupportedError, got %v", feature, err)
+			continue
+		}
+		if ue.Feature != feature {
+			t.Errorf("%s: reported as %q", feature, ue.Feature)
+		}
+	}
+}
+
+func TestParseSequenceOperators(t *testing.T) {
+	for _, src := range []string{
+		"assert property (@(posedge clk) a |-> (b and c));",
+		"assert property (@(posedge clk) a |-> (b or ##1 c));",
+		"assert property (@(posedge clk) a |-> (b ##1 c intersect d ##1 e));",
+		"assert property (@(posedge clk) a |-> b[*2]);",
+		"assert property (@(posedge clk) a |-> b[*1:3]);",
+		"assert property (@(posedge clk) a ##2 b |-> c);",
+		"assert property (@(posedge clk) $past(a, 2) |-> b);",
+		"assert property (a |-> b);", // clockless property
+	} {
+		if _, err := Parse(src); err != nil {
+			t.Errorf("%s: %v", src, err)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	for _, src := range []string{
+		"property (a);",
+		"assert property (@(posedge clk) a |-> );",
+		"assert (a ==);",
+		"assert property (@(posedge clk) a ##[3:1] b);",
+		"assert (a) extra",
+	} {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("%q: parse should fail", src)
+		}
+	}
+}
+
+// monitorHarness compiles an assertion and wires it to poked inputs.
+type monitorHarness struct {
+	s   *sim.Simulator
+	mon *Monitor
+}
+
+func harness(t *testing.T, src string, widths map[string]int) *monitorHarness {
+	t.Helper()
+	a, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := Compile(a, "mon", "clk", widths)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := rtl.NewModule("tb")
+	fail := top.Output("fail", 1)
+	inst := top.Instantiate("mon", mon.Module)
+	for _, in := range mon.Inputs {
+		ti := top.Input(in, widths[in])
+		inst.ConnectInput(in, rtl.S(ti))
+	}
+	fw := top.Wire("fail_w", 1)
+	inst.ConnectOutput("fail", fw)
+	top.Connect(fail, rtl.S(fw))
+	f, err := rtl.Elaborate(rtl.NewDesign("tb", top))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(f, []sim.ClockSpec{{Name: "clk", Period: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &monitorHarness{s: s, mon: mon}
+}
+
+func (h *monitorHarness) step(t *testing.T, values map[string]uint64) uint64 {
+	t.Helper()
+	for k, v := range values {
+		if err := h.s.Poke(k, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fail, _ := h.s.Peek("fail")
+	h.s.Run(1)
+	return fail
+}
+
+var rv = map[string]int{"valid": 1, "ack": 1, "resetn": 1, "a": 1, "b": 1, "c": 1, "d": 1}
+
+func TestMonitorImplicationHolds(t *testing.T) {
+	h := harness(t, "assert property (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);", rv)
+	seq := []map[string]uint64{
+		{"resetn": 1, "valid": 0, "ack": 0},
+		{"valid": 1}, // antecedent
+		{"valid": 0, "ack": 1},
+		{"ack": 0},
+		{"valid": 1},
+		{"valid": 0, "ack": 1},
+	}
+	for i, vals := range seq {
+		if f := h.step(t, vals); f != 0 {
+			t.Fatalf("cycle %d: spurious fail", i)
+		}
+	}
+}
+
+func TestMonitorImplicationFails(t *testing.T) {
+	h := harness(t, "assert property (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);", rv)
+	h.step(t, map[string]uint64{"resetn": 1, "valid": 0, "ack": 0})
+	h.step(t, map[string]uint64{"valid": 1})
+	// ack stays low the cycle after valid: the assertion must fail NOW.
+	if f := h.step(t, map[string]uint64{"valid": 0, "ack": 0}); f != 1 {
+		t.Fatal("missed violation of valid |-> ##1 ack")
+	}
+}
+
+func TestMonitorDisableIff(t *testing.T) {
+	h := harness(t, "assert property (@(posedge clk) disable iff (!resetn) valid |-> ##1 ack);", rv)
+	// In reset: violations are ignored.
+	h.step(t, map[string]uint64{"resetn": 0, "valid": 1, "ack": 0})
+	if f := h.step(t, map[string]uint64{"valid": 0}); f != 0 {
+		t.Fatal("assertion fired during disable iff")
+	}
+	// Out of reset it arms again.
+	h.step(t, map[string]uint64{"resetn": 1, "valid": 1})
+	if f := h.step(t, map[string]uint64{"valid": 0, "ack": 0}); f != 1 {
+		t.Fatal("assertion dead after reset deasserted")
+	}
+}
+
+func TestMonitorNonOverlappedImplication(t *testing.T) {
+	h := harness(t, "assert property (@(posedge clk) a |=> b);", rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0})
+	// b must hold one cycle later.
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 1}); f != 0 {
+		t.Fatal("spurious fail with satisfied |=>")
+	}
+	h.step(t, map[string]uint64{"a": 1, "b": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 0}); f != 1 {
+		t.Fatal("missed |=> violation")
+	}
+}
+
+func TestMonitorDelayRange(t *testing.T) {
+	// ack may come 1 to 3 cycles after valid.
+	src := "assert property (@(posedge clk) valid |-> ##[1:3] ack);"
+	for lat := 1; lat <= 3; lat++ {
+		h := harness(t, src, rv)
+		h.step(t, map[string]uint64{"valid": 1, "ack": 0})
+		bad := false
+		for i := 1; i < lat; i++ {
+			if f := h.step(t, map[string]uint64{"valid": 0, "ack": 0}); f != 0 {
+				bad = true
+			}
+		}
+		if f := h.step(t, map[string]uint64{"valid": 0, "ack": 1}); f != 0 {
+			bad = true
+		}
+		if bad {
+			t.Errorf("latency %d: spurious fail", lat)
+		}
+	}
+	// Never acked: must fail at the window's end.
+	h := harness(t, src, rv)
+	h.step(t, map[string]uint64{"valid": 1, "ack": 0})
+	failed := false
+	for i := 0; i < 5; i++ {
+		if f := h.step(t, map[string]uint64{"valid": 0, "ack": 0}); f == 1 {
+			failed = true
+		}
+	}
+	if !failed {
+		t.Error("missed windowed violation")
+	}
+}
+
+func TestMonitorRepetition(t *testing.T) {
+	// a |-> b[*2] ##1 c : b in the same cycle and the next, then c.
+	src := "assert property (@(posedge clk) a |-> (b)[*2] ##1 c);"
+	h := harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 1, "c": 0})
+	h.step(t, map[string]uint64{"a": 0, "b": 1})
+	if f := h.step(t, map[string]uint64{"b": 0, "c": 1}); f != 0 {
+		t.Fatal("spurious fail on satisfied repetition")
+	}
+	h = harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 1, "c": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 0}); f != 1 {
+		t.Fatal("missed broken repetition")
+	}
+}
+
+func TestMonitorSequenceAnd(t *testing.T) {
+	src := "assert property (@(posedge clk) a |-> (##1 b and ##2 c));"
+	h := harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0, "c": 0})
+	h.step(t, map[string]uint64{"a": 0, "b": 1})
+	if f := h.step(t, map[string]uint64{"b": 0, "c": 1}); f != 0 {
+		t.Fatal("spurious fail on satisfied and")
+	}
+	// b missing at +1 kills the conjunction.
+	h = harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0, "c": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 0, "c": 0}); f != 1 {
+		t.Fatal("missed and violation")
+	}
+}
+
+func TestMonitorSequenceOr(t *testing.T) {
+	src := "assert property (@(posedge clk) a |-> (##1 b or ##1 c));"
+	h := harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1})
+	if f := h.step(t, map[string]uint64{"a": 0, "c": 1}); f != 0 {
+		t.Fatal("or alternative c not accepted")
+	}
+	h = harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 0, "c": 0}); f != 1 {
+		t.Fatal("missed or violation")
+	}
+}
+
+func TestMonitorPast(t *testing.T) {
+	src := "assert property (@(posedge clk) a |-> $past(b, 2));"
+	h := harness(t, src, map[string]int{"a": 1, "b": 1})
+	h.step(t, map[string]uint64{"b": 1, "a": 0})
+	h.step(t, map[string]uint64{"b": 0})
+	// b was 1 two cycles ago -> a may fire.
+	if f := h.step(t, map[string]uint64{"a": 1}); f != 0 {
+		t.Fatal("$past(b,2) should be 1")
+	}
+	// Now b was 0 two cycles ago.
+	if f := h.step(t, map[string]uint64{"a": 1}); f != 1 {
+		t.Fatal("$past(b,2) should be 0 -> violation")
+	}
+}
+
+func TestMonitorImmediate(t *testing.T) {
+	h := harness(t, "assert (a == b);", rv)
+	if f := h.step(t, map[string]uint64{"a": 1, "b": 1}); f != 0 {
+		t.Fatal("immediate assert fired on equal values")
+	}
+	if f := h.step(t, map[string]uint64{"a": 1, "b": 0}); f != 1 {
+		t.Fatal("immediate assert missed inequality")
+	}
+}
+
+func TestMonitorWideSignalsAndSlices(t *testing.T) {
+	src := "assert property (@(posedge clk) en |-> data[7:4] == 4'hA);"
+	h := harness(t, src, map[string]int{"en": 1, "data": 16})
+	if f := h.step(t, map[string]uint64{"en": 1, "data": 0x00A0}); f != 0 {
+		t.Fatal("slice comparison failed on matching value")
+	}
+	if f := h.step(t, map[string]uint64{"en": 1, "data": 0x0050}); f != 1 {
+		t.Fatal("slice comparison missed mismatch")
+	}
+}
+
+func TestCompileUnknownSignal(t *testing.T) {
+	a, err := Parse("assert property (@(posedge clk) mystery |-> b);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Compile(a, "m", "clk", map[string]int{"b": 1}); err == nil {
+		t.Error("unknown signal accepted")
+	}
+}
+
+func TestFigure8ResourceUsage(t *testing.T) {
+	// §5.4: 7 of the 8 Ariane assertions synthesize; #3 fails on
+	// $isunknown; the total hardware cost is tens of FFs and LUTs.
+	widths := ArianeSignalWidths()
+	var totalFF, totalLUT, synthesized int
+	for i, aa := range ArianeAssertions() {
+		a, err := Parse(aa.Source)
+		if i == 2 {
+			var ue *UnsupportedError
+			if !errors.As(err, &ue) || ue.Feature != "$isunknown" {
+				t.Fatalf("assertion #3 should fail on $isunknown, got %v", err)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("%s: %v", aa.Name, err)
+		}
+		mon, err := Compile(a, aa.Name, "clk", widths)
+		if err != nil {
+			t.Fatalf("%s: %v", aa.Name, err)
+		}
+		net, err := synth.Synthesize(rtl.NewDesign(aa.Name, mon.Module))
+		if err != nil {
+			t.Fatalf("%s: %v", aa.Name, err)
+		}
+		synthesized++
+		totalFF += net.TotalUsage[fpga.FF]
+		totalLUT += net.TotalUsage[fpga.LUT]
+	}
+	if synthesized != 7 {
+		t.Fatalf("synthesized %d assertions, want 7", synthesized)
+	}
+	// Paper: 40 FFs and 88 LUTs total. Same order of magnitude required;
+	// exact numbers are recorded in EXPERIMENTS.md.
+	if totalFF < 10 || totalFF > 120 {
+		t.Errorf("total FF = %d, want tens (paper: 40)", totalFF)
+	}
+	if totalLUT < 20 || totalLUT > 260 {
+		t.Errorf("total LUT = %d, want tens (paper: 88)", totalLUT)
+	}
+}
+
+func TestTable4MatrixAgainstImplementation(t *testing.T) {
+	// Every supported row parses; every unsupported row raises
+	// UnsupportedError.
+	sup := map[string]string{
+		"Immediate":         "assert (a == b);",
+		"System Functions":  "assert property (@(posedge clk) a |-> $past(b, 2));",
+		"Clocking":          "assert property (@(posedge clk) a |-> b);",
+		"Implication":       "assert property (@(posedge clk) a |-> b);",
+		"Fixed Delay":       "assert property (@(posedge clk) a ##2 b |-> c);",
+		"Delay Range":       "assert property (@(posedge clk) a |-> ##[1:2] b);",
+		"Repetition":        "assert property (@(posedge clk) a |-> (b ##1 c)[*2]);",
+		"Sequence Operator": "assert property (@(posedge clk) a |-> (b and c));",
+	}
+	unsup := map[string]string{
+		"Local Variable": "assert property (@(posedge clk) (a, x = b) ##1 (c == x) |-> d);",
+		"First Match":    "assert property (@(posedge clk) first_match(a ##1 b) |-> c);",
+	}
+	for _, row := range Table4() {
+		if src, ok := sup[row.Feature]; ok {
+			if _, err := Parse(src); err != nil {
+				t.Errorf("Table 4 row %q marked %q but fails: %v", row.Feature, row.Support, err)
+			}
+			if row.Support == "unsupported" {
+				t.Errorf("Table 4 row %q wrongly marked unsupported", row.Feature)
+			}
+		}
+		if src, ok := unsup[row.Feature]; ok {
+			var ue *UnsupportedError
+			if _, err := Parse(src); !errors.As(err, &ue) {
+				t.Errorf("Table 4 row %q marked unsupported but parses", row.Feature)
+			}
+			if row.Support != "unsupported" {
+				t.Errorf("Table 4 row %q should be unsupported", row.Feature)
+			}
+		}
+	}
+}
+
+func TestUnsupportedErrorMessage(t *testing.T) {
+	e := &UnsupportedError{Feature: "x", Detail: "y"}
+	if !strings.Contains(e.Error(), "x") || !strings.Contains(e.Error(), "y") {
+		t.Error("error message incomplete")
+	}
+}
+
+func TestMonitorRoseFellStable(t *testing.T) {
+	// $rose(req) |-> ##1 ack
+	h := harness(t, "assert property (@(posedge clk) $rose(a) |-> ##1 b);", rv)
+	h.step(t, map[string]uint64{"a": 0, "b": 0})
+	h.step(t, map[string]uint64{"a": 1}) // rose
+	if f := h.step(t, map[string]uint64{"b": 1}); f != 0 {
+		t.Fatal("spurious fail on satisfied $rose implication")
+	}
+	// Held high: no new rise, no obligation even without b.
+	if f := h.step(t, map[string]uint64{"b": 0}); f != 0 {
+		t.Fatal("level mistaken for edge")
+	}
+	h = harness(t, "assert property (@(posedge clk) $rose(a) |-> ##1 b);", rv)
+	h.step(t, map[string]uint64{"a": 0, "b": 0})
+	h.step(t, map[string]uint64{"a": 1})
+	if f := h.step(t, map[string]uint64{"b": 0}); f != 1 {
+		t.Fatal("missed $rose violation")
+	}
+
+	// $fell
+	h = harness(t, "assert property (@(posedge clk) $fell(a) |-> b);", rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 1}); f != 0 {
+		t.Fatal("spurious fail on $fell with b high")
+	}
+	h = harness(t, "assert property (@(posedge clk) $fell(a) |-> b);", rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 0}); f != 1 {
+		t.Fatal("missed $fell violation")
+	}
+}
+
+func TestMonitorStable(t *testing.T) {
+	// While hold is high, data must be stable.
+	src := "assert property (@(posedge clk) hold |-> $stable(data));"
+	widths := map[string]int{"hold": 1, "data": 8}
+	h := harness(t, src, widths)
+	h.step(t, map[string]uint64{"hold": 0, "data": 5})
+	h.step(t, map[string]uint64{"hold": 1, "data": 5})
+	if f := h.step(t, map[string]uint64{"hold": 1, "data": 5}); f != 0 {
+		t.Fatal("spurious fail on stable data")
+	}
+	// $stable(x) at time t compares against the previous sample, so the
+	// violation is visible in the very cycle the value changes.
+	if f := h.step(t, map[string]uint64{"hold": 1, "data": 9}); f != 1 {
+		t.Fatal("missed $stable violation")
+	}
+	if f := h.step(t, map[string]uint64{"hold": 1, "data": 9}); f != 0 {
+		t.Fatal("stale violation after the value settled")
+	}
+}
+
+func TestMonitorIntersect(t *testing.T) {
+	// intersect requires equal-length matches: (##1 b intersect ##1 c)
+	// demands b and c one cycle after a.
+	src := "assert property (@(posedge clk) a |-> (##1 b intersect ##1 c));"
+	h := harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0, "c": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 1, "c": 1}); f != 0 {
+		t.Fatal("spurious fail on satisfied intersect")
+	}
+	h = harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0, "c": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 1, "c": 0}); f != 1 {
+		t.Fatal("missed intersect violation (c low)")
+	}
+}
+
+func TestMonitorDelayZeroFusion(t *testing.T) {
+	// a ##0 b fuses into the same cycle.
+	src := "assert property (@(posedge clk) a |-> (b ##0 c));"
+	h := harness(t, src, rv)
+	if f := h.step(t, map[string]uint64{"a": 1, "b": 1, "c": 1}); f != 0 {
+		t.Fatal("spurious fail on fused match")
+	}
+	h = harness(t, src, rv)
+	if f := h.step(t, map[string]uint64{"a": 1, "b": 1, "c": 0}); f != 1 {
+		t.Fatal("missed fused violation")
+	}
+}
+
+func TestMonitorAntecedentSequence(t *testing.T) {
+	// Multi-cycle antecedent: a ##1 b |-> c. The obligation only starts
+	// after the full antecedent matched.
+	src := "assert property (@(posedge clk) a ##1 b |-> c);"
+	h := harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0, "c": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 1, "c": 1}); f != 0 {
+		t.Fatal("spurious fail on completed antecedent with c high")
+	}
+	h = harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0, "c": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 1, "c": 0}); f != 1 {
+		t.Fatal("missed violation at antecedent completion")
+	}
+	// An incomplete antecedent (a without b) imposes nothing.
+	h = harness(t, src, rv)
+	h.step(t, map[string]uint64{"a": 1, "b": 0, "c": 0})
+	if f := h.step(t, map[string]uint64{"a": 0, "b": 0, "c": 0}); f != 0 {
+		t.Fatal("incomplete antecedent raised an obligation")
+	}
+}
+
+func TestMonitorBackToBackObligations(t *testing.T) {
+	// Obligations started on consecutive cycles are tracked independently
+	// by the staged pipeline.
+	src := "assert property (@(posedge clk) valid |-> ##2 ack);"
+	h := harness(t, src, rv)
+	h.step(t, map[string]uint64{"valid": 1, "ack": 0})       // obligation A
+	h.step(t, map[string]uint64{"valid": 1})                 // obligation B
+	h.step(t, map[string]uint64{"valid": 0, "ack": 1})       // A satisfied
+	if f := h.step(t, map[string]uint64{"ack": 1}); f != 0 { // B satisfied
+		t.Fatal("spurious fail with overlapping obligations both satisfied")
+	}
+	h = harness(t, src, rv)
+	h.step(t, map[string]uint64{"valid": 1, "ack": 0})
+	h.step(t, map[string]uint64{"valid": 1})
+	h.step(t, map[string]uint64{"valid": 0, "ack": 1}) // A satisfied
+	if f := h.step(t, map[string]uint64{"ack": 0}); f != 1 {
+		t.Fatal("missed the second obligation's violation")
+	}
+}
+
+func TestMonitorStickyDiagnostics(t *testing.T) {
+	h := harness(t, "assert property (@(posedge clk) valid |-> ##1 ack);", rv)
+	h.step(t, map[string]uint64{"valid": 1, "ack": 0})
+	h.step(t, map[string]uint64{"valid": 0, "ack": 0}) // violation
+	h.step(t, map[string]uint64{})
+	if v, _ := h.s.Peek("mon.fail_sticky"); v != 1 {
+		t.Error("sticky fail flag not latched")
+	}
+	if v, _ := h.s.Peek("mon.ant_seen"); v != 1 {
+		t.Error("antecedent-seen flag not latched")
+	}
+}

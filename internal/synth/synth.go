@@ -1,0 +1,406 @@
+// Package synth lowers RTL to an FPGA netlist: LUTs, flip-flops,
+// distributed LUTRAM, and block RAM. Mapping is hierarchical — each unique
+// module is synthesized once and instantiated by reference — which is both
+// how VTI's per-partition compilation reuses work and what makes
+// million-gate manycore designs affordable to account for.
+//
+// Cells are clustered at assignment/register granularity: one cell is the
+// mapped logic cone of one RTL assignment or register, carrying a resource
+// vector, a logic-depth estimate in LUT levels, and its fanin signal
+// names. Placement, routing and timing all operate on these cells.
+package synth
+
+import (
+	"fmt"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/rtl"
+)
+
+// Cell is one mapped logic cluster inside a module.
+type Cell struct {
+	// Name is the local signal (or memory) the cell drives.
+	Name string
+	// Res is the cell's resource usage.
+	Res fpga.ResourceVec
+	// Fanin lists local signal names the cell's logic reads.
+	Fanin []string
+	// IsState marks registers and memories (timing endpoints).
+	IsState bool
+	// Levels is the logic depth of the cell's cone in LUT levels.
+	Levels int
+	// MemWidth and MemDepth are set for memory cells; placement uses them
+	// to allocate frame space.
+	MemWidth, MemDepth int
+}
+
+// ChildRef is an instantiated submodule inside a module netlist.
+type ChildRef struct {
+	Name    string // instance name
+	Netlist *ModuleNetlist
+}
+
+// ModuleNetlist is the synthesized form of one module: its local cells
+// plus references to synthesized children.
+type ModuleNetlist struct {
+	Module   *rtl.Module
+	Cells    []Cell
+	Children []ChildRef
+
+	// LocalUsage counts this module's own cells.
+	LocalUsage fpga.ResourceVec
+	// TotalUsage includes all children, recursively.
+	TotalUsage fpga.ResourceVec
+	// LocalCellCount and TotalCellCount mirror the usage split.
+	LocalCellCount int
+	TotalCellCount int
+}
+
+// Cache memoizes module synthesis so shared modules are mapped once.
+type Cache struct {
+	byModule map[*rtl.Module]*ModuleNetlist
+}
+
+// NewCache returns an empty synthesis cache.
+func NewCache() *Cache { return &Cache{byModule: make(map[*rtl.Module]*ModuleNetlist)} }
+
+// CellCount returns the number of cells across all cached module netlists
+// (each unique module counted once) — the amount of real mapping work the
+// cache has performed.
+func (c *Cache) CellCount() int {
+	n := 0
+	for _, nl := range c.byModule {
+		n += nl.LocalCellCount
+	}
+	return n
+}
+
+// Synthesize maps a whole design hierarchically, returning the top
+// module's netlist.
+func Synthesize(d *rtl.Design) (*ModuleNetlist, error) {
+	return NewCache().Module(d.Top)
+}
+
+// Module synthesizes one module (memoized).
+func (c *Cache) Module(m *rtl.Module) (*ModuleNetlist, error) {
+	if n, ok := c.byModule[m]; ok {
+		return n, nil
+	}
+	n := &ModuleNetlist{Module: m}
+	for _, a := range m.Assigns {
+		cell := mapExpr(a.Dst.Name, a.Src)
+		n.Cells = append(n.Cells, cell)
+	}
+	for _, r := range m.Registers {
+		if r.Next.Width == 0 {
+			return nil, fmt.Errorf("synth: register %s.%s has no next function", m.Name, r.Sig.Name)
+		}
+		cell := mapExpr(r.Sig.Name, r.Next)
+		cell.IsState = true
+		cell.Res[fpga.FF] += r.Sig.Width
+		if r.Enable.Width != 0 {
+			en := mapExpr("", r.Enable)
+			cell.Res.Add(en.Res)
+			cell.Fanin = append(cell.Fanin, en.Fanin...)
+			if en.Levels > cell.Levels {
+				cell.Levels = en.Levels // the CE pin's cone times the cell too
+			}
+		}
+		if r.Reset.Width != 0 {
+			rs := mapExpr("", r.Reset)
+			cell.Res.Add(rs.Res)
+			cell.Fanin = append(cell.Fanin, rs.Fanin...)
+			if rs.Levels > cell.Levels {
+				cell.Levels = rs.Levels
+			}
+		}
+		cell.Fanin = dedup(cell.Fanin)
+		n.Cells = append(n.Cells, cell)
+	}
+	for _, mem := range m.Memories {
+		cell := mapMemory(mem)
+		n.Cells = append(n.Cells, cell)
+	}
+	for _, cell := range n.Cells {
+		n.LocalUsage.Add(cell.Res)
+	}
+	n.LocalCellCount = len(n.Cells)
+	n.TotalUsage = n.LocalUsage
+	n.TotalCellCount = n.LocalCellCount
+	for _, inst := range m.Instances {
+		child, err := c.Module(inst.Module)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, ChildRef{Name: inst.Name, Netlist: child})
+		n.TotalUsage.Add(child.TotalUsage)
+		n.TotalCellCount += child.TotalCellCount
+		// Port connection expressions are parent-side logic; walk the
+		// child's declared port order so netlists are deterministic.
+		childIns, _ := inst.Module.Ports()
+		for _, in := range childIns {
+			src, ok := inst.Inputs[in.Name]
+			if !ok {
+				continue
+			}
+			cell := mapExpr(inst.Name+"."+in.Name, src)
+			n.Cells = append(n.Cells, cell)
+			n.LocalUsage.Add(cell.Res)
+			n.TotalUsage.Add(cell.Res)
+			n.LocalCellCount++
+			n.TotalCellCount++
+		}
+	}
+	c.byModule[m] = n
+	return n, nil
+}
+
+// mapExpr technology-maps one expression cone into a cell.
+func mapExpr(name string, e rtl.Expr) Cell {
+	g := gates(e)
+	luts := (g + 2) / 3 // ~3 two-input gates pack into one 6-LUT
+	cell := Cell{
+		Name:   name,
+		Levels: levels(e),
+	}
+	cell.Res[fpga.LUT] = luts
+	seen := make(map[string]bool)
+	e.VisitSignals(func(s *rtl.Signal) {
+		if !seen[s.Name] {
+			seen[s.Name] = true
+			cell.Fanin = append(cell.Fanin, s.Name)
+		}
+	})
+	e.VisitMems(func(m *rtl.Memory) {
+		key := "mem:" + m.Name
+		if !seen[key] {
+			seen[key] = true
+			cell.Fanin = append(cell.Fanin, m.Name)
+		}
+	})
+	return cell
+}
+
+// mapMemory maps a memory to LUTRAM (shallow) or BRAM (deep), mirroring
+// vendor inference rules.
+func mapMemory(mem *rtl.Memory) Cell {
+	cell := Cell{Name: mem.Name, IsState: true, Levels: 1, MemWidth: mem.Width, MemDepth: mem.Depth}
+	bits := mem.Depth * mem.Width
+	if mem.Depth <= 64 && bits <= 2048 {
+		// Distributed RAM: one 64x1 LUTRAM per bit column per 64 entries.
+		cell.Res[fpga.LUTRAM] = ((mem.Depth + 63) / 64) * mem.Width
+	} else {
+		// Block RAM: 36Kb per BRAM.
+		cell.Res[fpga.BRAM] = (bits + 36863) / 36864
+	}
+	for _, w := range mem.Writes {
+		for _, e := range []rtl.Expr{w.Addr, w.Data, w.Enable} {
+			sub := mapExpr("", e)
+			cell.Res[fpga.LUT] += sub.Res[fpga.LUT]
+			cell.Fanin = append(cell.Fanin, sub.Fanin...)
+		}
+	}
+	cell.Fanin = dedup(cell.Fanin)
+	return cell
+}
+
+// gates estimates the two-input gate count of an expression.
+func gates(e rtl.Expr) int {
+	n := 0
+	switch e.Op {
+	case rtl.OpConst, rtl.OpSig, rtl.OpSlice, rtl.OpConcat, rtl.OpShl, rtl.OpShr:
+		// wiring only
+	case rtl.OpNot:
+		// inversions fold into downstream LUTs
+	case rtl.OpAnd, rtl.OpOr, rtl.OpXor:
+		n = e.Width
+	case rtl.OpAdd, rtl.OpSub:
+		n = 3 * e.Width // carry chain: xor + majority per bit
+	case rtl.OpMul:
+		n = e.Width * e.Width
+	case rtl.OpEq, rtl.OpNe:
+		w := e.Args[0].Width
+		n = w + (w - 1)
+	case rtl.OpLt, rtl.OpLe:
+		n = 2 * e.Args[0].Width
+	case rtl.OpMux:
+		n = 2 * e.Width
+	case rtl.OpRedOr, rtl.OpRedAnd:
+		n = e.Args[0].Width - 1
+	case rtl.OpMemRead:
+		// the array itself is mapped by mapMemory; the read port is wiring
+	}
+	for _, a := range e.Args {
+		n += gates(a)
+	}
+	return n
+}
+
+// levels estimates logic depth in LUT levels. Chains of the same
+// associative operator are treated as the balanced LUT trees synthesis
+// rebalances them into: a k-term and/or/xor chain costs ~log6(k) levels,
+// not k.
+func levels(e rtl.Expr) int {
+	switch e.Op {
+	case rtl.OpAnd, rtl.OpOr, rtl.OpXor:
+		leaves, deepest := 0, 0
+		flattenChain(e, e.Op, &leaves, &deepest)
+		return deepest + lutTreeDepth(leaves)
+	}
+	deepest := 0
+	for _, a := range e.Args {
+		if d := levels(a); d > deepest {
+			deepest = d
+		}
+	}
+	switch e.Op {
+	case rtl.OpConst, rtl.OpSig, rtl.OpSlice, rtl.OpConcat, rtl.OpShl, rtl.OpShr, rtl.OpNot:
+		return deepest
+	case rtl.OpAdd, rtl.OpSub, rtl.OpEq, rtl.OpNe, rtl.OpLt, rtl.OpLe, rtl.OpRedOr, rtl.OpRedAnd:
+		// carry/reduction chains: fast dedicated carry logic, roughly one
+		// extra level per 64 bits
+		return deepest + 1 + e.Width/64
+	case rtl.OpMul:
+		return deepest + 2 + e.Width/16
+	default:
+		return deepest + 1
+	}
+}
+
+// flattenChain counts the leaves of a same-operator chain and the depth
+// of the deepest non-chain subtree feeding it.
+func flattenChain(e rtl.Expr, op rtl.Op, leaves *int, deepest *int) {
+	if e.Op != op {
+		*leaves++
+		if d := levels(e); d > *deepest {
+			*deepest = d
+		}
+		return
+	}
+	for _, a := range e.Args {
+		flattenChain(a, op, leaves, deepest)
+	}
+}
+
+// lutTreeDepth is the depth of a balanced 6-LUT reduction tree over k
+// inputs.
+func lutTreeDepth(k int) int {
+	d := 1
+	for k > 6 {
+		k = (k + 5) / 6
+		d++
+	}
+	return d
+}
+
+func dedup(in []string) []string {
+	seen := make(map[string]bool, len(in))
+	out := in[:0]
+	for _, s := range in {
+		if !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// FlatCell is a cell with its full hierarchical name, produced by
+// flattening a hierarchy of module netlists for placement.
+type FlatCell struct {
+	Name    string // hierarchical name of the driven signal
+	Path    string // instance path of the owning module ("" = top)
+	Res     fpga.ResourceVec
+	Fanin   []string // hierarchical fanin names (local scope best-effort)
+	IsState bool
+	Levels  int
+
+	MemWidth, MemDepth int
+}
+
+// Flatten enumerates all cells of the netlist hierarchy with dotted
+// hierarchical names, invoking fn for each. It allocates only one FlatCell
+// at a time, so flattening a 5000-core SoC does not need gigabytes.
+func (n *ModuleNetlist) Flatten(fn func(FlatCell)) {
+	n.flatten("", fn)
+}
+
+func (n *ModuleNetlist) flatten(prefix string, fn func(FlatCell)) {
+	join := func(name string) string {
+		if prefix == "" {
+			return name
+		}
+		return prefix + "." + name
+	}
+	for _, c := range n.Cells {
+		fc := FlatCell{
+			Name:     join(c.Name),
+			Path:     prefix,
+			Res:      c.Res,
+			IsState:  c.IsState,
+			Levels:   c.Levels,
+			MemWidth: c.MemWidth,
+			MemDepth: c.MemDepth,
+		}
+		fc.Fanin = make([]string, len(c.Fanin))
+		for i, f := range c.Fanin {
+			fc.Fanin[i] = join(f)
+		}
+		fn(fc)
+	}
+	for _, ch := range n.Children {
+		ch.Netlist.flatten(join(ch.Name), fn)
+	}
+}
+
+// CellsUnder counts cells under an instance path ("" = everything).
+func (n *ModuleNetlist) CellsUnder(path string) int {
+	if path == "" {
+		return n.TotalCellCount
+	}
+	sub := n.find(path)
+	if sub == nil {
+		return 0
+	}
+	return sub.TotalCellCount
+}
+
+// UsageUnder returns resource usage under an instance path.
+func (n *ModuleNetlist) UsageUnder(path string) fpga.ResourceVec {
+	if path == "" {
+		return n.TotalUsage
+	}
+	sub := n.find(path)
+	if sub == nil {
+		return fpga.ResourceVec{}
+	}
+	return sub.TotalUsage
+}
+
+// find resolves a dotted instance path to a child netlist.
+func (n *ModuleNetlist) find(path string) *ModuleNetlist {
+	cur := n
+	for path != "" {
+		head := path
+		rest := ""
+		for i := 0; i < len(path); i++ {
+			if path[i] == '.' {
+				head, rest = path[:i], path[i+1:]
+				break
+			}
+		}
+		var next *ModuleNetlist
+		for _, ch := range cur.Children {
+			if ch.Name == head {
+				next = ch.Netlist
+				break
+			}
+		}
+		if next == nil {
+			return nil
+		}
+		cur = next
+		path = rest
+	}
+	return cur
+}

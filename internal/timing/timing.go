@@ -1,0 +1,217 @@
+// Package timing performs static timing analysis over a placed and routed
+// netlist: longest register-to-register paths under a delay model with
+// per-LUT-level logic delay, distance- and congestion-dependent net delay,
+// and a heavy penalty for SLR crossings. It reports achievable frequency
+// and the top critical paths by endpoint, which lets the evaluation check
+// the paper's claim that none of the top-10 paths lie in Zoomie-introduced
+// logic (§5.2).
+package timing
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zoomie/internal/place"
+	"zoomie/internal/route"
+	"zoomie/internal/synth"
+)
+
+// DelayModel holds the timing constants in nanoseconds.
+type DelayModel struct {
+	LUTLevelNs   float64 // per LUT level of a cell's logic cone
+	NetBaseNs    float64 // fixed per routed edge
+	NetPerTileNs float64 // per tile of Manhattan distance
+	SLRCrossNs   float64 // per chiplet crossing
+	// CongestionK scales the quadratic congestion penalty applied to net
+	// delays inside a partition with utilization u: factor 1 + K*u².
+	CongestionK float64
+	ClockSkewNs float64 // fixed setup margin
+}
+
+// DefaultDelayModel returns the UltraScale+-flavoured calibration used
+// throughout the evaluation.
+func DefaultDelayModel() DelayModel {
+	return DelayModel{
+		LUTLevelNs:   0.45,
+		NetBaseNs:    0.20,
+		NetPerTileNs: 0.011,
+		SLRCrossNs:   0.80,
+		CongestionK:  0.35,
+		ClockSkewNs:  0.50,
+	}
+}
+
+// Path is one timing path summary.
+type Path struct {
+	Endpoint  string  // cell the path terminates at
+	DelayNs   float64 // total path delay
+	Startcell string  // cell the dominant arrival came from ("" = input)
+}
+
+// Analysis is the result of timing a design.
+type Analysis struct {
+	CriticalNs float64
+	FmaxMHz    float64
+	TopPaths   []Path // sorted, worst first (up to 10)
+	WorkUnits  int64
+}
+
+// MeetsFrequency reports whether the design closes timing at the given
+// clock frequency.
+func (a *Analysis) MeetsFrequency(mhz float64) bool {
+	period := 1000.0 / mhz
+	return a.CriticalNs <= period
+}
+
+// Analyze computes the longest paths of the routed design.
+func Analyze(net *synth.ModuleNetlist, pl *place.Placement, rt *route.Result, dm DelayModel) (*Analysis, error) {
+	// Collect flat cells and index them.
+	type node struct {
+		cell    synth.FlatCell
+		arrival float64
+		from    string
+	}
+	nodes := make(map[string]*node)
+	net.Flatten(func(c synth.FlatCell) {
+		nodes[c.Name] = &node{cell: c, arrival: -1}
+	})
+
+	congestion := func(cell string) float64 {
+		part := pl.PartitionOf[cell]
+		u := pl.Utilization[part]
+		return 1 + dm.CongestionK*u*u
+	}
+	edgeDelay := func(e route.Edge) float64 {
+		d := dm.NetBaseNs + dm.NetPerTileNs*float64(e.Dist) + dm.SLRCrossNs*float64(e.SLRHops)
+		return d * congestion(e.To)
+	}
+
+	// Topological order over combinational cells: edges from comb producer
+	// to consumer. State cells are path endpoints: their inputs terminate
+	// paths; their outputs launch with arrival 0.
+	indeg := make(map[string]int)
+	users := make(map[string][]string)
+	for _, e := range rt.Edges {
+		prod := nodes[e.From]
+		if prod == nil || prod.cell.IsState {
+			continue
+		}
+		cons := nodes[e.To]
+		if cons == nil || cons.cell.IsState {
+			continue // handled as endpoint below
+		}
+		indeg[e.To]++
+		users[e.From] = append(users[e.From], e.To)
+	}
+	var queue []string
+	for name, n := range nodes {
+		if !n.cell.IsState && indeg[name] == 0 {
+			queue = append(queue, name)
+		}
+	}
+	sort.Strings(queue) // determinism
+	processed := 0
+	comb := 0
+	for _, n := range nodes {
+		if !n.cell.IsState {
+			comb++
+		}
+	}
+	an := &Analysis{}
+	// arrival(cell) = logicDelay(cell) + max over comb fanin (arrival + edge)
+	for len(queue) > 0 {
+		name := queue[0]
+		queue = queue[1:]
+		n := nodes[name]
+		best := 0.0
+		from := ""
+		for _, e := range rt.FaninEdges(name) {
+			prod := nodes[e.From]
+			if prod == nil {
+				continue
+			}
+			d := edgeDelay(e)
+			if !prod.cell.IsState {
+				d += prod.arrival
+			} else {
+				d += dm.LUTLevelNs // clock-to-out of the launching register
+			}
+			if d > best {
+				best, from = d, e.From
+			}
+			an.WorkUnits++
+		}
+		n.arrival = best + dm.LUTLevelNs*float64(n.cell.Levels)
+		n.from = from
+		processed++
+		for _, u := range users[name] {
+			indeg[u]--
+			if indeg[u] == 0 {
+				queue = append(queue, u)
+			}
+		}
+	}
+	if processed != comb {
+		return nil, fmt.Errorf("timing: combinational cycle among %d unprocessed cells", comb-processed)
+	}
+
+	// Endpoints: state cells capture; compute their required arrival.
+	var paths []Path
+	for name, n := range nodes {
+		if !n.cell.IsState {
+			continue
+		}
+		worst := 0.0
+		from := ""
+		for _, e := range rt.FaninEdges(name) {
+			prod := nodes[e.From]
+			if prod == nil {
+				continue
+			}
+			d := edgeDelay(e)
+			if !prod.cell.IsState {
+				d += prod.arrival
+			} else {
+				d += dm.LUTLevelNs
+			}
+			if d > worst {
+				worst, from = d, e.From
+			}
+			an.WorkUnits++
+		}
+		if worst == 0 {
+			continue
+		}
+		worst += dm.ClockSkewNs
+		paths = append(paths, Path{Endpoint: name, DelayNs: worst, Startcell: from})
+	}
+	sort.Slice(paths, func(i, j int) bool {
+		if paths[i].DelayNs != paths[j].DelayNs {
+			return paths[i].DelayNs > paths[j].DelayNs
+		}
+		return paths[i].Endpoint < paths[j].Endpoint
+	})
+	if len(paths) > 0 {
+		an.CriticalNs = paths[0].DelayNs
+		an.FmaxMHz = 1000.0 / an.CriticalNs
+	}
+	if len(paths) > 10 {
+		paths = paths[:10]
+	}
+	an.TopPaths = paths
+	return an, nil
+}
+
+// PathsThrough reports how many of the top paths terminate in cells whose
+// hierarchical name contains the given substring (e.g. the Debug
+// Controller's instance prefix).
+func (a *Analysis) PathsThrough(substr string) int {
+	n := 0
+	for _, p := range a.TopPaths {
+		if strings.Contains(p.Endpoint, substr) || strings.Contains(p.Startcell, substr) {
+			n++
+		}
+	}
+	return n
+}

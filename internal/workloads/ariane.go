@@ -1,0 +1,170 @@
+package workloads
+
+import "zoomie/internal/rtl"
+
+// ExceptionCore builds the Ariane-flavoured core of case study 2 (§5.6):
+// a small machine-mode RISC-V-style CPU with mstatus.MIE/MPIE, mcause,
+// mepc and mtvec CSRs and fully nested exception semantics. Software is a
+// ROM of 16-bit pseudo-instructions:
+//
+//	op 0: nop
+//	op 1: ecall          (synchronous exception, cause 11)
+//	op 2: mret
+//	op 3: csrw mtvec,imm (low 12 bits, word address)
+//
+// An instruction fetch from an address outside the ROM raises an
+// instruction-access-fault (cause 1). Setting mtvec to an invalid address
+// therefore reproduces the case study's silent infinite loop: every trap
+// vectors to a faulting address, which traps again with pc == mepc.
+func ExceptionCore(program []uint16) *rtl.Module {
+	m := rtl.NewModule("exception_core")
+	en := m.Input("en", 1)
+
+	pcOut := m.Output("pc", 64)
+	trapOut := m.Output("trap", 1)
+	mcause63Out := m.Output("mcause63", 1)
+	mieOut := m.Output("mie", 1)
+	mpieOut := m.Output("mpie", 1)
+	mepcOut := m.Output("mepc_q", 64)
+
+	rom := m.Mem("rom", 16, 256)
+	rom.Init = map[int]uint64{}
+	for i, w := range program {
+		if i >= 256 {
+			break
+		}
+		rom.Init[i] = uint64(w)
+	}
+	// A dummy write port so the ROM has a clock (never enabled).
+	rom.Write(Clk, rtl.C(0, 8), rtl.C(0, 16), rtl.C(0, 1))
+
+	pc := m.Reg("pc_r", 64, Clk, 0)
+	mepc := m.Reg("mepc", 64, Clk, 0)
+	mcause := m.Reg("mcause", 64, Clk, 0)
+	mtvec := m.Reg("mtvec", 64, Clk, 0x40) // defaults into the ROM
+	mie := m.Reg("mstatus_mie", 1, Clk, 1)
+	mpie := m.Reg("mstatus_mpie", 1, Clk, 1)
+	retired := m.Reg("minstret", 32, Clk, 0)
+
+	// Fetch: the ROM covers word addresses [0, 256); anything else faults.
+	inBounds := m.Wire("fetch_in_bounds", 1)
+	m.Connect(inBounds, rtl.Lt(rtl.S(pc), rtl.C(256, 64)))
+	instr := m.Wire("instr", 16)
+	m.Connect(instr, rtl.MemRead(rom, rtl.Slice(rtl.S(pc), 7, 0)))
+	op := m.Wire("op", 2)
+	m.Connect(op, rtl.Slice(rtl.S(instr), 15, 14))
+
+	isEcall := m.Wire("is_ecall", 1)
+	m.Connect(isEcall, rtl.And(rtl.S(inBounds), rtl.Eq(rtl.S(op), rtl.C(1, 2))))
+	isMret := m.Wire("is_mret", 1)
+	m.Connect(isMret, rtl.And(rtl.S(inBounds), rtl.Eq(rtl.S(op), rtl.C(2, 2))))
+	isCsrw := m.Wire("is_csrw", 1)
+	m.Connect(isCsrw, rtl.And(rtl.S(inBounds), rtl.Eq(rtl.S(op), rtl.C(3, 2))))
+
+	trap := m.Wire("exception", 1)
+	m.Connect(trap, rtl.Or(rtl.Not(rtl.S(inBounds)), rtl.S(isEcall)))
+	cause := m.Wire("cause", 64)
+	m.Connect(cause, rtl.Mux(rtl.S(inBounds), rtl.C(11, 64), rtl.C(1, 64)))
+
+	// Trap entry: mepc <- pc, mcause <- cause, MPIE <- MIE, MIE <- 0,
+	// pc <- mtvec. mret: MIE <- MPIE, MPIE <- 1, pc <- mepc.
+	m.SetNext(mepc, rtl.Mux(rtl.S(trap), rtl.S(pc), rtl.S(mepc)))
+	m.SetEnable(mepc, rtl.S(en))
+	m.SetNext(mcause, rtl.Mux(rtl.S(trap), rtl.S(cause), rtl.S(mcause)))
+	m.SetEnable(mcause, rtl.S(en))
+	m.SetNext(mie, rtl.Mux(rtl.S(trap), rtl.C(0, 1),
+		rtl.Mux(rtl.S(isMret), rtl.S(mpie), rtl.S(mie))))
+	m.SetEnable(mie, rtl.S(en))
+	m.SetNext(mpie, rtl.Mux(rtl.S(trap), rtl.S(mie),
+		rtl.Mux(rtl.S(isMret), rtl.C(1, 1), rtl.S(mpie))))
+	m.SetEnable(mpie, rtl.S(en))
+
+	m.SetNext(mtvec, rtl.Mux(rtl.S(isCsrw),
+		rtl.ZeroExt(rtl.Slice(rtl.S(instr), 11, 0), 64), rtl.S(mtvec)))
+	m.SetEnable(mtvec, rtl.S(en))
+
+	m.SetNext(pc, rtl.Mux(rtl.S(trap), rtl.S(mtvec),
+		rtl.Mux(rtl.S(isMret), rtl.S(mepc),
+			rtl.Add(rtl.S(pc), rtl.C(1, 64)))))
+	m.SetEnable(pc, rtl.S(en))
+
+	m.SetNext(retired, rtl.Add(rtl.S(retired), rtl.C(1, 32)))
+	m.SetEnable(retired, rtl.And(rtl.S(en), rtl.Not(rtl.S(trap))))
+
+	m.Connect(pcOut, rtl.S(pc))
+	m.Connect(trapOut, rtl.S(trap))
+	m.Connect(mcause63Out, rtl.Bit(rtl.S(mcause), 63))
+	m.Connect(mieOut, rtl.S(mie))
+	m.Connect(mpieOut, rtl.S(mpie))
+	m.Connect(mepcOut, rtl.S(mepc))
+	return m
+}
+
+// Opcode constructors for ExceptionCore programs.
+const (
+	opNop   uint16 = 0 << 14
+	opEcall uint16 = 1 << 14
+	opMret  uint16 = 2 << 14
+	opCsrw  uint16 = 3 << 14
+)
+
+// Nop returns a no-op instruction.
+func Nop() uint16 { return opNop }
+
+// Ecall returns an environment-call instruction (raises cause 11).
+func Ecall() uint16 { return opEcall }
+
+// Mret returns a return-from-trap instruction.
+func Mret() uint16 { return opMret }
+
+// CsrwMtvec returns an instruction writing the low 12 bits of addr into
+// mtvec.
+func CsrwMtvec(addr uint16) uint16 { return opCsrw | (addr & 0x0fff) }
+
+// HangingExceptionProgram reproduces the §5.6 misconfiguration: the
+// handler base is set to an address outside the ROM, then an ecall traps.
+// Every trap vectors to the invalid address, faulting again forever.
+func HangingExceptionProgram() []uint16 {
+	return []uint16{
+		Nop(),
+		CsrwMtvec(0x800), // invalid: beyond the 256-word ROM
+		Nop(),
+		Ecall(), // first trap -> vectors to 0x800 -> faults forever
+		Nop(),
+	}
+}
+
+// WellBehavedExceptionProgram takes one trap into a handler at 0x40 that
+// returns cleanly — the control case.
+func WellBehavedExceptionProgram() []uint16 {
+	prog := make([]uint16, 70)
+	prog[0] = CsrwMtvec(0x40)
+	prog[1] = Ecall()
+	for i := 2; i < 0x40; i++ {
+		prog[i] = Nop()
+	}
+	prog[0x40] = Mret()
+	return prog
+}
+
+// ExceptionSoC wraps the core into a design with the instance name used
+// by case study 2. The CSR bits the §5.6 breakpoint condition needs —
+// mcause[63], mstatus.MIE, mstatus.MPIE — are exposed as outputs, the
+// "minor changes to expose signals for debugging" of §5.2.
+func ExceptionSoC(program []uint16) *rtl.Design {
+	core := ExceptionCore(program)
+	m := rtl.NewModule("exception_soc")
+	en := m.Input("en", 1)
+	inst := m.Instantiate("ariane", core)
+	inst.ConnectInput("en", rtl.S(en))
+	for _, port := range []struct {
+		name  string
+		width int
+	}{
+		{"pc", 64}, {"trap", 1}, {"mcause63", 1}, {"mie", 1}, {"mpie", 1}, {"mepc_q", 64},
+	} {
+		out := m.Output(port.name, port.width)
+		inst.ConnectOutput(port.name, out)
+	}
+	return rtl.NewDesign("exception_soc", m)
+}

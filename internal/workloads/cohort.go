@@ -1,0 +1,354 @@
+package workloads
+
+import "zoomie/internal/rtl"
+
+// CohortAccel builds the case-study-1 accelerator (§5.5): a Cohort-style
+// heterogeneous pipeline of feeder -> load-store unit -> MMU/TLB ->
+// system bus -> datapath. With the bug enabled, the MMU's acknowledge is
+// driven by its response arbiter's round-robin pointer instead of the
+// in-flight request id — the omitted `id == i` conjunct of the paper's
+// motivating example:
+//
+//	assign ack = tlb_sel_r == i [ && id == i ];
+//
+// Early requests happen to complete while the pointer is aligned, so the
+// accelerator "could only return part of the result before hanging
+// indefinitely", exactly the observed failure.
+func CohortAccel(withBug bool) *rtl.Design {
+	feeder := feederModule()
+	lsu := lsuModule()
+	mmu := mmuModule(withBug)
+	bus := sysbusModule()
+	datapath := datapathModule()
+
+	m := rtl.NewModule("cohort_soc")
+	en := m.Input("en", 1)
+	nItems := m.Input("n_items", 8)
+	resultCount := m.Output("result_count", 8)
+	doneOut := m.Output("done", 1)
+
+	// feeder -> lsu
+	fValid := m.Wire("f_valid", 1)
+	fAddr := m.Wire("f_addr", 16)
+	fReady := m.Wire("f_ready", 1)
+	fi := m.Instantiate("feeder", feeder)
+	fi.ConnectInput("en", rtl.S(en))
+	fi.ConnectInput("n_items", rtl.S(nItems))
+	fi.ConnectInput("ready", rtl.S(fReady))
+	fi.ConnectOutput("valid", fValid)
+	fi.ConnectOutput("addr", fAddr)
+
+	// lsu <-> mmu
+	mReqValid := m.Wire("m_req_valid", 1)
+	mReqId := m.Wire("m_req_id", 1)
+	mReqAddr := m.Wire("m_req_addr", 16)
+	mReqReady := m.Wire("m_req_ready", 1)
+	ack0 := m.Wire("ack0", 1)
+	ack1 := m.Wire("ack1", 1)
+	paddr := m.Wire("paddr", 16)
+
+	// lsu -> bus -> datapath
+	bValid := m.Wire("b_valid", 1)
+	bAddr := m.Wire("b_addr", 16)
+	bReady := m.Wire("b_ready", 1)
+	dValid := m.Wire("d_valid", 1)
+	dData := m.Wire("d_data", 16)
+
+	li := m.Instantiate("lsu", lsu)
+	li.ConnectInput("en", rtl.S(en))
+	li.ConnectInput("in_valid", rtl.S(fValid))
+	li.ConnectInput("in_addr", rtl.S(fAddr))
+	li.ConnectInput("req_ready", rtl.S(mReqReady))
+	li.ConnectInput("ack0", rtl.S(ack0))
+	li.ConnectInput("ack1", rtl.S(ack1))
+	li.ConnectInput("paddr", rtl.S(paddr))
+	li.ConnectInput("out_ready", rtl.S(bReady))
+	li.ConnectOutput("in_ready", fReady)
+	li.ConnectOutput("req_valid", mReqValid)
+	li.ConnectOutput("req_id", mReqId)
+	li.ConnectOutput("req_addr", mReqAddr)
+	li.ConnectOutput("out_valid", bValid)
+	li.ConnectOutput("out_addr", bAddr)
+
+	mi := m.Instantiate("mmu", mmu)
+	mi.ConnectInput("en", rtl.S(en))
+	mi.ConnectInput("req_valid", rtl.S(mReqValid))
+	mi.ConnectInput("req_id", rtl.S(mReqId))
+	mi.ConnectInput("req_addr", rtl.S(mReqAddr))
+	mi.ConnectOutput("req_ready", mReqReady)
+	mi.ConnectOutput("ack0", ack0)
+	mi.ConnectOutput("ack1", ack1)
+	mi.ConnectOutput("paddr", paddr)
+
+	bi := m.Instantiate("sysbus", bus)
+	bi.ConnectInput("en", rtl.S(en))
+	bi.ConnectInput("in_valid", rtl.S(bValid))
+	bi.ConnectInput("in_addr", rtl.S(bAddr))
+	bi.ConnectOutput("in_ready", bReady)
+	bi.ConnectOutput("out_valid", dValid)
+	bi.ConnectOutput("out_data", dData)
+
+	di := m.Instantiate("datapath", datapath)
+	di.ConnectInput("en", rtl.S(en))
+	di.ConnectInput("in_valid", rtl.S(dValid))
+	di.ConnectInput("in_data", rtl.S(dData))
+	di.ConnectInput("n_items", rtl.S(nItems))
+	di.ConnectOutput("count", resultCount)
+	di.ConnectOutput("done", doneOut)
+
+	return rtl.NewDesign("cohort_soc", m)
+}
+
+// feederModule streams addresses 1..n, one per handshake.
+func feederModule() *rtl.Module {
+	m := rtl.NewModule("feeder")
+	en := m.Input("en", 1)
+	n := m.Input("n_items", 8)
+	ready := m.Input("ready", 1)
+	valid := m.Output("valid", 1)
+	addr := m.Output("addr", 16)
+
+	next := m.Reg("next_item", 8, Clk, 1)
+	active := m.Wire("active", 1)
+	m.Connect(active, rtl.Le(rtl.S(next), rtl.S(n)))
+	m.Connect(valid, rtl.And(rtl.S(en), rtl.S(active)))
+	// Word-aligned addresses, as the real accelerator issues.
+	m.Connect(addr, rtl.Shl(rtl.ZeroExt(rtl.S(next), 16), 1))
+	m.SetNext(next, rtl.Add(rtl.S(next), rtl.C(1, 8)))
+	m.SetEnable(next, rtl.And(rtl.And(rtl.S(en), rtl.S(active)), rtl.S(ready)))
+	return m
+}
+
+// lsuModule: one outstanding translation at a time; the channel id
+// alternates per request (the "wrong sequence" victim).
+func lsuModule() *rtl.Module {
+	m := rtl.NewModule("lsu")
+	en := m.Input("en", 1)
+	inValid := m.Input("in_valid", 1)
+	inAddr := m.Input("in_addr", 16)
+	inReady := m.Output("in_ready", 1)
+
+	reqValid := m.Output("req_valid", 1)
+	reqId := m.Output("req_id", 1)
+	reqAddr := m.Output("req_addr", 16)
+	reqReady := m.Input("req_ready", 1)
+	ack0 := m.Input("ack0", 1)
+	ack1 := m.Input("ack1", 1)
+	paddr := m.Input("paddr", 16)
+
+	outValid := m.Output("out_valid", 1)
+	outAddr := m.Output("out_addr", 16)
+	outReady := m.Input("out_ready", 1)
+	dbgState := m.Output("dbg_state", 2)
+
+	// state: 0 idle, 1 issue, 2 wait-ack, 3 send
+	state := m.Reg("state", 2, Clk, 0)
+	id := m.Reg("chan_id", 1, Clk, 0)
+	addrR := m.Reg("addr_r", 16, Clk, 0)
+	paddrR := m.Reg("paddr_r", 16, Clk, 0)
+
+	idle := m.Wire("st_idle", 1)
+	m.Connect(idle, rtl.Eq(rtl.S(state), rtl.C(0, 2)))
+	issue := m.Wire("st_issue", 1)
+	m.Connect(issue, rtl.Eq(rtl.S(state), rtl.C(1, 2)))
+	wait := m.Wire("st_wait", 1)
+	m.Connect(wait, rtl.Eq(rtl.S(state), rtl.C(2, 2)))
+	send := m.Wire("st_send", 1)
+	m.Connect(send, rtl.Eq(rtl.S(state), rtl.C(3, 2)))
+
+	m.Connect(inReady, rtl.And(rtl.S(en), rtl.S(idle)))
+	m.Connect(reqValid, rtl.S(issue))
+	m.Connect(reqId, rtl.S(id))
+	m.Connect(reqAddr, rtl.S(addrR))
+	m.Connect(outValid, rtl.S(send))
+	m.Connect(outAddr, rtl.S(paddrR))
+	m.Connect(dbgState, rtl.S(state))
+
+	takeIn := m.Wire("take_in", 1)
+	m.Connect(takeIn, rtl.And(rtl.S(inValid), rtl.And(rtl.S(en), rtl.S(idle))))
+	issued := m.Wire("issued", 1)
+	m.Connect(issued, rtl.And(rtl.S(issue), rtl.S(reqReady)))
+	// The LSU waits for the acknowledge of ITS channel. A rotated ack goes
+	// to the idle channel and is lost — the hang.
+	myAck := m.Wire("my_ack", 1)
+	m.Connect(myAck, rtl.And(rtl.S(wait),
+		rtl.Mux(rtl.S(id), rtl.S(ack1), rtl.S(ack0))))
+	sent := m.Wire("sent", 1)
+	m.Connect(sent, rtl.And(rtl.S(send), rtl.S(outReady)))
+
+	m.SetNext(addrR, rtl.S(inAddr))
+	m.SetEnable(addrR, rtl.S(takeIn))
+	m.SetNext(paddrR, rtl.S(paddr))
+	m.SetEnable(paddrR, rtl.S(myAck))
+	m.SetNext(id, rtl.Not(rtl.S(id)))
+	m.SetEnable(id, rtl.S(sent)) // alternate channel per completed item
+
+	m.SetNext(state,
+		rtl.Mux(rtl.S(idle), rtl.Mux(rtl.S(takeIn), rtl.C(1, 2), rtl.C(0, 2)),
+			rtl.Mux(rtl.S(issue), rtl.Mux(rtl.S(issued), rtl.C(2, 2), rtl.C(1, 2)),
+				rtl.Mux(rtl.S(wait), rtl.Mux(rtl.S(myAck), rtl.C(3, 2), rtl.C(2, 2)),
+					rtl.Mux(rtl.S(sent), rtl.C(0, 2), rtl.C(3, 2))))))
+	m.SetEnable(state, rtl.S(en))
+	return m
+}
+
+// mmuModule serves one translation at a time with address-dependent
+// latency. Its response arbiter pointer tlb_sel_r rotates every cycle.
+// The correct acknowledge goes to the requesting channel; the buggy one
+// follows the pointer.
+func mmuModule(withBug bool) *rtl.Module {
+	m := rtl.NewModule("mmu")
+	en := m.Input("en", 1)
+	reqValid := m.Input("req_valid", 1)
+	reqId := m.Input("req_id", 1)
+	reqAddr := m.Input("req_addr", 16)
+	reqReady := m.Output("req_ready", 1)
+	ack0 := m.Output("ack0", 1)
+	ack1 := m.Output("ack1", 1)
+	paddr := m.Output("paddr", 16)
+	dbgBusy := m.Output("dbg_busy", 1)
+	dbgSel := m.Output("dbg_sel", 1)
+	dbgID := m.Output("dbg_id", 1)
+
+	busy := m.Reg("busy", 1, Clk, 0)
+	idR := m.Reg("id_r", 1, Clk, 0)
+	addrR := m.Reg("addr_r", 16, Clk, 0)
+	cnt := m.Reg("lat_cnt", 2, Clk, 0)
+	selR := m.Reg("tlb_sel_r", 1, Clk, 0)
+
+	m.Connect(reqReady, rtl.And(rtl.S(en), rtl.Not(rtl.S(busy))))
+	accept := m.Wire("accept", 1)
+	m.Connect(accept, rtl.And(rtl.S(reqValid), rtl.And(rtl.S(en), rtl.Not(rtl.S(busy)))))
+
+	done := m.Wire("lookup_done", 1)
+	m.Connect(done, rtl.And(rtl.S(busy), rtl.Eq(rtl.S(cnt), rtl.C(0, 2))))
+
+	// Latency: 1 cycle + 1 extra for odd addresses — enough phase drift to
+	// misalign the pointer after the first items.
+	m.SetNext(idR, rtl.S(reqId))
+	m.SetEnable(idR, rtl.S(accept))
+	m.SetNext(addrR, rtl.S(reqAddr))
+	m.SetEnable(addrR, rtl.S(accept))
+	m.SetNext(cnt, rtl.Mux(rtl.S(accept),
+		rtl.Concat(rtl.C(0, 1), rtl.Bit(rtl.S(reqAddr), 0)),
+		rtl.Mux(rtl.S(busy), rtl.Sub(rtl.S(cnt), rtl.C(1, 2)), rtl.S(cnt))))
+	m.SetEnable(cnt, rtl.S(en))
+	m.SetNext(busy, rtl.Mux(rtl.S(accept), rtl.C(1, 1),
+		rtl.Mux(rtl.S(done), rtl.C(0, 1), rtl.S(busy))))
+	m.SetEnable(busy, rtl.S(en))
+
+	// The arbiter pointer rotates every enabled cycle, like the paper's
+	// round-robin TLB port selector.
+	m.SetNext(selR, rtl.Not(rtl.S(selR)))
+	m.SetEnable(selR, rtl.S(en))
+
+	m.Connect(paddr, rtl.Xor(rtl.S(addrR), rtl.C(0x1000, 16)))
+	m.Connect(dbgBusy, rtl.S(busy))
+	m.Connect(dbgSel, rtl.S(selR))
+	m.Connect(dbgID, rtl.S(idR))
+
+	if withBug {
+		// assign ack = tlb_sel_r == i;        // missing: && id == i
+		m.Connect(ack0, rtl.And(rtl.S(done), rtl.Eq(rtl.S(selR), rtl.C(0, 1))))
+		m.Connect(ack1, rtl.And(rtl.S(done), rtl.Eq(rtl.S(selR), rtl.C(1, 1))))
+	} else {
+		// assign ack = tlb_sel_r == i && id == i;  (fixed)
+		m.Connect(ack0, rtl.And(rtl.S(done), rtl.Eq(rtl.S(idR), rtl.C(0, 1))))
+		m.Connect(ack1, rtl.And(rtl.S(done), rtl.Eq(rtl.S(idR), rtl.C(1, 1))))
+	}
+	return m
+}
+
+// sysbusModule is an always-ready one-stage bus that answers every
+// request the cycle after it is made.
+func sysbusModule() *rtl.Module {
+	m := rtl.NewModule("sysbus")
+	en := m.Input("en", 1)
+	inValid := m.Input("in_valid", 1)
+	inAddr := m.Input("in_addr", 16)
+	inReady := m.Output("in_ready", 1)
+	outValid := m.Output("out_valid", 1)
+	outData := m.Output("out_data", 16)
+	dbgReqs := m.Output("dbg_reqs", 16)
+
+	m.Connect(inReady, rtl.S(en))
+	vR := m.Reg("resp_valid", 1, Clk, 0)
+	dR := m.Reg("resp_data", 16, Clk, 0)
+	m.SetNext(vR, rtl.And(rtl.S(inValid), rtl.S(en)))
+	m.SetEnable(vR, rtl.S(en))
+	m.SetNext(dR, rtl.Add(rtl.S(inAddr), rtl.C(7, 16))) // "memory" contents
+	m.SetEnable(dR, rtl.S(en))
+	m.Connect(outValid, rtl.S(vR))
+	m.Connect(outData, rtl.S(dR))
+
+	reqCount := m.Reg("req_count", 16, Clk, 0)
+	m.SetNext(reqCount, rtl.Add(rtl.S(reqCount), rtl.C(1, 16)))
+	m.SetEnable(reqCount, rtl.And(rtl.S(inValid), rtl.S(en)))
+	m.Connect(dbgReqs, rtl.S(reqCount))
+	return m
+}
+
+// datapathModule counts delivered results and flags completion.
+func datapathModule() *rtl.Module {
+	m := rtl.NewModule("datapath")
+	en := m.Input("en", 1)
+	inValid := m.Input("in_valid", 1)
+	inData := m.Input("in_data", 16)
+	n := m.Input("n_items", 8)
+	count := m.Output("count", 8)
+	done := m.Output("done", 1)
+
+	cnt := m.Reg("result_cnt", 8, Clk, 0)
+	sum := m.Reg("result_sum", 16, Clk, 0)
+	m.SetNext(cnt, rtl.Add(rtl.S(cnt), rtl.C(1, 8)))
+	m.SetEnable(cnt, rtl.And(rtl.S(inValid), rtl.S(en)))
+	m.SetNext(sum, rtl.Add(rtl.S(sum), rtl.S(inData)))
+	m.SetEnable(sum, rtl.And(rtl.S(inValid), rtl.S(en)))
+	m.Connect(count, rtl.S(cnt))
+	m.Connect(done, rtl.Eq(rtl.S(cnt), rtl.S(n)))
+	return m
+}
+
+// CohortProbeRounds is the number of ILA probe iterations the traditional
+// §5.5 debugging route needs to localize the TLB bug.
+const CohortProbeRounds = 4
+
+// CohortAccelProbed builds the accelerator with the round-th ILA probe
+// set routed to top-level outputs — the "mark signals and recompile"
+// iteration of traditional FPGA debugging. Each call constructs fresh
+// modules, so every round is a full recompile, exactly as on real tools.
+//
+//	round 1: datapath + LSU      (result_count, lsu_state)
+//	round 2: LSU + system bus    (lsu_state, bus_reqs)
+//	round 3: LSU + MMU           (lsu_state, mmu_busy)
+//	round 4: MMU internals       (mmu_busy, mmu_sel, mmu_id, acks)
+func CohortAccelProbed(withBug bool, round int) *rtl.Design {
+	d := CohortAccel(withBug)
+	top := d.Top
+	route := func(name string, width int, inst, port string) {
+		w := top.Wire("probe_"+name, width)
+		for _, i := range top.Instances {
+			if i.Name == inst {
+				i.ConnectOutput(port, w)
+			}
+		}
+		o := top.Output(name, width)
+		top.Connect(o, rtl.S(w))
+	}
+	switch round {
+	case 1:
+		route("lsu_state", 2, "lsu", "dbg_state")
+	case 2:
+		route("lsu_state", 2, "lsu", "dbg_state")
+		route("bus_reqs", 16, "sysbus", "dbg_reqs")
+	case 3:
+		route("lsu_state", 2, "lsu", "dbg_state")
+		route("mmu_busy", 1, "mmu", "dbg_busy")
+	case 4:
+		route("mmu_busy", 1, "mmu", "dbg_busy")
+		route("mmu_sel", 1, "mmu", "dbg_sel")
+		route("mmu_id", 1, "mmu", "dbg_id")
+		route("lsu_state", 2, "lsu", "dbg_state")
+	}
+	return d
+}

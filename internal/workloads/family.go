@@ -1,0 +1,88 @@
+package workloads
+
+import (
+	"fmt"
+
+	"zoomie/internal/rtl"
+)
+
+// Manycore is a design family sharing synthesized module pointers across
+// variants, the way a real RTL tree shares unchanged files: the incremental
+// compilation experiments edit one core and rebuild the hierarchy around
+// it, and only the edited modules must re-synthesize.
+type Manycore struct {
+	Cores    int
+	clusters int
+	cluster  *rtl.Module
+}
+
+// NewManycore prepares a design family with the given core count.
+func NewManycore(cores int) *Manycore {
+	clusters := (cores + ClusterCores - 1) / ClusterCores
+	return &Manycore{Cores: cores, clusters: clusters, cluster: Cluster()}
+}
+
+// MutPath is the instance path of the iterated partition: the first
+// cluster, which hosts the core under debug.
+func (f *Manycore) MutPath() string { return ClusterPath(0) }
+
+// Base returns the unmodified design.
+func (f *Manycore) Base() *rtl.Design { return f.build(f.cluster) }
+
+// Variant returns the design after the i-th debugging edit: cluster 0 is
+// rebuilt with its slot-0 core replaced by one exposing extra debug state
+// (the "minor changes to expose signals for debugging" of §5.2); every
+// other module pointer is shared with Base, so only the edited partition
+// re-synthesizes.
+func (f *Manycore) Variant(i int) *rtl.Design {
+	core := SerCore()
+	// Expose i+1 extra debug probe registers.
+	for k := 0; k <= i; k++ {
+		probe := core.Reg(fmt.Sprintf("dbg_probe%d", k), 32, Clk, 0)
+		core.SetNext(probe, rtl.S(core.Signal("acc")))
+	}
+	mods := make([]*rtl.Module, ClusterCores)
+	baseCore := f.cluster.Instances[0].Module
+	for k := range mods {
+		mods[k] = baseCore
+	}
+	mods[0] = core
+	debugCluster := ClusterOf(fmt.Sprintf("cluster_dbg%d", i), mods)
+	return f.buildWithTile0(debugCluster)
+}
+
+func (f *Manycore) build(tile0 *rtl.Module) *rtl.Design {
+	return f.buildWithTile0(tile0)
+}
+
+func (f *Manycore) buildWithTile0(tile0 *rtl.Module) *rtl.Design {
+	m := rtl.NewModule("manycore_soc")
+	en := m.Input("en", 1)
+	out := m.Output("checksum", 32)
+	var sums []*rtl.Signal
+	for i := 0; i < f.clusters; i++ {
+		name := ClusterPath(i)
+		s := m.Wire(name+"_sum", 32)
+		mod := f.cluster
+		if i == 0 {
+			mod = tile0
+		}
+		inst := m.Instantiate(name, mod)
+		inst.ConnectInput("en", rtl.S(en))
+		inst.ConnectOutput("acc_sum", s)
+		sums = append(sums, s)
+	}
+	red := reduceXor(m, sums, 0)
+	csum := m.Reg("checksum_r", 32, Clk, 0)
+	m.SetNext(csum, red)
+	m.Connect(out, rtl.S(csum))
+	if f.clusters*3 < 2120 && f.Cores >= 5400 {
+		extra := 2120 - f.clusters*3
+		depth := extra * 36864 / 32
+		buf := m.Mem("result_buf", 32, depth)
+		ptr := m.Reg("result_ptr", 22, Clk, 0)
+		m.SetNext(ptr, rtl.Add(rtl.S(ptr), rtl.C(1, 22)))
+		buf.Write(Clk, rtl.ZeroExt(rtl.Slice(rtl.S(ptr), 21, 0), 22), rtl.S(csum), rtl.S(en))
+	}
+	return rtl.NewDesign(fmt.Sprintf("manycore_%d", f.clusters*ClusterCores), m)
+}

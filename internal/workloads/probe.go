@@ -1,0 +1,23 @@
+package workloads
+
+import (
+	"fmt"
+
+	"zoomie/internal/rtl"
+)
+
+// ProbeDesign builds the §4.5 hypothesis-validation design: n registers
+// that initialize to distinct constants and hold them forever. The
+// experiment constrains register i to SLR i and checks that readback
+// returns the right constant depending only on BOUT ring hops.
+func ProbeDesign(n int) *rtl.Design {
+	m := rtl.NewModule("slr_probe")
+	for i := 0; i < n; i++ {
+		r := m.Reg(fmt.Sprintf("probe%d", i), 16, Clk, ProbeConstant(i))
+		m.SetNext(r, rtl.S(r))
+	}
+	return rtl.NewDesign("slr_probe", m)
+}
+
+// ProbeConstant is the reset constant of probe register i.
+func ProbeConstant(i int) uint64 { return 0x1100 + uint64(i)*0x0110 }

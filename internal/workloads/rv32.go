@@ -1,0 +1,303 @@
+package workloads
+
+import (
+	"fmt"
+
+	"zoomie/internal/rtl"
+)
+
+// RV32Core builds a multicycle RV32I-subset processor — a real RISC-V
+// machine, not a pseudo-ISA — used by the software-debugging showcase.
+// Supported instructions:
+//
+//	LUI AUIPC JAL JALR
+//	BEQ BNE BLT BGE BLTU BGEU
+//	LW SW
+//	ADDI SLTI SLTIU XORI ORI ANDI SLLI SRLI SRAI
+//	ADD SUB SLL SLT SLTU XOR SRL SRA OR AND
+//	ECALL (halts the core, exposing a done flag)
+//
+// The core runs a 4-state FSM (fetch, execute, memory, writeback) against
+// a unified 1 KiB word-addressed memory (instructions and data). The
+// register file is a 32x32 distributed RAM; x0 reads as zero.
+//
+// Ports:
+//
+//	en      in  1   global enable
+//	pc      out 32  current program counter (byte address)
+//	halted  out 1   ECALL executed
+//	a0      out 32  x10, the RISC-V argument/return register
+type RV32Core struct {
+	Module *rtl.Module
+	// MemName is the unified memory's local name for host access.
+	MemName string
+}
+
+// memWords is the unified memory size in 32-bit words (1 KiB).
+const memWords = 256
+
+// NewRV32Core builds the core around an initial memory image (words,
+// starting at address 0).
+func NewRV32Core(image []uint32) *RV32Core {
+	if len(image) > memWords {
+		panic(fmt.Sprintf("workloads: program of %d words exceeds %d-word memory", len(image), memWords))
+	}
+	m := rtl.NewModule("rv32_core")
+	en := m.Input("en", 1)
+	pcOut := m.Output("pc", 32)
+	haltedOut := m.Output("halted", 1)
+	a0Out := m.Output("a0", 32)
+
+	mem := m.Mem("mem", 32, memWords)
+	mem.Init = map[int]uint64{}
+	for i, w := range image {
+		mem.Init[i] = uint64(w)
+	}
+
+	rf := m.Mem("regfile", 32, 32)
+
+	// Architectural registers.
+	pc := m.Reg("pc_r", 32, Clk, 0)
+	instr := m.Reg("instr_r", 32, Clk, 0)
+	halted := m.Reg("halted_r", 1, Clk, 0)
+	state := m.Reg("state", 2, Clk, 0) // 0 fetch, 1 execute, 2 mem, 3 writeback
+	a0mirror := m.Reg("a0_mirror", 32, Clk, 0)
+
+	// Decode fields.
+	opcode := m.Wire("opcode", 7)
+	m.Connect(opcode, rtl.Slice(rtl.S(instr), 6, 0))
+	rd := m.Wire("rd", 5)
+	m.Connect(rd, rtl.Slice(rtl.S(instr), 11, 7))
+	funct3 := m.Wire("funct3", 3)
+	m.Connect(funct3, rtl.Slice(rtl.S(instr), 14, 12))
+	rs1 := m.Wire("rs1", 5)
+	m.Connect(rs1, rtl.Slice(rtl.S(instr), 19, 15))
+	rs2 := m.Wire("rs2", 5)
+	m.Connect(rs2, rtl.Slice(rtl.S(instr), 24, 20))
+	funct7b5 := m.Wire("funct7b5", 1)
+	m.Connect(funct7b5, rtl.Bit(rtl.S(instr), 30))
+
+	// Immediates.
+	signBit := rtl.Bit(rtl.S(instr), 31)
+	sext := func(e rtl.Expr, from int) rtl.Expr {
+		// replicate the sign bit into the upper 32-from bits
+		rep := signBit
+		for rep.Width < 32-from {
+			rep = rtl.Concat(rep, signBit)
+		}
+		return rtl.Concat(rep, e)
+	}
+	immI := m.Wire("imm_i", 32)
+	m.Connect(immI, sext(rtl.Slice(rtl.S(instr), 31, 20), 12))
+	immS := m.Wire("imm_s", 32)
+	m.Connect(immS, sext(rtl.Concat(rtl.Slice(rtl.S(instr), 31, 25), rtl.Slice(rtl.S(instr), 11, 7)), 12))
+	immB := m.Wire("imm_b", 32)
+	m.Connect(immB, sext(rtl.Concat(
+		rtl.Concat(rtl.Bit(rtl.S(instr), 31), rtl.Bit(rtl.S(instr), 7)),
+		rtl.Concat(rtl.Concat(rtl.Slice(rtl.S(instr), 30, 25), rtl.Slice(rtl.S(instr), 11, 8)), rtl.C(0, 1))), 13))
+	immU := m.Wire("imm_u", 32)
+	m.Connect(immU, rtl.Concat(rtl.Slice(rtl.S(instr), 31, 12), rtl.C(0, 12)))
+	immJ := m.Wire("imm_j", 32)
+	m.Connect(immJ, sext(rtl.Concat(
+		rtl.Concat(rtl.Bit(rtl.S(instr), 31), rtl.Slice(rtl.S(instr), 19, 12)),
+		rtl.Concat(rtl.Concat(rtl.Bit(rtl.S(instr), 20), rtl.Slice(rtl.S(instr), 30, 21)), rtl.C(0, 1))), 21))
+
+	// Register reads (x0 hardwired to zero).
+	readReg := func(name string, idx rtl.Expr) *rtl.Signal {
+		w := m.Wire(name, 32)
+		m.Connect(w, rtl.Mux(rtl.Eq(idx, rtl.C(0, 5)), rtl.C(0, 32), rtl.MemRead(rf, idx)))
+		return w
+	}
+	rv1 := readReg("rv1", rtl.S(rs1))
+	rv2 := readReg("rv2", rtl.S(rs2))
+
+	// Opcode classes.
+	isOp := func(name string, code uint64) *rtl.Signal {
+		w := m.Wire(name, 1)
+		m.Connect(w, rtl.Eq(rtl.S(opcode), rtl.C(code, 7)))
+		return w
+	}
+	isLUI := isOp("is_lui", 0x37)
+	isAUIPC := isOp("is_auipc", 0x17)
+	isJAL := isOp("is_jal", 0x6F)
+	isJALR := isOp("is_jalr", 0x67)
+	isBranch := isOp("is_branch", 0x63)
+	isLoad := isOp("is_load", 0x03)
+	isStore := isOp("is_store", 0x23)
+	isOpImm := isOp("is_opimm", 0x13)
+	isOpReg := isOp("is_opreg", 0x33)
+	isSystem := isOp("is_system", 0x73)
+
+	// ALU operand B: immediate for OP-IMM, rs2 otherwise.
+	opB := m.Wire("op_b", 32)
+	m.Connect(opB, rtl.Mux(rtl.S(isOpImm), rtl.S(immI), rtl.S(rv2)))
+
+	// Barrel shifter (shift amount = low 5 bits of opB).
+	shamt := m.Wire("shamt", 5)
+	m.Connect(shamt, rtl.Slice(rtl.S(opB), 4, 0))
+	barrel := func(name string, right, arith bool) *rtl.Signal {
+		cur := rtl.S(rv1)
+		for i := 0; i < 5; i++ {
+			n := 1 << i
+			var shifted rtl.Expr
+			if !right {
+				shifted = rtl.Shl(cur, n)
+			} else if !arith {
+				shifted = rtl.Shr(cur, n)
+			} else {
+				// arithmetic: fill with the current sign bit
+				fill := rtl.Bit(cur, 31)
+				rep := fill
+				for rep.Width < n {
+					rep = rtl.Concat(rep, fill)
+				}
+				shifted = rtl.Concat(rep, rtl.Slice(cur, 31, n))
+			}
+			stage := m.Wire(fmt.Sprintf("%s_s%d", name, i), 32)
+			m.Connect(stage, rtl.Mux(rtl.Bit(rtl.S(shamt), i), shifted, cur))
+			cur = rtl.S(stage)
+		}
+		out := m.Wire(name, 32)
+		m.Connect(out, cur)
+		return out
+	}
+	sll := barrel("sll_out", false, false)
+	srl := barrel("srl_out", true, false)
+	sra := barrel("sra_out", true, true)
+
+	// Signed comparison: flip sign bits and compare unsigned.
+	flip := func(e rtl.Expr) rtl.Expr { return rtl.Xor(e, rtl.C(1<<31, 32)) }
+	ltS := m.Wire("lt_signed", 1)
+	m.Connect(ltS, rtl.Lt(flip(rtl.S(rv1)), flip(rtl.S(opB))))
+	ltU := m.Wire("lt_unsigned", 1)
+	m.Connect(ltU, rtl.Lt(rtl.S(rv1), rtl.S(opB)))
+
+	// ALU result by funct3 (OP/OP-IMM).
+	subSel := m.Wire("sub_sel", 1)
+	m.Connect(subSel, rtl.And(rtl.S(isOpReg), rtl.S(funct7b5)))
+	addSub := m.Wire("addsub", 32)
+	m.Connect(addSub, rtl.Mux(rtl.S(subSel),
+		rtl.Sub(rtl.S(rv1), rtl.S(opB)),
+		rtl.Add(rtl.S(rv1), rtl.S(opB))))
+	sraSel := m.Wire("sra_sel", 1)
+	m.Connect(sraSel, rtl.S(funct7b5)) // SRAI/SRA encode in bit 30 too
+	shiftR := m.Wire("shift_r", 32)
+	m.Connect(shiftR, rtl.Mux(rtl.S(sraSel), rtl.S(sra), rtl.S(srl)))
+
+	aluByF3 := m.Wire("alu_f3", 32)
+	m.Connect(aluByF3,
+		rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(0, 3)), rtl.S(addSub),
+			rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(1, 3)), rtl.S(sll),
+				rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(2, 3)), rtl.ZeroExt(rtl.S(ltS), 32),
+					rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(3, 3)), rtl.ZeroExt(rtl.S(ltU), 32),
+						rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(4, 3)), rtl.Xor(rtl.S(rv1), rtl.S(opB)),
+							rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(5, 3)), rtl.S(shiftR),
+								rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(6, 3)), rtl.Or(rtl.S(rv1), rtl.S(opB)),
+									rtl.And(rtl.S(rv1), rtl.S(opB))))))))))
+
+	// Branch taken?
+	beq := rtl.Eq(rtl.S(rv1), rtl.S(rv2))
+	bltS := m.Wire("blt_s", 1)
+	m.Connect(bltS, rtl.Lt(flip(rtl.S(rv1)), flip(rtl.S(rv2))))
+	bltU := m.Wire("blt_u", 1)
+	m.Connect(bltU, rtl.Lt(rtl.S(rv1), rtl.S(rv2)))
+	branchTaken := m.Wire("branch_taken", 1)
+	m.Connect(branchTaken,
+		rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(0, 3)), beq,
+			rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(1, 3)), rtl.Not(beq),
+				rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(4, 3)), rtl.S(bltS),
+					rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(5, 3)), rtl.Not(rtl.S(bltS)),
+						rtl.Mux(rtl.Eq(rtl.S(funct3), rtl.C(6, 3)), rtl.S(bltU),
+							rtl.Not(rtl.S(bltU))))))))
+
+	// Next PC.
+	pcPlus4 := m.Wire("pc_plus4", 32)
+	m.Connect(pcPlus4, rtl.Add(rtl.S(pc), rtl.C(4, 32)))
+	nextPC := m.Wire("next_pc", 32)
+	m.Connect(nextPC,
+		rtl.Mux(rtl.S(isJAL), rtl.Add(rtl.S(pc), rtl.S(immJ)),
+			rtl.Mux(rtl.S(isJALR), rtl.And(rtl.Add(rtl.S(rv1), rtl.S(immI)), rtl.C(^uint64(1)&0xFFFFFFFF, 32)),
+				rtl.Mux(rtl.And(rtl.S(isBranch), rtl.S(branchTaken)), rtl.Add(rtl.S(pc), rtl.S(immB)),
+					rtl.S(pcPlus4)))))
+
+	// Memory address (word) for loads/stores.
+	memAddr := m.Wire("mem_addr", 32)
+	m.Connect(memAddr, rtl.Add(rtl.S(rv1), rtl.Mux(rtl.S(isStore), rtl.S(immS), rtl.S(immI))))
+	memWordAddr := m.Wire("mem_word_addr", 8)
+	m.Connect(memWordAddr, rtl.Slice(rtl.S(memAddr), 9, 2))
+
+	// Writeback value.
+	loadData := m.Wire("load_data", 32)
+	m.Connect(loadData, rtl.MemRead(mem, rtl.S(memWordAddr)))
+	wbValue := m.Wire("wb_value", 32)
+	m.Connect(wbValue,
+		rtl.Mux(rtl.S(isLUI), rtl.S(immU),
+			rtl.Mux(rtl.S(isAUIPC), rtl.Add(rtl.S(pc), rtl.S(immU)),
+				rtl.Mux(rtl.Or(rtl.S(isJAL), rtl.S(isJALR)), rtl.S(pcPlus4),
+					rtl.Mux(rtl.S(isLoad), rtl.S(loadData), rtl.S(aluByF3))))))
+	wbEnable := m.Wire("wb_enable", 1)
+	m.Connect(wbEnable, rtl.And(
+		rtl.Or(rtl.Or(rtl.S(isLUI), rtl.S(isAUIPC)),
+			rtl.Or(rtl.Or(rtl.S(isJAL), rtl.S(isJALR)),
+				rtl.Or(rtl.S(isLoad), rtl.Or(rtl.S(isOpImm), rtl.S(isOpReg))))),
+		rtl.Ne(rtl.S(rd), rtl.C(0, 5))))
+
+	// FSM.
+	stFetch := m.Wire("st_fetch", 1)
+	m.Connect(stFetch, rtl.Eq(rtl.S(state), rtl.C(0, 2)))
+	stExec := m.Wire("st_exec", 1)
+	m.Connect(stExec, rtl.Eq(rtl.S(state), rtl.C(1, 2)))
+	stMem := m.Wire("st_mem", 1)
+	m.Connect(stMem, rtl.Eq(rtl.S(state), rtl.C(2, 2)))
+	stWB := m.Wire("st_wb", 1)
+	m.Connect(stWB, rtl.Eq(rtl.S(state), rtl.C(3, 2)))
+	running := m.Wire("running", 1)
+	m.Connect(running, rtl.And(rtl.S(en), rtl.Not(rtl.S(halted))))
+
+	m.SetNext(instr, rtl.MemRead(mem, rtl.Slice(rtl.S(pc), 9, 2)))
+	m.SetEnable(instr, rtl.And(rtl.S(running), rtl.S(stFetch)))
+
+	m.SetNext(state, rtl.Add(rtl.S(state), rtl.C(1, 2)))
+	m.SetEnable(state, rtl.S(running))
+
+	m.SetNext(halted, rtl.Or(rtl.S(halted), rtl.And(rtl.S(stExec), rtl.S(isSystem))))
+	m.SetEnable(halted, rtl.S(en))
+
+	m.SetNext(pc, rtl.S(nextPC))
+	m.SetEnable(pc, rtl.And(rtl.S(running), rtl.S(stWB)))
+
+	// Register file write (in WB), store (in MEM).
+	rf.Write(Clk, rtl.S(rd), rtl.S(wbValue),
+		rtl.And(rtl.And(rtl.S(running), rtl.S(stWB)), rtl.S(wbEnable)))
+	mem.Write(Clk, rtl.S(memWordAddr), rtl.S(rv2),
+		rtl.And(rtl.And(rtl.S(running), rtl.S(stMem)), rtl.S(isStore)))
+
+	// Mirror x10 for the output port.
+	m.SetNext(a0mirror, rtl.S(wbValue))
+	m.SetEnable(a0mirror, rtl.And(rtl.And(rtl.And(rtl.S(running), rtl.S(stWB)), rtl.S(wbEnable)),
+		rtl.Eq(rtl.S(rd), rtl.C(10, 5))))
+
+	m.Connect(pcOut, rtl.S(pc))
+	m.Connect(haltedOut, rtl.S(halted))
+	m.Connect(a0Out, rtl.S(a0mirror))
+
+	return &RV32Core{Module: m, MemName: "mem"}
+}
+
+// RV32SoC wraps the core into a debuggable design with the instance name
+// "cpu".
+func RV32SoC(image []uint32) *rtl.Design {
+	core := NewRV32Core(image)
+	m := rtl.NewModule("rv32_soc")
+	en := m.Input("en", 1)
+	inst := m.Instantiate("cpu", core.Module)
+	inst.ConnectInput("en", rtl.S(en))
+	for _, p := range []struct {
+		name  string
+		width int
+	}{{"pc", 32}, {"halted", 1}, {"a0", 32}} {
+		o := m.Output(p.name, p.width)
+		inst.ConnectOutput(p.name, o)
+	}
+	return rtl.NewDesign("rv32_soc", m)
+}

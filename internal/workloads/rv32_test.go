@@ -1,0 +1,220 @@
+package workloads
+
+import (
+	"testing"
+
+	"zoomie/internal/sim"
+)
+
+// runRV32 assembles a program, simulates until halted (or the limit) and
+// returns the simulator.
+func runRV32(t *testing.T, src string, limit int) *sim.Simulator {
+	t.Helper()
+	image, err := Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := simulate(t, RV32SoC(image), mainClock)
+	s.Poke("en", 1)
+	_, halted := s.RunUntil(func() bool {
+		v, _ := s.Peek("halted")
+		return v == 1
+	}, limit)
+	if !halted {
+		pc, _ := s.Peek("pc")
+		t.Fatalf("program did not halt within %d ticks (pc=%#x)", limit, pc)
+	}
+	return s
+}
+
+func a0(t *testing.T, s *sim.Simulator) uint64 {
+	t.Helper()
+	v, err := s.PeekMem("cpu.regfile", 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return v
+}
+
+func TestRV32Arithmetic(t *testing.T) {
+	s := runRV32(t, `
+		li   a0, 100
+		addi a0, a0, 23     # 123
+		li   a1, 1000
+		add  a0, a0, a1     # 1123
+		sub  a0, a0, a1     # 123
+		ecall
+	`, 2000)
+	if got := a0(t, s); got != 123 {
+		t.Errorf("a0 = %d, want 123", got)
+	}
+}
+
+func TestRV32LogicAndShifts(t *testing.T) {
+	s := runRV32(t, `
+		li   a0, 0x0F0
+		ori  a0, a0, 0x70F  # 0x7FF
+		andi a0, a0, 0x0FF  # 0x0FF
+		xori a0, a0, 0x0F0  # 0x00F
+		slli a0, a0, 8      # 0xF00
+		srli a0, a0, 4      # 0x0F0
+		li   a1, 4
+		sll  a0, a0, a1     # 0xF00
+		srl  a0, a0, a1     # 0x0F0
+		ecall
+	`, 4000)
+	if got := a0(t, s); got != 0x0F0 {
+		t.Errorf("a0 = %#x, want 0x0F0", got)
+	}
+}
+
+func TestRV32ArithmeticShiftRight(t *testing.T) {
+	s := runRV32(t, `
+		li   a0, -64
+		srai a0, a0, 3      # -8
+		ecall
+	`, 1000)
+	if got := a0(t, s); got != 0xFFFFFFF8 {
+		t.Errorf("sra: a0 = %#x, want 0xFFFFFFF8", got)
+	}
+}
+
+func TestRV32Comparisons(t *testing.T) {
+	s := runRV32(t, `
+		li   a1, -5
+		li   a2, 3
+		slt  a0, a1, a2     # signed: -5 < 3 -> 1
+		sltu a3, a1, a2     # unsigned: huge < 3 -> 0
+		slli a0, a0, 1
+		or   a0, a0, a3     # a0 = slt*2 | sltu = 2
+		ecall
+	`, 2000)
+	if got := a0(t, s); got != 2 {
+		t.Errorf("a0 = %d, want 2 (slt=1, sltu=0)", got)
+	}
+}
+
+func TestRV32LoadsStores(t *testing.T) {
+	s := runRV32(t, `
+		li   a1, 0x2A
+		li   a2, 512        # word 128, well past the code
+		sw   a1, 0(a2)
+		lw   a0, 0(a2)
+		addi a0, a0, 1
+		ecall
+	`, 2000)
+	if got := a0(t, s); got != 0x2B {
+		t.Errorf("a0 = %#x, want 0x2B", got)
+	}
+	if v, _ := s.PeekMem("cpu.mem", 128); v != 0x2A {
+		t.Errorf("mem[128] = %#x, want 0x2A", v)
+	}
+}
+
+func TestRV32BranchesAndLoops(t *testing.T) {
+	// Sum 1..10 with a loop.
+	s := runRV32(t, `
+		li   a0, 0
+		li   a1, 1
+		li   a2, 10
+	loop:
+		add  a0, a0, a1
+		addi a1, a1, 1
+		bge  a2, a1, loop
+		ecall
+	`, 8000)
+	if got := a0(t, s); got != 55 {
+		t.Errorf("sum 1..10 = %d, want 55", got)
+	}
+}
+
+func TestRV32JalAndFunctionCall(t *testing.T) {
+	s := runRV32(t, `
+		li   a0, 5
+		jal  ra, double
+		jal  ra, double     # a0 = 20
+		ecall
+	double:
+		add  a0, a0, a0
+		jalr x0, ra, 0
+	`, 4000)
+	if got := a0(t, s); got != 20 {
+		t.Errorf("a0 = %d, want 20", got)
+	}
+}
+
+func TestRV32Fibonacci(t *testing.T) {
+	// fib(12) = 144, iteratively.
+	s := runRV32(t, `
+		li   a0, 0          # fib(0)
+		li   a1, 1          # fib(1)
+		li   a2, 12         # n
+	loop:
+		beq  a2, zero, done
+		add  a3, a0, a1
+		mv   a0, a1
+		mv   a1, a3
+		addi a2, a2, -1
+		j    loop
+	done:
+		ecall
+	`, 20000)
+	if got := a0(t, s); got != 144 {
+		t.Errorf("fib(12) = %d, want 144", got)
+	}
+}
+
+func TestRV32LuiAuipc(t *testing.T) {
+	s := runRV32(t, `
+		lui  a0, 0x12345
+		srli a0, a0, 12     # 0x12345
+		auipc a1, 0         # pc of this instruction (8)
+		ecall
+	`, 1000)
+	if got := a0(t, s); got != 0x12345 {
+		t.Errorf("lui: a0 = %#x, want 0x12345", got)
+	}
+	if v, _ := s.PeekMem("cpu.regfile", 11); v != 8 {
+		t.Errorf("auipc: a1 = %d, want 8", v)
+	}
+}
+
+func TestRV32X0IsAlwaysZero(t *testing.T) {
+	s := runRV32(t, `
+		addi x0, x0, 123    # must be discarded
+		add  a0, x0, x0
+		ecall
+	`, 1000)
+	if got := a0(t, s); got != 0 {
+		t.Errorf("x0 leak: a0 = %d", got)
+	}
+}
+
+func TestAssembleErrors(t *testing.T) {
+	for name, src := range map[string]string{
+		"unknown op":    "frobnicate a0, a1",
+		"bad register":  "addi q9, x0, 1",
+		"imm range":     "addi a0, x0, 99999",
+		"bad mem arg":   "lw a0, nope",
+		"dup label":     "x: nop\nx: nop",
+		"shift range":   "slli a0, a0, 99",
+		"missing label": "j nowhere",
+	} {
+		if _, err := Assemble(src); err == nil {
+			t.Errorf("%s: assembled", name)
+		}
+	}
+}
+
+func TestRV32HaltFreezesCore(t *testing.T) {
+	s := runRV32(t, "li a0, 7\necall", 1000)
+	pc1, _ := s.Peek("pc")
+	s.Run(100)
+	pc2, _ := s.Peek("pc")
+	if pc1 != pc2 {
+		t.Errorf("pc moved after halt: %#x -> %#x", pc1, pc2)
+	}
+	if got := a0(t, s); got != 7 {
+		t.Errorf("a0 = %d, want 7", got)
+	}
+}

@@ -1,0 +1,345 @@
+package workloads
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Assemble translates a tiny RV32I assembly dialect into the memory image
+// NewRV32Core consumes. One instruction or directive per line; comments
+// start with '#' or ';'. Labels end with ':'. Registers are x0..x31 or
+// the standard ABI names. Supported mnemonics match the core's subset:
+//
+//	lui auipc jal jalr beq bne blt bge bltu bgeu lw sw
+//	addi slti sltiu xori ori andi slli srli srai
+//	add sub sll slt sltu xor srl sra or and
+//	ecall  li (pseudo, 12-bit)  mv (pseudo)  j (pseudo)  nop (pseudo)
+//	.word N (data directive)
+func Assemble(src string) ([]uint32, error) {
+	type line struct {
+		no   int
+		text string
+	}
+	var lines []line
+	labels := map[string]uint32{}
+	addr := uint32(0)
+	for no, raw := range strings.Split(src, "\n") {
+		text := raw
+		if i := strings.IndexAny(text, "#;"); i >= 0 {
+			text = text[:i]
+		}
+		text = strings.TrimSpace(text)
+		if text == "" {
+			continue
+		}
+		for {
+			if i := strings.Index(text, ":"); i >= 0 {
+				label := strings.TrimSpace(text[:i])
+				if label == "" || strings.ContainsAny(label, " \t") {
+					return nil, fmt.Errorf("rv32asm: line %d: malformed label", no+1)
+				}
+				if _, dup := labels[label]; dup {
+					return nil, fmt.Errorf("rv32asm: line %d: duplicate label %q", no+1, label)
+				}
+				labels[label] = addr
+				text = strings.TrimSpace(text[i+1:])
+				continue
+			}
+			break
+		}
+		if text == "" {
+			continue
+		}
+		lines = append(lines, line{no: no + 1, text: text})
+		addr += 4
+	}
+
+	var out []uint32
+	pc := uint32(0)
+	for _, ln := range lines {
+		w, err := assembleOne(ln.text, pc, labels)
+		if err != nil {
+			return nil, fmt.Errorf("rv32asm: line %d: %w", ln.no, err)
+		}
+		out = append(out, w)
+		pc += 4
+	}
+	return out, nil
+}
+
+var abiRegs = map[string]uint32{
+	"zero": 0, "ra": 1, "sp": 2, "gp": 3, "tp": 4,
+	"t0": 5, "t1": 6, "t2": 7, "s0": 8, "fp": 8, "s1": 9,
+	"a0": 10, "a1": 11, "a2": 12, "a3": 13, "a4": 14, "a5": 15,
+	"a6": 16, "a7": 17, "s2": 18, "s3": 19, "s4": 20, "s5": 21,
+	"s6": 22, "s7": 23, "s8": 24, "s9": 25, "s10": 26, "s11": 27,
+	"t3": 28, "t4": 29, "t5": 30, "t6": 31,
+}
+
+func reg(tok string) (uint32, error) {
+	tok = strings.TrimSpace(tok)
+	if n, ok := abiRegs[tok]; ok {
+		return n, nil
+	}
+	if strings.HasPrefix(tok, "x") {
+		n, err := strconv.Atoi(tok[1:])
+		if err == nil && n >= 0 && n < 32 {
+			return uint32(n), nil
+		}
+	}
+	return 0, fmt.Errorf("bad register %q", tok)
+}
+
+func immVal(tok string, labels map[string]uint32) (int64, error) {
+	tok = strings.TrimSpace(tok)
+	if v, ok := labels[tok]; ok {
+		return int64(v), nil
+	}
+	v, err := strconv.ParseInt(tok, 0, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", tok)
+	}
+	return v, nil
+}
+
+func assembleOne(text string, pc uint32, labels map[string]uint32) (uint32, error) {
+	fields := strings.Fields(strings.ReplaceAll(text, ",", " "))
+	op := strings.ToLower(fields[0])
+	args := fields[1:]
+	need := func(n int) error {
+		if len(args) != n {
+			return fmt.Errorf("%s needs %d operands, got %d", op, n, len(args))
+		}
+		return nil
+	}
+
+	rType := func(funct7, funct3 uint32) (uint32, error) {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, e1 := reg(args[0])
+		r1, e2 := reg(args[1])
+		r2, e3 := reg(args[2])
+		if e1 != nil || e2 != nil || e3 != nil {
+			return 0, firstErr(e1, e2, e3)
+		}
+		return funct7<<25 | r2<<20 | r1<<15 | funct3<<12 | rd<<7 | 0x33, nil
+	}
+	iType := func(opcode, funct3 uint32) (uint32, error) {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, e1 := reg(args[0])
+		r1, e2 := reg(args[1])
+		if e1 != nil || e2 != nil {
+			return 0, firstErr(e1, e2)
+		}
+		v, err := immVal(args[2], labels)
+		if err != nil {
+			return 0, err
+		}
+		if v < -2048 || v > 2047 {
+			return 0, fmt.Errorf("immediate %d out of 12-bit range", v)
+		}
+		return uint32(v)&0xFFF<<20 | r1<<15 | funct3<<12 | rd<<7 | opcode, nil
+	}
+	shiftType := func(funct7, funct3 uint32) (uint32, error) {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		rd, e1 := reg(args[0])
+		r1, e2 := reg(args[1])
+		if e1 != nil || e2 != nil {
+			return 0, firstErr(e1, e2)
+		}
+		v, err := immVal(args[2], labels)
+		if err != nil || v < 0 || v > 31 {
+			return 0, fmt.Errorf("bad shift amount %q", args[2])
+		}
+		return funct7<<25 | uint32(v)<<20 | r1<<15 | funct3<<12 | rd<<7 | 0x13, nil
+	}
+	branch := func(funct3 uint32) (uint32, error) {
+		if err := need(3); err != nil {
+			return 0, err
+		}
+		r1, e1 := reg(args[0])
+		r2, e2 := reg(args[1])
+		if e1 != nil || e2 != nil {
+			return 0, firstErr(e1, e2)
+		}
+		tgt, err := immVal(args[2], labels)
+		if err != nil {
+			return 0, err
+		}
+		off := tgt - int64(pc)
+		if off < -4096 || off > 4094 || off%2 != 0 {
+			return 0, fmt.Errorf("branch offset %d out of range", off)
+		}
+		u := uint32(off)
+		return (u>>12&1)<<31 | (u>>5&0x3F)<<25 | r2<<20 | r1<<15 |
+			funct3<<12 | (u>>1&0xF)<<8 | (u>>11&1)<<7 | 0x63, nil
+	}
+	memOp := func(opcode, funct3 uint32, store bool) (uint32, error) {
+		// lw rd, imm(rs1) / sw rs2, imm(rs1)
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rA, e1 := reg(args[0])
+		if e1 != nil {
+			return 0, e1
+		}
+		open := strings.Index(args[1], "(")
+		closeP := strings.Index(args[1], ")")
+		if open < 0 || closeP < open {
+			return 0, fmt.Errorf("expected imm(reg), got %q", args[1])
+		}
+		v, err := immVal(args[1][:open], labels)
+		if err != nil {
+			return 0, err
+		}
+		base, err := reg(args[1][open+1 : closeP])
+		if err != nil {
+			return 0, err
+		}
+		if v < -2048 || v > 2047 {
+			return 0, fmt.Errorf("offset %d out of 12-bit range", v)
+		}
+		u := uint32(v) & 0xFFF
+		if store {
+			return (u>>5)<<25 | rA<<20 | base<<15 | funct3<<12 | (u&0x1F)<<7 | opcode, nil
+		}
+		return u<<20 | base<<15 | funct3<<12 | rA<<7 | opcode, nil
+	}
+
+	switch op {
+	case "nop":
+		return 0x13, nil // addi x0, x0, 0
+	case "ecall":
+		return 0x73, nil
+	case "lui", "auipc":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		v, err := immVal(args[1], labels)
+		if err != nil || v < 0 || v > 0xFFFFF {
+			return 0, fmt.Errorf("bad 20-bit immediate %q", args[1])
+		}
+		opcode := uint32(0x37)
+		if op == "auipc" {
+			opcode = 0x17
+		}
+		return uint32(v)<<12 | rd<<7 | opcode, nil
+	case "jal":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		rd, err := reg(args[0])
+		if err != nil {
+			return 0, err
+		}
+		tgt, err := immVal(args[1], labels)
+		if err != nil {
+			return 0, err
+		}
+		off := tgt - int64(pc)
+		if off < -(1<<20) || off >= 1<<20 || off%2 != 0 {
+			return 0, fmt.Errorf("jal offset %d out of range", off)
+		}
+		u := uint32(off)
+		return (u>>20&1)<<31 | (u>>1&0x3FF)<<21 | (u>>11&1)<<20 |
+			(u>>12&0xFF)<<12 | rd<<7 | 0x6F, nil
+	case "j":
+		return assembleOne("jal x0 "+args[0], pc, labels)
+	case "jalr":
+		return iType(0x67, 0)
+	case "beq":
+		return branch(0)
+	case "bne":
+		return branch(1)
+	case "blt":
+		return branch(4)
+	case "bge":
+		return branch(5)
+	case "bltu":
+		return branch(6)
+	case "bgeu":
+		return branch(7)
+	case "lw":
+		return memOp(0x03, 2, false)
+	case "sw":
+		return memOp(0x23, 2, true)
+	case "addi":
+		return iType(0x13, 0)
+	case "slti":
+		return iType(0x13, 2)
+	case "sltiu":
+		return iType(0x13, 3)
+	case "xori":
+		return iType(0x13, 4)
+	case "ori":
+		return iType(0x13, 6)
+	case "andi":
+		return iType(0x13, 7)
+	case "slli":
+		return shiftType(0, 1)
+	case "srli":
+		return shiftType(0, 5)
+	case "srai":
+		return shiftType(0x20, 5)
+	case "add":
+		return rType(0, 0)
+	case "sub":
+		return rType(0x20, 0)
+	case "sll":
+		return rType(0, 1)
+	case "slt":
+		return rType(0, 2)
+	case "sltu":
+		return rType(0, 3)
+	case "xor":
+		return rType(0, 4)
+	case "srl":
+		return rType(0, 5)
+	case "sra":
+		return rType(0x20, 5)
+	case "or":
+		return rType(0, 6)
+	case "and":
+		return rType(0, 7)
+	case "li":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return assembleOne(fmt.Sprintf("addi %s x0 %s", args[0], args[1]), pc, labels)
+	case "mv":
+		if err := need(2); err != nil {
+			return 0, err
+		}
+		return assembleOne(fmt.Sprintf("addi %s %s 0", args[0], args[1]), pc, labels)
+	case ".word":
+		if err := need(1); err != nil {
+			return 0, err
+		}
+		v, err := immVal(args[0], labels)
+		if err != nil {
+			return 0, err
+		}
+		return uint32(v), nil
+	default:
+		return 0, fmt.Errorf("unknown mnemonic %q", op)
+	}
+}
+
+func firstErr(errs ...error) error {
+	for _, e := range errs {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}

@@ -1,0 +1,327 @@
+package workloads
+
+import (
+	"testing"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+	"zoomie/internal/synth"
+)
+
+func simulate(t *testing.T, d *rtl.Design, clocks []sim.ClockSpec) *sim.Simulator {
+	t.Helper()
+	f, err := rtl.Elaborate(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(f, clocks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+var mainClock = []sim.ClockSpec{{Name: Clk, Period: 1}}
+var netClock = []sim.ClockSpec{
+	{Name: NetClk, Period: 1},
+	{Name: MacClk, Period: 1},
+}
+
+func TestManycoreSoCElaboratesAndRuns(t *testing.T) {
+	s := simulate(t, ManycoreSoC(16), mainClock) // 2 clusters
+	s.Poke("en", 1)
+	s.Run(200)
+	// Cores execute; at least one PC must have advanced.
+	if v, err := s.Peek("tile0.core0.pc_r"); err != nil || v == 0 {
+		t.Errorf("tile0.core0.pc_r = %d, %v; core did not run", v, err)
+	}
+	if v, err := s.Peek("tile1.core7.pc_r"); err != nil || v == 0 {
+		t.Errorf("tile1.core7.pc_r = %d, %v", v, err)
+	}
+}
+
+func TestManycoreResourceProfileMatchesTable2(t *testing.T) {
+	// The headline calibration: at 5400 cores the SoC must land on the
+	// utilization column of Table 2 within 0.25 percentage points.
+	net, err := synth.Synthesize(ManycoreSoC(5400))
+	if err != nil {
+		t.Fatal(err)
+	}
+	capTotal := fpga.NewU200().Capacity()
+	paper := map[fpga.Resource]float64{
+		fpga.LUT:    95.32,
+		fpga.LUTRAM: 8.96,
+		fpga.FF:     53.42,
+		fpga.BRAM:   98.19,
+	}
+	paperCounts := map[fpga.Resource]int{
+		fpga.LUT:    1103572,
+		fpga.LUTRAM: 54128,
+		fpga.FF:     12894858,
+		fpga.BRAM:   2120,
+	}
+	for res, want := range paper {
+		got := 100 * float64(net.TotalUsage[res]) / float64(capTotal[res])
+		if got < want-0.25 || got > want+0.25 {
+			t.Errorf("%s utilization = %.2f%%, paper says %.2f%% (count %d vs %d)",
+				res, got, want, net.TotalUsage[res], paperCounts[res])
+		}
+	}
+	if !net.TotalUsage.Fits(capTotal) {
+		t.Error("SoC exceeds U200 capacity")
+	}
+}
+
+func TestManycoreCorePathNames(t *testing.T) {
+	if CorePath(3, 5) != "tile3.core5" || ClusterPath(2) != "tile2" {
+		t.Error("path helpers broken")
+	}
+	net, err := synth.Synthesize(ManycoreSoC(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := net.CellsUnder(CorePath(0, 0)); n == 0 {
+		t.Error("no cells under tile0.core0")
+	}
+	if n := net.CellsUnder("tile9"); n != 0 {
+		t.Errorf("phantom cells under missing tile: %d", n)
+	}
+}
+
+func TestExceptionCoreWellBehaved(t *testing.T) {
+	s := simulate(t, ExceptionSoC(WellBehavedExceptionProgram()), mainClock)
+	s.Poke("en", 1)
+	s.Run(2) // csrw, then ecall traps
+	if v, _ := s.Peek("ariane.mstatus_mie"); v != 0 {
+		t.Errorf("MIE = %d inside handler, want 0", v)
+	}
+	if v, _ := s.Peek("ariane.mstatus_mpie"); v != 1 {
+		t.Errorf("MPIE = %d inside handler, want 1", v)
+	}
+	if v, _ := s.Peek("ariane.mcause"); v != 11 {
+		t.Errorf("mcause = %d, want 11 (ecall)", v)
+	}
+	if v, _ := s.Peek("ariane.pc_r"); v != 0x40 {
+		t.Errorf("pc = %#x, want handler base 0x40", v)
+	}
+	s.Run(1) // mret
+	if v, _ := s.Peek("ariane.mstatus_mie"); v != 1 {
+		t.Errorf("MIE = %d after mret, want 1", v)
+	}
+	if v, _ := s.Peek("ariane.pc_r"); v != 1 {
+		t.Errorf("pc = %#x after mret, want mepc 1", v)
+	}
+	// The core keeps retiring instructions afterwards.
+	before, _ := s.Peek("ariane.minstret")
+	s.Run(10)
+	after, _ := s.Peek("ariane.minstret")
+	if after <= before {
+		t.Error("core hung after clean trap return")
+	}
+}
+
+func TestExceptionCoreHangsWithBadMtvec(t *testing.T) {
+	// §5.6: invalid handler base -> every trap faults again. The signature
+	// Zoomie's breakpoint keys on: nested exception (MIE=0 && MPIE=0,
+	// mcause[63]=0) with pc stuck at mepc and the trap flag high.
+	s := simulate(t, ExceptionSoC(HangingExceptionProgram()), mainClock)
+	s.Poke("en", 1)
+	s.Run(3) // nop, csrw mtvec<-0x800, nop
+	s.Run(1) // ecall: first trap
+	if v, _ := s.Peek("ariane.mstatus_mpie"); v != 1 {
+		t.Fatalf("MPIE = %d after first trap, want 1", v)
+	}
+	s.Run(1) // fetch from 0x800 faults: nested trap
+	mie, _ := s.Peek("ariane.mstatus_mie")
+	mpie, _ := s.Peek("ariane.mstatus_mpie")
+	mcause, _ := s.Peek("ariane.mcause")
+	if mie != 0 || mpie != 0 {
+		t.Errorf("nested trap signature MIE=%d MPIE=%d, want 0/0", mie, mpie)
+	}
+	if mcause>>63 != 0 {
+		t.Error("mcause[63] should be 0 (synchronous)")
+	}
+	// From here on: pc == mepc == mtvec and trap stays asserted forever.
+	s.Run(1)
+	pc, _ := s.Peek("ariane.pc_r")
+	mepc, _ := s.Peek("ariane.mepc")
+	trap, _ := s.Peek("trap")
+	if pc != mepc || trap != 1 {
+		t.Errorf("infinite trap loop signature: pc=%#x mepc=%#x trap=%d", pc, mepc, trap)
+	}
+	retiredBefore, _ := s.Peek("ariane.minstret")
+	s.Run(50)
+	retiredAfter, _ := s.Peek("ariane.minstret")
+	if retiredAfter != retiredBefore {
+		// retired only counts non-trap cycles; it must be frozen
+	} else if pc2, _ := s.Peek("ariane.pc_r"); pc2 != pc {
+		t.Errorf("pc moved during hang: %#x -> %#x", pc, pc2)
+	}
+	if retiredAfter != retiredBefore {
+		t.Errorf("core retired instructions while hung: %d -> %d", retiredBefore, retiredAfter)
+	}
+}
+
+func TestCohortAccelCompletesWithoutBug(t *testing.T) {
+	s := simulate(t, CohortAccel(false), mainClock)
+	s.Poke("en", 1)
+	s.Poke("n_items", 10)
+	_, ok := s.RunUntil(func() bool {
+		v, _ := s.Peek("done")
+		return v == 1
+	}, 500)
+	if !ok {
+		v, _ := s.Peek("result_count")
+		t.Fatalf("fixed accelerator did not finish; results=%d", v)
+	}
+	if v, _ := s.Peek("result_count"); v != 10 {
+		t.Errorf("result_count = %d, want 10", v)
+	}
+}
+
+func TestCohortAccelHangsWithBug(t *testing.T) {
+	// §5.5: "for certain inputs, it could only return part of the result
+	// before hanging indefinitely."
+	s := simulate(t, CohortAccel(true), mainClock)
+	s.Poke("en", 1)
+	s.Poke("n_items", 10)
+	s.Run(500)
+	count, _ := s.Peek("result_count")
+	if count == 0 || count >= 10 {
+		t.Fatalf("buggy accelerator returned %d/10 results; want partial (0 < n < 10)", count)
+	}
+	// The hang signature the case study uncovers: the LSU is stuck waiting
+	// for a translation acknowledge while the MMU sits idle.
+	if v, _ := s.Peek("lsu.state"); v != 2 {
+		t.Errorf("lsu.state = %d, want 2 (wait-ack)", v)
+	}
+	if v, _ := s.Peek("mmu.busy"); v != 0 {
+		t.Errorf("mmu.busy = %d, want 0 (it already answered, to the wrong channel)", v)
+	}
+	// And it is truly stuck: nothing changes over another long window.
+	s.Run(500)
+	if v, _ := s.Peek("result_count"); v != count {
+		t.Errorf("result count moved during hang: %d -> %d", count, v)
+	}
+}
+
+func TestNetStackCountsPackets(t *testing.T) {
+	s := simulate(t, NetStack(), netClock)
+	s.Poke("en", 1)
+	s.Poke("engine_ready", 1)
+	s.Poke("dbg_paused", 0)
+	s.Run(400)
+	if v, _ := s.Peek("pkt_count"); v < 50 {
+		t.Errorf("pkt_count = %d after 400 cycles, want dozens", v)
+	}
+	if v, _ := s.Peek("dropped_frames"); v != 0 {
+		t.Errorf("dropped %d frames with no backpressure", v)
+	}
+}
+
+func TestNetStackDropsWholeFramesUnderBackpressure(t *testing.T) {
+	s := simulate(t, NetStack(), netClock)
+	s.Poke("en", 1)
+	s.Poke("dbg_paused", 0)
+	s.Poke("engine_ready", 0) // host stalls; the MAC cannot be paused
+	s.Run(100)
+	if v, _ := s.Peek("dropped_frames"); v == 0 {
+		t.Error("queue never dropped despite a stalled consumer")
+	}
+	// Resume: the stack recovers and keeps counting.
+	s.Poke("engine_ready", 1)
+	before, _ := s.Peek("pkt_count")
+	s.Run(200)
+	after, _ := s.Peek("pkt_count")
+	if after <= before {
+		t.Errorf("stack did not recover after backpressure: %d -> %d", before, after)
+	}
+}
+
+func TestProbeDesign(t *testing.T) {
+	d := ProbeDesign(3)
+	s := simulate(t, d, mainClock)
+	s.Run(5)
+	for i := 0; i < 3; i++ {
+		name := d.Top.Signals[i].Name
+		if v, _ := s.Peek(name); v != ProbeConstant(i) {
+			t.Errorf("%s = %#x, want %#x", name, v, ProbeConstant(i))
+		}
+	}
+}
+
+func TestManycoreFamilySharesModules(t *testing.T) {
+	f := NewManycore(32)
+	base := f.Base()
+	variant := f.Variant(0)
+	if f.MutPath() != "tile0" {
+		t.Errorf("MutPath = %q", f.MutPath())
+	}
+	// Every tile except tile0 shares the exact module pointer.
+	baseMods := map[string]*rtl.Module{}
+	for _, inst := range base.Top.Instances {
+		baseMods[inst.Name] = inst.Module
+	}
+	for _, inst := range variant.Top.Instances {
+		if inst.Name == "tile0" {
+			if inst.Module == baseMods["tile0"] {
+				t.Error("variant tile0 was not replaced")
+			}
+			continue
+		}
+		if inst.Module != baseMods[inst.Name] {
+			t.Errorf("%s does not share its module pointer", inst.Name)
+		}
+	}
+	// The variant exposes the debug probe register and still runs.
+	s := simulate(t, variant, mainClock)
+	s.Poke("en", 1)
+	s.Run(50)
+	if _, err := s.Peek("tile0.core0.dbg_probe0"); err != nil {
+		t.Errorf("debug probe missing: %v", err)
+	}
+	// Resource usage grows only slightly (the probes).
+	nb, err := synth.Synthesize(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nv, err := synth.Synthesize(variant)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dff := nv.TotalUsage[fpga.FF] - nb.TotalUsage[fpga.FF]
+	if dff != 32 { // one 32-bit probe register
+		t.Errorf("variant FF delta = %d, want 32", dff)
+	}
+}
+
+func TestCohortAccelProbedRoundsExposeSignals(t *testing.T) {
+	wantOutputs := map[int][]string{
+		1: {"lsu_state"},
+		2: {"lsu_state", "bus_reqs"},
+		3: {"lsu_state", "mmu_busy"},
+		4: {"mmu_busy", "mmu_sel", "mmu_id", "lsu_state"},
+	}
+	for round := 1; round <= CohortProbeRounds; round++ {
+		d := CohortAccelProbed(true, round)
+		_, outs := d.Top.Ports()
+		names := map[string]bool{}
+		for _, o := range outs {
+			names[o.Name] = true
+		}
+		for _, want := range wantOutputs[round] {
+			if !names[want] {
+				t.Errorf("round %d missing probe output %q", round, want)
+			}
+		}
+		// And the probed design still exhibits the hang.
+		s := simulate(t, d, mainClock)
+		s.Poke("en", 1)
+		s.Poke("n_items", 10)
+		s.Run(500)
+		if v, _ := s.Peek("lsu_state"); round != 4 && v == 0 && round == 1 {
+			t.Errorf("round %d: lsu_state reads 0; probe not wired?", round)
+		}
+	}
+}

@@ -1,0 +1,158 @@
+package zoomie_test
+
+import (
+	"testing"
+
+	"zoomie"
+)
+
+func buildCounter() *zoomie.Design {
+	m := zoomie.NewModule("counter")
+	q := m.Output("q", 16)
+	cnt := m.Reg("cnt", 16, "clk", 0)
+	m.SetNext(cnt, zoomie.Add(zoomie.S(cnt), zoomie.C(1, 16)))
+	m.Connect(q, zoomie.S(cnt))
+	return zoomie.NewDesign("counter", m)
+}
+
+func TestDebugQuickstartFlow(t *testing.T) {
+	sess, err := zoomie.Debug(buildCounter(), zoomie.DebugConfig{
+		Watches: []string{"q"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetValueBreakpoint("q", 77, zoomie.BreakAny); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunUntilPaused(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+	v, err := sess.Peek("cnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 77 {
+		t.Errorf("paused at cnt=%d, want 77", v)
+	}
+	if out, err := sess.PeekOutput("q"); err != nil || out != 77 {
+		t.Errorf("output q = %d, %v", out, err)
+	}
+}
+
+func TestDebugWithAssertionBreakpoint(t *testing.T) {
+	sess, err := zoomie.Debug(buildCounter(), zoomie.DebugConfig{
+		Assertions: []string{
+			"no_sixty: assert property (@(posedge clk) q != 16'd60);",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunUntilPaused(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+	// Timing-precise: the design pauses in the cycle the assertion fails.
+	if v, _ := sess.Peek("cnt"); v != 60 {
+		t.Errorf("assertion paused at cnt=%d, want 60", v)
+	}
+	// Disable it and continue past.
+	if err := sess.EnableAssertion("no_sixty", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	sess.Run(100)
+	if paused, _ := sess.Paused(); paused {
+		t.Error("disabled assertion paused the design again")
+	}
+}
+
+func TestDebugRejectsBadAssertion(t *testing.T) {
+	_, err := zoomie.Debug(buildCounter(), zoomie.DebugConfig{
+		Assertions: []string{"assert property (@(posedge clk) !$isunknown(q));"},
+	})
+	if err == nil {
+		t.Fatal("unsynthesizable assertion accepted")
+	}
+}
+
+func TestCompileVTIFacade(t *testing.T) {
+	d := buildCounter()
+	if _, err := zoomie.CompileVTI(d, zoomie.CompileOptions{SkipImage: true}); err == nil {
+		t.Error("VTI without partitions accepted")
+	}
+	res, err := zoomie.Compile(d, zoomie.CompileOptions{SkipImage: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Total() <= 0 {
+		t.Error("empty compile report")
+	}
+}
+
+func TestPauseBufferFacade(t *testing.T) {
+	m := zoomie.PauseBuffer("pb", 8, zoomie.DebugClock)
+	if m == nil || m.Signal("up_valid") == nil {
+		t.Error("pause buffer module malformed")
+	}
+}
+
+func TestFormalFacade(t *testing.T) {
+	// Build a design with a monitor compiled from SVA and prove it.
+	m := zoomie.NewModule("fsm")
+	req := m.Input("req", 1)
+	gnt := m.Wire("gnt", 1)
+	pend := m.Reg("pend", 1, "clk", 0)
+	m.SetNext(pend, zoomie.S(req))
+	m.Connect(gnt, zoomie.S(pend))
+
+	a, err := zoomie.ParseSVA("assert property (@(posedge clk) req |=> gnt);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mon, err := zoomie.CompileSVA(a, "mon", "clk", map[string]int{"req": 1, "gnt": 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inst := m.Instantiate("mon", mon.Module)
+	inst.ConnectInput("req", zoomie.S(req))
+	inst.ConnectInput("gnt", zoomie.S(gnt))
+	fw := m.Wire("fw", 1)
+	inst.ConnectOutput("fail", fw)
+	fail := m.Output("fail", 1)
+	m.Connect(fail, zoomie.S(fw))
+
+	res, err := zoomie.CheckFormal(zoomie.NewDesign("fsm", m), zoomie.FormalOptions{Depth: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds {
+		t.Fatalf("property should hold: %v", res.Trace)
+	}
+}
+
+func TestHDLFacadeRoundTrip(t *testing.T) {
+	d := buildCounter()
+	text := zoomie.PrintHDL(d)
+	d2, err := zoomie.ParseHDL(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if zoomie.PrintHDL(d2) != text {
+		t.Error("facade HDL round trip not a fixed point")
+	}
+}
+
+func TestILAFacade(t *testing.T) {
+	wrapped, meta, err := zoomie.InstrumentILA(buildCounter(), zoomie.ILAConfig{
+		Probes: []string{"q"}, Depth: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrapped == nil || meta.Depth != 8 {
+		t.Error("ILA instrumentation malformed")
+	}
+}
