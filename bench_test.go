@@ -315,21 +315,71 @@ func benchCounter() *zoomie.Design {
 	return zoomie.NewDesign("bcounter", m)
 }
 
-// BenchmarkSimulatorManycoreTick measures raw cycle-simulation throughput
-// on a 64-core SoC.
-func BenchmarkSimulatorManycoreTick(b *testing.B) {
+// manycoreSim builds the 64-core SoC simulator used by the simulation
+// microbenchmarks, with an explicit engine selection.
+func manycoreSim(b *testing.B, opts sim.Options) *sim.Simulator {
+	b.Helper()
 	f, err := rtl.Elaborate(workloads.ManycoreSoC(64))
 	if err != nil {
 		b.Fatal(err)
 	}
-	s, err := sim.New(f, []sim.ClockSpec{{Name: workloads.Clk, Period: 1}})
+	s, err := sim.NewWithOptions(f, []sim.ClockSpec{{Name: workloads.Clk, Period: 1}}, opts)
 	if err != nil {
 		b.Fatal(err)
 	}
 	s.Poke("en", 1)
+	return s
+}
+
+// BenchmarkSimulatorManycoreTick measures raw cycle-simulation throughput
+// on a 64-core SoC with the default engine (compiled bytecode + dirty-set
+// incremental settling; see internal/sim).
+func BenchmarkSimulatorManycoreTick(b *testing.B) {
+	s := manycoreSim(b, sim.DefaultOptions)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.Tick()
+	}
+}
+
+// BenchmarkSimulatorManycoreTickInterp is the same workload on the
+// reference tree-walking interpreter, for before/after comparison.
+func BenchmarkSimulatorManycoreTickInterp(b *testing.B) {
+	s := manycoreSim(b, sim.Options{Engine: sim.EngineInterp})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Tick()
+	}
+}
+
+// BenchmarkSettleFull measures one full combinational settle sweep on the
+// interpreter engine: every assign re-evaluated by tree-walking rtl.Eval.
+func BenchmarkSettleFull(b *testing.B) {
+	s := manycoreSim(b, sim.Options{Engine: sim.EngineInterp})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Settle()
+	}
+}
+
+// BenchmarkEvalCompiled measures the same full sweep on the compiled
+// engine (bytecode, pre-resolved slots), isolating the expression
+// evaluation speedup from the incremental-settling one.
+func BenchmarkEvalCompiled(b *testing.B) {
+	s := manycoreSim(b, sim.Options{Engine: sim.EngineCompiled, FullSettle: true})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Settle()
+	}
+}
+
+// BenchmarkSettleDirty measures an incremental settle: toggling the `en`
+// input dirties only its fanout cone, and only that cone is re-evaluated.
+func BenchmarkSettleDirty(b *testing.B) {
+	s := manycoreSim(b, sim.Options{Engine: sim.EngineCompiled})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Poke("en", uint64(i&1))
 	}
 }
 

@@ -17,12 +17,29 @@ import (
 	"fmt"
 	"log"
 	"os"
+
+	"zoomie/internal/sim"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run")
 	cores := flag.Int("cores", 5400, "manycore SoC size for compile experiments")
+	simEngine := flag.String("simengine", "compiled", "simulation engine: compiled|interp")
+	simFull := flag.Bool("simfull", false, "disable dirty-set incremental settling (debug escape hatch)")
+	simShards := flag.Int("simshards", 1, "goroutine shards for cone-parallel settling (>1 enables)")
 	flag.Parse()
+
+	switch *simEngine {
+	case "compiled":
+		sim.DefaultOptions.Engine = sim.EngineCompiled
+	case "interp":
+		sim.DefaultOptions.Engine = sim.EngineInterp
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -simengine %q; have compiled, interp\n", *simEngine)
+		os.Exit(2)
+	}
+	sim.DefaultOptions.FullSettle = *simFull
+	sim.DefaultOptions.Shards = *simShards
 
 	experiments := map[string]func(int) error{
 		"table1":   table1,

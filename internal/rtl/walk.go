@@ -1,0 +1,52 @@
+package rtl
+
+// Lowering support: the simulator's compiled engine flattens expression
+// trees into a bytecode stream. The helpers here expose the structural
+// facts a lowering pass needs — a post-order walk (the emission order of
+// a stack machine), the operand arity of each opcode, and the operand
+// stack depth an expression requires — so that lowering passes do not
+// have to re-derive them from the Expr representation.
+
+// Walk visits every node of the expression tree in post-order (operands
+// before the operator that consumes them), which is exactly the order a
+// stack-machine lowering emits code.
+func (e Expr) Walk(fn func(Expr)) {
+	for _, a := range e.Args {
+		a.Walk(fn)
+	}
+	fn(e)
+}
+
+// OpArity returns the number of expression operands op consumes, or -1
+// for unknown operators. Shift amounts and slice bounds are attributes,
+// not operands, so OpShl/OpShr/OpSlice have arity 1.
+func OpArity(op Op) int {
+	switch op {
+	case OpConst, OpSig:
+		return 0
+	case OpNot, OpShl, OpShr, OpSlice, OpRedOr, OpRedAnd, OpMemRead:
+		return 1
+	case OpAnd, OpOr, OpXor, OpAdd, OpSub, OpMul, OpEq, OpNe, OpLt, OpLe, OpConcat:
+		return 2
+	case OpMux:
+		return 3
+	default:
+		return -1
+	}
+}
+
+// StackDepth returns the operand-stack depth needed to evaluate e with a
+// post-order stack machine that evaluates operands left to right: operand
+// i is evaluated with i earlier results already parked on the stack.
+func (e Expr) StackDepth() int {
+	if len(e.Args) == 0 {
+		return 1
+	}
+	d := 0
+	for i, a := range e.Args {
+		if s := a.StackDepth() + i; s > d {
+			d = s
+		}
+	}
+	return d
+}

@@ -5,10 +5,21 @@
 // phase measured in ticks; a domain "rises" on ticks where
 // (tick-phase) mod period == 0. A tick proceeds in three steps:
 //
-//  1. settle all combinational assignments in levelized order,
-//  2. for every rising and enabled domain, compute register next-values
-//     and memory writes against the settled state,
-//  3. commit the staged updates.
+//  1. for every rising and enabled domain, compute register next-values
+//     and memory writes against the settled state (every public mutation
+//     path leaves the design settled, so no settle is needed on entry),
+//  2. commit the staged updates,
+//  3. re-settle combinational logic downstream of the changed state.
+//
+// Two evaluation engines implement this contract. The interpreter walks
+// rtl.Expr trees through rtl.Eval and re-settles everything; it is the
+// reference semantics. The compiled engine (the default) lowers every
+// expression to bytecode with pre-resolved value-array slots at New()
+// time and settles incrementally: only assigns in the dirty fanout cone
+// of actually-changed state are re-evaluated, in levelized order, with
+// optional goroutine sharding of wide levels (see compile.go and
+// dirty.go). The two engines are held bit-identical by the differential
+// tests in diff_test.go.
 //
 // Clock gating is first-class: a domain may be gated by a combinational
 // signal of the design itself (the Debug Controller's clock enable), which
@@ -19,7 +30,9 @@ package sim
 
 import (
 	"fmt"
+	"os"
 	"sort"
+	"strconv"
 
 	"zoomie/internal/rtl"
 )
@@ -31,6 +44,52 @@ type ClockSpec struct {
 	Phase  int // tick offset of the first rising edge
 }
 
+// Engine selects the expression evaluation engine.
+type Engine int
+
+const (
+	// EngineCompiled lowers expressions to bytecode at New() time and
+	// settles incrementally. The default.
+	EngineCompiled Engine = iota
+	// EngineInterp tree-walks rtl.Eval and re-settles everything every
+	// tick. The reference semantics; keep it for debugging suspected
+	// engine bugs and for differential testing.
+	EngineInterp
+)
+
+// Options configures a Simulator's evaluation strategy.
+type Options struct {
+	Engine Engine
+	// FullSettle disables dirty-set incremental settling on the compiled
+	// engine: every tick re-evaluates every assign (the -simfull escape
+	// hatch for debugging suspected incremental-settling bugs).
+	FullSettle bool
+	// Shards > 1 enables cone-parallel settling: levels with at least
+	// minParallelLevel dirty assigns are evaluated across this many
+	// goroutines. Only meaningful with the compiled engine.
+	Shards int
+}
+
+// DefaultOptions are the options New uses. They are initialised from the
+// environment (ZOOMIE_SIM_ENGINE=interp, ZOOMIE_SIM_FULL=1,
+// ZOOMIE_SIM_SHARDS=n) and may be overridden programmatically, e.g. by
+// cmd/zbench's -simengine/-simfull/-simshards flags.
+var DefaultOptions = optionsFromEnv()
+
+func optionsFromEnv() Options {
+	var o Options
+	if os.Getenv("ZOOMIE_SIM_ENGINE") == "interp" {
+		o.Engine = EngineInterp
+	}
+	if os.Getenv("ZOOMIE_SIM_FULL") == "1" {
+		o.FullSettle = true
+	}
+	if n, err := strconv.Atoi(os.Getenv("ZOOMIE_SIM_SHARDS")); err == nil && n > 1 {
+		o.Shards = n
+	}
+	return o
+}
+
 // Simulator executes a flat design.
 type Simulator struct {
 	Flat   *rtl.Flat
@@ -40,9 +99,10 @@ type Simulator struct {
 	byName   map[string]*rtl.Signal
 	vals     []uint64
 
-	order []rtl.Assign // levelized combinational order
+	order []rtl.Assign // levelized combinational order (interpreter engine)
 
-	mems map[*rtl.Memory][]uint64
+	mems      map[*rtl.Memory][]uint64
+	memByName map[string]*rtl.Memory
 
 	regsByClock map[string][]*rtl.Register
 	memWrites   map[string][]memWrite
@@ -56,6 +116,15 @@ type Simulator struct {
 	cycles  map[string]uint64 // completed rising edges per domain
 	staged  []regUpdate
 	stagedM []memUpdate
+
+	// Compiled engine state (nil/zero when running the interpreter).
+	comp       *compiled
+	dirty      *dirtyState // nil when fullSettle
+	fullSettle bool
+	shards     int
+	stacks     [][]uint64  // per-shard eval stacks
+	changed    [][]int32   // per-shard changed-slot scratch
+	stagedC    []cMemUpdate
 }
 
 type memWrite struct {
@@ -74,15 +143,22 @@ type memUpdate struct {
 	val  uint64
 }
 
-// New builds a simulator for the flat design with the given clock domains.
-// Every domain referenced by a register must be listed.
+// New builds a simulator for the flat design with the given clock domains
+// using DefaultOptions. Every domain referenced by a register must be
+// listed.
 func New(f *rtl.Flat, clocks []ClockSpec) (*Simulator, error) {
+	return NewWithOptions(f, clocks, DefaultOptions)
+}
+
+// NewWithOptions builds a simulator with an explicit engine selection.
+func NewWithOptions(f *rtl.Flat, clocks []ClockSpec, opts Options) (*Simulator, error) {
 	s := &Simulator{
 		Flat:        f,
 		clocks:      append([]ClockSpec(nil), clocks...),
 		sigIndex:    make(map[*rtl.Signal]int, len(f.Signals)),
 		byName:      make(map[string]*rtl.Signal, len(f.Signals)),
 		mems:        make(map[*rtl.Memory][]uint64, len(f.Memories)),
+		memByName:   make(map[string]*rtl.Memory, len(f.Memories)),
 		regsByClock: make(map[string][]*rtl.Register),
 		memWrites:   make(map[string][]memWrite),
 		gates:       make(map[string]*rtl.Signal),
@@ -117,6 +193,7 @@ func New(f *rtl.Flat, clocks []ClockSpec) (*Simulator, error) {
 			data[k] = rtl.Truncate(v, mem.Width)
 		}
 		s.mems[mem] = data
+		s.memByName[mem.Name] = mem
 		for _, w := range mem.Writes {
 			if !known[w.Clock] {
 				return nil, fmt.Errorf("sim: memory %q uses undeclared clock %q", mem.Name, w.Clock)
@@ -124,19 +201,42 @@ func New(f *rtl.Flat, clocks []ClockSpec) (*Simulator, error) {
 			s.memWrites[w.Clock] = append(s.memWrites[w.Clock], memWrite{mem, w})
 		}
 	}
-	order, err := levelize(f)
+	order, level, err := levelize(f)
 	if err != nil {
 		return nil, err
 	}
-	s.order = order
+	s.order = make([]rtl.Assign, len(order))
+	for i, oi := range order {
+		s.order[i] = f.Assigns[oi]
+	}
+	if opts.Engine == EngineCompiled {
+		s.comp = compileProgram(f, s.sigIndex, s.mems, order, level)
+		s.fullSettle = opts.FullSettle
+		if !s.fullSettle {
+			s.dirty = newDirtyState(f, s.comp, s.sigIndex, order, level)
+		}
+		s.shards = opts.Shards
+		if s.shards < 1 {
+			s.shards = 1
+		}
+		if s.shards > 1 {
+			s.stacks = make([][]uint64, s.shards)
+			s.changed = make([][]int32, s.shards)
+			for i := range s.stacks {
+				s.stacks[i] = make([]uint64, s.comp.maxStack)
+			}
+		}
+	}
 	s.settle()
 	return s, nil
 }
 
 // levelize topologically sorts the combinational assignments so each is
-// evaluated after all assignments it reads from. Registers, inputs and
-// memory contents are state and impose no ordering.
-func levelize(f *rtl.Flat) ([]rtl.Assign, error) {
+// evaluated after all assignments it reads from. It returns the
+// evaluation order as indices into f.Assigns plus each assignment's
+// dependency level (0 = reads state and constants only). Registers,
+// inputs and memory contents are state and impose no ordering.
+func levelize(f *rtl.Flat) (order, level []int, err error) {
 	producer := make(map[*rtl.Signal]int) // signal -> assign index
 	for i, a := range f.Assigns {
 		producer[a.Dst] = i
@@ -160,18 +260,22 @@ func levelize(f *rtl.Flat) ([]rtl.Assign, error) {
 			users[p] = append(users[p], i)
 		}
 	}
+	level = make([]int, n)
 	var queue []int
 	for i := 0; i < n; i++ {
 		if indeg[i] == 0 {
 			queue = append(queue, i)
 		}
 	}
-	order := make([]rtl.Assign, 0, n)
+	order = make([]int, 0, n)
 	for len(queue) > 0 {
 		i := queue[0]
 		queue = queue[1:]
-		order = append(order, f.Assigns[i])
+		order = append(order, i)
 		for _, u := range users[i] {
+			if level[i]+1 > level[u] {
+				level[u] = level[i] + 1
+			}
 			indeg[u]--
 			if indeg[u] == 0 {
 				queue = append(queue, u)
@@ -186,9 +290,9 @@ func levelize(f *rtl.Flat) ([]rtl.Assign, error) {
 			}
 		}
 		sort.Strings(cyc)
-		return nil, fmt.Errorf("sim: combinational loop involving %v", cyc)
+		return nil, nil, fmt.Errorf("sim: combinational loop involving %v", cyc)
 	}
-	return order, nil
+	return order, level, nil
 }
 
 // SignalValue implements rtl.Env.
@@ -198,10 +302,15 @@ func (s *Simulator) SignalValue(sig *rtl.Signal) uint64 { return s.vals[s.sigInd
 // the power-of-two truncation of real block RAM address ports.
 func (s *Simulator) MemValue(mem *rtl.Memory, addr uint64) uint64 {
 	data := s.mems[mem]
-	return data[int(addr)%len(data)]
+	return data[addr%uint64(len(data))]
 }
 
+// settle performs a full combinational settle with the active engine.
 func (s *Simulator) settle() {
+	if s.comp != nil {
+		s.settleFullCompiled()
+		return
+	}
 	for _, a := range s.order {
 		s.vals[s.sigIndex[a.Dst]] = rtl.Eval(a.Src, s)
 	}
@@ -247,9 +356,15 @@ func rises(c ClockSpec, t uint64) bool {
 	return pt >= 0 && pt%int64(c.Period) == 0
 }
 
-// Tick advances the simulation by one tick.
+// Tick advances the simulation by one tick. The design is settled on
+// entry — New, Poke, PokeMem, Restore, Settle and the previous Tick all
+// leave it settled — so register/memory update functions evaluate
+// directly against current state.
 func (s *Simulator) Tick() {
-	s.settle()
+	if s.comp != nil {
+		s.tickCompiled()
+		return
+	}
 	s.staged = s.staged[:0]
 	s.stagedM = s.stagedM[:0]
 	for _, c := range s.clocks {
@@ -276,7 +391,7 @@ func (s *Simulator) Tick() {
 			if rtl.Eval(mw.port.Enable, s) == 0 {
 				continue
 			}
-			addr := int(rtl.Eval(mw.port.Addr, s)) % mw.mem.Depth
+			addr := int(rtl.Eval(mw.port.Addr, s) % uint64(mw.mem.Depth))
 			s.stagedM = append(s.stagedM, memUpdate{
 				mem: mw.mem, addr: addr, val: rtl.Eval(mw.port.Data, s),
 			})
@@ -290,6 +405,76 @@ func (s *Simulator) Tick() {
 	}
 	s.tick++
 	s.settle()
+}
+
+// evalc executes one compiled expression on the serial scratch stack.
+func (s *Simulator) evalc(x xref) uint64 {
+	return runCode(s.comp.code[x.start:x.end], s.comp.stack, s.vals, s.comp.memData)
+}
+
+// tickCompiled is Tick on the compiled engine: bytecode evaluation of the
+// update functions, change-detecting commit, and incremental settling of
+// the dirty fanout cone.
+func (s *Simulator) tickCompiled() {
+	cp := s.comp
+	s.staged = s.staged[:0]
+	s.stagedC = s.stagedC[:0]
+	for _, c := range s.clocks {
+		if !rises(c, s.tick) {
+			continue
+		}
+		if !s.domainEnabled(c.Name) {
+			continue
+		}
+		s.cycles[c.Name]++
+		regs := cp.regs[c.Name]
+		for i := range regs {
+			r := &regs[i]
+			if r.hasEnable && s.evalc(r.enable) == 0 {
+				continue
+			}
+			var v uint64
+			if r.hasReset && s.evalc(r.reset) != 0 {
+				v = r.init
+			} else {
+				v = s.evalc(r.next)
+			}
+			s.staged = append(s.staged, regUpdate{int(r.dst), v})
+		}
+		memw := cp.memw[c.Name]
+		for i := range memw {
+			w := &memw[i]
+			if s.evalc(w.enable) == 0 {
+				continue
+			}
+			addr := int32(s.evalc(w.addr) % w.depth)
+			s.stagedC = append(s.stagedC, cMemUpdate{mem: w.mem, addr: addr, val: s.evalc(w.data)})
+		}
+	}
+	incr := s.dirty != nil
+	for _, u := range s.staged {
+		if s.vals[u.idx] != u.val {
+			s.vals[u.idx] = u.val
+			if incr {
+				s.dirty.markSig(u.idx)
+			}
+		}
+	}
+	for _, u := range s.stagedC {
+		d := cp.memData[u.mem]
+		if d[u.addr] != u.val {
+			d[u.addr] = u.val
+			if incr {
+				s.dirty.markMem(int(u.mem))
+			}
+		}
+	}
+	s.tick++
+	if incr {
+		s.settleDirty()
+	} else {
+		s.settleFullCompiled()
+	}
 }
 
 // Run advances n ticks.
@@ -343,7 +528,17 @@ func (s *Simulator) Poke(name string, v uint64) error {
 	if sig.Kind == rtl.KindWire || sig.Kind == rtl.KindOutput {
 		return fmt.Errorf("sim: cannot force combinational signal %q", name)
 	}
-	s.vals[s.sigIndex[sig]] = rtl.Truncate(v, sig.Width)
+	idx := s.sigIndex[sig]
+	nv := rtl.Truncate(v, sig.Width)
+	if s.dirty != nil {
+		if s.vals[idx] != nv {
+			s.vals[idx] = nv
+			s.dirty.markSig(idx)
+			s.settleDirty()
+		}
+		return nil
+	}
+	s.vals[idx] = nv
 	s.settle()
 	return nil
 }
@@ -369,20 +564,25 @@ func (s *Simulator) PokeMem(name string, addr int, v uint64) error {
 	if addr < 0 || addr >= mem.Depth {
 		return fmt.Errorf("sim: memory %q: address %d out of range", name, addr)
 	}
-	s.mems[mem][addr] = rtl.Truncate(v, mem.Width)
+	nv := rtl.Truncate(v, mem.Width)
+	if s.dirty != nil {
+		data := s.mems[mem]
+		if data[addr] != nv {
+			data[addr] = nv
+			s.dirty.markMem(s.comp.memID[mem])
+			s.settleDirty()
+		}
+		return nil
+	}
+	s.mems[mem][addr] = nv
 	s.settle()
 	return nil
 }
 
 func (s *Simulator) findMem(name string) *rtl.Memory {
-	for _, m := range s.Flat.Memories {
-		if m.Name == name {
-			return m
-		}
-	}
-	return nil
+	return s.memByName[name]
 }
 
-// Settle recomputes combinational signals; needed after batched direct
-// state manipulation through State().
+// Settle recomputes all combinational signals; needed after batched
+// direct state manipulation (e.g. the board's GSR sweep).
 func (s *Simulator) Settle() { s.settle() }
