@@ -10,6 +10,11 @@
 //	zoomie -design exception -hang    # case study 2's trap loop
 //	zoomie -design netstack
 //	zoomie -design counter
+//	zoomie -connect host:9620 -design counter   # same REPL, board on a zoomied server
+//
+// With -connect the design runs on a board leased from a remote zoomied
+// daemon (see cmd/zoomied); every REPL command becomes one wire round
+// trip and behaves identically to the in-process session.
 //
 // Type "help" at the prompt for commands. The REPL reads stdin, so it
 // scripts cleanly: echo "run 100\npause\ninspect dut" | zoomie -design counter
@@ -17,45 +22,96 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"strconv"
 	"strings"
 
 	"zoomie"
+	"zoomie/internal/client"
 	"zoomie/internal/hdl"
-	"zoomie/internal/workloads"
+	"zoomie/internal/server"
 )
+
+var errNoSnapshot = errors.New("no snapshot saved")
 
 func main() {
 	design := flag.String("design", "counter", "design: counter | cohort | exception | netstack")
-	file := flag.String("file", "", "debug a .zrtl design file instead of a bundled design")
+	file := flag.String("file", "", "debug a .zrtl design file instead of a bundled design (local only)")
 	watch := flag.String("watch", "", "comma-separated output ports to watch (with -file)")
 	bug := flag.Bool("bug", false, "enable the TLB bug (cohort design)")
 	hang := flag.Bool("hang", false, "run the hanging program (exception design)")
+	connect := flag.String("connect", "", "attach to a zoomied server at host:port instead of debugging in-process")
 	flag.Parse()
 
-	var sess *zoomie.Session
-	var err error
-	if *file != "" {
-		sess, err = fileSession(*file, *watch)
-		*design = *file
-	} else {
-		sess, err = buildSession(*design, *bug, *hang)
+	name := catalogName(*design, *bug, *hang)
+	var (
+		t    target
+		err  error
+		what = name
+	)
+	switch {
+	case *connect != "":
+		if *file != "" {
+			log.Fatal("-file is local-only; it cannot be combined with -connect")
+		}
+		t, err = dialTarget(*connect, name)
+	case *file != "":
+		what = *file
+		t, err = fileTarget(*file, *watch)
+	default:
+		t, err = localCatalogTarget(name)
 	}
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("zoomie: %s loaded on %s, clock running (%s)\n",
-		*design, sess.Result.Options.Device.Name, sess.Result.Report)
+	device, report := t.Describe()
+	fmt.Printf("zoomie: %s loaded on %s, clock running (%s)\n", what, device, report)
 	fmt.Println(`type "help" for commands`)
 
-	repl(sess)
+	repl(t, os.Stdin, os.Stdout)
+	t.Close()
 }
 
-func fileSession(path, watch string) (*zoomie.Session, error) {
+// catalogName maps the design flags onto the shared catalog (the same
+// names cmd/zoomied serves), so the variant flags work locally and
+// remotely alike.
+func catalogName(design string, bug, hang bool) string {
+	switch {
+	case design == "cohort" && bug:
+		return "cohort-bug"
+	case design == "exception" && hang:
+		return "exception-hang"
+	}
+	return design
+}
+
+func localCatalogTarget(name string) (target, error) {
+	sess, err := server.NewCatalogSession(name, nil)
+	if err != nil {
+		return nil, err
+	}
+	return &localTarget{sess: sess}, nil
+}
+
+func dialTarget(addr, name string) (target, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	sess, err := c.Attach(name)
+	if err != nil {
+		c.Close()
+		return nil, err
+	}
+	return &remoteTarget{c: c, sess: sess}, nil
+}
+
+func fileTarget(path, watch string) (target, error) {
 	src, err := os.ReadFile(path)
 	if err != nil {
 		return nil, err
@@ -68,73 +124,28 @@ func fileSession(path, watch string) (*zoomie.Session, error) {
 	if watch != "" {
 		cfg.Watches = strings.Split(watch, ",")
 	}
-	return zoomie.Debug(d, cfg)
-}
-
-func buildSession(design string, bug, hang bool) (*zoomie.Session, error) {
-	switch design {
-	case "counter":
-		m := zoomie.NewModule("counter")
-		q := m.Output("q", 16)
-		cnt := m.Reg("cnt", 16, "clk", 0)
-		m.SetNext(cnt, zoomie.Add(zoomie.S(cnt), zoomie.C(1, 16)))
-		m.Connect(q, zoomie.S(cnt))
-		sess, err := zoomie.Debug(zoomie.NewDesign("counter", m),
-			zoomie.DebugConfig{Watches: []string{"q"}})
-		return sess, err
-	case "cohort":
-		sess, err := zoomie.Debug(workloads.CohortAccel(bug),
-			zoomie.DebugConfig{Watches: []string{"result_count", "done"}})
-		if err == nil {
-			sess.PokeInput("en", 1)
-			sess.PokeInput("n_items", 10)
-		}
-		return sess, err
-	case "exception":
-		prog := workloads.WellBehavedExceptionProgram()
-		if hang {
-			prog = workloads.HangingExceptionProgram()
-		}
-		sess, err := zoomie.Debug(workloads.ExceptionSoC(prog),
-			zoomie.DebugConfig{Watches: []string{"mcause63", "mie", "mpie", "trap"}})
-		if err == nil {
-			sess.PokeInput("en", 1)
-		}
-		return sess, err
-	case "netstack":
-		sess, err := zoomie.Debug(workloads.NetStack(), zoomie.DebugConfig{
-			UserClock:   workloads.NetClk,
-			Watches:     []string{"pkt_count", "dropped_frames"},
-			PauseInputs: []string{"dbg_paused"},
-			ExtraClocks: []zoomie.ClockSpec{{Name: workloads.MacClk, Period: 1}},
-			Compile:     zoomie.CompileOptions{TargetMHz: 250},
-		})
-		if err == nil {
-			sess.PokeInput("en", 1)
-			sess.PokeInput("engine_ready", 1)
-		}
-		return sess, err
-	default:
-		return nil, fmt.Errorf("unknown design %q", design)
+	sess, err := zoomie.Debug(d, cfg)
+	if err != nil {
+		return nil, err
 	}
+	return &localTarget{sess: sess}, nil
 }
 
-func repl(sess *zoomie.Session) {
-	var snapshot *zoomie.DebugSnapshot
-	sc := bufio.NewScanner(os.Stdin)
-	fmt.Print("(zoomie) ")
+func repl(t target, in io.Reader, out io.Writer) {
+	sc := bufio.NewScanner(in)
+	fmt.Fprint(out, "(zoomie) ")
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		fields := strings.Fields(line)
 		if len(fields) == 0 {
-			fmt.Print("(zoomie) ")
+			fmt.Fprint(out, "(zoomie) ")
 			continue
 		}
 		cmd, args := fields[0], fields[1:]
 		var err error
 		switch cmd {
 		case "help", "h":
-			printHelp()
+			printHelp(out)
 		case "quit", "q", "exit":
 			return
 		case "run", "r":
@@ -142,27 +153,29 @@ func repl(sess *zoomie.Session) {
 			if len(args) > 0 {
 				n, _ = strconv.Atoi(args[0])
 			}
-			sess.Run(n)
-			fmt.Printf("advanced %d cycles\n", n)
+			err = t.Run(n)
+			if err == nil {
+				fmt.Fprintf(out, "advanced %d cycles\n", n)
+			}
 		case "pause":
-			err = sess.Pause()
+			err = t.Pause()
 		case "continue", "c":
-			err = sess.Resume()
+			err = t.Resume()
 		case "step", "s":
 			n := 1
 			if len(args) > 0 {
 				n, _ = strconv.Atoi(args[0])
 			}
-			err = sess.Step(n)
+			err = t.Step(n)
 		case "until":
 			max := 1 << 20
 			if len(args) > 0 {
 				max, _ = strconv.Atoi(args[0])
 			}
 			var ran int
-			ran, err = sess.RunUntilPaused(max)
+			ran, err = t.RunUntilPaused(max)
 			if err == nil {
-				fmt.Printf("paused after %d cycles\n", ran)
+				fmt.Fprintf(out, "paused after %d cycles\n", ran)
 			}
 		case "break", "b":
 			if len(args) < 2 {
@@ -178,24 +191,24 @@ func repl(sess *zoomie.Session) {
 			if len(args) > 2 && args[2] == "all" {
 				mode = zoomie.BreakAll
 			}
-			err = sess.SetValueBreakpoint(args[0], v, mode)
+			err = t.SetValueBreakpoint(args[0], v, mode)
 		case "clearbreaks":
-			err = sess.ClearBreakpoints()
+			err = t.ClearBreakpoints()
 		case "assert":
 			if len(args) < 2 {
 				err = fmt.Errorf("usage: assert <name> on|off")
 				break
 			}
-			err = sess.EnableAssertion(args[0], args[1] == "on")
+			err = t.EnableAssertion(args[0], args[1] == "on")
 		case "print", "p":
 			if len(args) < 1 {
 				err = fmt.Errorf("usage: print <register>")
 				break
 			}
 			var v uint64
-			v, err = sess.Peek(args[0])
+			v, err = t.Peek(args[0])
 			if err == nil {
-				fmt.Printf("%s = %d (%#x)\n", args[0], v, v)
+				fmt.Fprintf(out, "%s = %d (%#x)\n", args[0], v, v)
 			}
 		case "set":
 			if len(args) < 2 {
@@ -205,7 +218,7 @@ func repl(sess *zoomie.Session) {
 			var v uint64
 			v, err = strconv.ParseUint(args[1], 0, 64)
 			if err == nil {
-				err = sess.Poke(args[0], v)
+				err = t.Poke(args[0], v)
 			}
 		case "mem":
 			if len(args) < 2 {
@@ -214,9 +227,9 @@ func repl(sess *zoomie.Session) {
 			}
 			addr, _ := strconv.Atoi(args[1])
 			var v uint64
-			v, err = sess.PeekMem(args[0], addr)
+			v, err = t.PeekMem(args[0], addr)
 			if err == nil {
-				fmt.Printf("%s[%d] = %d (%#x)\n", args[0], addr, v, v)
+				fmt.Fprintf(out, "%s[%d] = %d (%#x)\n", args[0], addr, v, v)
 			}
 		case "trace":
 			// trace SIG1,SIG2 N [file.vcd]
@@ -230,11 +243,11 @@ func repl(sess *zoomie.Session) {
 				break
 			}
 			var tr *zoomie.StepTrace
-			tr, err = sess.TraceSteps(strings.Split(args[0], ","), n)
+			tr, err = t.TraceSteps(strings.Split(args[0], ","), n)
 			if err != nil {
 				break
 			}
-			fmt.Print(tr.Render())
+			fmt.Fprint(out, tr.Render())
 			if len(args) > 2 {
 				var f *os.File
 				f, err = os.Create(args[2])
@@ -244,7 +257,7 @@ func repl(sess *zoomie.Session) {
 				err = tr.WriteVCD(f, "")
 				f.Close()
 				if err == nil {
-					fmt.Printf("wrote %s\n", args[2])
+					fmt.Fprintf(out, "wrote %s\n", args[2])
 				}
 			}
 		case "inspect", "i":
@@ -253,9 +266,9 @@ func repl(sess *zoomie.Session) {
 				prefix = args[0]
 			}
 			var lines []string
-			lines, err = sess.Inspect(prefix)
+			lines, err = t.Inspect(prefix)
 			for _, l := range lines {
-				fmt.Println(" ", l)
+				fmt.Fprintln(out, " ", l)
 			}
 		case "snapshot":
 			which := "save"
@@ -264,29 +277,26 @@ func repl(sess *zoomie.Session) {
 			}
 			switch which {
 			case "save":
-				snapshot, err = sess.Snapshot("dut")
+				var regs, mems int
+				var cycle uint64
+				regs, mems, cycle, err = t.SnapshotSave()
 				if err == nil {
-					fmt.Printf("snapshot of %d registers, %d memories at cycle %d\n",
-						len(snapshot.Regs), len(snapshot.Mems), snapshot.Cycle)
+					fmt.Fprintf(out, "snapshot of %d registers, %d memories at cycle %d\n",
+						regs, mems, cycle)
 				}
 			case "restore":
-				if snapshot == nil {
-					err = fmt.Errorf("no snapshot saved")
-					break
-				}
-				err = sess.Restore(snapshot)
+				err = t.SnapshotRestore()
 			default:
 				err = fmt.Errorf("usage: snapshot [save|restore]")
 			}
 		case "status":
-			paused, perr := sess.Paused()
-			cycles, _ := sess.Cycles()
-			if perr != nil {
-				err = perr
+			paused, cycles, elapsed, serr := t.Status()
+			if serr != nil {
+				err = serr
 				break
 			}
-			fmt.Printf("paused=%v executed_cycles=%d modeled_cable_time=%v\n",
-				paused, cycles, sess.Elapsed().Round(1000))
+			fmt.Fprintf(out, "paused=%v executed_cycles=%d modeled_cable_time=%v\n",
+				paused, cycles, elapsed.Round(1000))
 		case "input":
 			if len(args) < 2 {
 				err = fmt.Errorf("usage: input <port> <value>")
@@ -295,20 +305,20 @@ func repl(sess *zoomie.Session) {
 			var v uint64
 			v, err = strconv.ParseUint(args[1], 0, 64)
 			if err == nil {
-				err = sess.PokeInput(args[0], v)
+				err = t.PokeInput(args[0], v)
 			}
 		default:
 			err = fmt.Errorf("unknown command %q (try help)", cmd)
 		}
 		if err != nil {
-			fmt.Println("error:", err)
+			fmt.Fprintln(out, "error:", err)
 		}
-		fmt.Print("(zoomie) ")
+		fmt.Fprint(out, "(zoomie) ")
 	}
 }
 
-func printHelp() {
-	fmt.Print(`commands:
+func printHelp(out io.Writer) {
+	fmt.Fprint(out, `commands:
   run [n]              let the FPGA run n cycles of wall time (default 100)
   pause                halt the design (timing-precise)
   continue | c         clear pause state and run freely

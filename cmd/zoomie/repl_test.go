@@ -1,0 +1,159 @@
+package main
+
+import (
+	"bytes"
+	"net"
+	"regexp"
+	"strings"
+	"testing"
+
+	"zoomie/internal/client"
+	"zoomie/internal/server"
+)
+
+// The scripted session exercises every REPL command family: breakpoints,
+// until, peek, step, poke, mem, trace, inspect, snapshot save/restore,
+// status, errors, and help.
+const parityScript = `help
+break q 50 any
+until
+print cnt
+step 25
+print cnt
+set cnt 500
+print cnt
+snapshot
+step 5
+print cnt
+snapshot restore
+print cnt
+trace cnt 4
+inspect dut
+status
+mem nosuchmem 0
+print nosuchreg
+snapshot bogus
+quit
+`
+
+// modeled_cable_time differs between local and remote: the server's
+// event detection performs extra readbacks after clock-advancing
+// commands, which costs modeled cable time (but never design cycles).
+// Normalize it away before comparing.
+var cableTimeRE = regexp.MustCompile(`modeled_cable_time=\S+`)
+
+func normalize(out string) string {
+	return cableTimeRE.ReplaceAllString(out, "modeled_cable_time=X")
+}
+
+// TestREPLParityLocalRemote runs the identical scripted stdin against an
+// in-process counter session and a remote one on a zoomied server, and
+// requires byte-identical REPL output (modulo modeled cable time). This
+// is the guarantee that -connect is a transparent transport, not a
+// second debugger.
+func TestREPLParityLocalRemote(t *testing.T) {
+	// Local leg.
+	lt, err := localCatalogTarget("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var localOut bytes.Buffer
+	repl(lt, strings.NewReader(parityScript), &localOut)
+	if err := lt.Close(); err != nil {
+		t.Fatalf("local close: %v", err)
+	}
+
+	// Remote leg: real server, real TCP, real client.
+	srv := server.New(server.Config{PoolSize: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		<-done
+	}()
+
+	rt, err := dialTarget(ln.Addr().String(), "counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var remoteOut bytes.Buffer
+	repl(rt, strings.NewReader(parityScript), &remoteOut)
+	if err := rt.Close(); err != nil {
+		t.Fatalf("remote close: %v", err)
+	}
+
+	local, remote := normalize(localOut.String()), normalize(remoteOut.String())
+	if local != remote {
+		t.Errorf("REPL output diverges between local and remote:\n--- local ---\n%s\n--- remote ---\n%s", local, remote)
+	}
+	// The session did real debugging, not just echoes.
+	for _, want := range []string{
+		"paused after",
+		"cnt = 50 (0x32)",
+		"cnt = 75 (0x4b)",
+		"cnt = 500 (0x1f4)",
+		"snapshot of 1 registers, 0 memories",
+		"cnt = 505 (0x1f9)",
+		"paused=true",
+		"error:",
+	} {
+		if !strings.Contains(local, want) {
+			t.Errorf("local output missing %q", want)
+		}
+	}
+}
+
+// TestCatalogName checks the variant-flag mapping shared by local and
+// remote modes.
+func TestCatalogName(t *testing.T) {
+	cases := []struct {
+		design    string
+		bug, hang bool
+		want      string
+	}{
+		{"counter", false, false, "counter"},
+		{"cohort", false, false, "cohort"},
+		{"cohort", true, false, "cohort-bug"},
+		{"exception", false, false, "exception"},
+		{"exception", false, true, "exception-hang"},
+		{"netstack", false, false, "netstack"},
+		{"cohort", false, true, "cohort"}, // -hang is not cohort's flag
+	}
+	for _, c := range cases {
+		if got := catalogName(c.design, c.bug, c.hang); got != c.want {
+			t.Errorf("catalogName(%q,%v,%v) = %q, want %q", c.design, c.bug, c.hang, got, c.want)
+		}
+	}
+}
+
+// TestRemoteSnapshotRestoreBeforeSave confirms the error text crosses
+// the wire verbatim.
+func TestRemoteErrorTextParity(t *testing.T) {
+	srv := server.New(server.Config{PoolSize: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		<-done
+	}()
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Restore(); err == nil || err.Error() != "no snapshot saved" {
+		t.Errorf("restore-before-save error %q, want %q", err, "no snapshot saved")
+	}
+}

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"time"
+
+	"zoomie"
+	"zoomie/internal/client"
+)
+
+// target is what the REPL drives: the same debugging surface whether the
+// design runs in-process on a private modeled board (localTarget) or on
+// a board leased from a zoomied server across the network (remoteTarget).
+// Keeping the REPL on this seam is what guarantees command parity — the
+// scripted-stdin test runs the identical session against both.
+type target interface {
+	// Describe returns the device name and compile report for the banner.
+	Describe() (device, report string)
+	Run(n int) error
+	Pause() error
+	Resume() error
+	Step(n int) error
+	RunUntilPaused(maxTicks int) (int, error)
+	Peek(name string) (uint64, error)
+	Poke(name string, v uint64) error
+	PeekMem(name string, addr int) (uint64, error)
+	SetValueBreakpoint(signal string, v uint64, mode zoomie.BreakMode) error
+	ClearBreakpoints() error
+	EnableAssertion(name string, on bool) error
+	TraceSteps(signals []string, steps int) (*zoomie.StepTrace, error)
+	Inspect(prefix string) ([]string, error)
+	// SnapshotSave captures full state (kept on whichever side owns the
+	// board) and reports its shape.
+	SnapshotSave() (regs, mems int, cycle uint64, err error)
+	SnapshotRestore() error
+	Status() (paused bool, cycles uint64, elapsed time.Duration, err error)
+	PokeInput(name string, v uint64) error
+	Close() error
+}
+
+// localTarget debugs in-process: the board lives in this process and the
+// snapshot is held here.
+type localTarget struct {
+	sess *zoomie.Session
+	snap *zoomie.DebugSnapshot
+}
+
+func (t *localTarget) Describe() (string, string) {
+	return t.sess.Result.Options.Device.Name, t.sess.Result.Report.String()
+}
+func (t *localTarget) Run(n int) error  { t.sess.Run(n); return nil }
+func (t *localTarget) Pause() error     { return t.sess.Pause() }
+func (t *localTarget) Resume() error    { return t.sess.Resume() }
+func (t *localTarget) Step(n int) error { return t.sess.Step(n) }
+func (t *localTarget) RunUntilPaused(maxTicks int) (int, error) {
+	return t.sess.RunUntilPaused(maxTicks)
+}
+func (t *localTarget) Peek(name string) (uint64, error) { return t.sess.Peek(name) }
+func (t *localTarget) Poke(name string, v uint64) error { return t.sess.Poke(name, v) }
+func (t *localTarget) PeekMem(name string, addr int) (uint64, error) {
+	return t.sess.PeekMem(name, addr)
+}
+func (t *localTarget) SetValueBreakpoint(signal string, v uint64, mode zoomie.BreakMode) error {
+	return t.sess.SetValueBreakpoint(signal, v, mode)
+}
+func (t *localTarget) ClearBreakpoints() error { return t.sess.ClearBreakpoints() }
+func (t *localTarget) EnableAssertion(name string, on bool) error {
+	return t.sess.EnableAssertion(name, on)
+}
+func (t *localTarget) TraceSteps(signals []string, steps int) (*zoomie.StepTrace, error) {
+	return t.sess.TraceSteps(signals, steps)
+}
+func (t *localTarget) Inspect(prefix string) ([]string, error) { return t.sess.Inspect(prefix) }
+func (t *localTarget) SnapshotSave() (int, int, uint64, error) {
+	snap, err := t.sess.Snapshot("dut")
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	t.snap = snap
+	return len(snap.Regs), len(snap.Mems), snap.Cycle, nil
+}
+func (t *localTarget) SnapshotRestore() error {
+	if t.snap == nil {
+		return errNoSnapshot
+	}
+	return t.sess.Restore(t.snap)
+}
+func (t *localTarget) Status() (bool, uint64, time.Duration, error) {
+	paused, err := t.sess.Paused()
+	if err != nil {
+		return false, 0, 0, err
+	}
+	cycles, _ := t.sess.Cycles()
+	return paused, cycles, t.sess.Elapsed(), nil
+}
+func (t *localTarget) PokeInput(name string, v uint64) error { return t.sess.PokeInput(name, v) }
+func (t *localTarget) Close() error                          { return t.sess.Close() }
+
+// remoteTarget debugs across the wire: every call is a round trip to a
+// zoomied session actor, and the snapshot stays server-side.
+type remoteTarget struct {
+	c    *client.Client
+	sess *client.Session
+}
+
+func (t *remoteTarget) Describe() (string, string) { return t.sess.Device, t.sess.Report }
+func (t *remoteTarget) Run(n int) error            { return t.sess.Run(n) }
+func (t *remoteTarget) Pause() error               { return t.sess.Pause() }
+func (t *remoteTarget) Resume() error              { return t.sess.Resume() }
+func (t *remoteTarget) Step(n int) error           { return t.sess.Step(n) }
+func (t *remoteTarget) RunUntilPaused(maxTicks int) (int, error) {
+	return t.sess.RunUntilPaused(maxTicks)
+}
+func (t *remoteTarget) Peek(name string) (uint64, error) { return t.sess.Peek(name) }
+func (t *remoteTarget) Poke(name string, v uint64) error { return t.sess.Poke(name, v) }
+func (t *remoteTarget) PeekMem(name string, addr int) (uint64, error) {
+	return t.sess.PeekMem(name, addr)
+}
+func (t *remoteTarget) SetValueBreakpoint(signal string, v uint64, mode zoomie.BreakMode) error {
+	return t.sess.SetValueBreakpoint(signal, v, mode)
+}
+func (t *remoteTarget) ClearBreakpoints() error { return t.sess.ClearBreakpoints() }
+func (t *remoteTarget) EnableAssertion(name string, on bool) error {
+	return t.sess.EnableAssertion(name, on)
+}
+func (t *remoteTarget) TraceSteps(signals []string, steps int) (*zoomie.StepTrace, error) {
+	return t.sess.TraceSteps(signals, steps)
+}
+func (t *remoteTarget) Inspect(prefix string) ([]string, error) { return t.sess.Inspect(prefix) }
+func (t *remoteTarget) SnapshotSave() (int, int, uint64, error) { return t.sess.Snapshot() }
+func (t *remoteTarget) SnapshotRestore() error                  { return t.sess.Restore() }
+func (t *remoteTarget) Status() (bool, uint64, time.Duration, error) {
+	return t.sess.Status()
+}
+func (t *remoteTarget) PokeInput(name string, v uint64) error { return t.sess.PokeInput(name, v) }
+func (t *remoteTarget) Close() error {
+	err := t.sess.Detach()
+	t.c.Close()
+	return err
+}

@@ -1,0 +1,124 @@
+// Remote debug: the quickstart session, but with the board on the other
+// side of a socket. A zoomied server (here in-process on a loopback
+// port; normally `zoomied -listen :9620` next to the board shelf) leases
+// a modeled FPGA from its pool, and the client drives the identical
+// breakpoint / step / peek / poke / snapshot workflow over the wire —
+// plus the two things only a server can give you: asynchronous
+// breakpoint events and shared multi-client access to one session.
+package main
+
+import (
+	"fmt"
+	"log"
+	"net"
+	"time"
+
+	"zoomie/internal/client"
+	"zoomie/internal/server"
+)
+
+func main() {
+	// Board side: a zoomied instance with a two-board pool. In production
+	// this is its own process on the machine with the FPGAs.
+	srv := server.New(server.Config{
+		PoolSize:    2,
+		IdleTimeout: time.Minute,
+	})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	go srv.Serve(ln)
+	defer srv.Shutdown()
+	fmt.Println("zoomied serving", server.CatalogNames(), "on", ln.Addr())
+
+	// Developer side: dial, attach the counter from the design catalog.
+	// Attach compiles the design server-side and leases a pooled board.
+	c, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Attach("counter")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("attached session %d: %s on %s\n", sess.ID, sess.Design, sess.Device)
+	fmt.Println("compiled:", sess.Report)
+
+	// The quickstart flow, verbatim, over the wire. Value breakpoint on
+	// the watched output, then run until it fires.
+	if err := sess.SetValueBreakpoint("q", 1000, 1 /* BreakAny */); err != nil {
+		log.Fatal(err)
+	}
+	ran, err := sess.RunUntilPaused(1 << 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, _ := sess.Peek("cnt")
+	fmt.Printf("breakpoint hit after %d ticks: cnt = %d\n", ran, v)
+
+	// The hit was also pushed as an asynchronous event — no polling. The
+	// attaching connection is auto-subscribed to its session.
+	select {
+	case e := <-c.Events():
+		fmt.Printf("async event: %s session=%d at cycle %d\n", e.Kind, e.Session, e.Cycles)
+	case <-time.After(5 * time.Second):
+		log.Fatal("no breakpoint event")
+	}
+
+	// Single-step, force a value, snapshot, diverge, rewind. The snapshot
+	// stays server-side; only its shape crosses the network.
+	if err := sess.Step(3); err != nil {
+		log.Fatal(err)
+	}
+	v, _ = sess.Peek("cnt")
+	fmt.Println("after 3 steps: cnt =", v)
+	if err := sess.Poke("cnt", 42); err != nil {
+		log.Fatal(err)
+	}
+	regs, mems, cycle, err := sess.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("snapshot of %d registers, %d memories at cycle %d\n", regs, mems, cycle)
+	if err := sess.Step(10); err != nil {
+		log.Fatal(err)
+	}
+	if err := sess.Restore(); err != nil {
+		log.Fatal(err)
+	}
+	v, _ = sess.Peek("cnt")
+	fmt.Println("restored: cnt =", v)
+
+	// A second client shares the server — and with the session id, even
+	// the same session: its commands serialize through the same actor.
+	c2, err := client.Dial(ln.Addr().String())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer c2.Close()
+	sess2, err := c2.Attach("cohort")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sess2.Pause(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("second client debugging %s on its own pooled board\n", sess2.Design)
+
+	// Server-wide counters over the wire (zoomied -stats dumps the same).
+	st, err := c.ServerStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("server: %d sessions, %d commands, pool %d/%d, %d events (%d dropped)\n",
+		st.SessionsActive, st.CommandsServed, st.PoolInUse, st.PoolCapacity,
+		st.Events, st.EventsDropped)
+
+	// Detach returns the boards to the pool; Shutdown would also reclaim
+	// them (as would the idle timeout, had we walked away).
+	sess.Detach()
+	sess2.Detach()
+	fmt.Println("detached; boards back in the pool")
+}

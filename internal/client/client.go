@@ -1,0 +1,216 @@
+// Package client is the Go client library for zoomied, Zoomie's remote
+// debug server. Dial connects and performs the protocol handshake;
+// Attach leases a design and returns a Session mirroring the facade's
+// zoomie.Session API, so code (and the cmd/zoomie REPL) can drive a
+// board across the network exactly as it would in-process. Requests are
+// correlated by id, so multiple goroutines may share one Client, and
+// unsolicited server events (breakpoint hits, idle detaches) surface on
+// the Events channel.
+package client
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"zoomie/internal/wire"
+)
+
+// Client is one connection to a zoomied server.
+type Client struct {
+	c net.Conn
+
+	writeMu sync.Mutex // serializes frame writes
+	mu      sync.Mutex // guards nextID, pending, err, closed
+	nextID  uint64
+	pending map[uint64]chan *wire.Response
+	err     error
+	closed  bool
+
+	events chan wire.Event
+}
+
+// Dial connects to a zoomied server and performs the version handshake.
+func Dial(addr string) (*Client, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &Client{
+		c:       nc,
+		pending: make(map[uint64]chan *wire.Response),
+		events:  make(chan wire.Event, 64),
+	}
+	// Handshake runs before the reader goroutine: one frame out, one in.
+	if _, err := wire.WriteMessage(nc, wire.Req(&wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version})); err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	m, _, err := wire.ReadMessage(nc)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: %w", err)
+	}
+	if m.T != wire.TResp {
+		nc.Close()
+		return nil, fmt.Errorf("client: handshake: unexpected %q frame", m.T)
+	}
+	if m.Resp.Err != nil {
+		nc.Close()
+		return nil, m.Resp.Err
+	}
+	if m.Resp.Version != wire.Version {
+		nc.Close()
+		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", m.Resp.Version, wire.Version)
+	}
+	c.nextID = 1
+	go c.readLoop()
+	return c, nil
+}
+
+// Close tears down the connection. In-flight calls fail; server-side
+// sessions survive until their idle timeout reclaims them (detach
+// explicitly for immediate reclaim).
+func (c *Client) Close() error {
+	c.fail(fmt.Errorf("client: closed"))
+	return c.c.Close()
+}
+
+// Events returns the asynchronous server notifications (breakpoint
+// pauses, session detaches, shutdown). The channel is buffered; if the
+// consumer falls behind the server drops, not blocks.
+func (c *Client) Events() <-chan wire.Event { return c.events }
+
+// readLoop dispatches responses to their waiting callers and events to
+// the events channel. It is the only sender on events, so it alone
+// closes the channel when the connection dies.
+func (c *Client) readLoop() {
+	defer close(c.events)
+	for {
+		m, _, err := wire.ReadMessage(c.c)
+		if err != nil {
+			if err == io.EOF {
+				err = fmt.Errorf("client: connection closed by server")
+			}
+			c.fail(err)
+			return
+		}
+		switch m.T {
+		case wire.TResp:
+			c.mu.Lock()
+			ch := c.pending[m.Resp.ID]
+			delete(c.pending, m.Resp.ID)
+			c.mu.Unlock()
+			if ch != nil {
+				ch <- m.Resp
+			}
+		case wire.TEvt:
+			select {
+			case c.events <- *m.Evt:
+			default: // consumer is behind; drop rather than stall the reader
+			}
+		}
+	}
+}
+
+// fail poisons the client: every pending and future call returns err.
+func (c *Client) fail(err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.err = err
+	for id, ch := range c.pending {
+		delete(c.pending, id)
+		close(ch)
+	}
+	c.c.Close() // unblocks readLoop, which then closes events
+}
+
+// call sends one request and waits for its response. Protocol-level
+// failures poison the client; op-level failures return *wire.Error.
+func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	if c.closed {
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.nextID++
+	req.ID = c.nextID
+	ch := make(chan *wire.Response, 1)
+	c.pending[req.ID] = ch
+	c.mu.Unlock()
+
+	c.writeMu.Lock()
+	_, werr := wire.WriteMessage(c.c, wire.Req(req))
+	c.writeMu.Unlock()
+	if werr != nil {
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		c.fail(fmt.Errorf("client: write: %w", werr))
+		return nil, werr
+	}
+	resp, ok := <-ch
+	if !ok {
+		c.mu.Lock()
+		err := c.err
+		c.mu.Unlock()
+		return nil, err
+	}
+	if resp.Err != nil {
+		return nil, resp.Err
+	}
+	return resp, nil
+}
+
+// Call sends one raw wire request and returns its response — the escape
+// hatch for ops the typed Session API doesn't cover (or for driving a
+// session attached by another connection, addressed via req.Session).
+func (c *Client) Call(req *wire.Request) (*wire.Response, error) {
+	return c.call(req)
+}
+
+// ServerStats fetches the server-wide counters.
+func (c *Client) ServerStats() (*wire.Stats, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpStatus})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Stats, nil
+}
+
+// SubscribeAll turns on event delivery for every session on the server,
+// not just the ones this client attached.
+func (c *Client) SubscribeAll() error {
+	_, err := c.call(&wire.Request{Op: wire.OpSubscribe, Session: 0})
+	return err
+}
+
+// Subscribe turns on event delivery for one session (attaching already
+// subscribes the attaching connection).
+func (c *Client) Subscribe(sid uint64) error {
+	_, err := c.call(&wire.Request{Op: wire.OpSubscribe, Session: sid})
+	return err
+}
+
+// Attach leases a board for a catalog design and returns the remote
+// debugging session.
+func (c *Client) Attach(design string) (*Session, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpAttach, Design: design})
+	if err != nil {
+		return nil, err
+	}
+	return &Session{
+		c:       c,
+		ID:      resp.Session,
+		Design:  resp.Design,
+		Device:  resp.Device,
+		Report:  resp.Report,
+		Watches: resp.Watches,
+	}, nil
+}

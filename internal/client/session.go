@@ -1,0 +1,196 @@
+package client
+
+import (
+	"time"
+
+	"zoomie/internal/dbg"
+	"zoomie/internal/wire"
+)
+
+// Session is a remote debugging session: the network mirror of
+// zoomie.Session. Every method is one wire round trip executed by the
+// session's actor on the server, so concurrent callers see the same
+// serialized semantics as the in-process debugger.
+type Session struct {
+	c *Client
+
+	ID      uint64
+	Design  string
+	Device  string
+	Report  string
+	Watches []string
+}
+
+func (s *Session) call(req *wire.Request) (*wire.Response, error) {
+	req.Session = s.ID
+	return s.c.call(req)
+}
+
+// Run lets the FPGA execute freely for n design-clock ticks of wall time.
+func (s *Session) Run(n int) error {
+	_, err := s.call(&wire.Request{Op: wire.OpRun, N: n})
+	return err
+}
+
+// Pause halts the design timing-precisely.
+func (s *Session) Pause() error {
+	_, err := s.call(&wire.Request{Op: wire.OpPause})
+	return err
+}
+
+// Resume clears every pause source and lets the design run freely.
+func (s *Session) Resume() error {
+	_, err := s.call(&wire.Request{Op: wire.OpResume})
+	return err
+}
+
+// Step executes exactly n MUT cycles and pauses again.
+func (s *Session) Step(n int) error {
+	_, err := s.call(&wire.Request{Op: wire.OpStep, N: n})
+	return err
+}
+
+// RunUntilPaused runs until a trigger fires, up to maxTicks; returns the
+// ticks consumed.
+func (s *Session) RunUntilPaused(maxTicks int) (int, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpUntil, N: maxTicks})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Ran, nil
+}
+
+// Peek reads a register through frame readback on the server's board.
+func (s *Session) Peek(name string) (uint64, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpPeek, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Poke forces a register value through partial reconfiguration.
+func (s *Session) Poke(name string, v uint64) error {
+	_, err := s.call(&wire.Request{Op: wire.OpPoke, Name: name, Value: v})
+	return err
+}
+
+// PeekMem reads one memory word.
+func (s *Session) PeekMem(name string, addr int) (uint64, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpPeekMem, Name: name, Addr: addr})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// PokeMem forces one memory word.
+func (s *Session) PokeMem(name string, addr int, v uint64) error {
+	_, err := s.call(&wire.Request{Op: wire.OpPokeMem, Name: name, Addr: addr, Value: v})
+	return err
+}
+
+// SetValueBreakpoint arms a value breakpoint on a watched signal.
+func (s *Session) SetValueBreakpoint(signal string, value uint64, mode dbg.BreakMode) error {
+	m := "any"
+	if mode == dbg.BreakAll {
+		m = "all"
+	}
+	_, err := s.call(&wire.Request{Op: wire.OpBreak, Name: signal, Value: value, Mode: m})
+	return err
+}
+
+// ClearBreakpoints disarms every value breakpoint.
+func (s *Session) ClearBreakpoints() error {
+	_, err := s.call(&wire.Request{Op: wire.OpClearBrk})
+	return err
+}
+
+// EnableAssertion toggles an assertion breakpoint.
+func (s *Session) EnableAssertion(name string, enable bool) error {
+	_, err := s.call(&wire.Request{Op: wire.OpAssert, Name: name, Enable: enable})
+	return err
+}
+
+// Snapshot captures full design state server-side (the data never
+// crosses the wire) and returns its shape: register count, memory
+// count, and the cycle it was taken at.
+func (s *Session) Snapshot() (regs, mems int, cycle uint64, err error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpSnapSave})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return resp.Regs, resp.Mems, resp.Cycles, nil
+}
+
+// Restore rewinds the design to the last server-side snapshot.
+func (s *Session) Restore() error {
+	_, err := s.call(&wire.Request{Op: wire.OpSnapRest})
+	return err
+}
+
+// Inspect returns a sorted name=value listing of registers under an
+// instance prefix.
+func (s *Session) Inspect(prefix string) ([]string, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpInspect, Prefix: prefix})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Lines, nil
+}
+
+// TraceSteps single-steps the paused design, reading the named registers
+// every cycle, and reconstructs the StepTrace locally.
+func (s *Session) TraceSteps(signals []string, steps int) (*dbg.StepTrace, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpTrace, Signals: signals, N: steps})
+	if err != nil {
+		return nil, err
+	}
+	t := resp.Trace
+	return &dbg.StepTrace{Signals: t.Signals, Widths: t.Widths, Rows: t.Rows}, nil
+}
+
+// PokeInput drives a top-level input port (chip IO).
+func (s *Session) PokeInput(name string, v uint64) error {
+	_, err := s.call(&wire.Request{Op: wire.OpInput, Name: name, Value: v})
+	return err
+}
+
+// PeekOutput samples a top-level output port.
+func (s *Session) PeekOutput(name string) (uint64, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpOutput, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Value, nil
+}
+
+// Status returns the paused flag, executed MUT cycles, and the modeled
+// configuration-plane time spent on the server's cable.
+func (s *Session) Status() (paused bool, cycles uint64, elapsed time.Duration, err error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpSessStat})
+	if err != nil {
+		return false, 0, 0, err
+	}
+	return resp.Paused, resp.Cycles, time.Duration(resp.ElapsedNS), nil
+}
+
+// Paused reports whether the Debug Controller holds the design.
+func (s *Session) Paused() (bool, error) {
+	paused, _, _, err := s.Status()
+	return paused, err
+}
+
+// Cycles returns executed MUT cycles since configuration.
+func (s *Session) Cycles() (uint64, error) {
+	_, cycles, _, err := s.Status()
+	return cycles, err
+}
+
+// Detach closes the remote session immediately, releasing its board
+// back to the pool (without it, the server's idle timeout eventually
+// does the same).
+func (s *Session) Detach() error {
+	_, err := s.call(&wire.Request{Op: wire.OpDetach})
+	return err
+}

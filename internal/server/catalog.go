@@ -1,0 +1,136 @@
+package server
+
+import (
+	"fmt"
+	"sort"
+
+	"zoomie"
+	"zoomie/internal/workloads"
+)
+
+// Entry is one debuggable design in the server's catalog: how to build
+// it, how to debug it, and how to bring it to life after the clock
+// starts (initial input pokes).
+type Entry struct {
+	// Describe is a one-line summary for listings and logs.
+	Describe string
+	// Build returns the design and its debug configuration.
+	Build func() (*zoomie.Design, zoomie.DebugConfig)
+	// Init runs once after the session starts (e.g. enable pokes).
+	Init func(*zoomie.Session) error
+}
+
+// Catalog returns the bundled designs, keyed by the names clients pass
+// to attach. Variant designs (the TLB bug, the hanging program) are
+// separate entries so an allowlist can expose exactly one of them.
+func Catalog() map[string]Entry {
+	return map[string]Entry{
+		"counter": {
+			Describe: "16-bit counter (quickstart design)",
+			Build: func() (*zoomie.Design, zoomie.DebugConfig) {
+				m := zoomie.NewModule("counter")
+				q := m.Output("q", 16)
+				cnt := m.Reg("cnt", 16, "clk", 0)
+				m.SetNext(cnt, zoomie.Add(zoomie.S(cnt), zoomie.C(1, 16)))
+				m.Connect(q, zoomie.S(cnt))
+				return zoomie.NewDesign("counter", m),
+					zoomie.DebugConfig{Watches: []string{"q"}}
+			},
+		},
+		"cohort": {
+			Describe: "Cohort-like accelerator (§5.5), correct TLB",
+			Build: func() (*zoomie.Design, zoomie.DebugConfig) {
+				return workloads.CohortAccel(false),
+					zoomie.DebugConfig{Watches: []string{"result_count", "done"}}
+			},
+			Init: cohortInit,
+		},
+		"cohort-bug": {
+			Describe: "Cohort-like accelerator with the TLB ack bug (§5.5)",
+			Build: func() (*zoomie.Design, zoomie.DebugConfig) {
+				return workloads.CohortAccel(true),
+					zoomie.DebugConfig{Watches: []string{"result_count", "done"}}
+			},
+			Init: cohortInit,
+		},
+		"exception": {
+			Describe: "Ariane-like SoC running the well-behaved trap program (§5.6)",
+			Build: func() (*zoomie.Design, zoomie.DebugConfig) {
+				return exceptionBuild(workloads.WellBehavedExceptionProgram())
+			},
+			Init: enableInit,
+		},
+		"exception-hang": {
+			Describe: "Ariane-like SoC running the hanging trap program (§5.6)",
+			Build: func() (*zoomie.Design, zoomie.DebugConfig) {
+				return exceptionBuild(workloads.HangingExceptionProgram())
+			},
+			Init: enableInit,
+		},
+		"netstack": {
+			Describe: "Beehive-like 250 MHz network stack (§5.7)",
+			Build: func() (*zoomie.Design, zoomie.DebugConfig) {
+				return workloads.NetStack(), zoomie.DebugConfig{
+					UserClock:   workloads.NetClk,
+					Watches:     []string{"pkt_count", "dropped_frames"},
+					PauseInputs: []string{"dbg_paused"},
+					ExtraClocks: []zoomie.ClockSpec{{Name: workloads.MacClk, Period: 1}},
+					Compile:     zoomie.CompileOptions{TargetMHz: 250},
+				}
+			},
+			Init: func(s *zoomie.Session) error {
+				if err := s.PokeInput("en", 1); err != nil {
+					return err
+				}
+				return s.PokeInput("engine_ready", 1)
+			},
+		},
+	}
+}
+
+func cohortInit(s *zoomie.Session) error {
+	if err := s.PokeInput("en", 1); err != nil {
+		return err
+	}
+	return s.PokeInput("n_items", 10)
+}
+
+func enableInit(s *zoomie.Session) error { return s.PokeInput("en", 1) }
+
+func exceptionBuild(prog []uint16) (*zoomie.Design, zoomie.DebugConfig) {
+	return workloads.ExceptionSoC(prog),
+		zoomie.DebugConfig{Watches: []string{"mcause63", "mie", "mpie", "trap"}}
+}
+
+// CatalogNames returns the sorted design names.
+func CatalogNames() []string {
+	var names []string
+	for n := range Catalog() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// NewCatalogSession builds, compiles and starts one catalog design. The
+// optional leaseBoard hook places the session on a pooled board; cmd/
+// zoomie's in-process mode passes nil and gets a private board.
+func NewCatalogSession(name string, leaseBoard func(*zoomie.Device) (*zoomie.Board, error)) (*zoomie.Session, error) {
+	entry, ok := Catalog()[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown design %q (have: %v)", name, CatalogNames())
+	}
+	d, cfg := entry.Build()
+	cfg.LeaseBoard = leaseBoard
+	sess, err := zoomie.Debug(d, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if entry.Init != nil {
+		if err := entry.Init(sess); err != nil {
+			sess.Close()
+			return nil, err
+		}
+	}
+	return sess, nil
+}

@@ -1,0 +1,93 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"zoomie"
+)
+
+// Pool hands out modeled FPGA boards to sessions, the way a lab hands out
+// cards on a shelf: fixed capacity, one lease per attached design,
+// reclaimed when the session closes (explicitly or by idle timeout). A
+// fresh board is materialized per lease — reconfiguring a reclaimed slot
+// and full reconfiguration of a physical card are the same operation in
+// this model — so a re-leased slot never carries stale state.
+type Pool struct {
+	mu       sync.Mutex
+	capacity int
+	next     uint64
+	inUse    map[uint64]*Lease
+
+	granted  int64
+	denied   int64
+	released int64
+}
+
+// Lease is one board checked out of the pool.
+type Lease struct {
+	ID     uint64
+	Board  *zoomie.Board
+	Device string
+
+	pool *Pool
+	done bool
+}
+
+// NewPool creates a pool of n board slots.
+func NewPool(n int) *Pool {
+	if n <= 0 {
+		n = 1
+	}
+	return &Pool{capacity: n, inUse: make(map[uint64]*Lease)}
+}
+
+// ErrPoolExhausted is wrapped into every denied Lease call.
+var ErrPoolExhausted = fmt.Errorf("board pool exhausted")
+
+// Lease checks a board for the given device out of the pool.
+func (p *Pool) Lease(dev *zoomie.Device) (*Lease, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.inUse) >= p.capacity {
+		p.denied++
+		return nil, fmt.Errorf("%w: %d/%d boards leased", ErrPoolExhausted, len(p.inUse), p.capacity)
+	}
+	p.next++
+	l := &Lease{ID: p.next, Board: zoomie.NewBoard(dev), Device: dev.Name, pool: p}
+	p.inUse[l.ID] = l
+	p.granted++
+	return l, nil
+}
+
+// Release returns the board slot to the pool. Safe to call twice.
+func (l *Lease) Release() {
+	if l == nil {
+		return
+	}
+	l.pool.mu.Lock()
+	defer l.pool.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	delete(l.pool.inUse, l.ID)
+	l.pool.released++
+}
+
+// Capacity returns the number of board slots.
+func (p *Pool) Capacity() int { return p.capacity }
+
+// InUse returns the number of leased boards.
+func (p *Pool) InUse() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.inUse)
+}
+
+// Counters returns (granted, denied, released) lease counts.
+func (p *Pool) Counters() (granted, denied, released int64) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.granted, p.denied, p.released
+}

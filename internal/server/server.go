@@ -1,0 +1,434 @@
+// Package server is zoomied: the remote multi-session FPGA debug daemon.
+// It is to Zoomie what gdbserver/OpenOCD are to software debuggers — the
+// board-side service many clients attach to over the network. Each
+// attached design is a *zoomie.Session owned by one actor goroutine
+// (serialized commands, no locks in dbg), boards come from a fixed-
+// capacity pool, idle sessions auto-detach so abandoned clients cannot
+// hold boards forever, and breakpoint hits are pushed to subscribers as
+// asynchronous events over the internal/wire protocol.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zoomie"
+	"zoomie/internal/wire"
+)
+
+// Config tunes the server.
+type Config struct {
+	// PoolSize is the number of modeled boards (default 4).
+	PoolSize int
+	// IdleTimeout auto-detaches a session with no commands for this long,
+	// reclaiming its board (default 5 minutes).
+	IdleTimeout time.Duration
+	// Allow restricts attachable designs to this list; empty serves the
+	// whole catalog.
+	Allow []string
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+}
+
+// Server is a running zoomied instance.
+type Server struct {
+	cfg   Config
+	pool  *Pool
+	stats stats
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*session
+	conns    map[*conn]struct{}
+	nextSID  uint64
+	closed   bool
+
+	wg sync.WaitGroup // session actors + connection handlers
+}
+
+// New creates a server; call Serve to accept connections.
+func New(cfg Config) *Server {
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 4
+	}
+	if cfg.IdleTimeout <= 0 {
+		cfg.IdleTimeout = 5 * time.Minute
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Server{
+		cfg:      cfg,
+		pool:     NewPool(cfg.PoolSize),
+		sessions: make(map[uint64]*session),
+		conns:    make(map[*conn]struct{}),
+	}
+}
+
+// Serve accepts connections until Shutdown (returns nil) or a listener
+// error.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("server: already shut down")
+	}
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.isClosed() {
+				return nil
+			}
+			return err
+		}
+		nc := newConn(s, c)
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			c.Close()
+			return nil
+		}
+		s.conns[nc] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(2)
+		go nc.readLoop()
+		go nc.writeLoop()
+	}
+}
+
+// Shutdown stops the server gracefully: no new connections or attaches,
+// every session actor pauses its design and releases its board, and all
+// connections close. Blocks until teardown completes. Idempotent.
+func (s *Server) Shutdown() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	ln := s.ln
+	sessions := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		sessions = append(sessions, sess)
+	}
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if ln != nil {
+		ln.Close()
+	}
+	s.broadcast(&wire.Event{Kind: wire.EvtShutdown, Detail: "server shutting down"})
+	for _, sess := range sessions {
+		sess.signalQuit()
+	}
+	for _, c := range conns {
+		c.markDead()
+	}
+	s.wg.Wait()
+	s.cfg.Logf("zoomied: shut down (%d sessions closed)", len(sessions))
+}
+
+func (s *Server) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
+}
+
+// session looks up a live session by id.
+func (s *Server) session(id uint64) *session {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}
+
+// dropSession unregisters a torn-down session.
+func (s *Server) dropSession(sess *session) {
+	s.mu.Lock()
+	delete(s.sessions, sess.id)
+	s.mu.Unlock()
+	atomic.AddInt64(&s.stats.sessionsActive, -1)
+	s.cfg.Logf("zoomied: session %d (%s) closed", sess.id, sess.design)
+}
+
+func (s *Server) allowed(design string) bool {
+	if len(s.cfg.Allow) == 0 {
+		return true
+	}
+	for _, a := range s.cfg.Allow {
+		if a == design {
+			return true
+		}
+	}
+	return false
+}
+
+// attach builds, compiles and starts a catalog design on a pooled board,
+// then spawns its actor. Runs on the calling connection's read loop: a
+// long compile stalls only that client.
+func (s *Server) attach(c *conn, req *wire.Request) *wire.Response {
+	resp := &wire.Response{ID: req.ID}
+	if s.isClosed() {
+		resp.Err = wire.Errf(wire.CodeShutdown, "server shutting down")
+		return resp
+	}
+	name := req.Design
+	if _, ok := Catalog()[name]; !ok {
+		resp.Err = wire.Errf(wire.CodeUnknownDesign, "unknown design %q (have: %v)", name, CatalogNames())
+		return resp
+	}
+	if !s.allowed(name) {
+		resp.Err = wire.Errf(wire.CodeForbidden, "design %q not served (allowlist: %v)", name, s.cfg.Allow)
+		return resp
+	}
+	var lease *Lease
+	zs, err := NewCatalogSession(name, func(dev *zoomie.Device) (*zoomie.Board, error) {
+		l, lerr := s.pool.Lease(dev)
+		if lerr != nil {
+			return nil, lerr
+		}
+		lease = l
+		return l.Board, nil
+	})
+	if err != nil {
+		if lease != nil {
+			lease.Release()
+		}
+		code := wire.CodeOp
+		if errors.Is(err, ErrPoolExhausted) {
+			code = wire.CodePoolExhausted
+		}
+		resp.Err = wire.Errf(code, "%s", err)
+		return resp
+	}
+	zs.AtClose(func() error { lease.Release(); return nil })
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		zs.Close()
+		resp.Err = wire.Errf(wire.CodeShutdown, "server shutting down")
+		return resp
+	}
+	s.nextSID++
+	sess := newSession(s.nextSID, name, zs, s)
+	s.sessions[sess.id] = sess
+	s.mu.Unlock()
+
+	atomic.AddInt64(&s.stats.sessionsActive, 1)
+	atomic.AddInt64(&s.stats.sessionsTotal, 1)
+	s.wg.Add(1)
+	go sess.loop()
+	c.subscribe(sess.id)
+	s.cfg.Logf("zoomied: session %d attached %s on board lease %d (%s)",
+		sess.id, name, lease.ID, lease.Device)
+
+	resp.Session = sess.id
+	resp.Design = name
+	resp.Device = lease.Device
+	resp.Report = fmt.Sprintf("%s", zs.Result.Report)
+	for _, w := range zs.Meta.Watches {
+		resp.Watches = append(resp.Watches, w.Signal)
+	}
+	return resp
+}
+
+// broadcast pushes an event to every subscribed connection. Delivery is
+// best-effort: a connection with a full outbox drops the event (counted)
+// rather than stalling the emitting actor.
+func (s *Server) broadcast(e *wire.Event) {
+	atomic.AddInt64(&s.stats.events, 1)
+	m := wire.Evt(e)
+	s.mu.Lock()
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	for _, c := range conns {
+		if !c.wants(e.Session) {
+			continue
+		}
+		select {
+		case c.out <- m:
+		default:
+			atomic.AddInt64(&s.stats.eventsDropped, 1)
+		}
+	}
+}
+
+// conn is one client connection: a read loop dispatching requests and a
+// write loop owning the socket's send side, joined by the out channel.
+type conn struct {
+	srv *Server
+	c   net.Conn
+	out chan *wire.Message
+	wmu sync.Mutex // serializes socket writes (writeLoop vs handshake)
+
+	dead chan struct{}
+	once sync.Once
+
+	subMu  sync.Mutex
+	subs   map[uint64]bool
+	subAll bool
+}
+
+func newConn(s *Server, c net.Conn) *conn {
+	return &conn{
+		srv:  s,
+		c:    c,
+		out:  make(chan *wire.Message, 256),
+		dead: make(chan struct{}),
+		subs: make(map[uint64]bool),
+	}
+}
+
+// markDead closes the connection exactly once and releases both loops.
+func (c *conn) markDead() {
+	c.once.Do(func() {
+		close(c.dead)
+		c.c.Close()
+	})
+}
+
+// send queues a message for the write loop, giving up if the connection
+// died — responses to a vanished client are dropped, its sessions stay
+// alive until the idle timeout reclaims them.
+func (c *conn) send(m *wire.Message) {
+	select {
+	case c.out <- m:
+	case <-c.dead:
+	}
+}
+
+func (c *conn) subscribe(sid uint64) {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	if sid == 0 {
+		c.subAll = true
+		return
+	}
+	c.subs[sid] = true
+}
+
+func (c *conn) wants(sid uint64) bool {
+	c.subMu.Lock()
+	defer c.subMu.Unlock()
+	return c.subAll || sid == 0 || c.subs[sid]
+}
+
+func (c *conn) writeLoop() {
+	defer c.srv.wg.Done()
+	for {
+		select {
+		case <-c.dead:
+			return
+		case m := <-c.out:
+			if err := c.writeNow(m); err != nil {
+				c.markDead()
+				return
+			}
+		}
+	}
+}
+
+func (c *conn) readLoop() {
+	defer c.srv.wg.Done()
+	defer func() {
+		c.markDead()
+		c.srv.mu.Lock()
+		delete(c.srv.conns, c)
+		c.srv.mu.Unlock()
+	}()
+
+	if !c.handshake() {
+		return
+	}
+	for {
+		m, n, err := wire.ReadMessage(c.c)
+		atomic.AddInt64(&c.srv.stats.bytesIn, int64(n))
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				c.srv.cfg.Logf("zoomied: read error: %v", err)
+			}
+			return
+		}
+		if m.T != wire.TReq {
+			c.send(wire.Resp(&wire.Response{
+				Err: wire.Errf(wire.CodeBadRequest, "clients send requests, got %q", m.T)}))
+			continue
+		}
+		c.dispatch(m.Req)
+	}
+}
+
+// writeNow writes one frame to the socket under the write mutex.
+func (c *conn) writeNow(m *wire.Message) error {
+	c.wmu.Lock()
+	n, err := wire.WriteMessage(c.c, m)
+	c.wmu.Unlock()
+	atomic.AddInt64(&c.srv.stats.bytesOut, int64(n))
+	return err
+}
+
+// handshake enforces the version exchange as the first frame. Replies
+// are written synchronously so a rejected client reads the reason before
+// the connection closes.
+func (c *conn) handshake() bool {
+	m, n, err := wire.ReadMessage(c.c)
+	atomic.AddInt64(&c.srv.stats.bytesIn, int64(n))
+	if err != nil {
+		return false
+	}
+	if m.T != wire.TReq || m.Req.Op != wire.OpHello {
+		c.writeNow(wire.Resp(&wire.Response{
+			Err: wire.Errf(wire.CodeBadRequest, "first frame must be %q", wire.OpHello)}))
+		return false
+	}
+	if m.Req.Version != wire.Version {
+		c.writeNow(wire.Resp(&wire.Response{ID: m.Req.ID,
+			Err: wire.Errf(wire.CodeVersion, "protocol version %d, server speaks %d",
+				m.Req.Version, wire.Version)}))
+		return false
+	}
+	c.writeNow(wire.Resp(&wire.Response{ID: m.Req.ID, Version: wire.Version}))
+	return true
+}
+
+// dispatch routes one request: connection-level ops run inline, session
+// ops are enqueued on the owning actor and answered asynchronously.
+func (c *conn) dispatch(req *wire.Request) {
+	switch req.Op {
+	case wire.OpHello:
+		c.send(wire.Resp(&wire.Response{ID: req.ID, Version: wire.Version}))
+	case wire.OpAttach:
+		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
+		c.send(wire.Resp(c.srv.attach(c, req)))
+	case wire.OpStatus:
+		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
+		c.send(wire.Resp(&wire.Response{ID: req.ID, Stats: c.srv.Stats()}))
+	case wire.OpSubscribe:
+		c.subscribe(req.Session)
+		c.send(wire.Resp(&wire.Response{ID: req.ID, Session: req.Session}))
+	default:
+		sess := c.srv.session(req.Session)
+		if sess == nil {
+			c.send(wire.Resp(&wire.Response{ID: req.ID,
+				Err: wire.Errf(wire.CodeNoSession, "no session %d", req.Session)}))
+			return
+		}
+		if werr := sess.enqueue(req, func(resp *wire.Response) { c.send(wire.Resp(resp)) }); werr != nil {
+			c.send(wire.Resp(&wire.Response{ID: req.ID, Err: werr}))
+		}
+	}
+}

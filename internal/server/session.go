@@ -1,0 +1,328 @@
+package server
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"zoomie"
+	"zoomie/internal/wire"
+)
+
+// session is one attached design: a *zoomie.Session owned by a single
+// actor goroutine that drains a request channel. The actor is how the
+// server retrofits thread-safety onto the lock-free debugger — commands
+// for a session are serialized by construction (no mutexes threaded
+// through dbg), while different sessions run fully concurrently, so one
+// slow Snapshot cannot block anyone else's stepping.
+type session struct {
+	id     uint64
+	design string
+	zs     *zoomie.Session
+	srv    *Server
+
+	reqs chan task
+	quit chan struct{} // closed by Shutdown
+	once sync.Once     // guards close(quit)
+
+	mu     sync.Mutex // guards closed and the enqueue/teardown handoff
+	closed bool
+
+	// busy is the serialization tripwire: handle() CASes it 0->1 on
+	// entry. Because only the actor goroutine calls handle, a failed CAS
+	// means two commands interleaved mid-command — counted in stats and
+	// asserted zero by the race stress test.
+	busy int32
+
+	// Actor-local state (only the actor goroutine touches these).
+	lastPaused bool
+	lastSnap   *zoomie.DebugSnapshot
+}
+
+// task is one queued command with its completion callback.
+type task struct {
+	req   *wire.Request
+	reply func(*wire.Response)
+}
+
+// queueDepth bounds per-session pipelining; a full queue pushes back
+// with CodeBusy instead of buffering without bound.
+const queueDepth = 64
+
+func newSession(id uint64, design string, zs *zoomie.Session, srv *Server) *session {
+	return &session{
+		id:     id,
+		design: design,
+		zs:     zs,
+		srv:    srv,
+		reqs:   make(chan task, queueDepth),
+		quit:   make(chan struct{}),
+	}
+}
+
+// enqueue hands a command to the actor. It never blocks: a torn-down
+// session reports CodeNoSession, a full queue CodeBusy.
+func (s *session) enqueue(req *wire.Request, reply func(*wire.Response)) *wire.Error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return wire.Errf(wire.CodeNoSession, "no session %d", s.id)
+	}
+	select {
+	case s.reqs <- task{req: req, reply: reply}:
+		return nil
+	default:
+		return wire.Errf(wire.CodeBusy, "session %d: command queue full (%d pending)", s.id, queueDepth)
+	}
+}
+
+// signalQuit asks the actor to tear down (graceful shutdown path).
+func (s *session) signalQuit() { s.once.Do(func() { close(s.quit) }) }
+
+// loop is the actor: one goroutine draining commands, arming an idle
+// timer between them. When the timer fires the session auto-detaches
+// and its board goes back to the pool.
+func (s *session) loop() {
+	defer s.srv.wg.Done()
+	idle := s.srv.cfg.IdleTimeout
+	timer := time.NewTimer(idle)
+	defer timer.Stop()
+	for {
+		select {
+		case t := <-s.reqs:
+			start := time.Now()
+			resp, detach := s.handle(t.req)
+			s.srv.stats.observeLatency(time.Since(start))
+			atomic.AddInt64(&s.srv.stats.commandsServed, 1)
+			t.reply(resp)
+			if detach {
+				s.teardown("detached by client")
+				return
+			}
+			s.maybeEmitPaused(t.req.Op)
+			if !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			timer.Reset(idle)
+		case <-timer.C:
+			atomic.AddInt64(&s.srv.stats.idleReaped, 1)
+			s.teardown(fmt.Sprintf("idle for %v", idle))
+			return
+		case <-s.quit:
+			s.teardown("server shutdown")
+			return
+		}
+	}
+}
+
+// teardown closes the session exactly once: it marks the session dead
+// (new enqueues fail fast), answers every still-queued command with
+// CodeNoSession, unregisters from the server, and closes the underlying
+// zoomie.Session — which pauses the design, stops its clocks, and
+// releases the board lease back to the pool.
+func (s *session) teardown(reason string) {
+	s.mu.Lock()
+	s.closed = true
+	s.mu.Unlock()
+	for {
+		select {
+		case t := <-s.reqs:
+			t.reply(&wire.Response{ID: t.req.ID,
+				Err: wire.Errf(wire.CodeNoSession, "session %d gone: %s", s.id, reason)})
+			continue
+		default:
+		}
+		break
+	}
+	s.srv.dropSession(s)
+	s.zs.Close()
+	s.srv.broadcast(&wire.Event{Kind: wire.EvtDetached, Session: s.id, Detail: reason})
+}
+
+// maybeEmitPaused watches for the running->paused transition after
+// clock-advancing commands and pushes a breakpoint-hit event to
+// subscribers, so clients observe triggers without polling.
+func (s *session) maybeEmitPaused(op string) {
+	switch op {
+	case wire.OpRun, wire.OpUntil, wire.OpStep, wire.OpResume, wire.OpPause:
+	default:
+		return
+	}
+	paused, err := s.zs.Paused()
+	if err != nil {
+		return
+	}
+	was := s.lastPaused
+	s.lastPaused = paused
+	// An explicit host pause is its own acknowledgement; only async
+	// trigger-driven pauses become events.
+	if paused && !was && op != wire.OpPause {
+		cyc, _ := s.zs.Cycles()
+		s.srv.broadcast(&wire.Event{Kind: wire.EvtPaused, Session: s.id, Op: op, Cycles: cyc})
+	}
+}
+
+// handle executes one command against the owned zoomie.Session. The
+// second result asks the actor to tear the session down (detach).
+func (s *session) handle(req *wire.Request) (*wire.Response, bool) {
+	if !atomic.CompareAndSwapInt32(&s.busy, 0, 1) {
+		atomic.AddInt64(&s.srv.stats.interleaved, 1)
+	}
+	defer atomic.StoreInt32(&s.busy, 0)
+
+	resp := &wire.Response{ID: req.ID, Session: s.id}
+	fail := func(err error) (*wire.Response, bool) {
+		resp.Err = wire.Errf(wire.CodeOp, "%s", err)
+		return resp, false
+	}
+	switch req.Op {
+	case wire.OpDetach:
+		return resp, true
+
+	case wire.OpRun:
+		n := req.N
+		if n <= 0 {
+			n = 100
+		}
+		s.zs.Run(n)
+		resp.Ran = n
+
+	case wire.OpPause:
+		if err := s.zs.Pause(); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpResume:
+		if err := s.zs.Resume(); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpStep:
+		n := req.N
+		if n <= 0 {
+			n = 1
+		}
+		if err := s.zs.Step(n); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpUntil:
+		max := req.N
+		if max <= 0 {
+			max = 1 << 20
+		}
+		ran, err := s.zs.RunUntilPaused(max)
+		resp.Ran = ran
+		if err != nil {
+			return fail(err)
+		}
+
+	case wire.OpPeek:
+		v, err := s.zs.Peek(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Value = v
+
+	case wire.OpPoke:
+		if err := s.zs.Poke(req.Name, req.Value); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpPeekMem:
+		v, err := s.zs.PeekMem(req.Name, req.Addr)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Value = v
+
+	case wire.OpPokeMem:
+		if err := s.zs.PokeMem(req.Name, req.Addr, req.Value); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpBreak:
+		mode := zoomie.BreakAny
+		if req.Mode == "all" {
+			mode = zoomie.BreakAll
+		}
+		if err := s.zs.SetValueBreakpoint(req.Name, req.Value, mode); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpClearBrk:
+		if err := s.zs.ClearBreakpoints(); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpAssert:
+		if err := s.zs.EnableAssertion(req.Name, req.Enable); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpSnapSave:
+		snap, err := s.zs.Snapshot("dut")
+		if err != nil {
+			return fail(err)
+		}
+		s.lastSnap = snap
+		resp.Regs = len(snap.Regs)
+		resp.Mems = len(snap.Mems)
+		resp.Cycles = snap.Cycle
+
+	case wire.OpSnapRest:
+		if s.lastSnap == nil {
+			return fail(fmt.Errorf("no snapshot saved"))
+		}
+		if err := s.zs.Restore(s.lastSnap); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpInspect:
+		lines, err := s.zs.Inspect(req.Prefix)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Lines = lines
+
+	case wire.OpTrace:
+		tr, err := s.zs.TraceSteps(req.Signals, req.N)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Trace = &wire.Trace{Signals: tr.Signals, Widths: tr.Widths, Rows: tr.Rows}
+
+	case wire.OpInput:
+		if err := s.zs.PokeInput(req.Name, req.Value); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpOutput:
+		v, err := s.zs.PeekOutput(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Value = v
+
+	case wire.OpSessStat:
+		paused, err := s.zs.Paused()
+		if err != nil {
+			return fail(err)
+		}
+		cycles, err := s.zs.Cycles()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Paused = paused
+		resp.Cycles = cycles
+		resp.ElapsedNS = s.zs.Elapsed().Nanoseconds()
+
+	default:
+		resp.Err = wire.Errf(wire.CodeUnknownOp, "unknown op %q", req.Op)
+	}
+	return resp, false
+}

@@ -1,0 +1,74 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"sync/atomic"
+	"time"
+
+	"zoomie/internal/wire"
+)
+
+// stats holds the server-wide counters behind the status wire command
+// and the expvar-style dump. All fields are touched with atomics; the
+// pool keeps its own counters under its lock.
+type stats struct {
+	sessionsActive int64
+	sessionsTotal  int64
+	commandsServed int64
+	bytesIn        int64
+	bytesOut       int64
+	events         int64
+	eventsDropped  int64
+	idleReaped     int64
+	interleaved    int64
+
+	latency [len(latencyBoundsUS)]int64
+}
+
+// latencyBoundsUS mirrors wire.LatencyBounds: upper bounds in µs, last
+// bucket unbounded.
+var latencyBoundsUS = [...]int64{100, 1000, 10_000, 100_000, 1_000_000, -1}
+
+func (st *stats) observeLatency(d time.Duration) {
+	us := d.Microseconds()
+	for i, b := range latencyBoundsUS {
+		if b < 0 || us <= b {
+			atomic.AddInt64(&st.latency[i], 1)
+			return
+		}
+	}
+}
+
+// Stats snapshots the server counters into the wire representation.
+func (s *Server) Stats() *wire.Stats {
+	st := &s.stats
+	out := &wire.Stats{
+		SessionsActive: atomic.LoadInt64(&st.sessionsActive),
+		SessionsTotal:  atomic.LoadInt64(&st.sessionsTotal),
+		CommandsServed: atomic.LoadInt64(&st.commandsServed),
+		BytesIn:        atomic.LoadInt64(&st.bytesIn),
+		BytesOut:       atomic.LoadInt64(&st.bytesOut),
+		Events:         atomic.LoadInt64(&st.events),
+		EventsDropped:  atomic.LoadInt64(&st.eventsDropped),
+		IdleReaped:     atomic.LoadInt64(&st.idleReaped),
+		Interleaved:    atomic.LoadInt64(&st.interleaved),
+		PoolCapacity:   int64(s.pool.Capacity()),
+		PoolInUse:      int64(s.pool.InUse()),
+	}
+	_, denied, _ := s.pool.Counters()
+	out.PoolDenied = denied
+	out.LatencyBuckets = make([]int64, len(st.latency))
+	for i := range st.latency {
+		out.LatencyBuckets[i] = atomic.LoadInt64(&st.latency[i])
+	}
+	return out
+}
+
+// WriteStats dumps the counters as indented JSON — the expvar-style
+// escape hatch for scraping zoomied without speaking the wire protocol.
+func (s *Server) WriteStats(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s.Stats())
+}

@@ -1,0 +1,114 @@
+package server_test
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"zoomie/internal/client"
+	"zoomie/internal/server"
+	"zoomie/internal/wire"
+)
+
+// TestStressConcurrentClients hammers one server with several clients
+// running mixed operations — some on private sessions, all of them on
+// one shared session — and asserts the actor model held: the busy-flag
+// tripwire in handle() counted zero mid-command interleavings. Run under
+// -race this also shakes out data races across the conn/actor/pool
+// layers.
+func TestStressConcurrentClients(t *testing.T) {
+	const (
+		nClients = 4
+		nIters   = 40
+	)
+	srv, addr := startServer(t, server.Config{PoolSize: nClients + 1})
+
+	// One shared session all clients poke at concurrently...
+	owner, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer owner.Close()
+	shared, err := owner.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients*nIters)
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			// ...plus a private session per client for clock-advancing ops.
+			own, err := c.Attach("counter")
+			if err != nil {
+				errs <- err
+				return
+			}
+			// Each client also drives the shared session through its own
+			// connection: four connections funneling into one actor.
+			for it := 0; it < nIters; it++ {
+				if err := own.Step(1 + it%3); err != nil {
+					errs <- fmt.Errorf("client %d step: %w", id, err)
+				}
+				if _, err := own.Peek("cnt"); err != nil {
+					errs <- fmt.Errorf("client %d peek: %w", id, err)
+				}
+				if err := own.Poke("cnt", uint64(id*1000+it)); err != nil {
+					errs <- fmt.Errorf("client %d poke: %w", id, err)
+				}
+				// Shared-session traffic through this client's connection:
+				// raw calls addressed at the shared session id.
+				switch it % 3 {
+				case 0:
+					if _, err := c.Call(&wire.Request{Op: wire.OpPeek, Session: shared.ID, Name: "cnt"}); err != nil {
+						errs <- fmt.Errorf("client %d shared peek: %w", id, err)
+					}
+				case 1:
+					if _, err := c.Call(&wire.Request{Op: wire.OpSnapSave, Session: shared.ID}); err != nil {
+						errs <- fmt.Errorf("client %d shared snapshot: %w", id, err)
+					}
+				case 2:
+					if _, err := c.Call(&wire.Request{Op: wire.OpSessStat, Session: shared.ID}); err != nil {
+						errs <- fmt.Errorf("client %d shared status: %w", id, err)
+					}
+				}
+				if it%10 == 9 {
+					if _, err := c.ServerStats(); err != nil {
+						errs <- fmt.Errorf("client %d stats: %w", id, err)
+					}
+				}
+			}
+			if err := own.Detach(); err != nil {
+				errs <- fmt.Errorf("client %d detach: %w", id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	if st.Interleaved != 0 {
+		t.Fatalf("actor serialization violated: %d commands interleaved mid-command", st.Interleaved)
+	}
+	wantCmds := int64(nClients * nIters * 4) // step+peek+poke+shared per iter
+	if st.CommandsServed < wantCmds {
+		t.Errorf("commands_served=%d, want >=%d", st.CommandsServed, wantCmds)
+	}
+	if st.SessionsTotal != nClients+1 {
+		t.Errorf("sessions_total=%d, want %d", st.SessionsTotal, nClients+1)
+	}
+	if st.SessionsActive != 1 { // only the shared session remains
+		t.Errorf("sessions_active=%d, want 1", st.SessionsActive)
+	}
+}

@@ -1,0 +1,104 @@
+package wire
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame payload. It is checked before any allocation,
+// so a hostile length prefix cannot make the decoder allocate unbounded
+// memory. 8 MiB comfortably fits the largest legitimate payload (a long
+// multi-signal step trace); snapshots never cross the wire — they live
+// server-side.
+const MaxFrame = 8 << 20
+
+// ErrFrameTooLarge is returned when a length prefix exceeds MaxFrame.
+var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
+
+// WriteMessage encodes one message as a length-prefixed JSON frame and
+// returns the number of bytes written.
+func WriteMessage(w io.Writer, m *Message) (int, error) {
+	payload, err := json.Marshal(m)
+	if err != nil {
+		return 0, fmt.Errorf("wire: encode: %w", err)
+	}
+	if len(payload) > MaxFrame {
+		return 0, ErrFrameTooLarge
+	}
+	buf := make([]byte, 4+len(payload))
+	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
+	copy(buf[4:], payload)
+	n, err := w.Write(buf)
+	return n, err
+}
+
+// ReadMessage decodes one frame. It returns the message, the number of
+// bytes consumed, and an error. Truncated input yields io.EOF (clean
+// close between frames) or io.ErrUnexpectedEOF (mid-frame); oversized
+// length prefixes yield ErrFrameTooLarge before any payload allocation;
+// malformed JSON or an inconsistent envelope yields a decode error. It
+// never panics.
+func ReadMessage(r io.Reader) (*Message, int, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return nil, 0, io.ErrUnexpectedEOF
+		}
+		return nil, 0, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, 4, fmt.Errorf("wire: empty frame")
+	}
+	if n > MaxFrame {
+		return nil, 4, ErrFrameTooLarge
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, 4, err
+	}
+	var m Message
+	if err := json.Unmarshal(payload, &m); err != nil {
+		return nil, 4 + int(n), fmt.Errorf("wire: decode: %w", err)
+	}
+	if err := m.check(); err != nil {
+		return nil, 4 + int(n), err
+	}
+	return &m, 4 + int(n), nil
+}
+
+// check validates the envelope discriminator against its payload.
+func (m *Message) check() error {
+	switch m.T {
+	case TReq:
+		if m.Req == nil || m.Resp != nil || m.Evt != nil {
+			return fmt.Errorf("wire: malformed %q envelope", m.T)
+		}
+	case TResp:
+		if m.Resp == nil || m.Req != nil || m.Evt != nil {
+			return fmt.Errorf("wire: malformed %q envelope", m.T)
+		}
+	case TEvt:
+		if m.Evt == nil || m.Req != nil || m.Resp != nil {
+			return fmt.Errorf("wire: malformed %q envelope", m.T)
+		}
+	default:
+		return fmt.Errorf("wire: unknown message type %q", m.T)
+	}
+	return nil
+}
+
+// Req wraps a request in its envelope.
+func Req(r *Request) *Message { return &Message{T: TReq, Req: r} }
+
+// Resp wraps a response in its envelope.
+func Resp(r *Response) *Message { return &Message{T: TResp, Resp: r} }
+
+// Evt wraps an event in its envelope.
+func Evt(e *Event) *Message { return &Message{T: TEvt, Evt: e} }

@@ -1,0 +1,122 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestRoundTrip(t *testing.T) {
+	msgs := []*Message{
+		Req(&Request{ID: 1, Op: OpHello, Version: Version}),
+		Req(&Request{ID: 2, Op: OpAttach, Design: "counter"}),
+		Req(&Request{ID: 3, Op: OpBreak, Session: 7, Name: "q", Value: 1000, Mode: "any"}),
+		Resp(&Response{ID: 3, Session: 7, Value: 42, Watches: []string{"q", "pulse"}}),
+		Resp(&Response{ID: 4, Err: Errf(CodeNoSession, "no session 9")}),
+		Resp(&Response{ID: 5, Trace: &Trace{Signals: []string{"cnt"}, Widths: []int{16}, Rows: [][]uint64{{1}, {2}}}}),
+		Evt(&Event{Kind: EvtPaused, Session: 7, Op: OpUntil, Cycles: 999}),
+	}
+	var buf bytes.Buffer
+	written := 0
+	for _, m := range msgs {
+		n, err := WriteMessage(&buf, m)
+		if err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		written += n
+	}
+	read := 0
+	for _, want := range msgs {
+		got, n, err := ReadMessage(&buf)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		read += n
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+		}
+	}
+	if written != read {
+		t.Fatalf("byte accounting: wrote %d, read %d", written, read)
+	}
+	if _, _, err := ReadMessage(&buf); err != io.EOF {
+		t.Fatalf("empty stream: want io.EOF, got %v", err)
+	}
+}
+
+func TestReadMessageTruncated(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, Req(&Request{ID: 1, Op: OpHello})); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Every strict prefix must fail cleanly: io.EOF only for the empty
+	// prefix, io.ErrUnexpectedEOF for any mid-frame cut.
+	for i := 0; i < len(full); i++ {
+		_, _, err := ReadMessage(bytes.NewReader(full[:i]))
+		if i == 0 {
+			if err != io.EOF {
+				t.Fatalf("prefix 0: want io.EOF, got %v", err)
+			}
+			continue
+		}
+		if !errors.Is(err, io.ErrUnexpectedEOF) {
+			t.Fatalf("prefix %d: want ErrUnexpectedEOF, got %v", i, err)
+		}
+	}
+}
+
+func TestReadMessageOversized(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	_, _, err := ReadMessage(bytes.NewReader(hdr[:]))
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+	// A huge length prefix must not cause a huge allocation: the reader
+	// has no payload to back it, and the error fires before make().
+	binary.BigEndian.PutUint32(hdr[:], 0xFFFFFFFF)
+	if _, _, err := ReadMessage(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("want ErrFrameTooLarge, got %v", err)
+	}
+}
+
+func TestReadMessageGarbage(t *testing.T) {
+	cases := []string{
+		"\x00\x00\x00\x00",                // empty frame
+		"\x00\x00\x00\x05junk!",           // not JSON
+		"\x00\x00\x00\x02{}",              // no type
+		"\x00\x00\x00\x0b{\"t\":\"zzz\"}", // unknown type
+		"\x00\x00\x00\x0b{\"t\":\"req\"}", // req without body
+	}
+	for _, c := range cases {
+		if _, _, err := ReadMessage(strings.NewReader(c)); err == nil {
+			t.Fatalf("garbage %q decoded without error", c)
+		}
+	}
+	// Mixed envelope: a "resp" carrying a req body must be rejected.
+	var buf bytes.Buffer
+	if _, err := WriteMessage(&buf, &Message{T: TResp, Req: &Request{ID: 1}, Resp: &Response{ID: 1}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadMessage(&buf); err == nil {
+		t.Fatal("mixed envelope decoded without error")
+	}
+}
+
+func TestErrorHelpers(t *testing.T) {
+	err := Errf(CodePoolExhausted, "pool full: %d boards leased", 4)
+	if err.Error() != "pool full: 4 boards leased" {
+		t.Fatalf("Error(): %q", err.Error())
+	}
+	if !IsCode(err, CodePoolExhausted) || IsCode(err, CodeBusy) {
+		t.Fatal("IsCode misclassified")
+	}
+	if IsCode(errors.New("plain"), CodePoolExhausted) {
+		t.Fatal("IsCode matched a non-wire error")
+	}
+}

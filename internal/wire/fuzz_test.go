@@ -1,0 +1,65 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzReadMessage hardens the frame decoder: arbitrary bytes — truncated
+// frames, oversized length prefixes, garbage JSON, mixed envelopes — must
+// produce a clean error, never a panic and never an allocation beyond
+// MaxFrame. Checked-in corpus seeds live in testdata/fuzz/FuzzReadMessage.
+func FuzzReadMessage(f *testing.F) {
+	// Valid single frames.
+	for _, m := range []*Message{
+		Req(&Request{ID: 1, Op: OpHello, Version: Version}),
+		Req(&Request{ID: 2, Op: OpAttach, Design: "counter"}),
+		Resp(&Response{ID: 2, Session: 1, Device: "U200"}),
+		Evt(&Event{Kind: EvtPaused, Session: 1, Cycles: 12}),
+	} {
+		var buf bytes.Buffer
+		if _, err := WriteMessage(&buf, m); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		// And its truncations.
+		f.Add(buf.Bytes()[:buf.Len()/2])
+		f.Add(buf.Bytes()[:4])
+	}
+	// Adversarial shapes.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte("\x00\x00\x00\x05junk!"))
+	f.Add([]byte("\x00\x00\x00\x02{}"))
+	f.Add([]byte("\x00\x00\x00\x0b{\"t\":\"req\"}"))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			m, n, err := ReadMessage(r)
+			if n < 0 || n > len(data)+4 {
+				t.Fatalf("byte count %d out of range", n)
+			}
+			if err != nil {
+				if m != nil {
+					t.Fatal("non-nil message alongside error")
+				}
+				return
+			}
+			// Anything that decoded must re-encode.
+			var buf bytes.Buffer
+			if _, werr := WriteMessage(&buf, m); werr != nil {
+				t.Fatalf("decoded message failed to re-encode: %v", werr)
+			}
+			// And re-decode to the same envelope type.
+			m2, _, rerr := ReadMessage(&buf)
+			if rerr != nil {
+				t.Fatalf("re-encoded message failed to decode: %v", rerr)
+			}
+			if m2.T != m.T {
+				t.Fatalf("envelope type changed across round trip: %q -> %q", m.T, m2.T)
+			}
+		}
+	})
+}

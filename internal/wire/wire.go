@@ -1,0 +1,189 @@
+// Package wire is the zoomied debug protocol: a small length-prefixed
+// JSON framing plus the request/response/event message set spoken between
+// the debug server (internal/server) and its clients (internal/client,
+// cmd/zoomie -connect). It is the network analogue of the gdb remote
+// serial protocol for Zoomie's debugger — every Session operation of the
+// facade has a wire op, so a remote REPL is command-for-command
+// equivalent to the in-process one.
+//
+// The protocol is deliberately boring: one frame = 4-byte big-endian
+// length + JSON. Requests carry a client-chosen id echoed by the matching
+// response, so clients may pipeline; events (breakpoint hits, idle
+// detaches) arrive unsolicited on the same connection for subscribers.
+package wire
+
+import "fmt"
+
+// Version is the protocol version. The first frame on a connection must
+// be an OpHello request carrying it; the server refuses mismatches with
+// CodeVersion so old clients fail fast instead of misparsing.
+const Version = 1
+
+// Message is the frame envelope: exactly one of Req, Resp, Evt is set,
+// discriminated by T.
+type Message struct {
+	T    string    `json:"t"` // "req" | "resp" | "evt"
+	Req  *Request  `json:"req,omitempty"`
+	Resp *Response `json:"resp,omitempty"`
+	Evt  *Event    `json:"evt,omitempty"`
+}
+
+// Message types for Message.T.
+const (
+	TReq  = "req"
+	TResp = "resp"
+	TEvt  = "evt"
+)
+
+// Operations. Session-scoped ops require Request.Session.
+const (
+	OpHello     = "hello"     // handshake: Version
+	OpAttach    = "attach"    // Design -> Session, Device, Report, Watches
+	OpDetach    = "detach"    // Session
+	OpRun       = "run"       // Session, N wall ticks
+	OpPause     = "pause"     // Session
+	OpResume    = "resume"    // Session
+	OpStep      = "step"      // Session, N MUT cycles
+	OpUntil     = "until"     // Session, N max ticks -> Ran
+	OpPeek      = "peek"      // Session, Name -> Value
+	OpPoke      = "poke"      // Session, Name, Value
+	OpPeekMem   = "peekmem"   // Session, Name, Addr -> Value
+	OpPokeMem   = "pokemem"   // Session, Name, Addr, Value
+	OpBreak     = "break"     // Session, Name, Value, Mode ("any"|"all")
+	OpClearBrk  = "clearbrk"  // Session
+	OpAssert    = "assert"    // Session, Name, Enable
+	OpSnapSave  = "snapsave"  // Session -> Regs, Mems, Cycles
+	OpSnapRest  = "snaprest"  // Session (restores last saved snapshot)
+	OpInspect   = "inspect"   // Session, Prefix -> Lines
+	OpTrace     = "trace"     // Session, Signals, N -> Trace
+	OpInput     = "input"     // Session, Name, Value (top-level input port)
+	OpOutput    = "output"    // Session, Name -> Value (top-level output)
+	OpSessStat  = "sessstat"  // Session -> Paused, Cycles, ElapsedNS
+	OpStatus    = "status"    // -> Stats (server-wide counters)
+	OpSubscribe = "subscribe" // Session (0 = all) -> event delivery on
+)
+
+// Request is a client command. Unused fields stay zero and are omitted.
+type Request struct {
+	ID      uint64   `json:"id"`
+	Op      string   `json:"op"`
+	Version int      `json:"ver,omitempty"`
+	Session uint64   `json:"sid,omitempty"`
+	Design  string   `json:"design,omitempty"`
+	Name    string   `json:"name,omitempty"`
+	Prefix  string   `json:"prefix,omitempty"`
+	Signals []string `json:"signals,omitempty"`
+	Value   uint64   `json:"value,omitempty"`
+	Addr    int      `json:"addr,omitempty"`
+	N       int      `json:"n,omitempty"`
+	Mode    string   `json:"mode,omitempty"`
+	Enable  bool     `json:"enable,omitempty"`
+}
+
+// Response answers the request with the same ID. Err is nil on success.
+type Response struct {
+	ID      uint64 `json:"id"`
+	Err     *Error `json:"err,omitempty"`
+	Version int    `json:"ver,omitempty"`
+
+	Session uint64   `json:"sid,omitempty"`
+	Design  string   `json:"design,omitempty"`
+	Device  string   `json:"device,omitempty"`
+	Report  string   `json:"report,omitempty"`
+	Watches []string `json:"watches,omitempty"`
+
+	Value     uint64   `json:"value,omitempty"`
+	Ran       int      `json:"ran,omitempty"`
+	Paused    bool     `json:"paused,omitempty"`
+	Cycles    uint64   `json:"cycles,omitempty"`
+	ElapsedNS int64    `json:"elapsed_ns,omitempty"`
+	Regs      int      `json:"regs,omitempty"`
+	Mems      int      `json:"mems,omitempty"`
+	Lines     []string `json:"lines,omitempty"`
+	Trace     *Trace   `json:"trace,omitempty"`
+	Stats     *Stats   `json:"stats,omitempty"`
+}
+
+// Event is an unsolicited server notification.
+type Event struct {
+	Kind    string `json:"kind"` // "paused" | "detached" | "shutdown"
+	Session uint64 `json:"sid,omitempty"`
+	Op      string `json:"op,omitempty"` // the command that surfaced the pause
+	Cycles  uint64 `json:"cycles,omitempty"`
+	Detail  string `json:"detail,omitempty"`
+}
+
+// Event kinds.
+const (
+	EvtPaused   = "paused"   // design transitioned running -> paused (breakpoint hit)
+	EvtDetached = "detached" // session torn down (idle timeout, shutdown)
+	EvtShutdown = "shutdown" // server is shutting down
+)
+
+// Trace is a StepTrace flattened for the wire.
+type Trace struct {
+	Signals []string   `json:"signals"`
+	Widths  []int      `json:"widths"`
+	Rows    [][]uint64 `json:"rows"`
+}
+
+// Stats is the server-wide counter snapshot returned by OpStatus.
+type Stats struct {
+	SessionsActive int64 `json:"sessions_active"`
+	SessionsTotal  int64 `json:"sessions_total"`
+	CommandsServed int64 `json:"commands_served"`
+	BytesIn        int64 `json:"bytes_in"`
+	BytesOut       int64 `json:"bytes_out"`
+	Events         int64 `json:"events"`
+	EventsDropped  int64 `json:"events_dropped"`
+	IdleReaped     int64 `json:"idle_reaped"`
+	Interleaved    int64 `json:"interleaved"` // serialized-session violations; must stay 0
+	PoolCapacity   int64 `json:"pool_capacity"`
+	PoolInUse      int64 `json:"pool_in_use"`
+	PoolDenied     int64 `json:"pool_denied"`
+
+	// LatencyBuckets counts served commands by handling latency, in
+	// cumulative-upper-bound order matching LatencyBounds.
+	LatencyBuckets []int64 `json:"latency_us,omitempty"`
+}
+
+// LatencyBounds are the upper bounds (microseconds; last is +inf) of
+// Stats.LatencyBuckets.
+var LatencyBounds = []int64{100, 1000, 10_000, 100_000, 1_000_000, -1}
+
+// Error codes. CodeOp wraps an underlying debugger error whose message is
+// surfaced verbatim, keeping remote error text identical to in-process.
+const (
+	CodeBadRequest    = "bad_request"
+	CodeUnknownOp     = "unknown_op"
+	CodeUnknownDesign = "unknown_design"
+	CodeForbidden     = "forbidden"
+	CodeNoSession     = "no_session"
+	CodePoolExhausted = "pool_exhausted"
+	CodeBusy          = "busy"
+	CodeVersion       = "version_mismatch"
+	CodeShutdown      = "shutdown"
+	CodeOp            = "op_failed"
+)
+
+// Error is a typed wire error.
+type Error struct {
+	Code string `json:"code"`
+	Msg  string `json:"msg"`
+}
+
+// Error returns the bare message: for CodeOp errors this is the exact
+// server-side debugger error string, so REPL output matches in-process
+// debugging byte for byte.
+func (e *Error) Error() string { return e.Msg }
+
+// Errf builds a typed wire error.
+func Errf(code, format string, args ...any) *Error {
+	return &Error{Code: code, Msg: fmt.Sprintf(format, args...)}
+}
+
+// IsCode reports whether err is a wire *Error with the given code.
+func IsCode(err error, code string) bool {
+	e, ok := err.(*Error)
+	return ok && e.Code == code
+}

@@ -110,6 +110,16 @@ var (
 	NewU250 = fpga.NewU250
 )
 
+type (
+	// Device is a modeled FPGA device (SLRs, tiles, frames).
+	Device = fpga.Device
+	// Board is a modeled FPGA card a compiled image is loaded onto.
+	Board = fpga.Board
+)
+
+// NewBoard creates an unconfigured board for a device.
+func NewBoard(dev *Device) *Board { return fpga.NewBoard(dev) }
+
 // Compilation surface.
 type (
 	// CompileOptions configures a compile flow.
@@ -217,6 +227,11 @@ type DebugConfig struct {
 	// Compile options (device, partitions, cost/delay models) — Clocks
 	// and Gates are filled in automatically.
 	Compile CompileOptions
+	// LeaseBoard, when set, supplies the board the compiled image is
+	// loaded onto — the hook the zoomied board pool uses to lease a
+	// modeled card to a session. The callback receives the device the
+	// compile targeted. When nil a fresh private board is created.
+	LeaseBoard func(dev *Device) (*Board, error)
 }
 
 // Session is a live debugging session: a compiled, instrumented design
@@ -225,6 +240,9 @@ type Session struct {
 	*Debugger
 	Meta   *InstrumentMeta
 	Result *CompileResult
+
+	closed   bool
+	cleanups []func() error
 }
 
 // Debug instruments a design, compiles it, configures a board and
@@ -285,7 +303,15 @@ func Debug(d *Design, cfg DebugConfig) (*Session, error) {
 		return nil, err
 	}
 
-	board := fpga.NewBoard(res.Options.Device)
+	var board *fpga.Board
+	if cfg.LeaseBoard != nil {
+		board, err = cfg.LeaseBoard(res.Options.Device)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		board = fpga.NewBoard(res.Options.Device)
+	}
 	debugger, err := dbg.Attach(board, res.Image, meta)
 	if err != nil {
 		return nil, err
@@ -307,6 +333,38 @@ func (s *Session) PokeInput(name string, v uint64) error {
 func (s *Session) PeekOutput(name string) (uint64, error) {
 	return s.Cable.Board.Sim.Peek(name)
 }
+
+// AtClose registers a cleanup to run when the session is closed — trace
+// sinks to flush, board leases to release. Cleanups run in reverse
+// registration order, exactly once.
+func (s *Session) AtClose(fn func() error) {
+	s.cleanups = append(s.cleanups, fn)
+}
+
+// Close ends the session: it pauses the design (quiescing any in-flight
+// run), stops every clock domain from the host side, and runs the
+// registered cleanups — flushing active trace sinks and, for
+// server-owned sessions, releasing the board lease back to the pool.
+// Close is idempotent; the first error encountered is returned but every
+// cleanup always runs.
+func (s *Session) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	err := s.Pause()
+	s.Cable.Board.StopClock()
+	for i := len(s.cleanups) - 1; i >= 0; i-- {
+		if cerr := s.cleanups[i](); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
+	s.cleanups = nil
+	return err
+}
+
+// Closed reports whether Close has been called.
+func (s *Session) Closed() bool { return s.closed }
 
 // Baseline and verification tooling.
 

@@ -156,3 +156,54 @@ func TestILAFacade(t *testing.T) {
 		t.Error("ILA instrumentation malformed")
 	}
 }
+
+func TestSessionCloseLifecycle(t *testing.T) {
+	var leasedDev string
+	var board *zoomie.Board
+	sess, err := zoomie.Debug(buildCounter(), zoomie.DebugConfig{
+		Watches: []string{"q"},
+		LeaseBoard: func(dev *zoomie.Device) (*zoomie.Board, error) {
+			leasedDev = dev.Name
+			board = zoomie.NewBoard(dev)
+			return board, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if leasedDev == "" {
+		t.Fatal("LeaseBoard hook was not called")
+	}
+	if sess.Cable.Board != board {
+		t.Fatal("session is not running on the leased board")
+	}
+
+	released := 0
+	sess.AtClose(func() error { released++; return nil })
+	sess.Run(10)
+	if !board.ClockRunning() {
+		t.Fatal("clock should be running before Close")
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if board.ClockRunning() {
+		t.Error("Close must stop the clock")
+	}
+	if paused, err := sess.Paused(); err != nil || !paused {
+		t.Errorf("Close must leave the design paused (paused=%v, err=%v)", paused, err)
+	}
+	if released != 1 {
+		t.Errorf("cleanup ran %d times, want 1", released)
+	}
+	if !sess.Closed() {
+		t.Error("Closed() should report true")
+	}
+	// Idempotent: a second Close must not re-run cleanups.
+	if err := sess.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+	if released != 1 {
+		t.Errorf("cleanup re-ran on second Close (%d times)", released)
+	}
+}
