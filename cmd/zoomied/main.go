@@ -11,6 +11,7 @@
 //
 //	zoomied -listen :9620 -pool 4 -idle 5m
 //	zoomied -designs counter,cohort          # allowlist
+//	zoomied -chaos flip=0.01,exec=0.005      # fault-injected cables + self-healing pool
 //	zoomie -connect localhost:9620           # then attach from the REPL
 //
 // SIGINT/SIGTERM shut down gracefully: running designs are paused, their
@@ -29,6 +30,7 @@ import (
 	"syscall"
 	"time"
 
+	"zoomie/internal/faults"
 	"zoomie/internal/server"
 )
 
@@ -39,11 +41,26 @@ func main() {
 	designs := flag.String("designs", "", "comma-separated design allowlist (empty = full catalog)")
 	stats := flag.Bool("stats", false, "dump the counter JSON to stderr on shutdown")
 	quiet := flag.Bool("quiet", false, "suppress per-session log lines")
+	chaos := flag.String("chaos", "", "fault-injection profile, e.g. 'flip=0.01,exec=0.005,seed=42' (keys: "+faults.ProfileKeys()+")")
+	probe := flag.Duration("probe", 0, "board health-probe interval (0 = 2s under -chaos, else disabled)")
+	cooldown := flag.Duration("cooldown", time.Minute, "quarantined-board requalification cooldown")
 	flag.Parse()
 
 	cfg := server.Config{
-		PoolSize:    *pool,
-		IdleTimeout: *idle,
+		PoolSize:           *pool,
+		IdleTimeout:        *idle,
+		ProbeInterval:      *probe,
+		QuarantineCooldown: *cooldown,
+	}
+	if *chaos != "" {
+		p, err := faults.ParseProfile(*chaos)
+		if err != nil {
+			log.Fatalf("zoomied: -chaos: %v", err)
+		}
+		cfg.Chaos = &p
+		if cfg.ProbeInterval == 0 {
+			cfg.ProbeInterval = 2 * time.Second
+		}
 	}
 	if *designs != "" {
 		for _, d := range strings.Split(*designs, ",") {
@@ -70,6 +87,10 @@ func main() {
 	}
 	log.Printf("zoomied: serving %v on %s (pool %d, idle timeout %v)",
 		catalog, ln.Addr(), *pool, *idle)
+	if cfg.Chaos != nil {
+		log.Printf("zoomied: CHAOS MODE: injecting %v per board, probing every %v",
+			cfg.Chaos, cfg.ProbeInterval)
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

@@ -6,6 +6,15 @@
 // correlated by id, so multiple goroutines may share one Client, and
 // unsolicited server events (breakpoint hits, idle detaches) surface on
 // the Events channel.
+//
+// The client is built to survive the network: every request carries the
+// server-assigned client identity plus a sequence number, and with
+// Options.AutoReconnect a severed TCP connection is redialed, the
+// identity re-presented, subscriptions restored, and in-flight requests
+// replayed. The server dedupes replays by (client, seq), so a command
+// whose response was lost in transit is answered from cache instead of
+// executing twice — calls block through the outage and complete as if
+// the cable had never been unplugged.
 package client
 
 import (
@@ -13,68 +22,147 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"zoomie/internal/wire"
 )
 
+// Options tunes a Client beyond the Dial defaults.
+type Options struct {
+	// CallTimeout bounds how long a call waits for its response. Zero
+	// means wait forever. Expired calls fail with a *wire.Error of code
+	// CodeTimeout; the request may still execute server-side.
+	CallTimeout time.Duration
+	// AutoReconnect redials a severed connection, replays in-flight
+	// requests, and restores event subscriptions. Calls block through the
+	// outage instead of failing.
+	AutoReconnect bool
+	// MaxRedials bounds reconnection attempts per outage (default 10).
+	MaxRedials int
+	// RedialBackoff is the initial delay between redials, doubled up to
+	// 16x each attempt (default 50ms).
+	RedialBackoff time.Duration
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxRedials <= 0 {
+		o.MaxRedials = 10
+	}
+	if o.RedialBackoff <= 0 {
+		o.RedialBackoff = 50 * time.Millisecond
+	}
+	return o
+}
+
+// pcall is one in-flight request: the frame itself (kept for replay
+// after a reconnect) and the channel its caller waits on.
+type pcall struct {
+	req *wire.Request
+	ch  chan *wire.Response
+}
+
 // Client is one connection to a zoomied server.
 type Client struct {
-	c net.Conn
+	addr string
+	opts Options
 
 	writeMu sync.Mutex // serializes frame writes
-	mu      sync.Mutex // guards nextID, pending, err, closed
+	mu      sync.Mutex // guards conn, nextID, nextSeq, clientID, pending, subs, err, closed
+	c       net.Conn
 	nextID  uint64
-	pending map[uint64]chan *wire.Response
-	err     error
-	closed  bool
+	nextSeq uint64
+	// clientID is the server-assigned identity presented again on
+	// reconnect so the server can dedupe replayed requests.
+	clientID uint64
+	pending  map[uint64]*pcall
+	subs     map[uint64]bool // sessions this connection is subscribed to
+	subAll   bool
+	err      error
+	closed   bool
 
 	events chan wire.Event
 }
 
-// Dial connects to a zoomied server and performs the version handshake.
-func Dial(addr string) (*Client, error) {
-	nc, err := net.Dial("tcp", addr)
+// Dial connects to a zoomied server with default options (no call
+// timeout, no auto-reconnect).
+func Dial(addr string) (*Client, error) { return DialOptions(addr, Options{}) }
+
+// DialOptions connects to a zoomied server and performs the version
+// handshake.
+func DialOptions(addr string, opts Options) (*Client, error) {
+	c := &Client{
+		addr:    addr,
+		opts:    opts.withDefaults(),
+		pending: make(map[uint64]*pcall),
+		subs:    make(map[uint64]bool),
+		events:  make(chan wire.Event, 64),
+	}
+	nc, cid, err := handshake(addr, 0)
 	if err != nil {
 		return nil, err
 	}
-	c := &Client{
-		c:       nc,
-		pending: make(map[uint64]chan *wire.Response),
-		events:  make(chan wire.Event, 64),
+	c.c = nc
+	c.clientID = cid
+	c.nextID = 1
+	go c.readLoop()
+	return c, nil
+}
+
+// handshake dials and performs the hello exchange, presenting an
+// existing client identity when reconnecting (cid != 0). It returns the
+// connection and the server-assigned identity.
+func handshake(addr string, cid uint64) (net.Conn, uint64, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, 0, err
 	}
 	// Handshake runs before the reader goroutine: one frame out, one in.
-	if _, err := wire.WriteMessage(nc, wire.Req(&wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version})); err != nil {
+	hello := &wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version, Client: cid}
+	if _, err := wire.WriteMessage(nc, wire.Req(hello)); err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
+		return nil, 0, fmt.Errorf("client: handshake: %w", err)
 	}
 	m, _, err := wire.ReadMessage(nc)
 	if err != nil {
 		nc.Close()
-		return nil, fmt.Errorf("client: handshake: %w", err)
+		return nil, 0, fmt.Errorf("client: handshake: %w", err)
 	}
 	if m.T != wire.TResp {
 		nc.Close()
-		return nil, fmt.Errorf("client: handshake: unexpected %q frame", m.T)
+		return nil, 0, fmt.Errorf("client: handshake: unexpected %q frame", m.T)
 	}
 	if m.Resp.Err != nil {
 		nc.Close()
-		return nil, m.Resp.Err
+		return nil, 0, m.Resp.Err
 	}
 	if m.Resp.Version != wire.Version {
 		nc.Close()
-		return nil, fmt.Errorf("client: server speaks protocol %d, want %d", m.Resp.Version, wire.Version)
+		return nil, 0, fmt.Errorf("client: server speaks protocol %d, want %d", m.Resp.Version, wire.Version)
 	}
-	c.nextID = 1
-	go c.readLoop()
-	return c, nil
+	id := m.Resp.Client
+	if id == 0 {
+		id = cid
+	}
+	return nc, id, nil
 }
 
 // Close tears down the connection. In-flight calls fail; server-side
 // sessions survive until their idle timeout reclaims them (detach
 // explicitly for immediate reclaim).
 func (c *Client) Close() error {
+	c.mu.Lock()
+	nc := c.c
+	c.mu.Unlock()
 	c.fail(fmt.Errorf("client: closed"))
-	return c.c.Close()
+	return nc.Close()
+}
+
+// ClientID returns the server-assigned client identity (for tests and
+// diagnostics).
+func (c *Client) ClientID() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.clientID
 }
 
 // Events returns the asynchronous server notifications (breakpoint
@@ -82,28 +170,42 @@ func (c *Client) Close() error {
 // consumer falls behind the server drops, not blocks.
 func (c *Client) Events() <-chan wire.Event { return c.events }
 
+// conn snapshots the current connection.
+func (c *Client) conn() net.Conn {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.c
+}
+
 // readLoop dispatches responses to their waiting callers and events to
 // the events channel. It is the only sender on events, so it alone
-// closes the channel when the connection dies.
+// closes the channel when the client dies for good; with AutoReconnect
+// it survives connection loss by redialing and replaying.
 func (c *Client) readLoop() {
 	defer close(c.events)
 	for {
-		m, _, err := wire.ReadMessage(c.c)
+		m, _, err := wire.ReadMessage(c.conn())
 		if err != nil {
 			if err == io.EOF {
 				err = fmt.Errorf("client: connection closed by server")
 			}
-			c.fail(err)
-			return
+			c.mu.Lock()
+			dead := c.closed
+			c.mu.Unlock()
+			if dead || !c.opts.AutoReconnect || !c.reconnect(err) {
+				c.fail(err)
+				return
+			}
+			continue
 		}
 		switch m.T {
 		case wire.TResp:
 			c.mu.Lock()
-			ch := c.pending[m.Resp.ID]
+			p := c.pending[m.Resp.ID]
 			delete(c.pending, m.Resp.ID)
 			c.mu.Unlock()
-			if ch != nil {
-				ch <- m.Resp
+			if p != nil {
+				p.ch <- m.Resp
 			}
 		case wire.TEvt:
 			select {
@@ -112,6 +214,85 @@ func (c *Client) readLoop() {
 			}
 		}
 	}
+}
+
+// reconnect redials after a severed connection: fresh TCP connection,
+// hello presenting the existing client identity, subscriptions restored,
+// and every in-flight request re-sent with its original id and sequence
+// number (the server's replay cache dedupes any that already executed).
+// Returns false when the outage could not be bridged.
+func (c *Client) reconnect(cause error) bool {
+	backoff := c.opts.RedialBackoff
+	for attempt := 0; attempt < c.opts.MaxRedials; attempt++ {
+		time.Sleep(backoff)
+		if backoff < 16*c.opts.RedialBackoff {
+			backoff *= 2
+		}
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			return false
+		}
+		cid := c.clientID
+		c.mu.Unlock()
+
+		nc, newID, err := handshake(c.addr, cid)
+		if err != nil {
+			continue
+		}
+
+		c.mu.Lock()
+		if c.closed {
+			c.mu.Unlock()
+			nc.Close()
+			return false
+		}
+		c.c = nc
+		c.clientID = newID
+		replay := make([]*wire.Request, 0, len(c.pending))
+		for _, p := range c.pending {
+			replay = append(replay, p.req)
+		}
+		resubs := make([]uint64, 0, len(c.subs))
+		for sid := range c.subs {
+			resubs = append(resubs, sid)
+		}
+		subAll := c.subAll
+		c.mu.Unlock()
+
+		// Restore event delivery, then replay what was in flight. The
+		// resubscribe responses reuse retired ids, so the reader drops
+		// them as unmatched — exactly what we want.
+		c.writeMu.Lock()
+		ok := true
+		if subAll {
+			ok = c.rawWrite(nc, &wire.Request{Op: wire.OpSubscribe, Session: 0})
+		}
+		for _, sid := range resubs {
+			ok = ok && c.rawWrite(nc, &wire.Request{Op: wire.OpSubscribe, Session: sid})
+		}
+		for _, req := range replay {
+			ok = ok && c.rawWrite(nc, req)
+		}
+		c.writeMu.Unlock()
+		if !ok {
+			continue // the fresh connection died already; redial
+		}
+		return true
+	}
+	return false
+}
+
+// rawWrite sends one frame on the given connection. Callers hold writeMu.
+func (c *Client) rawWrite(nc net.Conn, req *wire.Request) bool {
+	if req.ID == 0 {
+		c.mu.Lock()
+		c.nextID++
+		req.ID = c.nextID
+		c.mu.Unlock()
+	}
+	_, err := wire.WriteMessage(nc, wire.Req(req))
+	return err == nil
 }
 
 // fail poisons the client: every pending and future call returns err.
@@ -123,15 +304,17 @@ func (c *Client) fail(err error) {
 	}
 	c.closed = true
 	c.err = err
-	for id, ch := range c.pending {
+	for id, p := range c.pending {
 		delete(c.pending, id)
-		close(ch)
+		close(p.ch)
 	}
 	c.c.Close() // unblocks readLoop, which then closes events
 }
 
 // call sends one request and waits for its response. Protocol-level
-// failures poison the client; op-level failures return *wire.Error.
+// failures poison the client (or, with AutoReconnect, block until the
+// connection is restored and the request replayed); op-level failures
+// and expired call timeouts return *wire.Error.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	if c.closed {
@@ -140,32 +323,56 @@ func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 		return nil, err
 	}
 	c.nextID++
+	c.nextSeq++
 	req.ID = c.nextID
-	ch := make(chan *wire.Response, 1)
-	c.pending[req.ID] = ch
+	req.Client = c.clientID
+	req.Seq = c.nextSeq
+	p := &pcall{req: req, ch: make(chan *wire.Response, 1)}
+	c.pending[req.ID] = p
+	nc := c.c
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	_, werr := wire.WriteMessage(c.c, wire.Req(req))
+	_, werr := wire.WriteMessage(nc, wire.Req(req))
 	c.writeMu.Unlock()
-	if werr != nil {
+	if werr != nil && !c.opts.AutoReconnect {
 		c.mu.Lock()
 		delete(c.pending, req.ID)
 		c.mu.Unlock()
 		c.fail(fmt.Errorf("client: write: %w", werr))
 		return nil, werr
 	}
-	resp, ok := <-ch
-	if !ok {
+	// On a failed write with AutoReconnect the request stays pending: the
+	// reader notices the dead connection and replays it after redialing.
+
+	var timeout <-chan time.Time
+	if c.opts.CallTimeout > 0 {
+		t := time.NewTimer(c.opts.CallTimeout)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case resp, ok := <-p.ch:
+		if !ok {
+			c.mu.Lock()
+			err := c.err
+			c.mu.Unlock()
+			if err == nil {
+				err = wire.Errf(wire.CodeConnLost, "client: connection lost")
+			}
+			return nil, err
+		}
+		if resp.Err != nil {
+			return nil, resp.Err
+		}
+		return resp, nil
+	case <-timeout:
 		c.mu.Lock()
-		err := c.err
+		delete(c.pending, req.ID)
 		c.mu.Unlock()
-		return nil, err
+		return nil, wire.Errf(wire.CodeTimeout,
+			"client: no response to %s within %v", req.Op, c.opts.CallTimeout)
 	}
-	if resp.Err != nil {
-		return nil, resp.Err
-	}
-	return resp, nil
 }
 
 // Call sends one raw wire request and returns its response — the escape
@@ -188,6 +395,11 @@ func (c *Client) ServerStats() (*wire.Stats, error) {
 // not just the ones this client attached.
 func (c *Client) SubscribeAll() error {
 	_, err := c.call(&wire.Request{Op: wire.OpSubscribe, Session: 0})
+	if err == nil {
+		c.mu.Lock()
+		c.subAll = true
+		c.mu.Unlock()
+	}
 	return err
 }
 
@@ -195,7 +407,16 @@ func (c *Client) SubscribeAll() error {
 // subscribes the attaching connection).
 func (c *Client) Subscribe(sid uint64) error {
 	_, err := c.call(&wire.Request{Op: wire.OpSubscribe, Session: sid})
+	if err == nil {
+		c.noteSub(sid)
+	}
 	return err
+}
+
+func (c *Client) noteSub(sid uint64) {
+	c.mu.Lock()
+	c.subs[sid] = true
+	c.mu.Unlock()
 }
 
 // Attach leases a board for a catalog design and returns the remote
@@ -205,6 +426,9 @@ func (c *Client) Attach(design string) (*Session, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Attach subscribes this connection server-side; remember that so a
+	// reconnect restores the subscription on the replacement connection.
+	c.noteSub(resp.Session)
 	return &Session{
 		c:       c,
 		ID:      resp.Session,

@@ -33,13 +33,25 @@ type Debugger struct {
 // the design ready to start (clock stopped). The image must be built from
 // a design instrumented with core.Instrument using the same Meta.
 func Attach(board *fpga.Board, img *fpga.Image, meta *core.Meta) (*Debugger, error) {
+	return AttachWithOptions(board, img, meta, jtag.Options{})
+}
+
+// AttachWithOptions attaches with explicit cable options — the entry
+// point for fault injection and the guarded transport. With zero Options
+// it is exactly Attach.
+func AttachWithOptions(board *fpga.Board, img *fpga.Image, meta *core.Meta, opts jtag.Options) (*Debugger, error) {
 	if !board.Configured() {
 		if err := board.Configure(img); err != nil {
 			return nil, err
 		}
 	}
-	return &Debugger{Cable: jtag.Connect(board), Image: img, Meta: meta}, nil
+	return &Debugger{Cable: jtag.ConnectWithOptions(board, opts), Image: img, Meta: meta}, nil
 }
+
+// HealthCheck probes the board's configuration plane (one frame readback
+// on the primary SLR) without touching design state. A wedged board
+// fails fast; the server's prober quarantines it.
+func (d *Debugger) HealthCheck() error { return d.Cable.Probe() }
 
 // Start executes the full configuration flow: the generated configuration
 // bitstream writes every initial-state frame chunk by chunk across the

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"strings"
 	"time"
+
+	"zoomie/internal/jtag"
 )
 
 // Snapshot is a host-side copy of design state, keyed by flat names —
@@ -101,8 +103,87 @@ func (d *Debugger) Snapshot(prefix string) (*Snapshot, error) {
 
 // Restore writes a snapshot back through partial reconfiguration,
 // touching only the frames that hold the snapshot's state and leaving
-// everything else intact (§4.7 "Resuming from Snapshot Data").
+// everything else intact (§4.7 "Resuming from Snapshot Data"). On a
+// guarded cable the restore is additionally verified semantically: the
+// restored scope is re-read and every snapshot value compared, with
+// mismatching entries rewritten — catching corruption that slips in
+// between the transport's own verify-after-write and the final state.
 func (d *Debugger) Restore(snap *Snapshot) error {
+	if err := d.restoreOnce(snap); err != nil {
+		return err
+	}
+	if !d.Cable.Guarded() {
+		return nil
+	}
+	for attempt := 0; ; attempt++ {
+		bad, err := d.restoreMismatch(snap)
+		if err != nil {
+			return err
+		}
+		if bad == nil {
+			return nil
+		}
+		if attempt >= 2 {
+			return fmt.Errorf("%w: %d snapshot entries failed semantic verification after restore",
+				jtag.ErrVerify, len(bad.Regs)+len(bad.Mems))
+		}
+		if err := d.restoreOnce(bad); err != nil {
+			return err
+		}
+	}
+}
+
+// restoreMismatch re-reads every frame the snapshot touches and returns a
+// filtered snapshot holding only the entries whose board state disagrees
+// with the snapshot — nil when everything matches.
+func (d *Debugger) restoreMismatch(snap *Snapshot) (*Snapshot, error) {
+	names := make(map[string]bool, len(snap.Regs)+len(snap.Mems))
+	for n := range snap.Regs {
+		names[n] = true
+	}
+	for n := range snap.Mems {
+		names[n] = true
+	}
+	frameData := make(map[[2]int][]uint32)
+	for slr, frames := range d.Image.Map.FramesTouched(names) {
+		data, err := d.Cable.ReadbackFrames(slr, frames)
+		if err != nil {
+			return nil, err
+		}
+		for i, f := range frames {
+			frameData[[2]int{slr, f}] = data[i]
+		}
+	}
+	bad := &Snapshot{
+		Scope: snap.Scope,
+		Cycle: snap.Cycle,
+		Regs:  make(map[string]uint64),
+		Mems:  make(map[string][]uint64),
+	}
+	for name, v := range snap.Regs {
+		loc, _ := d.Image.Map.Reg(name)
+		if getBits(frameData[[2]int{loc.Addr.SLR, loc.Addr.Frame}], loc.Addr.Bit, loc.Width) != v {
+			bad.Regs[name] = v
+		}
+	}
+	for name, words := range snap.Mems {
+		loc, _ := d.Image.Map.Mem(name)
+		for w, v := range words {
+			wa := loc.WordAddr(w)
+			if getBits(frameData[[2]int{wa.SLR, wa.Frame}], wa.Bit, loc.Width) != v {
+				bad.Mems[name] = words
+				break
+			}
+		}
+	}
+	if len(bad.Regs) == 0 && len(bad.Mems) == 0 {
+		return nil, nil
+	}
+	return bad, nil
+}
+
+// restoreOnce performs one read-modify-write restore pass.
+func (d *Debugger) restoreOnce(snap *Snapshot) error {
 	names := make(map[string]bool, len(snap.Regs)+len(snap.Mems))
 	for n := range snap.Regs {
 		if _, ok := d.Image.Map.Reg(n); !ok {

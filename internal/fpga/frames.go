@@ -1,9 +1,31 @@
 package fpga
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/crc32"
 	"sort"
 )
+
+// FrameCRC computes the CRC32 (Castagnoli) checksum of one frame's words,
+// the integrity check the resilient JTAG transport uses for
+// verify-after-write: the expected CRC of the data handed to the cable is
+// compared against the CRC of the frame read back, so any in-flight
+// corruption — bit flips, dropped writes, duplicated writes whose
+// retransmission corrupted — is detected before the debugger trusts the
+// state. Plays the role of the CRC register real configuration logic
+// checks per frame.
+func FrameCRC(data []uint32) uint32 {
+	var buf [4]byte
+	var sum uint32
+	for _, w := range data {
+		binary.LittleEndian.PutUint32(buf[:], w)
+		sum = crc32.Update(sum, crcTable, buf[:])
+	}
+	return sum
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // BitAddr locates a run of state bits in the configuration plane.
 type BitAddr struct {

@@ -4,13 +4,29 @@
 // configuration streams, reading back frame ranges, and controlling the
 // clock. All host/board interaction flows through this package, mirroring
 // how everything reaches real hardware through the JTAG port.
+//
+// The cable is also where link-level resilience lives. When connected
+// with a fault injector (or with Options.Guard set), every operation runs
+// guarded: transient errors are retried with exponential backoff and
+// jitter under an operation deadline, frame readback is double-read until
+// two consecutive reads agree (catching in-flight bit flips that have no
+// ground truth to checksum against), and frame writeback is CRC32-
+// verified against readback and rewritten until it sticks (catching
+// flipped, dropped and duplicated writes). A cable connected without
+// faults runs the exact unguarded code paths of the original transport —
+// resilience is zero-cost when disabled.
 package jtag
 
 import (
+	"errors"
 	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"zoomie/internal/bitstream"
+	"zoomie/internal/faults"
 	"zoomie/internal/fpga"
 )
 
@@ -70,13 +86,94 @@ func (b boardBackend) WriteMask(slr int, v uint32) error {
 	return nil
 }
 
+// Typed link errors the upper layers classify board failures with.
+var (
+	// ErrRetriesExhausted wraps the last transient error after the retry
+	// budget ran out — the link is flaky beyond what backoff can absorb.
+	ErrRetriesExhausted = errors.New("jtag: retries exhausted")
+	// ErrDeadline wraps the last error when an operation (including its
+	// retries) exceeded the per-operation deadline.
+	ErrDeadline = errors.New("jtag: operation deadline exceeded")
+	// ErrVerify reports data that could not be read or written cleanly
+	// within the retry budget: reads that never produced two agreeing
+	// copies, or writes whose readback CRC kept mismatching.
+	ErrVerify = errors.New("jtag: frame verification failed")
+)
+
+// RetryPolicy bounds the guarded transport's persistence. The zero value
+// takes the defaults below.
+type RetryPolicy struct {
+	// MaxRetries is the retry budget per logical operation (default 8).
+	MaxRetries int
+	// BaseBackoff is the first retry's backoff (default 200µs); each
+	// subsequent retry doubles it up to MaxBackoff, plus up to 50% jitter.
+	BaseBackoff time.Duration
+	// MaxBackoff caps the exponential backoff (default 10ms).
+	MaxBackoff time.Duration
+	// Deadline bounds one logical operation including all retries and
+	// verification passes (default 10s).
+	Deadline time.Duration
+}
+
+func (r RetryPolicy) withDefaults() RetryPolicy {
+	if r.MaxRetries <= 0 {
+		r.MaxRetries = 8
+	}
+	if r.BaseBackoff <= 0 {
+		r.BaseBackoff = 200 * time.Microsecond
+	}
+	if r.MaxBackoff <= 0 {
+		r.MaxBackoff = 10 * time.Millisecond
+	}
+	if r.Deadline <= 0 {
+		r.Deadline = 10 * time.Second
+	}
+	return r
+}
+
+// Options configures a cable beyond the default clean transport.
+type Options struct {
+	// Cost is the configuration-plane cost model (zero value: default).
+	Cost bitstream.CostModel
+	// Faults, when set, interposes the injector between the µc chain and
+	// the board and enables the guarded transport.
+	Faults *faults.Injector
+	// Guard enables the resilient transport without an injector (verify
+	// and retry against a clean link — useful for measuring overhead).
+	Guard bool
+	// Retry tunes the guarded transport (zero value: defaults).
+	Retry RetryPolicy
+}
+
+// CableStats counts the guarded transport's recovery work. All fields are
+// updated with atomics so other goroutines (the server stats path) can
+// snapshot them while the owning actor drives the cable.
+type CableStats struct {
+	Retries     int64 // stream executions retried after transient errors
+	ReReads     int64 // extra frame reads issued until two copies agreed
+	Rewrites    int64 // frames rewritten after CRC verify-after-write failed
+	VerifyFails int64 // operations abandoned with ErrVerify
+}
+
 // Cable is the host's handle on the board's configuration port.
 type Cable struct {
 	Board *fpga.Board
 	Chain *bitstream.Chain
+
+	guard bool
+	retry RetryPolicy
+
+	jmu sync.Mutex // guards jrng (jitter only; never on the clean path)
+	jrng *rand.Rand
+
+	retries     int64 // atomic
+	reReads     int64 // atomic
+	rewrites    int64 // atomic
+	verifyFails int64 // atomic
 }
 
-// Connect attaches a cable to a board using the default cost model.
+// Connect attaches a cable to a board using the default cost model and
+// the clean (unguarded) transport.
 func Connect(board *fpga.Board) *Cable {
 	return ConnectWithCost(board, bitstream.DefaultCostModel())
 }
@@ -84,29 +181,102 @@ func Connect(board *fpga.Board) *Cable {
 // ConnectWithCost attaches a cable with an explicit configuration-plane
 // cost model.
 func ConnectWithCost(board *fpga.Board, cost bitstream.CostModel) *Cable {
+	return ConnectWithOptions(board, Options{Cost: cost})
+}
+
+// ConnectWithOptions attaches a cable with full control over the cost
+// model, fault injection and the guarded transport.
+func ConnectWithOptions(board *fpga.Board, opts Options) *Cable {
+	if opts.Cost == (bitstream.CostModel{}) {
+		opts.Cost = bitstream.DefaultCostModel()
+	}
+	var backend bitstream.Backend = boardBackend{board}
+	guard := opts.Guard
+	seed := int64(1)
+	if opts.Faults != nil {
+		backend = opts.Faults.Bind(backend)
+		guard = true
+		seed = opts.Faults.Profile().Seed + 1
+	}
 	return &Cable{
 		Board: board,
-		Chain: bitstream.NewChain(boardBackend{board}, cost),
+		Chain: bitstream.NewChain(backend, opts.Cost),
+		guard: guard,
+		retry: opts.Retry.withDefaults(),
+		jrng:  rand.New(rand.NewSource(seed)),
 	}
 }
 
-// Execute runs a configuration stream through the µc chain.
+// Guarded reports whether the resilient transport is active.
+func (c *Cable) Guarded() bool { return c.guard }
+
+// Stats snapshots the recovery counters. Safe to call from any goroutine.
+func (c *Cable) Stats() CableStats {
+	return CableStats{
+		Retries:     atomic.LoadInt64(&c.retries),
+		ReReads:     atomic.LoadInt64(&c.reReads),
+		Rewrites:    atomic.LoadInt64(&c.rewrites),
+		VerifyFails: atomic.LoadInt64(&c.verifyFails),
+	}
+}
+
+// Execute runs a configuration stream through the µc chain. Under guard,
+// transient link errors are retried with exponential backoff and jitter
+// up to the retry budget and operation deadline; wedged-board errors fail
+// fast so the caller can quarantine.
 func (c *Cable) Execute(stream []uint32) ([]uint32, error) {
-	return c.Chain.Execute(stream)
+	if !c.guard {
+		return c.Chain.Execute(stream)
+	}
+	return c.executeGuarded(stream, time.Now().Add(c.retry.Deadline))
 }
 
-// ReadbackFrames reads the given frame addresses of one SLR, returning
-// frame contents in the same order. It issues one BOUT selection for the
-// SLR and coalesces runs of consecutive addresses into single multi-frame
-// FDRO reads — the SLR-aware optimization of §4.7 ("scan each SLR only
-// once", "only the regions that contain the MUT").
-func (c *Cable) ReadbackFrames(slr int, frames []int) ([][]uint32, error) {
-	if len(frames) == 0 {
-		return nil, nil
+// executeGuarded retries transient failures of one stream execution.
+func (c *Cable) executeGuarded(stream []uint32, deadline time.Time) ([]uint32, error) {
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		out, err := c.Chain.Execute(stream)
+		if err == nil {
+			return out, nil
+		}
+		if errors.Is(err, faults.ErrWedged) {
+			return nil, err // retrying a wedged board is pointless
+		}
+		if !errors.Is(err, faults.ErrTransient) {
+			return nil, err // structural error: deterministic, do not retry
+		}
+		lastErr = err
+		if attempt >= c.retry.MaxRetries {
+			return nil, fmt.Errorf("%w after %d attempts: %w", ErrRetriesExhausted, attempt+1, lastErr)
+		}
+		if time.Now().After(deadline) {
+			return nil, fmt.Errorf("%w: %v", ErrDeadline, lastErr)
+		}
+		atomic.AddInt64(&c.retries, 1)
+		time.Sleep(c.backoff(attempt))
 	}
+}
+
+// backoff returns the sleep before retry attempt+1: exponential from
+// BaseBackoff, capped at MaxBackoff, plus up to 50% seeded jitter so
+// concurrent sessions retrying against one chassis don't stampede.
+func (c *Cable) backoff(attempt int) time.Duration {
+	d := c.retry.BaseBackoff << uint(attempt)
+	if d > c.retry.MaxBackoff || d <= 0 {
+		d = c.retry.MaxBackoff
+	}
+	c.jmu.Lock()
+	j := time.Duration(c.jrng.Int63n(int64(d)/2 + 1))
+	c.jmu.Unlock()
+	return d + j
+}
+
+// readbackStream builds the coalesced FDRO stream for a set of frame
+// addresses of one SLR: one BOUT selection, runs of consecutive addresses
+// merged into multi-frame reads — the SLR-aware optimization of §4.7.
+func (c *Cable) readbackStream(slr int, frames []int) []uint32 {
 	hops := c.Board.Device.Hops(slr)
 	b := bitstream.NewBuilder().Sync().SelectSLR(hops)
-	// Coalesce consecutive frames.
 	start := frames[0]
 	run := 1
 	flush := func() {
@@ -121,7 +291,19 @@ func (c *Cable) ReadbackFrames(slr int, frames []int) ([][]uint32, error) {
 		start, run = f, 1
 	}
 	flush()
-	words, err := c.Execute(b.Words())
+	return b.Words()
+}
+
+// readbackOnce executes one readback pass and splits the payload.
+func (c *Cable) readbackOnce(slr int, frames []int, deadline time.Time) ([][]uint32, error) {
+	stream := c.readbackStream(slr, frames)
+	var words []uint32
+	var err error
+	if c.guard {
+		words, err = c.executeGuarded(stream, deadline)
+	} else {
+		words, err = c.Chain.Execute(stream)
+	}
 	if err != nil {
 		return nil, err
 	}
@@ -136,8 +318,112 @@ func (c *Cable) ReadbackFrames(slr int, frames []int) ([][]uint32, error) {
 	return out, nil
 }
 
+// ReadbackFrames reads the given frame addresses of one SLR, returning
+// frame contents in the same order. It issues one BOUT selection for the
+// SLR and coalesces runs of consecutive addresses into single multi-frame
+// FDRO reads — the SLR-aware optimization of §4.7 ("scan each SLR only
+// once", "only the regions that contain the MUT"). Under guard the read
+// is verified: see ReadbackFramesVerified.
+func (c *Cable) ReadbackFrames(slr int, frames []int) ([][]uint32, error) {
+	if len(frames) == 0 {
+		return nil, nil
+	}
+	if c.guard {
+		return c.ReadbackFramesVerified(slr, frames)
+	}
+	return c.readbackOnce(slr, frames, time.Time{})
+}
+
+// verifyBudget bounds the verification loops. It is deliberately larger
+// than the transient-retry budget: at a 1% per-word flip rate a 93-word
+// frame reads or writes cleanly only ~39% of the time, so whole-frame
+// success needs more attempts than a per-operation transient does.
+func (c *Cable) verifyBudget() int { return 4 * c.retry.MaxRetries }
+
+// ReadbackFramesVerified reads frames until every word of every frame has
+// been seen identically in two consecutive reads. A read has no ground
+// truth to checksum against, so agreement between independent reads is
+// the integrity criterion — and it is applied per word, not per frame: an
+// in-flight flip would have to corrupt the same word the same way twice
+// in a row to slip through (~1e-6 even at 1% flip rates), while demanding
+// two fully clean 93-word frames would almost never converge at those
+// rates. Confirmed frames drop out of the re-read set; only the
+// unconfirmed subset goes back on the wire. The design is quiesced during
+// readback (the configuration plane owns the clock), so words confirmed
+// by different read pairs belong to one consistent frame.
+func (c *Cable) ReadbackFramesVerified(slr int, frames []int) ([][]uint32, error) {
+	deadline := time.Now().Add(c.retry.Deadline)
+	prev, err := c.readbackOnce(slr, frames, deadline)
+	if err != nil {
+		return nil, err
+	}
+	out := make([][]uint32, len(frames))
+	left := make([]int, len(frames)) // unconfirmed words per frame
+	conf := make([][]bool, len(frames))
+	pending := make([]int, len(frames)) // positions not yet fully confirmed
+	for i := range frames {
+		out[i] = make([]uint32, fpga.FrameWords)
+		conf[i] = make([]bool, fpga.FrameWords)
+		left[i] = fpga.FrameWords
+		pending[i] = i
+	}
+	for attempt := 0; len(pending) > 0; attempt++ {
+		if attempt > c.verifyBudget() {
+			atomic.AddInt64(&c.verifyFails, 1)
+			return nil, fmt.Errorf("%w: %d frames of SLR %d never fully agreed across consecutive reads",
+				ErrVerify, len(pending), slr)
+		}
+		if time.Now().After(deadline) {
+			atomic.AddInt64(&c.verifyFails, 1)
+			return nil, fmt.Errorf("%w: read verification of SLR %d", ErrDeadline, slr)
+		}
+		sub := make([]int, len(pending))
+		for i, p := range pending {
+			sub[i] = frames[p]
+		}
+		cur, err := c.readbackOnce(slr, sub, deadline)
+		if err != nil {
+			return nil, err
+		}
+		if attempt > 0 { // reads beyond the mandatory second are recovery work
+			atomic.AddInt64(&c.reReads, int64(len(sub)))
+		}
+		var still []int
+		for i, p := range pending {
+			for w := 0; w < fpga.FrameWords; w++ {
+				if !conf[p][w] && cur[i][w] == prev[p][w] {
+					out[p][w] = cur[i][w]
+					conf[p][w] = true
+					left[p]--
+				}
+			}
+			if left[p] > 0 {
+				prev[p] = cur[i]
+				still = append(still, p)
+			}
+		}
+		pending = still
+	}
+	return out, nil
+}
+
+// writebackStream builds the partial-reconfiguration stream writing the
+// given frames of one SLR.
+func (c *Cable) writebackStream(slr int, frames []int, data [][]uint32) []uint32 {
+	hops := c.Board.Device.Hops(slr)
+	b := bitstream.NewBuilder().Sync().SelectSLR(hops)
+	for i, f := range frames {
+		b.WriteFrames(fpga.FrameWords, f, data[i])
+	}
+	return b.Words()
+}
+
 // WritebackFrames writes the given frames of one SLR (partial
-// reconfiguration).
+// reconfiguration). Under guard every frame is verified after write: the
+// CRC32 of the data handed to the cable is compared against the CRC32 of
+// the frame read back, and mismatching frames are rewritten until they
+// stick or the retry budget runs out. This is what keeps flipped,
+// dropped and duplicated writes from silently poisoning design state.
 func (c *Cable) WritebackFrames(slr int, frames []int, data [][]uint32) error {
 	if len(frames) != len(data) {
 		return fmt.Errorf("jtag: %d frame addresses but %d frames", len(frames), len(data))
@@ -145,13 +431,49 @@ func (c *Cable) WritebackFrames(slr int, frames []int, data [][]uint32) error {
 	if len(frames) == 0 {
 		return nil
 	}
-	hops := c.Board.Device.Hops(slr)
-	b := bitstream.NewBuilder().Sync().SelectSLR(hops)
-	for i, f := range frames {
-		b.WriteFrames(fpga.FrameWords, f, data[i])
+	if !c.guard {
+		_, err := c.Chain.Execute(c.writebackStream(slr, frames, data))
+		return err
 	}
-	_, err := c.Execute(b.Words())
-	return err
+	deadline := time.Now().Add(c.retry.Deadline)
+	wantCRC := make([]uint32, len(frames))
+	for i := range data {
+		wantCRC[i] = fpga.FrameCRC(data[i])
+	}
+	pendF, pendD, pendCRC := frames, data, wantCRC
+	for attempt := 0; ; attempt++ {
+		if _, err := c.executeGuarded(c.writebackStream(slr, pendF, pendD), deadline); err != nil {
+			return err
+		}
+		readback, err := c.ReadbackFramesVerified(slr, pendF)
+		if err != nil {
+			return err
+		}
+		var badF []int
+		var badD [][]uint32
+		var badCRC []uint32
+		for i := range pendF {
+			if fpga.FrameCRC(readback[i]) != pendCRC[i] {
+				badF = append(badF, pendF[i])
+				badD = append(badD, pendD[i])
+				badCRC = append(badCRC, pendCRC[i])
+			}
+		}
+		if len(badF) == 0 {
+			return nil
+		}
+		if attempt >= c.verifyBudget() {
+			atomic.AddInt64(&c.verifyFails, 1)
+			return fmt.Errorf("%w: %d frames of SLR %d failed CRC verify-after-write",
+				ErrVerify, len(badF), slr)
+		}
+		if time.Now().After(deadline) {
+			atomic.AddInt64(&c.verifyFails, 1)
+			return fmt.Errorf("%w: write verification of SLR %d", ErrDeadline, slr)
+		}
+		atomic.AddInt64(&c.rewrites, int64(len(badF)))
+		pendF, pendD, pendCRC = badF, badD, badCRC
+	}
 }
 
 // StartClock starts the global clock (and pulses GSR) through the primary
@@ -170,6 +492,22 @@ func (c *Cable) StopClock() error {
 // ClearGSRMask clears the GSR mask register (issued before readback).
 func (c *Cable) ClearGSRMask() error {
 	_, err := c.Execute(bitstream.NewBuilder().Sync().ClearGSRMask().Words())
+	return err
+}
+
+// Probe is the health check: it reads back one frame of the primary SLR
+// through the full transport. A flaky-but-alive board passes (transients
+// are retried away); a wedged board fails fast with faults.ErrWedged, so
+// the server's prober catches it within one probe interval. No design
+// state is touched. (An IDCODE read would not do: identity queries are
+// shape passthroughs that bypass the fault seam entirely.)
+func (c *Cable) Probe() error {
+	slr := c.Board.Device.Primary
+	if !c.guard {
+		_, err := c.readbackOnce(slr, []int{0}, time.Time{})
+		return err
+	}
+	_, err := c.readbackOnce(slr, []int{0}, time.Now().Add(c.retry.Deadline))
 	return err
 }
 

@@ -116,12 +116,23 @@ func CatalogNames() []string {
 // optional leaseBoard hook places the session on a pooled board; cmd/
 // zoomie's in-process mode passes nil and gets a private board.
 func NewCatalogSession(name string, leaseBoard func(*zoomie.Device) (*zoomie.Board, error)) (*zoomie.Session, error) {
+	return NewCatalogSessionWith(name, func(cfg *zoomie.DebugConfig) {
+		cfg.LeaseBoard = leaseBoard
+	})
+}
+
+// NewCatalogSessionWith builds a catalog design with full control over
+// its DebugConfig — the hook the server uses to thread board leases and
+// per-session fault injectors into the entry's own configuration.
+func NewCatalogSessionWith(name string, mod func(*zoomie.DebugConfig)) (*zoomie.Session, error) {
 	entry, ok := Catalog()[name]
 	if !ok {
 		return nil, fmt.Errorf("unknown design %q (have: %v)", name, CatalogNames())
 	}
 	d, cfg := entry.Build()
-	cfg.LeaseBoard = leaseBoard
+	if mod != nil {
+		mod(&cfg)
+	}
 	sess, err := zoomie.Debug(d, cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,435 @@
+package server_test
+
+import (
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"zoomie/internal/client"
+	"zoomie/internal/faults"
+	"zoomie/internal/server"
+	"zoomie/internal/wire"
+)
+
+// TestChaosStress is the end-to-end resilience gate: four clients drive
+// full pause/poke/peek/step/resume/readback loops against a server whose
+// every cable flips roughly 1% of the words it moves (plus transient
+// execution errors), and every peeked value is checked exactly. The
+// guarded transport must let zero corrupted words through to the facade,
+// every operation must either succeed or fail with a typed wire error,
+// and the actor serialization tripwire must stay at zero — all under
+// -race.
+func TestChaosStress(t *testing.T) {
+	const (
+		nClients = 4
+		nIters   = 15
+	)
+	chaos := faults.Profile{Seed: 99, ReadFlip: 0.01, WriteFlip: 0.01, Exec: 0.005}
+	srv, addr := startServer(t, server.Config{PoolSize: nClients, Chaos: &chaos})
+
+	var wg sync.WaitGroup
+	errs := make(chan error, nClients*nIters*4)
+	for i := 0; i < nClients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.DialOptions(addr, client.Options{CallTimeout: 30 * time.Second})
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			sess, err := c.Attach("counter")
+			if err != nil {
+				errs <- err
+				return
+			}
+			for it := 0; it < nIters; it++ {
+				if err := sess.Pause(); err != nil {
+					errs <- fmt.Errorf("client %d pause: %w", id, err)
+					return
+				}
+				want := uint64(id*1000 + it)
+				if err := sess.Poke("cnt", want); err != nil {
+					errs <- fmt.Errorf("client %d poke: %w", id, err)
+					return
+				}
+				got, err := sess.Peek("cnt")
+				if err != nil {
+					errs <- fmt.Errorf("client %d peek: %w", id, err)
+					return
+				}
+				if got != want {
+					errs <- fmt.Errorf("client %d: CORRUPTED READ reached facade: cnt=%d want %d", id, got, want)
+					return
+				}
+				steps := 1 + it%3
+				if err := sess.Step(steps); err != nil {
+					errs <- fmt.Errorf("client %d step: %w", id, err)
+					return
+				}
+				if got, err = sess.Peek("cnt"); err != nil {
+					errs <- fmt.Errorf("client %d peek after step: %w", id, err)
+					return
+				}
+				if got != want+uint64(steps) {
+					errs <- fmt.Errorf("client %d: CORRUPTED READ after step: cnt=%d want %d", id, got, want+uint64(steps))
+					return
+				}
+				// Full-state readback (server-side snapshot) rides the same
+				// verified transport.
+				if it%5 == 4 {
+					if _, _, _, err := sess.Snapshot(); err != nil {
+						errs <- fmt.Errorf("client %d snapshot: %w", id, err)
+						return
+					}
+				}
+				if err := sess.Resume(); err != nil {
+					errs <- fmt.Errorf("client %d resume: %w", id, err)
+					return
+				}
+			}
+			if err := sess.Detach(); err != nil {
+				errs <- fmt.Errorf("client %d detach: %w", id, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := srv.Stats()
+	if st.Interleaved != 0 {
+		t.Fatalf("actor serialization violated under chaos: %d interleaved", st.Interleaved)
+	}
+	if st.FaultsInjected == 0 {
+		t.Error("chaos profile injected zero faults — injection is not wired in")
+	}
+	if st.JtagReReads == 0 {
+		t.Error("zero frame re-reads at a 1%% flip rate — verified readback is not engaged")
+	}
+	t.Logf("chaos survived: %d faults injected, %d retries, %d re-reads, %d rewrites",
+		st.FaultsInjected, st.JtagRetries, st.JtagReReads, st.JtagRewrites)
+}
+
+// TestWedgeQuarantineMigration wedges a session's board under the health
+// prober and asserts the self-healing chain: the probe detects the wedge
+// within its interval, the board is quarantined (with an async event),
+// and the session migrates to a fresh board restored from its last
+// known-good snapshot — poked values and armed breakpoints intact.
+func TestWedgeQuarantineMigration(t *testing.T) {
+	chaos := faults.Profile{Seed: 7, ReadFlip: 0.001}
+	srv, addr := startServer(t, server.Config{
+		PoolSize:           2,
+		Chaos:              &chaos,
+		ProbeInterval:      50 * time.Millisecond,
+		QuarantineCooldown: time.Hour, // keep the benched board visible to assertions
+	})
+
+	c, err := client.DialOptions(addr, client.Options{CallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Establish state a migration must carry over: a paused design with a
+	// poked register and an armed breakpoint.
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetValueBreakpoint("q", 1300, 1 /* BreakAny */); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Poke("cnt", 1234); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := srv.InjectorFor(sess.ID)
+	if inj == nil {
+		t.Fatal("no injector on a chaos-mode session")
+	}
+	inj.Wedge()
+
+	// The prober must notice within a few intervals and the session must
+	// come back on a fresh board.
+	var sawQuarantine, sawMigrate bool
+	deadline := time.After(5 * time.Second)
+	for !(sawQuarantine && sawMigrate) {
+		select {
+		case e, ok := <-c.Events():
+			if !ok {
+				t.Fatal("event channel closed before migration completed")
+			}
+			switch e.Kind {
+			case wire.EvtQuarantined:
+				sawQuarantine = true
+			case wire.EvtMigrated:
+				sawMigrate = true
+			}
+		case <-deadline:
+			t.Fatalf("no quarantine+migration within deadline (quarantine=%v migrate=%v)",
+				sawQuarantine, sawMigrate)
+		}
+	}
+
+	// The poked value survived the move...
+	got, err := sess.Peek("cnt")
+	if err != nil {
+		t.Fatalf("peek after migration: %v", err)
+	}
+	if got != 1234 {
+		t.Fatalf("after migration cnt=%d, want 1234 (known-good snapshot not restored)", got)
+	}
+	// ...the design is still paused...
+	paused, err := sess.Paused()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !paused {
+		t.Fatal("pause state lost in migration")
+	}
+	// ...and the breakpoint is still armed: releasing the host pause and
+	// running hits it at q==1300.
+	if err := sess.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunUntilPaused(1 << 14); err != nil {
+		t.Fatalf("run-until after migration: %v", err)
+	}
+	if got, _ = sess.Peek("cnt"); got != 1300 {
+		t.Fatalf("breakpoint after migration paused at cnt=%d, want 1300", got)
+	}
+
+	st := srv.Stats()
+	if st.Quarantines < 1 || st.PoolQuarantined < 1 {
+		t.Errorf("quarantine accounting: lifetime=%d benched=%d, want >=1 each",
+			st.Quarantines, st.PoolQuarantined)
+	}
+	if st.Migrations < 1 {
+		t.Errorf("migrations=%d, want >=1", st.Migrations)
+	}
+	if st.Probes == 0 || st.ProbeFailures == 0 {
+		t.Errorf("probe accounting: probes=%d failures=%d, want >0 each", st.Probes, st.ProbeFailures)
+	}
+}
+
+// TestQuarantineCooldownRequalifies asserts a benched board slot returns
+// to capacity after its cooldown: with a pool of 1 and a quarantined
+// board, attach fails until the cooldown expires, then succeeds.
+func TestQuarantineCooldownRequalifies(t *testing.T) {
+	pool := server.NewPool(1)
+	pool.SetCooldown(100 * time.Millisecond)
+	l, err := pool.Lease(testDevice())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l.Quarantine()
+	if _, err := pool.Lease(testDevice()); err == nil {
+		t.Fatal("lease succeeded while the only slot is quarantined")
+	}
+	if got := pool.Quarantined(); got != 1 {
+		t.Fatalf("Quarantined()=%d, want 1", got)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if _, err := pool.Lease(testDevice()); err != nil {
+		t.Fatalf("lease after cooldown: %v", err)
+	}
+	if got := pool.QuarantineCount(); got != 1 {
+		t.Fatalf("QuarantineCount()=%d, want 1", got)
+	}
+}
+
+// flakyProxy is a TCP relay whose connections can be severed on demand —
+// the cable cutter for reconnect tests.
+type flakyProxy struct {
+	ln     net.Listener
+	target string
+
+	mu    sync.Mutex
+	conns []net.Conn
+}
+
+func newFlakyProxy(t *testing.T, target string) *flakyProxy {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flakyProxy{ln: ln, target: target}
+	go p.accept()
+	t.Cleanup(func() { ln.Close(); p.sever() })
+	return p
+}
+
+func (p *flakyProxy) addr() string { return p.ln.Addr().String() }
+
+func (p *flakyProxy) accept() {
+	for {
+		cc, err := p.ln.Accept()
+		if err != nil {
+			return
+		}
+		sc, err := net.Dial("tcp", p.target)
+		if err != nil {
+			cc.Close()
+			continue
+		}
+		p.mu.Lock()
+		p.conns = append(p.conns, cc, sc)
+		p.mu.Unlock()
+		go func() { io.Copy(sc, cc); sc.Close() }()
+		go func() { io.Copy(cc, sc); cc.Close() }()
+	}
+}
+
+// sever cuts every live relayed connection (the listener stays up, so
+// redials succeed).
+func (p *flakyProxy) sever() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, c := range p.conns {
+		c.Close()
+	}
+	p.conns = nil
+}
+
+// TestClientAutoReconnect severs the TCP connection under a live session
+// and asserts the client bridges the outage invisibly: it redials,
+// re-presents its identity, replays what was pending, and subsequent
+// calls see the same session with its breakpoint and pause state intact.
+func TestClientAutoReconnect(t *testing.T) {
+	srv, addr := startServer(t, server.Config{PoolSize: 2})
+	proxy := newFlakyProxy(t, addr)
+
+	c, err := client.DialOptions(proxy.addr(), client.Options{
+		CallTimeout:   30 * time.Second,
+		AutoReconnect: true,
+		RedialBackoff: 10 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	cid := c.ClientID()
+	if cid == 0 {
+		t.Fatal("no client identity assigned at hello")
+	}
+
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.SetValueBreakpoint("q", 400, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Poke("cnt", 350); err != nil {
+		t.Fatal(err)
+	}
+
+	// Cut the cable. The next calls must block through the outage and
+	// complete on the replacement connection.
+	proxy.sever()
+	got, err := sess.Peek("cnt")
+	if err != nil {
+		t.Fatalf("peek across reconnect: %v", err)
+	}
+	if got != 350 {
+		t.Fatalf("peek across reconnect: cnt=%d, want 350", got)
+	}
+	if c.ClientID() != cid {
+		t.Fatalf("client identity changed across reconnect: %d -> %d", cid, c.ClientID())
+	}
+
+	// Session state survived: still paused, breakpoint still armed.
+	if paused, err := sess.Paused(); err != nil || !paused {
+		t.Fatalf("paused=%v err=%v after reconnect, want paused", paused, err)
+	}
+	if err := sess.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunUntilPaused(1 << 14); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ = sess.Peek("cnt"); got != 400 {
+		t.Fatalf("breakpoint after reconnect paused at cnt=%d, want 400", got)
+	}
+
+	// Sever again mid-burst to shake the replay path with several calls
+	// in flight, then verify events still flow on the new connection.
+	proxy.sever()
+	for i := 0; i < 5; i++ {
+		if err := sess.Step(1); err != nil {
+			t.Fatalf("step %d across second reconnect: %v", i, err)
+		}
+	}
+
+	st := srv.Stats()
+	if st.Reconnects < 2 {
+		t.Errorf("reconnects=%d, want >=2", st.Reconnects)
+	}
+}
+
+// TestReplayDedup drives the wire protocol by hand to prove the actor's
+// replay cache: the same (client, seq) step request sent twice executes
+// once — the second send is answered from cache, and the design advances
+// by one step, not two.
+func TestReplayDedup(t *testing.T) {
+	srv, addr := startServer(t, server.Config{PoolSize: 1})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+
+	roundtrip := func(req *wire.Request) *wire.Response {
+		t.Helper()
+		if _, err := wire.WriteMessage(nc, wire.Req(req)); err != nil {
+			t.Fatal(err)
+		}
+		for {
+			m, _, err := wire.ReadMessage(nc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if m.T == wire.TResp {
+				if m.Resp.Err != nil {
+					t.Fatalf("%s: %v", req.Op, m.Resp.Err)
+				}
+				return m.Resp
+			}
+		}
+	}
+
+	hello := roundtrip(&wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version})
+	cid := hello.Client
+	att := roundtrip(&wire.Request{ID: 2, Op: wire.OpAttach, Design: "counter"})
+	sid := att.Session
+	roundtrip(&wire.Request{ID: 3, Op: wire.OpPause, Session: sid, Client: cid, Seq: 1})
+	roundtrip(&wire.Request{ID: 4, Op: wire.OpPoke, Session: sid, Client: cid, Seq: 2, Name: "cnt", Value: 100})
+
+	// The same sequenced step, sent twice (as a reconnecting client would
+	// replay it): the counter must advance exactly once.
+	step := &wire.Request{ID: 5, Op: wire.OpStep, Session: sid, Client: cid, Seq: 3, N: 1}
+	roundtrip(step)
+	roundtrip(step)
+
+	peek := roundtrip(&wire.Request{ID: 6, Op: wire.OpPeek, Session: sid, Client: cid, Seq: 4, Name: "cnt"})
+	if peek.Value != 101 {
+		t.Fatalf("after duplicated step cnt=%d, want 101 (step executed twice?)", peek.Value)
+	}
+	if st := srv.Stats(); st.ReplayHits != 1 {
+		t.Errorf("replay_hits=%d, want 1", st.ReplayHits)
+	}
+}

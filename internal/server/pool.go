@@ -3,6 +3,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"zoomie"
 )
@@ -13,15 +14,27 @@ import (
 // fresh board is materialized per lease — reconfiguring a reclaimed slot
 // and full reconfiguration of a physical card are the same operation in
 // this model — so a re-leased slot never carries stale state.
+//
+// Slots can also be quarantined: a board that fails health probes is
+// ejected from service instead of released, shrinking effective capacity
+// until its cooldown expires — the self-healing analogue of pulling a
+// wedged card, power-cycling it, and racking it again once it
+// requalifies.
 type Pool struct {
 	mu       sync.Mutex
 	capacity int
+	cooldown time.Duration
 	next     uint64
 	inUse    map[uint64]*Lease
+	// benched holds the requalification deadlines of quarantined slots;
+	// expired entries return to service on the next Lease or accounting
+	// call.
+	benched []time.Time
 
-	granted  int64
-	denied   int64
-	released int64
+	granted     int64
+	denied      int64
+	released    int64
+	quarantines int64
 }
 
 // Lease is one board checked out of the pool.
@@ -34,24 +47,48 @@ type Lease struct {
 	done bool
 }
 
-// NewPool creates a pool of n board slots.
+// NewPool creates a pool of n board slots with the default quarantine
+// cooldown.
 func NewPool(n int) *Pool {
 	if n <= 0 {
 		n = 1
 	}
-	return &Pool{capacity: n, inUse: make(map[uint64]*Lease)}
+	return &Pool{capacity: n, cooldown: time.Minute, inUse: make(map[uint64]*Lease)}
+}
+
+// SetCooldown adjusts how long a quarantined slot stays out of service.
+func (p *Pool) SetCooldown(d time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if d > 0 {
+		p.cooldown = d
+	}
 }
 
 // ErrPoolExhausted is wrapped into every denied Lease call.
 var ErrPoolExhausted = fmt.Errorf("board pool exhausted")
 
+// requalify returns expired quarantine slots to service. Callers hold mu.
+func (p *Pool) requalify() {
+	now := time.Now()
+	kept := p.benched[:0]
+	for _, t := range p.benched {
+		if now.Before(t) {
+			kept = append(kept, t)
+		}
+	}
+	p.benched = kept
+}
+
 // Lease checks a board for the given device out of the pool.
 func (p *Pool) Lease(dev *zoomie.Device) (*Lease, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.inUse) >= p.capacity {
+	p.requalify()
+	if len(p.inUse)+len(p.benched) >= p.capacity {
 		p.denied++
-		return nil, fmt.Errorf("%w: %d/%d boards leased", ErrPoolExhausted, len(p.inUse), p.capacity)
+		return nil, fmt.Errorf("%w: %d/%d boards leased, %d quarantined",
+			ErrPoolExhausted, len(p.inUse), p.capacity, len(p.benched))
 	}
 	p.next++
 	l := &Lease{ID: p.next, Board: zoomie.NewBoard(dev), Device: dev.Name, pool: p}
@@ -60,7 +97,8 @@ func (p *Pool) Lease(dev *zoomie.Device) (*Lease, error) {
 	return l, nil
 }
 
-// Release returns the board slot to the pool. Safe to call twice.
+// Release returns the board slot to the pool. Safe to call twice, and a
+// no-op on a quarantined lease (the slot is benched, not free).
 func (l *Lease) Release() {
 	if l == nil {
 		return
@@ -75,6 +113,24 @@ func (l *Lease) Release() {
 	l.pool.released++
 }
 
+// Quarantine ejects the leased board from service instead of freeing it:
+// the slot stays out of capacity until the cooldown expires. A later
+// Release on the same lease is a no-op.
+func (l *Lease) Quarantine() {
+	if l == nil {
+		return
+	}
+	l.pool.mu.Lock()
+	defer l.pool.mu.Unlock()
+	if l.done {
+		return
+	}
+	l.done = true
+	delete(l.pool.inUse, l.ID)
+	l.pool.quarantines++
+	l.pool.benched = append(l.pool.benched, time.Now().Add(l.pool.cooldown))
+}
+
 // Capacity returns the number of board slots.
 func (p *Pool) Capacity() int { return p.capacity }
 
@@ -85,9 +141,24 @@ func (p *Pool) InUse() int {
 	return len(p.inUse)
 }
 
+// Quarantined returns the number of slots currently out of service.
+func (p *Pool) Quarantined() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.requalify()
+	return len(p.benched)
+}
+
 // Counters returns (granted, denied, released) lease counts.
 func (p *Pool) Counters() (granted, denied, released int64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	return p.granted, p.denied, p.released
+}
+
+// QuarantineCount returns the lifetime number of quarantined boards.
+func (p *Pool) QuarantineCount() int64 {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.quarantines
 }

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"zoomie"
+	"zoomie/internal/faults"
 	"zoomie/internal/wire"
 )
 
@@ -33,6 +34,18 @@ type Config struct {
 	Allow []string
 	// Logf, when set, receives one line per lifecycle event.
 	Logf func(format string, args ...any)
+	// Chaos, when set and enabled, interposes a seeded fault injector on
+	// every leased board. Each session derives its own seed from the
+	// profile's, so concurrent sessions see independent but reproducible
+	// fault patterns.
+	Chaos *faults.Profile
+	// ProbeInterval, when positive, health-probes every live session's
+	// board this often; boards that fail are quarantined and their
+	// sessions migrated (default: off; zoomied -chaos enables it).
+	ProbeInterval time.Duration
+	// QuarantineCooldown is how long an ejected board stays out of the
+	// pool before requalifying (default 1 minute).
+	QuarantineCooldown time.Duration
 }
 
 // Server is a running zoomied instance.
@@ -48,7 +61,13 @@ type Server struct {
 	nextSID  uint64
 	closed   bool
 
-	wg sync.WaitGroup // session actors + connection handlers
+	nextClient uint64 // atomic: server-assigned client identities
+	seedSalt   int64  // atomic: distinct chaos seeds per leased board
+
+	probeQuit chan struct{}
+	probeOnce sync.Once
+
+	wg sync.WaitGroup // session actors + connection handlers + prober
 }
 
 // New creates a server; call Serve to accept connections.
@@ -62,12 +81,99 @@ func New(cfg Config) *Server {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
-	return &Server{
-		cfg:      cfg,
-		pool:     NewPool(cfg.PoolSize),
-		sessions: make(map[uint64]*session),
-		conns:    make(map[*conn]struct{}),
+	if cfg.Chaos != nil && !cfg.Chaos.Enabled() {
+		cfg.Chaos = nil
 	}
+	s := &Server{
+		cfg:       cfg,
+		pool:      NewPool(cfg.PoolSize),
+		sessions:  make(map[uint64]*session),
+		conns:     make(map[*conn]struct{}),
+		probeQuit: make(chan struct{}),
+	}
+	if cfg.QuarantineCooldown > 0 {
+		s.pool.SetCooldown(cfg.QuarantineCooldown)
+	}
+	if cfg.ProbeInterval > 0 {
+		s.wg.Add(1)
+		go s.probeLoop()
+	}
+	return s
+}
+
+// probeLoop is the health prober: every interval it enqueues a probe task
+// on each live session's actor. The actor owns the board, so the probe —
+// and any quarantine/migration it triggers — runs serialized with the
+// session's own commands; the prober never touches a cable itself.
+func (s *Server) probeLoop() {
+	defer s.wg.Done()
+	t := time.NewTicker(s.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.probeQuit:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			sessions := make([]*session, 0, len(s.sessions))
+			for _, sess := range s.sessions {
+				sessions = append(sessions, sess)
+			}
+			s.mu.Unlock()
+			for _, sess := range sessions {
+				// Best effort: a busy queue skips this round's probe.
+				sess.enqueue(&wire.Request{Op: opProbe}, func(*wire.Response) {})
+			}
+		}
+	}
+}
+
+// InjectorFor returns the fault injector currently driving a session's
+// board, or nil. Test and operational hook: wedging it exercises the
+// probe → quarantine → migration path deterministically.
+func (s *Server) InjectorFor(sid uint64) *faults.Injector {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sess := s.sessions[sid]; sess != nil {
+		return sess.injector.Load()
+	}
+	return nil
+}
+
+// Pool exposes the board pool (read-only use: capacity/quarantine
+// accounting in tests and the stats dump).
+func (s *Server) Pool() *Pool { return s.pool }
+
+// newSessionFor builds one catalog design on a pooled board, wiring in a
+// freshly seeded fault injector when chaos is configured. Used both by
+// attach and by migration.
+func (s *Server) newSessionFor(design string) (*zoomie.Session, *faults.Injector, *Lease, error) {
+	var lease *Lease
+	var inj *faults.Injector
+	zs, err := NewCatalogSessionWith(design, func(cfg *zoomie.DebugConfig) {
+		cfg.LeaseBoard = func(dev *zoomie.Device) (*zoomie.Board, error) {
+			l, lerr := s.pool.Lease(dev)
+			if lerr != nil {
+				return nil, lerr
+			}
+			lease = l
+			return l.Board, nil
+		}
+		if s.cfg.Chaos != nil {
+			p := *s.cfg.Chaos
+			p.Seed += atomic.AddInt64(&s.seedSalt, 1) * 7919 // distinct, reproducible per board
+			inj = faults.New(p)
+			cfg.Faults = inj
+		}
+	})
+	if err != nil {
+		if lease != nil {
+			lease.Release()
+		}
+		return nil, nil, nil, err
+	}
+	zs.AtClose(func() error { lease.Release(); return nil })
+	return zs, inj, lease, nil
 }
 
 // Serve accepts connections until Shutdown (returns nil) or a listener
@@ -128,6 +234,7 @@ func (s *Server) Shutdown() {
 	if ln != nil {
 		ln.Close()
 	}
+	s.probeOnce.Do(func() { close(s.probeQuit) })
 	s.broadcast(&wire.Event{Kind: wire.EvtShutdown, Detail: "server shutting down"})
 	for _, sess := range sessions {
 		sess.signalQuit()
@@ -191,19 +298,8 @@ func (s *Server) attach(c *conn, req *wire.Request) *wire.Response {
 		resp.Err = wire.Errf(wire.CodeForbidden, "design %q not served (allowlist: %v)", name, s.cfg.Allow)
 		return resp
 	}
-	var lease *Lease
-	zs, err := NewCatalogSession(name, func(dev *zoomie.Device) (*zoomie.Board, error) {
-		l, lerr := s.pool.Lease(dev)
-		if lerr != nil {
-			return nil, lerr
-		}
-		lease = l
-		return l.Board, nil
-	})
+	zs, inj, lease, err := s.newSessionFor(name)
 	if err != nil {
-		if lease != nil {
-			lease.Release()
-		}
 		code := wire.CodeOp
 		if errors.Is(err, ErrPoolExhausted) {
 			code = wire.CodePoolExhausted
@@ -211,7 +307,6 @@ func (s *Server) attach(c *conn, req *wire.Request) *wire.Response {
 		resp.Err = wire.Errf(code, "%s", err)
 		return resp
 	}
-	zs.AtClose(func() error { lease.Release(); return nil })
 
 	s.mu.Lock()
 	if s.closed {
@@ -222,6 +317,8 @@ func (s *Server) attach(c *conn, req *wire.Request) *wire.Response {
 	}
 	s.nextSID++
 	sess := newSession(s.nextSID, name, zs, s)
+	sess.lease = lease
+	sess.injector.Store(inj)
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
 
@@ -401,7 +498,17 @@ func (c *conn) handshake() bool {
 				m.Req.Version, wire.Version)}))
 		return false
 	}
-	c.writeNow(wire.Resp(&wire.Response{ID: m.Req.ID, Version: wire.Version}))
+	// A hello carrying a client id is a reconnect: the client keeps its
+	// identity so replayed in-flight requests dedupe against the actors'
+	// caches. A fresh client gets the next id.
+	cid := m.Req.Client
+	if cid != 0 {
+		atomic.AddInt64(&c.srv.stats.reconnects, 1)
+		c.srv.cfg.Logf("zoomied: client %d reconnected", cid)
+	} else {
+		cid = atomic.AddUint64(&c.srv.nextClient, 1)
+	}
+	c.writeNow(wire.Resp(&wire.Response{ID: m.Req.ID, Version: wire.Version, Client: cid}))
 	return true
 }
 

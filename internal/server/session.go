@@ -1,14 +1,21 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"zoomie"
+	"zoomie/internal/faults"
+	"zoomie/internal/jtag"
 	"zoomie/internal/wire"
 )
+
+// opProbe is the internal health-check op the prober enqueues; it never
+// appears on the wire.
+const opProbe = "_probe"
 
 // session is one attached design: a *zoomie.Session owned by a single
 // actor goroutine that drains a request channel. The actor is how the
@@ -16,17 +23,27 @@ import (
 // for a session are serialized by construction (no mutexes threaded
 // through dbg), while different sessions run fully concurrently, so one
 // slow Snapshot cannot block anyone else's stepping.
+//
+// The actor also owns the session's survival: when its board fails (a
+// wedge, exhausted retries, unverifiable frames) it quarantines the
+// lease, leases a fresh board, restores the last known-good snapshot —
+// full scope, so breakpoints and pause state travel too — and re-runs
+// the failing command, all without the client noticing more than a slow
+// response.
 type session struct {
 	id     uint64
 	design string
 	zs     *zoomie.Session
 	srv    *Server
 
+	lease    *Lease
+	injector atomic.Pointer[faults.Injector]
+
 	reqs chan task
 	quit chan struct{} // closed by Shutdown
 	once sync.Once     // guards close(quit)
 
-	mu     sync.Mutex // guards closed and the enqueue/teardown handoff
+	mu     sync.Mutex // guards closed, the enqueue/teardown handoff, and zs/lease swaps
 	closed bool
 
 	// busy is the serialization tripwire: handle() CASes it 0->1 on
@@ -38,6 +55,37 @@ type session struct {
 	// Actor-local state (only the actor goroutine touches these).
 	lastPaused bool
 	lastSnap   *zoomie.DebugSnapshot
+	lastGood   *zoomie.DebugSnapshot // migration source; full scope
+	replay     map[uint64]*replayRing
+}
+
+// replayRing remembers a client's most recent request results so a
+// request replayed after a reconnect is answered from cache instead of
+// executing twice — the idempotency half of auto-reconnect.
+type replayRing struct {
+	seqs  [replayDepth]uint64
+	resps [replayDepth]*wire.Response
+	n     int
+}
+
+// replayDepth bounds the per-client replay cache. Clients replay only
+// requests that were in flight when the connection died, so a handful of
+// slots suffices.
+const replayDepth = 16
+
+func (r *replayRing) get(seq uint64) *wire.Response {
+	for i, s := range r.seqs {
+		if s == seq {
+			return r.resps[i]
+		}
+	}
+	return nil
+}
+
+func (r *replayRing) put(seq uint64, resp *wire.Response) {
+	r.seqs[r.n] = seq
+	r.resps[r.n] = resp
+	r.n = (r.n + 1) % replayDepth
 }
 
 // task is one queued command with its completion callback.
@@ -58,6 +106,7 @@ func newSession(id uint64, design string, zs *zoomie.Session, srv *Server) *sess
 		srv:    srv,
 		reqs:   make(chan task, queueDepth),
 		quit:   make(chan struct{}),
+		replay: make(map[uint64]*replayRing),
 	}
 }
 
@@ -80,27 +129,58 @@ func (s *session) enqueue(req *wire.Request, reply func(*wire.Response)) *wire.E
 // signalQuit asks the actor to tear down (graceful shutdown path).
 func (s *session) signalQuit() { s.once.Do(func() { close(s.quit) }) }
 
+// cableStats snapshots the current cable's recovery counters; safe from
+// any goroutine (the zs pointer swap during migration is mutex-guarded).
+func (s *session) cableStats() jtag.CableStats {
+	s.mu.Lock()
+	zs := s.zs
+	s.mu.Unlock()
+	return zs.Cable.Stats()
+}
+
 // loop is the actor: one goroutine draining commands, arming an idle
 // timer between them. When the timer fires the session auto-detaches
 // and its board goes back to the pool.
 func (s *session) loop() {
 	defer s.srv.wg.Done()
+	s.captureGood()
 	idle := s.srv.cfg.IdleTimeout
 	timer := time.NewTimer(idle)
 	defer timer.Stop()
 	for {
 		select {
 		case t := <-s.reqs:
+			if t.req.Op == opProbe {
+				// Probes are housekeeping: no replay, no latency sample,
+				// and crucially no idle-timer reset — a probed session
+				// must still idle out.
+				resp, detach := s.handle(t.req)
+				t.reply(resp)
+				if detach {
+					s.teardown("board failed and could not be replaced")
+					return
+				}
+				continue
+			}
+			if cached := s.replayHit(t.req); cached != nil {
+				atomic.AddInt64(&s.srv.stats.replayHits, 1)
+				t.reply(cached)
+				continue
+			}
 			start := time.Now()
 			resp, detach := s.handle(t.req)
 			s.srv.stats.observeLatency(time.Since(start))
 			atomic.AddInt64(&s.srv.stats.commandsServed, 1)
+			s.replayStore(t.req, resp)
 			t.reply(resp)
 			if detach {
 				s.teardown("detached by client")
 				return
 			}
 			s.maybeEmitPaused(t.req.Op)
+			if resp.Err == nil {
+				s.maybeCaptureGood(t.req.Op)
+			}
 			if !timer.Stop() {
 				select {
 				case <-timer.C:
@@ -116,6 +196,53 @@ func (s *session) loop() {
 			s.teardown("server shutdown")
 			return
 		}
+	}
+}
+
+// replayHit answers a replayed request from the cache, or nil.
+func (s *session) replayHit(req *wire.Request) *wire.Response {
+	if req.Client == 0 || req.Seq == 0 {
+		return nil
+	}
+	if ring := s.replay[req.Client]; ring != nil {
+		return ring.get(req.Seq)
+	}
+	return nil
+}
+
+// replayStore remembers a sequenced request's response for replay dedupe.
+func (s *session) replayStore(req *wire.Request, resp *wire.Response) {
+	if req.Client == 0 || req.Seq == 0 {
+		return
+	}
+	ring := s.replay[req.Client]
+	if ring == nil {
+		ring = &replayRing{}
+		s.replay[req.Client] = ring
+	}
+	ring.put(req.Seq, resp)
+}
+
+// captureGood snapshots the full design state — user design and Debug
+// Controller registers alike — as the migration source. Only meaningful
+// under chaos; skipped (and free) otherwise.
+func (s *session) captureGood() {
+	if s.injector.Load() == nil {
+		return
+	}
+	if snap, err := s.zs.Snapshot(""); err == nil {
+		s.lastGood = snap
+	}
+}
+
+// maybeCaptureGood refreshes the known-good snapshot after commands that
+// changed state a migration must preserve.
+func (s *session) maybeCaptureGood(op string) {
+	switch op {
+	case wire.OpPause, wire.OpResume, wire.OpStep, wire.OpUntil,
+		wire.OpPoke, wire.OpPokeMem, wire.OpBreak, wire.OpClearBrk,
+		wire.OpAssert, wire.OpSnapSave, wire.OpSnapRest:
+		s.captureGood()
 	}
 }
 
@@ -140,6 +267,7 @@ func (s *session) teardown(reason string) {
 	}
 	s.srv.dropSession(s)
 	s.zs.Close()
+	s.srv.retire(s.zs, s.injector.Load())
 	s.srv.broadcast(&wire.Event{Kind: wire.EvtDetached, Session: s.id, Detail: reason})
 }
 
@@ -166,20 +294,104 @@ func (s *session) maybeEmitPaused(op string) {
 	}
 }
 
-// handle executes one command against the owned zoomie.Session. The
-// second result asks the actor to tear the session down (detach).
+// isBoardFailure classifies errors the transport could not recover from —
+// the signals that the board, not the command, is at fault.
+func isBoardFailure(err error) bool {
+	return errors.Is(err, faults.ErrWedged) ||
+		errors.Is(err, jtag.ErrRetriesExhausted) ||
+		errors.Is(err, jtag.ErrVerify) ||
+		errors.Is(err, jtag.ErrDeadline)
+}
+
+// handle executes one command against the owned zoomie.Session. On a
+// board failure it quarantines and migrates, then re-runs the command
+// once on the fresh board. The second result asks the actor to tear the
+// session down (client detach, or a board failure with no replacement).
 func (s *session) handle(req *wire.Request) (*wire.Response, bool) {
 	if !atomic.CompareAndSwapInt32(&s.busy, 0, 1) {
 		atomic.AddInt64(&s.srv.stats.interleaved, 1)
 	}
 	defer atomic.StoreInt32(&s.busy, 0)
 
+	resp, detach := s.execute(req)
+	if resp.Err != nil && resp.Err.Code == wire.CodeBoardFailed {
+		if werr := s.migrate(resp.Err.Msg); werr != nil {
+			return &wire.Response{ID: req.ID, Session: s.id, Err: werr}, true
+		}
+		resp, detach = s.execute(req)
+	}
+	return resp, detach
+}
+
+// migrate replaces the session's failed board: quarantine the lease,
+// close the old session (fail-fast — the transport does not retry a
+// wedged board), lease and configure a fresh board, and restore the last
+// known-good snapshot onto it. The full-scope snapshot carries the Debug
+// Controller registers, so armed breakpoints and the pause state survive
+// the move.
+func (s *session) migrate(cause string) *wire.Error {
+	srv := s.srv
+	leaseID := uint64(0)
+	if s.lease != nil {
+		leaseID = s.lease.ID
+		s.lease.Quarantine()
+	}
+	srv.cfg.Logf("zoomied: session %d: board lease %d quarantined: %s", s.id, leaseID, cause)
+	srv.broadcast(&wire.Event{Kind: wire.EvtQuarantined, Session: s.id,
+		Detail: fmt.Sprintf("board lease %d: %s", leaseID, cause)})
+
+	old := s.zs
+	oldInj := s.injector.Load()
+	old.Close() // errors expected on a failed board; lease already benched
+	srv.retire(old, oldInj)
+
+	nz, ninj, nlease, err := srv.newSessionFor(s.design)
+	if err != nil {
+		atomic.AddInt64(&srv.stats.migrationsFail, 1)
+		return wire.Errf(wire.CodeBoardFailed,
+			"session %d: board failed (%s) and no replacement: %v", s.id, cause, err)
+	}
+	if s.lastGood != nil {
+		if rerr := nz.Restore(s.lastGood); rerr != nil {
+			nz.Close()
+			srv.retire(nz, ninj)
+			atomic.AddInt64(&srv.stats.migrationsFail, 1)
+			return wire.Errf(wire.CodeBoardFailed,
+				"session %d: snapshot restore on replacement board: %v", s.id, rerr)
+		}
+	}
+	s.mu.Lock()
+	s.zs = nz
+	s.lease = nlease
+	s.mu.Unlock()
+	s.injector.Store(ninj)
+	atomic.AddInt64(&srv.stats.migrations, 1)
+	srv.cfg.Logf("zoomied: session %d migrated to board lease %d", s.id, nlease.ID)
+	srv.broadcast(&wire.Event{Kind: wire.EvtMigrated, Session: s.id,
+		Detail: fmt.Sprintf("restored on board lease %d", nlease.ID)})
+	return nil
+}
+
+// execute runs one command. Board failures come back as CodeBoardFailed
+// so handle can migrate and retry; everything else is CodeOp.
+func (s *session) execute(req *wire.Request) (*wire.Response, bool) {
 	resp := &wire.Response{ID: req.ID, Session: s.id}
 	fail := func(err error) (*wire.Response, bool) {
-		resp.Err = wire.Errf(wire.CodeOp, "%s", err)
+		if isBoardFailure(err) {
+			resp.Err = wire.Errf(wire.CodeBoardFailed, "%s", err)
+		} else {
+			resp.Err = wire.Errf(wire.CodeOp, "%s", err)
+		}
 		return resp, false
 	}
 	switch req.Op {
+	case opProbe:
+		atomic.AddInt64(&s.srv.stats.probes, 1)
+		if err := s.zs.HealthCheck(); err != nil {
+			atomic.AddInt64(&s.srv.stats.probeFailures, 1)
+			return fail(err)
+		}
+
 	case wire.OpDetach:
 		return resp, true
 

@@ -6,6 +6,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"zoomie"
+	"zoomie/internal/faults"
 	"zoomie/internal/wire"
 )
 
@@ -22,6 +24,22 @@ type stats struct {
 	eventsDropped  int64
 	idleReaped     int64
 	interleaved    int64
+
+	// Robustness counters (chaos / self-healing).
+	probes         int64
+	probeFailures  int64
+	migrations     int64
+	migrationsFail int64
+	reconnects     int64
+	replayHits     int64
+
+	// Transport counters of retired sessions, accumulated at teardown and
+	// migration so recovery work survives the cable that did it. Stats()
+	// adds the live sessions' cables on top.
+	jtagRetries    int64
+	jtagReReads    int64
+	jtagRewrites   int64
+	faultsInjected int64
 
 	latency [len(latencyBoundsUS)]int64
 }
@@ -40,6 +58,19 @@ func (st *stats) observeLatency(d time.Duration) {
 	}
 }
 
+// retire folds a closing session's transport counters into the server
+// totals, so cable recovery work and injected-fault counts outlive the
+// session that accrued them.
+func (s *Server) retire(zs *zoomie.Session, inj *faults.Injector) {
+	cs := zs.Cable.Stats()
+	atomic.AddInt64(&s.stats.jtagRetries, cs.Retries)
+	atomic.AddInt64(&s.stats.jtagReReads, cs.ReReads)
+	atomic.AddInt64(&s.stats.jtagRewrites, cs.Rewrites)
+	if inj != nil {
+		atomic.AddInt64(&s.stats.faultsInjected, inj.Stats().Total())
+	}
+}
+
 // Stats snapshots the server counters into the wire representation.
 func (s *Server) Stats() *wire.Stats {
 	st := &s.stats
@@ -55,9 +86,42 @@ func (s *Server) Stats() *wire.Stats {
 		Interleaved:    atomic.LoadInt64(&st.interleaved),
 		PoolCapacity:   int64(s.pool.Capacity()),
 		PoolInUse:      int64(s.pool.InUse()),
+
+		PoolQuarantined: int64(s.pool.Quarantined()),
+		Quarantines:     s.pool.QuarantineCount(),
+		Probes:          atomic.LoadInt64(&st.probes),
+		ProbeFailures:   atomic.LoadInt64(&st.probeFailures),
+		Migrations:      atomic.LoadInt64(&st.migrations),
+		MigrationsFail:  atomic.LoadInt64(&st.migrationsFail),
+		Reconnects:      atomic.LoadInt64(&st.reconnects),
+		ReplayHits:      atomic.LoadInt64(&st.replayHits),
+		JtagRetries:     atomic.LoadInt64(&st.jtagRetries),
+		JtagReReads:     atomic.LoadInt64(&st.jtagReReads),
+		JtagRewrites:    atomic.LoadInt64(&st.jtagRewrites),
+		FaultsInjected:  atomic.LoadInt64(&st.faultsInjected),
 	}
 	_, denied, _ := s.pool.Counters()
 	out.PoolDenied = denied
+
+	// Fold in the live sessions' cable and injector counters (atomic
+	// reads on their side; the session list is copied under the server
+	// lock, cable pointers under each session's lock).
+	s.mu.Lock()
+	live := make([]*session, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		live = append(live, sess)
+	}
+	s.mu.Unlock()
+	for _, sess := range live {
+		cs := sess.cableStats()
+		out.JtagRetries += cs.Retries
+		out.JtagReReads += cs.ReReads
+		out.JtagRewrites += cs.Rewrites
+		if inj := sess.injector.Load(); inj != nil {
+			out.FaultsInjected += inj.Stats().Total()
+		}
+	}
+
 	out.LatencyBuckets = make([]int64, len(st.latency))
 	for i := range st.latency {
 		out.LatencyBuckets[i] = atomic.LoadInt64(&st.latency[i])

@@ -69,6 +69,15 @@ type Request struct {
 	Op      string   `json:"op"`
 	Version int      `json:"ver,omitempty"`
 	Session uint64   `json:"sid,omitempty"`
+	// Client identifies the sending client across TCP connections: the
+	// server assigns it in the hello response and a reconnecting client
+	// presents it again so replayed requests dedupe. Zero on first hello.
+	Client uint64 `json:"client,omitempty"`
+	// Seq is the client's per-connection-independent request sequence
+	// number. Session actors remember recent (Client, Seq) results so a
+	// request replayed after a reconnect returns the original response
+	// instead of executing twice.
+	Seq uint64 `json:"seq,omitempty"`
 	Design  string   `json:"design,omitempty"`
 	Name    string   `json:"name,omitempty"`
 	Prefix  string   `json:"prefix,omitempty"`
@@ -85,6 +94,7 @@ type Response struct {
 	ID      uint64 `json:"id"`
 	Err     *Error `json:"err,omitempty"`
 	Version int    `json:"ver,omitempty"`
+	Client  uint64 `json:"client,omitempty"` // hello: server-assigned client identity
 
 	Session uint64   `json:"sid,omitempty"`
 	Design  string   `json:"design,omitempty"`
@@ -115,9 +125,11 @@ type Event struct {
 
 // Event kinds.
 const (
-	EvtPaused   = "paused"   // design transitioned running -> paused (breakpoint hit)
-	EvtDetached = "detached" // session torn down (idle timeout, shutdown)
-	EvtShutdown = "shutdown" // server is shutting down
+	EvtPaused      = "paused"            // design transitioned running -> paused (breakpoint hit)
+	EvtDetached    = "detached"          // session torn down (idle timeout, shutdown)
+	EvtShutdown    = "shutdown"          // server is shutting down
+	EvtQuarantined = "board_quarantined" // a board failed health checks and left the pool
+	EvtMigrated    = "session_migrated"  // a session moved to a fresh board from its last good snapshot
 )
 
 // Trace is a StepTrace flattened for the wire.
@@ -142,6 +154,21 @@ type Stats struct {
 	PoolInUse      int64 `json:"pool_in_use"`
 	PoolDenied     int64 `json:"pool_denied"`
 
+	// Robustness counters (PR 3): board health, chaos recovery, client
+	// continuity. All zero when fault injection and probing are off.
+	PoolQuarantined int64 `json:"pool_quarantined"`  // boards currently quarantined
+	Quarantines     int64 `json:"quarantines"`       // boards ejected, lifetime
+	Probes          int64 `json:"probes"`            // health probes run
+	ProbeFailures   int64 `json:"probe_failures"`    // health probes that failed
+	Migrations      int64 `json:"migrations"`        // sessions moved to a fresh board
+	MigrationsFail  int64 `json:"migrations_failed"` // migrations that could not complete
+	Reconnects      int64 `json:"reconnects"`        // hellos presenting an existing client id
+	ReplayHits      int64 `json:"replay_hits"`       // replayed requests answered from cache
+	JtagRetries     int64 `json:"jtag_retries"`      // stream executions retried (transients)
+	JtagReReads     int64 `json:"jtag_rereads"`      // frames re-read until agreement
+	JtagRewrites    int64 `json:"jtag_rewrites"`     // frames rewritten after CRC mismatch
+	FaultsInjected  int64 `json:"faults_injected"`   // faults the chaos injectors fired
+
 	// LatencyBuckets counts served commands by handling latency, in
 	// cumulative-upper-bound order matching LatencyBounds.
 	LatencyBuckets []int64 `json:"latency_us,omitempty"`
@@ -164,6 +191,9 @@ const (
 	CodeVersion       = "version_mismatch"
 	CodeShutdown      = "shutdown"
 	CodeOp            = "op_failed"
+	CodeTimeout       = "timeout"      // client-side: no response within the call timeout
+	CodeConnLost      = "conn_lost"    // client-side: connection died and could not be restored
+	CodeBoardFailed   = "board_failed" // board wedged/unrecoverable and no migration possible
 )
 
 // Error is a typed wire error.

@@ -41,10 +41,12 @@ import (
 
 	"zoomie/internal/core"
 	"zoomie/internal/dbg"
+	"zoomie/internal/faults"
 	"zoomie/internal/formal"
 	"zoomie/internal/fpga"
 	"zoomie/internal/hdl"
 	"zoomie/internal/ila"
+	"zoomie/internal/jtag"
 	"zoomie/internal/place"
 	"zoomie/internal/rtl"
 	"zoomie/internal/sim"
@@ -232,7 +234,38 @@ type DebugConfig struct {
 	// modeled card to a session. The callback receives the device the
 	// compile targeted. When nil a fresh private board is created.
 	LeaseBoard func(dev *Device) (*Board, error)
+	// Faults, when set, interposes a seeded fault injector between the
+	// JTAG cable and the board and enables the resilient transport
+	// (retry, verified reads, CRC verify-after-write). Nil costs nothing.
+	Faults *FaultInjector
+	// Guard enables the resilient transport without fault injection —
+	// verify and retry against a clean link, for overhead measurement.
+	Guard bool
 }
+
+// Fault injection and transport resilience surface.
+type (
+	// FaultProfile configures the seeded fault models (bit flips, drops,
+	// duplicates, transient errors, latency spikes, wedges).
+	FaultProfile = faults.Profile
+	// FaultInjector applies one FaultProfile to one board's
+	// configuration plane.
+	FaultInjector = faults.Injector
+	// FaultStats counts the faults an injector actually fired.
+	FaultStats = faults.Stats
+	// CableStats counts the resilient transport's recovery work
+	// (retries, re-reads, rewrites, verification failures).
+	CableStats = jtag.CableStats
+)
+
+// NewFaultInjector creates an injector for a profile; pass it via
+// DebugConfig.Faults (or server Config.Chaos) to debug through a flaky
+// link.
+func NewFaultInjector(p FaultProfile) *FaultInjector { return faults.New(p) }
+
+// ParseFaultProfile reads the -chaos key=value syntax, e.g.
+// "flip=0.01,drop=0.005,exec=0.002,seed=42".
+func ParseFaultProfile(s string) (FaultProfile, error) { return faults.ParseProfile(s) }
 
 // Session is a live debugging session: a compiled, instrumented design
 // running on a board with a debugger attached and the clock started.
@@ -312,7 +345,8 @@ func Debug(d *Design, cfg DebugConfig) (*Session, error) {
 	} else {
 		board = fpga.NewBoard(res.Options.Device)
 	}
-	debugger, err := dbg.Attach(board, res.Image, meta)
+	debugger, err := dbg.AttachWithOptions(board, res.Image, meta,
+		jtag.Options{Faults: cfg.Faults, Guard: cfg.Guard})
 	if err != nil {
 		return nil, err
 	}
