@@ -56,8 +56,9 @@ func main() {
 		"case2":    case2,
 		"case3":    case3,
 		"chaos":    chaos,
+		"batch":    batchExp,
 	}
-	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "table3", "fig8", "table4", "bout", "overhead", "chaos", "case1", "case2", "case3"}
+	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "table3", "fig8", "table4", "bout", "overhead", "chaos", "batch", "case1", "case2", "case3"}
 
 	if *exp == "all" {
 		for _, name := range order {

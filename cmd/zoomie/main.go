@@ -202,14 +202,32 @@ func repl(t target, in io.Reader, out io.Writer) {
 			err = t.EnableAssertion(args[0], args[1] == "on")
 		case "print", "p":
 			if len(args) < 1 {
-				err = fmt.Errorf("usage: print <register>")
+				err = fmt.Errorf("usage: print <register> [register...]")
 				break
 			}
-			var v uint64
-			v, err = t.Peek(args[0])
-			if err == nil {
-				fmt.Fprintf(out, "%s = %d (%#x)\n", args[0], v, v)
+			if len(args) == 1 {
+				var v uint64
+				v, err = t.Peek(args[0])
+				if err == nil {
+					fmt.Fprintf(out, "%s = %d (%#x)\n", args[0], v, v)
+				}
+				break
 			}
+			// Several registers: one batched readback pass instead of
+			// one cable transaction per name.
+			items := make([]zoomie.PlanItem, len(args))
+			for i, name := range args {
+				items[i] = zoomie.PlanItem{Name: name}
+			}
+			var vals []uint64
+			vals, err = t.PeekBatch(items)
+			if err == nil {
+				for i, name := range args {
+					fmt.Fprintf(out, "%s = %d (%#x)\n", name, vals[i], vals[i])
+				}
+			}
+		case "watch", "w":
+			err = watchCmd(t, args, out)
 		case "set":
 			if len(args) < 2 {
 				err = fmt.Errorf("usage: set <register> <value>")
@@ -317,6 +335,60 @@ func repl(t target, in io.Reader, out io.Writer) {
 	}
 }
 
+// watchCmd single-steps the paused design until any of the listed
+// registers changes value, sampling all of them with one batched
+// readback per probe. The last argument is the cycle budget when it
+// parses as an integer (default 1024). Step sizes grow geometrically,
+// so a distant change costs O(log n) probes instead of n.
+func watchCmd(t target, args []string, out io.Writer) error {
+	if len(args) < 1 {
+		return fmt.Errorf("usage: watch <register> [register...] [maxcycles]")
+	}
+	maxCycles := 1024
+	sigs := args
+	if len(args) > 1 {
+		if n, err := strconv.Atoi(args[len(args)-1]); err == nil && n > 0 {
+			maxCycles = n
+			sigs = args[:len(args)-1]
+		}
+	}
+	items := make([]zoomie.PlanItem, len(sigs))
+	for i, s := range sigs {
+		items[i] = zoomie.PlanItem{Name: s}
+	}
+	old, err := t.PeekBatch(items)
+	if err != nil {
+		return err
+	}
+	cycles, step := 0, 1
+	for cycles < maxCycles {
+		if step > maxCycles-cycles {
+			step = maxCycles - cycles
+		}
+		if err := t.Step(step); err != nil {
+			return err
+		}
+		cycles += step
+		cur, err := t.PeekBatch(items)
+		if err != nil {
+			return err
+		}
+		for i, s := range sigs {
+			if cur[i] != old[i] {
+				fmt.Fprintf(out, "%s changed %d -> %d after %d cycles\n",
+					s, old[i], cur[i], cycles)
+				return nil
+			}
+		}
+		if step < 64 {
+			step *= 2
+		}
+	}
+	fmt.Fprintf(out, "no change on %s within %d cycles\n",
+		strings.Join(sigs, ","), maxCycles)
+	return nil
+}
+
 func printHelp(out io.Writer) {
 	fmt.Fprint(out, `commands:
   run [n]              let the FPGA run n cycles of wall time (default 100)
@@ -327,7 +399,10 @@ func printHelp(out io.Writer) {
   break SIG VAL [any|all]  arm a value breakpoint on a watched signal
   clearbreaks          disarm all value breakpoints
   assert NAME on|off   toggle an assertion breakpoint
-  print REG | p        read a register through frame readback
+  print REG... | p     read registers through frame readback (several
+                       names share one batched readback pass)
+  watch REG... [max]   step until any listed register changes (batched
+                       sampling; default budget 1024 cycles)
   set REG VAL          force a register through partial reconfiguration
   mem NAME ADDR        read one memory word
   trace SIGS N [f.vcd] single-step N cycles recording registers (any of them)

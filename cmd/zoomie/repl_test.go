@@ -27,6 +27,9 @@ step 5
 print cnt
 snapshot restore
 print cnt
+print cnt dut.cnt
+print cnt nosuchreg
+watch cnt 16
 trace cnt 4
 inspect dut
 status
@@ -98,6 +101,8 @@ func TestREPLParityLocalRemote(t *testing.T) {
 		"cnt = 500 (0x1f4)",
 		"snapshot of 1 registers, 0 memories",
 		"cnt = 505 (0x1f9)",
+		"dut.cnt = 500 (0x1f4)",
+		"cnt changed 500 -> 501 after 1 cycles",
 		"paused=true",
 		"error:",
 	} {

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"time"
 
 	"zoomie"
@@ -21,6 +22,9 @@ type target interface {
 	Step(n int) error
 	RunUntilPaused(maxTicks int) (int, error)
 	Peek(name string) (uint64, error)
+	// PeekBatch reads several state elements in one planned pass (one
+	// coalesced readback per SLR locally; one wire round trip remotely).
+	PeekBatch(items []zoomie.PlanItem) ([]uint64, error)
 	Poke(name string, v uint64) error
 	PeekMem(name string, addr int) (uint64, error)
 	SetValueBreakpoint(signal string, v uint64, mode zoomie.BreakMode) error
@@ -55,6 +59,9 @@ func (t *localTarget) RunUntilPaused(maxTicks int) (int, error) {
 	return t.sess.RunUntilPaused(maxTicks)
 }
 func (t *localTarget) Peek(name string) (uint64, error) { return t.sess.Peek(name) }
+func (t *localTarget) PeekBatch(items []zoomie.PlanItem) ([]uint64, error) {
+	return t.sess.ReadPlan(context.Background(), items)
+}
 func (t *localTarget) Poke(name string, v uint64) error { return t.sess.Poke(name, v) }
 func (t *localTarget) PeekMem(name string, addr int) (uint64, error) {
 	return t.sess.PeekMem(name, addr)
@@ -111,6 +118,9 @@ func (t *remoteTarget) RunUntilPaused(maxTicks int) (int, error) {
 	return t.sess.RunUntilPaused(maxTicks)
 }
 func (t *remoteTarget) Peek(name string) (uint64, error) { return t.sess.Peek(name) }
+func (t *remoteTarget) PeekBatch(items []zoomie.PlanItem) ([]uint64, error) {
+	return t.sess.PeekBatch(items)
+}
 func (t *remoteTarget) Poke(name string, v uint64) error { return t.sess.Poke(name, v) }
 func (t *remoteTarget) PeekMem(name string, addr int) (uint64, error) {
 	return t.sess.PeekMem(name, addr)

@@ -1,6 +1,7 @@
 package bitstream
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -68,6 +69,8 @@ type Chain struct {
 	pending int // BOUT pulses not yet consumed by a packet
 	padding int // NOP words seen since the last BOUT pulse
 
+	ctx context.Context // active ExecuteCtx context; the chain is serialized by its cable
+
 	// Elapsed accumulates modeled configuration-plane time.
 	Elapsed time.Duration
 	// Stats counts activity for the evaluation harness.
@@ -102,9 +105,23 @@ func (c *Chain) ring(hops int) int {
 
 // Execute interprets a configuration stream, returning any readback words.
 func (c *Chain) Execute(stream []uint32) ([]uint32, error) {
+	return c.ExecuteCtx(context.Background(), stream)
+}
+
+// ExecuteCtx interprets a configuration stream under a context. The
+// context is checked between packets and between individual frames of
+// multi-frame FDRI/FDRO payloads, so cancelling mid-batch abandons the
+// stream within one frame's worth of work instead of finishing the whole
+// coalesced read or write.
+func (c *Chain) ExecuteCtx(ctx context.Context, stream []uint32) ([]uint32, error) {
+	c.ctx = ctx
+	defer func() { c.ctx = nil }()
 	var response []uint32
 	i := 0
 	for i < len(stream) {
+		if err := c.ctxErr(); err != nil {
+			return response, err
+		}
 		w := stream[i]
 		switch {
 		case w == NopWord:
@@ -203,6 +220,9 @@ func (c *Chain) applyWrite(reg Reg, payload []uint32) error {
 			return fmt.Errorf("bitstream: FDRI payload of %d words is not whole frames", len(payload))
 		}
 		for off := 0; off < len(payload); off += fw {
+			if err := c.ctxErr(); err != nil {
+				return err
+			}
 			if int(mc.far) >= c.backend.FramesIn(c.target) {
 				return fmt.Errorf("bitstream: FAR %d beyond SLR %d frame space", mc.far, c.target)
 			}
@@ -244,6 +264,9 @@ func (c *Chain) applyRead(reg Reg, n int) ([]uint32, error) {
 		}
 		var out []uint32
 		for off := 0; off < n; off += fw {
+			if err := c.ctxErr(); err != nil {
+				return nil, err
+			}
 			if int(mc.far) >= c.backend.FramesIn(c.target) {
 				return nil, fmt.Errorf("bitstream: FAR %d beyond SLR %d frame space", mc.far, c.target)
 			}
@@ -262,6 +285,14 @@ func (c *Chain) applyRead(reg Reg, n int) ([]uint32, error) {
 	default:
 		return nil, fmt.Errorf("bitstream: read from unsupported register %s", reg)
 	}
+}
+
+// ctxErr reports the active ExecuteCtx context's cancellation, if any.
+func (c *Chain) ctxErr() error {
+	if c.ctx == nil {
+		return nil
+	}
+	return c.ctx.Err()
 }
 
 // Target returns the currently selected SLR (exposed for the §4.5

@@ -18,6 +18,7 @@
 package client
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net"
@@ -42,6 +43,11 @@ type Options struct {
 	// RedialBackoff is the initial delay between redials, doubled up to
 	// 16x each attempt (default 50ms).
 	RedialBackoff time.Duration
+	// ProtocolVersion overrides the version offered in the hello (0 means
+	// wire.Version). The server negotiates min(offered, server); batch
+	// ops transparently fall back to per-signal calls when the negotiated
+	// version predates them. Mostly a compatibility-test hook.
+	ProtocolVersion int
 }
 
 func (o Options) withDefaults() Options {
@@ -50,6 +56,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.RedialBackoff <= 0 {
 		o.RedialBackoff = 50 * time.Millisecond
+	}
+	if o.ProtocolVersion <= 0 {
+		o.ProtocolVersion = wire.Version
 	}
 	return o
 }
@@ -74,11 +83,15 @@ type Client struct {
 	// clientID is the server-assigned identity presented again on
 	// reconnect so the server can dedupe replayed requests.
 	clientID uint64
-	pending  map[uint64]*pcall
-	subs     map[uint64]bool // sessions this connection is subscribed to
-	subAll   bool
-	err      error
-	closed   bool
+	// version is the protocol version negotiated in the handshake:
+	// min(offered, server). Below 2 the batch API degrades to per-signal
+	// round trips.
+	version int
+	pending map[uint64]*pcall
+	subs    map[uint64]bool // sessions this connection is subscribed to
+	subAll  bool
+	err     error
+	closed  bool
 
 	events chan wire.Event
 }
@@ -97,53 +110,65 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		subs:    make(map[uint64]bool),
 		events:  make(chan wire.Event, 64),
 	}
-	nc, cid, err := handshake(addr, 0)
+	nc, cid, ver, err := handshake(addr, 0, c.opts.ProtocolVersion)
 	if err != nil {
 		return nil, err
 	}
 	c.c = nc
 	c.clientID = cid
+	c.version = ver
 	c.nextID = 1
 	go c.readLoop()
 	return c, nil
 }
 
 // handshake dials and performs the hello exchange, presenting an
-// existing client identity when reconnecting (cid != 0). It returns the
-// connection and the server-assigned identity.
-func handshake(addr string, cid uint64) (net.Conn, uint64, error) {
+// existing client identity when reconnecting (cid != 0) and offering the
+// given protocol version. It returns the connection, the server-assigned
+// identity, and the negotiated protocol version.
+func handshake(addr string, cid uint64, offer int) (net.Conn, uint64, int, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, 0, err
+		return nil, 0, 0, err
 	}
 	// Handshake runs before the reader goroutine: one frame out, one in.
-	hello := &wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version, Client: cid}
+	hello := &wire.Request{ID: 1, Op: wire.OpHello, Version: offer, Client: cid}
 	if _, err := wire.WriteMessage(nc, wire.Req(hello)); err != nil {
 		nc.Close()
-		return nil, 0, fmt.Errorf("client: handshake: %w", err)
+		return nil, 0, 0, fmt.Errorf("client: handshake: %w", err)
 	}
 	m, _, err := wire.ReadMessage(nc)
 	if err != nil {
 		nc.Close()
-		return nil, 0, fmt.Errorf("client: handshake: %w", err)
+		return nil, 0, 0, fmt.Errorf("client: handshake: %w", err)
 	}
 	if m.T != wire.TResp {
 		nc.Close()
-		return nil, 0, fmt.Errorf("client: handshake: unexpected %q frame", m.T)
+		return nil, 0, 0, fmt.Errorf("client: handshake: unexpected %q frame", m.T)
 	}
 	if m.Resp.Err != nil {
 		nc.Close()
-		return nil, 0, m.Resp.Err
+		return nil, 0, 0, m.Resp.Err
 	}
-	if m.Resp.Version != wire.Version {
+	// The server answers min(offer, its own version); anything above the
+	// offer (or below the floor we can still speak) is a broken peer.
+	if m.Resp.Version < wire.MinVersion || m.Resp.Version > offer {
 		nc.Close()
-		return nil, 0, fmt.Errorf("client: server speaks protocol %d, want %d", m.Resp.Version, wire.Version)
+		return nil, 0, 0, fmt.Errorf("client: server negotiated protocol %d, offered %d (floor %d)",
+			m.Resp.Version, offer, wire.MinVersion)
 	}
 	id := m.Resp.Client
 	if id == 0 {
 		id = cid
 	}
-	return nc, id, nil
+	return nc, id, m.Resp.Version, nil
+}
+
+// Version returns the negotiated protocol version.
+func (c *Client) Version() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.version
 }
 
 // Close tears down the connection. In-flight calls fail; server-side
@@ -236,7 +261,7 @@ func (c *Client) reconnect(cause error) bool {
 		cid := c.clientID
 		c.mu.Unlock()
 
-		nc, newID, err := handshake(c.addr, cid)
+		nc, newID, newVer, err := handshake(c.addr, cid, c.opts.ProtocolVersion)
 		if err != nil {
 			continue
 		}
@@ -249,6 +274,7 @@ func (c *Client) reconnect(cause error) bool {
 		}
 		c.c = nc
 		c.clientID = newID
+		c.version = newVer
 		replay := make([]*wire.Request, 0, len(c.pending))
 		for _, p := range c.pending {
 			replay = append(replay, p.req)
@@ -316,6 +342,16 @@ func (c *Client) fail(err error) {
 // connection is restored and the request replayed); op-level failures
 // and expired call timeouts return *wire.Error.
 func (c *Client) call(req *wire.Request) (*wire.Response, error) {
+	return c.callCtx(context.Background(), req)
+}
+
+// callCtx is call under a context: cancellation abandons the wait
+// promptly with a CodeCancelled wire error (which unwraps to
+// context.Canceled, so errors.Is matches the local debugger's
+// cancellation behavior). The request may still execute server-side.
+// On an op-level failure the response is returned alongside the error,
+// so callers can pick partial-batch values out of it.
+func (c *Client) callCtx(ctx context.Context, req *wire.Request) (*wire.Response, error) {
 	c.mu.Lock()
 	if c.closed {
 		err := c.err
@@ -363,9 +399,15 @@ func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 			return nil, err
 		}
 		if resp.Err != nil {
-			return nil, resp.Err
+			return resp, resp.Err
 		}
 		return resp, nil
+	case <-ctx.Done():
+		c.mu.Lock()
+		delete(c.pending, req.ID)
+		c.mu.Unlock()
+		return nil, wire.Errf(wire.CodeCancelled,
+			"client: %s cancelled: %v", req.Op, ctx.Err())
 	case <-timeout:
 		c.mu.Lock()
 		delete(c.pending, req.ID)
@@ -373,6 +415,12 @@ func (c *Client) call(req *wire.Request) (*wire.Response, error) {
 		return nil, wire.Errf(wire.CodeTimeout,
 			"client: no response to %s within %v", req.Op, c.opts.CallTimeout)
 	}
+}
+
+// CallCtx sends one raw wire request under a context — Call with
+// cancellation.
+func (c *Client) CallCtx(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	return c.callCtx(ctx, req)
 }
 
 // Call sends one raw wire request and returns its response — the escape

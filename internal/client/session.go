@@ -1,6 +1,7 @@
 package client
 
 import (
+	"context"
 	"time"
 
 	"zoomie/internal/dbg"
@@ -24,6 +25,11 @@ type Session struct {
 func (s *Session) call(req *wire.Request) (*wire.Response, error) {
 	req.Session = s.ID
 	return s.c.call(req)
+}
+
+func (s *Session) callCtx(ctx context.Context, req *wire.Request) (*wire.Response, error) {
+	req.Session = s.ID
+	return s.c.callCtx(ctx, req)
 }
 
 // Run lets the FPGA execute freely for n design-clock ticks of wall time.
@@ -87,6 +93,82 @@ func (s *Session) PeekMem(name string, addr int) (uint64, error) {
 // PokeMem forces one memory word.
 func (s *Session) PokeMem(name string, addr int, v uint64) error {
 	_, err := s.call(&wire.Request{Op: wire.OpPokeMem, Name: name, Addr: addr, Value: v})
+	return err
+}
+
+// PeekBatch reads several state elements as one wire round trip and one
+// planned readback pass on the server's board.
+func (s *Session) PeekBatch(items []dbg.PlanItem) ([]uint64, error) {
+	return s.PeekBatchCtx(context.Background(), items)
+}
+
+// PeekBatchCtx is PeekBatch under a context. On a partial-batch failure
+// the slice still carries the values from healthy SLRs alongside the
+// error. When the negotiated protocol is older than v2 the batch is
+// transparently issued as per-item peeks.
+func (s *Session) PeekBatchCtx(ctx context.Context, items []dbg.PlanItem) ([]uint64, error) {
+	if len(items) == 0 {
+		return nil, nil
+	}
+	if s.c.Version() < 2 {
+		vals := make([]uint64, len(items))
+		for i, it := range items {
+			req := &wire.Request{Op: wire.OpPeek, Name: it.Name}
+			if it.Mem {
+				req = &wire.Request{Op: wire.OpPeekMem, Name: it.Name, Addr: it.Addr}
+			}
+			resp, err := s.callCtx(ctx, req)
+			if err != nil {
+				return vals, err
+			}
+			vals[i] = resp.Value
+		}
+		return vals, nil
+	}
+	wi := make([]wire.BatchItem, len(items))
+	for i, it := range items {
+		wi[i] = wire.BatchItem{Name: it.Name, Mem: it.Mem, Addr: it.Addr}
+	}
+	resp, err := s.callCtx(ctx, &wire.Request{Op: wire.OpPeekBatch, Items: wi})
+	if resp == nil {
+		return nil, err
+	}
+	vals := resp.Values
+	if len(vals) != len(items) {
+		vals = append(vals, make([]uint64, len(items)-len(vals))...)
+	}
+	return vals, err
+}
+
+// PokeBatch writes several state elements as one wire round trip and
+// one planned read-modify-write pass per SLR on the server's board.
+func (s *Session) PokeBatch(items []dbg.PlanItem) error {
+	return s.PokeBatchCtx(context.Background(), items)
+}
+
+// PokeBatchCtx is PokeBatch under a context, with the same v1 per-item
+// fallback as PeekBatchCtx.
+func (s *Session) PokeBatchCtx(ctx context.Context, items []dbg.PlanItem) error {
+	if len(items) == 0 {
+		return nil
+	}
+	if s.c.Version() < 2 {
+		for _, it := range items {
+			req := &wire.Request{Op: wire.OpPoke, Name: it.Name, Value: it.Value}
+			if it.Mem {
+				req = &wire.Request{Op: wire.OpPokeMem, Name: it.Name, Addr: it.Addr, Value: it.Value}
+			}
+			if _, err := s.callCtx(ctx, req); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	wi := make([]wire.BatchItem, len(items))
+	for i, it := range items {
+		wi[i] = wire.BatchItem{Name: it.Name, Mem: it.Mem, Addr: it.Addr, Value: it.Value}
+	}
+	_, err := s.callCtx(ctx, &wire.Request{Op: wire.OpPokeBatch, Items: wi})
 	return err
 }
 

@@ -1,0 +1,70 @@
+// Package dberr is the debugger's typed error vocabulary: the sentinel
+// errors every layer of the stack — internal/dbg locally, internal/wire
+// and internal/client remotely — classifies debugger failures with. It
+// sits below all of them (no imports besides the standard library) so the
+// facade, the wire protocol and the server can share one set of
+// sentinels without import cycles.
+//
+// The sentinels deliberately carry generic text: user-facing messages are
+// built with E, which formats the exact message the REPL prints while
+// wrapping the sentinel invisibly. errors.Is(err, dberr.ErrIsMemory)
+// works on both sides of the wire, and err.Error() is byte-identical to
+// the historical stringly-typed errors — typed classification without
+// breaking REPL output parity.
+package dberr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinels for the debugger's user-error classes. Match with errors.Is;
+// the message the user sees comes from E, not from these.
+var (
+	// ErrUnknownState: the name resolves to no register or memory.
+	ErrUnknownState = errors.New("dberr: unknown state element")
+	// ErrIsMemory: a register operation named a memory (use PeekMem/PokeMem).
+	ErrIsMemory = errors.New("dberr: state element is a memory")
+	// ErrIsRegister: a memory operation named a register (use Peek/Poke).
+	ErrIsRegister = errors.New("dberr: state element is a register")
+	// ErrOutOfRange: a memory word address is outside [0, depth).
+	ErrOutOfRange = errors.New("dberr: memory address out of range")
+	// ErrNotWatched: a breakpoint names a signal outside the watch list.
+	ErrNotWatched = errors.New("dberr: signal is not watched")
+	// ErrWidthMismatch: a poked value does not fit the register's width.
+	ErrWidthMismatch = errors.New("dberr: value exceeds register width")
+	// ErrPartialBatch: a batched plan failed on some SLRs but returned
+	// values for the rest. Inspect dbg.PartialBatchError for which.
+	ErrPartialBatch = errors.New("dberr: batch partially failed")
+)
+
+// E builds a user-facing error: Error() returns exactly the formatted
+// message (the sentinel's text never leaks into it, keeping remote and
+// local error strings byte-identical), while errors.Is(err, sentinel)
+// still matches through Unwrap.
+func E(sentinel error, format string, args ...any) error {
+	return &wrapped{msg: fmt.Sprintf(format, args...), cause: sentinel}
+}
+
+type wrapped struct {
+	msg   string
+	cause error
+}
+
+func (w *wrapped) Error() string { return w.msg }
+func (w *wrapped) Unwrap() error { return w.cause }
+
+// Sentinel returns the dberr sentinel classifying err, or nil. It is the
+// inverse of E, used by the wire layer to map an error onto its protocol
+// code without string matching.
+func Sentinel(err error) error {
+	for _, s := range []error{
+		ErrUnknownState, ErrIsMemory, ErrIsRegister, ErrOutOfRange,
+		ErrNotWatched, ErrWidthMismatch, ErrPartialBatch,
+	} {
+		if errors.Is(err, s) {
+			return s
+		}
+	}
+	return nil
+}

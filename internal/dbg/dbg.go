@@ -8,12 +8,14 @@
 package dbg
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
 	"time"
 
 	"zoomie/internal/core"
+	"zoomie/internal/dberr"
 	"zoomie/internal/fpga"
 	"zoomie/internal/jtag"
 )
@@ -84,85 +86,68 @@ func (d *Debugger) resolve(name string) (string, bool) {
 // Peek reads a register's value through frame readback. Bare user names
 // are resolved under the "dut." instance automatically.
 func (d *Debugger) Peek(name string) (uint64, error) {
-	flat, ok := d.resolve(name)
-	if !ok {
-		return 0, fmt.Errorf("dbg: no state element %q (wires are not state; read the registers feeding them)", name)
-	}
-	loc, ok := d.Image.Map.Reg(flat)
-	if !ok {
-		return 0, fmt.Errorf("dbg: %q is a memory; use PeekMem", name)
-	}
-	frames, err := d.Cable.ReadbackFrames(loc.Addr.SLR, []int{loc.Addr.Frame})
+	return d.PeekCtx(context.Background(), name)
+}
+
+// PeekCtx is Peek under a context: a one-element frame plan, so the
+// single-signal read shares the batched data path (and its guard
+// semantics) exactly.
+func (d *Debugger) PeekCtx(ctx context.Context, name string) (uint64, error) {
+	vals, err := d.ReadPlan(ctx, []PlanItem{{Name: name}})
 	if err != nil {
 		return 0, err
 	}
-	return getBits(frames[0], loc.Addr.Bit, loc.Width), nil
+	return vals[0], nil
 }
 
 // PeekMem reads one memory word through frame readback.
 func (d *Debugger) PeekMem(name string, addr int) (uint64, error) {
-	flat, ok := d.resolve(name)
-	if !ok {
-		return 0, fmt.Errorf("dbg: no state element %q", name)
-	}
-	loc, ok := d.Image.Map.Mem(flat)
-	if !ok {
-		return 0, fmt.Errorf("dbg: %q is a register; use Peek", name)
-	}
-	if addr < 0 || addr >= loc.Depth {
-		return 0, fmt.Errorf("dbg: %s[%d] out of range (depth %d)", name, addr, loc.Depth)
-	}
-	wa := loc.WordAddr(addr)
-	frames, err := d.Cable.ReadbackFrames(wa.SLR, []int{wa.Frame})
+	return d.PeekMemCtx(context.Background(), name, addr)
+}
+
+// PeekMemCtx is PeekMem under a context.
+func (d *Debugger) PeekMemCtx(ctx context.Context, name string, addr int) (uint64, error) {
+	vals, err := d.ReadPlan(ctx, []PlanItem{{Name: name, Mem: true, Addr: addr}})
 	if err != nil {
 		return 0, err
 	}
-	return getBits(frames[0], wa.Bit, loc.Width), nil
+	return vals[0], nil
 }
 
 // Poke forces a register value through partial reconfiguration
 // (read-modify-write of its frame).
 func (d *Debugger) Poke(name string, v uint64) error {
-	flat, ok := d.resolve(name)
-	if !ok {
-		return fmt.Errorf("dbg: no state element %q", name)
-	}
-	loc, ok := d.Image.Map.Reg(flat)
-	if !ok {
-		return fmt.Errorf("dbg: %q is a memory; use PokeMem", name)
-	}
-	frames, err := d.Cable.ReadbackFrames(loc.Addr.SLR, []int{loc.Addr.Frame})
-	if err != nil {
-		return err
-	}
-	putBits(frames[0], loc.Addr.Bit, loc.Width, v)
-	return d.Cable.WritebackFrames(loc.Addr.SLR, []int{loc.Addr.Frame}, frames)
+	return d.PokeCtx(context.Background(), name, v)
+}
+
+// PokeCtx is Poke under a context.
+func (d *Debugger) PokeCtx(ctx context.Context, name string, v uint64) error {
+	return d.WritePlan(ctx, []PlanItem{{Name: name, Value: v}})
 }
 
 // PokeMem forces one memory word.
 func (d *Debugger) PokeMem(name string, addr int, v uint64) error {
-	flat, ok := d.resolve(name)
-	if !ok {
-		return fmt.Errorf("dbg: no state element %q", name)
-	}
-	loc, ok := d.Image.Map.Mem(flat)
-	if !ok {
-		return fmt.Errorf("dbg: %q is a register; use Poke", name)
-	}
-	if addr < 0 || addr >= loc.Depth {
-		return fmt.Errorf("dbg: %s[%d] out of range (depth %d)", name, addr, loc.Depth)
-	}
-	wa := loc.WordAddr(addr)
-	frames, err := d.Cable.ReadbackFrames(wa.SLR, []int{wa.Frame})
-	if err != nil {
-		return err
-	}
-	putBits(frames[0], wa.Bit, loc.Width, v)
-	return d.Cable.WritebackFrames(wa.SLR, []int{wa.Frame}, frames)
+	return d.PokeMemCtx(context.Background(), name, addr, v)
+}
+
+// PokeMemCtx is PokeMem under a context.
+func (d *Debugger) PokeMemCtx(ctx context.Context, name string, addr int, v uint64) error {
+	return d.WritePlan(ctx, []PlanItem{{Name: name, Mem: true, Addr: addr, Value: v}})
 }
 
 // ctl pokes a Debug Controller register.
 func (d *Debugger) ctl(reg string, v uint64) error { return d.Poke(d.Meta.Reg(reg), v) }
+
+// ctlBatch pokes several Debug Controller registers in one write plan —
+// the controller's registers share a handful of frames, so grouped
+// writes cost two cable operations instead of two per register.
+func (d *Debugger) ctlBatch(regs []string, vals []uint64) error {
+	items := make([]PlanItem, len(regs))
+	for i, r := range regs {
+		items[i] = PlanItem{Name: d.Meta.Reg(r), Value: vals[i]}
+	}
+	return d.WritePlan(context.Background(), items)
+}
 
 // Pause halts the MUT from the host, like hitting Ctrl-C in gdb. The
 // design stops on the next clock edge.
@@ -176,12 +161,9 @@ func (d *Debugger) Pause() error {
 
 // Resume clears every pause source and lets the design run freely.
 func (d *Debugger) Resume() error {
-	for _, r := range []string{core.RegStepArm, core.RegPauseReq, core.RegPaused} {
-		if err := d.ctl(r, 0); err != nil {
-			return err
-		}
-	}
-	return nil
+	return d.ctlBatch(
+		[]string{core.RegStepArm, core.RegPauseReq, core.RegPaused},
+		[]uint64{0, 0, 0})
 }
 
 // Paused reports whether the Debug Controller holds the design.
@@ -195,16 +177,14 @@ func (d *Debugger) Step(n int) error {
 	if n <= 0 {
 		return fmt.Errorf("dbg: step count must be positive")
 	}
-	if err := d.ctl(core.RegStepCnt, uint64(n)); err != nil {
-		return err
-	}
-	if err := d.ctl(core.RegStepArm, 1); err != nil {
-		return err
-	}
-	if err := d.ctl(core.RegPauseReq, 0); err != nil {
-		return err
-	}
-	if err := d.ctl(core.RegPaused, 0); err != nil {
+	// One planned write for the whole arming sequence: the four controller
+	// registers share frames, so this is one readback + one writeback
+	// instead of four of each — the difference the batch experiment
+	// measures on step-heavy watchpoint sweeps.
+	err := d.ctlBatch(
+		[]string{core.RegStepCnt, core.RegStepArm, core.RegPauseReq, core.RegPaused},
+		[]uint64{uint64(n), 1, 0, 0})
+	if err != nil {
 		return err
 	}
 	d.Run(n + 2)
@@ -241,41 +221,34 @@ const (
 func (d *Debugger) SetValueBreakpoint(signal string, value uint64, mode BreakMode) error {
 	idx := d.Meta.WatchIndex(signal)
 	if idx < 0 {
-		return fmt.Errorf("dbg: %q is not a watched signal (watches: %v)", signal, d.watchNames())
-	}
-	if err := d.ctl(core.RegRefVal(idx), value); err != nil {
-		return err
+		return dberr.E(dberr.ErrNotWatched,
+			"dbg: %q is not a watched signal (watches: %v)", signal, d.watchNames())
 	}
 	switch mode {
 	case BreakAll:
-		if err := d.ctl(core.RegAndMask(idx), 1); err != nil {
-			return err
-		}
-		return d.ctl(core.RegAndSel, 1)
+		return d.ctlBatch(
+			[]string{core.RegRefVal(idx), core.RegAndMask(idx), core.RegAndSel},
+			[]uint64{value, 1, 1})
 	case BreakAny:
-		if err := d.ctl(core.RegOrMask(idx), 1); err != nil {
-			return err
-		}
-		return d.ctl(core.RegOrSel, 1)
+		return d.ctlBatch(
+			[]string{core.RegRefVal(idx), core.RegOrMask(idx), core.RegOrSel},
+			[]uint64{value, 1, 1})
 	default:
 		return fmt.Errorf("dbg: unknown break mode %d", mode)
 	}
 }
 
-// ClearBreakpoints disarms every value breakpoint.
+// ClearBreakpoints disarms every value breakpoint in one planned write.
 func (d *Debugger) ClearBreakpoints() error {
+	var regs []string
+	var vals []uint64
 	for i := range d.Meta.Watches {
-		if err := d.ctl(core.RegAndMask(i), 0); err != nil {
-			return err
-		}
-		if err := d.ctl(core.RegOrMask(i), 0); err != nil {
-			return err
-		}
+		regs = append(regs, core.RegAndMask(i), core.RegOrMask(i))
+		vals = append(vals, 0, 0)
 	}
-	if err := d.ctl(core.RegAndSel, 0); err != nil {
-		return err
-	}
-	return d.ctl(core.RegOrSel, 0)
+	regs = append(regs, core.RegAndSel, core.RegOrSel)
+	vals = append(vals, 0, 0)
+	return d.ctlBatch(regs, vals)
 }
 
 // EnableAssertion turns an assertion breakpoint on or off dynamically.

@@ -1,7 +1,9 @@
 package dbg
 
 import (
+	"context"
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -46,6 +48,12 @@ func (d *Debugger) stateUnder(prefix string) (regs, mems []string) {
 // the GSR mask first — partial reconfiguration leaves it set and readback
 // would be silently wrong otherwise.
 func (d *Debugger) Snapshot(prefix string) (*Snapshot, error) {
+	return d.SnapshotCtx(context.Background(), prefix)
+}
+
+// SnapshotCtx is Snapshot under a context: cancellation aborts between
+// (and, on the cable, within) the per-SLR coalesced readbacks.
+func (d *Debugger) SnapshotCtx(ctx context.Context, prefix string) (*Snapshot, error) {
 	prefix = d.qualifyPrefix(prefix)
 	regs, mems := d.stateUnder(prefix)
 	if len(regs) == 0 && len(mems) == 0 {
@@ -62,18 +70,11 @@ func (d *Debugger) Snapshot(prefix string) (*Snapshot, error) {
 	for _, n := range mems {
 		names[n] = true
 	}
-	perSLR := d.Image.Map.FramesTouched(names)
 
-	// Read each SLR once; index frames for parsing.
-	frameData := make(map[[2]int][]uint32)
-	for slr, frames := range perSLR {
-		data, err := d.Cable.ReadbackFrames(slr, frames)
-		if err != nil {
-			return nil, err
-		}
-		for i, f := range frames {
-			frameData[[2]int{slr, f}] = data[i]
-		}
+	// Read each SLR once through the plan core; index frames for parsing.
+	frameData, err := d.readFrameSet(ctx, d.Image.Map.FramesTouched(names))
+	if err != nil {
+		return nil, err
 	}
 
 	snap := &Snapshot{
@@ -109,14 +110,19 @@ func (d *Debugger) Snapshot(prefix string) (*Snapshot, error) {
 // mismatching entries rewritten — catching corruption that slips in
 // between the transport's own verify-after-write and the final state.
 func (d *Debugger) Restore(snap *Snapshot) error {
-	if err := d.restoreOnce(snap); err != nil {
+	return d.RestoreCtx(context.Background(), snap)
+}
+
+// RestoreCtx is Restore under a context.
+func (d *Debugger) RestoreCtx(ctx context.Context, snap *Snapshot) error {
+	if err := d.restoreOnce(ctx, snap); err != nil {
 		return err
 	}
 	if !d.Cable.Guarded() {
 		return nil
 	}
 	for attempt := 0; ; attempt++ {
-		bad, err := d.restoreMismatch(snap)
+		bad, err := d.restoreMismatch(ctx, snap)
 		if err != nil {
 			return err
 		}
@@ -127,7 +133,7 @@ func (d *Debugger) Restore(snap *Snapshot) error {
 			return fmt.Errorf("%w: %d snapshot entries failed semantic verification after restore",
 				jtag.ErrVerify, len(bad.Regs)+len(bad.Mems))
 		}
-		if err := d.restoreOnce(bad); err != nil {
+		if err := d.restoreOnce(ctx, bad); err != nil {
 			return err
 		}
 	}
@@ -136,7 +142,7 @@ func (d *Debugger) Restore(snap *Snapshot) error {
 // restoreMismatch re-reads every frame the snapshot touches and returns a
 // filtered snapshot holding only the entries whose board state disagrees
 // with the snapshot — nil when everything matches.
-func (d *Debugger) restoreMismatch(snap *Snapshot) (*Snapshot, error) {
+func (d *Debugger) restoreMismatch(ctx context.Context, snap *Snapshot) (*Snapshot, error) {
 	names := make(map[string]bool, len(snap.Regs)+len(snap.Mems))
 	for n := range snap.Regs {
 		names[n] = true
@@ -144,15 +150,9 @@ func (d *Debugger) restoreMismatch(snap *Snapshot) (*Snapshot, error) {
 	for n := range snap.Mems {
 		names[n] = true
 	}
-	frameData := make(map[[2]int][]uint32)
-	for slr, frames := range d.Image.Map.FramesTouched(names) {
-		data, err := d.Cable.ReadbackFrames(slr, frames)
-		if err != nil {
-			return nil, err
-		}
-		for i, f := range frames {
-			frameData[[2]int{slr, f}] = data[i]
-		}
+	frameData, err := d.readFrameSet(ctx, d.Image.Map.FramesTouched(names))
+	if err != nil {
+		return nil, err
 	}
 	bad := &Snapshot{
 		Scope: snap.Scope,
@@ -183,7 +183,7 @@ func (d *Debugger) restoreMismatch(snap *Snapshot) (*Snapshot, error) {
 }
 
 // restoreOnce performs one read-modify-write restore pass.
-func (d *Debugger) restoreOnce(snap *Snapshot) error {
+func (d *Debugger) restoreOnce(ctx context.Context, snap *Snapshot) error {
 	names := make(map[string]bool, len(snap.Regs)+len(snap.Mems))
 	for n := range snap.Regs {
 		if _, ok := d.Image.Map.Reg(n); !ok {
@@ -203,11 +203,17 @@ func (d *Debugger) restoreOnce(snap *Snapshot) error {
 		names[n] = true
 	}
 	perSLR := d.Image.Map.FramesTouched(names)
+	slrs := make([]int, 0, len(perSLR))
+	for slr := range perSLR {
+		slrs = append(slrs, slr)
+	}
+	sort.Ints(slrs)
 
-	// Read-modify-write per SLR: fetch the touched frames, patch every
-	// snapshot value in, write them back.
-	for slr, frames := range perSLR {
-		data, err := d.Cable.ReadbackFrames(slr, frames)
+	// Read-modify-write per SLR in sorted order: fetch the touched
+	// frames, patch every snapshot value in, write them back.
+	for _, slr := range slrs {
+		frames := perSLR[slr]
+		data, err := d.Cable.ReadbackFramesCtx(ctx, slr, frames)
 		if err != nil {
 			return err
 		}
@@ -232,7 +238,7 @@ func (d *Debugger) restoreOnce(snap *Snapshot) error {
 				putBits(index[wa.Frame], wa.Bit, loc.Width, v)
 			}
 		}
-		if err := d.Cable.WritebackFrames(slr, frames, data); err != nil {
+		if err := d.Cable.WritebackFramesCtx(ctx, slr, frames, data); err != nil {
 			return err
 		}
 	}

@@ -1,9 +1,12 @@
 package dbg
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"strings"
+
+	"zoomie/internal/dberr"
 )
 
 // StepTrace is a waveform reconstructed by single-stepping: one row of
@@ -20,33 +23,37 @@ type StepTrace struct {
 // TraceSteps single-steps the paused design `steps` times, reading the
 // named registers through frame readback after every cycle (plus the
 // initial state). Any register of the design may be traced — the probe
-// set is chosen at run time.
+// set is chosen at run time. Each cycle's samples come back in one
+// planned readback, however many signals are traced.
 func (d *Debugger) TraceSteps(signals []string, steps int) (*StepTrace, error) {
+	return d.TraceStepsCtx(context.Background(), signals, steps)
+}
+
+// TraceStepsCtx is TraceSteps under a context.
+func (d *Debugger) TraceStepsCtx(ctx context.Context, signals []string, steps int) (*StepTrace, error) {
 	if paused, err := d.Paused(); err != nil {
 		return nil, err
 	} else if !paused {
 		return nil, fmt.Errorf("dbg: step tracing requires a paused design")
 	}
 	tr := &StepTrace{Signals: append([]string(nil), signals...)}
-	for _, s := range signals {
+	items := make([]PlanItem, len(signals))
+	for i, s := range signals {
 		flat, ok := d.resolve(s)
 		if !ok {
-			return nil, fmt.Errorf("dbg: no state element %q", s)
+			return nil, dberr.E(dberr.ErrUnknownState, "dbg: no state element %q", s)
 		}
 		loc, ok := d.Image.Map.Reg(flat)
 		if !ok {
-			return nil, fmt.Errorf("dbg: %q is not a register", s)
+			return nil, dberr.E(dberr.ErrIsMemory, "dbg: %q is not a register", s)
 		}
 		tr.Widths = append(tr.Widths, loc.Width)
+		items[i] = PlanItem{Name: s}
 	}
 	sample := func() error {
-		row := make([]uint64, len(signals))
-		for i, s := range signals {
-			v, err := d.Peek(s)
-			if err != nil {
-				return err
-			}
-			row[i] = v
+		row, err := d.ReadPlan(ctx, items)
+		if err != nil {
+			return err
 		}
 		tr.Rows = append(tr.Rows, row)
 		return nil
@@ -55,6 +62,9 @@ func (d *Debugger) TraceSteps(signals []string, steps int) (*StepTrace, error) {
 		return nil, err
 	}
 	for i := 0; i < steps; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if err := d.Step(1); err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package dbg
 
 import (
+	"context"
 	"fmt"
 
 	"zoomie/internal/core"
@@ -48,6 +49,53 @@ func (d *Debugger) WaitChange(signal string, maxCycles int) (oldV, newV uint64, 
 		}
 	}
 	return oldV, oldV, cycles, fmt.Errorf("dbg: %q did not change within %d cycles", signal, maxCycles)
+}
+
+// WaitChangeMulti is the batched watchpoint: it steps the paused design
+// forward until ANY of the named registers changes value, sampling every
+// signal with one planned readback per step instead of one cable
+// round-trip per signal. Returns the signal index that changed first (the
+// lowest index when several change in the same window), the before/after
+// values of every signal, and the cycles executed.
+func (d *Debugger) WaitChangeMulti(ctx context.Context, signals []string, maxCycles int) (changed int, oldVals, newVals []uint64, cycles int, err error) {
+	paused, err := d.Paused()
+	if err != nil {
+		return -1, nil, nil, 0, err
+	}
+	if !paused {
+		return -1, nil, nil, 0, fmt.Errorf("dbg: watchpoints require a paused design (call Pause first)")
+	}
+	oldVals, err = d.PeekBatchCtx(ctx, signals)
+	if err != nil {
+		return -1, nil, nil, 0, err
+	}
+	step := 1
+	for cycles < maxCycles {
+		if err := ctx.Err(); err != nil {
+			return -1, oldVals, nil, cycles, err
+		}
+		if step > maxCycles-cycles {
+			step = maxCycles - cycles
+		}
+		if err := d.Step(step); err != nil {
+			return -1, oldVals, nil, cycles, err
+		}
+		cycles += step
+		newVals, err = d.PeekBatchCtx(ctx, signals)
+		if err != nil {
+			return -1, oldVals, nil, cycles, err
+		}
+		for i := range signals {
+			if newVals[i] != oldVals[i] {
+				return i, oldVals, newVals, cycles, nil
+			}
+		}
+		if step < 64 {
+			step *= 2
+		}
+	}
+	return -1, oldVals, oldVals, cycles,
+		fmt.Errorf("dbg: no signal of %v changed within %d cycles", signals, maxCycles)
 }
 
 // PeriodicSnapshots pauses the design and captures `count` snapshots of
@@ -126,20 +174,21 @@ func (d *Debugger) HideBugAndContinue(fixes map[string]uint64) error {
 // ArmedBreakpoints reports the currently armed value-breakpoint indices
 // and modes by reading the trigger unit's mask registers back — the host
 // can always reconstruct the debug configuration from the design itself.
+// All mask registers come back in one planned readback.
 func (d *Debugger) ArmedBreakpoints() (all []string, anyOf []string, err error) {
+	var names []string
+	for i := range d.Meta.Watches {
+		names = append(names, d.Meta.Reg(core.RegAndMask(i)), d.Meta.Reg(core.RegOrMask(i)))
+	}
+	vals, err := d.PeekBatch(names)
+	if err != nil {
+		return nil, nil, err
+	}
 	for i, w := range d.Meta.Watches {
-		am, err := d.Peek(d.Meta.Reg(core.RegAndMask(i)))
-		if err != nil {
-			return nil, nil, err
-		}
-		om, err := d.Peek(d.Meta.Reg(core.RegOrMask(i)))
-		if err != nil {
-			return nil, nil, err
-		}
-		if am != 0 {
+		if vals[2*i] != 0 {
 			all = append(all, w.Signal)
 		}
-		if om != 0 {
+		if vals[2*i+1] != 0 {
 			anyOf = append(anyOf, w.Signal)
 		}
 	}

@@ -189,8 +189,9 @@ type Injector struct {
 	profile Profile
 	backend bitstream.Backend
 
-	mu  sync.Mutex // guards rng
-	rng *rand.Rand
+	mu         sync.Mutex // guards rng and wedgedSLRs
+	rng        *rand.Rand
+	wedgedSLRs map[int]bool // SLRs wedged via WedgeSLR
 
 	ops    int64 // atomic
 	wedged int32 // atomic; 1 once the board stops responding
@@ -227,6 +228,36 @@ func (in *Injector) Wedge() { atomic.StoreInt32(&in.wedged, 1) }
 
 // Wedged reports whether the board has stopped responding.
 func (in *Injector) Wedged() bool { return atomic.LoadInt32(&in.wedged) == 1 }
+
+// WedgeSLR wedges one SLR's configuration microcontroller while the rest
+// of the chiplet ring keeps responding — the failure mode a partial-batch
+// plan must survive. Operations targeting the wedged SLR fail with
+// ErrWedged; other SLRs are untouched.
+func (in *Injector) WedgeSLR(slr int) {
+	in.mu.Lock()
+	if in.wedgedSLRs == nil {
+		in.wedgedSLRs = make(map[int]bool)
+	}
+	in.wedgedSLRs[slr] = true
+	in.mu.Unlock()
+}
+
+// slrWedged reports whether a specific SLR has been wedged via WedgeSLR.
+func (in *Injector) slrWedged(slr int) bool {
+	in.mu.Lock()
+	w := in.wedgedSLRs[slr]
+	in.mu.Unlock()
+	return w
+}
+
+// slrOp combines the per-SLR wedge check with the shared per-op checks.
+func (in *Injector) slrOp(slr int) error {
+	if in.slrWedged(slr) {
+		atomic.AddInt64(&in.stats.wedgedCalls, 1)
+		return fmt.Errorf("%w (slr %d)", ErrWedged, slr)
+	}
+	return in.op()
+}
 
 // Stats snapshots the injected-fault counters.
 func (in *Injector) Stats() Stats {
@@ -307,7 +338,7 @@ func (in *Injector) IDCode(slr int) uint32 { return in.backend.IDCode(slr) }
 // ReadFrame reads through the flaky link: the board's true frame data may
 // come back with bit flips.
 func (in *Injector) ReadFrame(slr, frame int) ([]uint32, error) {
-	if err := in.op(); err != nil {
+	if err := in.slrOp(slr); err != nil {
 		return nil, err
 	}
 	data, err := in.backend.ReadFrame(slr, frame)
@@ -324,7 +355,7 @@ func (in *Injector) ReadFrame(slr, frame int) ([]uint32, error) {
 // flight, silently dropped, or applied twice (a retransmission, each leg
 // rolling corruption independently — the later application wins).
 func (in *Injector) WriteFrame(slr, frame int, data []uint32) error {
-	if err := in.op(); err != nil {
+	if err := in.slrOp(slr); err != nil {
 		return err
 	}
 	if in.profile.Drop > 0 && in.roll() < in.profile.Drop {
@@ -353,7 +384,7 @@ func (in *Injector) WriteFrame(slr, frame int, data []uint32) error {
 
 // WriteCTL passes a control write through the per-op fault checks.
 func (in *Injector) WriteCTL(slr int, v uint32) error {
-	if err := in.op(); err != nil {
+	if err := in.slrOp(slr); err != nil {
 		return err
 	}
 	return in.backend.WriteCTL(slr, v)
@@ -361,7 +392,7 @@ func (in *Injector) WriteCTL(slr int, v uint32) error {
 
 // WriteMask passes a mask write through the per-op fault checks.
 func (in *Injector) WriteMask(slr int, v uint32) error {
-	if err := in.op(); err != nil {
+	if err := in.slrOp(slr); err != nil {
 		return err
 	}
 	return in.backend.WriteMask(slr, v)

@@ -18,6 +18,7 @@
 package jtag
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -153,6 +154,8 @@ type CableStats struct {
 	ReReads     int64 // extra frame reads issued until two copies agreed
 	Rewrites    int64 // frames rewritten after CRC verify-after-write failed
 	VerifyFails int64 // operations abandoned with ErrVerify
+	Readbacks   int64 // ReadbackFrames calls (logical readback operations)
+	Writebacks  int64 // WritebackFrames calls (logical writeback operations)
 }
 
 // Cable is the host's handle on the board's configuration port.
@@ -163,13 +166,15 @@ type Cable struct {
 	guard bool
 	retry RetryPolicy
 
-	jmu sync.Mutex // guards jrng (jitter only; never on the clean path)
+	jmu  sync.Mutex // guards jrng (jitter only; never on the clean path)
 	jrng *rand.Rand
 
 	retries     int64 // atomic
 	reReads     int64 // atomic
 	rewrites    int64 // atomic
 	verifyFails int64 // atomic
+	readbacks   int64 // atomic
+	writebacks  int64 // atomic
 }
 
 // Connect attaches a cable to a board using the default cost model and
@@ -217,6 +222,8 @@ func (c *Cable) Stats() CableStats {
 		ReReads:     atomic.LoadInt64(&c.reReads),
 		Rewrites:    atomic.LoadInt64(&c.rewrites),
 		VerifyFails: atomic.LoadInt64(&c.verifyFails),
+		Readbacks:   atomic.LoadInt64(&c.readbacks),
+		Writebacks:  atomic.LoadInt64(&c.writebacks),
 	}
 }
 
@@ -225,19 +232,29 @@ func (c *Cable) Stats() CableStats {
 // up to the retry budget and operation deadline; wedged-board errors fail
 // fast so the caller can quarantine.
 func (c *Cable) Execute(stream []uint32) ([]uint32, error) {
+	return c.ExecuteCtx(context.Background(), stream)
+}
+
+// ExecuteCtx is Execute under a context: cancellation interrupts both the
+// stream interpretation (between frames of a coalesced read or write) and
+// the guarded transport's backoff sleeps, returning ctx.Err() promptly.
+func (c *Cable) ExecuteCtx(ctx context.Context, stream []uint32) ([]uint32, error) {
 	if !c.guard {
-		return c.Chain.Execute(stream)
+		return c.Chain.ExecuteCtx(ctx, stream)
 	}
-	return c.executeGuarded(stream, time.Now().Add(c.retry.Deadline))
+	return c.executeGuarded(ctx, stream, time.Now().Add(c.retry.Deadline))
 }
 
 // executeGuarded retries transient failures of one stream execution.
-func (c *Cable) executeGuarded(stream []uint32, deadline time.Time) ([]uint32, error) {
+func (c *Cable) executeGuarded(ctx context.Context, stream []uint32, deadline time.Time) ([]uint32, error) {
 	var lastErr error
 	for attempt := 0; ; attempt++ {
-		out, err := c.Chain.Execute(stream)
+		out, err := c.Chain.ExecuteCtx(ctx, stream)
 		if err == nil {
 			return out, nil
+		}
+		if ctx.Err() != nil {
+			return nil, ctx.Err() // cancelled mid-stream: do not retry
 		}
 		if errors.Is(err, faults.ErrWedged) {
 			return nil, err // retrying a wedged board is pointless
@@ -253,7 +270,26 @@ func (c *Cable) executeGuarded(stream []uint32, deadline time.Time) ([]uint32, e
 			return nil, fmt.Errorf("%w: %v", ErrDeadline, lastErr)
 		}
 		atomic.AddInt64(&c.retries, 1)
-		time.Sleep(c.backoff(attempt))
+		if err := sleepCtx(ctx, c.backoff(attempt)); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// sleepCtx sleeps for d or until the context is cancelled, whichever
+// comes first — the ctx-aware replacement for time.Sleep in retry loops.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if ctx.Done() == nil {
+		time.Sleep(d) // no cancellation possible; skip the timer machinery
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
 	}
 }
 
@@ -295,14 +331,14 @@ func (c *Cable) readbackStream(slr int, frames []int) []uint32 {
 }
 
 // readbackOnce executes one readback pass and splits the payload.
-func (c *Cable) readbackOnce(slr int, frames []int, deadline time.Time) ([][]uint32, error) {
+func (c *Cable) readbackOnce(ctx context.Context, slr int, frames []int, deadline time.Time) ([][]uint32, error) {
 	stream := c.readbackStream(slr, frames)
 	var words []uint32
 	var err error
 	if c.guard {
-		words, err = c.executeGuarded(stream, deadline)
+		words, err = c.executeGuarded(ctx, stream, deadline)
 	} else {
-		words, err = c.Chain.Execute(stream)
+		words, err = c.Chain.ExecuteCtx(ctx, stream)
 	}
 	if err != nil {
 		return nil, err
@@ -325,13 +361,26 @@ func (c *Cable) readbackOnce(slr int, frames []int, deadline time.Time) ([][]uin
 // once", "only the regions that contain the MUT"). Under guard the read
 // is verified: see ReadbackFramesVerified.
 func (c *Cable) ReadbackFrames(slr int, frames []int) ([][]uint32, error) {
+	return c.ReadbackFramesCtx(context.Background(), slr, frames)
+}
+
+// ReadbackFramesCtx is ReadbackFrames under a context: cancellation
+// aborts the coalesced read between frames and interrupts any guard
+// retries, returning ctx.Err().
+func (c *Cable) ReadbackFramesCtx(ctx context.Context, slr int, frames []int) ([][]uint32, error) {
 	if len(frames) == 0 {
 		return nil, nil
 	}
-	if c.guard {
-		return c.ReadbackFramesVerified(slr, frames)
+	// An already-cancelled operation never reaches the cable, so it does
+	// not count as a logical readback.
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
-	return c.readbackOnce(slr, frames, time.Time{})
+	atomic.AddInt64(&c.readbacks, 1)
+	if c.guard {
+		return c.readbackVerified(ctx, slr, frames)
+	}
+	return c.readbackOnce(ctx, slr, frames, time.Time{})
 }
 
 // verifyBudget bounds the verification loops. It is deliberately larger
@@ -352,8 +401,12 @@ func (c *Cable) verifyBudget() int { return 4 * c.retry.MaxRetries }
 // readback (the configuration plane owns the clock), so words confirmed
 // by different read pairs belong to one consistent frame.
 func (c *Cable) ReadbackFramesVerified(slr int, frames []int) ([][]uint32, error) {
+	return c.readbackVerified(context.Background(), slr, frames)
+}
+
+func (c *Cable) readbackVerified(ctx context.Context, slr int, frames []int) ([][]uint32, error) {
 	deadline := time.Now().Add(c.retry.Deadline)
-	prev, err := c.readbackOnce(slr, frames, deadline)
+	prev, err := c.readbackOnce(ctx, slr, frames, deadline)
 	if err != nil {
 		return nil, err
 	}
@@ -368,6 +421,9 @@ func (c *Cable) ReadbackFramesVerified(slr int, frames []int) ([][]uint32, error
 		pending[i] = i
 	}
 	for attempt := 0; len(pending) > 0; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if attempt > c.verifyBudget() {
 			atomic.AddInt64(&c.verifyFails, 1)
 			return nil, fmt.Errorf("%w: %d frames of SLR %d never fully agreed across consecutive reads",
@@ -381,7 +437,7 @@ func (c *Cable) ReadbackFramesVerified(slr int, frames []int) ([][]uint32, error
 		for i, p := range pending {
 			sub[i] = frames[p]
 		}
-		cur, err := c.readbackOnce(slr, sub, deadline)
+		cur, err := c.readbackOnce(ctx, slr, sub, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -425,14 +481,26 @@ func (c *Cable) writebackStream(slr int, frames []int, data [][]uint32) []uint32
 // stick or the retry budget runs out. This is what keeps flipped,
 // dropped and duplicated writes from silently poisoning design state.
 func (c *Cable) WritebackFrames(slr int, frames []int, data [][]uint32) error {
+	return c.WritebackFramesCtx(context.Background(), slr, frames, data)
+}
+
+// WritebackFramesCtx is WritebackFrames under a context: cancellation
+// aborts the write between frames and interrupts the verify-after-write
+// loop, returning ctx.Err().
+func (c *Cable) WritebackFramesCtx(ctx context.Context, slr int, frames []int, data [][]uint32) error {
 	if len(frames) != len(data) {
 		return fmt.Errorf("jtag: %d frame addresses but %d frames", len(frames), len(data))
 	}
 	if len(frames) == 0 {
 		return nil
 	}
+	// As in ReadbackFramesCtx: cancelled before the cable, not counted.
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	atomic.AddInt64(&c.writebacks, 1)
 	if !c.guard {
-		_, err := c.Chain.Execute(c.writebackStream(slr, frames, data))
+		_, err := c.Chain.ExecuteCtx(ctx, c.writebackStream(slr, frames, data))
 		return err
 	}
 	deadline := time.Now().Add(c.retry.Deadline)
@@ -442,10 +510,13 @@ func (c *Cable) WritebackFrames(slr int, frames []int, data [][]uint32) error {
 	}
 	pendF, pendD, pendCRC := frames, data, wantCRC
 	for attempt := 0; ; attempt++ {
-		if _, err := c.executeGuarded(c.writebackStream(slr, pendF, pendD), deadline); err != nil {
+		if err := ctx.Err(); err != nil {
 			return err
 		}
-		readback, err := c.ReadbackFramesVerified(slr, pendF)
+		if _, err := c.executeGuarded(ctx, c.writebackStream(slr, pendF, pendD), deadline); err != nil {
+			return err
+		}
+		readback, err := c.readbackVerified(ctx, slr, pendF)
 		if err != nil {
 			return err
 		}
@@ -502,12 +573,17 @@ func (c *Cable) ClearGSRMask() error {
 // state is touched. (An IDCODE read would not do: identity queries are
 // shape passthroughs that bypass the fault seam entirely.)
 func (c *Cable) Probe() error {
+	return c.ProbeCtx(context.Background())
+}
+
+// ProbeCtx is Probe under a context.
+func (c *Cable) ProbeCtx(ctx context.Context) error {
 	slr := c.Board.Device.Primary
 	if !c.guard {
-		_, err := c.readbackOnce(slr, []int{0}, time.Time{})
+		_, err := c.readbackOnce(ctx, slr, []int{0}, time.Time{})
 		return err
 	}
-	_, err := c.readbackOnce(slr, []int{0}, time.Now().Add(c.retry.Deadline))
+	_, err := c.readbackOnce(ctx, slr, []int{0}, time.Now().Add(c.retry.Deadline))
 	return err
 }
 

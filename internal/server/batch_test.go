@@ -1,0 +1,147 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"zoomie/internal/client"
+	"zoomie/internal/dberr"
+	"zoomie/internal/dbg"
+	"zoomie/internal/server"
+	"zoomie/internal/wire"
+)
+
+// TestRemoteBatch drives the v2 batch ops end to end: one round trip
+// reads several aliases of a register consistently, one round trip
+// forces a value, and the typed dberr classification survives the wire —
+// errors.Is gives the same answers as against a local Debugger, with the
+// message text unchanged.
+func TestRemoteBatch(t *testing.T) {
+	_, addr := startServer(t, server.Config{PoolSize: 1})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != wire.Version {
+		t.Fatalf("negotiated version %d, want %d", c.Version(), wire.Version)
+	}
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sess.PokeBatch([]dbg.PlanItem{{Name: "cnt", Value: 777}}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := sess.PeekBatch([]dbg.PlanItem{{Name: "cnt"}, {Name: "dut.cnt"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 777 || vals[1] != 777 {
+		t.Errorf("batched peek = %v, want [777 777]", vals)
+	}
+
+	// Typed errors across the wire.
+	_, err = sess.PeekBatch([]dbg.PlanItem{{Name: "cnt"}, {Name: "nosuchreg"}})
+	if !errors.Is(err, dberr.ErrUnknownState) {
+		t.Errorf("remote unknown name: errors.Is(ErrUnknownState) = false for %v", err)
+	}
+	wantMsg := `dbg: no state element "nosuchreg" (wires are not state; read the registers feeding them)`
+	if err == nil || err.Error() != wantMsg {
+		t.Errorf("remote error text changed:\n got %q\nwant %q", err, wantMsg)
+	}
+	if _, err := sess.PeekMem("cnt", 0); !errors.Is(err, dberr.ErrIsRegister) {
+		t.Errorf("remote PeekMem on register: errors.Is(ErrIsRegister) = false for %v", err)
+	}
+	if err := sess.PokeBatch([]dbg.PlanItem{{Name: "cnt", Value: 1 << 20}}); !errors.Is(err, dberr.ErrWidthMismatch) {
+		t.Errorf("remote oversized poke: errors.Is(ErrWidthMismatch) = false for %v", err)
+	}
+}
+
+// TestRemoteBatchCancellation: a context cancelled client-side aborts the
+// wait promptly and classifies as context.Canceled, exactly like the
+// local PeekBatchCtx.
+func TestRemoteBatchCancellation(t *testing.T) {
+	_, addr := startServer(t, server.Config{PoolSize: 1})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sess.PeekBatchCtx(ctx, []dbg.PlanItem{{Name: "cnt"}})
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled remote batch returned %v, want context.Canceled", err)
+	}
+	if errors.Is(err, dberr.ErrPartialBatch) {
+		t.Error("remote cancellation misclassified as a partial batch")
+	}
+	// The connection is still healthy after a cancellation.
+	if v, err := sess.Peek("cnt"); err != nil {
+		t.Fatalf("peek after cancellation: %v", err)
+	} else if _, err := sess.PeekBatch([]dbg.PlanItem{{Name: "cnt"}}); err != nil {
+		t.Fatalf("batch after cancellation: %v (peek said %d)", err, v)
+	}
+}
+
+// TestV1ClientCompat pins the downgrade path: a client offering protocol
+// v1 negotiates v1, its batch API transparently degrades to per-signal
+// round trips, and sending a raw v2 batch op on the v1 connection is
+// refused the same way an old server would refuse it.
+func TestV1ClientCompat(t *testing.T) {
+	_, addr := startServer(t, server.Config{PoolSize: 1})
+	c, err := client.DialOptions(addr, client.Options{ProtocolVersion: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if c.Version() != 1 {
+		t.Fatalf("negotiated version %d, want 1", c.Version())
+	}
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.PokeBatch([]dbg.PlanItem{{Name: "cnt", Value: 55}}); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := sess.PeekBatch([]dbg.PlanItem{{Name: "cnt"}, {Name: "dut.cnt"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) != 2 || vals[0] != 55 || vals[1] != 55 {
+		t.Errorf("v1 fallback peek = %v, want [55 55]", vals)
+	}
+	// Typed errors downgrade to the generic op code for v1 clients but
+	// keep their text.
+	_, err = sess.PeekBatch([]dbg.PlanItem{{Name: "nosuchreg"}})
+	var we *wire.Error
+	if !errors.As(err, &we) || we.Code != wire.CodeOp {
+		t.Errorf("v1 error code = %v, want CodeOp", err)
+	}
+
+	// A raw v2 op on the v1-negotiated connection is an unknown op.
+	_, err = c.CallCtx(context.Background(), &wire.Request{
+		Op: wire.OpPeekBatch, Session: sess.ID,
+		Items: []wire.BatchItem{{Name: "cnt"}},
+	})
+	if !errors.As(err, &we) || we.Code != wire.CodeUnknownOp {
+		t.Errorf("raw v2 op on v1 conn = %v, want CodeUnknownOp", err)
+	}
+}

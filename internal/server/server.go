@@ -9,6 +9,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -122,7 +123,8 @@ func (s *Server) probeLoop() {
 			s.mu.Unlock()
 			for _, sess := range sessions {
 				// Best effort: a busy queue skips this round's probe.
-				sess.enqueue(&wire.Request{Op: opProbe}, func(*wire.Response) {})
+				sess.enqueue(context.Background(), wire.Version,
+					&wire.Request{Op: opProbe}, func(*wire.Response) {})
 			}
 		}
 	}
@@ -372,6 +374,16 @@ type conn struct {
 	out chan *wire.Message
 	wmu sync.Mutex // serializes socket writes (writeLoop vs handshake)
 
+	// version is the negotiated protocol version, set during handshake
+	// before any request is dispatched. Batch ops are refused on v1.
+	version int
+
+	// ctx is cancelled when the connection dies, so a session actor
+	// mid-way through a batched command for this client stops promptly
+	// instead of finishing work nobody will read.
+	ctx    context.Context
+	cancel context.CancelFunc
+
 	dead chan struct{}
 	once sync.Once
 
@@ -381,18 +393,23 @@ type conn struct {
 }
 
 func newConn(s *Server, c net.Conn) *conn {
+	ctx, cancel := context.WithCancel(context.Background())
 	return &conn{
-		srv:  s,
-		c:    c,
-		out:  make(chan *wire.Message, 256),
-		dead: make(chan struct{}),
-		subs: make(map[uint64]bool),
+		srv:    s,
+		c:      c,
+		out:    make(chan *wire.Message, 256),
+		ctx:    ctx,
+		cancel: cancel,
+		dead:   make(chan struct{}),
+		subs:   make(map[uint64]bool),
 	}
 }
 
-// markDead closes the connection exactly once and releases both loops.
+// markDead closes the connection exactly once, cancels its context (so
+// in-flight commands it issued are abandoned), and releases both loops.
 func (c *conn) markDead() {
 	c.once.Do(func() {
+		c.cancel()
 		close(c.dead)
 		c.c.Close()
 	})
@@ -492,11 +509,19 @@ func (c *conn) handshake() bool {
 			Err: wire.Errf(wire.CodeBadRequest, "first frame must be %q", wire.OpHello)}))
 		return false
 	}
-	if m.Req.Version != wire.Version {
+	// Downgrade negotiation: both sides speak min(client, server) as long
+	// as the client is at least MinVersion. The negotiated version comes
+	// back in the hello response; a v1 client sees "1" exactly as a v1
+	// server would have answered.
+	if m.Req.Version < wire.MinVersion {
 		c.writeNow(wire.Resp(&wire.Response{ID: m.Req.ID,
-			Err: wire.Errf(wire.CodeVersion, "protocol version %d, server speaks %d",
-				m.Req.Version, wire.Version)}))
+			Err: wire.Errf(wire.CodeVersion, "protocol version %d, server speaks %d..%d",
+				m.Req.Version, wire.MinVersion, wire.Version)}))
 		return false
+	}
+	c.version = wire.Version
+	if m.Req.Version < c.version {
+		c.version = m.Req.Version
 	}
 	// A hello carrying a client id is a reconnect: the client keeps its
 	// identity so replayed in-flight requests dedupe against the actors'
@@ -508,7 +533,7 @@ func (c *conn) handshake() bool {
 	} else {
 		cid = atomic.AddUint64(&c.srv.nextClient, 1)
 	}
-	c.writeNow(wire.Resp(&wire.Response{ID: m.Req.ID, Version: wire.Version, Client: cid}))
+	c.writeNow(wire.Resp(&wire.Response{ID: m.Req.ID, Version: c.version, Client: cid}))
 	return true
 }
 
@@ -517,7 +542,7 @@ func (c *conn) handshake() bool {
 func (c *conn) dispatch(req *wire.Request) {
 	switch req.Op {
 	case wire.OpHello:
-		c.send(wire.Resp(&wire.Response{ID: req.ID, Version: wire.Version}))
+		c.send(wire.Resp(&wire.Response{ID: req.ID, Version: c.version}))
 	case wire.OpAttach:
 		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
 		c.send(wire.Resp(c.srv.attach(c, req)))
@@ -528,13 +553,22 @@ func (c *conn) dispatch(req *wire.Request) {
 		c.subscribe(req.Session)
 		c.send(wire.Resp(&wire.Response{ID: req.ID, Session: req.Session}))
 	default:
+		// Batch ops arrived in v2; a v1-negotiated connection gets the
+		// same answer a v1 server would give.
+		if c.version < 2 && (req.Op == wire.OpPeekBatch || req.Op == wire.OpPokeBatch) {
+			c.send(wire.Resp(&wire.Response{ID: req.ID,
+				Err: wire.Errf(wire.CodeUnknownOp, "unknown op %q", req.Op)}))
+			return
+		}
 		sess := c.srv.session(req.Session)
 		if sess == nil {
 			c.send(wire.Resp(&wire.Response{ID: req.ID,
 				Err: wire.Errf(wire.CodeNoSession, "no session %d", req.Session)}))
 			return
 		}
-		if werr := sess.enqueue(req, func(resp *wire.Response) { c.send(wire.Resp(resp)) }); werr != nil {
+		werr := sess.enqueue(c.ctx, c.version, req,
+			func(resp *wire.Response) { c.send(wire.Resp(resp)) })
+		if werr != nil {
 			c.send(wire.Resp(&wire.Response{ID: req.ID, Err: werr}))
 		}
 	}

@@ -298,6 +298,9 @@ func TestAttachUnknownAndAllowlist(t *testing.T) {
 
 func TestVersionHandshake(t *testing.T) {
 	_, addr := startServer(t, server.Config{PoolSize: 1})
+
+	// A client newer than the server negotiates down to the server's
+	// version instead of being refused.
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
 		t.Fatal(err)
@@ -310,8 +313,25 @@ func TestVersionHandshake(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.Resp == nil || m.Resp.Err == nil || m.Resp.Err.Code != wire.CodeVersion {
-		t.Fatalf("version mismatch answered with %+v", m)
+	if m.Resp == nil || m.Resp.Err != nil || m.Resp.Version != wire.Version {
+		t.Fatalf("newer client should negotiate down to %d, got %+v", wire.Version, m)
+	}
+
+	// A client older than MinVersion is refused with CodeVersion.
+	nc2, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc2.Close()
+	if _, err := wire.WriteMessage(nc2, wire.Req(&wire.Request{ID: 1, Op: wire.OpHello, Version: wire.MinVersion - 1})); err != nil {
+		t.Fatal(err)
+	}
+	m2, _, err := wire.ReadMessage(nc2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m2.Resp == nil || m2.Resp.Err == nil || m2.Resp.Err.Code != wire.CodeVersion {
+		t.Fatalf("ancient client answered with %+v", m2)
 	}
 }
 

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -8,6 +9,7 @@ import (
 	"time"
 
 	"zoomie"
+	"zoomie/internal/dbg"
 	"zoomie/internal/faults"
 	"zoomie/internal/jtag"
 	"zoomie/internal/wire"
@@ -88,10 +90,17 @@ func (r *replayRing) put(seq uint64, resp *wire.Response) {
 	r.n = (r.n + 1) % replayDepth
 }
 
-// task is one queued command with its completion callback.
+// task is one queued command with its completion callback. ctx is the
+// issuing connection's context: it is cancelled when that client's
+// connection dies, so the actor abandons the command mid-batch instead
+// of finishing cable work nobody will read. ver is the connection's
+// negotiated protocol version, used to downgrade typed error codes for
+// v1 clients.
 type task struct {
 	req   *wire.Request
 	reply func(*wire.Response)
+	ctx   context.Context
+	ver   int
 }
 
 // queueDepth bounds per-session pipelining; a full queue pushes back
@@ -112,14 +121,17 @@ func newSession(id uint64, design string, zs *zoomie.Session, srv *Server) *sess
 
 // enqueue hands a command to the actor. It never blocks: a torn-down
 // session reports CodeNoSession, a full queue CodeBusy.
-func (s *session) enqueue(req *wire.Request, reply func(*wire.Response)) *wire.Error {
+func (s *session) enqueue(ctx context.Context, ver int, req *wire.Request, reply func(*wire.Response)) *wire.Error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return wire.Errf(wire.CodeNoSession, "no session %d", s.id)
 	}
 	select {
-	case s.reqs <- task{req: req, reply: reply}:
+	case s.reqs <- task{req: req, reply: reply, ctx: ctx, ver: ver}:
 		return nil
 	default:
 		return wire.Errf(wire.CodeBusy, "session %d: command queue full (%d pending)", s.id, queueDepth)
@@ -154,7 +166,7 @@ func (s *session) loop() {
 				// Probes are housekeeping: no replay, no latency sample,
 				// and crucially no idle-timer reset — a probed session
 				// must still idle out.
-				resp, detach := s.handle(t.req)
+				resp, detach := s.handle(t)
 				t.reply(resp)
 				if detach {
 					s.teardown("board failed and could not be replaced")
@@ -168,7 +180,7 @@ func (s *session) loop() {
 				continue
 			}
 			start := time.Now()
-			resp, detach := s.handle(t.req)
+			resp, detach := s.handle(t)
 			s.srv.stats.observeLatency(time.Since(start))
 			atomic.AddInt64(&s.srv.stats.commandsServed, 1)
 			s.replayStore(t.req, resp)
@@ -240,8 +252,8 @@ func (s *session) captureGood() {
 func (s *session) maybeCaptureGood(op string) {
 	switch op {
 	case wire.OpPause, wire.OpResume, wire.OpStep, wire.OpUntil,
-		wire.OpPoke, wire.OpPokeMem, wire.OpBreak, wire.OpClearBrk,
-		wire.OpAssert, wire.OpSnapSave, wire.OpSnapRest:
+		wire.OpPoke, wire.OpPokeMem, wire.OpPokeBatch, wire.OpBreak,
+		wire.OpClearBrk, wire.OpAssert, wire.OpSnapSave, wire.OpSnapRest:
 		s.captureGood()
 	}
 }
@@ -307,18 +319,18 @@ func isBoardFailure(err error) bool {
 // board failure it quarantines and migrates, then re-runs the command
 // once on the fresh board. The second result asks the actor to tear the
 // session down (client detach, or a board failure with no replacement).
-func (s *session) handle(req *wire.Request) (*wire.Response, bool) {
+func (s *session) handle(t task) (*wire.Response, bool) {
 	if !atomic.CompareAndSwapInt32(&s.busy, 0, 1) {
 		atomic.AddInt64(&s.srv.stats.interleaved, 1)
 	}
 	defer atomic.StoreInt32(&s.busy, 0)
 
-	resp, detach := s.execute(req)
+	resp, detach := s.execute(t)
 	if resp.Err != nil && resp.Err.Code == wire.CodeBoardFailed {
 		if werr := s.migrate(resp.Err.Msg); werr != nil {
-			return &wire.Response{ID: req.ID, Session: s.id, Err: werr}, true
+			return &wire.Response{ID: t.req.ID, Session: s.id, Err: werr}, true
 		}
-		resp, detach = s.execute(req)
+		resp, detach = s.execute(t)
 	}
 	return resp, detach
 }
@@ -373,14 +385,29 @@ func (s *session) migrate(cause string) *wire.Error {
 }
 
 // execute runs one command. Board failures come back as CodeBoardFailed
-// so handle can migrate and retry; everything else is CodeOp.
-func (s *session) execute(req *wire.Request) (*wire.Response, bool) {
+// so handle can migrate and retry; everything else is classified by
+// wire.CodeFor (typed debugger codes on v2+ connections, plain CodeOp on
+// v1). A cancelled issuing connection aborts cable work mid-batch and
+// reports CodeCancelled — never a board failure, so it cannot trigger a
+// spurious migration.
+func (s *session) execute(t task) (*wire.Response, bool) {
+	req, ctx := t.req, t.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	resp := &wire.Response{ID: req.ID, Session: s.id}
 	fail := func(err error) (*wire.Response, bool) {
-		if isBoardFailure(err) {
+		switch {
+		case ctx.Err() != nil || wire.CodeFor(err) == wire.CodeCancelled:
+			resp.Err = wire.Errf(wire.CodeCancelled, "%s", err)
+		case isBoardFailure(err):
 			resp.Err = wire.Errf(wire.CodeBoardFailed, "%s", err)
-		} else {
-			resp.Err = wire.Errf(wire.CodeOp, "%s", err)
+		default:
+			code := wire.CodeFor(err)
+			if t.ver != 0 && t.ver < 2 && code != wire.CodeOp {
+				code = wire.CodeOp // v1 clients never saw typed codes
+			}
+			resp.Err = wire.Errf(code, "%s", err)
 		}
 		return resp, false
 	}
@@ -434,26 +461,48 @@ func (s *session) execute(req *wire.Request) (*wire.Response, bool) {
 		}
 
 	case wire.OpPeek:
-		v, err := s.zs.Peek(req.Name)
+		v, err := s.zs.PeekCtx(ctx, req.Name)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Value = v
 
 	case wire.OpPoke:
-		if err := s.zs.Poke(req.Name, req.Value); err != nil {
+		if err := s.zs.PokeCtx(ctx, req.Name, req.Value); err != nil {
 			return fail(err)
 		}
 
 	case wire.OpPeekMem:
-		v, err := s.zs.PeekMem(req.Name, req.Addr)
+		v, err := s.zs.PeekMemCtx(ctx, req.Name, req.Addr)
 		if err != nil {
 			return fail(err)
 		}
 		resp.Value = v
 
 	case wire.OpPokeMem:
-		if err := s.zs.PokeMem(req.Name, req.Addr, req.Value); err != nil {
+		if err := s.zs.PokeMemCtx(ctx, req.Name, req.Addr, req.Value); err != nil {
+			return fail(err)
+		}
+
+	case wire.OpPeekBatch:
+		items := make([]dbg.PlanItem, len(req.Items))
+		for i, it := range req.Items {
+			items[i] = dbg.PlanItem{Name: it.Name, Mem: it.Mem, Addr: it.Addr}
+		}
+		// One planned pass for the whole batch: one readback per SLR the
+		// request set touches, however many names the client sent.
+		vals, err := s.zs.ReadPlan(ctx, items)
+		resp.Values = vals // partial-batch results travel with the error
+		if err != nil {
+			return fail(err)
+		}
+
+	case wire.OpPokeBatch:
+		items := make([]dbg.PlanItem, len(req.Items))
+		for i, it := range req.Items {
+			items[i] = dbg.PlanItem{Name: it.Name, Mem: it.Mem, Addr: it.Addr, Value: it.Value}
+		}
+		if err := s.zs.WritePlan(ctx, items); err != nil {
 			return fail(err)
 		}
 
@@ -477,7 +526,7 @@ func (s *session) execute(req *wire.Request) (*wire.Response, bool) {
 		}
 
 	case wire.OpSnapSave:
-		snap, err := s.zs.Snapshot("dut")
+		snap, err := s.zs.SnapshotCtx(ctx, "dut")
 		if err != nil {
 			return fail(err)
 		}
@@ -490,7 +539,7 @@ func (s *session) execute(req *wire.Request) (*wire.Response, bool) {
 		if s.lastSnap == nil {
 			return fail(fmt.Errorf("no snapshot saved"))
 		}
-		if err := s.zs.Restore(s.lastSnap); err != nil {
+		if err := s.zs.RestoreCtx(ctx, s.lastSnap); err != nil {
 			return fail(err)
 		}
 
@@ -502,7 +551,7 @@ func (s *session) execute(req *wire.Request) (*wire.Response, bool) {
 		resp.Lines = lines
 
 	case wire.OpTrace:
-		tr, err := s.zs.TraceSteps(req.Signals, req.N)
+		tr, err := s.zs.TraceStepsCtx(ctx, req.Signals, req.N)
 		if err != nil {
 			return fail(err)
 		}

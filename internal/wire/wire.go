@@ -12,12 +12,35 @@
 // detaches) arrive unsolicited on the same connection for subscribers.
 package wire
 
-import "fmt"
+import (
+	"context"
+	"errors"
+	"fmt"
 
-// Version is the protocol version. The first frame on a connection must
-// be an OpHello request carrying it; the server refuses mismatches with
-// CodeVersion so old clients fail fast instead of misparsing.
-const Version = 1
+	"zoomie/internal/dberr"
+)
+
+// Version is the newest protocol version this build speaks. The first
+// frame on a connection must be an OpHello request carrying the client's
+// version; the server answers with min(client, server) as long as the
+// client is at least MinVersion, and both sides speak the negotiated
+// version thereafter. Clients below MinVersion are refused with
+// CodeVersion so they fail fast instead of misparsing.
+//
+// Version history:
+//
+//	1 — initial protocol (PR 2/3).
+//	2 — batched data plane: OpPeekBatch/OpPokeBatch with Request.Items/
+//	    Values and Response.Values, plus typed debugger error codes
+//	    (CodeUnknownState … CodeCancelled) that unwrap to dberr
+//	    sentinels client-side.
+const Version = 2
+
+// MinVersion is the oldest protocol version the server still accepts. A
+// v1 client negotiates down: batch ops are unavailable (CodeUnknownOp)
+// and errors arrive as plain CodeOp, but every v1 op behaves
+// identically.
+const MinVersion = 1
 
 // Message is the frame envelope: exactly one of Req, Resp, Evt is set,
 // discriminated by T.
@@ -61,14 +84,20 @@ const (
 	OpSessStat  = "sessstat"  // Session -> Paused, Cycles, ElapsedNS
 	OpStatus    = "status"    // -> Stats (server-wide counters)
 	OpSubscribe = "subscribe" // Session (0 = all) -> event delivery on
+
+	// Version 2 ops: the batched data plane. The session actor executes
+	// the whole batch as one frame plan — one readback (and for pokes one
+	// writeback) per SLR — instead of one cable pass per name.
+	OpPeekBatch = "peekbatch" // Session, Items -> Values (v2+)
+	OpPokeBatch = "pokebatch" // Session, Items (with Value each) (v2+)
 )
 
 // Request is a client command. Unused fields stay zero and are omitted.
 type Request struct {
-	ID      uint64   `json:"id"`
-	Op      string   `json:"op"`
-	Version int      `json:"ver,omitempty"`
-	Session uint64   `json:"sid,omitempty"`
+	ID      uint64 `json:"id"`
+	Op      string `json:"op"`
+	Version int    `json:"ver,omitempty"`
+	Session uint64 `json:"sid,omitempty"`
 	// Client identifies the sending client across TCP connections: the
 	// server assigns it in the hello response and a reconnecting client
 	// presents it again so replayed requests dedupe. Zero on first hello.
@@ -77,7 +106,7 @@ type Request struct {
 	// number. Session actors remember recent (Client, Seq) results so a
 	// request replayed after a reconnect returns the original response
 	// instead of executing twice.
-	Seq uint64 `json:"seq,omitempty"`
+	Seq     uint64   `json:"seq,omitempty"`
 	Design  string   `json:"design,omitempty"`
 	Name    string   `json:"name,omitempty"`
 	Prefix  string   `json:"prefix,omitempty"`
@@ -87,6 +116,17 @@ type Request struct {
 	N       int      `json:"n,omitempty"`
 	Mode    string   `json:"mode,omitempty"`
 	Enable  bool     `json:"enable,omitempty"`
+	// Items carries a batched peek/poke request set (v2+).
+	Items []BatchItem `json:"items,omitempty"`
+}
+
+// BatchItem is one entry of an OpPeekBatch/OpPokeBatch request — the wire
+// form of a dbg.PlanItem.
+type BatchItem struct {
+	Name  string `json:"name"`
+	Mem   bool   `json:"mem,omitempty"`
+	Addr  int    `json:"addr,omitempty"`
+	Value uint64 `json:"value,omitempty"` // poke batches only
 }
 
 // Response answers the request with the same ID. Err is nil on success.
@@ -103,6 +143,7 @@ type Response struct {
 	Watches []string `json:"watches,omitempty"`
 
 	Value     uint64   `json:"value,omitempty"`
+	Values    []uint64 `json:"values,omitempty"` // peekbatch results, item order
 	Ran       int      `json:"ran,omitempty"`
 	Paused    bool     `json:"paused,omitempty"`
 	Cycles    uint64   `json:"cycles,omitempty"`
@@ -194,7 +235,65 @@ const (
 	CodeTimeout       = "timeout"      // client-side: no response within the call timeout
 	CodeConnLost      = "conn_lost"    // client-side: connection died and could not be restored
 	CodeBoardFailed   = "board_failed" // board wedged/unrecoverable and no migration possible
+
+	// Typed debugger error codes (v2+). These refine CodeOp: the message
+	// is still the exact server-side error string, but the code lets
+	// errors.Is classify the failure client-side through Error.Unwrap.
+	CodeUnknownState  = "unknown_state"  // dberr.ErrUnknownState
+	CodeIsMemory      = "is_memory"      // dberr.ErrIsMemory
+	CodeIsRegister    = "is_register"    // dberr.ErrIsRegister
+	CodeOutOfRange    = "out_of_range"   // dberr.ErrOutOfRange
+	CodeNotWatched    = "not_watched"    // dberr.ErrNotWatched
+	CodeWidthMismatch = "width_mismatch" // dberr.ErrWidthMismatch
+	CodePartialBatch  = "partial_batch"  // dberr.ErrPartialBatch
+	CodeCancelled     = "cancelled"      // context.Canceled / DeadlineExceeded
 )
+
+// codeSentinel maps typed error codes to the sentinel an unwrapped wire
+// error matches with errors.Is — the inverse of CodeFor.
+var codeSentinel = map[string]error{
+	CodeUnknownState:  dberr.ErrUnknownState,
+	CodeIsMemory:      dberr.ErrIsMemory,
+	CodeIsRegister:    dberr.ErrIsRegister,
+	CodeOutOfRange:    dberr.ErrOutOfRange,
+	CodeNotWatched:    dberr.ErrNotWatched,
+	CodeWidthMismatch: dberr.ErrWidthMismatch,
+	CodePartialBatch:  dberr.ErrPartialBatch,
+	CodeCancelled:     context.Canceled,
+}
+
+// CodeFor classifies a debugger error into its typed wire code, falling
+// back to CodeOp for errors with no dberr sentinel. Cancellation wins
+// over any other classification so clients can always detect it.
+func CodeFor(err error) string {
+	if err == nil {
+		return ""
+	}
+	if isCancellation(err) {
+		return CodeCancelled
+	}
+	switch dberr.Sentinel(err) {
+	case dberr.ErrUnknownState:
+		return CodeUnknownState
+	case dberr.ErrIsMemory:
+		return CodeIsMemory
+	case dberr.ErrIsRegister:
+		return CodeIsRegister
+	case dberr.ErrOutOfRange:
+		return CodeOutOfRange
+	case dberr.ErrNotWatched:
+		return CodeNotWatched
+	case dberr.ErrWidthMismatch:
+		return CodeWidthMismatch
+	case dberr.ErrPartialBatch:
+		return CodePartialBatch
+	}
+	return CodeOp
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
 
 // Error is a typed wire error.
 type Error struct {
@@ -206,6 +305,12 @@ type Error struct {
 // server-side debugger error string, so REPL output matches in-process
 // debugging byte for byte.
 func (e *Error) Error() string { return e.Msg }
+
+// Unwrap maps typed error codes back onto their sentinels, so
+// errors.Is(err, dberr.ErrIsMemory) — or context.Canceled for
+// CodeCancelled — works on a wire error exactly as it does on the
+// in-process debugger error it encodes.
+func (e *Error) Unwrap() error { return codeSentinel[e.Code] }
 
 // Errf builds a typed wire error.
 func Errf(code, format string, args ...any) *Error {

@@ -40,6 +40,7 @@ import (
 	"fmt"
 
 	"zoomie/internal/core"
+	"zoomie/internal/dberr"
 	"zoomie/internal/dbg"
 	"zoomie/internal/faults"
 	"zoomie/internal/formal"
@@ -166,6 +167,32 @@ type (
 	InstrumentMeta = core.Meta
 	// BreakMode selects And- vs Or-composition of value breakpoints.
 	BreakMode = dbg.BreakMode
+	// PlanItem names one state element in a batched peek/poke — see
+	// Debugger.PeekBatch/PokeBatch.
+	PlanItem = dbg.PlanItem
+	// PartialBatchError reports a batch that completed on some SLRs but
+	// failed on others; errors.Is(err, ErrPartialBatch) matches it.
+	PartialBatchError = dbg.PartialBatchError
+)
+
+// Typed debugger errors, re-exported from internal/dberr. These survive
+// the zoomied wire protocol: errors.Is gives the same answer against a
+// remote client.Session as against a local Debugger.
+var (
+	// ErrUnknownState: the named element is not a state element.
+	ErrUnknownState = dberr.ErrUnknownState
+	// ErrIsMemory: Peek/Poke used on a memory (use PeekMem/PokeMem).
+	ErrIsMemory = dberr.ErrIsMemory
+	// ErrIsRegister: PeekMem/PokeMem used on a register (use Peek/Poke).
+	ErrIsRegister = dberr.ErrIsRegister
+	// ErrOutOfRange: memory address beyond the declared depth.
+	ErrOutOfRange = dberr.ErrOutOfRange
+	// ErrNotWatched: value breakpoint on a signal not in Watches.
+	ErrNotWatched = dberr.ErrNotWatched
+	// ErrWidthMismatch: poked value wider than the element.
+	ErrWidthMismatch = dberr.ErrWidthMismatch
+	// ErrPartialBatch: a batch failed on a strict subset of its SLRs.
+	ErrPartialBatch = dberr.ErrPartialBatch
 )
 
 // Breakpoint composition modes.
