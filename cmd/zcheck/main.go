@@ -1,0 +1,116 @@
+// zcheck is the deterministic differential and mutation checking
+// harness for the whole debugger stack. Differential mode generates
+// random designs and random debug-session scripts and runs every script
+// against three independent stacks — the in-process debug facade, a
+// remote zoomied session, and a remote session debugged through a
+// seeded fault injector — requiring byte-identical observation logs.
+// Mutation mode measures whether the trace-level SVA reference
+// evaluator detects systematically broken monitor FSMs.
+//
+// All randomness is seeded: equal flags produce byte-identical stdout
+// (timing and progress go to stderr), so CI can diff two runs.
+//
+//	zcheck -seed 1 -designs 20 -scripts 200         # differential campaign
+//	zcheck -seed 1 -mutate 20                       # mutation testing
+//	zcheck -replay artifacts/zcheck-seed1-zc3-s17.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"zoomie/internal/check"
+	"zoomie/internal/faults"
+)
+
+func main() {
+	var (
+		seed      = flag.Int64("seed", 1, "root seed; equal seeds give byte-identical stdout")
+		designs   = flag.Int("designs", 20, "random designs to generate")
+		scripts   = flag.Int("scripts", 200, "total scripts, round-robin across designs")
+		ops       = flag.Int("ops", 20, "ops per script")
+		asserts   = flag.Int("asserts", 2, "assertions compiled into each design")
+		chaos     = flag.String("chaos", "", "chaos profile override, e.g. flip=0.01,drop=0.005 (default: built-in transient profile)")
+		artifacts = flag.String("artifacts", "", "directory for divergence repro artifacts")
+		noshrink  = flag.Bool("noshrink", false, "skip shrinking diverging scripts")
+		mutate    = flag.Int("mutate", 0, "mutation mode: number of properties to mutate (0 = differential mode)")
+		traces    = flag.Int("traces", 6, "mutation mode: judging traces per mutant")
+		minKill   = flag.Float64("minkill", 0, "mutation mode: fail (exit 1) below this kill rate")
+		replay    = flag.String("replay", "", "replay a divergence artifact and exit")
+	)
+	flag.Parse()
+
+	var profile *faults.Profile
+	if *chaos != "" {
+		p, err := faults.ParseProfile(*chaos)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zcheck: bad -chaos: %v\n", err)
+			os.Exit(2)
+		}
+		profile = &p
+	}
+
+	switch {
+	case *replay != "":
+		art, err := check.LoadArtifact(*replay)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zcheck: %v\n", err)
+			os.Exit(2)
+		}
+		diverged, err := check.Replay(art, profile, os.Stdout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zcheck: replay: %v\n", err)
+			os.Exit(2)
+		}
+		if diverged {
+			os.Exit(1)
+		}
+
+	case *mutate > 0:
+		sum, err := check.RunMutation(check.MutationConfig{
+			Seed:   *seed,
+			Props:  *mutate,
+			Traces: *traces,
+			Out:    os.Stdout,
+			Errw:   os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zcheck: mutation: %v\n", err)
+			os.Exit(2)
+		}
+		if sum.KillRate() < *minKill {
+			fmt.Fprintf(os.Stderr, "zcheck: kill rate %.3f below -minkill %.3f\n",
+				sum.KillRate(), *minKill)
+			os.Exit(1)
+		}
+
+	default:
+		shrink := 0 // default budget
+		if *noshrink {
+			shrink = -1
+		}
+		sum, err := check.Run(check.Config{
+			Seed:         *seed,
+			Designs:      *designs,
+			Scripts:      *scripts,
+			Ops:          *ops,
+			Asserts:      *asserts,
+			Chaos:        profile,
+			ArtifactDir:  *artifacts,
+			ShrinkBudget: shrink,
+			Out:          os.Stdout,
+			Errw:         os.Stderr,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "zcheck: %v\n", err)
+			os.Exit(2)
+		}
+		fmt.Fprintf(os.Stderr, "zcheck: %d scripts in %v (%.1f scripts/sec)\n",
+			sum.Scripts, sum.Elapsed.Round(1e6),
+			float64(sum.Scripts)/sum.Elapsed.Seconds())
+		if sum.Divergences > 0 {
+			os.Exit(1)
+		}
+	}
+}

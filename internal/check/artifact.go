@@ -1,0 +1,89 @@
+package check
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"zoomie/internal/faults"
+	"zoomie/internal/gen"
+	"zoomie/internal/server"
+)
+
+// Artifact is a self-contained, seed-replayable divergence repro: the
+// design is pinned by its generator sub-seeds (not by serialized RTL),
+// the script by its explicit op list after shrinking. Loading the
+// artifact on any machine rebuilds bit-identical inputs.
+type Artifact struct {
+	Seed       int64      `json:"seed"`        // campaign root seed
+	ScriptSeed int64      `json:"script_seed"` // seed the original script drew from
+	Script     int        `json:"script"`      // campaign script index
+	Spec       designSpec `json:"design"`
+	Ops        []gen.Op   `json:"ops"`
+}
+
+// SaveArtifact writes the repro under dir with a deterministic name.
+func SaveArtifact(dir string, a *Artifact) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(a, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("zcheck-seed%d-%s-s%d.json", a.Seed, a.Spec.Name, a.Script))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+// LoadArtifact reads a repro back.
+func LoadArtifact(path string) (*Artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a Artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("artifact %s: %w", path, err)
+	}
+	return &a, nil
+}
+
+// Replay rebuilds the artifact's design, runs its ops once on all three
+// stacks with the same chaos profile derivation the campaign used, and
+// reports whether the divergence still reproduces. The full first
+// mismatch (or a clean verdict) is written to out.
+func Replay(a *Artifact, chaos *faults.Profile, out io.Writer) (bool, error) {
+	if chaos == nil {
+		chaos = DefaultChaos(a.Seed)
+	}
+	a.Spec.register()
+	defer server.Unregister(a.Spec.Name)
+	f, err := newFleet(chaos)
+	if err != nil {
+		return false, err
+	}
+	defer f.Close()
+	d, _ := a.Spec.build()
+	results, err := f.runOnce(a.Spec.Name, a.Ops, ProbePlan(d))
+	if err != nil {
+		return false, err
+	}
+	diverged := false
+	for ti := 1; ti < len(results); ti++ {
+		if idx, ra, rb := firstDiff(results[0], results[ti]); idx >= 0 {
+			diverged = true
+			fmt.Fprintf(out, "REPRODUCED pair=local/%s record=%d\n  local: %s\n  %s: %s\n",
+				targetNames[ti], idx, ra, targetNames[ti], rb)
+		}
+	}
+	if !diverged {
+		fmt.Fprintf(out, "no divergence: all %d records agree on all targets\n",
+			len(results[0].Records))
+	}
+	return diverged, nil
+}

@@ -1,0 +1,144 @@
+package check
+
+import (
+	"bytes"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"zoomie/internal/gen"
+)
+
+// A small differential campaign must pass clean: the three stacks are
+// supposed to be observationally identical, and any divergence here is
+// a real bug in one of them.
+func TestDifferentialSmoke(t *testing.T) {
+	var out, errw bytes.Buffer
+	sum, err := Run(Config{
+		Seed: 11, Designs: 3, Scripts: 12, Ops: 12,
+		Out: &out, Errw: &errw,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Divergences != 0 {
+		t.Fatalf("divergences: %d\n%s", sum.Divergences, out.String())
+	}
+	if sum.Scripts != 12 || sum.Records == 0 {
+		t.Fatalf("summary off: %+v", sum)
+	}
+}
+
+// Equal seeds must give byte-identical stdout — that is the contract
+// CI relies on to diff two runs.
+func TestDifferentialDeterministic(t *testing.T) {
+	run := func() string {
+		var out bytes.Buffer
+		if _, err := Run(Config{Seed: 5, Designs: 2, Scripts: 8, Ops: 10, Out: &out}); err != nil {
+			t.Fatal(err)
+		}
+		return out.String()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic output:\n--- first\n%s--- second\n%s", a, b)
+	}
+}
+
+func TestShrink(t *testing.T) {
+	ops := make([]gen.Op, 10)
+	for i := range ops {
+		ops[i] = gen.Op{Kind: gen.OpStep, N: i}
+	}
+	ops[3].Kind = gen.OpPause
+	ops[8].Kind = gen.OpPause
+	// "Diverges" iff both pause ops are present.
+	diverges := func(s []gen.Op) bool {
+		n := 0
+		for _, op := range s {
+			if op.Kind == gen.OpPause {
+				n++
+			}
+		}
+		return n >= 2
+	}
+	got := Shrink(ops, diverges, 200)
+	if len(got) != 2 {
+		t.Fatalf("shrunk to %d ops, want 2: %v", len(got), got)
+	}
+	if !diverges(got) {
+		t.Fatalf("shrunk script no longer diverges: %v", got)
+	}
+}
+
+func TestShrinkKeepsDivergingOnBudget(t *testing.T) {
+	ops := make([]gen.Op, 16)
+	for i := range ops {
+		ops[i] = gen.Op{Kind: gen.OpStep, N: i}
+	}
+	diverges := func(s []gen.Op) bool { return len(s) >= 9 }
+	got := Shrink(ops, diverges, 3) // tiny budget: must still return a diverging script
+	if !diverges(got) {
+		t.Fatalf("result does not diverge: %d ops", len(got))
+	}
+}
+
+func TestArtifactRoundTripAndReplay(t *testing.T) {
+	sp := designSpec{Name: "zt-art", DSeed: 41, ASeed: 43, Asserts: 1}
+	d, _ := sp.build()
+	ops := gen.RandomScript(rand.New(rand.NewSource(9)), d, 6, 1)
+	art := &Artifact{Seed: 11, ScriptSeed: 99, Script: 4, Spec: sp, Ops: ops}
+
+	dir := t.TempDir()
+	path, err := SaveArtifact(dir, art)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if filepath.Dir(path) != dir {
+		t.Fatalf("artifact path %q not in %q", path, dir)
+	}
+	got, err := LoadArtifact(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Spec != art.Spec || got.ScriptSeed != art.ScriptSeed || len(got.Ops) != len(art.Ops) {
+		t.Fatalf("round trip mismatch: %+v vs %+v", got, art)
+	}
+
+	// The stacks agree, so replaying a healthy script must report no
+	// divergence.
+	var out bytes.Buffer
+	diverged, err := Replay(got, nil, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diverged {
+		t.Fatalf("unexpected divergence:\n%s", out.String())
+	}
+}
+
+// Mutation mode must be deterministic and must kill every mutant it
+// cannot prove equivalent on this pinned configuration.
+func TestMutationSmoke(t *testing.T) {
+	run := func() (*MutationSummary, string) {
+		var out bytes.Buffer
+		sum, err := RunMutation(MutationConfig{
+			Seed: 3, Props: 4, Traces: 4, Cycles: 12, Hunt: 32, Out: &out,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, out.String()
+	}
+	sum, outA := run()
+	if sum.Mutants == 0 {
+		t.Fatal("no mutants generated")
+	}
+	if rate := sum.KillRate(); rate < 0.9 {
+		t.Fatalf("kill rate %.3f below 0.9; survivors: %v", rate, sum.Survivors)
+	}
+	_, outB := run()
+	if outA != outB {
+		t.Fatalf("non-deterministic mutation output:\n--- first\n%s--- second\n%s", outA, outB)
+	}
+}

@@ -1,0 +1,252 @@
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"zoomie/internal/dbg"
+	"zoomie/internal/dberr"
+	"zoomie/internal/gen"
+)
+
+// Result is everything the executor observed running one script on one
+// target, normalized into comparable text records: one record per op
+// (values for reads, shapes for snapshots, error class for failures),
+// one probe record after every op (a planned batch over a fixed state
+// sample), synthesized pause-transition events, and a final full state
+// map. Two targets agree iff their Records are element-wise equal.
+type Result struct {
+	Records []string
+}
+
+// errClass renders an error as a comparable record fragment. Typed
+// debugger errors compare by sentinel identity (errors.Is through the
+// wire mapping); everything else compares by exact message, which the
+// wire protocol preserves byte-for-byte.
+func errClass(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	if s := dberr.Sentinel(err); s != nil {
+		return "E<" + s.Error() + ">"
+	}
+	return "E<" + err.Error() + ">"
+}
+
+// executor runs one script against one target.
+type executor struct {
+	t          Target
+	probes     []dbg.PlanItem
+	records    []string
+	lastPaused bool
+}
+
+func (e *executor) rec(format string, args ...any) {
+	e.records = append(e.records, fmt.Sprintf(format, args...))
+}
+
+// probe samples a fixed set of state through the planned batch path
+// after every op, so a single-op state corruption is caught at the op
+// that introduced it rather than at the end of the script.
+func (e *executor) probe() {
+	if len(e.probes) == 0 {
+		return
+	}
+	vals, err := e.t.PeekBatch(e.probes)
+	if err != nil {
+		e.rec("  probe %s", errClass(err))
+		return
+	}
+	var b strings.Builder
+	for i, v := range vals {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%#x", v)
+	}
+	e.rec("  probe [%s]", b.String())
+}
+
+// syncPaused mirrors the server's running->paused transition tracking
+// (session.maybeEmitPaused): after clock-advancing ops it samples the
+// paused flag and records a "paused" event on a fresh transition — the
+// event-equivalence half of the oracle. An explicit pause op updates
+// the tracked state without recording, exactly as the server suppresses
+// its own acknowledgement.
+func (e *executor) syncPaused(op string) {
+	switch op {
+	case gen.OpRun, gen.OpUntil, gen.OpStep, gen.OpResume, gen.OpPause, gen.OpWatch:
+	default:
+		return
+	}
+	paused, err := e.t.Paused()
+	if err != nil {
+		e.rec("  event %s", errClass(err))
+		return
+	}
+	was := e.lastPaused
+	e.lastPaused = paused
+	if paused && !was && op != gen.OpPause {
+		cyc, err := e.t.Cycles()
+		if err != nil {
+			e.rec("  event paused %s", errClass(err))
+			return
+		}
+		e.rec("  event paused op=%s cycles=%d", op, cyc)
+	}
+}
+
+// RunScript executes a script against a target and returns the
+// normalized observation log. The probes plan is sampled after every op.
+// Every outcome — including errors — is recorded rather than returned:
+// a failing op is part of the behavior under test, not a failure of the
+// harness. The target is left attached; callers own Close.
+func RunScript(t Target, ops []gen.Op, probes []dbg.PlanItem) *Result {
+	e := &executor{t: t, probes: probes}
+	if p, err := t.Paused(); err == nil {
+		e.lastPaused = p
+	}
+	for i, op := range ops {
+		e.step(i, op)
+		e.syncPaused(op.Kind)
+		e.probe()
+	}
+	e.finalState()
+	return &Result{Records: e.records}
+}
+
+func (e *executor) step(i int, op gen.Op) {
+	switch op.Kind {
+	case gen.OpPeek:
+		v, err := e.t.Peek(op.Name)
+		e.rec("%03d %s -> %#x %s", i, op, v, errClass(err))
+	case gen.OpPoke:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.Poke(op.Name, op.Value)))
+	case gen.OpPeekMem:
+		v, err := e.t.PeekMem(op.Name, op.Addr)
+		e.rec("%03d %s -> %#x %s", i, op, v, errClass(err))
+	case gen.OpPokeMem:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.PokeMem(op.Name, op.Addr, op.Value)))
+	case gen.OpPeekBatch:
+		vals, err := e.t.PeekBatch(planItems(op.Items))
+		var b strings.Builder
+		for j, v := range vals {
+			if j > 0 {
+				b.WriteByte(' ')
+			}
+			fmt.Fprintf(&b, "%#x", v)
+		}
+		e.rec("%03d %s -> [%s] %s", i, op, b.String(), errClass(err))
+	case gen.OpPokeBatch:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.PokeBatch(planItems(op.Items))))
+	case gen.OpStep:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.Step(op.N)))
+	case gen.OpRun:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.Run(op.N)))
+	case gen.OpUntil:
+		ran, err := e.t.RunUntilPaused(op.N)
+		e.rec("%03d %s -> ran=%d %s", i, op, ran, errClass(err))
+	case gen.OpPause:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.Pause()))
+	case gen.OpResume:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.Resume()))
+	case gen.OpBreak:
+		mode := dbg.BreakAny
+		if op.Mode == "all" {
+			mode = dbg.BreakAll
+		}
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.SetValueBreakpoint(op.Name, op.Value, mode)))
+	case gen.OpClearBrk:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.ClearBreakpoints()))
+	case gen.OpAssert:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.EnableAssertion(op.Name, op.Enable)))
+	case gen.OpSnapshot:
+		regs, mems, cyc, err := e.t.Snapshot()
+		e.rec("%03d %s -> regs=%d mems=%d cycle=%d %s", i, op, regs, mems, cyc, errClass(err))
+	case gen.OpRestore:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.Restore()))
+	case gen.OpWatch:
+		e.watch(i, op)
+	case gen.OpInput:
+		e.rec("%03d %s -> %s", i, op, errClass(e.t.PokeInput(op.Name, op.Value)))
+	case gen.OpOutput:
+		v, err := e.t.PeekOutput(op.Name)
+		e.rec("%03d %s -> %#x %s", i, op, v, errClass(err))
+	case gen.OpInspect:
+		lines, err := e.t.Inspect(op.Name)
+		e.rec("%03d %s -> %d lines %s", i, op, len(lines), errClass(err))
+	default:
+		e.rec("%03d %s -> skipped (unknown op)", i, op)
+	}
+}
+
+// watch implements a software watchpoint generically — single-step and
+// re-peek until the register changes or the budget runs out — so all
+// three targets execute the identical sequence of primitive ops.
+func (e *executor) watch(i int, op gen.Op) {
+	before, err := e.t.Peek(op.Name)
+	if err != nil {
+		e.rec("%03d %s -> %s", i, op, errClass(err))
+		return
+	}
+	for s := 0; s < op.N; s++ {
+		if err := e.t.Step(1); err != nil {
+			e.rec("%03d %s -> step %d %s", i, op, s, errClass(err))
+			return
+		}
+		v, err := e.t.Peek(op.Name)
+		if err != nil {
+			e.rec("%03d %s -> step %d %s", i, op, s, errClass(err))
+			return
+		}
+		if v != before {
+			e.rec("%03d %s -> changed %#x->%#x after %d steps ok", i, op, before, v, s+1)
+			return
+		}
+	}
+	e.rec("%03d %s -> unchanged %#x after %d steps ok", i, op, before, op.N)
+}
+
+// finalState appends the full state map: every register and memory word
+// under the user design, values included. This is the end-of-script
+// state-equivalence assertion.
+func (e *executor) finalState() {
+	cyc, err := e.t.Cycles()
+	e.rec("final cycles=%d %s", cyc, errClass(err))
+	lines, err := e.t.Inspect("dut")
+	if err != nil {
+		e.rec("final inspect %s", errClass(err))
+		return
+	}
+	for _, ln := range lines {
+		e.rec("final %s", ln)
+	}
+}
+
+// planItems converts script batch items to debugger plan items.
+func planItems(items []gen.Item) []dbg.PlanItem {
+	out := make([]dbg.PlanItem, len(items))
+	for i, it := range items {
+		out[i] = dbg.PlanItem{Name: it.Name, Mem: it.Mem, Addr: it.Addr, Value: it.Value}
+	}
+	return out
+}
+
+// ProbePlan builds the fixed per-op probe set for a generated design: up
+// to four registers and two memory words, read as one planned batch.
+func ProbePlan(d *gen.Design) []dbg.PlanItem {
+	var items []dbg.PlanItem
+	for i, rp := range d.Regs {
+		if i >= 4 {
+			break
+		}
+		items = append(items, dbg.PlanItem{Name: rp.Name})
+	}
+	for i, m := range d.Mems {
+		if i >= 2 {
+			break
+		}
+		items = append(items, dbg.PlanItem{Name: m.Name, Mem: true, Addr: i % m.Depth})
+	}
+	return items
+}

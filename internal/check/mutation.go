@@ -1,0 +1,332 @@
+package check
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"zoomie/internal/gen"
+	"zoomie/internal/sva"
+)
+
+// MutationConfig tunes a mutation-testing run over the assertion
+// pipeline.
+type MutationConfig struct {
+	Seed   int64
+	Props  int // random properties to mutate (default 20)
+	Traces int // random traces each mutant is judged on (default 6)
+	Cycles int // trace length (default 24)
+	Hunt   int // directed traces tried per surviving mutant (default 96)
+	Out    io.Writer
+	Errw   io.Writer
+}
+
+// MutationSummary reports mutant kill statistics.
+type MutationSummary struct {
+	Props      int
+	Vacuous    int // properties skipped because no judging trace falsified them
+	Mutants    int
+	Killed     int
+	Equivalent int // mutants with no distinguishing trace in exhaustive search
+	Survivors  []string // "prop: kind: desc" per surviving non-equivalent mutant
+	Elapsed    time.Duration
+}
+
+// KillRate is killed over the non-equivalent mutants, the standard
+// mutation score: a mutant proven indistinguishable on the property's
+// whole (bounded) input space measures nothing about the oracle and is
+// excluded from the denominator. 1.0 when nothing scoreable remains.
+func (s *MutationSummary) KillRate() float64 {
+	n := s.Mutants - s.Equivalent
+	if n <= 0 {
+		return 1
+	}
+	return float64(s.Killed) / float64(n)
+}
+
+// huntMutant searches for a distinguishing trace for one mutant that
+// the shared judging traces failed to kill: short cold-start traces
+// expose init and pipeline defects only visible in the first cycles,
+// full-length ones expose alignment defects, both alternating between
+// uniform and atom-biased stimulus. Returns true when some trace makes
+// the mutant's fail vector differ from the reference evaluator's.
+func huntMutant(r *rand.Rand, a *sva.Assertion, mu *sva.Mutant, sigs []gen.Port,
+	widths map[string]int, targets map[string][]uint64, cfg MutationConfig) bool {
+	for j := 0; j < cfg.Hunt; j++ {
+		n := cfg.Cycles
+		if j%2 == 0 {
+			n = 6
+		}
+		var tr sva.Trace
+		if j%4 < 2 {
+			tr = sva.Trace(gen.BiasedTrace(r, sigs, n, targets))
+		} else {
+			tr = sva.Trace(gen.RandomTrace(r, sigs, n))
+		}
+		ref, err := sva.EvalTrace(a, widths, tr, n)
+		if err != nil {
+			return false
+		}
+		got, err := sva.MonitorTrace(mu.Monitor, "clk", tr, n)
+		if err != nil {
+			return true // cannot simulate: trivially dead
+		}
+		for c := range got {
+			if got[c] != ref[c] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// triage classifies a hunt survivor by bounded exhaustive search.
+type triage int
+
+const (
+	triageUnknown triage = iota
+	triageKilled
+	triageEquivalent
+)
+
+// exhaustMutant enumerates every trace over the property's effective
+// input alphabet — per referenced signal, its atom target values plus
+// 0 and 1 — up to a bounded length, comparing mutant and reference on
+// each. Guard atoms partition a signal's range into few classes (an
+// 8-bit bus read only through $fell sees just its LSB), so this small
+// space is exhaustive with respect to what the monitor observes. A
+// mutant some trace distinguishes is killed; one indistinguishable on
+// the whole space is equivalent — e.g. the init of a deep $past stage
+// whose warm-up cycles the LRM's pre-trace semantics mask, or the
+// upper bound of a trailing repetition a weak sequence never needs.
+// When even length 3 exceeds the budget the mutant stays an unknown
+// survivor and counts against the kill rate.
+func exhaustMutant(a *sva.Assertion, mu *sva.Mutant, sigs []gen.Port,
+	widths map[string]int, targets map[string][]uint64) triage {
+	refNames := sva.ReferencedSignals(a)
+	if len(refNames) == 0 {
+		return triageUnknown
+	}
+	widthOf := map[string]int{}
+	for _, s := range sigs {
+		widthOf[s.Name] = s.Width
+	}
+	alphabet := make([][]uint64, len(refNames))
+	perCycle := 1
+	for i, name := range refNames {
+		mask := uint64(1)<<uint(widthOf[name]) - 1
+		seen := map[uint64]bool{0: true, 1 & mask: true}
+		for _, v := range targets[name] {
+			seen[v&mask] = true
+		}
+		vals := make([]uint64, 0, len(seen))
+		for v := range seen {
+			vals = append(vals, v)
+		}
+		sort.Slice(vals, func(x, y int) bool { return vals[x] < vals[y] })
+		alphabet[i] = vals
+		perCycle *= len(vals)
+	}
+	const budget = 30000
+	n := 6
+	for n > 3 && math.Pow(float64(perCycle), float64(n)) > budget {
+		n--
+	}
+	if math.Pow(float64(perCycle), float64(n)) > budget {
+		return triageUnknown
+	}
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= perCycle
+	}
+	for idx := 0; idx < total; idx++ {
+		tr := sva.Trace{}
+		for _, s := range sigs {
+			tr[s.Name] = make([]uint64, n)
+		}
+		rem := idx
+		for t := 0; t < n; t++ {
+			cell := rem % perCycle
+			rem /= perCycle
+			for i, name := range refNames {
+				vals := alphabet[i]
+				tr[name][t] = vals[cell%len(vals)]
+				cell /= len(vals)
+			}
+		}
+		ref, err := sva.EvalTrace(a, widths, tr, n)
+		if err != nil {
+			return triageUnknown
+		}
+		got, err := sva.MonitorTrace(mu.Monitor, "clk", tr, n)
+		if err != nil {
+			return triageKilled
+		}
+		for c := range got {
+			if got[c] != ref[c] {
+				return triageKilled
+			}
+		}
+	}
+	return triageEquivalent
+}
+
+// RunMutation measures whether the trace-level reference evaluator can
+// tell a correct monitor FSM from a broken one. For each random property
+// it first cross-checks the compiled FSM against the evaluator on random
+// traces (any disagreement is a real bug, reported as an error), then
+// applies every systematic FSM and AST mutation and counts a mutant as
+// killed when some trace makes its per-cycle fail vector differ from
+// the reference. A high kill rate is evidence the differential oracle
+// has teeth; survivors are listed for inspection.
+func RunMutation(cfg MutationConfig) (*MutationSummary, error) {
+	if cfg.Props <= 0 {
+		cfg.Props = 20
+	}
+	if cfg.Traces <= 0 {
+		cfg.Traces = 6
+	}
+	if cfg.Cycles <= 0 {
+		cfg.Cycles = 24
+	}
+	if cfg.Hunt <= 0 {
+		cfg.Hunt = 96
+	}
+	if cfg.Out == nil {
+		cfg.Out = io.Discard
+	}
+	if cfg.Errw == nil {
+		cfg.Errw = io.Discard
+	}
+	start := time.Now()
+
+	sigs := gen.MutationSignals()
+	widths := map[string]int{"clk": 1}
+	for _, s := range sigs {
+		widths[s.Name] = s.Width
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	sum := &MutationSummary{}
+	for pi := 0; pi < cfg.Props; pi++ {
+		// Sample until the judging traces falsify the property at least
+		// once. A property that never fails under stimulus — a vacuous
+		// antecedent, or a consequent its own guards imply — cannot
+		// observe mutants that merely shift when threads run, so scoring
+		// it says nothing about the oracle. Skipped samples are counted.
+		var (
+			src    string
+			a      *sva.Assertion
+			traces []sva.Trace
+			refs   [][]bool
+		)
+		for try := 0; ; try++ {
+			if try >= 50 {
+				return nil, fmt.Errorf("no falsifiable property after %d samples", try)
+			}
+			srcs := gen.RandomAssertions(r, sigs, 1)
+			if len(srcs) == 0 {
+				continue
+			}
+			src = srcs[0]
+			var err error
+			a, err = sva.Parse(src)
+			if err != nil {
+				return nil, fmt.Errorf("parse %q: %w", src, err)
+			}
+			mon, err := sva.Compile(a, fmt.Sprintf("p%d", pi), "clk", widths)
+			if err != nil {
+				return nil, fmt.Errorf("compile %q: %w", src, err)
+			}
+
+			// Shared judging traces plus their reference verdicts: half
+			// uniform, half biased toward the property's own comparison
+			// atoms so that rarely-true antecedents actually fire and
+			// the consequent logic becomes observable.
+			targets := sva.AtomTargets(a)
+			traces = make([]sva.Trace, cfg.Traces)
+			refs = make([][]bool, cfg.Traces)
+			falsified := false
+			for i := range traces {
+				if i%2 == 0 {
+					traces[i] = sva.Trace(gen.BiasedTrace(r, sigs, cfg.Cycles, targets))
+				} else {
+					traces[i] = sva.Trace(gen.RandomTrace(r, sigs, cfg.Cycles))
+				}
+				refs[i], err = sva.EvalTrace(a, widths, traces[i], cfg.Cycles)
+				if err != nil {
+					return nil, fmt.Errorf("eval %q: %w", src, err)
+				}
+				got, err := sva.MonitorTrace(mon, "clk", traces[i], cfg.Cycles)
+				if err != nil {
+					return nil, fmt.Errorf("simulate %q: %w", src, err)
+				}
+				for c := range got {
+					if got[c] != refs[i][c] {
+						return nil, fmt.Errorf("reference FSM for %q disagrees with evaluator at cycle %d (real pipeline bug)", src, c)
+					}
+					falsified = falsified || refs[i][c]
+				}
+			}
+			if falsified {
+				break
+			}
+			sum.Vacuous++
+		}
+		sum.Props++
+
+		mutants, err := sva.Mutate(a, fmt.Sprintf("p%d", pi), "clk", widths, 0)
+		if err != nil {
+			return nil, fmt.Errorf("mutate %q: %w", src, err)
+		}
+		targets := sva.AtomTargets(a)
+		for _, mu := range mutants {
+			sum.Mutants++
+			killed := false
+			for i := range traces {
+				got, err := sva.MonitorTrace(mu.Monitor, "clk", traces[i], cfg.Cycles)
+				if err != nil {
+					// A mutant that cannot even simulate is trivially dead.
+					killed = true
+					break
+				}
+				for c := range got {
+					if got[c] != refs[i][c] {
+						killed = true
+						break
+					}
+				}
+				if killed {
+					break
+				}
+			}
+			if !killed {
+				killed = huntMutant(r, a, mu, sigs, widths, targets, cfg)
+			}
+			if killed {
+				sum.Killed++
+				continue
+			}
+			switch exhaustMutant(a, mu, sigs, widths, targets) {
+			case triageKilled:
+				sum.Killed++
+			case triageEquivalent:
+				sum.Equivalent++
+			default:
+				sum.Survivors = append(sum.Survivors,
+					fmt.Sprintf("%s: %s: %s", src, mu.Kind, mu.Desc))
+			}
+		}
+		fmt.Fprintf(cfg.Errw, "mutation: %d/%d props, %d mutants, %d killed\n",
+			pi+1, cfg.Props, sum.Mutants, sum.Killed)
+	}
+	sum.Elapsed = time.Since(start)
+	fmt.Fprintf(cfg.Out, "mutation seed=%d props=%d vacuous=%d mutants=%d killed=%d equiv=%d rate=%.3f\n",
+		cfg.Seed, sum.Props, sum.Vacuous, sum.Mutants, sum.Killed, sum.Equivalent, sum.KillRate())
+	for _, s := range sum.Survivors {
+		fmt.Fprintf(cfg.Out, "SURVIVOR %s\n", s)
+	}
+	return sum, nil
+}

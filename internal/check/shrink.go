@@ -1,0 +1,39 @@
+package check
+
+import "zoomie/internal/gen"
+
+// Shrink greedily minimizes a diverging script: delta-debugging style
+// chunk removal, halving the chunk size until single ops, re-running the
+// candidate through diverges each time. The predicate's run budget caps
+// total re-executions (chaos re-runs draw fresh injector seeds, so a
+// candidate may stop diverging — the shrinker simply keeps the last
+// script known to diverge). Always returns a script for which diverges
+// reported true, ops itself in the worst case.
+func Shrink(ops []gen.Op, diverges func([]gen.Op) bool, budget int) []gen.Op {
+	best := ops
+	runs := 0
+	try := func(cand []gen.Op) bool {
+		if runs >= budget {
+			return false
+		}
+		runs++
+		return diverges(cand)
+	}
+	for chunk := len(best) / 2; chunk >= 1; chunk /= 2 {
+		removed := true
+		for removed && runs < budget {
+			removed = false
+			for lo := 0; lo+chunk <= len(best); lo += chunk {
+				cand := make([]gen.Op, 0, len(best)-chunk)
+				cand = append(cand, best[:lo]...)
+				cand = append(cand, best[lo+chunk:]...)
+				if len(cand) > 0 && try(cand) {
+					best = cand
+					removed = true
+					break
+				}
+			}
+		}
+	}
+	return best
+}

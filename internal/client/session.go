@@ -60,10 +60,12 @@ func (s *Session) Step(n int) error {
 // ticks consumed.
 func (s *Session) RunUntilPaused(maxTicks int) (int, error) {
 	resp, err := s.call(&wire.Request{Op: wire.OpUntil, N: maxTicks})
-	if err != nil {
+	if resp == nil {
 		return 0, err
 	}
-	return resp.Ran, nil
+	// A no-trigger timeout still consumed ticks; report them alongside
+	// the error exactly as the in-process debugger does.
+	return resp.Ran, err
 }
 
 // Peek reads a register through frame readback on the server's board.
@@ -134,7 +136,12 @@ func (s *Session) PeekBatchCtx(ctx context.Context, items []dbg.PlanItem) ([]uin
 		return nil, err
 	}
 	vals := resp.Values
-	if len(vals) != len(items) {
+	// Pad only successful responses: a plan that failed to resolve
+	// returns no values in-process (ReadPlan's contract), and a
+	// partial-batch failure already carries a full-length slice.
+	// Manufacturing zeros for a failed batch would diverge from the
+	// local debugger's behavior.
+	if err == nil && len(vals) != len(items) {
 		vals = append(vals, make([]uint64, len(items)-len(vals))...)
 	}
 	return vals, err

@@ -1,0 +1,228 @@
+// Package gen provides seeded random generators for the checking
+// harness: random RTL designs (promoted from the sim differential
+// tests), random debug-session scripts, random SVA properties and
+// random stimulus traces. Every generator draws exclusively from an
+// explicit *rand.Rand, so a seed fully determines its output — the
+// property zcheck's replayable artifacts and CI bit-determinism rest
+// on.
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+)
+
+// Port names one port or register of a generated design.
+type Port struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+}
+
+// Mem names one memory of a generated design.
+type Mem struct {
+	Name  string `json:"name"`
+	Width int    `json:"width"`
+	Depth int    `json:"depth"`
+}
+
+// Design is a generated random design plus the metadata the checking
+// harness needs to drive it: clock domains, port/register/memory
+// inventories and the output ports suitable for watches/assertions.
+type Design struct {
+	RTL     *rtl.Design
+	Clocks  []sim.ClockSpec
+	Inputs  []Port
+	Outputs []Port
+	Regs    []Port
+	Mems    []Mem
+}
+
+// InputNames returns the input port names in declaration order.
+func (d *Design) InputNames() []string {
+	names := make([]string, len(d.Inputs))
+	for i, p := range d.Inputs {
+		names[i] = p.Name
+	}
+	return names
+}
+
+// OutputNames returns the output port names in declaration order.
+func (d *Design) OutputNames() []string {
+	names := make([]string, len(d.Outputs))
+	for i, p := range d.Outputs {
+		names[i] = p.Name
+	}
+	return names
+}
+
+type designGen struct {
+	r     *rand.Rand
+	m     *rtl.Module
+	pool  []*rtl.Signal // value sources usable in new expressions
+	mems  []*rtl.Memory
+	wires int
+}
+
+// fit adapts e to the target width by slicing or zero-extension.
+func fit(e rtl.Expr, w int) rtl.Expr {
+	if e.Width == w {
+		return e
+	}
+	if e.Width > w {
+		return rtl.Slice(e, w-1, 0)
+	}
+	return rtl.ZeroExt(e, w)
+}
+
+func (g *designGen) width() int { return 1 + g.r.Intn(64) }
+
+// leaf yields a constant or an existing signal fitted to width w.
+func (g *designGen) leaf(w int) rtl.Expr {
+	if len(g.pool) == 0 || g.r.Intn(4) == 0 {
+		return rtl.C(g.r.Uint64(), w)
+	}
+	return fit(rtl.S(g.pool[g.r.Intn(len(g.pool))]), w)
+}
+
+// expr builds a random expression of exactly width w, depth-bounded.
+func (g *designGen) expr(depth, w int) rtl.Expr {
+	if depth <= 0 || g.r.Intn(5) == 0 {
+		return g.leaf(w)
+	}
+	switch g.r.Intn(13) {
+	case 0:
+		return rtl.Not(g.expr(depth-1, w))
+	case 1:
+		return rtl.And(g.expr(depth-1, w), g.expr(depth-1, w))
+	case 2:
+		return rtl.Or(g.expr(depth-1, w), g.expr(depth-1, w))
+	case 3:
+		return rtl.Xor(g.expr(depth-1, w), g.expr(depth-1, w))
+	case 4:
+		ops := []func(a, b rtl.Expr) rtl.Expr{rtl.Add, rtl.Sub, rtl.Mul}
+		return ops[g.r.Intn(3)](g.expr(depth-1, w), g.expr(depth-1, w))
+	case 5:
+		cw := g.width()
+		ops := []func(a, b rtl.Expr) rtl.Expr{rtl.Eq, rtl.Ne, rtl.Lt, rtl.Le}
+		return fit(ops[g.r.Intn(4)](g.expr(depth-1, cw), g.expr(depth-1, cw)), w)
+	case 6:
+		// Shift amounts past the width exercise the constant-zero lowering.
+		if g.r.Intn(2) == 0 {
+			return rtl.Shl(g.expr(depth-1, w), g.r.Intn(w+2))
+		}
+		return rtl.Shr(g.expr(depth-1, w), g.r.Intn(w+2))
+	case 7:
+		return rtl.Mux(g.expr(depth-1, 1), g.expr(depth-1, w), g.expr(depth-1, w))
+	case 8:
+		cw := w + g.r.Intn(64-w+1)
+		if cw == w {
+			return g.expr(depth-1, w)
+		}
+		lo := g.r.Intn(cw - w + 1)
+		return rtl.Slice(g.expr(depth-1, cw), lo+w-1, lo)
+	case 9:
+		if w < 2 {
+			return g.leaf(w)
+		}
+		hi := 1 + g.r.Intn(w-1)
+		return rtl.Concat(g.expr(depth-1, hi), g.expr(depth-1, w-hi))
+	case 10:
+		if g.r.Intn(2) == 0 {
+			return fit(rtl.RedOr(g.expr(depth-1, g.width())), w)
+		}
+		return fit(rtl.RedAnd(g.expr(depth-1, g.width())), w)
+	case 11:
+		if len(g.mems) == 0 {
+			return g.leaf(w)
+		}
+		mem := g.mems[g.r.Intn(len(g.mems))]
+		return fit(rtl.MemRead(mem, g.expr(depth-1, 1+g.r.Intn(10))), w)
+	default:
+		return g.leaf(w)
+	}
+}
+
+func (g *designGen) wire(w int, src rtl.Expr) *rtl.Signal {
+	s := g.m.Wire(fmt.Sprintf("w%d", g.wires), w)
+	g.wires++
+	g.m.Connect(s, src)
+	return s
+}
+
+// RandomDesign builds an acyclic random design: inputs and registers
+// first (state, usable anywhere), then memories, then a chain of wires
+// where each may only read earlier-declared sources, then output ports
+// mirroring a few internal values (so the design is debuggable: watches
+// and assertions bind to outputs). Register next/enable/reset and
+// memory write ports close the loops last and may read anything.
+func RandomDesign(r *rand.Rand) *Design {
+	g := &designGen{r: r, m: rtl.NewModule("fuzz")}
+	d := &Design{Clocks: []sim.ClockSpec{{Name: "clk", Period: 1}}}
+	domains := []string{"clk"}
+	if r.Intn(2) == 0 {
+		d.Clocks = append(d.Clocks, sim.ClockSpec{Name: "clk2", Period: 1 + r.Intn(3), Phase: r.Intn(2)})
+		domains = append(domains, "clk2")
+	}
+	domain := func() string { return domains[r.Intn(len(domains))] }
+
+	for i := 0; i < 2+r.Intn(3); i++ {
+		name := fmt.Sprintf("in%d", i)
+		in := g.m.Input(name, g.width())
+		d.Inputs = append(d.Inputs, Port{Name: name, Width: in.Width})
+		g.pool = append(g.pool, in)
+	}
+	var regs []*rtl.Signal
+	for i := 0; i < 3+r.Intn(6); i++ {
+		reg := g.m.Reg(fmt.Sprintf("r%d", i), g.width(), domain(), r.Uint64())
+		regs = append(regs, reg)
+		g.pool = append(g.pool, reg)
+		d.Regs = append(d.Regs, Port{Name: reg.Name, Width: reg.Width})
+	}
+	for i := 0; i < r.Intn(3); i++ {
+		mem := g.m.Mem(fmt.Sprintf("m%d", i), g.width(), 4+r.Intn(29))
+		if r.Intn(2) == 0 {
+			mem.Init = map[int]uint64{r.Intn(mem.Depth): r.Uint64()}
+		}
+		g.mems = append(g.mems, mem)
+		d.Mems = append(d.Mems, Mem{Name: mem.Name, Width: mem.Width, Depth: mem.Depth})
+	}
+	// Wires: acyclic by construction — each reads only the pool so far.
+	for i := 0; i < 5+r.Intn(10); i++ {
+		w := g.width()
+		g.pool = append(g.pool, g.wire(w, g.expr(1+r.Intn(3), w)))
+	}
+	// Outputs: o0 is deliberately narrow (1-2 bits) so value breakpoints
+	// armed on it actually fire; the rest mirror arbitrary pool values.
+	nOut := 2 + r.Intn(3)
+	for i := 0; i < nOut; i++ {
+		w := 1 + r.Intn(2)
+		if i > 0 {
+			w = g.width()
+		}
+		o := g.m.Output(fmt.Sprintf("o%d", i), w)
+		src := g.pool[r.Intn(len(g.pool))]
+		g.m.Connect(o, fit(rtl.S(src), w))
+		d.Outputs = append(d.Outputs, Port{Name: o.Name, Width: w})
+	}
+	// Close the loops: register next/enable/reset and memory write ports
+	// may read anything, including the last wires.
+	for _, reg := range regs {
+		g.m.SetNext(reg, g.expr(2, reg.Width))
+		if r.Intn(2) == 0 {
+			g.m.SetEnable(reg, g.expr(1, 1))
+		}
+		if r.Intn(3) == 0 {
+			g.m.SetReset(reg, g.expr(1, 1))
+		}
+	}
+	for _, mem := range g.mems {
+		for p := 0; p < 1+r.Intn(2); p++ {
+			mem.Write(domain(), g.expr(1, 1+r.Intn(8)), g.expr(2, mem.Width), g.expr(1, 1))
+		}
+	}
+	d.RTL = rtl.NewDesign("fuzz", g.m)
+	return d
+}

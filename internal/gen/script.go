@@ -1,0 +1,233 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Op kinds a debug-session script may contain. The vocabulary mirrors
+// the wire protocol minus wall-clock-dependent operations, so a script
+// replays deterministically against any target.
+const (
+	OpPeek      = "peek"
+	OpPoke      = "poke"
+	OpPeekMem   = "peekmem"
+	OpPokeMem   = "pokemem"
+	OpPeekBatch = "peekbatch"
+	OpPokeBatch = "pokebatch"
+	OpStep      = "step"
+	OpRun       = "run"
+	OpUntil     = "until" // run-to-breakpoint
+	OpPause     = "pause"
+	OpResume    = "resume"
+	OpBreak     = "break"
+	OpClearBrk  = "clearbrk"
+	OpAssert    = "assert" // arm/disarm an assertion breakpoint
+	OpSnapshot  = "snapshot"
+	OpRestore   = "restore"
+	OpWatch     = "watch" // step until a register changes
+	OpInput     = "input" // drive a top-level input
+	OpOutput    = "output"
+	OpInspect   = "inspect"
+)
+
+// Item is one element of a batched peek/poke.
+type Item struct {
+	Name  string `json:"name"`
+	Mem   bool   `json:"mem,omitempty"`
+	Addr  int    `json:"addr,omitempty"`
+	Value uint64 `json:"value,omitempty"`
+}
+
+// Op is one operation of a debug-session script.
+type Op struct {
+	Kind   string `json:"kind"`
+	Name   string `json:"name,omitempty"`
+	Addr   int    `json:"addr,omitempty"`
+	Value  uint64 `json:"value,omitempty"`
+	N      int    `json:"n,omitempty"`
+	Mode   string `json:"mode,omitempty"`   // break composition: "any" | "all"
+	Enable bool   `json:"enable,omitempty"` // assertion arm/disarm
+	Items  []Item `json:"items,omitempty"`  // batched ops
+}
+
+// String renders an op compactly for divergence reports.
+func (o Op) String() string {
+	switch o.Kind {
+	case OpPeek, OpOutput, OpInspect:
+		return fmt.Sprintf("%s %s", o.Kind, o.Name)
+	case OpPoke, OpInput:
+		return fmt.Sprintf("%s %s=%#x", o.Kind, o.Name, o.Value)
+	case OpPeekMem:
+		return fmt.Sprintf("peekmem %s[%d]", o.Name, o.Addr)
+	case OpPokeMem:
+		return fmt.Sprintf("pokemem %s[%d]=%#x", o.Name, o.Addr, o.Value)
+	case OpPeekBatch, OpPokeBatch:
+		return fmt.Sprintf("%s x%d", o.Kind, len(o.Items))
+	case OpStep, OpRun, OpUntil:
+		return fmt.Sprintf("%s %d", o.Kind, o.N)
+	case OpBreak:
+		return fmt.Sprintf("break %s=%#x %s", o.Name, o.Value, o.Mode)
+	case OpAssert:
+		return fmt.Sprintf("assert %s enable=%v", o.Name, o.Enable)
+	case OpWatch:
+		return fmt.Sprintf("watch %s max=%d", o.Name, o.N)
+	default:
+		return o.Kind
+	}
+}
+
+// scriptGen draws names and values for one design.
+type scriptGen struct {
+	r *rand.Rand
+	d *Design
+}
+
+// regName picks a register name; a small fraction are bogus or are
+// memory names, exercising the typed error paths identically on every
+// target.
+func (g *scriptGen) regName() string {
+	switch {
+	case g.r.Intn(12) == 0:
+		return fmt.Sprintf("nosuch%d", g.r.Intn(4))
+	case len(g.d.Mems) > 0 && g.r.Intn(10) == 0:
+		return g.d.Mems[g.r.Intn(len(g.d.Mems))].Name
+	default:
+		return g.d.Regs[g.r.Intn(len(g.d.Regs))].Name
+	}
+}
+
+func (g *scriptGen) regValue(name string) uint64 {
+	for _, p := range g.d.Regs {
+		if p.Name == name {
+			if g.r.Intn(10) == 0 && p.Width < 64 {
+				// Oversized on purpose: width-mismatch error path.
+				return maskOf(p.Width) + 1 + uint64(g.r.Intn(7))
+			}
+			return g.r.Uint64() & maskOf(p.Width)
+		}
+	}
+	return g.r.Uint64() & 0xff
+}
+
+func (g *scriptGen) memRef() (string, int) {
+	if len(g.d.Mems) == 0 || g.r.Intn(10) == 0 {
+		return g.regName(), g.r.Intn(8) // registers here hit ErrIsRegister
+	}
+	m := g.d.Mems[g.r.Intn(len(g.d.Mems))]
+	addr := g.r.Intn(m.Depth)
+	if g.r.Intn(10) == 0 {
+		addr = m.Depth + g.r.Intn(4) // out-of-range error path
+	}
+	return m.Name, addr
+}
+
+func (g *scriptGen) batchItems() []Item {
+	n := 2 + g.r.Intn(4)
+	items := make([]Item, n)
+	for i := range items {
+		if len(g.d.Mems) > 0 && g.r.Intn(3) == 0 {
+			name, addr := g.memRef()
+			items[i] = Item{Name: name, Mem: true, Addr: addr, Value: g.r.Uint64() & 0xffff}
+		} else {
+			name := g.regName()
+			items[i] = Item{Name: name, Value: g.regValue(name)}
+		}
+	}
+	return items
+}
+
+// RandomScript generates a debug-session script of n ops for a
+// generated design with nAsserts compiled-in assertions. Scripts mix
+// state access (single and batched), clock control, breakpoints,
+// snapshot/restore and watchpoints; a deliberate fraction of ops is
+// invalid so error identity is exercised alongside the happy paths.
+func RandomScript(r *rand.Rand, d *Design, n, nAsserts int) []Op {
+	g := &scriptGen{r: r, d: d}
+	ops := make([]Op, 0, n)
+	for len(ops) < n {
+		switch g.r.Intn(20) {
+		case 0, 1, 2:
+			ops = append(ops, Op{Kind: OpPeek, Name: g.regName()})
+		case 3, 4:
+			name := g.regName()
+			ops = append(ops, Op{Kind: OpPoke, Name: name, Value: g.regValue(name)})
+		case 5:
+			name, addr := g.memRef()
+			ops = append(ops, Op{Kind: OpPeekMem, Name: name, Addr: addr})
+		case 6:
+			name, addr := g.memRef()
+			ops = append(ops, Op{Kind: OpPokeMem, Name: name, Addr: addr, Value: g.r.Uint64()})
+		case 7:
+			ops = append(ops, Op{Kind: OpPeekBatch, Items: g.batchItems()})
+		case 8:
+			ops = append(ops, Op{Kind: OpPokeBatch, Items: g.batchItems()})
+		case 9, 10:
+			ops = append(ops, Op{Kind: OpStep, N: 1 + g.r.Intn(4)})
+		case 11:
+			ops = append(ops, Op{Kind: OpRun, N: 5 + g.r.Intn(40)})
+		case 12:
+			ops = append(ops, Op{Kind: OpUntil, N: 40 + g.r.Intn(120)})
+		case 13:
+			if g.r.Intn(2) == 0 {
+				ops = append(ops, Op{Kind: OpPause})
+			} else {
+				ops = append(ops, Op{Kind: OpResume})
+			}
+		case 14:
+			// Mostly watched outputs (valid); sometimes a register, which
+			// must fail with ErrNotWatched on every target.
+			name := g.d.Outputs[g.r.Intn(len(g.d.Outputs))].Name
+			width := 1
+			for _, p := range g.d.Outputs {
+				if p.Name == name {
+					width = p.Width
+				}
+			}
+			if g.r.Intn(8) == 0 {
+				name = g.d.Regs[g.r.Intn(len(g.d.Regs))].Name
+			}
+			mode := "any"
+			if g.r.Intn(4) == 0 {
+				mode = "all"
+			}
+			lim := width
+			if lim > 3 {
+				lim = 3
+			}
+			ops = append(ops, Op{Kind: OpBreak, Name: name,
+				Value: uint64(g.r.Intn(1 << uint(lim))), Mode: mode})
+		case 15:
+			ops = append(ops, Op{Kind: OpClearBrk})
+		case 16:
+			if nAsserts > 0 {
+				ops = append(ops, Op{Kind: OpAssert,
+					Name:   fmt.Sprintf("a%d", g.r.Intn(nAsserts)),
+					Enable: g.r.Intn(2) == 0})
+			}
+		case 17:
+			if g.r.Intn(3) == 0 {
+				ops = append(ops, Op{Kind: OpRestore})
+			} else {
+				ops = append(ops, Op{Kind: OpSnapshot})
+			}
+		case 18:
+			if g.r.Intn(2) == 0 {
+				ops = append(ops, Op{Kind: OpWatch,
+					Name: g.d.Regs[g.r.Intn(len(g.d.Regs))].Name, N: 1 + g.r.Intn(5)})
+			} else {
+				ops = append(ops, Op{Kind: OpInspect, Name: "dut"})
+			}
+		default:
+			if g.r.Intn(2) == 0 {
+				in := g.d.Inputs[g.r.Intn(len(g.d.Inputs))]
+				ops = append(ops, Op{Kind: OpInput, Name: in.Name,
+					Value: g.r.Uint64() & maskOf(in.Width)})
+			} else {
+				out := g.d.Outputs[g.r.Intn(len(g.d.Outputs))]
+				ops = append(ops, Op{Kind: OpOutput, Name: out.Name})
+			}
+		}
+	}
+	return ops
+}

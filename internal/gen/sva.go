@@ -1,0 +1,223 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+	"zoomie/internal/sva"
+)
+
+// svaGen builds random assertion sources over a fixed signal set.
+type svaGen struct {
+	r    *rand.Rand
+	sigs []Port
+}
+
+func (g *svaGen) sig() Port { return g.sigs[g.r.Intn(len(g.sigs))] }
+
+func (g *svaGen) smallConst(w int) uint64 {
+	if w > 3 {
+		w = 3
+	}
+	return uint64(g.r.Intn(1 << uint(w)))
+}
+
+// boolExpr emits a random boolean expression source.
+func (g *svaGen) boolExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		s := g.sig()
+		switch g.r.Intn(6) {
+		case 0:
+			return s.Name
+		case 1:
+			return fmt.Sprintf("%s == %d", s.Name, g.smallConst(s.Width))
+		case 2:
+			return fmt.Sprintf("%s != %d", s.Name, g.smallConst(s.Width))
+		case 3:
+			if s.Width > 1 {
+				hi := g.r.Intn(s.Width)
+				lo := g.r.Intn(hi + 1)
+				return fmt.Sprintf("%s[%d:%d] == %d", s.Name, hi, lo, g.smallConst(hi-lo+1))
+			}
+			return "!" + s.Name
+		case 4:
+			kinds := []string{"$rose", "$fell", "$stable"}
+			return fmt.Sprintf("%s(%s)", kinds[g.r.Intn(3)], s.Name)
+		default:
+			return fmt.Sprintf("$past(%s, %d) == %s", s.Name, 1+g.r.Intn(2), s.Name)
+		}
+	}
+	a, b := g.boolExpr(depth-1), g.boolExpr(depth-1)
+	switch g.r.Intn(3) {
+	case 0:
+		return fmt.Sprintf("(%s && %s)", a, b)
+	case 1:
+		return fmt.Sprintf("(%s || %s)", a, b)
+	default:
+		return fmt.Sprintf("!(%s)", a)
+	}
+}
+
+// seqExpr emits a random sequence source.
+func (g *svaGen) seqExpr(depth int) string {
+	if depth <= 0 || g.r.Intn(3) == 0 {
+		return g.boolExpr(1)
+	}
+	switch g.r.Intn(6) {
+	case 0:
+		return fmt.Sprintf("%s ##%d %s", g.seqExpr(depth-1), g.r.Intn(3), g.boolExpr(1))
+	case 1:
+		lo := g.r.Intn(2)
+		return fmt.Sprintf("%s ##[%d:%d] %s", g.boolExpr(1), lo, lo+1+g.r.Intn(2), g.boolExpr(1))
+	case 2:
+		lo := 1 + g.r.Intn(2)
+		return fmt.Sprintf("(%s) [*%d:%d]", g.boolExpr(1), lo, lo+g.r.Intn(2))
+	case 3:
+		return fmt.Sprintf("%s throughout (%s ##%d %s)",
+			g.boolExpr(1), g.boolExpr(1), 1+g.r.Intn(2), g.boolExpr(1))
+	case 4:
+		op := []string{"and", "or", "intersect"}[g.r.Intn(3)]
+		return fmt.Sprintf("(%s %s %s)", g.seqExpr(depth-1), op, g.seqExpr(depth-1))
+	default:
+		return g.boolExpr(1)
+	}
+}
+
+// RandomProperty emits one random assertion source over the given
+// signals, drawing only from the synthesizable Table-4 subset the
+// repo supports (including throughout and weak until). The result may
+// still be rejected by the compiler (e.g. an intersect whose operands
+// can never agree on length); see RandomAssertions for a validated
+// stream.
+func RandomProperty(r *rand.Rand, sigs []Port) string {
+	g := &svaGen{r: r, sigs: sigs}
+	switch g.r.Intn(10) {
+	case 0:
+		return fmt.Sprintf("assert (%s);", g.boolExpr(2))
+	case 1:
+		return fmt.Sprintf("assert property (@(posedge clk) %s);", g.seqExpr(2))
+	case 2:
+		return fmt.Sprintf("assert property (@(posedge clk) %s until %s);",
+			g.boolExpr(1), g.boolExpr(1))
+	case 3:
+		return fmt.Sprintf("assert property (@(posedge clk) %s |-> %s until %s);",
+			g.seqExpr(1), g.boolExpr(1), g.boolExpr(1))
+	case 4:
+		return fmt.Sprintf("assert property (@(posedge clk) %s |=> %s);",
+			g.seqExpr(1), g.seqExpr(2))
+	default:
+		return fmt.Sprintf("assert property (@(posedge clk) %s |-> %s);",
+			g.seqExpr(1), g.seqExpr(2))
+	}
+}
+
+// RandomAssertions returns up to max random assertion sources that
+// parse and compile against the given signal widths — the validated
+// stream used both for instrumenting generated designs and for the
+// mutation-testing mode. Labels are injected so enable/disable ops can
+// address the monitors by stable names ("a0", "a1", ...).
+func RandomAssertions(r *rand.Rand, sigs []Port, max int) []string {
+	widths := make(map[string]int, len(sigs)+1)
+	for _, s := range sigs {
+		widths[s.Name] = s.Width
+	}
+	widths["clk"] = 1
+	var out []string
+	for tries := 0; tries < 10*max && len(out) < max; tries++ {
+		src := RandomProperty(r, sigs)
+		label := fmt.Sprintf("a%d: ", len(out))
+		src = label + src
+		a, err := sva.Parse(src)
+		if err != nil {
+			continue
+		}
+		if _, err := sva.Compile(a, a.Label, "clk", widths); err != nil {
+			continue
+		}
+		out = append(out, src)
+	}
+	return out
+}
+
+// RandomTrace generates n cycles of biased stimulus for the named
+// signals: each column holds its value and re-randomizes with
+// moderate probability, keeping 1-bit controls high often enough for
+// antecedents to fire and wide values small enough for equality
+// guards to hit.
+func RandomTrace(r *rand.Rand, sigs []Port, n int) map[string][]uint64 {
+	tr := make(map[string][]uint64, len(sigs))
+	for _, s := range sigs {
+		col := make([]uint64, n)
+		var cur uint64
+		for t := 0; t < n; t++ {
+			if t == 0 || r.Intn(3) == 0 {
+				if s.Width == 1 {
+					cur = uint64(r.Intn(2))
+				} else {
+					lim := s.Width
+					if lim > 3 {
+						lim = 3
+					}
+					cur = uint64(r.Intn(1 << uint(lim)))
+					if r.Intn(8) == 0 {
+						cur = r.Uint64() & maskOf(s.Width)
+					}
+				}
+			}
+			col[t] = cur
+		}
+		tr[s.Name] = col
+	}
+	return tr
+}
+
+// BiasedTrace generates stimulus like RandomTrace but steers each
+// signal toward the per-signal target values (from sva.AtomTargets)
+// half of the time it re-randomizes. Uniform draws over a wide bus
+// essentially never land on one equality point — `d[5:3] == 5` is a
+// 1-in-256 event per fresh value — so without this bias the atoms
+// guarding a property's consequent stay false for entire traces and
+// the logic behind them is unobservable to any trace-level oracle.
+func BiasedTrace(r *rand.Rand, sigs []Port, n int, targets map[string][]uint64) map[string][]uint64 {
+	tr := make(map[string][]uint64, len(sigs))
+	for _, s := range sigs {
+		col := make([]uint64, n)
+		tv := targets[s.Name]
+		var cur uint64
+		for t := 0; t < n; t++ {
+			if t == 0 || r.Intn(3) == 0 {
+				switch {
+				case len(tv) > 0 && r.Intn(2) == 0:
+					// Jitter bits outside the low byte occasionally so
+					// slice atoms see both exact hits and near misses.
+					cur = tv[r.Intn(len(tv))] & maskOf(s.Width)
+					if r.Intn(4) == 0 {
+						cur ^= 1 << uint(r.Intn(s.Width))
+					}
+				case s.Width == 1:
+					cur = uint64(r.Intn(2))
+				default:
+					cur = r.Uint64() & maskOf(s.Width)
+					if r.Intn(2) == 0 {
+						cur &= 7
+					}
+				}
+			}
+			col[t] = cur
+		}
+		tr[s.Name] = col
+	}
+	return tr
+}
+
+func maskOf(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// MutationSignals is the fixed signal set mutation mode generates
+// properties over: two 1-bit controls and two small data buses.
+func MutationSignals() []Port {
+	return []Port{{Name: "a", Width: 1}, {Name: "b", Width: 1}, {Name: "c", Width: 4}, {Name: "d", Width: 8}}
+}

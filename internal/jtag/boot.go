@@ -115,11 +115,54 @@ func (c *Cable) Boot(img *fpga.Image) error {
 			return err
 		}
 	}
+	if c.guard {
+		return c.bootVerified(img)
+	}
 	stream, err := GenerateConfigStream(img)
 	if err != nil {
 		return err
 	}
 	if _, err := c.Execute(stream); err != nil {
+		return fmt.Errorf("jtag: boot stream failed: %w", err)
+	}
+	if !c.Board.ClockRunning() {
+		return fmt.Errorf("jtag: boot completed but the clock is not running")
+	}
+	return nil
+}
+
+// bootVerified is the guarded-transport boot: the initial-state frames
+// go through the CRC verify-after-write path SLR by SLR instead of one
+// long unverified stream, then the clock starts. Without this a single
+// in-flight flip during configuration corrupts initial state silently —
+// every later read faithfully returns the wrong image, so no amount of
+// read verification can catch it.
+func (c *Cable) bootVerified(img *fpga.Image) error {
+	frames, err := initialFrames(img)
+	if err != nil {
+		return err
+	}
+	perSLR := map[int][]int{}
+	for key := range frames {
+		perSLR[key[0]] = append(perSLR[key[0]], key[1])
+	}
+	slrs := make([]int, 0, len(perSLR))
+	for slr := range perSLR {
+		slrs = append(slrs, slr)
+	}
+	sort.Ints(slrs)
+	for _, slr := range slrs {
+		addrs := perSLR[slr]
+		sort.Ints(addrs)
+		data := make([][]uint32, len(addrs))
+		for i, far := range addrs {
+			data[i] = frames[[2]int{slr, far}]
+		}
+		if err := c.WritebackFrames(slr, addrs, data); err != nil {
+			return fmt.Errorf("jtag: boot frames of SLR %d: %w", slr, err)
+		}
+	}
+	if err := c.StartClock(); err != nil {
 		return fmt.Errorf("jtag: boot stream failed: %w", err)
 	}
 	if !c.Board.ClockRunning() {

@@ -114,6 +114,15 @@ type RetryPolicy struct {
 	// Deadline bounds one logical operation including all retries and
 	// verification passes (default 10s).
 	Deadline time.Duration
+	// Agreement is the read-verification depth: a word counts as read
+	// only after this many consecutive identical observations. Default 2
+	// on a clean guarded link; when a fault injector is bound the cable
+	// raises the default to 3, because at per-word flip rate f the
+	// chance of the same word corrupting identically n times in a row is
+	// ~(f/32)^(n-1)·f — at f=1% that is ~3e-6 per word for n=2, which a
+	// long campaign of coalesced readbacks will eventually hit, versus
+	// ~1e-9 for n=3.
+	Agreement int
 }
 
 func (r RetryPolicy) withDefaults() RetryPolicy {
@@ -128,6 +137,9 @@ func (r RetryPolicy) withDefaults() RetryPolicy {
 	}
 	if r.Deadline <= 0 {
 		r.Deadline = 10 * time.Second
+	}
+	if r.Agreement <= 1 {
+		r.Agreement = 2
 	}
 	return r
 }
@@ -202,6 +214,9 @@ func ConnectWithOptions(board *fpga.Board, opts Options) *Cable {
 		backend = opts.Faults.Bind(backend)
 		guard = true
 		seed = opts.Faults.Profile().Seed + 1
+		if opts.Retry.Agreement == 0 {
+			opts.Retry.Agreement = 3 // known-flaky link: deeper read agreement
+		}
 	}
 	return &Cable{
 		Board: board,
@@ -390,16 +405,17 @@ func (c *Cable) ReadbackFramesCtx(ctx context.Context, slr int, frames []int) ([
 func (c *Cable) verifyBudget() int { return 4 * c.retry.MaxRetries }
 
 // ReadbackFramesVerified reads frames until every word of every frame has
-// been seen identically in two consecutive reads. A read has no ground
-// truth to checksum against, so agreement between independent reads is
-// the integrity criterion — and it is applied per word, not per frame: an
-// in-flight flip would have to corrupt the same word the same way twice
-// in a row to slip through (~1e-6 even at 1% flip rates), while demanding
-// two fully clean 93-word frames would almost never converge at those
+// been seen identically in retry.Agreement consecutive reads (2 on a
+// clean guarded link, 3 when a fault injector is bound). A read has no
+// ground truth to checksum against, so agreement between independent
+// reads is the integrity criterion — and it is applied per word, not per
+// frame: an in-flight flip would have to corrupt the same word the same
+// way on every read of the streak to slip through, while demanding fully
+// clean 93-word frames would almost never converge at percent-level flip
 // rates. Confirmed frames drop out of the re-read set; only the
 // unconfirmed subset goes back on the wire. The design is quiesced during
 // readback (the configuration plane owns the clock), so words confirmed
-// by different read pairs belong to one consistent frame.
+// by different read streaks belong to one consistent frame.
 func (c *Cable) ReadbackFramesVerified(slr int, frames []int) ([][]uint32, error) {
 	return c.readbackVerified(context.Background(), slr, frames)
 }
@@ -410,13 +426,19 @@ func (c *Cable) readbackVerified(ctx context.Context, slr int, frames []int) ([]
 	if err != nil {
 		return nil, err
 	}
+	agree := c.retry.Agreement
 	out := make([][]uint32, len(frames))
 	left := make([]int, len(frames)) // unconfirmed words per frame
 	conf := make([][]bool, len(frames))
-	pending := make([]int, len(frames)) // positions not yet fully confirmed
+	streak := make([][]int, len(frames)) // consecutive identical observations
+	pending := make([]int, len(frames))  // positions not yet fully confirmed
 	for i := range frames {
 		out[i] = make([]uint32, fpga.FrameWords)
 		conf[i] = make([]bool, fpga.FrameWords)
+		streak[i] = make([]int, fpga.FrameWords)
+		for w := range streak[i] {
+			streak[i][w] = 1 // the mandatory first read
+		}
 		left[i] = fpga.FrameWords
 		pending[i] = i
 	}
@@ -447,7 +469,15 @@ func (c *Cable) readbackVerified(ctx context.Context, slr int, frames []int) ([]
 		var still []int
 		for i, p := range pending {
 			for w := 0; w < fpga.FrameWords; w++ {
-				if !conf[p][w] && cur[i][w] == prev[p][w] {
+				if conf[p][w] {
+					continue
+				}
+				if cur[i][w] == prev[p][w] {
+					streak[p][w]++
+				} else {
+					streak[p][w] = 1
+				}
+				if streak[p][w] >= agree {
 					out[p][w] = cur[i][w]
 					conf[p][w] = true
 					left[p]--

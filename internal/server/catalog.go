@@ -3,10 +3,36 @@ package server
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"zoomie"
 	"zoomie/internal/workloads"
 )
+
+// extraMu guards the process-wide catalog extensions registered by
+// Register. Tools that serve generated designs (zcheck) add entries
+// here before starting an in-process server.
+var (
+	extraMu sync.Mutex
+	extra   = map[string]Entry{}
+)
+
+// Register adds (or replaces) a catalog entry at runtime so servers in
+// this process can attach sessions to designs that are not part of the
+// bundled catalog — the hook the checking harness uses to serve
+// generated designs through real zoomied sessions.
+func Register(name string, e Entry) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	extra[name] = e
+}
+
+// Unregister removes a runtime-registered entry.
+func Unregister(name string) {
+	extraMu.Lock()
+	defer extraMu.Unlock()
+	delete(extra, name)
+}
 
 // Entry is one debuggable design in the server's catalog: how to build
 // it, how to debug it, and how to bring it to life after the clock
@@ -24,7 +50,7 @@ type Entry struct {
 // to attach. Variant designs (the TLB bug, the hanging program) are
 // separate entries so an allowlist can expose exactly one of them.
 func Catalog() map[string]Entry {
-	return map[string]Entry{
+	m := map[string]Entry{
 		"counter": {
 			Describe: "16-bit counter (quickstart design)",
 			Build: func() (*zoomie.Design, zoomie.DebugConfig) {
@@ -86,6 +112,12 @@ func Catalog() map[string]Entry {
 			},
 		},
 	}
+	extraMu.Lock()
+	for n, e := range extra {
+		m[n] = e
+	}
+	extraMu.Unlock()
+	return m
 }
 
 func cohortInit(s *zoomie.Session) error {

@@ -14,6 +14,7 @@ import (
 	"testing"
 	"testing/quick"
 
+	"zoomie/internal/gen"
 	"zoomie/internal/rtl"
 	"zoomie/internal/sim"
 	"zoomie/internal/workloads"
@@ -176,158 +177,6 @@ func TestEnginesEquivalentSnapshot(t *testing.T) {
 	compareState(t, f, clocks, ref, cmp, "after cross-restore")
 }
 
-// --- random design generation ---
-
-type designGen struct {
-	r     *rand.Rand
-	m     *rtl.Module
-	pool  []*rtl.Signal // value sources usable in new expressions
-	mems  []*rtl.Memory
-	wires int
-}
-
-// fit adapts e to the target width by slicing or zero-extension.
-func fit(e rtl.Expr, w int) rtl.Expr {
-	if e.Width == w {
-		return e
-	}
-	if e.Width > w {
-		return rtl.Slice(e, w-1, 0)
-	}
-	return rtl.ZeroExt(e, w)
-}
-
-func (g *designGen) width() int { return 1 + g.r.Intn(64) }
-
-// leaf yields a constant or an existing signal fitted to width w.
-func (g *designGen) leaf(w int) rtl.Expr {
-	if len(g.pool) == 0 || g.r.Intn(4) == 0 {
-		return rtl.C(g.r.Uint64(), w)
-	}
-	return fit(rtl.S(g.pool[g.r.Intn(len(g.pool))]), w)
-}
-
-// expr builds a random expression of exactly width w, depth-bounded.
-func (g *designGen) expr(depth, w int) rtl.Expr {
-	if depth <= 0 || g.r.Intn(5) == 0 {
-		return g.leaf(w)
-	}
-	switch g.r.Intn(13) {
-	case 0:
-		return rtl.Not(g.expr(depth-1, w))
-	case 1:
-		return rtl.And(g.expr(depth-1, w), g.expr(depth-1, w))
-	case 2:
-		return rtl.Or(g.expr(depth-1, w), g.expr(depth-1, w))
-	case 3:
-		return rtl.Xor(g.expr(depth-1, w), g.expr(depth-1, w))
-	case 4:
-		ops := []func(a, b rtl.Expr) rtl.Expr{rtl.Add, rtl.Sub, rtl.Mul}
-		return ops[g.r.Intn(3)](g.expr(depth-1, w), g.expr(depth-1, w))
-	case 5:
-		cw := g.width()
-		ops := []func(a, b rtl.Expr) rtl.Expr{rtl.Eq, rtl.Ne, rtl.Lt, rtl.Le}
-		return fit(ops[g.r.Intn(4)](g.expr(depth-1, cw), g.expr(depth-1, cw)), w)
-	case 6:
-		// Shift amounts past the width exercise the constant-zero lowering.
-		if g.r.Intn(2) == 0 {
-			return rtl.Shl(g.expr(depth-1, w), g.r.Intn(w+2))
-		}
-		return rtl.Shr(g.expr(depth-1, w), g.r.Intn(w+2))
-	case 7:
-		return rtl.Mux(g.expr(depth-1, 1), g.expr(depth-1, w), g.expr(depth-1, w))
-	case 8:
-		cw := w + g.r.Intn(64-w+1)
-		if cw == w {
-			return g.expr(depth-1, w)
-		}
-		lo := g.r.Intn(cw - w + 1)
-		return rtl.Slice(g.expr(depth-1, cw), lo+w-1, lo)
-	case 9:
-		if w < 2 {
-			return g.leaf(w)
-		}
-		hi := 1 + g.r.Intn(w-1)
-		return rtl.Concat(g.expr(depth-1, hi), g.expr(depth-1, w-hi))
-	case 10:
-		if g.r.Intn(2) == 0 {
-			return fit(rtl.RedOr(g.expr(depth-1, g.width())), w)
-		}
-		return fit(rtl.RedAnd(g.expr(depth-1, g.width())), w)
-	case 11:
-		if len(g.mems) == 0 {
-			return g.leaf(w)
-		}
-		mem := g.mems[g.r.Intn(len(g.mems))]
-		return fit(rtl.MemRead(mem, g.expr(depth-1, 1+g.r.Intn(10))), w)
-	default:
-		return g.leaf(w)
-	}
-}
-
-func (g *designGen) wire(w int, src rtl.Expr) *rtl.Signal {
-	s := g.m.Wire(fmt.Sprintf("w%d", g.wires), w)
-	g.wires++
-	g.m.Connect(s, src)
-	return s
-}
-
-// randomDesign builds an acyclic random design: inputs and registers
-// first (state, usable anywhere), then memories, then a chain of wires
-// where each may only read earlier-declared sources.
-func randomDesign(r *rand.Rand) (*rtl.Design, []sim.ClockSpec, []string) {
-	g := &designGen{r: r, m: rtl.NewModule("fuzz")}
-	clocks := []sim.ClockSpec{{Name: "clk", Period: 1}}
-	domains := []string{"clk"}
-	if r.Intn(2) == 0 {
-		clocks = append(clocks, sim.ClockSpec{Name: "clk2", Period: 1 + r.Intn(3), Phase: r.Intn(2)})
-		domains = append(domains, "clk2")
-	}
-	domain := func() string { return domains[r.Intn(len(domains))] }
-
-	var inputs []string
-	for i := 0; i < 2+r.Intn(3); i++ {
-		name := fmt.Sprintf("in%d", i)
-		inputs = append(inputs, name)
-		g.pool = append(g.pool, g.m.Input(name, g.width()))
-	}
-	var regs []*rtl.Signal
-	for i := 0; i < 3+r.Intn(6); i++ {
-		reg := g.m.Reg(fmt.Sprintf("r%d", i), g.width(), domain(), r.Uint64())
-		regs = append(regs, reg)
-		g.pool = append(g.pool, reg)
-	}
-	for i := 0; i < r.Intn(3); i++ {
-		mem := g.m.Mem(fmt.Sprintf("m%d", i), g.width(), 4+r.Intn(29))
-		if r.Intn(2) == 0 {
-			mem.Init = map[int]uint64{r.Intn(mem.Depth): r.Uint64()}
-		}
-		g.mems = append(g.mems, mem)
-	}
-	// Wires: acyclic by construction — each reads only the pool so far.
-	for i := 0; i < 5+r.Intn(10); i++ {
-		w := g.width()
-		g.pool = append(g.pool, g.wire(w, g.expr(1+r.Intn(3), w)))
-	}
-	// Close the loops: register next/enable/reset and memory write ports
-	// may read anything, including the last wires.
-	for _, reg := range regs {
-		g.m.SetNext(reg, g.expr(2, reg.Width))
-		if r.Intn(2) == 0 {
-			g.m.SetEnable(reg, g.expr(1, 1))
-		}
-		if r.Intn(3) == 0 {
-			g.m.SetReset(reg, g.expr(1, 1))
-		}
-	}
-	for _, mem := range g.mems {
-		for p := 0; p < 1+r.Intn(2); p++ {
-			mem.Write(domain(), g.expr(1, 1+r.Intn(8)), g.expr(2, mem.Width), g.expr(1, 1))
-		}
-	}
-	return rtl.NewDesign("fuzz", g.m), clocks, inputs
-}
-
 // TestEnginesEquivalentRandom locksteps both engines over randomly
 // generated designs (100 via testing/quick), with random pokes, memory
 // pokes and host clock gating applied identically to both, comparing the
@@ -335,7 +184,8 @@ func randomDesign(r *rand.Rand) (*rtl.Design, []sim.ClockSpec, []string) {
 func TestEnginesEquivalentRandom(t *testing.T) {
 	run := func(seed int64) bool {
 		r := rand.New(rand.NewSource(seed))
-		design, clocks, inputs := randomDesign(r)
+		g := gen.RandomDesign(r)
+		design, clocks, inputs := g.RTL, g.Clocks, g.InputNames()
 		f, err := rtl.Elaborate(design)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)

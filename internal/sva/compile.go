@@ -68,6 +68,24 @@ func enumerate(s SeqNode) ([]thread, error) {
 			}
 		}
 		return out, nil
+	case SeqThroughout:
+		ts, err := enumerate(n.S)
+		if err != nil {
+			return nil, err
+		}
+		// The boolean is conjoined at every cycle of every match.
+		out := make([]thread, len(ts))
+		for i, t := range ts {
+			nt := make(thread, len(t))
+			for j, g := range t {
+				nt[j] = conj(n.Cond, g)
+			}
+			out[i] = nt
+		}
+		return out, nil
+	case SeqUntil:
+		return nil, &UnsupportedError{Feature: "until",
+			Detail: "'until' is only supported as the whole consequent of a property"}
 	case SeqBinary:
 		as, err := enumerate(n.A)
 		if err != nil {
@@ -262,10 +280,6 @@ func (c *compiler) property(a *Assertion) (rtl.Expr, rtl.Expr, error) {
 	if err != nil {
 		return rtl.Expr{}, rtl.Expr{}, err
 	}
-	conThreads, err := enumerate(a.Con)
-	if err != nil {
-		return rtl.Expr{}, rtl.Expr{}, err
-	}
 
 	// Antecedent match-end: OR over per-thread match pipelines.
 	antMatch := rtl.C(0, 1)
@@ -288,6 +302,17 @@ func (c *compiler) property(a *Assertion) (rtl.Expr, rtl.Expr, error) {
 	}
 	startW := c.m.Wire("obl_start", 1)
 	c.m.Connect(startW, start)
+
+	// A weak-until consequent is not finitely unrollable; it compiles to
+	// a dedicated one-register FSM instead of the staged pipeline.
+	if u, ok := a.Con.(SeqUntil); ok {
+		return c.untilFSM(u, startW, antW)
+	}
+
+	conThreads, err := enumerate(a.Con)
+	if err != nil {
+		return rtl.Expr{}, rtl.Expr{}, err
+	}
 
 	// Consequent guards h[k][j] as wires, one per thread position.
 	K := len(conThreads)
@@ -396,6 +421,30 @@ func (c *compiler) property(a *Assertion) (rtl.Expr, rtl.Expr, error) {
 	}
 	failOut := c.m.Wire("fail_int", 1)
 	c.m.Connect(failOut, fail)
+	return rtl.S(failOut), rtl.S(antW), nil
+}
+
+// untilFSM compiles `start |-> (a until b)`. Until-obligations are
+// memoryless — every active obligation has the same future behaviour —
+// so one "active" register tracks them all: an obligation discharges
+// the cycle b holds (a is not required there), fails the cycle neither
+// b nor a holds, and otherwise stays active. Weak semantics: an
+// obligation still active when time ends never fails.
+func (c *compiler) untilFSM(u SeqUntil, startW, antW *rtl.Signal) (rtl.Expr, rtl.Expr, error) {
+	av, err := c.guard(u.A)
+	if err != nil {
+		return rtl.Expr{}, rtl.Expr{}, err
+	}
+	bv, err := c.guard(u.B)
+	if err != nil {
+		return rtl.Expr{}, rtl.Expr{}, err
+	}
+	active := c.reg("until_active", 1, 0)
+	actNow := c.m.Wire("until_act", 1)
+	c.m.Connect(actNow, rtl.Or(rtl.S(startW), rtl.S(active)))
+	c.m.SetNext(active, rtl.And(rtl.S(actNow), rtl.And(rtl.Not(bv), av)))
+	failOut := c.m.Wire("fail_int", 1)
+	c.m.Connect(failOut, rtl.And(rtl.S(actNow), rtl.And(rtl.Not(bv), rtl.Not(av))))
 	return rtl.S(failOut), rtl.S(antW), nil
 }
 

@@ -1,0 +1,465 @@
+package sva
+
+import "fmt"
+
+// Trace is trace-level stimulus: one column of per-cycle samples per
+// design signal. Signals an assertion references but the trace omits
+// read as constant zero (matching a monitor input tied low).
+type Trace map[string][]uint64
+
+// EvalTrace is the reference evaluator: it computes, directly from the
+// assertion AST and a finite trace, the per-cycle value the compiled
+// monitor's fail output must take — cycle t is evaluated from samples
+// at t and earlier, exactly like the synthesized FSM whose registers
+// have only seen cycles < t. It shares no code with the FSM compiler's
+// thread pipelines, so a divergence between the two is a real finding
+// in one of them.
+//
+// Semantics pinned here (the paper's Table 4 subset):
+//   - sampled values before the start of the trace read as 0 ($past,
+//     $rose/$fell/$stable at cycle 0) — monitor registers reset to 0;
+//   - |-> checks the consequent starting at the match cycle, |=> one
+//     cycle later;
+//   - an obligation fails at the first cycle where no alternative of
+//     the consequent can still match, and is discharged by the first
+//     alternative that completes;
+//   - weak semantics: an obligation still pending when the trace ends
+//     never fails, and `a until b` never requires b to occur;
+//   - `cond throughout seq` conjoins cond at every cycle of seq.
+//
+// `disable iff` is rejected: its mid-flight reset semantics are tied
+// to the monitor's register model, which is exactly what this
+// evaluator must stay independent of.
+func EvalTrace(a *Assertion, widths map[string]int, tr Trace, n int) ([]bool, error) {
+	ev := &evaluator{widths: widths, tr: tr}
+	fail := make([]bool, n)
+	if a.Immediate {
+		for t := 0; t < n; t++ {
+			v, err := ev.truth(a.Cond, t)
+			if err != nil {
+				return nil, err
+			}
+			fail[t] = !v
+		}
+		return fail, nil
+	}
+	if a.Disable != nil {
+		return nil, &UnsupportedError{Feature: "disable iff",
+			Detail: "the reference evaluator does not model mid-flight disable resets"}
+	}
+
+	ant := a.Ant
+	if ant == nil {
+		ant = SeqBool{Cond: Num{Val: 1}}
+	}
+	antAlts, err := alts(ant)
+	if err != nil {
+		return nil, err
+	}
+
+	// start[t]: an obligation begins at cycle t.
+	start := make([]bool, n)
+	for t := 0; t < n; t++ {
+		m, err := ev.matchEndsAt(antAlts, t)
+		if err != nil {
+			return nil, err
+		}
+		if !m {
+			continue
+		}
+		if a.NonOverlap {
+			if t+1 < n {
+				start[t+1] = true
+			}
+		} else {
+			start[t] = true
+		}
+	}
+
+	if u, ok := a.Con.(SeqUntil); ok {
+		active := false
+		for t := 0; t < n; t++ {
+			actNow := start[t] || active
+			bb, err := ev.truth(u.B, t)
+			if err != nil {
+				return nil, err
+			}
+			aa, err := ev.truth(u.A, t)
+			if err != nil {
+				return nil, err
+			}
+			if actNow && !bb && !aa {
+				fail[t] = true
+			}
+			active = actNow && !bb && aa
+		}
+		return fail, nil
+	}
+
+	conAlts, err := alts(a.Con)
+	if err != nil {
+		return nil, err
+	}
+	for s := 0; s < n; s++ {
+		if !start[s] {
+			continue
+		}
+		if err := ev.obligation(conAlts, s, n, fail); err != nil {
+			return nil, err
+		}
+	}
+	return fail, nil
+}
+
+// obligation walks one obligation starting at cycle s through the
+// alternatives of the consequent, marking the failure cycle (if any).
+func (ev *evaluator) obligation(cons [][]BoolExpr, s, n int, fail []bool) error {
+	alive := cons
+	for j := 0; ; j++ {
+		t := s + j
+		if t >= n {
+			return nil // still pending when the trace ends: weak, no fail
+		}
+		var succ, cont bool
+		var next [][]BoolExpr
+		for _, alt := range alive {
+			ok, err := ev.guardTruth(alt[j], t)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue // this alternative just died
+			}
+			if j == len(alt)-1 {
+				succ = true // this alternative completed
+			} else {
+				cont = true
+				next = append(next, alt)
+			}
+		}
+		if succ {
+			return nil // first completion discharges the whole obligation
+		}
+		if !cont {
+			fail[t] = true
+			return nil
+		}
+		alive = next
+	}
+}
+
+// matchEndsAt reports whether any alternative has a match ending at
+// cycle t (matches reaching back before cycle 0 cannot exist: the
+// partial-match state was 0 at reset).
+func (ev *evaluator) matchEndsAt(as [][]BoolExpr, t int) (bool, error) {
+	for _, alt := range as {
+		s := t - (len(alt) - 1)
+		if s < 0 {
+			continue
+		}
+		all := true
+		for i, g := range alt {
+			ok, err := ev.guardTruth(g, s+i)
+			if err != nil {
+				return false, err
+			}
+			if !ok {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// alts unrolls a sequence into its finite alternatives: one guard per
+// cycle, nil meaning "true". Independent of the compiler's enumerate.
+func alts(s SeqNode) ([][]BoolExpr, error) {
+	switch node := s.(type) {
+	case SeqBool:
+		return [][]BoolExpr{{node.Cond}}, nil
+	case SeqConcat:
+		as, err := alts(node.A)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := alts(node.B)
+		if err != nil {
+			return nil, err
+		}
+		var out [][]BoolExpr
+		for _, ta := range as {
+			for _, tb := range bs {
+				for k := node.Lo; k <= node.Hi; k++ {
+					var t []BoolExpr
+					if k == 0 {
+						t = append(t, ta[:len(ta)-1]...)
+						t = append(t, andExpr(ta[len(ta)-1], tb[0]))
+						t = append(t, tb[1:]...)
+					} else {
+						t = append(t, ta...)
+						for i := 1; i < k; i++ {
+							t = append(t, nil)
+						}
+						t = append(t, tb...)
+					}
+					out = append(out, t)
+					if len(out) > maxThreads {
+						return nil, fmt.Errorf("sva: sequence unrolls beyond %d alternatives", maxThreads)
+					}
+				}
+			}
+		}
+		return out, nil
+	case SeqRepeat:
+		base, err := alts(node.S)
+		if err != nil {
+			return nil, err
+		}
+		var out [][]BoolExpr
+		for k := node.Lo; k <= node.Hi; k++ {
+			cur := [][]BoolExpr{{}}
+			for i := 0; i < k; i++ {
+				var nxt [][]BoolExpr
+				for _, prefix := range cur {
+					for _, b := range base {
+						t := append(append([]BoolExpr{}, prefix...), b...)
+						nxt = append(nxt, t)
+					}
+				}
+				cur = nxt
+			}
+			out = append(out, cur...)
+			if len(out) > maxThreads {
+				return nil, fmt.Errorf("sva: repetition unrolls beyond %d alternatives", maxThreads)
+			}
+		}
+		return out, nil
+	case SeqBinary:
+		as, err := alts(node.A)
+		if err != nil {
+			return nil, err
+		}
+		bs, err := alts(node.B)
+		if err != nil {
+			return nil, err
+		}
+		var out [][]BoolExpr
+		switch node.Op {
+		case "or":
+			out = append(append(out, as...), bs...)
+		case "and", "intersect":
+			for _, ta := range as {
+				for _, tb := range bs {
+					if node.Op == "intersect" && len(ta) != len(tb) {
+						continue
+					}
+					ln := len(ta)
+					if len(tb) > ln {
+						ln = len(tb)
+					}
+					t := make([]BoolExpr, ln)
+					for i := range t {
+						var ga, gb BoolExpr
+						if i < len(ta) {
+							ga = ta[i]
+						}
+						if i < len(tb) {
+							gb = tb[i]
+						}
+						t[i] = andExpr(ga, gb)
+					}
+					out = append(out, t)
+				}
+			}
+			if node.Op == "intersect" && len(out) == 0 {
+				return nil, fmt.Errorf("sva: intersect operands can never have equal length")
+			}
+		default:
+			return nil, fmt.Errorf("sva: unknown sequence operator %q", node.Op)
+		}
+		if len(out) > maxThreads {
+			return nil, fmt.Errorf("sva: sequence unrolls beyond %d alternatives", maxThreads)
+		}
+		return out, nil
+	case SeqThroughout:
+		ts, err := alts(node.S)
+		if err != nil {
+			return nil, err
+		}
+		out := make([][]BoolExpr, len(ts))
+		for i, t := range ts {
+			nt := make([]BoolExpr, len(t))
+			for j, g := range t {
+				nt[j] = andExpr(node.Cond, g)
+			}
+			out[i] = nt
+		}
+		return out, nil
+	case SeqUntil:
+		return nil, &UnsupportedError{Feature: "until",
+			Detail: "'until' is only supported as the whole consequent of a property"}
+	default:
+		return nil, fmt.Errorf("sva: unknown sequence node %T", s)
+	}
+}
+
+func andExpr(a, b BoolExpr) BoolExpr {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	return Binary{Op: "&&", A: a, B: b}
+}
+
+// evaluator computes sampled expression values at trace cycles.
+type evaluator struct {
+	widths map[string]int
+	tr     Trace
+}
+
+func maskOf(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// guardTruth is truth with nil meaning "true".
+func (ev *evaluator) guardTruth(g BoolExpr, t int) (bool, error) {
+	if g == nil {
+		return true, nil
+	}
+	return ev.truth(g, t)
+}
+
+// truth samples a boolean expression at cycle t (nonzero = true,
+// mirroring the compiler's RedOr lowering of wide guards).
+func (ev *evaluator) truth(b BoolExpr, t int) (bool, error) {
+	v, _, err := ev.val(b, t)
+	return v != 0, err
+}
+
+// val samples an expression at cycle t, returning the value and its
+// bit width — widths matter: bitwise complement and comparisons follow
+// the same width rules as the synthesized rtl.
+func (ev *evaluator) val(b BoolExpr, t int) (uint64, int, error) {
+	switch n := b.(type) {
+	case Num:
+		w := 1
+		for v := n.Val; v > 1; v >>= 1 {
+			w++
+		}
+		return n.Val, w, nil
+	case Ident:
+		w, ok := ev.widths[n.Name]
+		if !ok {
+			return 0, 0, fmt.Errorf("sva: assertion references unknown signal %q", n.Name)
+		}
+		var v uint64
+		if col := ev.tr[n.Name]; t < len(col) {
+			v = col[t] & maskOf(w)
+		}
+		if n.Hi >= 0 {
+			if n.Hi >= w || n.Lo < 0 || n.Lo > n.Hi {
+				return 0, 0, fmt.Errorf("sva: slice %s[%d:%d] out of range (width %d)",
+					n.Name, n.Hi, n.Lo, w)
+			}
+			v = (v >> uint(n.Lo)) & maskOf(n.Hi-n.Lo+1)
+			w = n.Hi - n.Lo + 1
+		}
+		return v, w, nil
+	case Unary:
+		v, w, err := ev.val(n.X, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		if n.Op == "!" {
+			return b2u(v == 0), 1, nil
+		}
+		return ^v & maskOf(w), w, nil
+	case Binary:
+		av, aw, err := ev.val(n.A, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		bv, bw, err := ev.val(n.B, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		switch n.Op {
+		case "&&":
+			return b2u(av != 0 && bv != 0), 1, nil
+		case "||":
+			return b2u(av != 0 || bv != 0), 1, nil
+		}
+		w := aw
+		if bw > w {
+			w = bw
+		}
+		switch n.Op {
+		case "&":
+			return av & bv, w, nil
+		case "|":
+			return av | bv, w, nil
+		case "^":
+			return av ^ bv, w, nil
+		case "==":
+			return b2u(av == bv), 1, nil
+		case "!=":
+			return b2u(av != bv), 1, nil
+		case "<":
+			return b2u(av < bv), 1, nil
+		case "<=":
+			return b2u(av <= bv), 1, nil
+		case ">":
+			return b2u(av > bv), 1, nil
+		case ">=":
+			return b2u(av >= bv), 1, nil
+		}
+		return 0, 0, fmt.Errorf("sva: unknown operator %q", n.Op)
+	case Past:
+		if t-n.N < 0 {
+			// The sampling pipeline has not filled yet: registers read 0.
+			_, w, err := ev.val(n.X, 0)
+			return 0, w, err
+		}
+		return ev.val(n.X, t-n.N)
+	case Edge:
+		cur, _, err := ev.val(n.X, t)
+		if err != nil {
+			return 0, 0, err
+		}
+		var prev uint64
+		if t >= 1 {
+			prev, _, err = ev.val(n.X, t-1)
+			if err != nil {
+				return 0, 0, err
+			}
+		}
+		switch n.Kind {
+		case "rose":
+			return b2u(cur&1 == 1 && prev&1 == 0), 1, nil
+		case "fell":
+			return b2u(cur&1 == 0 && prev&1 == 1), 1, nil
+		case "stable":
+			return b2u(cur == prev), 1, nil
+		default:
+			return 0, 0, fmt.Errorf("sva: unknown edge function $%s", n.Kind)
+		}
+	default:
+		return 0, 0, fmt.Errorf("sva: unknown expression node %T", b)
+	}
+}
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

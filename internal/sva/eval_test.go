@@ -1,0 +1,226 @@
+package sva_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"zoomie/internal/gen"
+	"zoomie/internal/sva"
+)
+
+// col turns per-cycle samples into a trace column.
+func col(vals ...uint64) []uint64 { return vals }
+
+// checkCase evaluates one assertion over a trace with the reference
+// evaluator, pins the expected per-cycle fail vector, and then
+// cross-checks the compiled monitor FSM against the same expectation.
+func checkCase(t *testing.T, src string, widths map[string]int, tr sva.Trace, n int, want []bool) {
+	t.Helper()
+	a, err := sva.Parse(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	got, err := sva.EvalTrace(a, widths, tr, n)
+	if err != nil {
+		t.Fatalf("eval %q: %v", src, err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%q: eval fail[%d] = %v, want %v (full: %v)", src, i, got[i], want[i], got)
+		}
+	}
+	mon, err := sva.Compile(a, "m", "clk", widths)
+	if err != nil {
+		t.Fatalf("compile %q: %v", src, err)
+	}
+	fsm, err := sva.MonitorTrace(mon, "clk", tr, n)
+	if err != nil {
+		t.Fatalf("simulate %q: %v", src, err)
+	}
+	for i := range want {
+		if fsm[i] != want[i] {
+			t.Fatalf("%q: monitor fail[%d] = %v, want %v (full: %v)", src, i, fsm[i], want[i], fsm)
+		}
+	}
+}
+
+// TestEvalTable4Semantics pins the sampled semantics of each Table-4
+// operator the repro supports, one scenario per row: fixed delay ##n,
+// ranged delay ##[m:n], overlapping |-> vs non-overlapping |=>,
+// throughout, weak until, consecutive repetition, edge functions and
+// $past.
+func TestEvalTable4Semantics(t *testing.T) {
+	w1 := map[string]int{"a": 1, "b": 1, "c": 1, "clk": 1}
+	cases := []struct {
+		name string
+		src  string
+		tr   sva.Trace
+		want []bool
+	}{
+		{
+			name: "fixed delay hit",
+			src:  "assert property (@(posedge clk) a |-> ##2 b);",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0), "b": col(0, 0, 1, 0)},
+			want: []bool{false, false, false, false},
+		},
+		{
+			name: "fixed delay miss fails exactly at the deadline",
+			src:  "assert property (@(posedge clk) a |-> ##2 b);",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0), "b": col(1, 1, 0, 1)},
+			want: []bool{false, false, true, false},
+		},
+		{
+			name: "ranged delay passes on the last chance",
+			src:  "assert property (@(posedge clk) a |-> ##[1:3] b);",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0, 0), "b": col(0, 0, 0, 1, 0)},
+			want: []bool{false, false, false, false, false},
+		},
+		{
+			name: "ranged delay fails after the window closes",
+			src:  "assert property (@(posedge clk) a |-> ##[1:3] b);",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0, 0), "b": col(1, 0, 0, 0, 1)},
+			want: []bool{false, false, false, true, false},
+		},
+		{
+			name: "overlapping implication checks the match cycle",
+			src:  "assert property (@(posedge clk) a |-> b);",
+			tr:   sva.Trace{"a": col(1, 1, 0), "b": col(0, 1, 0)},
+			want: []bool{true, false, false},
+		},
+		{
+			name: "non-overlapping implication checks one cycle later",
+			src:  "assert property (@(posedge clk) a |=> b);",
+			tr:   sva.Trace{"a": col(1, 1, 0, 0), "b": col(0, 1, 0, 0)},
+			want: []bool{false, false, true, false},
+		},
+		{
+			name: "throughout holds across the whole window",
+			src:  "assert property (@(posedge clk) a |-> c throughout (1 ##2 b));",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0), "b": col(0, 0, 1, 0), "c": col(1, 1, 1, 0)},
+			want: []bool{false, false, false, false},
+		},
+		{
+			name: "throughout fails the cycle the condition drops",
+			src:  "assert property (@(posedge clk) a |-> c throughout (1 ##2 b));",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0), "b": col(0, 0, 1, 0), "c": col(1, 0, 1, 0)},
+			want: []bool{false, true, false, false},
+		},
+		{
+			name: "until discharged by b, a not required that cycle",
+			src:  "assert property (@(posedge clk) a |-> b until c);",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0), "b": col(1, 1, 0, 0), "c": col(0, 0, 1, 0)},
+			want: []bool{false, false, false, false},
+		},
+		{
+			name: "until fails when b drops before c",
+			src:  "assert property (@(posedge clk) a |-> b until c);",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0), "b": col(1, 1, 0, 0), "c": col(0, 0, 0, 1)},
+			want: []bool{false, false, true, false},
+		},
+		{
+			name: "until is weak: c never occurring is fine",
+			src:  "assert property (@(posedge clk) a |-> b until c);",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0), "b": col(1, 1, 1, 1), "c": col(0, 0, 0, 0)},
+			want: []bool{false, false, false, false},
+		},
+		{
+			name: "consecutive repetition",
+			src:  "assert property (@(posedge clk) a |=> (b) [*2]);",
+			tr:   sva.Trace{"a": col(1, 0, 0, 0), "b": col(0, 1, 0, 0)},
+			want: []bool{false, false, true, false},
+		},
+		{
+			name: "plain sequence property is checked from every cycle",
+			src:  "assert property (@(posedge clk) a ##1 b);",
+			tr:   sva.Trace{"a": col(1, 1, 0), "b": col(1, 1, 1)},
+			want: []bool{false, false, true},
+		},
+		{
+			name: "$rose antecedent, $past consequent",
+			src:  "assert property (@(posedge clk) $rose(a) |=> $past(a, 1) == 1);",
+			tr:   sva.Trace{"a": col(0, 1, 1, 0)},
+			want: []bool{false, false, false, false},
+		},
+		{
+			name: "values before the trace start sample as zero",
+			src:  "assert property (@(posedge clk) $stable(a) |-> b);",
+			// At t=0, $past(a)=0 so a=0 is "stable" and the obligation fires.
+			tr:   sva.Trace{"a": col(0, 1, 1), "b": col(0, 0, 1)},
+			want: []bool{true, false, false},
+		},
+		{
+			name: "immediate assertion",
+			src:  "assert (a == b);",
+			tr:   sva.Trace{"a": col(0, 1, 0), "b": col(0, 0, 0)},
+			want: []bool{false, true, false},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			checkCase(t, tc.src, w1, tc.tr, len(tc.want), tc.want)
+		})
+	}
+}
+
+// TestEvalRejectsDisable: the reference evaluator stays independent of
+// the monitor register model, so disable-iff is out of scope.
+func TestEvalRejectsDisable(t *testing.T) {
+	a, err := sva.Parse("assert property (@(posedge clk) disable iff (c) a |-> b);")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = sva.EvalTrace(a, map[string]int{"a": 1, "b": 1, "c": 1}, sva.Trace{}, 4)
+	if _, ok := err.(*sva.UnsupportedError); !ok {
+		t.Fatalf("want UnsupportedError, got %v", err)
+	}
+}
+
+// TestEvalMatchesMonitorRandom differentially checks the reference
+// evaluator against the compiled monitor FSM over random properties
+// and random traces — the two implementations share no code, so
+// agreement here is the oracle the mutation mode rests on.
+func TestEvalMatchesMonitorRandom(t *testing.T) {
+	sigs := gen.MutationSignals()
+	widths := map[string]int{"clk": 1}
+	for _, s := range sigs {
+		widths[s.Name] = s.Width
+	}
+	r := rand.New(rand.NewSource(20260805))
+	const nProps, nTraces, traceLen = 60, 4, 24
+	checked := 0
+	for p := 0; p < nProps; p++ {
+		srcs := gen.RandomAssertions(r, sigs, 1)
+		if len(srcs) == 0 {
+			continue
+		}
+		a, err := sva.Parse(srcs[0])
+		if err != nil {
+			t.Fatalf("parse %q: %v", srcs[0], err)
+		}
+		mon, err := sva.Compile(a, "m", "clk", widths)
+		if err != nil {
+			t.Fatalf("compile %q: %v", srcs[0], err)
+		}
+		for i := 0; i < nTraces; i++ {
+			tr := sva.Trace(gen.RandomTrace(r, sigs, traceLen))
+			want, err := sva.EvalTrace(a, widths, tr, traceLen)
+			if err != nil {
+				t.Fatalf("eval %q: %v", srcs[0], err)
+			}
+			got, err := sva.MonitorTrace(mon, "clk", tr, traceLen)
+			if err != nil {
+				t.Fatalf("simulate %q: %v", srcs[0], err)
+			}
+			for c := 0; c < traceLen; c++ {
+				if want[c] != got[c] {
+					t.Fatalf("property %q diverges at cycle %d: eval=%v monitor=%v\neval: %v\nfsm:  %v\ntrace: %v",
+						srcs[0], c, want[c], got[c], want, got, tr)
+				}
+			}
+			checked++
+		}
+	}
+	if checked < nProps*nTraces/2 {
+		t.Fatalf("only %d property/trace pairs checked; generator too lossy", checked)
+	}
+}

@@ -1,0 +1,262 @@
+package sva
+
+import (
+	"fmt"
+	"strings"
+
+	"zoomie/internal/rtl"
+)
+
+// Mutant is one systematically broken variant of a compiled monitor,
+// used to measure whether an equivalence oracle actually detects wrong
+// monitor FSMs (mutation testing of the assertion-synthesis pipeline).
+type Mutant struct {
+	ID      int
+	Kind    string // "flip-wire" | "init-flip" | "swap-next" | "ast"
+	Desc    string
+	Monitor *Monitor
+}
+
+// diagRegs are host-visible diagnostics that do not feed the fail
+// output; mutating them cannot be observed through fail and would
+// only produce guaranteed-surviving mutants.
+func diagReg(name string) bool {
+	return name == "fail_sticky" || name == "ant_seen"
+}
+
+// flipTarget selects the FSM wires worth inverting: accept/succeed
+// wires, stage-fail wires, antecedent match ends, obligation
+// start/capture strobes and per-position guard wires. The final
+// fail_int OR is excluded — inverting the output itself is a trivial
+// always-killed mutant that says nothing about the oracle.
+func flipTarget(name string) bool {
+	switch name {
+	case "succ0", "any_alive0", "obl_start", "capture", "ant_match", "until_act":
+		return true
+	}
+	if strings.HasPrefix(name, "stage") &&
+		(strings.HasSuffix(name, "_succ") || strings.HasSuffix(name, "_fail")) {
+		return true
+	}
+	if strings.HasPrefix(name, "ant") && strings.HasSuffix(name, "_end") {
+		return true
+	}
+	if strings.HasPrefix(name, "h") && strings.Contains(name, "_") {
+		return true
+	}
+	return false
+}
+
+// wireRead reports whether any combinational assign or register
+// next-state function reads the named wire.
+func wireRead(m *rtl.Module, name string) bool {
+	var used func(e rtl.Expr) bool
+	used = func(e rtl.Expr) bool {
+		if e.Sig != nil && e.Sig.Name == name {
+			return true
+		}
+		for _, a := range e.Args {
+			if used(a) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, asg := range m.Assigns {
+		if used(asg.Src) {
+			return true
+		}
+	}
+	for _, r := range m.Registers {
+		if used(r.Next) {
+			return true
+		}
+	}
+	return false
+}
+
+// Mutate compiles the assertion once per mutation site and applies one
+// systematic defect to each copy: an inverted FSM wire, a flipped
+// register initial state, the next-state functions of two registers
+// swapped, or an off-by-one/polarity defect introduced at the AST
+// level and recompiled. The result order is deterministic; max > 0
+// caps the number of mutants.
+func Mutate(a *Assertion, name, clock string, widths map[string]int, max int) ([]*Mutant, error) {
+	ref, err := Compile(a, name, clock, widths)
+	if err != nil {
+		return nil, err
+	}
+	fresh := func() *Monitor {
+		m, err := Compile(a, name, clock, widths)
+		if err != nil {
+			return nil
+		}
+		return m
+	}
+	var out []*Mutant
+	add := func(kind, desc string, mon *Monitor) {
+		if mon == nil || (max > 0 && len(out) >= max) {
+			return
+		}
+		out = append(out, &Mutant{ID: len(out), Kind: kind, Desc: desc, Monitor: mon})
+	}
+
+	// 1. Flipped accept/guard wires. Wires nothing reads are skipped:
+	// some property shapes leave a strobe dangling (e.g. the stage-1
+	// intake capture of a length-1 consequent), and inverting dead
+	// logic is an equivalent mutant by construction.
+	for i, asg := range ref.Module.Assigns {
+		if asg.Dst.Width != 1 || asg.Dst.Kind != rtl.KindWire || !flipTarget(asg.Dst.Name) {
+			continue
+		}
+		if !wireRead(ref.Module, asg.Dst.Name) {
+			continue
+		}
+		m := fresh()
+		if m != nil {
+			src := m.Module.Assigns[i].Src
+			m.Module.Assigns[i].Src = rtl.Not(src)
+		}
+		add("flip-wire", fmt.Sprintf("invert wire %s", asg.Dst.Name), m)
+	}
+
+	// 2. Flipped initial states of 1-bit FSM registers. The until
+	// active bit of an antecedent-less property is excluded: with the
+	// implicit every-cycle antecedent the start strobe is constant-true
+	// and re-arms the bit the same cycle its init would be visible, so
+	// the flip is an equivalent mutant by construction.
+	for i, r := range ref.Module.Registers {
+		if r.Sig.Width != 1 || diagReg(r.Sig.Name) {
+			continue
+		}
+		if a.Ant == nil && r.Sig.Name == "until_active" {
+			continue
+		}
+		m := fresh()
+		if m != nil {
+			m.Module.Registers[i].Init ^= 1
+		}
+		add("init-flip", fmt.Sprintf("flip init of %s", r.Sig.Name), m)
+	}
+
+	// 3. Swapped next-state functions (swapped FSM edges) of adjacent
+	// same-shape registers.
+	for i := 0; i+1 < len(ref.Module.Registers); i++ {
+		r1, r2 := ref.Module.Registers[i], ref.Module.Registers[i+1]
+		if diagReg(r1.Sig.Name) || diagReg(r2.Sig.Name) {
+			continue
+		}
+		if r1.Sig.Width != r2.Sig.Width || r1.Clock != r2.Clock {
+			continue
+		}
+		if fmt.Sprintf("%v", r1.Next) == fmt.Sprintf("%v", r2.Next) {
+			continue // semantically identical swap: guaranteed survivor
+		}
+		m := fresh()
+		if m != nil {
+			a1, a2 := m.Module.Registers[i], m.Module.Registers[i+1]
+			a1.Next, a2.Next = a2.Next, a1.Next
+		}
+		add("swap-next", fmt.Sprintf("swap next(%s) and next(%s)", r1.Sig.Name, r2.Sig.Name), m)
+	}
+
+	// 4. AST-level defects, recompiled: off-by-one delay/repetition
+	// counters, implication overlap polarity, swapped until operands.
+	compileVariant := func(va *Assertion) *Monitor {
+		m, err := Compile(va, name, clock, widths)
+		if err != nil {
+			return nil // e.g. unrolls past the thread bound: skip
+		}
+		return m
+	}
+	if a.Ant != nil {
+		for _, v := range seqVariants(a.Ant) {
+			va := *a
+			va.Ant = v.node
+			add("ast", "antecedent "+v.desc, compileVariant(&va))
+		}
+	}
+	if a.Con != nil {
+		for _, v := range seqVariants(a.Con) {
+			va := *a
+			va.Con = v.node
+			add("ast", "consequent "+v.desc, compileVariant(&va))
+		}
+		// Swapping until operands is skipped for antecedent-less
+		// properties: asserted every cycle, weak `p until q` fails
+		// exactly when !p && !q — symmetric in p and q — so the swap
+		// is observationally equivalent.
+		if u, ok := a.Con.(SeqUntil); ok && a.Ant != nil {
+			va := *a
+			va.Con = SeqUntil{A: u.B, B: u.A}
+			add("ast", "swap until operands", compileVariant(&va))
+		}
+	}
+	// Overlap polarity only exists when there is an implication to
+	// overlap; without an antecedent the flag recompiles to the
+	// identical monitor.
+	if !a.Immediate && a.Ant != nil {
+		va := *a
+		va.NonOverlap = !a.NonOverlap
+		add("ast", "flip implication overlap (|-> vs |=>)", compileVariant(&va))
+	}
+	return out, nil
+}
+
+type seqVariant struct {
+	node SeqNode
+	desc string
+}
+
+// seqVariants returns every single-defect rewrite of a sequence:
+// exactly one delay or repetition bound shifted by one.
+func seqVariants(s SeqNode) []seqVariant {
+	switch n := s.(type) {
+	case SeqBool:
+		return nil
+	case SeqConcat:
+		var out []seqVariant
+		for _, v := range seqVariants(n.A) {
+			out = append(out, seqVariant{SeqConcat{A: v.node, B: n.B, Lo: n.Lo, Hi: n.Hi}, v.desc})
+		}
+		for _, v := range seqVariants(n.B) {
+			out = append(out, seqVariant{SeqConcat{A: n.A, B: v.node, Lo: n.Lo, Hi: n.Hi}, v.desc})
+		}
+		out = append(out, seqVariant{SeqConcat{A: n.A, B: n.B, Lo: n.Lo + 1, Hi: n.Hi + 1},
+			fmt.Sprintf("delay ##[%d:%d] shifted +1", n.Lo, n.Hi)})
+		if n.Lo >= 1 {
+			out = append(out, seqVariant{SeqConcat{A: n.A, B: n.B, Lo: n.Lo - 1, Hi: n.Hi - 1},
+				fmt.Sprintf("delay ##[%d:%d] shifted -1", n.Lo, n.Hi)})
+		}
+		return out
+	case SeqRepeat:
+		var out []seqVariant
+		for _, v := range seqVariants(n.S) {
+			out = append(out, seqVariant{SeqRepeat{S: v.node, Lo: n.Lo, Hi: n.Hi}, v.desc})
+		}
+		out = append(out, seqVariant{SeqRepeat{S: n.S, Lo: n.Lo, Hi: n.Hi + 1},
+			fmt.Sprintf("repetition [*%d:%d] upper +1", n.Lo, n.Hi)})
+		if n.Lo >= 2 {
+			out = append(out, seqVariant{SeqRepeat{S: n.S, Lo: n.Lo - 1, Hi: n.Hi},
+				fmt.Sprintf("repetition [*%d:%d] lower -1", n.Lo, n.Hi)})
+		}
+		return out
+	case SeqBinary:
+		var out []seqVariant
+		for _, v := range seqVariants(n.A) {
+			out = append(out, seqVariant{SeqBinary{Op: n.Op, A: v.node, B: n.B}, v.desc})
+		}
+		for _, v := range seqVariants(n.B) {
+			out = append(out, seqVariant{SeqBinary{Op: n.Op, A: n.A, B: v.node}, v.desc})
+		}
+		return out
+	case SeqThroughout:
+		var out []seqVariant
+		for _, v := range seqVariants(n.S) {
+			out = append(out, seqVariant{SeqThroughout{Cond: n.Cond, S: v.node}, v.desc})
+		}
+		return out
+	default:
+		return nil
+	}
+}

@@ -72,10 +72,28 @@ type SeqBinary struct {
 	A, B SeqNode
 }
 
-func (SeqBool) seqNode()   {}
-func (SeqConcat) seqNode() {}
-func (SeqRepeat) seqNode() {}
-func (SeqBinary) seqNode() {}
+// SeqThroughout is `cond throughout s`: the boolean must hold at every
+// cycle of every match of s.
+type SeqThroughout struct {
+	Cond BoolExpr
+	S    SeqNode
+}
+
+// SeqUntil is the weak `a until b` property: a must hold at every cycle
+// strictly before the first cycle where b holds; b is not required to
+// ever hold. Unlike the finite sequence operators it cannot be unrolled
+// into threads, so it is only accepted as the whole consequent of a
+// property, where it compiles to a dedicated one-register FSM.
+type SeqUntil struct {
+	A, B BoolExpr
+}
+
+func (SeqBool) seqNode()       {}
+func (SeqConcat) seqNode()     {}
+func (SeqRepeat) seqNode()     {}
+func (SeqBinary) seqNode()     {}
+func (SeqThroughout) seqNode() {}
+func (SeqUntil) seqNode()      {}
 
 // Assertion is a parsed SVA.
 type Assertion struct {
@@ -111,6 +129,7 @@ const maxFiniteBound = 1024
 var seqKeywords = map[string]bool{
 	"and": true, "or": true, "intersect": true,
 	"throughout": true, "within": true, "first_match": true,
+	"until": true, "s_until": true, "until_with": true, "s_until_with": true,
 	"posedge": true, "negedge": true, "disable": true, "iff": true,
 }
 
@@ -259,7 +278,7 @@ func (p *parser) parseProperty(a *Assertion) error {
 	return nil
 }
 
-// parseSeq: or-level (lowest precedence).
+// parseSeq: until-level, then or-level (lowest precedences).
 func (p *parser) parseSeq() (SeqNode, error) {
 	left, err := p.parseSeqAnd()
 	if err != nil {
@@ -273,24 +292,67 @@ func (p *parser) parseSeq() (SeqNode, error) {
 		}
 		left = SeqBinary{Op: "or", A: left, B: right}
 	}
+	if p.peek().kind == tokIdent {
+		switch p.peek().text {
+		case "until":
+			p.next()
+			right, err := p.parseSeqAnd()
+			if err != nil {
+				return nil, err
+			}
+			la, ok1 := left.(SeqBool)
+			ra, ok2 := right.(SeqBool)
+			if !ok1 || !ok2 {
+				return nil, &UnsupportedError{Feature: "until",
+					Detail: "only boolean operands are supported"}
+			}
+			return SeqUntil{A: la.Cond, B: ra.Cond}, nil
+		case "s_until", "until_with", "s_until_with":
+			return nil, &UnsupportedError{Feature: p.peek().text,
+				Detail: "only the weak non-overlapping 'until' is supported"}
+		}
+	}
 	return left, nil
 }
 
 func (p *parser) parseSeqAnd() (SeqNode, error) {
-	left, err := p.parseSeqCat()
+	left, err := p.parseSeqThrough()
 	if err != nil {
 		return nil, err
 	}
 	for p.peek().kind == tokIdent && (p.peek().text == "and" || p.peek().text == "intersect") {
 		op := p.next().text
-		right, err := p.parseSeqCat()
+		right, err := p.parseSeqThrough()
 		if err != nil {
 			return nil, err
 		}
 		left = SeqBinary{Op: op, A: left, B: right}
 	}
-	if p.peek().kind == tokIdent && (p.peek().text == "throughout" || p.peek().text == "within") {
+	if p.peek().kind == tokIdent && p.peek().text == "within" {
 		return nil, &UnsupportedError{Feature: "sequence operator", Detail: p.peek().text + " is not supported"}
+	}
+	return left, nil
+}
+
+// parseSeqThrough: `cond throughout seq` (right-associative, binds
+// tighter than and/intersect, per the LRM precedence table).
+func (p *parser) parseSeqThrough() (SeqNode, error) {
+	left, err := p.parseSeqCat()
+	if err != nil {
+		return nil, err
+	}
+	if p.peek().kind == tokIdent && p.peek().text == "throughout" {
+		p.next()
+		sb, ok := left.(SeqBool)
+		if !ok {
+			return nil, &UnsupportedError{Feature: "throughout",
+				Detail: "left operand must be a boolean expression"}
+		}
+		right, err := p.parseSeqThrough()
+		if err != nil {
+			return nil, err
+		}
+		return SeqThroughout{Cond: sb.Cond, S: right}, nil
 	}
 	return left, nil
 }

@@ -1,0 +1,171 @@
+package sva
+
+import "sort"
+
+// AtomTargets walks an assertion and collects, per signal, the values
+// that satisfy its constant-comparison atoms. `d[5:3] == 5` yields
+// 5<<3; ordered compares also yield the boundary neighbours. Stimulus
+// generators use these to bias random traces so that rarely-true atoms
+// (and everything guarded behind them) actually get exercised — a
+// uniform draw over a wide bus almost never hits one equality point,
+// leaving antecedents unfired and consequent logic unobserved.
+func AtomTargets(a *Assertion) map[string][]uint64 {
+	t := map[string][]uint64{}
+	add := func(name string, vals ...uint64) {
+		t[name] = append(t[name], vals...)
+	}
+	var walkBool func(e BoolExpr)
+	walkBool = func(e BoolExpr) {
+		switch n := e.(type) {
+		case Unary:
+			walkBool(n.X)
+		case Past:
+			walkBool(n.X)
+		case Edge:
+			walkBool(n.X)
+		case Binary:
+			id, idOK := atomIdent(n.A)
+			num, numOK := n.B.(Num)
+			if !idOK || !numOK {
+				if id2, ok := atomIdent(n.B); ok {
+					if num2, ok2 := n.A.(Num); ok2 {
+						id, num, idOK, numOK = id2, num2, true, true
+					}
+				}
+			}
+			if idOK && numOK {
+				lo := 0
+				width := 64
+				if id.Hi >= 0 {
+					lo = id.Lo
+					width = id.Hi - id.Lo + 1
+				}
+				m := maskOf(width)
+				v := num.Val & m
+				switch n.Op {
+				case "==", "!=":
+					add(id.Name, v<<uint(lo))
+				case "<", "<=", ">", ">=":
+					add(id.Name, v<<uint(lo))
+					add(id.Name, ((v+1)&m)<<uint(lo))
+					add(id.Name, ((v-1)&m)<<uint(lo))
+				}
+				return
+			}
+			walkBool(n.A)
+			walkBool(n.B)
+		}
+	}
+	var walkSeq func(s SeqNode)
+	walkSeq = func(s SeqNode) {
+		switch n := s.(type) {
+		case SeqBool:
+			walkBool(n.Cond)
+		case SeqConcat:
+			walkSeq(n.A)
+			walkSeq(n.B)
+		case SeqRepeat:
+			walkSeq(n.S)
+		case SeqBinary:
+			walkSeq(n.A)
+			walkSeq(n.B)
+		case SeqThroughout:
+			walkBool(n.Cond)
+			walkSeq(n.S)
+		case SeqUntil:
+			walkBool(n.A)
+			walkBool(n.B)
+		}
+	}
+	if a.Cond != nil {
+		walkBool(a.Cond)
+	}
+	if a.Disable != nil {
+		walkBool(a.Disable)
+	}
+	if a.Ant != nil {
+		walkSeq(a.Ant)
+	}
+	if a.Con != nil {
+		walkSeq(a.Con)
+	}
+	return t
+}
+
+// ReferencedSignals returns the sorted design signals an assertion
+// reads. Exhaustive mutant triage drives only these and holds the rest
+// at zero, keeping the enumeration space as small as the property
+// actually is.
+func ReferencedSignals(a *Assertion) []string {
+	seen := map[string]bool{}
+	var walkBool func(e BoolExpr)
+	walkBool = func(e BoolExpr) {
+		switch n := e.(type) {
+		case Ident:
+			seen[n.Name] = true
+		case Unary:
+			walkBool(n.X)
+		case Past:
+			walkBool(n.X)
+		case Edge:
+			walkBool(n.X)
+		case Binary:
+			walkBool(n.A)
+			walkBool(n.B)
+		}
+	}
+	var walkSeq func(s SeqNode)
+	walkSeq = func(s SeqNode) {
+		switch n := s.(type) {
+		case SeqBool:
+			walkBool(n.Cond)
+		case SeqConcat:
+			walkSeq(n.A)
+			walkSeq(n.B)
+		case SeqRepeat:
+			walkSeq(n.S)
+		case SeqBinary:
+			walkSeq(n.A)
+			walkSeq(n.B)
+		case SeqThroughout:
+			walkBool(n.Cond)
+			walkSeq(n.S)
+		case SeqUntil:
+			walkBool(n.A)
+			walkBool(n.B)
+		}
+	}
+	if a.Cond != nil {
+		walkBool(a.Cond)
+	}
+	if a.Disable != nil {
+		walkBool(a.Disable)
+	}
+	if a.Ant != nil {
+		walkSeq(a.Ant)
+	}
+	if a.Con != nil {
+		walkSeq(a.Con)
+	}
+	names := make([]string, 0, len(seen))
+	for n := range seen {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// atomIdent unwraps an expression to its underlying sliced Ident,
+// looking through $past and edge functions (their targets are the same
+// signal, just sampled at another cycle).
+func atomIdent(e BoolExpr) (Ident, bool) {
+	switch n := e.(type) {
+	case Ident:
+		return n, true
+	case Past:
+		return atomIdent(n.X)
+	case Edge:
+		return atomIdent(n.X)
+	}
+	return Ident{}, false
+}

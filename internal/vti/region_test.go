@@ -1,0 +1,98 @@
+package vti
+
+import (
+	"reflect"
+	"testing"
+
+	"zoomie/internal/place"
+	"zoomie/internal/toolchain"
+	"zoomie/internal/workloads"
+)
+
+// The reserved region is the heart of the VTI contract: recompiling the
+// partition — even with edits — must keep the exact same region and
+// frame footprint, or partial reconfiguration would touch static frames.
+func TestRecompileRegionStable(t *testing.T) {
+	d, v := compileSoCAt(t, 32, workloads.ClusterPath(0))
+	before := v.Placement.Regions["mut"]
+	framesBefore := v.PartialFrames("mut")
+
+	inc, err := v.Recompile(swapCore(t, d), "mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(inc.Placement.Regions["mut"], before) {
+		t.Errorf("region moved across recompile:\n before %+v\n after  %+v",
+			before, inc.Placement.Regions["mut"])
+	}
+	if !reflect.DeepEqual(inc.PartialFrames("mut"), framesBefore) {
+		t.Error("partial-bitstream frame set changed across recompile")
+	}
+}
+
+func TestPartialFramesWithinRegion(t *testing.T) {
+	_, v := compileSoC(t, 16)
+	pf := v.PartialFrames("mut")
+	if len(pf) != 1 {
+		t.Fatalf("iterated partition spans %d SLRs, must be exactly 1", len(pf))
+	}
+	regions := v.Placement.Regions["mut"]
+	if len(regions) != 1 {
+		t.Fatalf("iterated partition has %d regions, want 1", len(regions))
+	}
+	lo, hi := regions[0].FrameRange(v.Options.Device)
+	frames := pf[regions[0].SLR]
+	if len(frames) != hi-lo {
+		t.Fatalf("partial frames %d != region range %d", len(frames), hi-lo)
+	}
+	for i, f := range frames {
+		if f != lo+i {
+			t.Fatalf("frame %d = %d, want contiguous from %d", i, f, lo)
+		}
+	}
+}
+
+// A second recompile goes through the reseeded checkpoint cache path
+// (the first Result has no in-memory cache); unchanged modules must
+// stay free both times.
+func TestRecompileChainReusesCheckpoints(t *testing.T) {
+	d, v := compileSoC(t, 16)
+	inc1, err := v.Recompile(d, "mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	inc2, err := inc1.Recompile(d, "mut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc1.Report.CellsSynthesized != 0 || inc2.Report.CellsSynthesized != 0 {
+		t.Errorf("unchanged recompiles synthesized %d then %d cells, want 0",
+			inc1.Report.CellsSynthesized, inc2.Report.CellsSynthesized)
+	}
+}
+
+// Raising the over-provisioning coefficient must grow (or keep) the
+// partition's reserved frame footprint — the headroom the paper sizes
+// with ER = resource × (1 + c).
+func TestOverProvisionGrowsPartialBitstream(t *testing.T) {
+	frames := func(c float64) int {
+		res, err := Compile(workloads.ManycoreSoC(32), toolchain.Options{
+			SkipImage: true,
+			Partitions: []place.PartitionSpec{
+				{Name: "mut", Paths: []string{workloads.ClusterPath(0)}, OverProvision: c},
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := 0
+		for _, fs := range res.PartialFrames("mut") {
+			n += len(fs)
+		}
+		return n
+	}
+	small, big := frames(0.05), frames(2.0)
+	if big <= small {
+		t.Errorf("over-provision 2.0 reserved %d frames, not more than %d at 0.05", big, small)
+	}
+}
