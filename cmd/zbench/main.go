@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	zbench [-exp all|table1|table2|table3|table4|fig7|fig8|tradeoff|bout|chaos|case1|case2|case3] [-cores N]
+//	zbench [-exp all|table1|table2|table3|table4|fig7|fig8|tradeoff|bout|chaos|batch|wire|case1|case2|case3] [-cores N]
 //
 // -cores scales the manycore SoC (default 5400, the paper's
 // configuration; the compile experiments take a few minutes of real time
@@ -57,8 +57,9 @@ func main() {
 		"case3":    case3,
 		"chaos":    chaos,
 		"batch":    batchExp,
+		"wire":     wireExp,
 	}
-	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "table3", "fig8", "table4", "bout", "overhead", "chaos", "batch", "case1", "case2", "case3"}
+	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "table3", "fig8", "table4", "bout", "overhead", "chaos", "batch", "wire", "case1", "case2", "case3"}
 
 	if *exp == "all" {
 		for _, name := range order {

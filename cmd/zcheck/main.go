@@ -11,6 +11,7 @@
 // (timing and progress go to stderr), so CI can diff two runs.
 //
 //	zcheck -seed 1 -designs 20 -scripts 200         # differential campaign
+//	zcheck -seed 1 -scripts 200 -stream             # …with a counters stream riding along
 //	zcheck -seed 1 -mutate 20                       # mutation testing
 //	zcheck -replay artifacts/zcheck-seed1-zc3-s17.json
 package main
@@ -34,6 +35,7 @@ func main() {
 		chaos     = flag.String("chaos", "", "chaos profile override, e.g. flip=0.01,drop=0.005 (default: built-in transient profile)")
 		artifacts = flag.String("artifacts", "", "directory for divergence repro artifacts")
 		noshrink  = flag.Bool("noshrink", false, "skip shrinking diverging scripts")
+		stream    = flag.Bool("stream", false, "keep a v3 counters stream open during the campaign (interference check)")
 		mutate    = flag.Int("mutate", 0, "mutation mode: number of properties to mutate (0 = differential mode)")
 		traces    = flag.Int("traces", 6, "mutation mode: judging traces per mutant")
 		minKill   = flag.Float64("minkill", 0, "mutation mode: fail (exit 1) below this kill rate")
@@ -99,6 +101,7 @@ func main() {
 			Chaos:        profile,
 			ArtifactDir:  *artifacts,
 			ShrinkBudget: shrink,
+			Stream:       *stream,
 			Out:          os.Stdout,
 			Errw:         os.Stderr,
 		})

@@ -315,6 +315,26 @@ func repl(t target, in io.Reader, out io.Writer) {
 			}
 			fmt.Fprintf(out, "paused=%v executed_cycles=%d modeled_cable_time=%v\n",
 				paused, cycles, elapsed.Round(1000))
+		case "stream":
+			n := 1
+			if len(args) > 0 {
+				n, _ = strconv.Atoi(args[0])
+			}
+			if s, ok := t.(streamer); ok {
+				err = s.StreamWindows(n, out)
+			} else {
+				err = fmt.Errorf("stream requires -connect to a zoomied server (v3) serving an ILA design")
+			}
+		case "counters":
+			n := 1
+			if len(args) > 0 {
+				n, _ = strconv.Atoi(args[0])
+			}
+			if s, ok := t.(streamer); ok {
+				err = s.StreamCounters(n, out)
+			} else {
+				err = fmt.Errorf("counters requires -connect to a zoomied server (v3)")
+			}
 		case "input":
 			if len(args) < 2 {
 				err = fmt.Errorf("usage: input <port> <value>")
@@ -410,6 +430,10 @@ func printHelp(out io.Writer) {
   snapshot [save|restore]  capture / rewind full design state
   input PORT VAL       drive a top-level input (chip IO)
   status               paused flag, executed cycles, modeled cable time
+  stream [n]           receive n ILA capture windows (remote v3 only;
+                       needs an ILA design such as ila-counter)
+  counters [n]         receive n aggregated server counter frames
+                       (remote v3 only)
   quit
 `)
 }

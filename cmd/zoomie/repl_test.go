@@ -112,6 +112,54 @@ func TestREPLParityLocalRemote(t *testing.T) {
 	}
 }
 
+// TestREPLStreamCommands drives the v3-only stream/counters commands:
+// against a remote ILA design they render real capture windows and
+// counter frames; against a local target they fail with a clear error
+// instead of silently doing nothing.
+func TestREPLStreamCommands(t *testing.T) {
+	srv := server.New(server.Config{PoolSize: 1})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	defer func() {
+		srv.Shutdown()
+		<-done
+	}()
+
+	rt, err := dialTarget(ln.Addr().String(), "ila-counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out bytes.Buffer
+	repl(rt, strings.NewReader("run 64\nstream 2\ncounters 1\nquit\n"), &out)
+	if err := rt.Close(); err != nil {
+		t.Fatalf("remote close: %v", err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		"window 1 (seq ", "window 2 (seq ", "16 cycles",
+		"qlow", "frame 1 (seq ", "zoomied.",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("stream output missing %q in:\n%s", want, got)
+		}
+	}
+
+	lt, err := localCatalogTarget("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	repl(lt, strings.NewReader("stream\ncounters\nquit\n"), &out)
+	lt.Close()
+	if c := strings.Count(out.String(), "error:"); c != 2 {
+		t.Errorf("local stream/counters printed %d errors, want 2:\n%s", c, out.String())
+	}
+}
+
 // TestCatalogName checks the variant-flag mapping shared by local and
 // remote modes.
 func TestCatalogName(t *testing.T) {

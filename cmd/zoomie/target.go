@@ -2,10 +2,13 @@ package main
 
 import (
 	"context"
+	"fmt"
+	"io"
 	"time"
 
 	"zoomie"
 	"zoomie/internal/client"
+	"zoomie/internal/wire"
 )
 
 // target is what the REPL drives: the same debugging surface whether the
@@ -146,4 +149,103 @@ func (t *remoteTarget) Close() error {
 	err := t.sess.Detach()
 	t.c.Close()
 	return err
+}
+
+// streamer is the optional surface behind the stream/counters REPL
+// commands. Only remote targets implement it — streaming rides the v3
+// push channel, which has no in-process equivalent — so the shared
+// parity script never touches it and local/remote output stays
+// byte-identical.
+type streamer interface {
+	// StreamWindows receives n ILA capture windows and renders each as a
+	// waveform table, advancing the clock between polls so back-to-back
+	// windows complete without a separate run command.
+	StreamWindows(n int, out io.Writer) error
+	// StreamCounters receives n aggregated counter-delta frames.
+	StreamCounters(n int, out io.Writer) error
+}
+
+// streamRecvBudget bounds how long one stream command waits in total, so
+// scripted stdin can never hang the REPL.
+const streamRecvBudget = 30 * time.Second
+
+func (t *remoteTarget) StreamWindows(n int, out io.Writer) error {
+	st, err := t.c.OpenStream(wire.StreamILA, t.sess.ID, 0, 2)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	deadline := time.Now().Add(streamRecvBudget)
+	for i := 0; i < n; {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		ev, ok := st.RecvCtx(ctx)
+		expired := ctx.Err() != nil
+		cancel()
+		switch {
+		case ok:
+			i++
+			fmt.Fprintf(out, "window %d (seq %d, %d cycles, dropped %d):\n",
+				i, ev.Seq, len(ev.Rows), ev.Dropped)
+			fmt.Fprint(out, "  cycle")
+			for _, name := range ev.Names {
+				fmt.Fprintf(out, " %10s", name)
+			}
+			fmt.Fprintln(out)
+			for r, row := range ev.Rows {
+				fmt.Fprintf(out, "  %5d", r)
+				for _, v := range row {
+					fmt.Fprintf(out, " %10d", v)
+				}
+				fmt.Fprintln(out)
+			}
+		case expired:
+			if time.Now().After(deadline) {
+				return fmt.Errorf("gave up after %d/%d windows (%v budget)", i, n, streamRecvBudget)
+			}
+			// No window yet: push the design along so the trigger can
+			// fire and the capture buffer fill.
+			if err := t.sess.Run(256); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("stream closed after %d/%d windows", i, n)
+		}
+	}
+	return nil
+}
+
+func (t *remoteTarget) StreamCounters(n int, out io.Writer) error {
+	st, err := t.c.OpenStream(wire.StreamCounters, 0, 0, 50)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	deadline := time.Now().Add(streamRecvBudget)
+	for i := 0; i < n; {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		ev, ok := st.RecvCtx(ctx)
+		expired := ctx.Err() != nil
+		cancel()
+		switch {
+		case ok:
+			i++
+			fmt.Fprintf(out, "frame %d (seq %d, %d events, dropped %d):\n",
+				i, ev.Seq, ev.Count, ev.Dropped)
+			for j, name := range ev.Names {
+				fmt.Fprintf(out, "  %-24s +%d\n", name, ev.Deltas[j])
+			}
+		case expired:
+			if time.Now().After(deadline) {
+				return fmt.Errorf("gave up after %d/%d frames (%v budget)", i, n, streamRecvBudget)
+			}
+			// Counters only flush when something moved; a status ping is
+			// the cheapest way to guarantee the next interval is not idle.
+			if _, _, _, err := t.sess.Status(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("stream closed after %d/%d frames", i, n)
+		}
+	}
+	return nil
 }

@@ -29,6 +29,39 @@ func TestDifferentialSmoke(t *testing.T) {
 	}
 }
 
+// A campaign with a counters stream riding along must stay
+// divergence-free AND produce the same deterministic report as the
+// same campaign without the stream — streaming observability is
+// passive, so its presence cannot perturb debug semantics.
+func TestDifferentialWithStream(t *testing.T) {
+	run := func(stream bool) (*Summary, string) {
+		var out, errw bytes.Buffer
+		sum, err := Run(Config{
+			Seed: 11, Designs: 2, Scripts: 8, Ops: 12,
+			Stream: stream, Out: &out, Errw: &errw,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sum, out.String()
+	}
+	plain, plainOut := run(false)
+	streamed, streamedOut := run(true)
+	if streamed.Divergences != 0 {
+		t.Fatalf("divergences with stream: %d\n%s", streamed.Divergences, streamedOut)
+	}
+	if streamedOut != plainOut {
+		t.Fatalf("stream changed the deterministic report:\n--- plain\n%s--- streamed\n%s",
+			plainOut, streamedOut)
+	}
+	if streamed.StreamFrames == 0 || streamed.StreamEvents == 0 {
+		t.Fatalf("stream delivered nothing: %+v", streamed)
+	}
+	if plain.StreamFrames != 0 {
+		t.Fatalf("plain run reported stream frames: %+v", plain)
+	}
+}
+
 // Equal seeds must give byte-identical stdout — that is the contract
 // CI relies on to diff two runs.
 func TestDifferentialDeterministic(t *testing.T) {

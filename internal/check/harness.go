@@ -13,6 +13,7 @@ import (
 	"zoomie/internal/faults"
 	"zoomie/internal/gen"
 	"zoomie/internal/server"
+	"zoomie/internal/wire"
 )
 
 // Config tunes a differential run. Every knob feeds a seeded generator;
@@ -34,8 +35,15 @@ type Config struct {
 	// ShrinkBudget bounds how many re-executions the shrinker may spend
 	// per divergence (default 48; 0 keeps the default, <0 disables).
 	ShrinkBudget int
-	Out          io.Writer // deterministic report
-	Errw         io.Writer // timing, progress
+	// Stream keeps a v3 counters stream open on the clean server for the
+	// whole campaign, consuming aggregated frames concurrently with the
+	// differential scripts. The point is interference checking: streaming
+	// observability must not perturb debug semantics, so a -stream run
+	// must stay divergence-free with byte-identical Out. Frame and event
+	// totals are wall-clock-dependent and land in the Summary and Errw.
+	Stream bool
+	Out    io.Writer // deterministic report
+	Errw   io.Writer // timing, progress
 }
 
 // Summary is the outcome of a differential run.
@@ -46,7 +54,11 @@ type Summary struct {
 	Records     int // total records compared (per pair)
 	Divergences int
 	Artifacts   []string
-	Elapsed     time.Duration
+	// StreamFrames/StreamEvents total what the campaign-long counters
+	// stream delivered when Config.Stream was set (wall-clock dependent).
+	StreamFrames uint64
+	StreamEvents uint64
+	Elapsed      time.Duration
 }
 
 // designSpec pins one generated design: rebuild it any time from the
@@ -267,6 +279,32 @@ func Run(cfg Config) (*Summary, error) {
 	defer f.Close()
 
 	sum := &Summary{Designs: cfg.Designs, Scripts: cfg.Scripts}
+
+	// With -stream, a counters stream rides along for the whole campaign
+	// on the clean server: the server's own command/peek/poke counters
+	// move constantly under the differential load, so frames flow the
+	// entire time, and the run still has to be divergence-free.
+	var streamDone chan struct{}
+	var streamClose func() error
+	if cfg.Stream {
+		st, err := f.clean.OpenStream(wire.StreamCounters, 0, 64, 20)
+		if err != nil {
+			return nil, fmt.Errorf("open counters stream: %w", err)
+		}
+		streamDone = make(chan struct{})
+		streamClose = st.Close
+		go func() {
+			defer close(streamDone)
+			for {
+				ev, ok := st.Recv()
+				if !ok {
+					return
+				}
+				sum.StreamFrames++
+				sum.StreamEvents += ev.Count
+			}
+		}()
+	}
 	for si := 0; si < cfg.Scripts; si++ {
 		sp := specs[si%len(specs)]
 		d, asserts := sp.build()
@@ -326,6 +364,12 @@ func Run(cfg Config) (*Summary, error) {
 				si+1, cfg.Scripts, sum.Divergences,
 				float64(si+1)/time.Since(start).Seconds())
 		}
+	}
+	if streamClose != nil {
+		streamClose()
+		<-streamDone
+		fmt.Fprintf(cfg.Errw, "zcheck: counters stream rode along: %d frames, %d events aggregated\n",
+			sum.StreamFrames, sum.StreamEvents)
 	}
 	sum.Elapsed = time.Since(start)
 	fmt.Fprintf(cfg.Out, "zcheck seed=%d designs=%d scripts=%d ops=%d records=%d divergences=%d\n",

@@ -75,9 +75,14 @@ type Client struct {
 	addr string
 	opts Options
 
-	writeMu sync.Mutex // serializes frame writes
+	writeMu sync.Mutex // serializes frame writes (and guards enc)
 	mu      sync.Mutex // guards conn, nextID, nextSeq, clientID, pending, subs, err, closed
 	c       net.Conn
+	// enc/dec speak the negotiated codec (JSON below v3, binary at v3+).
+	// enc is guarded by writeMu; dec is owned by readLoop, which is also
+	// the goroutine that re-points both at a replacement connection.
+	enc     *wire.Encoder
+	dec     *wire.Decoder
 	nextID  uint64
 	nextSeq uint64
 	// clientID is the server-assigned identity presented again on
@@ -94,6 +99,13 @@ type Client struct {
 	closed  bool
 
 	events chan wire.Event
+
+	// Streaming state (v3): open stream channels by server-assigned id,
+	// frames parked for streams whose open response is still in flight,
+	// and the count of such in-flight opens. All guarded by mu.
+	streams       map[uint64]chan wire.Event
+	orphans       map[uint64][]wire.Event
+	opensInFlight int
 }
 
 // Dial connects to a zoomied server with default options (no call
@@ -109,6 +121,8 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		pending: make(map[uint64]*pcall),
 		subs:    make(map[uint64]bool),
 		events:  make(chan wire.Event, 64),
+		streams: make(map[uint64]chan wire.Event),
+		orphans: make(map[uint64][]wire.Event),
 	}
 	nc, cid, ver, err := handshake(addr, 0, c.opts.ProtocolVersion)
 	if err != nil {
@@ -118,6 +132,8 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 	c.clientID = cid
 	c.version = ver
 	c.nextID = 1
+	c.enc = wire.NewEncoder(nc, ver)
+	c.dec = wire.NewDecoder(nc, ver)
 	go c.readLoop()
 	return c, nil
 }
@@ -209,7 +225,7 @@ func (c *Client) conn() net.Conn {
 func (c *Client) readLoop() {
 	defer close(c.events)
 	for {
-		m, _, err := wire.ReadMessage(c.conn())
+		m, _, err := c.dec.Next()
 		if err != nil {
 			if err == io.EOF {
 				err = fmt.Errorf("client: connection closed by server")
@@ -233,6 +249,10 @@ func (c *Client) readLoop() {
 				p.ch <- m.Resp
 			}
 		case wire.TEvt:
+			if m.Evt.Kind == wire.EvtStream && m.Evt.Stream != 0 {
+				c.routeStream(*m.Evt)
+				continue
+			}
 			select {
 			case c.events <- *m.Evt:
 			default: // consumer is behind; drop rather than stall the reader
@@ -275,6 +295,9 @@ func (c *Client) reconnect(cause error) bool {
 		c.c = nc
 		c.clientID = newID
 		c.version = newVer
+		// Server-side stream state died with the old connection; close the
+		// local halves so consumers reopen on the fresh one.
+		c.dropAllStreamsLocked()
 		replay := make([]*wire.Request, 0, len(c.pending))
 		for _, p := range c.pending {
 			replay = append(replay, p.req)
@@ -286,19 +309,32 @@ func (c *Client) reconnect(cause error) bool {
 		subAll := c.subAll
 		c.mu.Unlock()
 
-		// Restore event delivery, then replay what was in flight. The
-		// resubscribe responses reuse retired ids, so the reader drops
-		// them as unmatched — exactly what we want.
+		// Re-point both codec halves at the replacement connection; the
+		// renegotiated version may differ when the server fleet is mixed.
+		// reconnect runs on the readLoop goroutine, so resetting dec here
+		// cannot race a concurrent Next.
+		c.dec.SetVersion(newVer)
+		c.dec.Reset(nc)
+
+		// Restore event delivery, then replay what was in flight, as one
+		// coalesced burst. The resubscribe responses reuse retired ids, so
+		// the reader drops them as unmatched — exactly what we want.
 		c.writeMu.Lock()
+		c.enc.SetVersion(newVer)
+		c.enc.Reset(nc)
 		ok := true
 		if subAll {
-			ok = c.rawWrite(nc, &wire.Request{Op: wire.OpSubscribe, Session: 0})
+			ok = c.rawQueue(&wire.Request{Op: wire.OpSubscribe, Session: 0})
 		}
 		for _, sid := range resubs {
-			ok = ok && c.rawWrite(nc, &wire.Request{Op: wire.OpSubscribe, Session: sid})
+			ok = ok && c.rawQueue(&wire.Request{Op: wire.OpSubscribe, Session: sid})
 		}
 		for _, req := range replay {
-			ok = ok && c.rawWrite(nc, req)
+			ok = ok && c.rawQueue(req)
+		}
+		if ok {
+			_, err := c.enc.Flush()
+			ok = err == nil
 		}
 		c.writeMu.Unlock()
 		if !ok {
@@ -309,16 +345,16 @@ func (c *Client) reconnect(cause error) bool {
 	return false
 }
 
-// rawWrite sends one frame on the given connection. Callers hold writeMu.
-func (c *Client) rawWrite(nc net.Conn, req *wire.Request) bool {
+// rawQueue stages one frame on the encoder without flushing. Callers
+// hold writeMu and flush the accumulated burst themselves.
+func (c *Client) rawQueue(req *wire.Request) bool {
 	if req.ID == 0 {
 		c.mu.Lock()
 		c.nextID++
 		req.ID = c.nextID
 		c.mu.Unlock()
 	}
-	_, err := wire.WriteMessage(nc, wire.Req(req))
-	return err == nil
+	return c.enc.Queue(wire.Req(req)) == nil
 }
 
 // fail poisons the client: every pending and future call returns err.
@@ -334,6 +370,7 @@ func (c *Client) fail(err error) {
 		delete(c.pending, id)
 		close(p.ch)
 	}
+	c.dropAllStreamsLocked()
 	c.c.Close() // unblocks readLoop, which then closes events
 }
 
@@ -365,11 +402,13 @@ func (c *Client) callCtx(ctx context.Context, req *wire.Request) (*wire.Response
 	req.Seq = c.nextSeq
 	p := &pcall{req: req, ch: make(chan *wire.Response, 1)}
 	c.pending[req.ID] = p
-	nc := c.c
 	c.mu.Unlock()
 
 	c.writeMu.Lock()
-	_, werr := wire.WriteMessage(nc, wire.Req(req))
+	werr := c.enc.Queue(wire.Req(req))
+	if werr == nil {
+		_, werr = c.enc.Flush()
+	}
 	c.writeMu.Unlock()
 	if werr != nil && !c.opts.AutoReconnect {
 		c.mu.Lock()

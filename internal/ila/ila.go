@@ -185,6 +185,51 @@ func controllerModule(meta *Meta, cfg Config, trigIdx, total int) *rtl.Module {
 	return m
 }
 
+// ProbeNames returns the probe signal names in capture order — the
+// column headers matching DecodeVals rows.
+func (meta *Meta) ProbeNames() []string {
+	names := make([]string, len(meta.Probes))
+	for i, p := range meta.Probes {
+		names[i] = p.Signal
+	}
+	return names
+}
+
+// DecodeVals splits one captured word into probe-order values — the
+// positional cousin of Decode, used by the streaming upload path where a
+// map per row would dominate the cost of the window.
+func (meta *Meta) DecodeVals(word uint64) []uint64 {
+	out := make([]uint64, len(meta.Probes))
+	for i, p := range meta.Probes {
+		out[i] = (word >> uint(meta.offsets[i])) & rtl.Mask(p.Width)
+	}
+	return out
+}
+
+// RegPoker writes control registers; *dbg.Debugger and zoomie.Session
+// both satisfy it.
+type RegPoker interface {
+	Poke(name string, v uint64) error
+}
+
+// Rearm resets a completed capture so the trigger can fire again: clear
+// full/capturing, rewind the write pointer, and arm. Works while the
+// user clock is running — re-arm is a plain register write over JTAG —
+// which is what lets the streaming path deliver back-to-back windows.
+func (meta *Meta) Rearm(p RegPoker) error {
+	for _, reg := range []struct {
+		name string
+		v    uint64
+	}{
+		{"full", 0}, {"wr_ptr", 0}, {"capturing", 0}, {"armed", 1},
+	} {
+		if err := p.Poke(meta.CtrlPrefix+"."+reg.name, reg.v); err != nil {
+			return fmt.Errorf("ila: rearm %s: %w", reg.name, err)
+		}
+	}
+	return nil
+}
+
 // Decode splits one captured word into per-probe values.
 func (meta *Meta) Decode(word uint64) map[string]uint64 {
 	out := make(map[string]uint64, len(meta.Probes))

@@ -1,0 +1,118 @@
+// Package obs is the always-on observability substrate behind the v3
+// counter streams: lock-free counters that producers bump at line rate
+// (one atomic add per event — the session actor, the transport, a user
+// tap), and delta readers that aggregate whatever accumulated since the
+// last flush into a single frame. The design point is FireSim-style
+// out-of-band telemetry: millions of events per second on the producer
+// side become a handful of wire frames per second, because the wire
+// carries per-interval deltas of named counters, never the events
+// themselves.
+package obs
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is one monotonically increasing event counter. Adds are a
+// single atomic instruction — cheap enough for the peek/poke hot path —
+// and never block a reader.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Add records n events.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Inc records one event.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Load returns the lifetime total.
+func (c *Counter) Load() uint64 { return c.v.Load() }
+
+// Registry is a named set of counters. Registration (first Counter call
+// for a name) takes a lock; subsequent lookups should be cached by the
+// producer, which then pays only the atomic add.
+type Registry struct {
+	mu       sync.RWMutex
+	names    []string
+	counters []*Counter
+	byName   map[string]*Counter
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byName: make(map[string]*Counter)}
+}
+
+// Counter returns the counter with the given name, creating it on first
+// use. The returned pointer is stable for the registry's lifetime —
+// cache it, don't re-look it up per event.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c := r.byName[name]
+	r.mu.RUnlock()
+	if c != nil {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c = r.byName[name]; c != nil {
+		return c
+	}
+	c = &Counter{}
+	r.byName[name] = c
+	r.names = append(r.names, name)
+	r.counters = append(r.counters, c)
+	return c
+}
+
+// Names returns the registered counter names, sorted.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	out := append([]string(nil), r.names...)
+	r.mu.RUnlock()
+	sort.Strings(out)
+	return out
+}
+
+// Reader tracks per-counter totals between flushes so each flush yields
+// deltas. Each stream gets its own Reader; readers never interfere.
+type Reader struct {
+	reg  *Registry
+	last []uint64
+}
+
+// NewReader returns a delta reader starting from the current totals, so
+// the first flush reports only events after the stream opened.
+func (r *Registry) NewReader() *Reader {
+	rd := &Reader{reg: r}
+	rd.Deltas(nil, nil) // prime last with current totals
+	return rd
+}
+
+// Deltas appends the name and delta of every counter that moved since
+// the previous call to the given slices (reused across flushes to stay
+// allocation-free in steady state) and returns them along with the total
+// number of events in this interval. Counters that did not move are
+// omitted — an idle system flushes nothing.
+func (rd *Reader) Deltas(names []string, deltas []uint64) ([]string, []uint64, uint64) {
+	rd.reg.mu.RLock()
+	regNames, counters := rd.reg.names, rd.reg.counters
+	if len(rd.last) < len(counters) {
+		rd.last = append(rd.last, make([]uint64, len(counters)-len(rd.last))...)
+	}
+	var total uint64
+	for i, c := range counters {
+		cur := c.Load()
+		if d := cur - rd.last[i]; d != 0 {
+			names = append(names, regNames[i])
+			deltas = append(deltas, d)
+			total += d
+			rd.last[i] = cur
+		}
+	}
+	rd.reg.mu.RUnlock()
+	return names, deltas, total
+}

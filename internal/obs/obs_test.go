@@ -1,0 +1,128 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounterRegistry(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	if got := r.Counter("a"); got != a {
+		t.Fatalf("Counter(a) not stable: %p vs %p", got, a)
+	}
+	a.Inc()
+	a.Add(4)
+	if v := a.Load(); v != 5 {
+		t.Fatalf("a = %d, want 5", v)
+	}
+	r.Counter("b").Add(2)
+	names := r.Names()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("Names = %v", names)
+	}
+}
+
+func TestReaderDeltas(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	a.Add(100) // before the reader exists: must not appear in deltas
+	rd := r.NewReader()
+
+	names, deltas, total := rd.Deltas(nil, nil)
+	if total != 0 || len(names) != 0 || len(deltas) != 0 {
+		t.Fatalf("first flush not empty: %v %v %d", names, deltas, total)
+	}
+
+	a.Add(7)
+	b := r.Counter("b") // registered after the reader was primed
+	b.Add(3)
+	names, deltas, total = rd.Deltas(names[:0], deltas[:0])
+	if total != 10 {
+		t.Fatalf("total = %d, want 10", total)
+	}
+	got := map[string]uint64{}
+	for i, n := range names {
+		got[n] = deltas[i]
+	}
+	if got["a"] != 7 || got["b"] != 3 {
+		t.Fatalf("deltas = %v", got)
+	}
+
+	// Idle interval flushes nothing.
+	if _, _, total = rd.Deltas(names[:0], deltas[:0]); total != 0 {
+		t.Fatalf("idle total = %d, want 0", total)
+	}
+}
+
+func TestIndependentReaders(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("a")
+	r1, r2 := r.NewReader(), r.NewReader()
+	a.Add(5)
+	if _, _, total := r1.Deltas(nil, nil); total != 5 {
+		t.Fatalf("r1 total = %d", total)
+	}
+	a.Add(2)
+	// r2 sees both intervals' worth; r1 only the second.
+	if _, _, total := r2.Deltas(nil, nil); total != 7 {
+		t.Fatalf("r2 total = %d", total)
+	}
+	if _, _, total := r1.Deltas(nil, nil); total != 2 {
+		t.Fatalf("r1 second total = %d", total)
+	}
+}
+
+func TestConcurrentProducers(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("hot")
+	rd := r.NewReader()
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if _, _, total := rd.Deltas(nil, nil); total != workers*per {
+		t.Fatalf("total = %d, want %d", total, workers*per)
+	}
+}
+
+// BenchmarkCounterAdd measures the producer-side cost of one event — the
+// number that must stay negligible on the peek/poke hot path, and the
+// basis of the ≥1M events/sec aggregation claim (one atomic add per
+// event, aggregation cost amortized over the flush interval).
+func BenchmarkCounterAdd(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench")
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			c.Inc()
+		}
+	})
+}
+
+// BenchmarkReaderFlush measures one aggregation pass over a registry of
+// 64 counters — the per-interval cost a counters stream pays.
+func BenchmarkReaderFlush(b *testing.B) {
+	r := NewRegistry()
+	ctrs := make([]*Counter, 64)
+	for i := range ctrs {
+		ctrs[i] = r.Counter(string(rune('a'+i%26)) + string(rune('0'+i/26)))
+	}
+	rd := r.NewReader()
+	var names []string
+	var deltas []uint64
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		ctrs[i%len(ctrs)].Inc()
+		names, deltas, _ = rd.Deltas(names[:0], deltas[:0])
+	}
+}

@@ -44,6 +44,11 @@ type Entry struct {
 	Build func() (*zoomie.Design, zoomie.DebugConfig)
 	// Init runs once after the session starts (e.g. enable pokes).
 	Init func(*zoomie.Session) error
+	// ILA, when set, wraps the built design with a vendor-style ILA
+	// before debug instrumentation. Sessions attached to such entries can
+	// serve "ila" streams: completed capture windows are uploaded,
+	// re-armed, and pushed to subscribed v3 clients.
+	ILA *zoomie.ILAConfig
 }
 
 // Catalog returns the bundled designs, keyed by the names clients pass
@@ -61,6 +66,26 @@ func Catalog() map[string]Entry {
 				m.Connect(q, zoomie.S(cnt))
 				return zoomie.NewDesign("counter", m),
 					zoomie.DebugConfig{Watches: []string{"q"}}
+			},
+		},
+		"ila-counter": {
+			Describe: "16-bit counter with a free-running low-nibble ILA (streaming demo)",
+			Build: func() (*zoomie.Design, zoomie.DebugConfig) {
+				m := zoomie.NewModule("counter")
+				q := m.Output("q", 16)
+				ql := m.Output("qlow", 4)
+				cnt := m.Reg("cnt", 16, "clk", 0)
+				m.SetNext(cnt, zoomie.Add(zoomie.S(cnt), zoomie.C(1, 16)))
+				m.Connect(q, zoomie.S(cnt))
+				m.Connect(ql, zoomie.Slice(zoomie.S(cnt), 3, 0))
+				return zoomie.NewDesign("counter", m),
+					zoomie.DebugConfig{Watches: []string{"q"}}
+			},
+			// The low nibble wraps every 16 cycles, so the trigger refires
+			// immediately after each re-arm: a continuous window stream.
+			ILA: &zoomie.ILAConfig{
+				Probes: []string{"q", "qlow"}, Depth: 16,
+				TriggerSignal: "qlow", TriggerValue: 0,
 			},
 		},
 		"cohort": {
@@ -157,23 +182,41 @@ func NewCatalogSession(name string, leaseBoard func(*zoomie.Device) (*zoomie.Boa
 // its DebugConfig — the hook the server uses to thread board leases and
 // per-session fault injectors into the entry's own configuration.
 func NewCatalogSessionWith(name string, mod func(*zoomie.DebugConfig)) (*zoomie.Session, error) {
+	sess, _, err := NewCatalogSessionILA(name, mod)
+	return sess, err
+}
+
+// NewCatalogSessionILA is NewCatalogSessionWith for ILA-carrying
+// entries: when the entry declares an ILA, the design is wrapped before
+// debug instrumentation and the capture metadata is returned so the
+// session can upload and re-arm windows. Entries without an ILA return
+// nil metadata.
+func NewCatalogSessionILA(name string, mod func(*zoomie.DebugConfig)) (*zoomie.Session, *zoomie.ILAMeta, error) {
 	entry, ok := Catalog()[name]
 	if !ok {
-		return nil, fmt.Errorf("unknown design %q (have: %v)", name, CatalogNames())
+		return nil, nil, fmt.Errorf("unknown design %q (have: %v)", name, CatalogNames())
 	}
 	d, cfg := entry.Build()
+	var meta *zoomie.ILAMeta
+	if entry.ILA != nil {
+		var err error
+		d, meta, err = zoomie.InstrumentILA(d, *entry.ILA)
+		if err != nil {
+			return nil, nil, fmt.Errorf("design %q: %w", name, err)
+		}
+	}
 	if mod != nil {
 		mod(&cfg)
 	}
 	sess, err := zoomie.Debug(d, cfg)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	if entry.Init != nil {
 		if err := entry.Init(sess); err != nil {
 			sess.Close()
-			return nil, err
+			return nil, nil, err
 		}
 	}
-	return sess, nil
+	return sess, meta, nil
 }

@@ -412,7 +412,10 @@ func TestReplayDedup(t *testing.T) {
 		}
 	}
 
-	hello := roundtrip(&wire.Request{ID: 1, Op: wire.OpHello, Version: wire.Version})
+	// This test drives raw JSON frames by hand, so it pins itself to v2:
+	// offering v3 would switch the connection to the binary codec after
+	// the hello (covered by the stream and cross-version tests instead).
+	hello := roundtrip(&wire.Request{ID: 1, Op: wire.OpHello, Version: 2})
 	cid := hello.Client
 	att := roundtrip(&wire.Request{ID: 2, Op: wire.OpAttach, Design: "counter"})
 	sid := att.Session

@@ -20,8 +20,18 @@ import (
 
 	"zoomie"
 	"zoomie/internal/faults"
+	"zoomie/internal/obs"
 	"zoomie/internal/wire"
 )
+
+// hotCounters are the obs counters the command path bumps inline. Names
+// carry a "zoomied." prefix so user-registered taps sort apart.
+type hotCounters struct {
+	commands *obs.Counter // commands executed by session actors
+	peeks    *obs.Counter // register/memory/output reads (batch items count individually)
+	pokes    *obs.Counter // register/memory/input writes (batch items count individually)
+	cycles   *obs.Counter // clock cycles advanced by run/step/until
+}
 
 // Config tunes the server.
 type Config struct {
@@ -47,6 +57,11 @@ type Config struct {
 	// QuarantineCooldown is how long an ejected board stays out of the
 	// pool before requalifying (default 1 minute).
 	QuarantineCooldown time.Duration
+	// ProtocolCeiling, when positive, caps the protocol version this
+	// server negotiates — the compatibility hook for emulating an older
+	// zoomied in mixed-fleet tests (a ceiling of 2 answers exactly as a
+	// pre-binary-codec server would).
+	ProtocolCeiling int
 }
 
 // Server is a running zoomied instance.
@@ -54,6 +69,12 @@ type Server struct {
 	cfg   Config
 	pool  *Pool
 	stats stats
+
+	// reg is the server-wide observability registry behind "counters"
+	// streams; ctr caches the hot-path counters so the per-op cost is one
+	// atomic add, never a map lookup.
+	reg *obs.Registry
+	ctr hotCounters
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -88,9 +109,16 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		pool:      NewPool(cfg.PoolSize),
+		reg:       obs.NewRegistry(),
 		sessions:  make(map[uint64]*session),
 		conns:     make(map[*conn]struct{}),
 		probeQuit: make(chan struct{}),
+	}
+	s.ctr = hotCounters{
+		commands: s.reg.Counter("zoomied.commands"),
+		peeks:    s.reg.Counter("zoomied.peeks"),
+		pokes:    s.reg.Counter("zoomied.pokes"),
+		cycles:   s.reg.Counter("zoomied.cycles"),
 	}
 	if cfg.QuarantineCooldown > 0 {
 		s.pool.SetCooldown(cfg.QuarantineCooldown)
@@ -146,13 +174,18 @@ func (s *Server) InjectorFor(sid uint64) *faults.Injector {
 // accounting in tests and the stats dump).
 func (s *Server) Pool() *Pool { return s.pool }
 
+// Obs exposes the server-wide counter registry. Embedding tools (zcheck,
+// benchmarks) register their own taps here; whatever accumulates flows
+// out through any open "counters" stream.
+func (s *Server) Obs() *obs.Registry { return s.reg }
+
 // newSessionFor builds one catalog design on a pooled board, wiring in a
 // freshly seeded fault injector when chaos is configured. Used both by
 // attach and by migration.
-func (s *Server) newSessionFor(design string) (*zoomie.Session, *faults.Injector, *Lease, error) {
+func (s *Server) newSessionFor(design string) (*zoomie.Session, *zoomie.ILAMeta, *faults.Injector, *Lease, error) {
 	var lease *Lease
 	var inj *faults.Injector
-	zs, err := NewCatalogSessionWith(design, func(cfg *zoomie.DebugConfig) {
+	zs, ilaMeta, err := NewCatalogSessionILA(design, func(cfg *zoomie.DebugConfig) {
 		cfg.LeaseBoard = func(dev *zoomie.Device) (*zoomie.Board, error) {
 			l, lerr := s.pool.Lease(dev)
 			if lerr != nil {
@@ -172,10 +205,10 @@ func (s *Server) newSessionFor(design string) (*zoomie.Session, *faults.Injector
 		if lease != nil {
 			lease.Release()
 		}
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
 	zs.AtClose(func() error { lease.Release(); return nil })
-	return zs, inj, lease, nil
+	return zs, ilaMeta, inj, lease, nil
 }
 
 // Serve accepts connections until Shutdown (returns nil) or a listener
@@ -300,7 +333,7 @@ func (s *Server) attach(c *conn, req *wire.Request) *wire.Response {
 		resp.Err = wire.Errf(wire.CodeForbidden, "design %q not served (allowlist: %v)", name, s.cfg.Allow)
 		return resp
 	}
-	zs, inj, lease, err := s.newSessionFor(name)
+	zs, ilaMeta, inj, lease, err := s.newSessionFor(name)
 	if err != nil {
 		code := wire.CodeOp
 		if errors.Is(err, ErrPoolExhausted) {
@@ -320,6 +353,7 @@ func (s *Server) attach(c *conn, req *wire.Request) *wire.Response {
 	s.nextSID++
 	sess := newSession(s.nextSID, name, zs, s)
 	sess.lease = lease
+	sess.ilaMeta = ilaMeta
 	sess.injector.Store(inj)
 	s.sessions[sess.id] = sess
 	s.mu.Unlock()
@@ -374,6 +408,12 @@ type conn struct {
 	out chan *wire.Message
 	wmu sync.Mutex // serializes socket writes (writeLoop vs handshake)
 
+	// enc/dec speak the negotiated codec: JSON until the hello exchange
+	// completes, binary afterwards on v3 connections. enc is guarded by
+	// wmu; dec is owned by the read loop.
+	enc *wire.Encoder
+	dec *wire.Decoder
+
 	// version is the negotiated protocol version, set during handshake
 	// before any request is dispatched. Batch ops are refused on v1.
 	version int
@@ -390,18 +430,29 @@ type conn struct {
 	subMu  sync.Mutex
 	subs   map[uint64]bool
 	subAll bool
+
+	// streams are this connection's open push channels (v3); ids are
+	// per-connection, assigned at OpStreamOpen.
+	streamMu   sync.Mutex
+	streams    map[uint64]*stream
+	nextStream uint64
 }
 
 func newConn(s *Server, c net.Conn) *conn {
 	ctx, cancel := context.WithCancel(context.Background())
 	return &conn{
-		srv:    s,
-		c:      c,
-		out:    make(chan *wire.Message, 256),
-		ctx:    ctx,
-		cancel: cancel,
-		dead:   make(chan struct{}),
-		subs:   make(map[uint64]bool),
+		srv: s,
+		c:   c,
+		out: make(chan *wire.Message, 256),
+		// The hello exchange is always JSON; handshake() upgrades both
+		// directions once a v3 connection is negotiated.
+		enc:     wire.NewEncoder(c, 1),
+		dec:     wire.NewDecoder(c, 1),
+		ctx:     ctx,
+		cancel:  cancel,
+		dead:    make(chan struct{}),
+		subs:    make(map[uint64]bool),
+		streams: make(map[uint64]*stream),
 	}
 }
 
@@ -412,6 +463,7 @@ func (c *conn) markDead() {
 		c.cancel()
 		close(c.dead)
 		c.c.Close()
+		c.closeStreams()
 	})
 }
 
@@ -441,6 +493,11 @@ func (c *conn) wants(sid uint64) bool {
 	return c.subAll || sid == 0 || c.subs[sid]
 }
 
+// writeLoop owns the socket's send side. It coalesces writev-style:
+// after taking one message it drains whatever else is already queued
+// (bounded by the encoder buffer) and flushes the whole burst with a
+// single Write — a batch of responses or an event storm costs one
+// syscall instead of one per frame.
 func (c *conn) writeLoop() {
 	defer c.srv.wg.Done()
 	for {
@@ -448,12 +505,31 @@ func (c *conn) writeLoop() {
 		case <-c.dead:
 			return
 		case m := <-c.out:
-			if err := c.writeNow(m); err != nil {
+			if err := c.writeBurst(m); err != nil {
 				c.markDead()
 				return
 			}
 		}
 	}
+}
+
+// writeBurst queues m plus any backlog already in the out channel, then
+// flushes once.
+func (c *conn) writeBurst(m *wire.Message) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	err := c.enc.Queue(m)
+	for err == nil {
+		select {
+		case next := <-c.out:
+			err = c.enc.Queue(next)
+		default:
+			n, ferr := c.enc.Flush()
+			atomic.AddInt64(&c.srv.stats.bytesOut, int64(n))
+			return ferr
+		}
+	}
+	return err
 }
 
 func (c *conn) readLoop() {
@@ -469,7 +545,7 @@ func (c *conn) readLoop() {
 		return
 	}
 	for {
-		m, n, err := wire.ReadMessage(c.c)
+		m, n, err := c.dec.Next()
 		atomic.AddInt64(&c.srv.stats.bytesIn, int64(n))
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
@@ -489,7 +565,11 @@ func (c *conn) readLoop() {
 // writeNow writes one frame to the socket under the write mutex.
 func (c *conn) writeNow(m *wire.Message) error {
 	c.wmu.Lock()
-	n, err := wire.WriteMessage(c.c, m)
+	var n int
+	err := c.enc.Queue(m)
+	if err == nil {
+		n, err = c.enc.Flush()
+	}
 	c.wmu.Unlock()
 	atomic.AddInt64(&c.srv.stats.bytesOut, int64(n))
 	return err
@@ -520,6 +600,9 @@ func (c *conn) handshake() bool {
 		return false
 	}
 	c.version = wire.Version
+	if p := c.srv.cfg.ProtocolCeiling; p > 0 && p < c.version {
+		c.version = p
+	}
 	if m.Req.Version < c.version {
 		c.version = m.Req.Version
 	}
@@ -534,6 +617,14 @@ func (c *conn) handshake() bool {
 		cid = atomic.AddUint64(&c.srv.nextClient, 1)
 	}
 	c.writeNow(wire.Resp(&wire.Response{ID: m.Req.ID, Version: c.version, Client: cid}))
+	// The hello reply is the last JSON frame on a v3 connection: every
+	// frame after it — both directions — uses the binary codec.
+	if c.version >= 3 {
+		c.wmu.Lock()
+		c.enc.SetVersion(c.version)
+		c.wmu.Unlock()
+		c.dec.SetVersion(c.version)
+	}
 	return true
 }
 
@@ -552,6 +643,16 @@ func (c *conn) dispatch(req *wire.Request) {
 	case wire.OpSubscribe:
 		c.subscribe(req.Session)
 		c.send(wire.Resp(&wire.Response{ID: req.ID, Session: req.Session}))
+	case wire.OpStreamOpen, wire.OpStreamCredit, wire.OpStreamClose:
+		// Stream ops arrived in v3; older connections get the same answer
+		// an older server would give.
+		if c.version < 3 {
+			c.send(wire.Resp(&wire.Response{ID: req.ID,
+				Err: wire.Errf(wire.CodeUnknownOp, "unknown op %q", req.Op)}))
+			return
+		}
+		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
+		c.send(wire.Resp(c.handleStream(req)))
 	default:
 		// Batch ops arrived in v2; a v1-negotiated connection gets the
 		// same answer a v1 server would give.

@@ -19,6 +19,14 @@ import (
 // appears on the wire.
 const opProbe = "_probe"
 
+// opIlaPoll is the internal op an ILA stream's ticker enqueues: check
+// whether the capture window completed; if so, upload it in one batched
+// readback, re-arm the trigger, and hand the decoded rows back. Like
+// opProbe it never appears on the wire and is serialized with the
+// session's own commands by the actor, so streaming can never interleave
+// with a paused-debug interaction.
+const opIlaPoll = "_ilapoll"
+
 // session is one attached design: a *zoomie.Session owned by a single
 // actor goroutine that drains a request channel. The actor is how the
 // server retrofits thread-safety onto the lock-free debugger — commands
@@ -40,6 +48,10 @@ type session struct {
 
 	lease    *Lease
 	injector atomic.Pointer[faults.Injector]
+
+	// ilaMeta decodes this design's ILA capture windows; nil for entries
+	// without an ILA (ila streams are then refused at open).
+	ilaMeta *zoomie.ILAMeta
 
 	reqs chan task
 	quit chan struct{} // closed by Shutdown
@@ -162,10 +174,10 @@ func (s *session) loop() {
 	for {
 		select {
 		case t := <-s.reqs:
-			if t.req.Op == opProbe {
-				// Probes are housekeeping: no replay, no latency sample,
-				// and crucially no idle-timer reset — a probed session
-				// must still idle out.
+			if t.req.Op == opProbe || t.req.Op == opIlaPoll {
+				// Probes and ILA polls are housekeeping: no replay, no
+				// latency sample, and crucially no idle-timer reset — a
+				// probed or streamed session must still idle out.
 				resp, detach := s.handle(t)
 				t.reply(resp)
 				if detach {
@@ -183,6 +195,7 @@ func (s *session) loop() {
 			resp, detach := s.handle(t)
 			s.srv.stats.observeLatency(time.Since(start))
 			atomic.AddInt64(&s.srv.stats.commandsServed, 1)
+			s.srv.ctr.commands.Inc()
 			s.replayStore(t.req, resp)
 			t.reply(resp)
 			if detach {
@@ -357,7 +370,7 @@ func (s *session) migrate(cause string) *wire.Error {
 	old.Close() // errors expected on a failed board; lease already benched
 	srv.retire(old, oldInj)
 
-	nz, ninj, nlease, err := srv.newSessionFor(s.design)
+	nz, nmeta, ninj, nlease, err := srv.newSessionFor(s.design)
 	if err != nil {
 		atomic.AddInt64(&srv.stats.migrationsFail, 1)
 		return wire.Errf(wire.CodeBoardFailed,
@@ -375,6 +388,7 @@ func (s *session) migrate(cause string) *wire.Error {
 	s.mu.Lock()
 	s.zs = nz
 	s.lease = nlease
+	s.ilaMeta = nmeta
 	s.mu.Unlock()
 	s.injector.Store(ninj)
 	atomic.AddInt64(&srv.stats.migrations, 1)
@@ -419,6 +433,40 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 			return fail(err)
 		}
 
+	case opIlaPoll:
+		meta := s.ilaMeta
+		if meta == nil {
+			return fail(fmt.Errorf("design %q has no ILA", s.design))
+		}
+		full, err := s.zs.Peek(meta.CtrlPrefix + ".full")
+		if err != nil {
+			return fail(err)
+		}
+		if full == 0 {
+			break // window still filling; the ticker will ask again
+		}
+		// One planned pass uploads the whole window — one readback per
+		// SLR, not one cable round trip per captured cycle.
+		items := make([]dbg.PlanItem, meta.Depth)
+		for i := range items {
+			items[i] = dbg.PlanItem{Name: meta.BufferName, Mem: true, Addr: i}
+		}
+		words, err := s.zs.ReadPlan(ctx, items)
+		if err != nil {
+			return fail(err)
+		}
+		rows := make([][]uint64, len(words))
+		for i, w := range words {
+			rows[i] = meta.DecodeVals(w)
+		}
+		if err := meta.Rearm(s.zs); err != nil {
+			return fail(err)
+		}
+		atomic.AddInt64(&s.srv.stats.ilaWindows, 1)
+		// The decoded window travels back through the Trace shape the
+		// stream layer converts into an EvtStream frame.
+		resp.Trace = &wire.Trace{Signals: meta.ProbeNames(), Rows: rows}
+
 	case wire.OpDetach:
 		return resp, true
 
@@ -429,6 +477,7 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 		}
 		s.zs.Run(n)
 		resp.Ran = n
+		s.srv.ctr.cycles.Add(uint64(n))
 
 	case wire.OpPause:
 		if err := s.zs.Pause(); err != nil {
@@ -448,6 +497,7 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 		if err := s.zs.Step(n); err != nil {
 			return fail(err)
 		}
+		s.srv.ctr.cycles.Add(uint64(n))
 
 	case wire.OpUntil:
 		max := req.N
@@ -459,6 +509,7 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 		if err != nil {
 			return fail(err)
 		}
+		s.srv.ctr.cycles.Add(uint64(ran))
 
 	case wire.OpPeek:
 		v, err := s.zs.PeekCtx(ctx, req.Name)
@@ -466,11 +517,13 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 			return fail(err)
 		}
 		resp.Value = v
+		s.srv.ctr.peeks.Inc()
 
 	case wire.OpPoke:
 		if err := s.zs.PokeCtx(ctx, req.Name, req.Value); err != nil {
 			return fail(err)
 		}
+		s.srv.ctr.pokes.Inc()
 
 	case wire.OpPeekMem:
 		v, err := s.zs.PeekMemCtx(ctx, req.Name, req.Addr)
@@ -478,11 +531,13 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 			return fail(err)
 		}
 		resp.Value = v
+		s.srv.ctr.peeks.Inc()
 
 	case wire.OpPokeMem:
 		if err := s.zs.PokeMemCtx(ctx, req.Name, req.Addr, req.Value); err != nil {
 			return fail(err)
 		}
+		s.srv.ctr.pokes.Inc()
 
 	case wire.OpPeekBatch:
 		items := make([]dbg.PlanItem, len(req.Items))
@@ -496,6 +551,7 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 		if err != nil {
 			return fail(err)
 		}
+		s.srv.ctr.peeks.Add(uint64(len(items)))
 
 	case wire.OpPokeBatch:
 		items := make([]dbg.PlanItem, len(req.Items))
@@ -505,6 +561,7 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 		if err := s.zs.WritePlan(ctx, items); err != nil {
 			return fail(err)
 		}
+		s.srv.ctr.pokes.Add(uint64(len(items)))
 
 	case wire.OpBreak:
 		mode := zoomie.BreakAny
@@ -561,6 +618,7 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 		if err := s.zs.PokeInput(req.Name, req.Value); err != nil {
 			return fail(err)
 		}
+		s.srv.ctr.pokes.Inc()
 
 	case wire.OpOutput:
 		v, err := s.zs.PeekOutput(req.Name)
@@ -568,6 +626,7 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 			return fail(err)
 		}
 		resp.Value = v
+		s.srv.ctr.peeks.Inc()
 
 	case wire.OpSessStat:
 		paused, err := s.zs.Paused()

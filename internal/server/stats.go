@@ -41,6 +41,13 @@ type stats struct {
 	jtagRewrites   int64
 	faultsInjected int64
 
+	// Streaming observability counters (v3).
+	streamsOpened int64
+	streamFrames  int64
+	streamEvents  int64
+	streamDropped int64
+	ilaWindows    int64
+
 	latency [len(latencyBoundsUS)]int64
 }
 
@@ -99,6 +106,12 @@ func (s *Server) Stats() *wire.Stats {
 		JtagReReads:     atomic.LoadInt64(&st.jtagReReads),
 		JtagRewrites:    atomic.LoadInt64(&st.jtagRewrites),
 		FaultsInjected:  atomic.LoadInt64(&st.faultsInjected),
+
+		StreamsOpened: atomic.LoadInt64(&st.streamsOpened),
+		StreamFrames:  atomic.LoadInt64(&st.streamFrames),
+		StreamEvents:  atomic.LoadInt64(&st.streamEvents),
+		StreamDropped: atomic.LoadInt64(&st.streamDropped),
+		IlaWindows:    atomic.LoadInt64(&st.ilaWindows),
 	}
 	_, denied, _ := s.pool.Counters()
 	out.PoolDenied = denied

@@ -19,7 +19,10 @@ const MaxFrame = 8 << 20
 var ErrFrameTooLarge = errors.New("wire: frame exceeds size limit")
 
 // WriteMessage encodes one message as a length-prefixed JSON frame and
-// returns the number of bytes written.
+// returns the number of bytes written. The prefix+payload staging buffer
+// comes from a pool shared with the v3 path, so even legacy JSON peers
+// pay no per-frame buffer allocation (json.Marshal itself still
+// allocates the payload; v3 removes that too).
 func WriteMessage(w io.Writer, m *Message) (int, error) {
 	payload, err := json.Marshal(m)
 	if err != nil {
@@ -28,10 +31,12 @@ func WriteMessage(w io.Writer, m *Message) (int, error) {
 	if len(payload) > MaxFrame {
 		return 0, ErrFrameTooLarge
 	}
-	buf := make([]byte, 4+len(payload))
-	binary.BigEndian.PutUint32(buf, uint32(len(payload)))
-	copy(buf[4:], payload)
+	bp := msgBufPool.Get().(*[]byte)
+	buf := binary.BigEndian.AppendUint32((*bp)[:0], uint32(len(payload)))
+	buf = append(buf, payload...)
 	n, err := w.Write(buf)
+	*bp = buf[:0]
+	msgBufPool.Put(bp)
 	return n, err
 }
 

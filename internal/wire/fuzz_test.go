@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bytes"
+	"reflect"
 	"testing"
 )
 
@@ -59,6 +60,74 @@ func FuzzReadMessage(f *testing.F) {
 			}
 			if m2.T != m.T {
 				t.Fatalf("envelope type changed across round trip: %q -> %q", m.T, m2.T)
+			}
+		}
+	})
+}
+
+// FuzzReadBinary hardens the v3 binary decoder the same way: arbitrary
+// bytes must produce a clean error or a message that re-encodes and
+// re-decodes to the same value — never a panic, never an allocation
+// beyond MaxFrame. Seeds live in testdata/fuzz/FuzzReadBinary.
+func FuzzReadBinary(f *testing.F) {
+	// Valid single frames across every envelope, including stream frames
+	// and enum escapes.
+	for _, m := range []*Message{
+		Req(&Request{ID: 1, Op: OpHello, Version: Version}),
+		Req(&Request{ID: 2, Op: OpPeek, Session: 3, Name: "dut.count"}),
+		Req(&Request{ID: 3, Op: OpPeekBatch, Session: 3, Items: []BatchItem{
+			{Name: "a"}, {Name: "m", Mem: true, Addr: 7, Value: 9},
+		}}),
+		Req(&Request{ID: 4, Op: OpStreamOpen, Session: 3, Name: StreamCounters, N: 32}),
+		Req(&Request{ID: 5, Op: "madeup", Prefix: "x."}),
+		Resp(&Response{ID: 2, Value: 42}),
+		Resp(&Response{ID: 3, Values: []uint64{1, 2, 3}}),
+		Resp(&Response{ID: 4, Err: Errf(CodeBusy, "busy")}),
+		Evt(&Event{Kind: EvtStream, Stream: 1, Seq: 9, Count: 500,
+			Names: []string{"peeks"}, Deltas: []uint64{500}}),
+		Evt(&Event{Kind: EvtPaused, Session: 3, Cycles: 77}),
+	} {
+		var buf bytes.Buffer
+		if _, err := WriteMessageV(&buf, m, 3); err != nil {
+			f.Fatal(err)
+		}
+		f.Add(buf.Bytes())
+		f.Add(buf.Bytes()[:buf.Len()/2])
+	}
+	// Adversarial shapes: bad kinds, bogus flags, hostile counts.
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 'X'})
+	f.Add([]byte{0, 0, 0, 2, 'Q', 0xFF})
+	f.Add([]byte{0, 0, 0, 6, 'Q', 1, 0, 0xFF, 0xFF, 0x03})
+	f.Add([]byte{0, 0, 0, 8, 'Q', 1, 9, 0x80, 0x20, 0xFF, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF, 'Q'})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			m, n, err := ReadMessageV(r, 3)
+			if n < 0 || n > len(data)+4 {
+				t.Fatalf("byte count %d out of range", n)
+			}
+			if err != nil {
+				if m != nil {
+					t.Fatal("non-nil message alongside error")
+				}
+				return
+			}
+			// Anything that decoded must re-encode...
+			var buf bytes.Buffer
+			if _, werr := WriteMessageV(&buf, m, 3); werr != nil {
+				t.Fatalf("decoded message failed to re-encode: %v", werr)
+			}
+			// ...and re-decode to the same value (binary framing is
+			// canonical, so full equality must hold, not just envelope type).
+			m2, _, rerr := ReadMessageV(&buf, 3)
+			if rerr != nil {
+				t.Fatalf("re-encoded message failed to decode: %v", rerr)
+			}
+			if !reflect.DeepEqual(m2, m) {
+				t.Fatalf("message changed across round trip:\n got %s\nwant %s", dump(m2), dump(m))
 			}
 		}
 	})

@@ -34,7 +34,17 @@ import (
 //	    Values and Response.Values, plus typed debugger error codes
 //	    (CodeUnknownState … CodeCancelled) that unwrap to dberr
 //	    sentinels client-side.
-const Version = 2
+//	3 — binary framing and the stream channel. After the (always-JSON)
+//	    hello exchange, a v3-negotiated connection switches both
+//	    directions to the pooled varint codec in binary.go: same
+//	    4-byte length prefix, but the payload is a tagged binary body
+//	    instead of JSON — no reflection, no per-frame allocations on
+//	    the peek/poke hot path (see Encoder/Decoder). v3 also adds the
+//	    flow-controlled stream ops (OpStreamOpen/Credit/Close) and the
+//	    EvtStream event frames that carry aggregated counter deltas and
+//	    ILA capture windows server→client. v1/v2 peers negotiate down
+//	    and keep speaking length-prefixed JSON byte-for-byte.
+const Version = 3
 
 // MinVersion is the oldest protocol version the server still accepts. A
 // v1 client negotiates down: batch ops are unavailable (CodeUnknownOp)
@@ -90,6 +100,21 @@ const (
 	// writeback) per SLR — instead of one cable pass per name.
 	OpPeekBatch = "peekbatch" // Session, Items -> Values (v2+)
 	OpPokeBatch = "pokebatch" // Session, Items (with Value each) (v2+)
+
+	// Version 3 ops: the flow-controlled stream channel, multiplexed on
+	// the same connection. A stream pushes server-aggregated observability
+	// frames (counter deltas, ILA capture windows) to the client as
+	// EvtStream events, credit-gated so a slow client sheds frames
+	// (drop-oldest, counted) instead of stalling the session actor.
+	OpStreamOpen   = "streamopen"   // Session, Name ("counters"|"ila"), N credits, Value flush-interval-ms -> Stream (v3+)
+	OpStreamCredit = "streamcredit" // Stream, N additional credits (v3+)
+	OpStreamClose  = "streamclose"  // Stream (v3+)
+)
+
+// Stream kinds for OpStreamOpen's Name field.
+const (
+	StreamCounters = "counters" // aggregated per-session + server counter deltas
+	StreamILA      = "ila"      // completed ILA capture windows, re-armed after upload
 )
 
 // Request is a client command. Unused fields stay zero and are omitted.
@@ -118,6 +143,8 @@ type Request struct {
 	Enable  bool     `json:"enable,omitempty"`
 	// Items carries a batched peek/poke request set (v2+).
 	Items []BatchItem `json:"items,omitempty"`
+	// Stream addresses an open stream for credit/close ops (v3+).
+	Stream uint64 `json:"stream,omitempty"`
 }
 
 // BatchItem is one entry of an OpPeekBatch/OpPokeBatch request — the wire
@@ -153,6 +180,8 @@ type Response struct {
 	Lines     []string `json:"lines,omitempty"`
 	Trace     *Trace   `json:"trace,omitempty"`
 	Stats     *Stats   `json:"stats,omitempty"`
+	// Stream is the server-assigned stream id answering OpStreamOpen (v3+).
+	Stream uint64 `json:"stream,omitempty"`
 }
 
 // Event is an unsolicited server notification.
@@ -162,6 +191,20 @@ type Event struct {
 	Op      string `json:"op,omitempty"` // the command that surfaced the pause
 	Cycles  uint64 `json:"cycles,omitempty"`
 	Detail  string `json:"detail,omitempty"`
+
+	// Stream-frame fields (v3+, Kind == EvtStream): one frame carries a
+	// whole aggregation window, so millions of trace events/sec become a
+	// handful of frames/sec on the wire.
+	Stream  uint64 `json:"stream,omitempty"`  // stream id this frame belongs to
+	Seq     uint64 `json:"seq,omitempty"`     // per-stream frame sequence number
+	Dropped uint64 `json:"dropped,omitempty"` // frames shed under backpressure so far
+	Count   uint64 `json:"count,omitempty"`   // raw events aggregated into this frame
+	// Counter frames: parallel name/delta arrays of non-zero counters.
+	Names  []string `json:"names,omitempty"`
+	Deltas []uint64 `json:"deltas,omitempty"`
+	// ILA frames: one decoded capture window, Names naming the probes and
+	// Rows holding one value per probe per captured cycle.
+	Rows [][]uint64 `json:"rows,omitempty"`
 }
 
 // Event kinds.
@@ -171,6 +214,7 @@ const (
 	EvtShutdown    = "shutdown"          // server is shutting down
 	EvtQuarantined = "board_quarantined" // a board failed health checks and left the pool
 	EvtMigrated    = "session_migrated"  // a session moved to a fresh board from its last good snapshot
+	EvtStream      = "stream"            // one flow-controlled stream frame (v3+)
 )
 
 // Trace is a StepTrace flattened for the wire.
@@ -210,6 +254,13 @@ type Stats struct {
 	JtagRewrites    int64 `json:"jtag_rewrites"`     // frames rewritten after CRC mismatch
 	FaultsInjected  int64 `json:"faults_injected"`   // faults the chaos injectors fired
 
+	// Streaming observability counters (v3).
+	StreamsOpened int64 `json:"streams_opened"` // stream channels opened, lifetime
+	StreamFrames  int64 `json:"stream_frames"`  // stream frames delivered to clients
+	StreamEvents  int64 `json:"stream_events"`  // raw events aggregated into those frames
+	StreamDropped int64 `json:"stream_dropped"` // stream frames shed under backpressure
+	IlaWindows    int64 `json:"ila_windows"`    // ILA capture windows uploaded and streamed
+
 	// LatencyBuckets counts served commands by handling latency, in
 	// cumulative-upper-bound order matching LatencyBounds.
 	LatencyBuckets []int64 `json:"latency_us,omitempty"`
@@ -235,6 +286,7 @@ const (
 	CodeTimeout       = "timeout"      // client-side: no response within the call timeout
 	CodeConnLost      = "conn_lost"    // client-side: connection died and could not be restored
 	CodeBoardFailed   = "board_failed" // board wedged/unrecoverable and no migration possible
+	CodeNoStream      = "no_stream"    // stream id unknown on this connection (v3+)
 
 	// Typed debugger error codes (v2+). These refine CodeOp: the message
 	// is still the exact server-side error string, but the code lets
