@@ -345,6 +345,90 @@ func repl(t target, in io.Reader, out io.Writer) {
 			if err == nil {
 				err = t.PokeInput(args[0], v)
 			}
+		case "seek":
+			if len(args) < 1 {
+				err = fmt.Errorf("usage: seek <cycle>")
+				break
+			}
+			var cyc uint64
+			cyc, err = strconv.ParseUint(args[0], 0, 64)
+			if err != nil {
+				break
+			}
+			var tl int
+			tl, err = t.HistSeek(cyc)
+			if err == nil {
+				fmt.Fprintf(out, "seek: at cycle %d (timeline %d)\n", cyc, tl)
+			}
+		case "rewind":
+			n := uint64(1)
+			if len(args) > 0 {
+				n, err = strconv.ParseUint(args[0], 0, 64)
+				if err != nil {
+					break
+				}
+			}
+			var cyc uint64
+			var tl int
+			cyc, tl, err = t.HistRewind(n)
+			if err == nil {
+				fmt.Fprintf(out, "rewound %d cycles: at cycle %d (timeline %d)\n", n, cyc, tl)
+			}
+		case "reverse-continue", "rc":
+			var cyc uint64
+			var found bool
+			cyc, found, err = t.HistReverseContinue()
+			if err == nil {
+				if found {
+					fmt.Fprintf(out, "stopped at cycle %d\n", cyc)
+				} else {
+					fmt.Fprintln(out, "no earlier trigger in recorded history")
+				}
+			}
+		case "savestate":
+			if len(args) < 1 {
+				err = fmt.Errorf("usage: savestate <name>")
+				break
+			}
+			var regs, mems int
+			var cyc uint64
+			regs, mems, cyc, err = t.HistSaveState(args[0])
+			if err == nil {
+				fmt.Fprintf(out, "savestate %q: %d registers, %d memories at cycle %d\n",
+					args[0], regs, mems, cyc)
+			}
+		case "loadstate":
+			if len(args) < 1 {
+				err = fmt.Errorf("usage: loadstate <name>")
+				break
+			}
+			var cyc uint64
+			cyc, err = t.HistLoadState(args[0])
+			if err == nil {
+				fmt.Fprintf(out, "restored %q at cycle %d\n", args[0], cyc)
+			}
+		case "history":
+			var lines []string
+			lines, err = t.HistoryStatusLines()
+			for _, l := range lines {
+				fmt.Fprintln(out, l)
+			}
+		case "timelines":
+			var lines []string
+			lines, err = t.TimelineLines()
+			for _, l := range lines {
+				fmt.Fprintln(out, l)
+			}
+		case "scrub":
+			n := 1
+			if len(args) > 0 {
+				n, _ = strconv.Atoi(args[0])
+			}
+			if s, ok := t.(streamer); ok {
+				err = s.StreamKeyframes(n, out)
+			} else {
+				err = fmt.Errorf("scrub requires -connect to a zoomied server (v3)")
+			}
 		default:
 			err = fmt.Errorf("unknown command %q (try help)", cmd)
 		}
@@ -430,6 +514,15 @@ func printHelp(out io.Writer) {
   snapshot [save|restore]  capture / rewind full design state
   input PORT VAL       drive a top-level input (chip IO)
   status               paused flag, executed cycles, modeled cable time
+  seek CYCLE           time-travel to a recorded cycle (exact state)
+  rewind [n]           step recorded history back n cycles (default 1)
+  reverse-continue|rc  run history backwards to the last trigger hit
+  savestate NAME       name the current state for later loadstate
+  loadstate NAME       restore a named savestate (forks a timeline if
+                       the present has moved on)
+  history              history engine status: cursor, tip, horizon
+  timelines            list branch timelines (fork point, extent)
+  scrub [n]            receive n history keyframe frames (remote v3 only)
   stream [n]           receive n ILA capture windows (remote v3 only;
                        needs an ILA design such as ila-counter)
   counters [n]         receive n aggregated server counter frames

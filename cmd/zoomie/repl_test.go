@@ -13,6 +13,7 @@ import (
 
 // The scripted session exercises every REPL command family: breakpoints,
 // until, peek, step, poke, mem, trace, inspect, snapshot save/restore,
+// time travel (seek/rewind/reverse-continue/savestate/timelines),
 // status, errors, and help.
 const parityScript = `help
 break q 50 any
@@ -33,6 +34,23 @@ watch cnt 16
 trace cnt 4
 inspect dut
 status
+savestate mark
+step 40
+print cnt
+rewind 15
+print cnt
+reverse-continue
+print cnt
+loadstate mark
+print cnt
+seek 30
+print cnt
+step 10
+timelines
+history
+seek 999999999
+rewind 999999999
+loadstate nosuchstate
 mem nosuchmem 0
 print nosuchreg
 snapshot bogus
@@ -104,6 +122,16 @@ func TestREPLParityLocalRemote(t *testing.T) {
 		"dut.cnt = 500 (0x1f4)",
 		"cnt changed 500 -> 501 after 1 cycles",
 		"paused=true",
+		"savestate \"mark\":",
+		"rewound 15 cycles:",
+		"stopped at cycle",
+		"restored \"mark\" at cycle",
+		"seek: at cycle 30 (timeline 0)",
+		"cnt = 30 (0x1e)",
+		"timeline 1: ",
+		"forked from 0 at cycle",
+		"history: recording on timeline 3 (4 timelines",
+		"savestates: mark",
 		"error:",
 	} {
 		if !strings.Contains(local, want) {
@@ -134,7 +162,7 @@ func TestREPLStreamCommands(t *testing.T) {
 		t.Fatal(err)
 	}
 	var out bytes.Buffer
-	repl(rt, strings.NewReader("run 64\nstream 2\ncounters 1\nquit\n"), &out)
+	repl(rt, strings.NewReader("run 64\nstream 2\ncounters 1\nscrub 1\nquit\n"), &out)
 	if err := rt.Close(); err != nil {
 		t.Fatalf("remote close: %v", err)
 	}
@@ -142,6 +170,7 @@ func TestREPLStreamCommands(t *testing.T) {
 	for _, want := range []string{
 		"window 1 (seq ", "window 2 (seq ", "16 cycles",
 		"qlow", "frame 1 (seq ", "zoomied.",
+		"keyframes 1 (seq ", "  pos ",
 	} {
 		if !strings.Contains(got, want) {
 			t.Errorf("stream output missing %q in:\n%s", want, got)
@@ -153,10 +182,10 @@ func TestREPLStreamCommands(t *testing.T) {
 		t.Fatal(err)
 	}
 	out.Reset()
-	repl(lt, strings.NewReader("stream\ncounters\nquit\n"), &out)
+	repl(lt, strings.NewReader("stream\ncounters\nscrub\nquit\n"), &out)
 	lt.Close()
-	if c := strings.Count(out.String(), "error:"); c != 2 {
-		t.Errorf("local stream/counters printed %d errors, want 2:\n%s", c, out.String())
+	if c := strings.Count(out.String(), "error:"); c != 3 {
+		t.Errorf("local stream/counters/scrub printed %d errors, want 3:\n%s", c, out.String())
 	}
 }
 

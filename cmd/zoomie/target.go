@@ -41,6 +41,15 @@ type target interface {
 	SnapshotRestore() error
 	Status() (paused bool, cycles uint64, elapsed time.Duration, err error)
 	PokeInput(name string, v uint64) error
+	// Time travel (the history engine records on both sides of the seam;
+	// renderers are shared so local and remote output stays identical).
+	HistSeek(cycle uint64) (timeline int, err error)
+	HistRewind(n uint64) (cycle uint64, timeline int, err error)
+	HistReverseContinue() (cycle uint64, found bool, err error)
+	HistSaveState(name string) (regs, mems int, cycle uint64, err error)
+	HistLoadState(name string) (cycle uint64, err error)
+	HistoryStatusLines() ([]string, error)
+	TimelineLines() ([]string, error)
 	Close() error
 }
 
@@ -103,7 +112,24 @@ func (t *localTarget) Status() (bool, uint64, time.Duration, error) {
 	return paused, cycles, t.sess.Elapsed(), nil
 }
 func (t *localTarget) PokeInput(name string, v uint64) error { return t.sess.PokeInput(name, v) }
-func (t *localTarget) Close() error                          { return t.sess.Close() }
+func (t *localTarget) HistSeek(cycle uint64) (int, error)    { return t.sess.Seek(cycle) }
+func (t *localTarget) HistRewind(n uint64) (uint64, int, error) {
+	return t.sess.Rewind(n)
+}
+func (t *localTarget) HistReverseContinue() (uint64, bool, error) {
+	return t.sess.ReverseContinue()
+}
+func (t *localTarget) HistSaveState(name string) (int, int, uint64, error) {
+	return t.sess.SaveState(name)
+}
+func (t *localTarget) HistLoadState(name string) (uint64, error) {
+	return t.sess.LoadState(name)
+}
+func (t *localTarget) HistoryStatusLines() ([]string, error) {
+	return t.sess.HistoryStatusLines(), nil
+}
+func (t *localTarget) TimelineLines() ([]string, error) { return t.sess.TimelineLines(), nil }
+func (t *localTarget) Close() error                     { return t.sess.Close() }
 
 // remoteTarget debugs across the wire: every call is a round trip to a
 // zoomied session actor, and the snapshot stays server-side.
@@ -145,6 +171,23 @@ func (t *remoteTarget) Status() (bool, uint64, time.Duration, error) {
 	return t.sess.Status()
 }
 func (t *remoteTarget) PokeInput(name string, v uint64) error { return t.sess.PokeInput(name, v) }
+func (t *remoteTarget) HistSeek(cycle uint64) (int, error)    { return t.sess.HistSeek(cycle) }
+func (t *remoteTarget) HistRewind(n uint64) (uint64, int, error) {
+	return t.sess.HistRewind(n)
+}
+func (t *remoteTarget) HistReverseContinue() (uint64, bool, error) {
+	return t.sess.HistReverseContinue()
+}
+func (t *remoteTarget) HistSaveState(name string) (int, int, uint64, error) {
+	return t.sess.HistSaveState(name)
+}
+func (t *remoteTarget) HistLoadState(name string) (uint64, error) {
+	return t.sess.HistLoadState(name)
+}
+func (t *remoteTarget) HistoryStatusLines() ([]string, error) {
+	return t.sess.HistoryStatusLines()
+}
+func (t *remoteTarget) TimelineLines() ([]string, error) { return t.sess.TimelineLines() }
 func (t *remoteTarget) Close() error {
 	err := t.sess.Detach()
 	t.c.Close()
@@ -163,6 +206,10 @@ type streamer interface {
 	StreamWindows(n int, out io.Writer) error
 	// StreamCounters receives n aggregated counter-delta frames.
 	StreamCounters(n int, out io.Writer) error
+	// StreamKeyframes receives n frames from the history keyframe feed
+	// and renders their [pos cycle bytes] rows — the scrubbing timeline a
+	// GUI would draw.
+	StreamKeyframes(n int, out io.Writer) error
 }
 
 // streamRecvBudget bounds how long one stream command waits in total, so
@@ -245,6 +292,42 @@ func (t *remoteTarget) StreamCounters(n int, out io.Writer) error {
 			}
 		default:
 			return fmt.Errorf("stream closed after %d/%d frames", i, n)
+		}
+	}
+	return nil
+}
+
+func (t *remoteTarget) StreamKeyframes(n int, out io.Writer) error {
+	st, err := t.c.OpenStream(wire.StreamHistory, t.sess.ID, 0, 50)
+	if err != nil {
+		return err
+	}
+	defer st.Close()
+	deadline := time.Now().Add(streamRecvBudget)
+	for i := 0; i < n; {
+		ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+		ev, ok := st.RecvCtx(ctx)
+		expired := ctx.Err() != nil
+		cancel()
+		switch {
+		case ok:
+			i++
+			fmt.Fprintf(out, "keyframes %d (seq %d, %d new, dropped %d):\n",
+				i, ev.Seq, len(ev.Rows), ev.Dropped)
+			for _, row := range ev.Rows {
+				fmt.Fprintf(out, "  pos %6d  cycle %8d  %6d bytes\n", row[0], row[1], row[2])
+			}
+		case expired:
+			if time.Now().After(deadline) {
+				return fmt.Errorf("gave up after %d/%d keyframe frames (%v budget)", i, n, streamRecvBudget)
+			}
+			// No keyframe yet: advance the design so the recorder crosses
+			// the next keyframe boundary.
+			if err := t.sess.Run(256); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("stream closed after %d/%d keyframe frames", i, n)
 		}
 	}
 	return nil

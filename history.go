@@ -1,0 +1,465 @@
+package zoomie
+
+// Time-travel debugging: the Session surface over the omniscient
+// record/replay engine in internal/history. While the design runs, the
+// simulator's commit path streams committed register/memory deltas into
+// a compressed ring of keyframed segments; any recorded cycle can then
+// be reconstructed host-side and written back through the Debug
+// Controller's configuration frames — rewind, seek, reverse-continue and
+// branch timelines on real (modeled) hardware, with recording cost
+// proportional to design activity.
+//
+// Every restore goes through Debugger.ReplayFrom — the single replay
+// primitive — so history restores exercise exactly the snapshot/restore
+// machinery (SLR-aware frame plans, guarded-cable semantic verification)
+// that explicit checkpoints do.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"zoomie/internal/core"
+	"zoomie/internal/dberr"
+	"zoomie/internal/history"
+)
+
+// HistoryConfig tunes (or disables) the time-travel history engine a
+// Session records into. The zero value — and a nil DebugConfig.History —
+// means recording on with defaults.
+type HistoryConfig struct {
+	// Disable turns recording off entirely; Seek/Rewind and friends
+	// then fail with "history recording is disabled".
+	Disable bool
+	// KeyframeEvery is the tick distance between full keyframes
+	// (default 64) — the seek-latency vs memory trade-off (DESIGN.md §5).
+	KeyframeEvery int
+	// MaxKeyframes bounds retained segments across all timelines
+	// (default 64); older segments are evicted and seeks before the
+	// horizon fail with ErrHistoryHorizon.
+	MaxKeyframes int
+	// MaxTimelines bounds retained branch timelines (default 8).
+	MaxTimelines int
+}
+
+// ErrHistoryHorizon: a seek/rewind targeted a cycle outside recorded
+// history (evicted, ahead of the present, or in a fork gap). Like the
+// other sentinels it survives the wire: errors.Is matches against a
+// remote session too.
+var ErrHistoryHorizon = dberr.ErrHistoryHorizon
+
+var errHistoryDisabled = fmt.Errorf("zoomie: history recording is disabled")
+
+// attachHistory creates and attaches the engine per config; called by
+// Debug after Start so configuration writes don't record.
+func (s *Session) attachHistory(cfg *HistoryConfig) {
+	if cfg != nil && cfg.Disable {
+		return
+	}
+	var hc history.Config
+	if cfg != nil {
+		hc.KeyframeEvery = cfg.KeyframeEvery
+		hc.MaxKeyframes = cfg.MaxKeyframes
+		hc.MaxTimelines = cfg.MaxTimelines
+	}
+	eng := history.New(hc)
+	eng.Attach(s.Cable.Board.Sim, s.Meta.Reg(core.RegCycles))
+	s.hist = eng
+}
+
+// HistoryEnabled reports whether this session records history.
+func (s *Session) HistoryEnabled() bool { return s.hist != nil }
+
+// DetachHistory stops recording and hands the engine — with its full
+// recorded past, timelines and savestates — to the caller for
+// transplant onto a replacement session. The session keeps working with
+// history disabled afterwards. Returns nil when history was off.
+func (s *Session) DetachHistory() *history.Engine {
+	h := s.hist
+	if h != nil {
+		h.Detach()
+		s.hist = nil
+	}
+	return h
+}
+
+// AdoptHistory transplants a detached history engine onto this
+// session's board, replacing any engine of its own. This is the
+// board-migration hook: the server calls it on the replacement session
+// before restoring the last-good snapshot, so the restore itself is
+// recorded (as host writes) and the debugging history survives the
+// hardware swap. The designs must have identical state layouts (the
+// deterministic recompile of the same design guarantees this).
+func (s *Session) AdoptHistory(h *history.Engine) error {
+	if h == nil {
+		return nil
+	}
+	if err := h.Transplant(s.Cable.Board.Sim); err != nil {
+		return err
+	}
+	if s.hist != nil {
+		s.hist.Detach()
+	}
+	s.hist = h
+	return nil
+}
+
+// pauseIfRunning pauses the design unless it already is.
+func (s *Session) pauseIfRunning() error {
+	paused, err := s.Paused()
+	if err != nil {
+		return err
+	}
+	if !paused {
+		return s.Pause()
+	}
+	return nil
+}
+
+// trigOverlay is the live debug configuration carried across a history
+// restore: a seek rewinds the design under test, not the debugging
+// session, so armed breakpoints and assertion enables keep their
+// current values while everything else goes back in time.
+type trigOverlay struct {
+	names []string
+	vals  []uint64
+}
+
+func (s *Session) captureTriggerConfig() (*trigOverlay, error) {
+	var regs []string
+	for i := range s.Meta.Watches {
+		regs = append(regs, core.RegRefVal(i), core.RegAndMask(i), core.RegOrMask(i))
+	}
+	for i := range s.Meta.Asserts {
+		regs = append(regs, core.RegAssertEn(i))
+	}
+	regs = append(regs, core.RegAndSel, core.RegOrSel)
+	names := make([]string, len(regs))
+	for i, r := range regs {
+		names[i] = s.Meta.Reg(r)
+	}
+	vals, err := s.PeekBatch(names)
+	if err != nil {
+		return nil, err
+	}
+	return &trigOverlay{names: names, vals: vals}, nil
+}
+
+// applyHistState writes a reconstructed state onto the board: registers
+// and memories through ReplayFrom (partial reconfiguration), input
+// ports through board-level pokes, then the trigger overlay plus the
+// pause controls in one planned write. leavePaused selects whether the
+// design holds (a seek) or free-runs (a reverse-continue probe).
+func (s *Session) applyHistState(st *history.State, trig *trigOverlay, leavePaused bool) error {
+	snap := &DebugSnapshot{Cycle: st.Cycle, Regs: st.Regs, Mems: st.Mems}
+	if err := s.ReplayFrom(snap, 0); err != nil {
+		return err
+	}
+	inputs := make([]string, 0, len(st.Inputs))
+	for n := range st.Inputs {
+		inputs = append(inputs, n)
+	}
+	sort.Strings(inputs)
+	for _, n := range inputs {
+		if err := s.PokeInput(n, st.Inputs[n]); err != nil {
+			return err
+		}
+	}
+	pausedV := uint64(0)
+	if leavePaused {
+		pausedV = 1
+	}
+	names := append(append([]string{}, trig.names...),
+		s.Meta.Reg(core.RegPauseReq), s.Meta.Reg(core.RegStepArm), s.Meta.Reg(core.RegPaused))
+	vals := append(append([]uint64{}, trig.vals...), 0, 0, pausedV)
+	return s.PokeBatch(names, vals)
+}
+
+// seekPos moves the design to a recorded history position: reconstruct,
+// restore with recording suspended, leave paused, move the cursor.
+func (s *Session) seekPos(pos uint64) error {
+	if err := s.pauseIfRunning(); err != nil {
+		return err
+	}
+	st, err := s.hist.StateAt(pos)
+	if err != nil {
+		return err
+	}
+	trig, err := s.captureTriggerConfig()
+	if err != nil {
+		return err
+	}
+	s.hist.Suspend(true)
+	defer s.hist.Suspend(false)
+	if err := s.applyHistState(st, trig, true); err != nil {
+		return err
+	}
+	s.hist.SeekDone(pos)
+	return nil
+}
+
+// Seek moves the design to a recorded cycle, bit-identical to a fresh
+// run paused there (modulo the debug configuration, which deliberately
+// keeps its current values). The design is left paused and the history
+// cursor detached; resuming or poking from here forks a branch
+// timeline. Returns the timeline the cursor lands on.
+func (s *Session) Seek(cycle uint64) (int, error) {
+	if s.hist == nil {
+		return 0, errHistoryDisabled
+	}
+	if err := s.pauseIfRunning(); err != nil {
+		return 0, err
+	}
+	pos, err := s.hist.PosForCycle(cycle)
+	if err != nil {
+		return 0, err
+	}
+	if err := s.seekPos(pos); err != nil {
+		return 0, err
+	}
+	return s.hist.Stat().TimelineID, nil
+}
+
+// Rewind seeks n cycles back from the cursor. Returns the cycle landed
+// on and its timeline.
+func (s *Session) Rewind(n uint64) (uint64, int, error) {
+	if s.hist == nil {
+		return 0, 0, errHistoryDisabled
+	}
+	if err := s.pauseIfRunning(); err != nil {
+		return 0, 0, err
+	}
+	_, cur := s.hist.Cursor()
+	if n > cur {
+		return 0, 0, dberr.E(dberr.ErrHistoryHorizon,
+			"history: cannot rewind %d cycles from cycle %d", n, cur)
+	}
+	tl, err := s.Seek(cur - n)
+	if err != nil {
+		return 0, 0, err
+	}
+	return cur - n, tl, nil
+}
+
+// ReverseContinue runs the design backwards to the most recent cycle
+// before the cursor where the currently armed triggers would have
+// paused a forward run. It probes history ranges newest-first: restore
+// a recorded boundary, free-run forward with the real trigger hardware
+// armed, and note where it pauses — so the answer is exactly the cycle
+// a forward run would report, decided by the same trigger network.
+// Returns (cycle, true) on a hit, (0, false) if no earlier trigger is
+// in recorded history; either way the design ends paused (at the hit,
+// or back at the pre-call cursor).
+func (s *Session) ReverseContinue() (uint64, bool, error) {
+	if s.hist == nil {
+		return 0, false, errHistoryDisabled
+	}
+	if err := s.pauseIfRunning(); err != nil {
+		return 0, false, err
+	}
+	trig, err := s.captureTriggerConfig()
+	if err != nil {
+		return 0, false, err
+	}
+	cursorPos, cursorCycle := s.hist.Cursor()
+	bounds := s.hist.ProbeBoundaries(cursorPos)
+
+	s.hist.Suspend(true)
+	answer, found, perr := s.probeRanges(bounds, cursorCycle, trig)
+	s.hist.Suspend(false)
+	if perr != nil {
+		// Best-effort: put the design back where it was.
+		_ = s.seekPos(cursorPos)
+		return 0, false, perr
+	}
+	if found {
+		if _, err := s.Seek(answer); err != nil {
+			return 0, false, err
+		}
+		return answer, true, nil
+	}
+	if err := s.seekPos(cursorPos); err != nil {
+		return 0, false, err
+	}
+	return 0, false, nil
+}
+
+// probeRanges free-runs each boundary-delimited history range (probe
+// ranges never span a host write, so a free-run from the boundary is an
+// exact replay) and returns the last trigger-pause cycle in the newest
+// range that has one. Recording must be suspended by the caller; the
+// live design state is trashed and must be re-seeked afterwards.
+func (s *Session) probeRanges(bounds []history.Boundary, cursorCycle uint64, trig *trigOverlay) (uint64, bool, error) {
+	if cursorCycle == 0 {
+		return 0, false, nil
+	}
+	statNames := []string{s.Meta.Reg(core.RegPaused), s.Meta.Reg(core.RegCycles)}
+	for i := len(bounds) - 1; i >= 0; i-- {
+		// hitCap: the largest cycle a hit in this range may carry. A
+		// trigger pause at exactly the next boundary's cycle belongs to
+		// this range (the design paused here, then host writes landed),
+		// so inner ranges are cycle-inclusive; the answer must always
+		// be strictly before the cursor.
+		hitCap := cursorCycle - 1
+		if i+1 < len(bounds) && bounds[i+1].Cycle < hitCap {
+			hitCap = bounds[i+1].Cycle
+		}
+		if hitCap <= bounds[i].Cycle {
+			continue
+		}
+		st, err := s.hist.StateAt(bounds[i].Pos)
+		if err != nil {
+			return 0, false, err
+		}
+		if err := s.applyHistState(st, trig, false); err != nil {
+			return 0, false, err
+		}
+		var hits []uint64
+		const chunk = 16
+		// Each iteration either advances the MUT or consumes one pause,
+		// so the range bounds the loop.
+		for iter := uint64(0); iter <= hitCap-bounds[i].Cycle+4; iter++ {
+			s.Run(chunk)
+			vals, err := s.PeekBatch(statNames)
+			if err != nil {
+				return 0, false, err
+			}
+			paused, cyc := vals[0] != 0, vals[1]
+			if paused && cyc <= hitCap {
+				hits = append(hits, cyc)
+				if err := s.Resume(); err != nil {
+					return 0, false, err
+				}
+				continue
+			}
+			if cyc > hitCap {
+				break
+			}
+		}
+		if len(hits) > 0 {
+			return hits[len(hits)-1], true, nil
+		}
+	}
+	return 0, false, nil
+}
+
+// SaveState captures a named savestate of the cursor's full design
+// state. Savestates live host-side: they survive ring eviction,
+// timeline GC and board migration. Returns the register count, memory
+// count and cycle captured.
+func (s *Session) SaveState(name string) (regs, mems int, cycle uint64, err error) {
+	if s.hist == nil {
+		return 0, 0, 0, errHistoryDisabled
+	}
+	st, err := s.hist.SaveNamed(name)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return len(st.Regs), len(st.Mems), st.Cycle, nil
+}
+
+// LoadState restores a named savestate — except the Debug Controller's
+// own registers, so the cycle counter stays monotonic and the armed
+// debug configuration survives. The restore happens with recording ON:
+// it lands in history as host writes, so a load is itself a replayable
+// (and reversible) event. Returns the design cycle after the load.
+func (s *Session) LoadState(name string) (uint64, error) {
+	if s.hist == nil {
+		return 0, errHistoryDisabled
+	}
+	st, ok := s.hist.Named(name)
+	if !ok {
+		return 0, fmt.Errorf("zoomie: no savestate %q", name)
+	}
+	if err := s.pauseIfRunning(); err != nil {
+		return 0, err
+	}
+	ctl := core.Prefix + "."
+	snap := &DebugSnapshot{Cycle: st.Cycle, Regs: make(map[string]uint64, len(st.Regs)), Mems: st.Mems}
+	for n, v := range st.Regs {
+		if !strings.HasPrefix(n, ctl) {
+			snap.Regs[n] = v
+		}
+	}
+	if err := s.ReplayFrom(snap, 0); err != nil {
+		return 0, err
+	}
+	inputs := make([]string, 0, len(st.Inputs))
+	for n := range st.Inputs {
+		inputs = append(inputs, n)
+	}
+	sort.Strings(inputs)
+	for _, n := range inputs {
+		if err := s.PokeInput(n, st.Inputs[n]); err != nil {
+			return 0, err
+		}
+	}
+	return s.Cycles()
+}
+
+// HistoryStatusLines renders the engine status for the REPL — shared by
+// the local and remote paths so their output is byte-identical.
+func (s *Session) HistoryStatusLines() []string {
+	if s.hist == nil {
+		return []string{"history: disabled"}
+	}
+	st := s.hist.Stat()
+	state := "recording"
+	if !st.Recording {
+		state = "suspended"
+	}
+	where := "at tip"
+	if st.Detached {
+		where = "detached"
+	}
+	lines := []string{
+		fmt.Sprintf("history: %s on timeline %d (%d timelines, %d keyframes, %d delta bytes)",
+			state, st.TimelineID, st.Timelines, st.Keyframes, st.DeltaBytes),
+		fmt.Sprintf("  cursor: pos %d cycle %d (%s)", st.CursorPos, st.CursorCycle, where),
+		fmt.Sprintf("  tip: pos %d cycle %d, horizon: pos %d cycle %d",
+			st.TipPos, st.TipCycle, st.HorizonPos, st.HorizonCycle),
+	}
+	if names := s.hist.SaveNames(); len(names) > 0 {
+		lines = append(lines, "  savestates: "+strings.Join(names, ", "))
+	}
+	return lines
+}
+
+// TimelineLines renders the branch-timeline list for the REPL; the
+// current timeline is starred.
+func (s *Session) TimelineLines() []string {
+	if s.hist == nil {
+		return []string{"history: disabled"}
+	}
+	var lines []string
+	for _, tl := range s.hist.TimelineList() {
+		mark := " "
+		if tl.Current {
+			mark = "*"
+		}
+		from := "root"
+		if tl.ParentID >= 0 {
+			from = fmt.Sprintf("forked from %d at cycle %d", tl.ParentID, tl.ForkCycle)
+		}
+		lines = append(lines, fmt.Sprintf("%s timeline %d: cycles %d..%d, %d keyframes (%s)",
+			mark, tl.ID, tl.StartCycle, tl.EndCycle, tl.Keyframes, from))
+	}
+	return lines
+}
+
+// HistoryKeyframesSince returns keyframe rows ([pos, cycle, bytes])
+// recorded after gen and the next gen cursor — the feed behind the wire
+// protocol's credit-based "history" stream for timeline scrubbing.
+func (s *Session) HistoryKeyframesSince(gen uint64) (rows [][]uint64, next uint64) {
+	next = gen
+	if s.hist == nil {
+		return nil, next
+	}
+	for _, kf := range s.hist.KeyframesSince(gen) {
+		rows = append(rows, []uint64{kf.Pos, kf.Cycle, kf.Bytes})
+		if kf.Gen >= next {
+			next = kf.Gen
+		}
+	}
+	return rows, next
+}

@@ -1,0 +1,216 @@
+package zoomie_test
+
+import (
+	"errors"
+	"testing"
+
+	"zoomie"
+)
+
+// buildHistDut is a counter with a scratch memory and a low-nibble
+// output suitable for periodically-firing value breakpoints.
+func buildHistDut() *zoomie.Design {
+	m := zoomie.NewModule("histdut")
+	q := m.Output("q", 16)
+	lo := m.Output("lo", 4)
+	cnt := m.Reg("cnt", 16, "clk", 0)
+	m.SetNext(cnt, zoomie.Add(zoomie.S(cnt), zoomie.C(1, 16)))
+	m.Connect(q, zoomie.S(cnt))
+	m.Connect(lo, zoomie.Slice(zoomie.S(cnt), 3, 0))
+	mem := m.Mem("scratch", 16, 8)
+	mem.Write("clk", zoomie.Slice(zoomie.S(cnt), 2, 0), zoomie.S(cnt), zoomie.C(1, 1))
+	return zoomie.NewDesign("histdut", m)
+}
+
+func histSession(t *testing.T, cfg zoomie.DebugConfig) *zoomie.Session {
+	t.Helper()
+	sess, err := zoomie.Debug(buildHistDut(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { sess.Close() })
+	return sess
+}
+
+// TestSeekBitIdenticalToFreshRun is the core acceptance check: seeking
+// back to cycle C reconstructs register and memory state bit-identical
+// to a fresh run paused at C.
+func TestSeekBitIdenticalToFreshRun(t *testing.T) {
+	// Fresh reference run, paused at C.
+	ref := histSession(t, zoomie.DebugConfig{})
+	if err := ref.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := ref.Step(40); err != nil {
+		t.Fatal(err)
+	}
+	c, err := ref.Cycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ref.Snapshot("dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Recorded run: same prefix, then 40 cycles further, then seek back.
+	sess := histSession(t, zoomie.DebugConfig{})
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(40); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(40); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Seek(c); err != nil {
+		t.Fatal(err)
+	}
+	if cyc, _ := sess.Cycles(); cyc != c {
+		t.Errorf("cycle after seek = %d, want %d", cyc, c)
+	}
+	got, err := sess.Snapshot("dut")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, w := range want.Regs {
+		if got.Regs[name] != w {
+			t.Errorf("reg %s = %#x, want %#x", name, got.Regs[name], w)
+		}
+	}
+	for name, ws := range want.Mems {
+		gs := got.Mems[name]
+		for i := range ws {
+			if gs[i] != ws[i] {
+				t.Errorf("mem %s[%d] = %#x, want %#x", name, i, gs[i], ws[i])
+			}
+		}
+	}
+}
+
+// TestReverseContinueMatchesForward arms a periodically-firing value
+// breakpoint, collects two forward trigger stops, then requires
+// reverse-continue from the second to land exactly on the first.
+func TestReverseContinueMatchesForward(t *testing.T) {
+	sess := histSession(t, zoomie.DebugConfig{Watches: []string{"lo"}})
+	if err := sess.SetValueBreakpoint("lo", 5, zoomie.BreakAny); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunUntilPaused(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+	first, _ := sess.Cycles()
+	if err := sess.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.RunUntilPaused(1 << 12); err != nil {
+		t.Fatal(err)
+	}
+	second, _ := sess.Cycles()
+	if second <= first {
+		t.Fatalf("forward stops not increasing: %d then %d", first, second)
+	}
+
+	cyc, found, err := sess.ReverseContinue()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !found || cyc != first {
+		t.Fatalf("reverse-continue stopped at %d (found=%v), forward run reported %d", cyc, found, first)
+	}
+	if now, _ := sess.Cycles(); now != first {
+		t.Errorf("design at cycle %d after reverse-continue, want %d", now, first)
+	}
+	if v, _ := sess.Peek("cnt"); v&0xf != 5 {
+		t.Errorf("cnt = %d at reverse-continue stop, want low nibble 5", v)
+	}
+}
+
+// TestSavestateLoadAndTimelines captures a savestate, diverges, loads it
+// back (cycle counter stays monotonic) and forks a branch timeline.
+func TestSavestateLoadAndTimelines(t *testing.T) {
+	sess := histSession(t, zoomie.DebugConfig{})
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(30); err != nil {
+		t.Fatal(err)
+	}
+	markCnt, _ := sess.Peek("cnt")
+	if _, _, _, err := sess.SaveState("mark"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(30); err != nil {
+		t.Fatal(err)
+	}
+	before, _ := sess.Cycles()
+	cyc, err := sess.LoadState("mark")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cyc != before {
+		t.Errorf("cycle after loadstate = %d, want %d (monotonic)", cyc, before)
+	}
+	if v, _ := sess.Peek("cnt"); v != markCnt {
+		t.Errorf("cnt after loadstate = %d, want %d", v, markCnt)
+	}
+	if _, err := sess.LoadState("nope"); err == nil {
+		t.Error("loading unknown savestate succeeded")
+	}
+
+	// Fork: seek back, poke, continue.
+	target := cyc - 10
+	if _, err := sess.Seek(target); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Poke("cnt", 999); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(5); err != nil {
+		t.Fatal(err)
+	}
+	lines := sess.TimelineLines()
+	if len(lines) < 2 {
+		t.Fatalf("expected a forked timeline, got %v", lines)
+	}
+	if v, _ := sess.Peek("cnt"); v != 1004 {
+		t.Errorf("cnt on forked timeline = %d, want 1004", v)
+	}
+}
+
+// TestSeekBeforeHorizon shrinks the ring and requires the typed
+// sentinel once the target is evicted.
+func TestSeekBeforeHorizon(t *testing.T) {
+	sess := histSession(t, zoomie.DebugConfig{
+		History: &zoomie.HistoryConfig{KeyframeEvery: 4, MaxKeyframes: 2},
+	})
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(100); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Seek(1); !errors.Is(err, zoomie.ErrHistoryHorizon) {
+		t.Errorf("pre-horizon seek error = %v, want ErrHistoryHorizon", err)
+	}
+	if _, _, err := sess.Rewind(1 << 30); !errors.Is(err, zoomie.ErrHistoryHorizon) {
+		t.Errorf("over-deep rewind error = %v, want ErrHistoryHorizon", err)
+	}
+}
+
+// TestHistoryDisabled checks the opt-out knob.
+func TestHistoryDisabled(t *testing.T) {
+	sess := histSession(t, zoomie.DebugConfig{
+		History: &zoomie.HistoryConfig{Disable: true},
+	})
+	if sess.HistoryEnabled() {
+		t.Error("history enabled despite Disable")
+	}
+	if _, err := sess.Seek(0); err == nil {
+		t.Error("seek succeeded with history disabled")
+	}
+	if got := sess.HistoryStatusLines(); len(got) != 1 || got[0] != "history: disabled" {
+		t.Errorf("status lines = %v", got)
+	}
+}

@@ -4,8 +4,8 @@ import (
 	"fmt"
 	"strings"
 
-	"zoomie/internal/dbg"
 	"zoomie/internal/dberr"
+	"zoomie/internal/dbg"
 	"zoomie/internal/gen"
 )
 
@@ -75,7 +75,8 @@ func (e *executor) probe() {
 // its own acknowledgement.
 func (e *executor) syncPaused(op string) {
 	switch op {
-	case gen.OpRun, gen.OpUntil, gen.OpStep, gen.OpResume, gen.OpPause, gen.OpWatch:
+	case gen.OpRun, gen.OpUntil, gen.OpStep, gen.OpResume, gen.OpPause, gen.OpWatch,
+		gen.OpSeek, gen.OpRewind:
 	default:
 		return
 	}
@@ -86,7 +87,9 @@ func (e *executor) syncPaused(op string) {
 	}
 	was := e.lastPaused
 	e.lastPaused = paused
-	if paused && !was && op != gen.OpPause {
+	// A successful seek/rewind always lands paused — that transition is
+	// the op's own doing, mirroring how an explicit pause is suppressed.
+	if paused && !was && op != gen.OpPause && op != gen.OpSeek && op != gen.OpRewind {
 		cyc, err := e.t.Cycles()
 		if err != nil {
 			e.rec("  event paused %s", errClass(err))
@@ -175,6 +178,12 @@ func (e *executor) step(i int, op gen.Op) {
 	case gen.OpInspect:
 		lines, err := e.t.Inspect(op.Name)
 		e.rec("%03d %s -> %d lines %s", i, op, len(lines), errClass(err))
+	case gen.OpSeek:
+		tl, err := e.t.HistSeek(op.Value)
+		e.rec("%03d %s -> tl=%d %s", i, op, tl, errClass(err))
+	case gen.OpRewind:
+		cyc, tl, err := e.t.HistRewind(uint64(op.N))
+		e.rec("%03d %s -> cycle=%d tl=%d %s", i, op, cyc, tl, errClass(err))
 	default:
 		e.rec("%03d %s -> skipped (unknown op)", i, op)
 	}

@@ -30,7 +30,7 @@ type MutationSummary struct {
 	Vacuous    int // properties skipped because no judging trace falsified them
 	Mutants    int
 	Killed     int
-	Equivalent int // mutants with no distinguishing trace in exhaustive search
+	Equivalent int      // mutants with no distinguishing trace in exhaustive search
 	Survivors  []string // "prop: kind: desc" per surviving non-equivalent mutant
 	Elapsed    time.Duration
 }

@@ -43,6 +43,10 @@ type Target interface {
 	PeekOutput(name string) (uint64, error)
 	Paused() (bool, error)
 	Cycles() (uint64, error)
+	// Time-travel ops over the recorded history (PR 7): both stacks must
+	// land on bit-identical state and agree on the timeline id.
+	HistSeek(cycle uint64) (timeline int, err error)
+	HistRewind(n uint64) (cycle uint64, timeline int, err error)
 	Close() error
 }
 
@@ -112,8 +116,12 @@ func (t *localTarget) Inspect(prefix string) ([]string, error) { return t.s.Insp
 func (t *localTarget) PokeInput(n string, v uint64) error      { return t.s.PokeInput(n, v) }
 func (t *localTarget) PeekOutput(n string) (uint64, error)     { return t.s.PeekOutput(n) }
 func (t *localTarget) Paused() (bool, error)                   { return t.s.Paused() }
-func (t *localTarget) Cycles() (uint64, error)                 { return t.s.Cycles() }
-func (t *localTarget) Close() error                            { return t.s.Close() }
+func (t *localTarget) HistSeek(c uint64) (int, error)          { return t.s.Seek(c) }
+func (t *localTarget) HistRewind(n uint64) (uint64, int, error) {
+	return t.s.Rewind(n)
+}
+func (t *localTarget) Cycles() (uint64, error) { return t.s.Cycles() }
+func (t *localTarget) Close() error            { return t.s.Close() }
 
 // remoteTarget drives a zoomied session over the wire protocol. The same
 // adapter serves the clean and the chaos server — the fault injector is
@@ -163,5 +171,9 @@ func (t *remoteTarget) Inspect(prefix string) ([]string, error) { return t.s.Ins
 func (t *remoteTarget) PokeInput(n string, v uint64) error      { return t.s.PokeInput(n, v) }
 func (t *remoteTarget) PeekOutput(n string) (uint64, error)     { return t.s.PeekOutput(n) }
 func (t *remoteTarget) Paused() (bool, error)                   { return t.s.Paused() }
-func (t *remoteTarget) Cycles() (uint64, error)                 { return t.s.Cycles() }
-func (t *remoteTarget) Close() error                            { return t.s.Detach() }
+func (t *remoteTarget) HistSeek(c uint64) (int, error)          { return t.s.HistSeek(c) }
+func (t *remoteTarget) HistRewind(n uint64) (uint64, int, error) {
+	return t.s.HistRewind(n)
+}
+func (t *remoteTarget) Cycles() (uint64, error) { return t.s.Cycles() }
+func (t *remoteTarget) Close() error            { return t.s.Detach() }

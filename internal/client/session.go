@@ -283,3 +283,73 @@ func (s *Session) Detach() error {
 	_, err := s.call(&wire.Request{Op: wire.OpDetach})
 	return err
 }
+
+// HistSeek moves the design to the recorded state at the given MUT cycle
+// and returns the timeline the cursor landed on.
+func (s *Session) HistSeek(cycle uint64) (int, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpHistSeek, Value: cycle})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Ran, nil
+}
+
+// HistRewind steps the recorded history back n cycles and returns the
+// cycle landed on plus the timeline id.
+func (s *Session) HistRewind(n uint64) (uint64, int, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpHistRewind, N: int(n)})
+	if err != nil {
+		return 0, 0, err
+	}
+	return resp.Cycles, resp.Ran, nil
+}
+
+// HistReverseContinue searches recorded history backwards for the most
+// recent cycle before the cursor at which the current trigger config
+// would have paused the design, and seeks there. found reports whether
+// such a cycle exists in the recorded window.
+func (s *Session) HistReverseContinue() (cycle uint64, found bool, err error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpHistRevCont})
+	if err != nil {
+		return 0, false, err
+	}
+	return resp.Cycles, resp.Paused, nil
+}
+
+// HistSaveState captures the current state as a named savestate.
+func (s *Session) HistSaveState(name string) (regs, mems int, cycle uint64, err error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpHistSave, Name: name})
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	return resp.Regs, resp.Mems, resp.Cycles, nil
+}
+
+// HistLoadState restores a named savestate and returns the design cycle
+// afterwards (the cycle counter is monotonic: loading does not rewind it).
+func (s *Session) HistLoadState(name string) (uint64, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpHistLoad, Name: name})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Cycles, nil
+}
+
+// HistoryStatusLines returns the rendered history status, line by line,
+// byte-identical to the in-process debugger's rendering.
+func (s *Session) HistoryStatusLines() ([]string, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpHistStat})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Lines, nil
+}
+
+// TimelineLines returns the rendered branch-timeline table, line by line.
+func (s *Session) TimelineLines() ([]string, error) {
+	resp, err := s.call(&wire.Request{Op: wire.OpHistTimelines})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Lines, nil
+}

@@ -36,6 +36,11 @@ var (
 	// ErrPartialBatch: a batched plan failed on some SLRs but returned
 	// values for the rest. Inspect dbg.PartialBatchError for which.
 	ErrPartialBatch = errors.New("dberr: batch partially failed")
+	// ErrHistoryHorizon: a seek/rewind targeted a cycle the history
+	// ring no longer (or never) recorded — before the oldest retained
+	// keyframe, ahead of the present, or in a gap left by a timeline
+	// fork.
+	ErrHistoryHorizon = errors.New("dberr: cycle outside recorded history")
 )
 
 // E builds a user-facing error: Error() returns exactly the formatted
@@ -60,7 +65,7 @@ func (w *wrapped) Unwrap() error { return w.cause }
 func Sentinel(err error) error {
 	for _, s := range []error{
 		ErrUnknownState, ErrIsMemory, ErrIsRegister, ErrOutOfRange,
-		ErrNotWatched, ErrWidthMismatch, ErrPartialBatch,
+		ErrNotWatched, ErrWidthMismatch, ErrPartialBatch, ErrHistoryHorizon,
 	} {
 		if errors.Is(err, s) {
 			return s

@@ -102,6 +102,14 @@ func (d *Debugger) WaitChangeMulti(ctx context.Context, signals []string, maxCyc
 // the scope, stepping exactly `interval` cycles between captures — the
 // §3.4 flow for checkpointing long-running emulation so that any window
 // can later be replayed.
+//
+// Deprecated: the time-travel history engine (internal/history,
+// surfaced as Session.Seek/Rewind/ReverseContinue) supersedes
+// host-driven periodic checkpointing — it records committed deltas
+// continuously with periodic keyframes and reconstructs any cycle
+// without stopping the design. This helper is retained as the
+// measurement baseline for explicit host-paced checkpointing; new code
+// should record with history and ReplayFrom reconstructed states.
 func (d *Debugger) PeriodicSnapshots(scope string, interval, count int) ([]*Snapshot, error) {
 	if interval <= 0 || count <= 0 {
 		return nil, fmt.Errorf("dbg: interval and count must be positive")
@@ -134,6 +142,12 @@ func (d *Debugger) PeriodicSnapshots(scope string, interval, count int) ([]*Snap
 // from it, leaving the design paused — deterministic replay of any
 // checkpointed window without rerunning the trillions of cycles before it
 // (§3.3).
+//
+// ReplayFrom is the platform's single replay primitive: the time-travel
+// history engine funnels every restore — seeks, rewinds,
+// reverse-continue probes, savestate loads — through it (with cycles=0,
+// stepping handled by the caller), so all replay paths share the same
+// SLR-aware frame plans and guarded-cable semantic verification.
 func (d *Debugger) ReplayFrom(snap *Snapshot, cycles int) error {
 	if paused, err := d.Paused(); err != nil {
 		return err

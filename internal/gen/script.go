@@ -29,6 +29,8 @@ const (
 	OpInput     = "input" // drive a top-level input
 	OpOutput    = "output"
 	OpInspect   = "inspect"
+	OpSeek      = "seek"   // time-travel to an absolute recorded cycle
+	OpRewind    = "rewind" // time-travel n cycles back from the cursor
 )
 
 // Item is one element of a batched peek/poke.
@@ -72,6 +74,10 @@ func (o Op) String() string {
 		return fmt.Sprintf("assert %s enable=%v", o.Name, o.Enable)
 	case OpWatch:
 		return fmt.Sprintf("watch %s max=%d", o.Name, o.N)
+	case OpSeek:
+		return fmt.Sprintf("seek %d", o.Value)
+	case OpRewind:
+		return fmt.Sprintf("rewind %d", o.N)
 	default:
 		return o.Kind
 	}
@@ -146,7 +152,7 @@ func RandomScript(r *rand.Rand, d *Design, n, nAsserts int) []Op {
 	g := &scriptGen{r: r, d: d}
 	ops := make([]Op, 0, n)
 	for len(ops) < n {
-		switch g.r.Intn(20) {
+		switch g.r.Intn(22) {
 		case 0, 1, 2:
 			ops = append(ops, Op{Kind: OpPeek, Name: g.regName()})
 		case 3, 4:
@@ -218,7 +224,7 @@ func RandomScript(r *rand.Rand, d *Design, n, nAsserts int) []Op {
 			} else {
 				ops = append(ops, Op{Kind: OpInspect, Name: "dut"})
 			}
-		default:
+		case 19:
 			if g.r.Intn(2) == 0 {
 				in := g.d.Inputs[g.r.Intn(len(g.d.Inputs))]
 				ops = append(ops, Op{Kind: OpInput, Name: in.Name,
@@ -227,6 +233,19 @@ func RandomScript(r *rand.Rand, d *Design, n, nAsserts int) []Op {
 				out := g.d.Outputs[g.r.Intn(len(g.d.Outputs))]
 				ops = append(ops, Op{Kind: OpOutput, Name: out.Name})
 			}
+		case 20:
+			// Rewinds stay small so most land inside recorded history;
+			// the occasional overshoot exercises the typed horizon error
+			// identically on every target.
+			ops = append(ops, Op{Kind: OpRewind, N: 1 + g.r.Intn(30)})
+		default:
+			// Absolute seeks: usually a plausibly recorded early cycle,
+			// sometimes far in the future (guaranteed horizon error).
+			cyc := uint64(g.r.Intn(200))
+			if g.r.Intn(8) == 0 {
+				cyc = 1 << 40
+			}
+			ops = append(ops, Op{Kind: OpSeek, Value: cyc})
 		}
 	}
 	return ops

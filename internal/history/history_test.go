@@ -1,0 +1,377 @@
+package history
+
+import (
+	"errors"
+	"testing"
+
+	"zoomie/internal/dberr"
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+)
+
+var oneClock = []sim.ClockSpec{{Name: "clk", Period: 1}}
+
+// testModule is a counter with a scratch memory and a free-running cycle
+// register that stands in for the Debug Controller's cycle_count.
+func testModule() *rtl.Module {
+	m := rtl.NewModule("hist")
+	en := m.Input("en", 1)
+	q := m.Output("q", 8)
+	cnt := m.Reg("cnt", 8, "clk", 0)
+	cyc := m.Reg("cyc", 32, "clk", 0)
+	m.SetNext(cnt, rtl.Add(rtl.S(cnt), rtl.C(1, 8)))
+	m.SetEnable(cnt, rtl.S(en))
+	m.SetNext(cyc, rtl.Add(rtl.S(cyc), rtl.C(1, 32)))
+	m.Connect(q, rtl.S(cnt))
+	mem := m.Mem("scratch", 8, 8)
+	mem.Write("clk", rtl.Slice(rtl.S(cnt), 2, 0), rtl.Slice(rtl.S(cnt), 7, 0), rtl.S(en))
+	return m
+}
+
+func newSim(t *testing.T, opts ...sim.Options) *sim.Simulator {
+	t.Helper()
+	f, err := rtl.Elaborate(rtl.NewDesign("hist", testModule()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := sim.DefaultOptions
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	s, err := sim.NewWithOptions(f, oneClock, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// expect compares a reconstructed State against a reference snapshot
+// taken live at the same position.
+func expect(t *testing.T, st *State, ref *sim.Snapshot, inputs map[string]uint64) {
+	t.Helper()
+	for name, want := range ref.Regs {
+		if got := st.Regs[name]; got != want {
+			t.Errorf("reg %s = %#x, want %#x", name, got, want)
+		}
+	}
+	if len(st.Regs) != len(ref.Regs) {
+		t.Errorf("reconstructed %d regs, want %d", len(st.Regs), len(ref.Regs))
+	}
+	for name, want := range ref.Mems {
+		got := st.Mems[name]
+		if len(got) != len(want) {
+			t.Fatalf("mem %s has %d words, want %d", name, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("mem %s[%d] = %#x, want %#x", name, i, got[i], want[i])
+			}
+		}
+	}
+	for name, want := range inputs {
+		if got := st.Inputs[name]; got != want {
+			t.Errorf("input %s = %#x, want %#x", name, got, want)
+		}
+	}
+}
+
+// TestReconstructBitIdentical drives a recorded run with interleaved
+// host pokes on both engines and requires StateAt to be bit-identical to
+// live snapshots captured at every position.
+func TestReconstructBitIdentical(t *testing.T) {
+	for _, engine := range []sim.Engine{sim.EngineCompiled, sim.EngineInterp} {
+		s := newSim(t, sim.Options{Engine: engine})
+		e := New(Config{KeyframeEvery: 8})
+		e.Attach(s, "cyc")
+		s.Poke("en", 1)
+
+		refs := map[uint64]*sim.Snapshot{}
+		inputs := map[uint64]uint64{}
+		pos := uint64(0)
+		for i := 0; i < 100; i++ {
+			s.Tick()
+			pos++
+			if i == 30 {
+				s.Poke("cnt", 200) // host write lands in history
+			}
+			if i == 60 {
+				s.Poke("en", 0) // input change lands in history
+			}
+			if i == 70 {
+				s.Poke("en", 1)
+			}
+			if i%7 == 0 || i == 30 || i == 60 {
+				refs[pos] = s.Snapshot("clk")
+				v, _ := s.Peek("en")
+				inputs[pos] = v
+			}
+		}
+		for p, ref := range refs {
+			st, err := e.StateAt(p)
+			if err != nil {
+				t.Fatalf("engine %v: StateAt(%d): %v", engine, p, err)
+			}
+			expect(t, st, ref, map[string]uint64{"en": inputs[p]})
+			if st.Cycle != p {
+				t.Errorf("engine %v: pos %d cycle tag %d, want %d", engine, p, st.Cycle, p)
+			}
+		}
+	}
+}
+
+// TestPosForCycle checks cycle→position resolution, including the
+// ahead-of-cursor and not-recorded error paths.
+func TestPosForCycle(t *testing.T) {
+	s := newSim(t)
+	e := New(Config{KeyframeEvery: 8})
+	e.Attach(s, "cyc")
+	s.Poke("en", 1)
+	s.Run(50)
+
+	p, err := e.PosForCycle(17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := e.StateAt(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cycle != 17 {
+		t.Errorf("cycle at resolved position = %d, want 17", st.Cycle)
+	}
+	if _, err := e.PosForCycle(51); !errors.Is(err, dberr.ErrHistoryHorizon) {
+		t.Errorf("future cycle error = %v, want ErrHistoryHorizon", err)
+	}
+}
+
+// TestHorizonEviction shrinks the ring until old segments are evicted
+// and requires the typed sentinel on pre-horizon seeks while recent
+// positions stay reconstructable.
+func TestHorizonEviction(t *testing.T) {
+	s := newSim(t)
+	e := New(Config{KeyframeEvery: 4, MaxKeyframes: 3})
+	e.Attach(s, "cyc")
+	s.Poke("en", 1)
+	s.Run(100)
+
+	if _, err := e.StateAt(1); !errors.Is(err, dberr.ErrHistoryHorizon) {
+		t.Errorf("pre-horizon StateAt error = %v, want ErrHistoryHorizon", err)
+	}
+	if _, err := e.PosForCycle(1); !errors.Is(err, dberr.ErrHistoryHorizon) {
+		t.Errorf("pre-horizon PosForCycle error = %v, want ErrHistoryHorizon", err)
+	}
+	hp, hc := e.Horizon()
+	if hp == 0 || hc == 0 {
+		t.Errorf("horizon did not advance: pos=%d cycle=%d", hp, hc)
+	}
+	ref := s.Snapshot("clk")
+	st, err := e.StateAt(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect(t, st, ref, nil)
+	if got := e.Stat().Keyframes; got > 3 {
+		t.Errorf("ring holds %d keyframes, want <= 3", got)
+	}
+}
+
+// seekTo emulates the facade's seek: reconstruct, restore onto the sim
+// with recording suspended, then move the cursor.
+func seekTo(t *testing.T, e *Engine, s *sim.Simulator, pos uint64) {
+	t.Helper()
+	st, err := e.StateAt(pos)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Suspend(true)
+	if err := s.Restore(&sim.Snapshot{Regs: st.Regs, Mems: st.Mems}); err != nil {
+		t.Fatal(err)
+	}
+	for name, v := range st.Inputs {
+		if err := s.Poke(name, v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Suspend(false)
+	e.SeekDone(pos)
+}
+
+// TestForkTimeline seeks back, resumes, and requires history to branch:
+// the old timeline survives, the new one extends from the fork, and
+// reconstruction on the new lineage crosses the fork point correctly.
+func TestForkTimeline(t *testing.T) {
+	s := newSim(t)
+	e := New(Config{KeyframeEvery: 8})
+	e.Attach(s, "cyc")
+	s.Poke("en", 1)
+	s.Run(40)
+
+	seekTo(t, e, s, 20)
+	if st := e.Stat(); !st.Detached {
+		t.Fatal("cursor not detached after seek")
+	}
+	// Diverge: poke then run. The poke itself must fork the timeline.
+	s.Poke("cnt", 99)
+	s.Run(10)
+
+	tls := e.TimelineList()
+	if len(tls) != 2 {
+		t.Fatalf("have %d timelines, want 2: %+v", len(tls), tls)
+	}
+	if tls[1].ParentID != 0 || tls[1].ForkCycle != 20 {
+		t.Errorf("fork metadata = parent %d at cycle %d, want 0 at 20", tls[1].ParentID, tls[1].ForkCycle)
+	}
+	if !tls[1].Current {
+		t.Error("new timeline is not current")
+	}
+
+	// On the new lineage, cycle 25 is the diverged run (cnt continued
+	// from 99); reconstruct and compare against live.
+	ref := s.Snapshot("clk")
+	cur, _ := e.Cursor()
+	st, err := e.StateAt(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect(t, st, ref, nil)
+
+	// Crossing the fork into the parent still works.
+	st, err = e.StateAt(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Regs["cnt"] != 5 {
+		t.Errorf("parent-lineage cnt at pos 5 = %d, want 5", st.Regs["cnt"])
+	}
+}
+
+// TestTimelineGC bounds retained branches.
+func TestTimelineGC(t *testing.T) {
+	s := newSim(t)
+	e := New(Config{KeyframeEvery: 8, MaxTimelines: 3})
+	e.Attach(s, "cyc")
+	s.Poke("en", 1)
+	s.Run(30)
+	for i := 0; i < 6; i++ {
+		seekTo(t, e, s, 10)
+		s.Run(5)
+	}
+	if n := len(e.TimelineList()); n > 3 {
+		t.Errorf("retained %d timelines, want <= 3", n)
+	}
+	// The current branch still reconstructs.
+	cur, _ := e.Cursor()
+	if _, err := e.StateAt(cur); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSavestateAcrossTransplant saves a named state, transplants the
+// engine onto a fresh simulator (the board-migration path) and requires
+// the savestate and continued recording to survive.
+func TestSavestateAcrossTransplant(t *testing.T) {
+	s := newSim(t)
+	e := New(Config{KeyframeEvery: 8})
+	e.Attach(s, "cyc")
+	s.Poke("en", 1)
+	s.Run(25)
+	saved, err := e.SaveNamed("golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if saved.Regs["cnt"] != 25 {
+		t.Fatalf("savestate cnt = %d, want 25", saved.Regs["cnt"])
+	}
+
+	s2 := newSim(t)
+	if err := e.Transplant(s2); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := e.Named("golden")
+	if !ok || got.Regs["cnt"] != 25 {
+		t.Fatalf("savestate lost across transplant: %v %v", ok, got)
+	}
+	// Recording continues on the new board: restore-as-host-write, run,
+	// reconstruct the tip.
+	if err := s2.Restore(&sim.Snapshot{Regs: saved.Regs, Mems: saved.Mems}); err != nil {
+		t.Fatal(err)
+	}
+	s2.Poke("en", 1)
+	s2.Run(5)
+	ref := s2.Snapshot("clk")
+	cur, _ := e.Cursor()
+	st, err := e.StateAt(cur)
+	if err != nil {
+		t.Fatal(err)
+	}
+	expect(t, st, ref, nil)
+
+	if err := e.Transplant(newDifferentSim(t)); err == nil {
+		t.Error("transplant onto a different design succeeded, want error")
+	}
+}
+
+func newDifferentSim(t *testing.T) *sim.Simulator {
+	t.Helper()
+	m := rtl.NewModule("other")
+	r := m.Reg("r", 4, "clk", 0)
+	m.SetNext(r, rtl.Add(rtl.S(r), rtl.C(1, 4)))
+	f, err := rtl.Elaborate(rtl.NewDesign("other", m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sim.New(f, oneClock)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestProbeBoundaries requires host-write positions to split probe
+// ranges, so reverse-continue free-runs never cross an out-of-band
+// write.
+func TestProbeBoundaries(t *testing.T) {
+	s := newSim(t)
+	e := New(Config{KeyframeEvery: 8})
+	e.Attach(s, "cyc")
+	s.Poke("en", 1)
+	s.Run(10)
+	s.Poke("cnt", 77) // host write at position 10
+	s.Run(10)
+
+	bs := e.ProbeBoundaries(20)
+	foundHost := false
+	for _, b := range bs {
+		if b.Pos == 10 {
+			foundHost = true
+		}
+		if b.Pos >= 20 {
+			t.Errorf("boundary %d >= upto 20", b.Pos)
+		}
+	}
+	if !foundHost {
+		t.Errorf("host-write position 10 missing from boundaries %+v", bs)
+	}
+	for i := 1; i < len(bs); i++ {
+		if bs[i].Pos <= bs[i-1].Pos {
+			t.Errorf("boundaries not strictly ascending: %+v", bs)
+		}
+	}
+}
+
+// TestSuspendStopsRecording checks that suspended ticks do not extend
+// history.
+func TestSuspendStopsRecording(t *testing.T) {
+	s := newSim(t)
+	e := New(Config{})
+	e.Attach(s, "cyc")
+	s.Poke("en", 1)
+	s.Run(5)
+	tip0, _ := e.Tip()
+	e.Suspend(true)
+	s.Run(5)
+	e.Suspend(false)
+	if tip, _ := e.Tip(); tip != tip0 {
+		t.Errorf("tip advanced to %d during suspend, want %d", tip, tip0)
+	}
+}

@@ -1,0 +1,272 @@
+package server_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"zoomie/internal/client"
+	"zoomie/internal/dberr"
+	"zoomie/internal/faults"
+	"zoomie/internal/server"
+	"zoomie/internal/wire"
+)
+
+// TestRemoteHistorySeekRewind drives the full time-travel surface over
+// the wire: seek lands bit-identical on a recorded cycle, rewind is
+// relative, savestates round-trip, and the rendered status/timeline
+// lines come back verbatim from the shared facade renderers.
+func TestRemoteHistorySeekRewind(t *testing.T) {
+	_, addr := startServer(t, server.Config{PoolSize: 1})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(40); err != nil {
+		t.Fatal(err)
+	}
+	markCycle, err := sess.Cycles()
+	if err != nil {
+		t.Fatal(err)
+	}
+	markCnt, err := sess.Peek("cnt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if regs, mems, cyc, err := sess.HistSaveState("mark"); err != nil || regs == 0 || cyc != markCycle {
+		t.Fatalf("savestate regs=%d mems=%d cycle=%d err=%v, want regs>0 cycle=%d",
+			regs, mems, cyc, err, markCycle)
+	}
+
+	if err := sess.Step(40); err != nil {
+		t.Fatal(err)
+	}
+
+	// Seek back to the marked cycle: the design must hold the exact
+	// recorded register value at exactly that cycle.
+	tl, err := sess.HistSeek(markCycle)
+	if err != nil {
+		t.Fatalf("seek: %v", err)
+	}
+	if cyc, _ := sess.Cycles(); cyc != markCycle {
+		t.Fatalf("after seek cycles=%d, want %d", cyc, markCycle)
+	}
+	if v, _ := sess.Peek("cnt"); v != markCnt {
+		t.Fatalf("after seek cnt=%d, want %d", v, markCnt)
+	}
+
+	// Rewind is relative to the cursor.
+	cyc, tl2, err := sess.HistRewind(10)
+	if err != nil {
+		t.Fatalf("rewind: %v", err)
+	}
+	if cyc != markCycle-10 {
+		t.Fatalf("rewind landed at %d, want %d", cyc, markCycle-10)
+	}
+	if got, _ := sess.Cycles(); got != cyc {
+		t.Fatalf("cycles=%d after rewind reported %d", got, cyc)
+	}
+	_ = tl
+	_ = tl2
+
+	// Loading the savestate restores registers; the cycle counter stays
+	// monotonic (it never goes backwards on a load).
+	if _, err := sess.HistLoadState("mark"); err != nil {
+		t.Fatalf("loadstate: %v", err)
+	}
+	if v, _ := sess.Peek("cnt"); v != markCnt {
+		t.Fatalf("after loadstate cnt=%d, want %d", v, markCnt)
+	}
+	if _, err := sess.HistLoadState("nope"); err == nil {
+		t.Fatal("loadstate of unknown name succeeded")
+	}
+
+	lines, err := sess.HistoryStatusLines()
+	if err != nil || len(lines) < 3 {
+		t.Fatalf("status lines = %v (err %v), want >= 3 lines", lines, err)
+	}
+	tls, err := sess.TimelineLines()
+	if err != nil || len(tls) == 0 {
+		t.Fatalf("timeline lines = %v (err %v)", tls, err)
+	}
+}
+
+// TestRemoteHistoryHorizonTyped pins that a seek outside recorded
+// history fails with the dberr.ErrHistoryHorizon sentinel through the
+// wire's typed-error mapping, in both directions (future and evicted).
+func TestRemoteHistoryHorizonTyped(t *testing.T) {
+	_, addr := startServer(t, server.Config{PoolSize: 1})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(10); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.HistSeek(1 << 40); !errors.Is(err, dberr.ErrHistoryHorizon) {
+		t.Fatalf("seek past tip: %v, want ErrHistoryHorizon", err)
+	}
+	if _, _, err := sess.HistRewind(1 << 40); !errors.Is(err, dberr.ErrHistoryHorizon) {
+		t.Fatalf("rewind past horizon: %v, want ErrHistoryHorizon", err)
+	}
+}
+
+// TestMigrationPreservesHistory wedges the board under a paused session
+// that holds recorded history and a named savestate, and asserts both
+// survive onto the replacement board: the savestate still loads and a
+// pre-failure cycle still seeks bit-identically.
+func TestMigrationPreservesHistory(t *testing.T) {
+	chaos := faults.Profile{Seed: 11, ReadFlip: 0.001}
+	srv, addr := startServer(t, server.Config{
+		PoolSize:           2,
+		Chaos:              &chaos,
+		ProbeInterval:      50 * time.Millisecond,
+		QuarantineCooldown: time.Hour,
+	})
+
+	c, err := client.DialOptions(addr, client.Options{CallTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Pause(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(30); err != nil {
+		t.Fatal(err)
+	}
+	markCycle, _ := sess.Cycles()
+	markCnt, _ := sess.Peek("cnt")
+	if _, _, _, err := sess.HistSaveState("golden"); err != nil {
+		t.Fatal(err)
+	}
+	if err := sess.Step(30); err != nil {
+		t.Fatal(err)
+	}
+
+	inj := srv.InjectorFor(sess.ID)
+	if inj == nil {
+		t.Fatal("no injector on a chaos-mode session")
+	}
+	inj.Wedge()
+
+	deadline := time.After(5 * time.Second)
+	for migrated := false; !migrated; {
+		select {
+		case e, ok := <-c.Events():
+			if !ok {
+				t.Fatal("event channel closed before migration")
+			}
+			if e.Kind == wire.EvtMigrated {
+				migrated = true
+			}
+		case <-deadline:
+			t.Fatal("no migration within deadline")
+		}
+	}
+
+	// The transplanted engine still serves the pre-failure past.
+	if _, err := sess.HistSeek(markCycle); err != nil {
+		t.Fatalf("seek to pre-migration cycle: %v", err)
+	}
+	if cyc, _ := sess.Cycles(); cyc != markCycle {
+		t.Fatalf("after seek cycles=%d, want %d", cyc, markCycle)
+	}
+	if v, _ := sess.Peek("cnt"); v != markCnt {
+		t.Fatalf("after seek cnt=%d, want %d", v, markCnt)
+	}
+	if _, err := sess.HistLoadState("golden"); err != nil {
+		t.Fatalf("savestate lost in migration: %v", err)
+	}
+	if v, _ := sess.Peek("cnt"); v != markCnt {
+		t.Fatalf("after loadstate cnt=%d, want %d", v, markCnt)
+	}
+	if st := srv.Stats(); st.Migrations < 1 {
+		t.Errorf("migrations=%d, want >=1", st.Migrations)
+	}
+}
+
+// TestHistoryStream subscribes to the keyframe feed: as the design runs,
+// [pos, cycle, bytes] rows arrive over the credit-based stream, strictly
+// ascending and never re-delivered (the generation cursor only moves
+// forward).
+func TestHistoryStream(t *testing.T) {
+	_, addr := startServer(t, server.Config{PoolSize: 1})
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	sess, err := c.Attach("counter")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.OpenStream(wire.StreamHistory, sess.ID, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+
+	// Keep the clock moving so keyframes keep landing (default spacing
+	// is 64 ticks); the poll op serializes with these Run commands.
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				sess.Run(64)
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}()
+	defer close(stop)
+
+	var lastPos, lastCycle uint64
+	seen := 0
+	for seen < 6 {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		ev, ok := st.RecvCtx(ctx)
+		cancel()
+		if !ok {
+			t.Fatalf("history stream stalled after %d keyframes", seen)
+		}
+		if len(ev.Names) != 3 || ev.Names[0] != "pos" || ev.Names[1] != "cycle" || ev.Names[2] != "bytes" {
+			t.Fatalf("frame names = %v, want [pos cycle bytes]", ev.Names)
+		}
+		for _, row := range ev.Rows {
+			if len(row) != 3 {
+				t.Fatalf("row has %d values, want 3", len(row))
+			}
+			if seen > 0 && (row[0] <= lastPos || row[1] <= lastCycle) {
+				t.Fatalf("keyframes not strictly ascending: pos %d after %d, cycle %d after %d",
+					row[0], lastPos, row[1], lastCycle)
+			}
+			lastPos, lastCycle = row[0], row[1]
+			seen++
+		}
+	}
+}

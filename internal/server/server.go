@@ -661,6 +661,16 @@ func (c *conn) dispatch(req *wire.Request) {
 				Err: wire.Errf(wire.CodeUnknownOp, "unknown op %q", req.Op)}))
 			return
 		}
+		// History (time-travel) ops arrived in v3.
+		if c.version < 3 {
+			switch req.Op {
+			case wire.OpHistSeek, wire.OpHistRewind, wire.OpHistRevCont,
+				wire.OpHistSave, wire.OpHistLoad, wire.OpHistStat, wire.OpHistTimelines:
+				c.send(wire.Resp(&wire.Response{ID: req.ID,
+					Err: wire.Errf(wire.CodeUnknownOp, "unknown op %q", req.Op)}))
+				return
+			}
+		}
 		sess := c.srv.session(req.Session)
 		if sess == nil {
 			c.send(wire.Resp(&wire.Response{ID: req.ID,

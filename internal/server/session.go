@@ -27,6 +27,12 @@ const opProbe = "_probe"
 // with a paused-debug interaction.
 const opIlaPoll = "_ilapoll"
 
+// opHistPoll is the internal op a history stream's ticker enqueues:
+// collect keyframes recorded since the stream's generation cursor
+// (carried in Request.Value) and hand them back as [pos, cycle, bytes]
+// rows for timeline scrubbing. Serialized by the actor like opIlaPoll.
+const opHistPoll = "_histpoll"
+
 // session is one attached design: a *zoomie.Session owned by a single
 // actor goroutine that drains a request channel. The actor is how the
 // server retrofits thread-safety onto the lock-free debugger — commands
@@ -174,7 +180,7 @@ func (s *session) loop() {
 	for {
 		select {
 		case t := <-s.reqs:
-			if t.req.Op == opProbe || t.req.Op == opIlaPoll {
+			if t.req.Op == opProbe || t.req.Op == opIlaPoll || t.req.Op == opHistPoll {
 				// Probes and ILA polls are housekeeping: no replay, no
 				// latency sample, and crucially no idle-timer reset — a
 				// probed or streamed session must still idle out.
@@ -266,7 +272,8 @@ func (s *session) maybeCaptureGood(op string) {
 	switch op {
 	case wire.OpPause, wire.OpResume, wire.OpStep, wire.OpUntil,
 		wire.OpPoke, wire.OpPokeMem, wire.OpPokeBatch, wire.OpBreak,
-		wire.OpClearBrk, wire.OpAssert, wire.OpSnapSave, wire.OpSnapRest:
+		wire.OpClearBrk, wire.OpAssert, wire.OpSnapSave, wire.OpSnapRest,
+		wire.OpHistSeek, wire.OpHistRewind, wire.OpHistRevCont, wire.OpHistLoad:
 		s.captureGood()
 	}
 }
@@ -301,6 +308,14 @@ func (s *session) teardown(reason string) {
 // subscribers, so clients observe triggers without polling.
 func (s *session) maybeEmitPaused(op string) {
 	switch op {
+	case wire.OpHistSeek, wire.OpHistRewind, wire.OpHistRevCont, wire.OpHistLoad:
+		// Explicit time-travel always ends paused: sync the tracked state
+		// so the next genuine trigger still produces an event, but emit
+		// nothing — the response is the acknowledgement.
+		if paused, err := s.zs.Paused(); err == nil {
+			s.lastPaused = paused
+		}
+		return
 	case wire.OpRun, wire.OpUntil, wire.OpStep, wire.OpResume, wire.OpPause:
 	default:
 		return
@@ -367,7 +382,8 @@ func (s *session) migrate(cause string) *wire.Error {
 
 	old := s.zs
 	oldInj := s.injector.Load()
-	old.Close() // errors expected on a failed board; lease already benched
+	oldHist := old.DetachHistory() // history survives the board, not the session
+	old.Close()                    // errors expected on a failed board; lease already benched
 	srv.retire(old, oldInj)
 
 	nz, nmeta, ninj, nlease, err := srv.newSessionFor(s.design)
@@ -375,6 +391,12 @@ func (s *session) migrate(cause string) *wire.Error {
 		atomic.AddInt64(&srv.stats.migrationsFail, 1)
 		return wire.Errf(wire.CodeBoardFailed,
 			"session %d: board failed (%s) and no replacement: %v", s.id, cause, err)
+	}
+	// Transplant the recorded past (and savestates) onto the fresh board
+	// before restoring state, so the restore lands in history as host
+	// writes. Purely host-side; a layout mismatch just forfeits history.
+	if aerr := nz.AdoptHistory(oldHist); aerr != nil {
+		srv.cfg.Logf("zoomied: session %d: history not transplanted: %v", s.id, aerr)
 	}
 	if s.lastGood != nil {
 		if rerr := nz.Restore(s.lastGood); rerr != nil {
@@ -466,6 +488,13 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 		// The decoded window travels back through the Trace shape the
 		// stream layer converts into an EvtStream frame.
 		resp.Trace = &wire.Trace{Signals: meta.ProbeNames(), Rows: rows}
+
+	case opHistPoll:
+		rows, next := s.zs.HistoryKeyframesSince(req.Value)
+		resp.Cycles = next
+		if len(rows) > 0 {
+			resp.Trace = &wire.Trace{Signals: []string{"pos", "cycle", "bytes"}, Rows: rows}
+		}
 
 	case wire.OpDetach:
 		return resp, true
@@ -627,6 +656,56 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 		}
 		resp.Value = v
 		s.srv.ctr.peeks.Inc()
+
+	case wire.OpHistSeek:
+		tl, err := s.zs.Seek(req.Value)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Ran = tl
+		resp.Cycles, _ = s.zs.Cycles()
+
+	case wire.OpHistRewind:
+		n := req.N
+		if n <= 0 {
+			n = 1
+		}
+		cyc, tl, err := s.zs.Rewind(uint64(n))
+		if err != nil {
+			return fail(err)
+		}
+		resp.Cycles = cyc
+		resp.Ran = tl
+
+	case wire.OpHistRevCont:
+		cyc, found, err := s.zs.ReverseContinue()
+		if err != nil {
+			return fail(err)
+		}
+		resp.Cycles = cyc
+		resp.Paused = found
+
+	case wire.OpHistSave:
+		regs, mems, cyc, err := s.zs.SaveState(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Regs = regs
+		resp.Mems = mems
+		resp.Cycles = cyc
+
+	case wire.OpHistLoad:
+		cyc, err := s.zs.LoadState(req.Name)
+		if err != nil {
+			return fail(err)
+		}
+		resp.Cycles = cyc
+
+	case wire.OpHistStat:
+		resp.Lines = s.zs.HistoryStatusLines()
+
+	case wire.OpHistTimelines:
+		resp.Lines = s.zs.TimelineLines()
 
 	case wire.OpSessStat:
 		paused, err := s.zs.Paused()

@@ -41,9 +41,9 @@ const (
 // stream is one open push channel on one connection.
 type stream struct {
 	id   uint64
-	kind string // wire.StreamCounters or wire.StreamILA
+	kind string // wire.StreamCounters, wire.StreamILA or wire.StreamHistory
 	c    *conn
-	sess *session        // ILA streams only
+	sess *session        // ILA and history streams only
 	meta *zoomie.ILAMeta // ILA streams only
 
 	interval time.Duration
@@ -55,6 +55,7 @@ type stream struct {
 	pending []*wire.Event
 	seq     uint64
 	dropped uint64
+	gen     uint64 // history streams: keyframe generation cursor
 }
 
 func (st *stream) stop() { st.once.Do(func() { close(st.quit) }) }
@@ -122,9 +123,23 @@ func (c *conn) openStream(req *wire.Request) (*stream, *wire.Error) {
 				"design %q has no ILA (try the ila-counter design)", sess.design)
 		}
 		st.sess, st.meta = sess, meta
+	case wire.StreamHistory:
+		sess := c.srv.session(req.Session)
+		if sess == nil {
+			return nil, wire.Errf(wire.CodeNoSession, "no session %d", req.Session)
+		}
+		sess.mu.Lock()
+		enabled := sess.zs.HistoryEnabled()
+		sess.mu.Unlock()
+		if !enabled {
+			return nil, wire.Errf(wire.CodeBadRequest,
+				"history recording is disabled for design %q", sess.design)
+		}
+		st.sess = sess
 	default:
 		return nil, wire.Errf(wire.CodeBadRequest,
-			"unknown stream kind %q (want %q or %q)", req.Name, wire.StreamCounters, wire.StreamILA)
+			"unknown stream kind %q (want %q, %q or %q)",
+			req.Name, wire.StreamCounters, wire.StreamILA, wire.StreamHistory)
 	}
 
 	c.streamMu.Lock()
@@ -208,6 +223,10 @@ func (st *stream) run() {
 				if !st.pollILA() {
 					return // session gone; the stream dies with it
 				}
+			case wire.StreamHistory:
+				if !st.pollHistory() {
+					return // session gone; the stream dies with it
+				}
 			}
 		}
 	}
@@ -222,6 +241,43 @@ func (st *stream) pollILA() bool {
 	werr := st.sess.enqueue(context.Background(), wire.Version,
 		&wire.Request{Op: opIlaPoll}, func(resp *wire.Response) {
 			if resp.Err != nil || resp.Trace == nil || len(resp.Trace.Rows) == 0 {
+				return
+			}
+			st.offer(&wire.Event{
+				Kind:    wire.EvtStream,
+				Stream:  st.id,
+				Session: st.sess.id,
+				Count:   uint64(len(resp.Trace.Rows)),
+				Names:   resp.Trace.Signals,
+				Rows:    resp.Trace.Rows,
+			})
+		})
+	if werr != nil && werr.Code == wire.CodeNoSession {
+		return false
+	}
+	return true
+}
+
+// pollHistory enqueues the history housekeeping poll: the actor collects
+// keyframes recorded since this stream's generation cursor and the reply
+// becomes one scrubbing frame of [pos, cycle, bytes] rows. The cursor
+// only advances in the reply, so a skipped round (full actor queue)
+// re-asks for the same window next tick.
+func (st *stream) pollHistory() bool {
+	st.mu.Lock()
+	gen := st.gen
+	st.mu.Unlock()
+	werr := st.sess.enqueue(context.Background(), wire.Version,
+		&wire.Request{Op: opHistPoll, Value: gen}, func(resp *wire.Response) {
+			if resp.Err != nil {
+				return
+			}
+			st.mu.Lock()
+			if resp.Cycles > st.gen {
+				st.gen = resp.Cycles
+			}
+			st.mu.Unlock()
+			if resp.Trace == nil || len(resp.Trace.Rows) == 0 {
 				return
 			}
 			st.offer(&wire.Event{

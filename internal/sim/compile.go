@@ -87,14 +87,14 @@ type cMemUpdate struct {
 
 // compiled is the bytecode form of a flat design.
 type compiled struct {
-	code    []instr
-	assigns []cAssign          // in levelized order
-	byLevel [][]int32          // level -> indices into assigns
-	regs    map[string][]cReg  // clock domain -> registers
-	memw    map[string][]cMemWrite
-	memData [][]uint64           // memory id -> backing words (aliases Simulator.mems)
-	memID   map[*rtl.Memory]int  // memory -> id
-	stack   []uint64   // serial-path scratch stack, len == maxStack
+	code     []instr
+	assigns  []cAssign         // in levelized order
+	byLevel  [][]int32         // level -> indices into assigns
+	regs     map[string][]cReg // clock domain -> registers
+	memw     map[string][]cMemWrite
+	memData  [][]uint64          // memory id -> backing words (aliases Simulator.mems)
+	memID    map[*rtl.Memory]int // memory -> id
+	stack    []uint64            // serial-path scratch stack, len == maxStack
 	maxStack int
 }
 

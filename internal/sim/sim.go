@@ -117,13 +117,21 @@ type Simulator struct {
 	staged  []regUpdate
 	stagedM []memUpdate
 
+	// Commit-hook state (see hook.go). hookRegs/hookMems are scratch
+	// delta buffers reused across ticks; memIdx lazily maps memories to
+	// stable ids for the interpreter engine.
+	hook     CommitHook
+	hookRegs []RegDelta
+	hookMems []MemDelta
+	memIdx   map[*rtl.Memory]int32
+
 	// Compiled engine state (nil/zero when running the interpreter).
 	comp       *compiled
 	dirty      *dirtyState // nil when fullSettle
 	fullSettle bool
 	shards     int
-	stacks     [][]uint64  // per-shard eval stacks
-	changed    [][]int32   // per-shard changed-slot scratch
+	stacks     [][]uint64 // per-shard eval stacks
+	changed    [][]int32  // per-shard changed-slot scratch
 	stagedC    []cMemUpdate
 }
 
@@ -397,6 +405,29 @@ func (s *Simulator) Tick() {
 			})
 		}
 	}
+	if hk := s.hook; hk != nil {
+		// Change-detecting commit, matching the compiled engine, so the
+		// hook sees only real deltas on either engine.
+		s.hookRegs = s.hookRegs[:0]
+		s.hookMems = s.hookMems[:0]
+		for _, u := range s.staged {
+			if s.vals[u.idx] != u.val {
+				s.vals[u.idx] = u.val
+				s.hookRegs = append(s.hookRegs, RegDelta{Slot: int32(u.idx), Val: u.val})
+			}
+		}
+		for _, u := range s.stagedM {
+			data := s.mems[u.mem]
+			if data[u.addr] != u.val {
+				data[u.addr] = u.val
+				s.hookMems = append(s.hookMems, MemDelta{Mem: s.hookMemID(u.mem), Addr: int32(u.addr), Val: u.val})
+			}
+		}
+		s.tick++
+		s.settle()
+		hk.OnTick(s.tick, s.hookRegs, s.hookMems)
+		return
+	}
 	for _, u := range s.staged {
 		s.vals[u.idx] = u.val
 	}
@@ -452,11 +483,19 @@ func (s *Simulator) tickCompiled() {
 		}
 	}
 	incr := s.dirty != nil
+	hk := s.hook
+	if hk != nil {
+		s.hookRegs = s.hookRegs[:0]
+		s.hookMems = s.hookMems[:0]
+	}
 	for _, u := range s.staged {
 		if s.vals[u.idx] != u.val {
 			s.vals[u.idx] = u.val
 			if incr {
 				s.dirty.markSig(u.idx)
+			}
+			if hk != nil {
+				s.hookRegs = append(s.hookRegs, RegDelta{Slot: int32(u.idx), Val: u.val})
 			}
 		}
 	}
@@ -467,6 +506,9 @@ func (s *Simulator) tickCompiled() {
 			if incr {
 				s.dirty.markMem(int(u.mem))
 			}
+			if hk != nil {
+				s.hookMems = append(s.hookMems, MemDelta{Mem: u.mem, Addr: u.addr, Val: u.val})
+			}
 		}
 	}
 	s.tick++
@@ -474,6 +516,9 @@ func (s *Simulator) tickCompiled() {
 		s.settleDirty()
 	} else {
 		s.settleFullCompiled()
+	}
+	if hk != nil {
+		hk.OnTick(s.tick, s.hookRegs, s.hookMems)
 	}
 }
 
@@ -530,16 +575,21 @@ func (s *Simulator) Poke(name string, v uint64) error {
 	}
 	idx := s.sigIndex[sig]
 	nv := rtl.Truncate(v, sig.Width)
+	changed := s.vals[idx] != nv
 	if s.dirty != nil {
-		if s.vals[idx] != nv {
+		if changed {
 			s.vals[idx] = nv
 			s.dirty.markSig(idx)
 			s.settleDirty()
 		}
-		return nil
+	} else {
+		s.vals[idx] = nv
+		s.settle()
 	}
-	s.vals[idx] = nv
-	s.settle()
+	if changed && s.hook != nil {
+		s.hookRegs = append(s.hookRegs[:0], RegDelta{Slot: int32(idx), Val: nv})
+		s.hook.OnHostWrite(s.hookRegs, nil)
+	}
 	return nil
 }
 
@@ -565,17 +615,22 @@ func (s *Simulator) PokeMem(name string, addr int, v uint64) error {
 		return fmt.Errorf("sim: memory %q: address %d out of range", name, addr)
 	}
 	nv := rtl.Truncate(v, mem.Width)
+	data := s.mems[mem]
+	changed := data[addr] != nv
 	if s.dirty != nil {
-		data := s.mems[mem]
-		if data[addr] != nv {
+		if changed {
 			data[addr] = nv
 			s.dirty.markMem(s.comp.memID[mem])
 			s.settleDirty()
 		}
-		return nil
+	} else {
+		data[addr] = nv
+		s.settle()
 	}
-	s.mems[mem][addr] = nv
-	s.settle()
+	if changed && s.hook != nil {
+		s.hookMems = append(s.hookMems[:0], MemDelta{Mem: s.hookMemID(mem), Addr: int32(addr), Val: nv})
+		s.hook.OnHostWrite(nil, s.hookMems)
+	}
 	return nil
 }
 

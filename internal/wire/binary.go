@@ -79,6 +79,13 @@ var opNames = []string{
 	27: OpStreamOpen,
 	28: OpStreamCredit,
 	29: OpStreamClose,
+	30: OpHistSeek,
+	31: OpHistRewind,
+	32: OpHistRevCont,
+	33: OpHistSave,
+	34: OpHistLoad,
+	35: OpHistStat,
+	36: OpHistTimelines,
 }
 
 var evtNames = []string{
@@ -115,6 +122,7 @@ var errNames = []string{
 	20: CodePartialBatch,
 	21: CodeCancelled,
 	22: CodeNoStream,
+	23: CodeHistoryHorizon,
 }
 
 var (

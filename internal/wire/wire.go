@@ -109,12 +109,24 @@ const (
 	OpStreamOpen   = "streamopen"   // Session, Name ("counters"|"ila"), N credits, Value flush-interval-ms -> Stream (v3+)
 	OpStreamCredit = "streamcredit" // Stream, N additional credits (v3+)
 	OpStreamClose  = "streamclose"  // Stream (v3+)
+
+	// Time-travel ops (v3+): the history engine's record/replay surface.
+	// They reuse existing Request/Response fields, so v3 framing carries
+	// them without new presence bits.
+	OpHistSeek      = "histseek"      // Session, Value target cycle -> Cycles, Ran (timeline id)
+	OpHistRewind    = "histrewind"    // Session, N cycles back -> Cycles, Ran (timeline id)
+	OpHistRevCont   = "histrevcont"   // Session -> Cycles, Paused (true = trigger found)
+	OpHistSave      = "histsave"      // Session, Name -> Regs, Mems, Cycles
+	OpHistLoad      = "histload"      // Session, Name -> Cycles
+	OpHistStat      = "histstat"      // Session -> Lines
+	OpHistTimelines = "histtimelines" // Session -> Lines
 )
 
 // Stream kinds for OpStreamOpen's Name field.
 const (
 	StreamCounters = "counters" // aggregated per-session + server counter deltas
 	StreamILA      = "ila"      // completed ILA capture windows, re-armed after upload
+	StreamHistory  = "history"  // new history keyframes ([pos, cycle, bytes] rows) for timeline scrubbing
 )
 
 // Request is a client command. Unused fields stay zero and are omitted.
@@ -299,19 +311,24 @@ const (
 	CodeWidthMismatch = "width_mismatch" // dberr.ErrWidthMismatch
 	CodePartialBatch  = "partial_batch"  // dberr.ErrPartialBatch
 	CodeCancelled     = "cancelled"      // context.Canceled / DeadlineExceeded
+
+	// CodeHistoryHorizon (v3+) refines CodeOp for seeks/rewinds outside
+	// recorded history: dberr.ErrHistoryHorizon.
+	CodeHistoryHorizon = "history_horizon"
 )
 
 // codeSentinel maps typed error codes to the sentinel an unwrapped wire
 // error matches with errors.Is — the inverse of CodeFor.
 var codeSentinel = map[string]error{
-	CodeUnknownState:  dberr.ErrUnknownState,
-	CodeIsMemory:      dberr.ErrIsMemory,
-	CodeIsRegister:    dberr.ErrIsRegister,
-	CodeOutOfRange:    dberr.ErrOutOfRange,
-	CodeNotWatched:    dberr.ErrNotWatched,
-	CodeWidthMismatch: dberr.ErrWidthMismatch,
-	CodePartialBatch:  dberr.ErrPartialBatch,
-	CodeCancelled:     context.Canceled,
+	CodeUnknownState:   dberr.ErrUnknownState,
+	CodeIsMemory:       dberr.ErrIsMemory,
+	CodeIsRegister:     dberr.ErrIsRegister,
+	CodeOutOfRange:     dberr.ErrOutOfRange,
+	CodeNotWatched:     dberr.ErrNotWatched,
+	CodeWidthMismatch:  dberr.ErrWidthMismatch,
+	CodePartialBatch:   dberr.ErrPartialBatch,
+	CodeCancelled:      context.Canceled,
+	CodeHistoryHorizon: dberr.ErrHistoryHorizon,
 }
 
 // CodeFor classifies a debugger error into its typed wire code, falling
@@ -339,6 +356,8 @@ func CodeFor(err error) string {
 		return CodeWidthMismatch
 	case dberr.ErrPartialBatch:
 		return CodePartialBatch
+	case dberr.ErrHistoryHorizon:
+		return CodeHistoryHorizon
 	}
 	return CodeOp
 }

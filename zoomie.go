@@ -46,6 +46,7 @@ import (
 	"zoomie/internal/formal"
 	"zoomie/internal/fpga"
 	"zoomie/internal/hdl"
+	"zoomie/internal/history"
 	"zoomie/internal/ila"
 	"zoomie/internal/jtag"
 	"zoomie/internal/place"
@@ -268,6 +269,9 @@ type DebugConfig struct {
 	// Guard enables the resilient transport without fault injection —
 	// verify and retry against a clean link, for overhead measurement.
 	Guard bool
+	// History tunes (or disables) time-travel recording; nil means
+	// recording on with defaults. See HistoryConfig.
+	History *HistoryConfig
 }
 
 // Fault injection and transport resilience surface.
@@ -301,6 +305,7 @@ type Session struct {
 	Meta   *InstrumentMeta
 	Result *CompileResult
 
+	hist     *history.Engine
 	closed   bool
 	cleanups []func() error
 }
@@ -380,7 +385,9 @@ func Debug(d *Design, cfg DebugConfig) (*Session, error) {
 	if err := debugger.Start(); err != nil {
 		return nil, err
 	}
-	return &Session{Debugger: debugger, Meta: meta, Result: res}, nil
+	sess := &Session{Debugger: debugger, Meta: meta, Result: res}
+	sess.attachHistory(cfg.History)
+	return sess, nil
 }
 
 // PokeInput drives a top-level input port of the design under debug (a
@@ -413,6 +420,10 @@ func (s *Session) Close() error {
 		return nil
 	}
 	s.closed = true
+	if s.hist != nil {
+		s.hist.Detach()
+		s.hist = nil
+	}
 	err := s.Pause()
 	s.Cable.Board.StopClock()
 	for i := len(s.cleanups) - 1; i >= 0; i-- {
