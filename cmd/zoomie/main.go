@@ -429,6 +429,30 @@ func repl(t target, in io.Reader, out io.Writer) {
 			} else {
 				err = fmt.Errorf("scrub requires -connect to a zoomied server (v3)")
 			}
+		case "fleet":
+			if f, ok := t.(fleeter); ok {
+				var lines []string
+				lines, err = f.FleetStatLines()
+				for _, l := range lines {
+					fmt.Fprintln(out, l)
+				}
+			} else {
+				err = fmt.Errorf("fleet requires -connect to a zfleet coordinator")
+			}
+		case "drain":
+			if len(args) < 1 {
+				err = fmt.Errorf("usage: drain <daemon-addr> [off]")
+				break
+			}
+			if f, ok := t.(fleeter); ok {
+				var lines []string
+				lines, err = f.FleetDrain(args[0], len(args) < 2 || args[1] != "off")
+				for _, l := range lines {
+					fmt.Fprintln(out, l)
+				}
+			} else {
+				err = fmt.Errorf("drain requires -connect to a zfleet coordinator")
+			}
 		default:
 			err = fmt.Errorf("unknown command %q (try help)", cmd)
 		}
@@ -527,6 +551,9 @@ func printHelp(out io.Writer) {
                        needs an ILA design such as ila-counter)
   counters [n]         receive n aggregated server counter frames
                        (remote v3 only)
+  fleet                per-daemon health and load (zfleet coordinator)
+  drain ADDR [off]     migrate a daemon's sessions away before
+                       maintenance, or lift the drain (zfleet only)
   quit
 `)
 }

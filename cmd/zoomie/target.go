@@ -212,6 +212,35 @@ type streamer interface {
 	StreamKeyframes(n int, out io.Writer) error
 }
 
+// fleeter is the optional admin surface behind the fleet/drain REPL
+// commands. Only meaningful when -connect points at a zfleet
+// coordinator — a plain zoomied answers the fleet ops with a typed
+// unknown-op error, which the REPL surfaces as-is.
+type fleeter interface {
+	// FleetStatLines renders one row per daemon: address, lease state,
+	// homed session count, draining flag.
+	FleetStatLines() ([]string, error)
+	// FleetDrain flips a daemon's draining flag; enabling migrates its
+	// sessions to the rest of the fleet first and reports each move.
+	FleetDrain(addr string, on bool) ([]string, error)
+}
+
+func (t *remoteTarget) FleetStatLines() ([]string, error) {
+	resp, err := t.c.Call(&wire.Request{Op: wire.OpFleetStat})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Lines, nil
+}
+
+func (t *remoteTarget) FleetDrain(addr string, on bool) ([]string, error) {
+	resp, err := t.c.Call(&wire.Request{Op: wire.OpFleetDrain, Name: addr, Enable: on})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Lines, nil
+}
+
 // streamRecvBudget bounds how long one stream command waits in total, so
 // scripted stdin can never hang the REPL.
 const streamRecvBudget = 30 * time.Second

@@ -104,6 +104,20 @@ func (s *Session) AdoptHistory(h *history.Engine) error {
 	return nil
 }
 
+// EncodeHistory serializes the live history engine — recorded past,
+// branch timelines and savestates — into a self-contained blob without
+// detaching it; recording continues. This is the checkpoint half of
+// cross-daemon session failover: the blob travels with the last-good
+// snapshot, and history.Decode + AdoptHistory on another daemon's
+// session rebuilds the full time-travel state there. Returns nil when
+// history is disabled.
+func (s *Session) EncodeHistory() []byte {
+	if s.hist == nil {
+		return nil
+	}
+	return s.hist.Encode()
+}
+
 // pauseIfRunning pauses the design unless it already is.
 func (s *Session) pauseIfRunning() error {
 	paused, err := s.Paused()

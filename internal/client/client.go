@@ -19,8 +19,10 @@ package client
 
 import (
 	"context"
+	"encoding/base64"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
 	"sync"
 	"time"
@@ -48,6 +50,11 @@ type Options struct {
 	// ops transparently fall back to per-signal calls when the negotiated
 	// version predates them. Mostly a compatibility-test hook.
 	ProtocolVersion int
+	// Dial overrides the transport dialer (default net.Dial). This is the
+	// fault-injection seam: the fleet coordinator routes its daemon links
+	// through a faults.DaemonInjector here so kills, partitions and
+	// latency spikes are exercised deterministically.
+	Dial func(network, addr string) (net.Conn, error)
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +66,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.ProtocolVersion <= 0 {
 		o.ProtocolVersion = wire.Version
+	}
+	if o.Dial == nil {
+		o.Dial = net.Dial
 	}
 	return o
 }
@@ -124,7 +134,7 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 		streams: make(map[uint64]chan wire.Event),
 		orphans: make(map[uint64][]wire.Event),
 	}
-	nc, cid, ver, err := handshake(addr, 0, c.opts.ProtocolVersion)
+	nc, cid, ver, err := handshake(c.opts.Dial, addr, 0, c.opts.ProtocolVersion)
 	if err != nil {
 		return nil, err
 	}
@@ -142,8 +152,8 @@ func DialOptions(addr string, opts Options) (*Client, error) {
 // existing client identity when reconnecting (cid != 0) and offering the
 // given protocol version. It returns the connection, the server-assigned
 // identity, and the negotiated protocol version.
-func handshake(addr string, cid uint64, offer int) (net.Conn, uint64, int, error) {
-	nc, err := net.Dial("tcp", addr)
+func handshake(dial func(network, addr string) (net.Conn, error), addr string, cid uint64, offer int) (net.Conn, uint64, int, error) {
+	nc, err := dial("tcp", addr)
 	if err != nil {
 		return nil, 0, 0, err
 	}
@@ -281,7 +291,7 @@ func (c *Client) reconnect(cause error) bool {
 		cid := c.clientID
 		c.mu.Unlock()
 
-		nc, newID, newVer, err := handshake(c.addr, cid, c.opts.ProtocolVersion)
+		nc, newID, newVer, err := handshake(c.opts.Dial, c.addr, cid, c.opts.ProtocolVersion)
 		if err != nil {
 			continue
 		}
@@ -509,12 +519,81 @@ func (c *Client) noteSub(sid uint64) {
 // Attach leases a board for a catalog design and returns the remote
 // debugging session.
 func (c *Client) Attach(design string) (*Session, error) {
-	resp, err := c.call(&wire.Request{Op: wire.OpAttach, Design: design})
+	return c.AttachCtx(context.Background(), design)
+}
+
+// AttachCtx is Attach under a context. With AutoReconnect on, an
+// admission-control shed (CodeOverloaded) is not fatal: the attach is
+// retried after the server's retry-after hint plus jittered exponential
+// backoff, bounded by MaxRedials — load spikes delay attaches instead of
+// failing them, matching how connection loss is absorbed. Without
+// AutoReconnect the typed error surfaces immediately (and unwraps to
+// dberr.ErrOverloaded).
+func (c *Client) AttachCtx(ctx context.Context, design string) (*Session, error) {
+	for attempt := 0; ; attempt++ {
+		resp, err := c.callCtx(ctx, &wire.Request{Op: wire.OpAttach, Design: design})
+		if err != nil {
+			if c.opts.AutoReconnect && attempt < c.opts.MaxRedials && wire.IsCode(err, wire.CodeOverloaded) {
+				select {
+				case <-time.After(overloadBackoff(resp, attempt, c.opts.RedialBackoff)):
+					continue
+				case <-ctx.Done():
+					return nil, wire.Errf(wire.CodeCancelled, "client: attach cancelled: %v", ctx.Err())
+				}
+			}
+			return nil, err
+		}
+		// Attach subscribes this connection server-side; remember that so a
+		// reconnect restores the subscription on the replacement connection.
+		c.noteSub(resp.Session)
+		return &Session{
+			c:       c,
+			ID:      resp.Session,
+			Design:  resp.Design,
+			Device:  resp.Device,
+			Report:  resp.Report,
+			Watches: resp.Watches,
+		}, nil
+	}
+}
+
+// overloadBackoff turns a shed response into a wait: the server's
+// retry-after hint in milliseconds (Response.Value, which travels with
+// the CodeOverloaded error), doubled per attempt, plus up to 50% random
+// jitter so a thundering herd of shed clients spreads out instead of
+// re-colliding on the same tick.
+func overloadBackoff(resp *wire.Response, attempt int, fallback time.Duration) time.Duration {
+	base := fallback
+	if resp != nil && resp.Value > 0 {
+		base = time.Duration(resp.Value) * time.Millisecond
+	}
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	d := base << uint(attempt)
+	if max := 5 * time.Second; d > max {
+		d = max
+	}
+	return d + time.Duration(rand.Int63n(int64(d)/2+1))
+}
+
+// AttachWithState is attach-with-state (v3+): build a brand-new session
+// for the design on the server and restore it from an exported state
+// blob — snapshot, breakpoints, pause state and time-travel history
+// intact. This is the landing half of cross-daemon failover; the blob
+// comes from Session.StateExport on the session's previous home.
+func (c *Client) AttachWithState(ctx context.Context, design string, blob []byte) (*Session, error) {
+	b64 := base64.StdEncoding.EncodeToString(blob)
+	var chunks []string
+	for len(b64) > exportChunk {
+		chunks = append(chunks, b64[:exportChunk])
+		b64 = b64[exportChunk:]
+	}
+	chunks = append(chunks, b64)
+	resp, err := c.callCtx(ctx, &wire.Request{Op: wire.OpStateImport, Design: design, Signals: chunks})
 	if err != nil {
 		return nil, err
 	}
-	// Attach subscribes this connection server-side; remember that so a
-	// reconnect restores the subscription on the replacement connection.
 	c.noteSub(resp.Session)
 	return &Session{
 		c:       c,
@@ -525,3 +604,7 @@ func (c *Client) Attach(design string) (*Session, error) {
 		Watches: resp.Watches,
 	}, nil
 }
+
+// exportChunk bounds one blob chunk on the wire; it matches the server's
+// export chunking.
+const exportChunk = 256 << 10

@@ -2,6 +2,9 @@ package client
 
 import (
 	"context"
+	"encoding/base64"
+	"fmt"
+	"strings"
 	"time"
 
 	"zoomie/internal/dbg"
@@ -333,6 +336,24 @@ func (s *Session) HistLoadState(name string) (uint64, error) {
 		return 0, err
 	}
 	return resp.Cycles, nil
+}
+
+// StateExport checkpoints the session for cross-daemon failover (v3+):
+// the server's actor cuts a consistent point-in-time export — full-scope
+// snapshot (breakpoints and pause state included) plus the encoded
+// time-travel history — and hands it back as an opaque blob for
+// Client.AttachWithState on another daemon. Also returns the design
+// cycle the checkpoint captured.
+func (s *Session) StateExport(ctx context.Context) ([]byte, uint64, error) {
+	resp, err := s.callCtx(ctx, &wire.Request{Op: wire.OpStateExport})
+	if err != nil {
+		return nil, 0, err
+	}
+	blob, derr := base64.StdEncoding.DecodeString(strings.Join(resp.Lines, ""))
+	if derr != nil {
+		return nil, 0, fmt.Errorf("client: state export blob is not base64: %v", derr)
+	}
+	return blob, resp.Cycles, nil
 }
 
 // HistoryStatusLines returns the rendered history status, line by line,

@@ -41,6 +41,10 @@ var (
 	// keyframe, ahead of the present, or in a gap left by a timeline
 	// fork.
 	ErrHistoryHorizon = errors.New("dberr: cycle outside recorded history")
+	// ErrOverloaded: admission control refused the request because the
+	// fleet or daemon is at capacity. Transient by design — retry after
+	// the hinted backoff; existing sessions are unaffected.
+	ErrOverloaded = errors.New("dberr: service overloaded")
 )
 
 // E builds a user-facing error: Error() returns exactly the formatted
@@ -66,6 +70,7 @@ func Sentinel(err error) error {
 	for _, s := range []error{
 		ErrUnknownState, ErrIsMemory, ErrIsRegister, ErrOutOfRange,
 		ErrNotWatched, ErrWidthMismatch, ErrPartialBatch, ErrHistoryHorizon,
+		ErrOverloaded,
 	} {
 		if errors.Is(err, s) {
 			return s

@@ -1,0 +1,303 @@
+package faults
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Daemon-level fault injection: where Injector models a flaky cable
+// between one µc chain and one board, DaemonInjector models a flaky
+// *daemon* — the whole zoomied process and its network path — as seen
+// by a coordinator dialing it. It sits at the net.Dial seam (the
+// client.Options.Dial hook) and injects the failure modes a board-farm
+// control plane must survive:
+//
+//   - Kill: the process is gone. Live connections reset, new dials are
+//     refused. (kill -9, OOM, power loss.)
+//   - Partition: the network path is black-holed. Live connections
+//     hang, new dials hang until the dial timeout. (switch failure,
+//     firewall misconfiguration.)
+//   - Freeze: the process is stopped but the kernel still completes
+//     TCP handshakes from the listen backlog, so dials succeed and
+//     then no bytes ever flow. (SIGSTOP, GC death spiral, wedged
+//     event loop — the nastiest case for naive health checks.)
+//   - Latency: every read is delayed by a fixed spike, modeling an
+//     overloaded host without severing anything.
+//
+// Heal() reverses partition/freeze/latency; a kill is permanent for
+// connections made before it (the process they spoke to is gone) but
+// Heal() lets new dials through again, modeling a restart.
+
+// DaemonState is the injected health of one daemon.
+type DaemonState int32
+
+const (
+	// DaemonHealthy passes traffic through untouched.
+	DaemonHealthy DaemonState = iota
+	// DaemonKilled refuses dials and resets live connections.
+	DaemonKilled
+	// DaemonPartitioned black-holes dials and live connections.
+	DaemonPartitioned
+	// DaemonFrozen accepts dials but passes no bytes.
+	DaemonFrozen
+)
+
+// String names the state for logs and fleet status rows.
+func (s DaemonState) String() string {
+	switch s {
+	case DaemonHealthy:
+		return "healthy"
+	case DaemonKilled:
+		return "killed"
+	case DaemonPartitioned:
+		return "partitioned"
+	case DaemonFrozen:
+		return "frozen"
+	}
+	return fmt.Sprintf("DaemonState(%d)", int32(s))
+}
+
+// DaemonStats counts what the injector actually did, for chaos tables.
+type DaemonStats struct {
+	Dials         int64 `json:"dials"`
+	RefusedDials  int64 `json:"refused_dials"`
+	ResetConns    int64 `json:"reset_conns"`
+	BlockedOps    int64 `json:"blocked_ops"`
+	LatencyStalls int64 `json:"latency_stalls"`
+}
+
+// DaemonInjector injects daemon-level faults at the Dial seam. Pass its
+// Dial method as client.Options.Dial (or the fleet's per-daemon dial
+// hook); flip its state from the test or chaos driver. Safe for
+// concurrent use.
+type DaemonInjector struct {
+	dialTimeout time.Duration
+
+	mu      sync.Mutex
+	state   DaemonState
+	latency time.Duration
+	epoch   chan struct{} // closed and replaced on every state change
+	conns   map[*daemonConn]struct{}
+
+	writes    int64 // atomic; Write calls across all live conns
+	killAfter int64 // atomic; kill once writes exceeds this, 0 = never
+	stats     struct{ dials, refused, resets, blocked, stalls int64 }
+}
+
+// NewDaemonInjector returns a healthy injector. dialTimeout bounds how
+// long a partitioned dial hangs before failing (default 2s).
+func NewDaemonInjector() *DaemonInjector {
+	return &DaemonInjector{
+		dialTimeout: 2 * time.Second,
+		epoch:       make(chan struct{}),
+		conns:       make(map[*daemonConn]struct{}),
+	}
+}
+
+// SetDialTimeout bounds partitioned/unreachable dials.
+func (d *DaemonInjector) SetDialTimeout(t time.Duration) { d.dialTimeout = t }
+
+// State reports the current injected state.
+func (d *DaemonInjector) State() DaemonState {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.state
+}
+
+// Stats snapshots the injected-fault counters.
+func (d *DaemonInjector) Stats() DaemonStats {
+	return DaemonStats{
+		Dials:         atomic.LoadInt64(&d.stats.dials),
+		RefusedDials:  atomic.LoadInt64(&d.stats.refused),
+		ResetConns:    atomic.LoadInt64(&d.stats.resets),
+		BlockedOps:    atomic.LoadInt64(&d.stats.blocked),
+		LatencyStalls: atomic.LoadInt64(&d.stats.stalls),
+	}
+}
+
+// setState flips the state and wakes every operation blocked on the
+// previous one.
+func (d *DaemonInjector) setState(s DaemonState) {
+	d.mu.Lock()
+	d.state = s
+	close(d.epoch)
+	d.epoch = make(chan struct{})
+	conns := make([]*daemonConn, 0, len(d.conns))
+	if s == DaemonKilled {
+		for c := range d.conns {
+			conns = append(conns, c)
+		}
+		d.conns = make(map[*daemonConn]struct{})
+	}
+	d.mu.Unlock()
+	for _, c := range conns {
+		atomic.AddInt64(&d.stats.resets, 1)
+		c.reset()
+	}
+}
+
+// Kill simulates the process dying: live connections reset, new dials
+// are refused until Heal.
+func (d *DaemonInjector) Kill() { d.setState(DaemonKilled) }
+
+// Partition black-holes the network path: live connections hang, new
+// dials hang until the dial timeout.
+func (d *DaemonInjector) Partition() { d.setState(DaemonPartitioned) }
+
+// Freeze stops the process without severing the network: dials still
+// succeed (kernel backlog), but no bytes flow.
+func (d *DaemonInjector) Freeze() { d.setState(DaemonFrozen) }
+
+// Heal returns the daemon to healthy. Connections that survived (a
+// partition or freeze) resume; connections reset by Kill stay dead,
+// as after a real restart.
+func (d *DaemonInjector) Heal() { d.setState(DaemonHealthy) }
+
+// SetLatency delays every read by spike (0 disables). Models an
+// overloaded daemon: slow, but alive and correct.
+func (d *DaemonInjector) SetLatency(spike time.Duration) {
+	d.mu.Lock()
+	d.latency = spike
+	d.mu.Unlock()
+}
+
+// KillAfterWrites schedules a deterministic kill once n Write calls
+// have passed through the injector's connections (0 cancels). With a
+// single serialized client this pins the kill to an exact frame in the
+// conversation, so chaos runs replay bit-for-bit.
+func (d *DaemonInjector) KillAfterWrites(n int64) { atomic.StoreInt64(&d.killAfter, n) }
+
+// Writes reports the Write calls seen so far, for calibrating
+// KillAfterWrites against a recorded healthy run.
+func (d *DaemonInjector) Writes() int64 { return atomic.LoadInt64(&d.writes) }
+
+// Dial is the injection seam: plug into client.Options.Dial. Healthy
+// and frozen daemons accept the connection; killed daemons refuse;
+// partitioned daemons hang until the dial timeout.
+func (d *DaemonInjector) Dial(network, addr string) (net.Conn, error) {
+	d.mu.Lock()
+	st, ep := d.state, d.epoch
+	d.mu.Unlock()
+	switch st {
+	case DaemonKilled:
+		atomic.AddInt64(&d.stats.refused, 1)
+		return nil, &net.OpError{Op: "dial", Net: network, Err: fmt.Errorf("faults: daemon killed: connection refused")}
+	case DaemonPartitioned:
+		atomic.AddInt64(&d.stats.refused, 1)
+		select {
+		case <-ep: // partition lifted mid-dial: fall through and retry
+			return d.Dial(network, addr)
+		case <-time.After(d.dialTimeout):
+			return nil, &net.OpError{Op: "dial", Net: network, Err: fmt.Errorf("faults: daemon partitioned: i/o timeout")}
+		}
+	}
+	nc, err := net.DialTimeout(network, addr, d.dialTimeout)
+	if err != nil {
+		return nil, err
+	}
+	atomic.AddInt64(&d.stats.dials, 1)
+	c := &daemonConn{Conn: nc, d: d, done: make(chan struct{})}
+	d.mu.Lock()
+	if d.state == DaemonKilled { // raced with a Kill
+		d.mu.Unlock()
+		nc.Close()
+		return nil, &net.OpError{Op: "dial", Net: network, Err: fmt.Errorf("faults: daemon killed: connection refused")}
+	}
+	d.conns[c] = struct{}{}
+	d.mu.Unlock()
+	return c, nil
+}
+
+// daemonConn gates a real connection through the injector's state.
+type daemonConn struct {
+	net.Conn
+	d         *DaemonInjector
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// reset severs the connection as a process death would: the underlying
+// socket closes, unblocking any in-flight reads with an error.
+func (c *daemonConn) reset() {
+	c.closeOnce.Do(func() {
+		close(c.done)
+		c.Conn.Close()
+	})
+}
+
+// Close removes the conn from the injector's tracking set.
+func (c *daemonConn) Close() error {
+	c.d.mu.Lock()
+	delete(c.d.conns, c)
+	c.d.mu.Unlock()
+	c.reset()
+	return nil
+}
+
+// gate blocks while the daemon is partitioned or frozen, fails once it
+// is killed, and returns nil while it is healthy.
+func (c *daemonConn) gate() error {
+	blocked := false
+	for {
+		c.d.mu.Lock()
+		st, ep := c.d.state, c.d.epoch
+		c.d.mu.Unlock()
+		switch st {
+		case DaemonHealthy:
+			return nil
+		case DaemonKilled:
+			c.reset()
+			return &net.OpError{Op: "read", Err: fmt.Errorf("faults: daemon killed: connection reset")}
+		default: // partitioned or frozen: hang until the state changes
+			if !blocked {
+				blocked = true
+				atomic.AddInt64(&c.d.stats.blocked, 1)
+			}
+			select {
+			case <-ep:
+			case <-c.done:
+				return net.ErrClosed
+			}
+		}
+	}
+}
+
+// Read delivers bytes only while the daemon is healthy. Bytes that
+// arrive during a partition or freeze are held and delivered after
+// Heal, as TCP retransmission would.
+func (c *daemonConn) Read(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	n, err := c.Conn.Read(p)
+	if n > 0 {
+		if gerr := c.gate(); gerr != nil {
+			return 0, gerr
+		}
+		c.d.mu.Lock()
+		spike := c.d.latency
+		c.d.mu.Unlock()
+		if spike > 0 {
+			atomic.AddInt64(&c.d.stats.stalls, 1)
+			time.Sleep(spike)
+		}
+	}
+	return n, err
+}
+
+// Write sends bytes only while the daemon is healthy, and drives the
+// deterministic KillAfterWrites counter.
+func (c *daemonConn) Write(p []byte) (int, error) {
+	if err := c.gate(); err != nil {
+		return 0, err
+	}
+	n := atomic.AddInt64(&c.d.writes, 1)
+	if ka := atomic.LoadInt64(&c.d.killAfter); ka > 0 && n > ka {
+		c.d.Kill()
+		return 0, &net.OpError{Op: "write", Err: fmt.Errorf("faults: daemon killed: connection reset")}
+	}
+	return c.Conn.Write(p)
+}

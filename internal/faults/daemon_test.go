@@ -1,0 +1,202 @@
+package faults
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes until closed.
+func echoServer(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { ln.Close() })
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(c net.Conn) {
+				defer c.Close()
+				buf := make([]byte, 256)
+				for {
+					n, err := c.Read(buf)
+					if err != nil {
+						return
+					}
+					if _, err := c.Write(buf[:n]); err != nil {
+						return
+					}
+				}
+			}(c)
+		}
+	}()
+	return ln.Addr().String()
+}
+
+func roundTrip(t *testing.T, c net.Conn, msg string) string {
+	t.Helper()
+	if _, err := c.Write([]byte(msg)); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	buf := make([]byte, 256)
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	n, err := c.Read(buf)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	return string(buf[:n])
+}
+
+func TestDaemonKillAndHeal(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewDaemonInjector()
+	c, err := inj.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := roundTrip(t, c, "ping"); got != "ping" {
+		t.Fatalf("echo = %q", got)
+	}
+
+	inj.Kill()
+	if inj.State() != DaemonKilled {
+		t.Fatalf("state = %v, want killed", inj.State())
+	}
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("write to killed daemon succeeded")
+	}
+	if _, err := inj.Dial("tcp", addr); err == nil {
+		t.Fatal("dial to killed daemon succeeded")
+	}
+
+	// Heal models a restart: old conns stay dead, new dials work.
+	inj.Heal()
+	if _, err := c.Write([]byte("x")); err == nil {
+		t.Fatal("pre-kill conn came back after heal")
+	}
+	c2, err := inj.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if got := roundTrip(t, c2, "pong"); got != "pong" {
+		t.Fatalf("echo after heal = %q", got)
+	}
+	st := inj.Stats()
+	if st.Dials != 2 || st.RefusedDials != 1 || st.ResetConns != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDaemonFreeze(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewDaemonInjector()
+	c, err := inj.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	inj.Freeze()
+
+	// Dials still complete against a frozen daemon (kernel backlog)...
+	c2, err := inj.Dial("tcp", addr)
+	if err != nil {
+		t.Fatalf("dial to frozen daemon: %v", err)
+	}
+	defer c2.Close()
+
+	// ...but no bytes flow until heal.
+	done := make(chan string, 1)
+	go func() {
+		if _, err := c.Write([]byte("thaw")); err != nil {
+			done <- "write error: " + err.Error()
+			return
+		}
+		buf := make([]byte, 16)
+		n, err := c.Read(buf)
+		if err != nil {
+			done <- "read error: " + err.Error()
+			return
+		}
+		done <- string(buf[:n])
+	}()
+	select {
+	case msg := <-done:
+		t.Fatalf("frozen daemon passed traffic: %q", msg)
+	case <-time.After(100 * time.Millisecond):
+	}
+	inj.Heal()
+	select {
+	case msg := <-done:
+		if msg != "thaw" {
+			t.Fatalf("after heal got %q", msg)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("conn did not resume after heal")
+	}
+	if inj.Stats().BlockedOps == 0 {
+		t.Fatal("no blocked ops counted during freeze")
+	}
+}
+
+func TestDaemonPartitionDialTimesOut(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewDaemonInjector()
+	inj.SetDialTimeout(50 * time.Millisecond)
+	inj.Partition()
+	start := time.Now()
+	if _, err := inj.Dial("tcp", addr); err == nil {
+		t.Fatal("dial through partition succeeded")
+	}
+	if d := time.Since(start); d < 40*time.Millisecond {
+		t.Fatalf("partitioned dial failed in %v, want a hang until timeout", d)
+	}
+}
+
+func TestDaemonKillAfterWrites(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewDaemonInjector()
+	inj.KillAfterWrites(3)
+	c, err := inj.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 3; i++ {
+		if got := roundTrip(t, c, "m"); got != "m" {
+			t.Fatalf("write %d: echo = %q", i, got)
+		}
+	}
+	if _, err := c.Write([]byte("m")); err == nil {
+		t.Fatal("write 4 succeeded past KillAfterWrites(3)")
+	}
+	if inj.State() != DaemonKilled {
+		t.Fatalf("state = %v, want killed", inj.State())
+	}
+}
+
+func TestDaemonLatency(t *testing.T) {
+	addr := echoServer(t)
+	inj := NewDaemonInjector()
+	inj.SetLatency(30 * time.Millisecond)
+	c, err := inj.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if got := roundTrip(t, c, "slow"); got != "slow" {
+		t.Fatalf("echo = %q", got)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("latency spike not applied: round trip took %v", d)
+	}
+	if inj.Stats().LatencyStalls == 0 {
+		t.Fatal("no latency stalls counted")
+	}
+}

@@ -1,0 +1,405 @@
+// Package fleet is the federated board-farm coordinator: one process
+// fronting many zoomied daemons, speaking the ordinary wire protocol to
+// clients so `zoomie -connect` and internal/client work through it
+// unchanged. Each daemon is a failure domain. The coordinator leases
+// them with heartbeat probing (suspicion after consecutive misses,
+// exponential-backoff requalification after quarantine), places new
+// sessions on the least-loaded healthy daemon behind admission control
+// (per-daemon in-flight caps plus a fleet-wide token bucket; over
+// capacity, new attaches shed with a typed CodeOverloaded and a
+// retry-after hint while existing sessions keep priority), and — the
+// point of the exercise — fails sessions over across daemons: every
+// session is periodically checkpointed (full-scope snapshot + encoded
+// time-travel history via OpStateExport), mutating commands since the
+// checkpoint are journaled, and when a daemon dies, partitions, or
+// wedges, the session is rebuilt on a healthy daemon from checkpoint +
+// deterministic journal replay — breakpoints, pause state and history
+// intact, invisible to an auto-reconnecting client except for a
+// session_migrated event.
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"zoomie/internal/obs"
+	"zoomie/internal/wire"
+)
+
+// Config tunes the coordinator.
+type Config struct {
+	// Daemons lists the zoomied addresses to federate. Required.
+	Daemons []string
+	// MaxPerDaemon caps concurrently-placed sessions per daemon; attaches
+	// beyond every daemon's cap shed with CodeOverloaded (default 8).
+	MaxPerDaemon int
+	// AttachRate is the fleet-wide token-bucket refill in admissions per
+	// second (default 64). AttachBurst is the bucket depth (default 16).
+	AttachRate  float64
+	AttachBurst int
+	// RetryAfterMS is the retry-after hint attached to shed responses, in
+	// milliseconds (default 200).
+	RetryAfterMS int
+	// HeartbeatEvery is the per-daemon health-probe cadence (default
+	// 250ms); HeartbeatTimeout bounds each probe (default 1s); a daemon
+	// missing SuspectAfter consecutive probes (default 3) is declared
+	// dead: quarantined, its sessions failed over.
+	HeartbeatEvery   time.Duration
+	HeartbeatTimeout time.Duration
+	SuspectAfter     int
+	// RequalifyBackoff is the initial delay between requalification
+	// dials of a quarantined daemon, doubled up to 16x (default 250ms).
+	RequalifyBackoff time.Duration
+	// CheckpointEvery refreshes a session's checkpoint (and clears its
+	// journal) after this many journaled mutating commands (default 8).
+	CheckpointEvery int
+	// Logf, when set, receives one line per lifecycle event.
+	Logf func(format string, args ...any)
+	// DialFor, when set, supplies the transport dialer for one daemon
+	// address — the fault-injection seam: tests route a daemon's link
+	// through a faults.DaemonInjector here. Nil entries (or a nil map)
+	// mean net.Dial.
+	DialFor func(addr string) func(network, addr string) (net.Conn, error)
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxPerDaemon <= 0 {
+		c.MaxPerDaemon = 8
+	}
+	if c.AttachRate <= 0 {
+		c.AttachRate = 64
+	}
+	if c.AttachBurst <= 0 {
+		c.AttachBurst = 16
+	}
+	if c.RetryAfterMS <= 0 {
+		c.RetryAfterMS = 200
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = 250 * time.Millisecond
+	}
+	if c.HeartbeatTimeout <= 0 {
+		c.HeartbeatTimeout = time.Second
+	}
+	if c.SuspectAfter <= 0 {
+		c.SuspectAfter = 3
+	}
+	if c.RequalifyBackoff <= 0 {
+		c.RequalifyBackoff = 250 * time.Millisecond
+	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = 8
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// counters are the fleet's observability registry entries, served to
+// "counters" streams and OpStatus exactly like a daemon's own.
+type counters struct {
+	admissions     *obs.Counter // attaches admitted
+	sheds          *obs.Counter // attaches shed with CodeOverloaded
+	commands       *obs.Counter // session commands forwarded
+	heartbeats     *obs.Counter // health probes sent
+	heartbeatMiss  *obs.Counter // health probes missed
+	quarantines    *obs.Counter // daemons declared dead, lifetime
+	requalified    *obs.Counter // daemons brought back after quarantine
+	failovers      *obs.Counter // sessions rebuilt on a new daemon
+	failoverFail   *obs.Counter // sessions lost (no healthy daemon)
+	failoverNanos  *obs.Counter // cumulative failover latency
+	checkpoints    *obs.Counter // session checkpoints taken
+	journalReplays *obs.Counter // journaled commands re-executed
+	drains         *obs.Counter // sessions migrated off draining daemons
+}
+
+// Coordinator is a running fleet frontend.
+type Coordinator struct {
+	cfg Config
+	reg *obs.Registry
+	ctr counters
+
+	daemons []*daemon
+
+	mu       sync.Mutex
+	ln       net.Listener
+	sessions map[uint64]*fsession // by fleet session id
+	conns    map[*fconn]struct{}
+	nextSID  uint64
+	nextCID  uint64
+	closed   bool
+
+	// Admission token bucket (guarded by tbMu, not mu: the attach path
+	// must never contend with the forwarding hot path).
+	tbMu     sync.Mutex
+	tokens   float64
+	tbFilled time.Time
+
+	quit chan struct{}
+	wg   sync.WaitGroup
+}
+
+// New builds a coordinator over the configured daemons; call Serve to
+// accept client connections. Daemons that are down at startup begin in
+// quarantine and are requalified by their heartbeat loops.
+func New(cfg Config) (*Coordinator, error) {
+	cfg = cfg.withDefaults()
+	if len(cfg.Daemons) == 0 {
+		return nil, fmt.Errorf("fleet: no daemons configured")
+	}
+	co := &Coordinator{
+		cfg:      cfg,
+		reg:      obs.NewRegistry(),
+		sessions: make(map[uint64]*fsession),
+		conns:    make(map[*fconn]struct{}),
+		tokens:   float64(cfg.AttachBurst),
+		tbFilled: time.Now(),
+		quit:     make(chan struct{}),
+	}
+	co.ctr = counters{
+		admissions:     co.reg.Counter("zfleet.admissions"),
+		sheds:          co.reg.Counter("zfleet.sheds"),
+		commands:       co.reg.Counter("zfleet.commands"),
+		heartbeats:     co.reg.Counter("zfleet.heartbeats"),
+		heartbeatMiss:  co.reg.Counter("zfleet.heartbeat_misses"),
+		quarantines:    co.reg.Counter("zfleet.quarantines"),
+		requalified:    co.reg.Counter("zfleet.requalified"),
+		failovers:      co.reg.Counter("zfleet.failovers"),
+		failoverFail:   co.reg.Counter("zfleet.failovers_failed"),
+		failoverNanos:  co.reg.Counter("zfleet.failover_ns"),
+		checkpoints:    co.reg.Counter("zfleet.checkpoints"),
+		journalReplays: co.reg.Counter("zfleet.journal_replays"),
+		drains:         co.reg.Counter("zfleet.drains"),
+	}
+	for i, addr := range cfg.Daemons {
+		d := newDaemon(co, i, addr)
+		co.daemons = append(co.daemons, d)
+		co.wg.Add(1)
+		go d.heartbeatLoop()
+	}
+	return co, nil
+}
+
+// Obs exposes the fleet's counter registry (zbench, tests).
+func (co *Coordinator) Obs() *obs.Registry { return co.reg }
+
+// Serve accepts client connections until Shutdown.
+func (co *Coordinator) Serve(ln net.Listener) error {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return fmt.Errorf("fleet: coordinator is shut down")
+	}
+	co.ln = ln
+	co.mu.Unlock()
+	for {
+		nc, err := ln.Accept()
+		if err != nil {
+			if co.isClosed() {
+				return nil
+			}
+			return err
+		}
+		c := newFconn(co, nc)
+		co.mu.Lock()
+		if co.closed {
+			co.mu.Unlock()
+			nc.Close()
+			return nil
+		}
+		co.conns[c] = struct{}{}
+		co.mu.Unlock()
+		co.wg.Add(2)
+		go c.readLoop()
+		go c.writeLoop()
+	}
+}
+
+// Shutdown stops accepting, notifies clients, tears down every session
+// actor and daemon link, and waits for the goroutines to drain.
+func (co *Coordinator) Shutdown() {
+	co.mu.Lock()
+	if co.closed {
+		co.mu.Unlock()
+		return
+	}
+	co.closed = true
+	ln := co.ln
+	conns := make([]*fconn, 0, len(co.conns))
+	for c := range co.conns {
+		conns = append(conns, c)
+	}
+	sessions := make([]*fsession, 0, len(co.sessions))
+	for _, fs := range co.sessions {
+		sessions = append(sessions, fs)
+	}
+	co.mu.Unlock()
+
+	close(co.quit)
+	if ln != nil {
+		ln.Close()
+	}
+	co.broadcast(&wire.Event{Kind: wire.EvtShutdown, Detail: "fleet coordinator shutting down"})
+	for _, fs := range sessions {
+		fs.stop()
+	}
+	for _, d := range co.daemons {
+		d.closeClient(nil)
+	}
+	for _, c := range conns {
+		c.markDead()
+	}
+	co.wg.Wait()
+}
+
+func (co *Coordinator) isClosed() bool {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.closed
+}
+
+// session looks up a fleet session by id.
+func (co *Coordinator) session(id uint64) *fsession {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	return co.sessions[id]
+}
+
+// dropSession unregisters a finished session.
+func (co *Coordinator) dropSession(fs *fsession) {
+	co.mu.Lock()
+	if co.sessions[fs.id] == fs {
+		delete(co.sessions, fs.id)
+	}
+	co.mu.Unlock()
+	fs.home().removeSession(fs)
+}
+
+// broadcast fans an event out to every subscribed client connection,
+// best-effort, exactly like a daemon does.
+func (co *Coordinator) broadcast(e *wire.Event) {
+	m := wire.Evt(e)
+	co.mu.Lock()
+	conns := make([]*fconn, 0, len(co.conns))
+	for c := range co.conns {
+		conns = append(conns, c)
+	}
+	co.mu.Unlock()
+	for _, c := range conns {
+		if !c.wants(e.Session) {
+			continue
+		}
+		select {
+		case c.out <- m:
+		default:
+		}
+	}
+}
+
+// admit is the fleet-wide token bucket. It returns the milliseconds to
+// wait when the bucket is dry (0 = admitted). Existing sessions never
+// pass through here — only new placements are shed.
+func (co *Coordinator) admit() int {
+	co.tbMu.Lock()
+	defer co.tbMu.Unlock()
+	now := time.Now()
+	co.tokens += now.Sub(co.tbFilled).Seconds() * co.cfg.AttachRate
+	if max := float64(co.cfg.AttachBurst); co.tokens > max {
+		co.tokens = max
+	}
+	co.tbFilled = now
+	if co.tokens >= 1 {
+		co.tokens--
+		return 0
+	}
+	wait := (1 - co.tokens) / co.cfg.AttachRate * 1000
+	if wait < 1 {
+		wait = 1
+	}
+	return int(wait)
+}
+
+// place picks the least-loaded healthy, non-draining daemon with free
+// capacity (ties break on lowest index, keeping placement deterministic
+// for equal load) and reserves a slot on it, so concurrent placements
+// cannot collectively overshoot the per-daemon cap. The caller consumes
+// the reservation with addSession or returns it with unreserve. Returns
+// nil when the fleet is at capacity.
+func (co *Coordinator) place(exclude *daemon) *daemon {
+	for attempt := 0; attempt <= len(co.daemons); attempt++ {
+		var best *daemon
+		bestLoad := 0
+		for _, d := range co.daemons {
+			if d == exclude || !d.placeable() {
+				continue
+			}
+			load := d.placeLoad()
+			if load >= co.cfg.MaxPerDaemon {
+				continue
+			}
+			if best == nil || load < bestLoad {
+				best, bestLoad = d, load
+			}
+		}
+		if best == nil {
+			return nil
+		}
+		if best.tryReserve(co.cfg.MaxPerDaemon) {
+			return best
+		}
+		// Lost the race for the last slot; re-snapshot and retry.
+	}
+	return nil
+}
+
+// Stats assembles the fleet-level counter snapshot answering OpStatus.
+// Sessions and commands are the coordinator's own view; the robustness
+// counters map onto the fleet equivalents so `zoomie> status` renders
+// meaningfully against a coordinator.
+func (co *Coordinator) Stats() *wire.Stats {
+	co.mu.Lock()
+	active := int64(len(co.sessions))
+	co.mu.Unlock()
+	var quarantined int64
+	for _, d := range co.daemons {
+		if d.currentState() == daemonQuarantined {
+			quarantined++
+		}
+	}
+	return &wire.Stats{
+		SessionsActive:  active,
+		SessionsTotal:   int64(co.ctr.admissions.Load()),
+		CommandsServed:  int64(co.ctr.commands.Load()),
+		PoolCapacity:    int64(len(co.daemons) * co.cfg.MaxPerDaemon),
+		PoolInUse:       active,
+		PoolDenied:      int64(co.ctr.sheds.Load()),
+		PoolQuarantined: quarantined,
+		Quarantines:     int64(co.ctr.quarantines.Load()),
+		Probes:          int64(co.ctr.heartbeats.Load()),
+		ProbeFailures:   int64(co.ctr.heartbeatMiss.Load()),
+		Migrations:      int64(co.ctr.failovers.Load() + co.ctr.drains.Load()),
+		MigrationsFail:  int64(co.ctr.failoverFail.Load()),
+	}
+}
+
+// daemonByAddr finds a configured daemon (fleetdrain's addressing).
+func (co *Coordinator) daemonByAddr(addr string) *daemon {
+	for _, d := range co.daemons {
+		if d.addr == addr {
+			return d
+		}
+	}
+	return nil
+}
+
+// fleetStatLines renders one row per daemon for OpFleetStat.
+func (co *Coordinator) fleetStatLines() []string {
+	lines := make([]string, 0, len(co.daemons))
+	for _, d := range co.daemons {
+		lines = append(lines, d.statusLine())
+	}
+	return lines
+}

@@ -637,6 +637,15 @@ func (c *conn) dispatch(req *wire.Request) {
 	case wire.OpAttach:
 		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
 		c.send(wire.Resp(c.srv.attach(c, req)))
+	case wire.OpStateImport:
+		// Attach-with-state (v3+): the cross-daemon failover landing path.
+		if c.version < 3 {
+			c.send(wire.Resp(&wire.Response{ID: req.ID,
+				Err: wire.Errf(wire.CodeUnknownOp, "unknown op %q", req.Op)}))
+			return
+		}
+		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
+		c.send(wire.Resp(c.srv.importAttach(c, req)))
 	case wire.OpStatus:
 		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
 		c.send(wire.Resp(&wire.Response{ID: req.ID, Stats: c.srv.Stats()}))
@@ -665,7 +674,8 @@ func (c *conn) dispatch(req *wire.Request) {
 		if c.version < 3 {
 			switch req.Op {
 			case wire.OpHistSeek, wire.OpHistRewind, wire.OpHistRevCont,
-				wire.OpHistSave, wire.OpHistLoad, wire.OpHistStat, wire.OpHistTimelines:
+				wire.OpHistSave, wire.OpHistLoad, wire.OpHistStat, wire.OpHistTimelines,
+				wire.OpStateExport:
 				c.send(wire.Resp(&wire.Response{ID: req.ID,
 					Err: wire.Errf(wire.CodeUnknownOp, "unknown op %q", req.Op)}))
 				return

@@ -707,6 +707,23 @@ func (s *session) execute(t task) (*wire.Response, bool) {
 	case wire.OpHistTimelines:
 		resp.Lines = s.zs.TimelineLines()
 
+	case wire.OpStateExport:
+		// Checkpoint: the session's full-scope snapshot (Debug Controller
+		// registers included, so breakpoints and pause state travel) plus
+		// the encoded history engine, serialized and chunked into Lines.
+		// Runs on the actor like any command, so the blob is a consistent
+		// point-in-time cut between ops.
+		snap, err := s.zs.SnapshotCtx(ctx, "")
+		if err != nil {
+			return fail(err)
+		}
+		blob, err := encodeExport(snap, s.zs.EncodeHistory())
+		if err != nil {
+			return fail(err)
+		}
+		resp.Lines = blob
+		resp.Cycles = snap.Cycle
+
 	case wire.OpSessStat:
 		paused, err := s.zs.Paused()
 		if err != nil {

@@ -86,6 +86,10 @@ var opNames = []string{
 	34: OpHistLoad,
 	35: OpHistStat,
 	36: OpHistTimelines,
+	37: OpStateExport,
+	38: OpStateImport,
+	39: OpFleetStat,
+	40: OpFleetDrain,
 }
 
 var evtNames = []string{
@@ -123,6 +127,7 @@ var errNames = []string{
 	21: CodeCancelled,
 	22: CodeNoStream,
 	23: CodeHistoryHorizon,
+	24: CodeOverloaded,
 }
 
 var (

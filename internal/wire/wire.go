@@ -120,6 +120,20 @@ const (
 	OpHistLoad      = "histload"      // Session, Name -> Cycles
 	OpHistStat      = "histstat"      // Session -> Lines
 	OpHistTimelines = "histtimelines" // Session -> Lines
+
+	// Fleet ops (v3+): the coordinator's session-mobility and admin
+	// surface. StateExport/StateImport are the checkpoint transport for
+	// cross-daemon failover: export returns the session's full-scope
+	// snapshot plus its encoded history engine as base64 chunks in
+	// Response.Lines; import is attach-with-state — the same chunks travel
+	// back in Request.Signals and the server restores a brand-new session
+	// from them (breakpoints, pause state and time travel intact). Like
+	// the history ops they reuse existing fields, so v3 framing carries
+	// them without new presence bits.
+	OpStateExport = "stateexport" // Session -> Lines (base64 blob chunks), Cycles
+	OpStateImport = "stateimport" // Design, Signals (blob chunks) -> Session, Device, Report, Watches
+	OpFleetStat   = "fleetstat"   // (zfleet only) -> Lines (per-daemon rows), Stats
+	OpFleetDrain  = "fleetdrain"  // (zfleet only) Name daemon addr, Enable -> Lines
 )
 
 // Stream kinds for OpStreamOpen's Name field.
@@ -315,6 +329,14 @@ const (
 	// CodeHistoryHorizon (v3+) refines CodeOp for seeks/rewinds outside
 	// recorded history: dberr.ErrHistoryHorizon.
 	CodeHistoryHorizon = "history_horizon"
+
+	// CodeOverloaded (v3+): admission control shed the request — the
+	// fleet (or a daemon) is at capacity and chose to refuse fast rather
+	// than queue. The response's Value field carries a retry-after hint
+	// in milliseconds; clients with auto-reconnect retry the attach after
+	// a jittered backoff instead of failing. Existing sessions are never
+	// shed — only new admissions. Unwraps to dberr.ErrOverloaded.
+	CodeOverloaded = "overloaded"
 )
 
 // codeSentinel maps typed error codes to the sentinel an unwrapped wire
@@ -329,6 +351,7 @@ var codeSentinel = map[string]error{
 	CodePartialBatch:   dberr.ErrPartialBatch,
 	CodeCancelled:      context.Canceled,
 	CodeHistoryHorizon: dberr.ErrHistoryHorizon,
+	CodeOverloaded:     dberr.ErrOverloaded,
 }
 
 // CodeFor classifies a debugger error into its typed wire code, falling
@@ -358,6 +381,8 @@ func CodeFor(err error) string {
 		return CodePartialBatch
 	case dberr.ErrHistoryHorizon:
 		return CodeHistoryHorizon
+	case dberr.ErrOverloaded:
+		return CodeOverloaded
 	}
 	return CodeOp
 }
