@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	zbench [-exp all|table1|table2|table3|table4|fig7|fig8|tradeoff|bout|chaos|batch|wire|history|fleet|case1|case2|case3] [-cores N]
+//	zbench [-exp all|table1|table2|table3|table4|fig7|fig8|tradeoff|vti|bout|chaos|batch|wire|history|fleet|case1|case2|case3] [-cores N]
 //
 // -cores scales the manycore SoC (default 5400, the paper's
 // configuration; the compile experiments take a few minutes of real time
@@ -50,6 +50,7 @@ func main() {
 		"fig7":     fig7,
 		"fig8":     fig8,
 		"tradeoff": tradeoff,
+		"vti":      vtiExp,
 		"bout":     bout,
 		"overhead": overhead,
 		"case1":    case1,
@@ -61,7 +62,7 @@ func main() {
 		"history":  historyExp,
 		"fleet":    fleetExp,
 	}
-	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "table3", "fig8", "table4", "bout", "overhead", "chaos", "batch", "wire", "history", "fleet", "case1", "case2", "case3"}
+	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "vti", "table3", "fig8", "table4", "bout", "overhead", "chaos", "batch", "wire", "history", "fleet", "case1", "case2", "case3"}
 
 	if *exp == "all" {
 		for _, name := range order {

@@ -95,7 +95,7 @@ func localCatalogTarget(name string) (target, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &localTarget{sess: sess}, nil
+	return &localTarget{sess: sess, design: name}, nil
 }
 
 func dialTarget(addr, name string) (target, error) {
@@ -429,6 +429,57 @@ func repl(t target, in io.Reader, out io.Writer) {
 			} else {
 				err = fmt.Errorf("scrub requires -connect to a zoomied server (v3)")
 			}
+		case "compile":
+			if cp, ok := t.(compiler); ok {
+				var lines []string
+				lines, err = cp.CompileRun("vti", 0)
+				for _, l := range lines {
+					fmt.Fprintln(out, l)
+				}
+			} else {
+				err = fmt.Errorf("compile is not supported by this target")
+			}
+		case "recompile":
+			tag := 1
+			if len(args) > 0 {
+				tag, _ = strconv.Atoi(args[0])
+			}
+			if cp, ok := t.(compiler); ok {
+				var lines []string
+				lines, err = cp.CompileRun("recompile", tag)
+				for _, l := range lines {
+					fmt.Fprintln(out, l)
+				}
+			} else {
+				err = fmt.Errorf("recompile is not supported by this target")
+			}
+		case "compiles":
+			cp, ok := t.(compiler)
+			if !ok {
+				err = fmt.Errorf("compiles is not supported by this target")
+				break
+			}
+			if len(args) > 1 && args[0] == "cancel" {
+				var id uint64
+				id, err = strconv.ParseUint(args[1], 0, 64)
+				if err != nil {
+					break
+				}
+				var line string
+				line, err = cp.CompileCancelCmd(id)
+				if err == nil {
+					fmt.Fprintln(out, line)
+				}
+				break
+			}
+			var lines []string
+			lines, err = cp.CompileListLines()
+			if err == nil && len(lines) == 0 {
+				fmt.Fprintln(out, "(no compiles)")
+			}
+			for _, l := range lines {
+				fmt.Fprintln(out, l)
+			}
 		case "fleet":
 			if f, ok := t.(fleeter); ok {
 				var lines []string
@@ -551,6 +602,12 @@ func printHelp(out io.Writer) {
                        needs an ILA design such as ila-counter)
   counters [n]         receive n aggregated server counter frames
                        (remote v3 only)
+  compile              submit this design to the compile farm and wait
+                       (shared content-addressed cache; repeat = hit)
+  recompile [tag]      compile the tag-th canonical debug edit of the
+                       design's partition against warm checkpoints
+  compiles             list farm compile jobs (modeled times, digests)
+  compiles cancel ID   release this client's hold on a compile job
   fleet                per-daemon health and load (zfleet coordinator)
   drain ADDR [off]     migrate a daemon's sessions away before
                        maintenance, or lift the drain (zfleet only)

@@ -54,6 +54,13 @@ loadstate nosuchstate
 mem nosuchmem 0
 print nosuchreg
 snapshot bogus
+compiles
+compile
+compile
+recompile 1
+compiles
+compiles cancel 1
+compiles cancel 999
 quit
 `
 
@@ -133,6 +140,13 @@ func TestREPLParityLocalRemote(t *testing.T) {
 		"history: recording on timeline 3 (4 timelines",
 		"savestates: mark",
 		"error:",
+		"(no compiles)",
+		"job 1 submitted",
+		"job 1 cache hit",
+		"job 2 submitted",
+		"tag=1",
+		"job 1 already done",
+		"error: no compile job 999",
 	} {
 		if !strings.Contains(local, want) {
 			t.Errorf("local output missing %q", want)

@@ -8,6 +8,8 @@ import (
 
 	"zoomie"
 	"zoomie/internal/client"
+	"zoomie/internal/farm"
+	"zoomie/internal/server"
 	"zoomie/internal/wire"
 )
 
@@ -58,6 +60,12 @@ type target interface {
 type localTarget struct {
 	sess *zoomie.Session
 	snap *zoomie.DebugSnapshot
+
+	// design is the catalog name (empty for -file sessions); compileFarm
+	// is the lazily created in-process compile farm behind the compile
+	// verbs, so local and remote REPLs share one rendering path.
+	design      string
+	compileFarm *farm.Farm
 }
 
 func (t *localTarget) Describe() (string, string) {
@@ -192,6 +200,101 @@ func (t *remoteTarget) Close() error {
 	err := t.sess.Detach()
 	t.c.Close()
 	return err
+}
+
+// compiler is the optional surface behind the compile/recompile/compiles
+// REPL verbs. Unlike streamer it exists on BOTH sides of the seam: the
+// local target runs an in-process compile farm, the remote one drives
+// the daemon's shared farm over the v3 ops, and both render through the
+// farm's own deterministic formatters (modeled times, content digests —
+// never wall clock), so the parity script covers the compile verbs too.
+type compiler interface {
+	// CompileRun submits one compile ("vti" or "recompile" of edit tag)
+	// and waits for it, returning the attach acknowledgement and the
+	// job's final status row.
+	CompileRun(mode string, tag int) ([]string, error)
+	// CompileListLines renders one status row per farm job.
+	CompileListLines() ([]string, error)
+	// CompileCancelCmd releases this client's hold on a job.
+	CompileCancelCmd(id uint64) (string, error)
+}
+
+// compileWait bounds how long the compile verbs block the REPL.
+const compileWait = 5 * time.Minute
+
+func (t *localTarget) farm() *farm.Farm {
+	if t.compileFarm == nil {
+		t.compileFarm = farm.New(farm.Config{})
+	}
+	return t.compileFarm
+}
+
+func (t *localTarget) CompileRun(mode string, tag int) ([]string, error) {
+	if t.design == "" {
+		return nil, fmt.Errorf("compile needs a catalog design (-design), not -file")
+	}
+	spec, err := server.CompileSpec(t.design)
+	if err != nil {
+		return nil, err
+	}
+	f := t.farm()
+	var job *farm.Job
+	var att farm.Attach
+	switch mode {
+	case "vti":
+		job, att, err = f.Compile(spec)
+	case "recompile":
+		job, att, err = f.Recompile(spec, tag)
+	default:
+		err = fmt.Errorf("unknown compile mode %q", mode)
+	}
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), compileWait)
+	defer cancel()
+	if err := job.Wait(ctx); err != nil {
+		return nil, err
+	}
+	return []string{farm.AttachLine(job.ID(), att), job.Status().Line()}, nil
+}
+
+func (t *localTarget) CompileListLines() ([]string, error) {
+	if t.compileFarm == nil {
+		return nil, nil
+	}
+	return t.compileFarm.StatusLines(), nil
+}
+
+func (t *localTarget) CompileCancelCmd(id uint64) (string, error) {
+	return t.farm().CancelLine(id)
+}
+
+func (t *remoteTarget) CompileRun(mode string, tag int) ([]string, error) {
+	ticket, err := t.c.CompileSubmit(t.sess.Design, mode, tag)
+	if err != nil {
+		return nil, err
+	}
+	lines := append([]string(nil), ticket.Lines...)
+	if !ticket.Done {
+		ctx, cancel := context.WithTimeout(context.Background(), compileWait)
+		defer cancel()
+		final, err := ticket.Wait(ctx)
+		if err != nil {
+			return nil, err
+		}
+		lines = append(lines, final)
+	}
+	return lines, nil
+}
+
+func (t *remoteTarget) CompileListLines() ([]string, error) {
+	lines, _, err := t.c.CompileStatus(0)
+	return lines, err
+}
+
+func (t *remoteTarget) CompileCancelCmd(id uint64) (string, error) {
+	return t.c.CompileCancel(id)
 }
 
 // streamer is the optional surface behind the stream/counters REPL

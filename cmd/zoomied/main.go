@@ -44,6 +44,8 @@ func main() {
 	chaos := flag.String("chaos", "", "fault-injection profile, e.g. 'flip=0.01,exec=0.005,seed=42' (keys: "+faults.ProfileKeys()+")")
 	probe := flag.Duration("probe", 0, "board health-probe interval (0 = 2s under -chaos, else disabled)")
 	cooldown := flag.Duration("cooldown", time.Minute, "quarantined-board requalification cooldown")
+	compileCache := flag.Int("compile-cache", 0, "compile-farm checkpoint store capacity in entries (0 = unbounded)")
+	speculate := flag.Bool("speculate", false, "pre-warm the first debug edit of every freshly compiled design")
 	flag.Parse()
 
 	cfg := server.Config{
@@ -51,6 +53,8 @@ func main() {
 		IdleTimeout:        *idle,
 		ProbeInterval:      *probe,
 		QuarantineCooldown: *cooldown,
+		CompileCacheCap:    *compileCache,
+		CompileSpeculate:   *speculate,
 	}
 	if *chaos != "" {
 		p, err := faults.ParseProfile(*chaos)

@@ -184,6 +184,10 @@ func (e *executor) step(i int, op gen.Op) {
 	case gen.OpRewind:
 		cyc, tl, err := e.t.HistRewind(uint64(op.N))
 		e.rec("%03d %s -> cycle=%d tl=%d %s", i, op, cyc, tl, errClass(err))
+	case gen.OpCompile:
+		cold, warm, err := e.t.CompileCheck(op.N)
+		e.rec("%03d %s -> cold=%s warm=%s match=%v %s",
+			i, op, cold, warm, cold != "" && cold == warm, errClass(err))
 	default:
 		e.rec("%03d %s -> skipped (unknown op)", i, op)
 	}

@@ -208,7 +208,7 @@ func (f *fleet) targets(design string) ([]Target, error) {
 		remote.Detach()
 		return nil, err
 	}
-	return []Target{NewLocalTarget(local), NewRemoteTarget(remote), NewRemoteTarget(chaos)}, nil
+	return []Target{NewLocalTarget(local, design), NewRemoteTarget(remote), NewRemoteTarget(chaos)}, nil
 }
 
 var targetNames = []string{"local", "remote", "chaos"}

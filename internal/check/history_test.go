@@ -42,7 +42,7 @@ func TestSeekMatchesFreshRun(t *testing.T) {
 			if err != nil {
 				return nil, err
 			}
-			return NewLocalTarget(s), nil
+			return NewLocalTarget(s, "counter"), nil
 		},
 		"remote": func() (Target, error) {
 			s, err := attach(f.clean, "counter")

@@ -15,6 +15,8 @@ import (
 	"zoomie"
 	"zoomie/internal/client"
 	"zoomie/internal/dbg"
+	"zoomie/internal/farm"
+	"zoomie/internal/server"
 )
 
 // Target is the op surface a script executes against. It is the
@@ -47,6 +49,13 @@ type Target interface {
 	// land on bit-identical state and agree on the timeline id.
 	HistSeek(cycle uint64) (timeline int, err error)
 	HistRewind(n uint64) (cycle uint64, timeline int, err error)
+	// CompileCheck runs the compile farm's bit-identity oracle for the
+	// session's design: the tag-th canonical debug edit compiled via the
+	// warm shared-cache incremental path and via a cold monolithic
+	// compile, both bitstream digests returned. All stacks must agree on
+	// both digests — the compile pipeline is content-addressed, so the
+	// digests are design-derived and survive the chaos transport intact.
+	CompileCheck(tag int) (cold, warm string, err error)
 	Close() error
 }
 
@@ -56,11 +65,16 @@ type Target interface {
 // targets have an exact local reference.
 type localTarget struct {
 	s        *zoomie.Session
+	design   string
 	lastSnap *zoomie.DebugSnapshot
 }
 
-// NewLocalTarget wraps an in-process session.
-func NewLocalTarget(s *zoomie.Session) Target { return &localTarget{s: s} }
+// NewLocalTarget wraps an in-process session. design is the catalog name
+// the session was built from; the compile-check op resolves its farm
+// spec through the same catalog lookup the daemon uses.
+func NewLocalTarget(s *zoomie.Session, design string) Target {
+	return &localTarget{s: s, design: design}
+}
 
 func (t *localTarget) Peek(name string) (uint64, error)        { return t.s.Peek(name) }
 func (t *localTarget) Poke(name string, v uint64) error        { return t.s.Poke(name, v) }
@@ -121,7 +135,16 @@ func (t *localTarget) HistRewind(n uint64) (uint64, int, error) {
 	return t.s.Rewind(n)
 }
 func (t *localTarget) Cycles() (uint64, error) { return t.s.Cycles() }
-func (t *localTarget) Close() error            { return t.s.Close() }
+
+func (t *localTarget) CompileCheck(tag int) (string, string, error) {
+	spec, err := server.CompileSpec(t.design)
+	if err != nil {
+		return "", "", err
+	}
+	return farm.CheckBitIdentity(context.Background(), spec, tag)
+}
+
+func (t *localTarget) Close() error { return t.s.Close() }
 
 // remoteTarget drives a zoomied session over the wire protocol. The same
 // adapter serves the clean and the chaos server — the fault injector is
@@ -176,4 +199,9 @@ func (t *remoteTarget) HistRewind(n uint64) (uint64, int, error) {
 	return t.s.HistRewind(n)
 }
 func (t *remoteTarget) Cycles() (uint64, error) { return t.s.Cycles() }
-func (t *remoteTarget) Close() error            { return t.s.Detach() }
+
+func (t *remoteTarget) CompileCheck(tag int) (string, string, error) {
+	return t.s.CompileCheck(tag)
+}
+
+func (t *remoteTarget) Close() error { return t.s.Detach() }

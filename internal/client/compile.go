@@ -1,0 +1,114 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"zoomie/internal/wire"
+)
+
+// Compile-farm client surface (v3+). Submits return a ticket; cache
+// hits come back already terminal, everything else is awaited either by
+// polling status or by following the job's "compile" progress stream.
+
+// CompileTicket is one accepted compile submit.
+type CompileTicket struct {
+	c *Client
+	// ID is the farm job id.
+	ID uint64
+	// Lines holds the attach acknowledgement (and, when the job was
+	// already terminal at submit, its status row).
+	Lines []string
+	// Done reports the job was terminal at submit time — a cache hit
+	// needs no waiting.
+	Done bool
+}
+
+// CompileSubmit submits a compile of a catalog design. mode is "vti"
+// (initial compile; "" means the same) or "recompile" (canonical debug
+// edit number tag of the design's partition).
+func (c *Client) CompileSubmit(design, mode string, tag int) (*CompileTicket, error) {
+	resp, err := c.call(&wire.Request{
+		Op: wire.OpCompileSubmit, Design: design, Mode: mode, N: tag,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &CompileTicket{c: c, ID: resp.Value, Lines: resp.Lines, Done: resp.Ran == 1}, nil
+}
+
+// CompileStatus fetches job status rows: one row for the given job, or
+// every farm job when id is 0. done reports the named job is terminal
+// (always false for the full listing).
+func (c *Client) CompileStatus(id uint64) (lines []string, done bool, err error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpCompileStatus, Value: id})
+	if err != nil {
+		return nil, false, err
+	}
+	return resp.Lines, resp.Ran == 1, nil
+}
+
+// CompileCancel releases this client's reference on a job; the compile
+// itself is cancelled when the last holder lets go.
+func (c *Client) CompileCancel(id uint64) (string, error) {
+	resp, err := c.call(&wire.Request{Op: wire.OpCompileCancel, Value: id})
+	if err != nil {
+		return "", err
+	}
+	if len(resp.Lines) == 0 {
+		return "", fmt.Errorf("compilecancel: empty reply")
+	}
+	return resp.Lines[0], nil
+}
+
+// CompileCheck runs the server's warm/cold bit-identity oracle
+// synchronously: the design's tag-th edit compiled via the shared-cache
+// incremental path and via a from-scratch monolithic compile, returning
+// both bitstream digests (which must match).
+func (c *Client) CompileCheck(design string, tag int) (cold, warm string, err error) {
+	resp, err := c.call(&wire.Request{
+		Op: wire.OpCompileSubmit, Design: design, Mode: "check", N: tag,
+	})
+	if err != nil {
+		return "", "", err
+	}
+	if len(resp.Lines) != 2 {
+		return "", "", fmt.Errorf("compile check: got %d digests, want 2", len(resp.Lines))
+	}
+	return resp.Lines[0], resp.Lines[1], nil
+}
+
+// CompileCheck runs the bit-identity oracle for this session's design.
+func (s *Session) CompileCheck(tag int) (cold, warm string, err error) {
+	return s.c.CompileCheck(s.Design, tag)
+}
+
+// Wait polls the job until it is terminal, returning its final status
+// row. Polling is cheap (one inline op per round) and keeps Wait correct
+// even when the progress stream sheds frames.
+func (t *CompileTicket) Wait(ctx context.Context) (string, error) {
+	for {
+		lines, done, err := t.c.CompileStatus(t.ID)
+		if err != nil {
+			return "", err
+		}
+		if done {
+			if len(lines) == 0 {
+				return "", fmt.Errorf("compile job %d: empty status", t.ID)
+			}
+			return lines[0], nil
+		}
+		select {
+		case <-ctx.Done():
+			return "", ctx.Err()
+		case <-time.After(10 * time.Millisecond):
+		}
+	}
+}
+
+// Progress opens the job's "compile" stream: one frame per phase entry
+// plus the terminal state, each frame's phase in Names[0].
+func (t *CompileTicket) Progress(credits int) (*Stream, error) {
+	return t.c.OpenStream(wire.StreamCompile, t.ID, credits, 0)
+}

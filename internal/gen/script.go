@@ -29,8 +29,9 @@ const (
 	OpInput     = "input" // drive a top-level input
 	OpOutput    = "output"
 	OpInspect   = "inspect"
-	OpSeek      = "seek"   // time-travel to an absolute recorded cycle
-	OpRewind    = "rewind" // time-travel n cycles back from the cursor
+	OpSeek      = "seek"    // time-travel to an absolute recorded cycle
+	OpRewind    = "rewind"  // time-travel n cycles back from the cursor
+	OpCompile   = "compile" // compile-farm bit-identity check for a debug edit
 )
 
 // Item is one element of a batched peek/poke.
@@ -78,6 +79,8 @@ func (o Op) String() string {
 		return fmt.Sprintf("seek %d", o.Value)
 	case OpRewind:
 		return fmt.Sprintf("rewind %d", o.N)
+	case OpCompile:
+		return fmt.Sprintf("compile tag=%d", o.N)
 	default:
 		return o.Kind
 	}
@@ -152,7 +155,7 @@ func RandomScript(r *rand.Rand, d *Design, n, nAsserts int) []Op {
 	g := &scriptGen{r: r, d: d}
 	ops := make([]Op, 0, n)
 	for len(ops) < n {
-		switch g.r.Intn(22) {
+		switch g.r.Intn(24) {
 		case 0, 1, 2:
 			ops = append(ops, Op{Kind: OpPeek, Name: g.regName()})
 		case 3, 4:
@@ -238,6 +241,11 @@ func RandomScript(r *rand.Rand, d *Design, n, nAsserts int) []Op {
 			// the occasional overshoot exercises the typed horizon error
 			// identically on every target.
 			ops = append(ops, Op{Kind: OpRewind, N: 1 + g.r.Intn(30)})
+		case 21:
+			// Compile-then-debug: the farm's warm-cache recompile of a
+			// debug edit must be bit-identical to a cold monolithic
+			// compile, on every target, mid-script, under chaos.
+			ops = append(ops, Op{Kind: OpCompile, N: 1 + g.r.Intn(3)})
 		default:
 			// Absolute seeks: usually a plausibly recorded early cycle,
 			// sometimes far in the future (guaranteed horizon error).

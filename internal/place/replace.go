@@ -39,37 +39,31 @@ func Replace(prev *Placement, net *synth.ModuleNetlist, specs []PartitionSpec, c
 		p.Utilization[k] = v
 	}
 
-	var bucket []synth.FlatCell
+	// Split the flattened netlist into the re-placed bucket and the
+	// carried-over remainder. Carry-over is applied only after the
+	// partition is re-placed: from-scratch placement places partitions
+	// before static logic, and the refinement pass must see the same
+	// CellTile context in both flows so an incremental compile lands every
+	// partition cell on exactly the tile a cold compile would pick —
+	// that bit-identity is what lets cache-served recompiles stand in for
+	// full ones.
+	var bucket, carry []synth.FlatCell
 	var usage fpga.ResourceVec
 	var err error
 	net.Flatten(func(c synth.FlatCell) {
 		if err != nil {
 			return
 		}
-		part := partitionFor(c, specs)
-		if part == changed {
+		if partitionFor(c, specs) == changed {
 			bucket = append(bucket, c)
 			usage.Add(c.Res)
 			return
 		}
-		// Unchanged logic: positions and frame locations carry over.
-		pos, had := prev.CellTile[c.Name]
-		if !had {
+		if _, had := prev.CellTile[c.Name]; !had {
 			err = fmt.Errorf("place: cell %q is new but lies outside partition %q", c.Name, changed)
 			return
 		}
-		p.CellTile[c.Name] = pos
-		p.PartitionOf[c.Name] = part
-		if !c.IsState {
-			return
-		}
-		if loc, ok := prev.StateMap.Reg(c.Name); ok {
-			err = p.StateMap.AddReg(loc)
-			return
-		}
-		if loc, ok := prev.StateMap.Mem(c.Name); ok {
-			err = p.StateMap.AddMem(loc)
-		}
+		carry = append(carry, c)
 	})
 	if err != nil {
 		return nil, 0, err
@@ -94,6 +88,26 @@ func Replace(prev *Placement, net *synth.ModuleNetlist, specs []PartitionSpec, c
 
 	if err := p.placePartition(changed, bucket); err != nil {
 		return nil, 0, err
+	}
+
+	// Unchanged logic: positions and frame locations carry over verbatim.
+	for _, c := range carry {
+		p.CellTile[c.Name] = prev.CellTile[c.Name]
+		p.PartitionOf[c.Name] = partitionFor(c, specs)
+		if !c.IsState {
+			continue
+		}
+		if loc, ok := prev.StateMap.Reg(c.Name); ok {
+			if err := p.StateMap.AddReg(loc); err != nil {
+				return nil, 0, err
+			}
+			continue
+		}
+		if loc, ok := prev.StateMap.Mem(c.Name); ok {
+			if err := p.StateMap.AddMem(loc); err != nil {
+				return nil, 0, err
+			}
+		}
 	}
 	return p, p.WorkUnits, nil
 }

@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"zoomie"
+	"zoomie/internal/farm"
 	"zoomie/internal/faults"
 	"zoomie/internal/obs"
 	"zoomie/internal/wire"
@@ -62,6 +63,12 @@ type Config struct {
 	// zoomied in mixed-fleet tests (a ceiling of 2 answers exactly as a
 	// pre-binary-codec server would).
 	ProtocolCeiling int
+	// CompileCacheCap bounds the compile farm's shared checkpoint store
+	// (entries; 0 = unbounded).
+	CompileCacheCap int
+	// CompileSpeculate pre-warms the first debug edit of every freshly
+	// compiled design on the farm's own time.
+	CompileSpeculate bool
 }
 
 // Server is a running zoomied instance.
@@ -75,6 +82,11 @@ type Server struct {
 	// atomic add, never a map lookup.
 	reg *obs.Registry
 	ctr hotCounters
+
+	// farm is the process-wide compile service: one content-addressed
+	// checkpoint store shared by every connection, so clients compiling
+	// the same design serve each other's cache.
+	farm *farm.Farm
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -107,9 +119,14 @@ func New(cfg Config) *Server {
 		cfg.Chaos = nil
 	}
 	s := &Server{
-		cfg:       cfg,
-		pool:      NewPool(cfg.PoolSize),
-		reg:       obs.NewRegistry(),
+		cfg:  cfg,
+		pool: NewPool(cfg.PoolSize),
+		reg:  obs.NewRegistry(),
+		farm: farm.New(farm.Config{
+			StoreCap:  cfg.CompileCacheCap,
+			Speculate: cfg.CompileSpeculate,
+			Logf:      cfg.Logf,
+		}),
 		sessions:  make(map[uint64]*session),
 		conns:     make(map[*conn]struct{}),
 		probeQuit: make(chan struct{}),
@@ -436,6 +453,11 @@ type conn struct {
 	streamMu   sync.Mutex
 	streams    map[uint64]*stream
 	nextStream uint64
+
+	// jobs counts the compile-farm references this connection holds
+	// (job id -> refs), released when the connection dies.
+	jobMu sync.Mutex
+	jobs  map[uint64]int
 }
 
 func newConn(s *Server, c net.Conn) *conn {
@@ -464,6 +486,7 @@ func (c *conn) markDead() {
 		close(c.dead)
 		c.c.Close()
 		c.closeStreams()
+		c.releaseJobs()
 	})
 }
 
@@ -662,6 +685,16 @@ func (c *conn) dispatch(req *wire.Request) {
 		}
 		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
 		c.send(wire.Resp(c.handleStream(req)))
+	case wire.OpCompileSubmit, wire.OpCompileStatus, wire.OpCompileCancel:
+		// Compile-farm ops arrived in v3 alongside the stream machinery
+		// that carries their progress.
+		if c.version < 3 {
+			c.send(wire.Resp(&wire.Response{ID: req.ID,
+				Err: wire.Errf(wire.CodeUnknownOp, "unknown op %q", req.Op)}))
+			return
+		}
+		atomic.AddInt64(&c.srv.stats.commandsServed, 1)
+		c.send(wire.Resp(c.srv.handleCompile(c, req)))
 	default:
 		// Batch ops arrived in v2; a v1-negotiated connection gets the
 		// same answer a v1 server would give.

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"zoomie"
+	"zoomie/internal/farm"
 	"zoomie/internal/obs"
 	"zoomie/internal/wire"
 )
@@ -41,10 +42,15 @@ const (
 // stream is one open push channel on one connection.
 type stream struct {
 	id   uint64
-	kind string // wire.StreamCounters, wire.StreamILA or wire.StreamHistory
+	kind string // wire.StreamCounters, StreamILA, StreamHistory or StreamCompile
 	c    *conn
 	sess *session        // ILA and history streams only
 	meta *zoomie.ILAMeta // ILA streams only
+
+	// Compile streams subscribe to a farm job's progress at open so no
+	// phase entry is missed between open and the producer loop starting.
+	prog  <-chan farm.Progress
+	unsub func()
 
 	interval time.Duration
 	quit     chan struct{}
@@ -136,10 +142,18 @@ func (c *conn) openStream(req *wire.Request) (*stream, *wire.Error) {
 				"history recording is disabled for design %q", sess.design)
 		}
 		st.sess = sess
+	case wire.StreamCompile:
+		// Session carries the farm job id: compile jobs are a server-wide
+		// resource, not a debug session.
+		job, ok := c.srv.farm.Job(req.Session)
+		if !ok {
+			return nil, wire.Errf(wire.CodeOp, "no compile job %d", req.Session)
+		}
+		st.prog, st.unsub = job.Subscribe()
 	default:
 		return nil, wire.Errf(wire.CodeBadRequest,
-			"unknown stream kind %q (want %q, %q or %q)",
-			req.Name, wire.StreamCounters, wire.StreamILA, wire.StreamHistory)
+			"unknown stream kind %q (want %q, %q, %q or %q)",
+			req.Name, wire.StreamCounters, wire.StreamILA, wire.StreamHistory, wire.StreamCompile)
 	}
 
 	c.streamMu.Lock()
@@ -187,6 +201,10 @@ func (c *conn) closeStreams() {
 // run is the stream's producer loop: one ticker, one flush per tick.
 func (st *stream) run() {
 	defer st.c.srv.wg.Done()
+	if st.kind == wire.StreamCompile {
+		st.runCompile()
+		return
+	}
 	t := time.NewTicker(st.interval)
 	defer t.Stop()
 
@@ -228,6 +246,31 @@ func (st *stream) run() {
 					return // session gone; the stream dies with it
 				}
 			}
+		}
+	}
+}
+
+// runCompile is the producer loop for compile streams: event-driven
+// rather than polled — the farm job publishes one Progress per phase
+// entry plus its terminal state, and each becomes one frame (the phase
+// in Names[0]). Backlog and credits behave like every other stream; a
+// stalled client sheds oldest phases, never the compile itself.
+func (st *stream) runCompile() {
+	defer st.unsub()
+	for {
+		select {
+		case <-st.quit:
+			return
+		case <-st.c.dead:
+			return
+		case p := <-st.prog:
+			st.offer(&wire.Event{
+				Kind:    wire.EvtStream,
+				Stream:  st.id,
+				Session: p.Job,
+				Count:   1,
+				Names:   []string{p.Phase},
+			})
 		}
 	}
 }

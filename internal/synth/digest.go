@@ -1,0 +1,197 @@
+package synth
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"sort"
+
+	"zoomie/internal/rtl"
+)
+
+// Digest is the content hash of a module: a canonical encoding of its
+// ports, body, and the transitive digests of every instantiated child.
+// Two independently constructed modules with identical content — e.g. the
+// same source parsed twice, or the same generator run in two processes —
+// produce the same digest, which is what lets checkpoint stores share
+// synthesis work across designs, clients, and daemon restarts.
+//
+// The module's own name is deliberately excluded: content addressing means
+// a renamed-but-identical module is still the same checkpoint. Register
+// initial values ARE included — they change the configured bitstream even
+// when they change no logic.
+type Digest [sha256.Size]byte
+
+// String renders the digest as lowercase hex.
+func (d Digest) String() string { return hex.EncodeToString(d[:]) }
+
+// Short returns a 12-hex-digit prefix for logs and transcripts.
+func (d Digest) Short() string { return hex.EncodeToString(d[:6]) }
+
+// ModuleDigest computes the content digest of one module (children
+// included transitively). For repeated digests over a shared hierarchy,
+// use a Cache, which memoizes per-module digests.
+func ModuleDigest(m *rtl.Module) Digest {
+	return newDigester().module(m)
+}
+
+// DesignDigest is the digest of the design's top module — and therefore,
+// by transitivity, of the whole hierarchy.
+func DesignDigest(d *rtl.Design) Digest {
+	return ModuleDigest(d.Top)
+}
+
+// digester memoizes module digests by pointer so shared submodules are
+// encoded once per hierarchy walk.
+type digester struct {
+	memo map[*rtl.Module]Digest
+}
+
+func newDigester() *digester {
+	return &digester{memo: make(map[*rtl.Module]Digest)}
+}
+
+func (dg *digester) module(m *rtl.Module) Digest {
+	if d, ok := dg.memo[m]; ok {
+		return d
+	}
+	e := &digestEnc{h: sha256.New()}
+
+	// Ports and internal signals, in declaration order. Declaration order
+	// is part of the canonical form: it fixes the port walk used by
+	// synthesis, so a module with reordered ports is a different artifact.
+	e.str("sig")
+	e.num(uint64(len(m.Signals)))
+	for _, s := range m.Signals {
+		e.num(uint64(s.Kind))
+		e.str(s.Name)
+		e.num(uint64(s.Width))
+	}
+
+	e.str("asn")
+	e.num(uint64(len(m.Assigns)))
+	for _, a := range m.Assigns {
+		e.str(a.Dst.Name)
+		e.expr(a.Src)
+	}
+
+	e.str("reg")
+	e.num(uint64(len(m.Registers)))
+	for _, r := range m.Registers {
+		e.str(r.Sig.Name)
+		e.str(r.Clock)
+		e.expr(r.Next)
+		e.opt(r.Enable)
+		e.opt(r.Reset)
+		e.num(r.Init)
+	}
+
+	e.str("mem")
+	e.num(uint64(len(m.Memories)))
+	for _, mem := range m.Memories {
+		e.str(mem.Name)
+		e.num(uint64(mem.Width))
+		e.num(uint64(mem.Depth))
+		idxs := make([]int, 0, len(mem.Init))
+		for i := range mem.Init {
+			idxs = append(idxs, i)
+		}
+		sort.Ints(idxs)
+		e.num(uint64(len(idxs)))
+		for _, i := range idxs {
+			e.num(uint64(i))
+			e.num(mem.Init[i])
+		}
+		e.num(uint64(len(mem.Writes)))
+		for _, w := range mem.Writes {
+			e.str(w.Clock)
+			e.expr(w.Addr)
+			e.expr(w.Data)
+			e.expr(w.Enable)
+		}
+	}
+
+	// Children by transitive digest; port connections in sorted port-name
+	// order so map iteration cannot leak into the hash.
+	e.str("inst")
+	e.num(uint64(len(m.Instances)))
+	for _, inst := range m.Instances {
+		e.str(inst.Name)
+		cd := dg.module(inst.Module)
+		e.h.Write(cd[:])
+		ins := make([]string, 0, len(inst.Inputs))
+		for name := range inst.Inputs {
+			ins = append(ins, name)
+		}
+		sort.Strings(ins)
+		e.num(uint64(len(ins)))
+		for _, name := range ins {
+			e.str(name)
+			e.expr(inst.Inputs[name])
+		}
+		outs := make([]string, 0, len(inst.Outputs))
+		for name := range inst.Outputs {
+			outs = append(outs, name)
+		}
+		sort.Strings(outs)
+		e.num(uint64(len(outs)))
+		for _, name := range outs {
+			e.str(name)
+			e.str(inst.Outputs[name].Name)
+		}
+	}
+
+	var d Digest
+	e.h.Sum(d[:0])
+	dg.memo[m] = d
+	return d
+}
+
+// digestEnc streams length-delimited canonical fields into a hash.
+type digestEnc struct {
+	h       hash.Hash
+	scratch [binary.MaxVarintLen64]byte
+}
+
+func (e *digestEnc) num(v uint64) {
+	n := binary.PutUvarint(e.scratch[:], v)
+	e.h.Write(e.scratch[:n])
+}
+
+func (e *digestEnc) str(s string) {
+	e.num(uint64(len(s)))
+	e.h.Write([]byte(s))
+}
+
+// opt encodes an optional expression (zero Expr means absent).
+func (e *digestEnc) opt(x rtl.Expr) {
+	if x.Width == 0 {
+		e.num(0)
+		return
+	}
+	e.num(1)
+	e.expr(x)
+}
+
+func (e *digestEnc) expr(x rtl.Expr) {
+	e.num(uint64(x.Op))
+	e.num(uint64(x.Width))
+	e.num(x.Val)
+	if x.Sig != nil {
+		e.str(x.Sig.Name)
+	} else {
+		e.str("")
+	}
+	if x.Mem != nil {
+		e.str(x.Mem.Name)
+	} else {
+		e.str("")
+	}
+	e.num(uint64(int64(x.Hi)))
+	e.num(uint64(int64(x.Lo)))
+	e.num(uint64(len(x.Args)))
+	for _, a := range x.Args {
+		e.expr(a)
+	}
+}

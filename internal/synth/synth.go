@@ -12,6 +12,7 @@ package synth
 
 import (
 	"fmt"
+	"sync"
 
 	"zoomie/internal/fpga"
 	"zoomie/internal/rtl"
@@ -56,23 +57,80 @@ type ModuleNetlist struct {
 	TotalCellCount int
 }
 
-// Cache memoizes module synthesis so shared modules are mapped once.
+// Cache memoizes module synthesis so shared modules are mapped once. It
+// is backed by a content-addressed checkpoint Store: modules are keyed by
+// their canonical digest, not pointer identity, so two independently
+// constructed copies of the same module — another parse of the same
+// source, another client's design sharing a common block — reuse one
+// checkpoint. A fast pointer memo sits in front of the store for repeat
+// lookups within one hierarchy.
+//
+// Cache is safe for concurrent use; parallel partition workers may
+// synthesize through one cache.
 type Cache struct {
+	mu       sync.Mutex
+	store    Store
 	byModule map[*rtl.Module]*ModuleNetlist
+	fromHit  map[*rtl.Module]bool
+	dg       *digester
+	mapped   int
+	hits     int
+	misses   int
 }
 
-// NewCache returns an empty synthesis cache.
-func NewCache() *Cache { return &Cache{byModule: make(map[*rtl.Module]*ModuleNetlist)} }
+// NewCache returns a cache over a fresh private unbounded store.
+func NewCache() *Cache { return NewCacheWith(NewMemStore(0)) }
 
-// CellCount returns the number of cells across all cached module netlists
-// (each unique module counted once) — the amount of real mapping work the
-// cache has performed.
-func (c *Cache) CellCount() int {
-	n := 0
-	for _, nl := range c.byModule {
-		n += nl.LocalCellCount
+// NewCacheWith returns a cache backed by the given checkpoint store —
+// typically a store shared across sessions so checkpoints outlive any one
+// compile.
+func NewCacheWith(store Store) *Cache {
+	return &Cache{
+		store:    store,
+		byModule: make(map[*rtl.Module]*ModuleNetlist),
+		fromHit:  make(map[*rtl.Module]bool),
+		dg:       newDigester(),
 	}
-	return n
+}
+
+// CellCount returns the number of cells this cache has mapped itself —
+// the real synthesis work performed. Checkpoints loaded from the store
+// (digest hits) cost nothing and are not counted.
+func (c *Cache) CellCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.mapped
+}
+
+// Hits and Misses count store-level digest lookups resolved by this
+// cache (pointer-memo repeats excluded).
+func (c *Cache) Hits() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// Misses is the store-miss counterpart of Hits.
+func (c *Cache) Misses() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.misses
+}
+
+// Digest returns m's content digest, memoized alongside the netlists.
+func (c *Cache) Digest(m *rtl.Module) Digest {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.dg.module(m)
+}
+
+// WasHit reports whether m's netlist came out of the checkpoint store
+// rather than being mapped by this cache. Compile-time accounting uses it
+// to charge only cold modules.
+func (c *Cache) WasHit(m *rtl.Module) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fromHit[m]
 }
 
 // Synthesize maps a whole design hierarchically, returning the top
@@ -81,11 +139,27 @@ func Synthesize(d *rtl.Design) (*ModuleNetlist, error) {
 	return NewCache().Module(d.Top)
 }
 
-// Module synthesizes one module (memoized).
+// Module synthesizes one module (memoized by pointer, checkpointed by
+// content digest).
 func (c *Cache) Module(m *rtl.Module) (*ModuleNetlist, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.module(m)
+}
+
+// module is the recursion under the cache lock.
+func (c *Cache) module(m *rtl.Module) (*ModuleNetlist, error) {
 	if n, ok := c.byModule[m]; ok {
 		return n, nil
 	}
+	d := c.dg.module(m)
+	if n, ok := c.store.Load(d); ok {
+		c.hits++
+		c.byModule[m] = n
+		c.fromHit[m] = true
+		return n, nil
+	}
+	c.misses++
 	n := &ModuleNetlist{Module: m}
 	for _, a := range m.Assigns {
 		cell := mapExpr(a.Dst.Name, a.Src)
@@ -128,7 +202,7 @@ func (c *Cache) Module(m *rtl.Module) (*ModuleNetlist, error) {
 	n.TotalUsage = n.LocalUsage
 	n.TotalCellCount = n.LocalCellCount
 	for _, inst := range m.Instances {
-		child, err := c.Module(inst.Module)
+		child, err := c.module(inst.Module)
 		if err != nil {
 			return nil, err
 		}
@@ -151,7 +225,9 @@ func (c *Cache) Module(m *rtl.Module) (*ModuleNetlist, error) {
 			n.TotalCellCount++
 		}
 	}
+	c.mapped += n.LocalCellCount
 	c.byModule[m] = n
+	c.store.Save(d, n)
 	return n, nil
 }
 

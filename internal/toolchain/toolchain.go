@@ -19,6 +19,7 @@
 package toolchain
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -75,6 +76,15 @@ type Options struct {
 
 	Cost  CostModel
 	Delay timing.DelayModel
+}
+
+// WithDefaults returns the options with unset fields filled in — the
+// same normalization every compile entry point applies. Exported so
+// flows built on the primitives here (package vti, the compile farm)
+// normalize identically.
+func (o Options) WithDefaults() Options {
+	o.defaults()
+	return o
 }
 
 func (o *Options) defaults() {
@@ -145,8 +155,15 @@ type Result struct {
 // design, whole-device placement, routing, timing and full bitstream
 // generation.
 func Compile(d *rtl.Design, opts Options) (*Result, error) {
+	return CompileCtx(context.Background(), d, opts)
+}
+
+// CompileCtx is Compile with cancellation: the context is checked before
+// every phase, so a cancelled compile stops at the next phase boundary
+// without doing further work.
+func CompileCtx(ctx context.Context, d *rtl.Design, opts Options) (*Result, error) {
 	opts.defaults()
-	return compile(d, opts, "monolithic", nil)
+	return compile(ctx, d, opts, "monolithic", nil)
 }
 
 // CompileIncremental models the vendor's incremental mode given a previous
@@ -155,12 +172,17 @@ func Compile(d *rtl.Design, opts Options) (*Result, error) {
 // skip roughly a quarter and a tenth of their work respectively — the
 // small, design-dependent reuse the paper observed.
 func CompileIncremental(prev *Result, d *rtl.Design, opts Options) (*Result, error) {
+	return CompileIncrementalCtx(context.Background(), prev, d, opts)
+}
+
+// CompileIncrementalCtx is CompileIncremental with cancellation.
+func CompileIncrementalCtx(ctx context.Context, prev *Result, d *rtl.Design, opts Options) (*Result, error) {
 	if prev == nil {
 		return nil, fmt.Errorf("toolchain: incremental compile needs a previous result")
 	}
 	opts.defaults()
 	reuse := &incrementalReuse{placeFrac: 0.25, routeFrac: 0.10}
-	return compile(d, opts, "vendor-incremental", reuse)
+	return compile(ctx, d, opts, "vendor-incremental", reuse)
 }
 
 type incrementalReuse struct {
@@ -168,11 +190,23 @@ type incrementalReuse struct {
 	routeFrac float64 // fraction of routing work skipped
 }
 
-func compile(d *rtl.Design, opts Options, flow string, reuse *incrementalReuse) (*Result, error) {
+// phaseGate returns a cancellation error if ctx ended before the named
+// phase could start.
+func phaseGate(ctx context.Context, phase string) error {
+	if err := ctx.Err(); err != nil {
+		return fmt.Errorf("toolchain: cancelled before %s: %w", phase, err)
+	}
+	return nil
+}
+
+func compile(ctx context.Context, d *rtl.Design, opts Options, flow string, reuse *incrementalReuse) (*Result, error) {
 	res := &Result{Design: d, Options: opts}
 	res.Report.Flow = flow
 	res.Report.Start = opts.Cost.Startup
 
+	if err := phaseGate(ctx, "synth"); err != nil {
+		return nil, err
+	}
 	net, err := synth.Synthesize(d)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: synthesis: %w", err)
@@ -183,6 +217,9 @@ func compile(d *rtl.Design, opts Options, flow string, reuse *incrementalReuse) 
 	res.Report.CellsSynthesized = net.TotalCellCount
 	res.Report.Synth = time.Duration(net.TotalCellCount) * opts.Cost.SynthPerCell
 
+	if err := phaseGate(ctx, "place"); err != nil {
+		return nil, err
+	}
 	pl, err := place.Place(net, opts.Device, opts.Partitions)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: placement: %w", err)
@@ -195,6 +232,9 @@ func compile(d *rtl.Design, opts Options, flow string, reuse *incrementalReuse) 
 	res.Report.CellsPlaced = placeWork
 	res.Report.Place = time.Duration(placeWork) * opts.Cost.PlacePerUnit
 
+	if err := phaseGate(ctx, "route"); err != nil {
+		return nil, err
+	}
 	rt, err := route.Route(net, pl)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: routing: %w", err)
@@ -207,6 +247,9 @@ func compile(d *rtl.Design, opts Options, flow string, reuse *incrementalReuse) 
 	res.Report.RouteUnits = routeWork
 	res.Report.Route = time.Duration(routeWork) * opts.Cost.RoutePerUnit
 
+	if err := phaseGate(ctx, "timing"); err != nil {
+		return nil, err
+	}
 	ta, err := timing.Analyze(net, pl, rt, opts.Delay)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: timing: %w", err)
@@ -217,6 +260,9 @@ func compile(d *rtl.Design, opts Options, flow string, reuse *incrementalReuse) 
 	res.Report.TimingMetTarget = ta.MeetsFrequency(opts.TargetMHz)
 
 	// Full-device bitstream.
+	if err := phaseGate(ctx, "bitgen"); err != nil {
+		return nil, err
+	}
 	frames := opts.Device.TotalFrames()
 	res.Report.FramesEmitted = frames
 	res.Report.Bitgen = time.Duration(frames) * opts.Cost.BitgenPerFrame

@@ -8,16 +8,13 @@
 package vti
 
 import (
+	"context"
 	"fmt"
 	"strings"
-	"sync"
-	"time"
 
 	"zoomie/internal/place"
-	"zoomie/internal/route"
 	"zoomie/internal/rtl"
 	"zoomie/internal/synth"
-	"zoomie/internal/timing"
 	"zoomie/internal/toolchain"
 )
 
@@ -33,44 +30,7 @@ type Result struct {
 // Compile performs the initial VTI compile. opts.Partitions must name at
 // least one partition.
 func Compile(d *rtl.Design, opts toolchain.Options) (*Result, error) {
-	if len(opts.Partitions) == 0 {
-		return nil, fmt.Errorf("vti: at least one partition is required")
-	}
-	base, err := toolchain.Compile(d, opts)
-	if err != nil {
-		return nil, err
-	}
-	opts = base.Options // defaults applied
-	rep := &base.Report
-	rep.Flow = "vti-initial"
-
-	// Parallel per-partition synthesis: partitions and the static
-	// remainder synthesize concurrently, so modeled synthesis time is the
-	// maximum over compilation units rather than the sum. Here we account
-	// it from the already-built netlist; the parallel machinery is
-	// exercised for real in Recompile.
-	maxCells := 0
-	partCells := 0
-	for _, spec := range opts.Partitions {
-		n := 0
-		for _, path := range spec.Paths {
-			n += base.Netlist.CellsUnder(path)
-		}
-		partCells += n
-		if n > maxCells {
-			maxCells = n
-		}
-	}
-	staticCells := base.Netlist.TotalCellCount - partCells
-	if staticCells > maxCells {
-		maxCells = staticCells
-	}
-	rep.CellsSynthesized = maxCells
-	rep.Synth = time.Duration(maxCells) * opts.Cost.SynthPerCell
-	// Design split and reset insertion: a linear pass over the design.
-	rep.Synth += time.Duration(base.Netlist.TotalCellCount) * opts.Cost.SynthPerCell / 20
-
-	return &Result{Result: base, Specs: opts.Partitions, cache: nil}, nil
+	return CompileCtx(context.Background(), d, opts, CompileOptions{})
 }
 
 // Recompile compiles a changed design in which only the named partition's
@@ -82,119 +42,7 @@ func Compile(d *rtl.Design, opts toolchain.Options) (*Result, error) {
 // everything outside the changed partition — which is exactly the
 // contract of editing one module of a hierarchy.
 func (r *Result) Recompile(newDesign *rtl.Design, partition string) (*Result, error) {
-	opts := r.Options
-	spec, ok := findSpec(r.Specs, partition)
-	if !ok {
-		return nil, fmt.Errorf("vti: unknown partition %q", partition)
-	}
-
-	out := &toolchain.Result{Design: newDesign, Options: opts}
-	rep := &out.Report
-	rep.Flow = "vti-incremental"
-	rep.Start = opts.Cost.Startup
-
-	// Incremental synthesis: reuse the previous per-module netlists. Only
-	// modules not seen before are mapped. The partition's modules are
-	// synthesized in parallel when it has several roots.
-	cache := r.cacheOrNew()
-	before := cacheSize(cache)
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	var synthErr error
-	for _, path := range spec.Paths {
-		wg.Add(1)
-		go func(path string) {
-			defer wg.Done()
-			mod, err := moduleAt(newDesign, path)
-			if err == nil {
-				mu.Lock()
-				defer mu.Unlock()
-				_, err = cache.Module(mod)
-			}
-			if err != nil {
-				mu.Lock()
-				if synthErr == nil {
-					synthErr = err
-				}
-				mu.Unlock()
-			}
-		}(path)
-	}
-	wg.Wait()
-	if synthErr != nil {
-		return nil, fmt.Errorf("vti: partition synthesis: %w", synthErr)
-	}
-	net, err := cache.Module(newDesign.Top)
-	if err != nil {
-		return nil, fmt.Errorf("vti: synthesis: %w", err)
-	}
-	out.Netlist = net
-	newCells := cacheSize(cache) - before
-	rep.CellsSynthesized = newCells
-	rep.Synth = time.Duration(newCells) * opts.Cost.SynthPerCell
-
-	// Incremental placement: everything outside the partition keeps its
-	// tiles and frame addresses; the partition is re-placed from scratch
-	// inside its reserved region.
-	pl, placeWork, err := place.Replace(r.Placement, net, r.Specs, partition)
-	if err != nil {
-		return nil, fmt.Errorf("vti: placement: %w", err)
-	}
-	out.Placement = pl
-	rep.CellsPlaced = placeWork
-	rep.Place = time.Duration(placeWork) * opts.Cost.PlacePerUnit
-
-	// Routing and timing run over the whole design (they are cheap here),
-	// but only partition-local work is charged: routes that neither start
-	// nor end in the partition are reused from the checkpoint verbatim.
-	rt, err := route.Route(net, pl)
-	if err != nil {
-		return nil, fmt.Errorf("vti: routing: %w", err)
-	}
-	out.Routing = rt
-	var routeWork int64
-	for _, e := range rt.Edges {
-		if pl.PartitionOf[e.From] == partition || pl.PartitionOf[e.To] == partition {
-			routeWork += int64(1 + e.Dist/16)
-		}
-	}
-	rep.RouteUnits = routeWork
-	rep.Route = time.Duration(routeWork) * opts.Cost.RoutePerUnit
-
-	ta, err := timing.Analyze(net, pl, rt, opts.Delay)
-	if err != nil {
-		return nil, fmt.Errorf("vti: timing: %w", err)
-	}
-	out.Timing = ta
-	partEdges := int64(0)
-	for _, e := range rt.Edges {
-		if pl.PartitionOf[e.To] == partition {
-			partEdges++
-		}
-	}
-	rep.Timing = time.Duration(partEdges) * opts.Cost.TimingPerUnit
-	rep.FmaxMHz = ta.FmaxMHz
-	rep.TimingMetTarget = ta.MeetsFrequency(opts.TargetMHz)
-
-	// Partial bitstream: only the partition's region frames are emitted...
-	frames := 0
-	for _, region := range pl.Regions[partition] {
-		lo, hi := region.FrameRange(opts.Device)
-		frames += hi - lo
-	}
-	rep.FramesEmitted = frames
-	rep.Bitgen = time.Duration(frames) * opts.Cost.BitgenPerFrame
-	// ...and linking stitches them into the full-device frame directory.
-	rep.Link = time.Duration(opts.Device.TotalFrames()) * opts.Cost.LinkPerFrame
-
-	if !opts.SkipImage {
-		img, err := toolchain.BuildImage(newDesign, pl, opts)
-		if err != nil {
-			return nil, err
-		}
-		out.Image = img
-	}
-	return &Result{Result: out, Specs: r.Specs, cache: cache}, nil
+	return r.RecompileCtx(context.Background(), newDesign, partition, RecompileOptions{})
 }
 
 // PartialFrames returns the frame addresses (per SLR) of a partition's
@@ -233,6 +81,13 @@ func findSpec(specs []place.PartitionSpec, name string) (place.PartitionSpec, bo
 		}
 	}
 	return place.PartitionSpec{}, false
+}
+
+// ModuleAt resolves the module instantiated at a dotted instance path
+// ("" resolves to the top module). The compile farm uses it to apply
+// canonical debug edits to a partition's module.
+func ModuleAt(d *rtl.Design, path string) (*rtl.Module, error) {
+	return moduleAt(d, path)
 }
 
 // moduleAt resolves the module instantiated at a dotted instance path.

@@ -90,6 +90,9 @@ var opNames = []string{
 	38: OpStateImport,
 	39: OpFleetStat,
 	40: OpFleetDrain,
+	41: OpCompileSubmit,
+	42: OpCompileStatus,
+	43: OpCompileCancel,
 }
 
 var evtNames = []string{

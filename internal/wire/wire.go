@@ -134,6 +134,20 @@ const (
 	OpStateImport = "stateimport" // Design, Signals (blob chunks) -> Session, Device, Report, Watches
 	OpFleetStat   = "fleetstat"   // (zfleet only) -> Lines (per-daemon rows), Stats
 	OpFleetDrain  = "fleetdrain"  // (zfleet only) Name daemon addr, Enable -> Lines
+
+	// Compile farm ops (v3+): the content-addressed compile service.
+	// Submit names a catalog design and a mode — "vti" (initial compile),
+	// "recompile" (canonical debug edit N of the design's partition) or
+	// "check" (synchronous warm/cold bit-identity oracle, Lines = [cold,
+	// warm]). The response carries the farm job id in Value, the attach
+	// acknowledgement in Lines[0], and Ran=1 when the job is already
+	// terminal (cache hits resolve without polling). Status with Value=0
+	// lists every job; Cancel releases the caller's reference — the job's
+	// context is cancelled only when its last holder lets go, and a client
+	// disconnect releases everything the connection still holds.
+	OpCompileSubmit = "compilesubmit" // Design, Mode, N edit tag -> Value job id, Lines, Ran
+	OpCompileStatus = "compilestatus" // Value job id (0 = all) -> Lines, Ran
+	OpCompileCancel = "compilecancel" // Value job id -> Lines
 )
 
 // Stream kinds for OpStreamOpen's Name field.
@@ -141,6 +155,7 @@ const (
 	StreamCounters = "counters" // aggregated per-session + server counter deltas
 	StreamILA      = "ila"      // completed ILA capture windows, re-armed after upload
 	StreamHistory  = "history"  // new history keyframes ([pos, cycle, bytes] rows) for timeline scrubbing
+	StreamCompile  = "compile"  // compile job progress: one frame per phase entry / terminal state
 )
 
 // Request is a client command. Unused fields stay zero and are omitted.
