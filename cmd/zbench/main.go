@@ -42,27 +42,28 @@ func main() {
 	sim.DefaultOptions.Shards = *simShards
 
 	experiments := map[string]func(int) error{
-		"table1":   table1,
-		"table2":   table2,
-		"table3":   table3,
-		"table4":   table4,
-		"fig3":     fig3,
-		"fig7":     fig7,
-		"fig8":     fig8,
-		"tradeoff": tradeoff,
-		"vti":      vtiExp,
-		"bout":     bout,
-		"overhead": overhead,
-		"case1":    case1,
-		"case2":    case2,
-		"case3":    case3,
-		"chaos":    chaos,
-		"batch":    batchExp,
-		"wire":     wireExp,
-		"history":  historyExp,
-		"fleet":    fleetExp,
+		"table1":     table1,
+		"table2":     table2,
+		"table3":     table3,
+		"table4":     table4,
+		"fig3":       fig3,
+		"fig7":       fig7,
+		"fig8":       fig8,
+		"tradeoff":   tradeoff,
+		"vti":        vtiExp,
+		"bout":       bout,
+		"overhead":   overhead,
+		"case1":      case1,
+		"case2":      case2,
+		"case3":      case3,
+		"chaos":      chaos,
+		"batch":      batchExp,
+		"wire":       wireExp,
+		"history":    historyExp,
+		"fleet":      fleetExp,
+		"synthcheck": synthcheckExp,
 	}
-	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "vti", "table3", "fig8", "table4", "bout", "overhead", "chaos", "batch", "wire", "history", "fleet", "case1", "case2", "case3"}
+	order := []string{"table1", "table2", "fig3", "fig7", "tradeoff", "vti", "table3", "fig8", "table4", "bout", "overhead", "chaos", "batch", "wire", "history", "fleet", "synthcheck", "case1", "case2", "case3"}
 
 	if *exp == "all" {
 		for _, name := range order {

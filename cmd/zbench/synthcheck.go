@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"time"
+
+	"zoomie/internal/check/synthcheck"
+	"zoomie/internal/gen"
+)
+
+// synthcheckExp measures the toolchain self-checker: what one design's
+// full differential oracle costs (the price of proving four flows
+// equivalent), how fast the mutation campaign chews through seeded
+// toolchain faults, and the kill rate the layered oracle achieves.
+func synthcheckExp(int) error {
+	header("Self-check: differential equivalence oracle over the toolchain")
+
+	fmt.Println("Oracle cost per design (clean pass: 4 flows, fingerprints + lock-step):")
+	fmt.Printf("  %-8s %-8s %-10s %-12s\n", "parts", "modules", "oracle", "per-flow")
+	for _, parts := range []int{2, 4, 8} {
+		cfg := synthcheck.Config{Seed: 1, Designs: 1, Parts: parts, NoShrink: true}
+		hd := gen.RandomHierDesign(rand.New(rand.NewSource(1)), parts)
+		start := time.Now()
+		if _, err := synthcheck.Run(cfg); err != nil {
+			return err
+		}
+		el := time.Since(start)
+		fmt.Printf("  %-8d %-8d %-10s %-12s\n",
+			parts, 1+len(hd.Mods), el.Round(time.Millisecond), (el / 4).Round(time.Millisecond))
+	}
+
+	fmt.Println()
+	fmt.Println("Mutation campaign (seeded toolchain faults vs the oracle):")
+	fmt.Printf("  %-9s %-8s %-8s %-8s %-10s %-12s %-9s\n",
+		"designs", "kinds", "mutants", "killed", "rate", "elapsed", "mut/sec")
+	for _, designs := range []int{1, 2, 4} {
+		start := time.Now()
+		sum, err := synthcheck.Run(synthcheck.Config{Seed: 7, Designs: designs, Parts: 4, NoShrink: true})
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		rate := "-"
+		if el > 0 {
+			rate = fmt.Sprintf("%.1f", float64(sum.Mutants)/el.Seconds())
+		}
+		fmt.Printf("  %-9d %-8d %-8d %-8d %-10.3f %-12s %-9s\n",
+			designs, len(sum.Kinds), sum.Mutants, sum.Killed, sum.KillRate(),
+			el.Round(time.Millisecond), rate)
+	}
+
+	fmt.Println()
+	fmt.Println("Divergence minimization (first killed mutant per design):")
+	start := time.Now()
+	sum, err := synthcheck.Run(synthcheck.Config{Seed: 7, Designs: 2, Parts: 4, Out: io.Discard})
+	if err != nil {
+		return err
+	}
+	el := time.Since(start)
+	for _, rep := range sum.Repros {
+		fmt.Printf("  design %d kind=%-18s modules %d->%d  parts=%v\n",
+			rep.Design, rep.Kind, 1+4, rep.Modules, rep.Parts)
+	}
+	fmt.Printf("  total with shrinking: %s\n", el.Round(time.Millisecond))
+	return nil
+}

@@ -13,35 +13,52 @@
 //	zcheck -seed 1 -designs 20 -scripts 200         # differential campaign
 //	zcheck -seed 1 -scripts 200 -stream             # …with a counters stream riding along
 //	zcheck -seed 1 -mutate 20                       # mutation testing
+//	zcheck -mode synth -seed 1 -designs 2           # toolchain self-check campaign
 //	zcheck -replay artifacts/zcheck-seed1-zc3-s17.json
+//
+// Synth mode turns the harness on the toolchain itself: seeded semantic
+// faults are planted inside synthesis, placement, routing and the
+// checkpoint store, and a differential equivalence oracle — cross-flow
+// fingerprints plus board-vs-simulator lock-step over configuration
+// frames — must kill every mutant (see internal/check/synthcheck).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"strings"
 
 	"zoomie/internal/check"
+	"zoomie/internal/check/synthcheck"
 	"zoomie/internal/faults"
 )
 
 func main() {
 	var (
 		seed      = flag.Int64("seed", 1, "root seed; equal seeds give byte-identical stdout")
+		mode      = flag.String("mode", "", "campaign mode: \"\" (differential/mutation) or \"synth\" (toolchain self-check)")
 		designs   = flag.Int("designs", 20, "random designs to generate")
 		scripts   = flag.Int("scripts", 200, "total scripts, round-robin across designs")
 		ops       = flag.Int("ops", 20, "ops per script")
 		asserts   = flag.Int("asserts", 2, "assertions compiled into each design")
+		parts     = flag.Int("parts", 4, "synth mode: child partitions per generated design")
 		chaos     = flag.String("chaos", "", "chaos profile override, e.g. flip=0.01,drop=0.005 (default: built-in transient profile)")
 		artifacts = flag.String("artifacts", "", "directory for divergence repro artifacts")
 		noshrink  = flag.Bool("noshrink", false, "skip shrinking diverging scripts")
 		stream    = flag.Bool("stream", false, "keep a v3 counters stream open during the campaign (interference check)")
 		mutate    = flag.Int("mutate", 0, "mutation mode: number of properties to mutate (0 = differential mode)")
 		traces    = flag.Int("traces", 6, "mutation mode: judging traces per mutant")
-		minKill   = flag.Float64("minkill", 0, "mutation mode: fail (exit 1) below this kill rate")
+		minKill   = flag.Float64("minkill", 0, "mutation/synth mode: fail (exit 1) below this kill rate")
 		replay    = flag.String("replay", "", "replay a divergence artifact and exit")
 	)
 	flag.Parse()
+
+	if *mode == "synth" {
+		runSynth(*seed, *designs, *parts, *minKill, *artifacts, *noshrink)
+		return
+	}
 
 	var profile *faults.Profile
 	if *chaos != "" {
@@ -115,5 +132,49 @@ func main() {
 		if sum.Divergences > 0 {
 			os.Exit(1)
 		}
+	}
+}
+
+// runSynth executes the toolchain self-check campaign. Exit codes match
+// the other modes: 2 for infrastructure failure, 1 when the oracle is
+// not airtight (a clean-flow divergence, a surviving mutant, or a kill
+// rate below -minkill).
+func runSynth(seed int64, designs, parts int, minKill float64, artifactDir string, noshrink bool) {
+	sum, err := synthcheck.Run(synthcheck.Config{
+		Seed:     seed,
+		Designs:  designs,
+		Parts:    parts,
+		NoShrink: noshrink,
+		Out:      os.Stdout,
+		Errw:     os.Stderr,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "zcheck: synth: %v\n", err)
+		os.Exit(2)
+	}
+	if artifactDir != "" {
+		if err := os.MkdirAll(artifactDir, 0o755); err != nil {
+			fmt.Fprintf(os.Stderr, "zcheck: %v\n", err)
+			os.Exit(2)
+		}
+		for _, rep := range sum.Repros {
+			name := fmt.Sprintf("synthcheck-seed%d-d%d-%s.zrtl", seed, rep.Design, rep.Kind)
+			path := filepath.Join(artifactDir, name)
+			if err := os.WriteFile(path, []byte(rep.HDL), 0o644); err != nil {
+				fmt.Fprintf(os.Stderr, "zcheck: %v\n", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "zcheck: repro %s (modules=%d parts=%s)\n",
+				path, rep.Modules, strings.Join(rep.Parts, ","))
+		}
+	}
+	fmt.Fprintf(os.Stderr, "zcheck: synth campaign in %v (%d mutants)\n",
+		sum.Elapsed.Round(1e6), sum.Mutants)
+	if sum.KillRate() < minKill {
+		fmt.Fprintf(os.Stderr, "zcheck: kill rate %.3f below -minkill %.3f\n", sum.KillRate(), minKill)
+		os.Exit(1)
+	}
+	if !sum.Ok() {
+		os.Exit(1)
 	}
 }

@@ -2,17 +2,21 @@ package check
 
 import "zoomie/internal/gen"
 
-// Shrink greedily minimizes a diverging script: delta-debugging style
-// chunk removal, halving the chunk size until single ops, re-running the
-// candidate through diverges each time. The predicate's run budget caps
-// total re-executions (chaos re-runs draw fresh injector seeds, so a
-// candidate may stop diverging — the shrinker simply keeps the last
-// script known to diverge). Always returns a script for which diverges
-// reported true, ops itself in the worst case.
-func Shrink(ops []gen.Op, diverges func([]gen.Op) bool, budget int) []gen.Op {
-	best := ops
+// ShrinkSlice greedily minimizes a diverging sequence of any element
+// type: delta-debugging style chunk removal, halving the chunk size until
+// single elements, re-running the candidate through diverges each time.
+// The predicate's run budget caps total re-executions (a predicate that
+// recompiles, or draws fresh injector seeds, may stop diverging — the
+// shrinker simply keeps the last sequence known to diverge). Always
+// returns a sequence for which diverges reported true, items itself in
+// the worst case; it never proposes an empty candidate.
+//
+// Scripts shrink through it op by op; the toolchain self-checker shrinks
+// whole designs through it child instance by child instance.
+func ShrinkSlice[T any](items []T, diverges func([]T) bool, budget int) []T {
+	best := items
 	runs := 0
-	try := func(cand []gen.Op) bool {
+	try := func(cand []T) bool {
 		if runs >= budget {
 			return false
 		}
@@ -24,7 +28,7 @@ func Shrink(ops []gen.Op, diverges func([]gen.Op) bool, budget int) []gen.Op {
 		for removed && runs < budget {
 			removed = false
 			for lo := 0; lo+chunk <= len(best); lo += chunk {
-				cand := make([]gen.Op, 0, len(best)-chunk)
+				cand := make([]T, 0, len(best)-chunk)
 				cand = append(cand, best[:lo]...)
 				cand = append(cand, best[lo+chunk:]...)
 				if len(cand) > 0 && try(cand) {
@@ -36,4 +40,9 @@ func Shrink(ops []gen.Op, diverges func([]gen.Op) bool, budget int) []gen.Op {
 		}
 	}
 	return best
+}
+
+// Shrink minimizes a diverging script. See ShrinkSlice.
+func Shrink(ops []gen.Op, diverges func([]gen.Op) bool, budget int) []gen.Op {
+	return ShrinkSlice(ops, diverges, budget)
 }

@@ -1,0 +1,253 @@
+package synthcheck
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+
+	"zoomie/internal/farm"
+	"zoomie/internal/gen"
+	"zoomie/internal/place"
+	"zoomie/internal/rtl"
+	"zoomie/internal/toolchain"
+	"zoomie/internal/vti"
+)
+
+func bgCtx() context.Context { return context.Background() }
+
+// Flow names used in mutant plans and reports.
+const (
+	FlowMono = "mono" // monolithic vendor flow
+	FlowIncr = "incr" // vendor-incremental flow
+	FlowVTI  = "vti"  // partition-based VTI flow
+	FlowFarm = "farm" // farm-served warm-cache flow
+)
+
+// flowCount is how many compile flows the oracle exercises per design.
+const flowCount = 4
+
+const (
+	editSalt = 0x65646974 // "edit": vendor-incremental edited-design seeds
+	farmSalt = 0x6661726d // "farm": farm edit-trace seeds
+)
+
+// caseEnv is everything the oracle derives from one design once and then
+// reuses across every mutant: the clean monolithic compile (the reference
+// fingerprint), the stimulus trace, the simulator reference records, and
+// — built lazily, since only farm-flow mutants need them — the farm
+// edit's cold-compile references. Shrinking builds a fresh caseEnv per
+// candidate subset, so everything here derives from hd alone.
+type caseEnv struct {
+	cfg  Config
+	hd   *gen.HierDesign
+	opts toolchain.Options
+
+	mono  *toolchain.Result
+	fp    fingerprint
+	trace []traceOp
+	ref   []string
+
+	farmDone bool
+	farmErr  error
+	editPath string
+	editHd   *gen.HierDesign
+	editOpts toolchain.Options
+	coldFP   fingerprint
+	editOps  []traceOp
+	editRef  []string
+}
+
+// baseOpts declares every child instance as its own iterated partition —
+// the multi-partition shape VTI compiles and faults aim at.
+func baseOpts(hd *gen.HierDesign) toolchain.Options {
+	var specs []place.PartitionSpec
+	for _, p := range hd.Parts {
+		specs = append(specs, place.PartitionSpec{Name: "p_" + p, Paths: []string{p}})
+	}
+	return toolchain.Options{Partitions: specs, Clocks: hd.Clocks}
+}
+
+func newCaseEnv(cfg Config, hd *gen.HierDesign) (*caseEnv, error) {
+	env := &caseEnv{cfg: cfg, hd: hd, opts: baseOpts(hd)}
+	mono, err := toolchain.Compile(hd.RTL, env.opts)
+	if err != nil {
+		return nil, fmt.Errorf("synthcheck: clean monolithic compile: %w", err)
+	}
+	env.mono = mono
+	env.fp = fingerprintOf(mono)
+	tr := rand.New(rand.NewSource(cfg.Seed ^ hd.BaseSeed))
+	env.trace = buildTrace(tr, hd.Design, cfg.Ops)
+	env.ref, err = refRun(hd.RTL, hd.Clocks, env.trace)
+	if err != nil {
+		return nil, err
+	}
+	return env, nil
+}
+
+// farmInit builds the farm flow's clean references: the resolved debug
+// partition, the canonically edited design, its cold from-scratch compile
+// fingerprint, and the reference behavior over the edited design's state
+// (including the probe register the edit adds).
+func (env *caseEnv) farmInit() error {
+	if env.farmDone {
+		return env.farmErr
+	}
+	env.farmDone = true
+	fail := func(err error) error {
+		env.farmErr = err
+		return err
+	}
+	path := farm.ResolvePartition(farm.Spec{}, env.hd.RTL)
+	if path == "" {
+		return fail(fmt.Errorf("synthcheck: design has no resolvable debug partition"))
+	}
+	env.editPath = path
+
+	editHd := env.hd.Rebuild()
+	if err := farm.ApplyEdit(editHd.RTL, path, 1); err != nil {
+		return fail(fmt.Errorf("synthcheck: farm edit: %w", err))
+	}
+	editHd.Regs = append(editHd.Regs, gen.Port{Name: path + ".farm_probe0", Width: 8})
+	env.editHd = editHd
+
+	// The exact option shape farm compiles run under: one over-provisioned
+	// "mut" partition, image elaboration off (built separately on demand).
+	env.editOpts = toolchain.Options{
+		SkipImage:  true,
+		Partitions: []place.PartitionSpec{{Name: farm.PartitionName, Paths: []string{path}}},
+		Clocks:     env.hd.Clocks,
+	}.WithDefaults()
+
+	cold, err := toolchain.Compile(editHd.RTL, env.editOpts)
+	if err != nil {
+		return fail(fmt.Errorf("synthcheck: cold compile of farm edit: %w", err))
+	}
+	env.coldFP = fingerprintOf(cold)
+
+	tr := rand.New(rand.NewSource(env.cfg.Seed ^ env.hd.BaseSeed ^ farmSalt))
+	env.editOps = buildTrace(tr, editHd.Design, env.cfg.Ops)
+	env.editRef, err = refRun(editHd.RTL, editHd.Clocks, env.editOps)
+	if err != nil {
+		return fail(err)
+	}
+	return nil
+}
+
+// farmSpec is the spec farm submissions use; Build rebuilds the design
+// from its seed so the farm's content addressing — not pointer identity —
+// does the sharing, exactly as across daemon restarts.
+func (env *caseEnv) farmSpec(opts toolchain.Options) farm.Spec {
+	hd := env.hd
+	return farm.Spec{
+		Design:  fmt.Sprintf("hier-%x", uint64(hd.BaseSeed)),
+		Build:   func() (*rtl.Design, error) { return hd.Rebuild().RTL, nil },
+		Options: opts,
+	}
+}
+
+// cleanCheck runs the full differential oracle over an un-faulted design:
+// flow fingerprint identity, behavioral lock-step for every flow that
+// yields an image, the edited vendor-incremental compile against a cold
+// compile of the same edit, and the farm's warm recompile against its
+// cold reference. Every returned string is one divergence — a real
+// toolchain bug. Infrastructure failures (a clean compile erroring)
+// return an error instead.
+func cleanCheck(env *caseEnv) ([]string, error) {
+	var divs []string
+	div := func(format string, args ...any) {
+		divs = append(divs, fmt.Sprintf(format, args...))
+	}
+
+	incr, err := toolchain.CompileIncremental(env.mono, env.hd.RTL, env.opts)
+	if err != nil {
+		return nil, fmt.Errorf("synthcheck: clean vendor-incremental compile: %w", err)
+	}
+	if d := env.fp.diff(fingerprintOf(incr)); d != "" {
+		div("flow=%s fingerprint:%s vs %s", FlowIncr, d, FlowMono)
+	}
+	vres, err := vti.Compile(env.hd.RTL, env.opts)
+	if err != nil {
+		return nil, fmt.Errorf("synthcheck: clean vti compile: %w", err)
+	}
+	if d := env.fp.diff(fingerprintOf(vres.Result)); d != "" {
+		div("flow=%s fingerprint:%s vs %s", FlowVTI, d, FlowMono)
+	}
+
+	for _, fl := range []struct {
+		name string
+		res  *toolchain.Result
+	}{{FlowMono, env.mono}, {FlowIncr, incr}, {FlowVTI, vres.Result}} {
+		if fl.res.Image == nil {
+			continue
+		}
+		b := boardRun(fl.res.Image, env.trace)
+		if i := firstDiff(b, env.ref); i >= 0 {
+			div("flow=%s behavior %s", fl.name, describeDiff(i, b, env.ref))
+		}
+	}
+
+	// Edited vendor-incremental: the design-edit generator's coverage. An
+	// incremental compile of an edited design must fingerprint-match a
+	// cold monolithic compile of the identical edit, and behave like the
+	// reference simulation of the edited RTL.
+	eseed := env.cfg.Seed ^ env.hd.BaseSeed ^ editSalt
+	editPart := env.hd.Parts[len(env.hd.Parts)-1]
+	e1 := env.hd.Rebuild()
+	if err := e1.RandomEdit(rand.New(rand.NewSource(eseed)), editPart); err != nil {
+		return nil, fmt.Errorf("synthcheck: %w", err)
+	}
+	incrE, err := toolchain.CompileIncremental(env.mono, e1.RTL, env.opts)
+	if err != nil {
+		return nil, fmt.Errorf("synthcheck: edited incremental compile: %w", err)
+	}
+	e2 := env.hd.Rebuild()
+	if err := e2.RandomEdit(rand.New(rand.NewSource(eseed)), editPart); err != nil {
+		return nil, fmt.Errorf("synthcheck: %w", err)
+	}
+	coldE, err := toolchain.Compile(e2.RTL, env.opts)
+	if err != nil {
+		return nil, fmt.Errorf("synthcheck: cold compile of edited design: %w", err)
+	}
+	if d := fingerprintOf(coldE).diff(fingerprintOf(incrE)); d != "" {
+		div("flow=%s(edited) fingerprint:%s vs cold", FlowIncr, d)
+	}
+	etr := rand.New(rand.NewSource(eseed + 1))
+	eops := buildTrace(etr, e1.Design, env.cfg.Ops)
+	eref, err := refRun(e1.RTL, e1.Clocks, eops)
+	if err != nil {
+		return nil, err
+	}
+	if incrE.Image != nil {
+		b := boardRun(incrE.Image, eops)
+		if i := firstDiff(b, eref); i >= 0 {
+			div("flow=%s(edited) behavior %s", FlowIncr, describeDiff(i, b, eref))
+		}
+	}
+
+	// Farm: warm cache-served recompile vs cold compile of the same edit.
+	if err := env.farmInit(); err != nil {
+		return nil, err
+	}
+	f := farm.New(farm.Config{})
+	wj, _, err := f.Recompile(env.farmSpec(toolchain.Options{Clocks: env.hd.Clocks}), 1)
+	if err != nil {
+		return nil, fmt.Errorf("synthcheck: clean farm submit: %w", err)
+	}
+	if err := wj.Wait(bgCtx()); err != nil {
+		return nil, fmt.Errorf("synthcheck: clean farm recompile: %w", err)
+	}
+	warm := wj.Result()
+	if d := env.coldFP.diff(fingerprintOf(warm.Result)); d != "" {
+		div("flow=%s fingerprint:%s vs cold", FlowFarm, d)
+	}
+	img, err := toolchain.BuildImage(warm.Design, warm.Placement, env.editOpts)
+	if err != nil {
+		div("flow=%s image: %v", FlowFarm, err)
+	} else {
+		b := boardRun(img, env.editOps)
+		if i := firstDiff(b, env.editRef); i >= 0 {
+			div("flow=%s behavior %s", FlowFarm, describeDiff(i, b, env.editRef))
+		}
+	}
+	return divs, nil
+}

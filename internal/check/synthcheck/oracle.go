@@ -1,0 +1,340 @@
+// Package synthcheck is the toolchain's adversarial correctness harness:
+// a differential equivalence oracle over the synth/place/route pipeline
+// plus a seeded mutation campaign that plants semantic faults inside the
+// toolchain passes and asserts the oracle kills every one.
+//
+// The oracle is layered, because the three ways a toolchain bug can
+// escape are observable at different depths:
+//
+//   - Error oracle: a faulted compile that fails its own sanity checks
+//     (a register missing from the state map aborts image assembly) is
+//     caught at compile time.
+//   - Fingerprint oracle: every flow — monolithic, vendor-incremental,
+//     VTI partitioned, farm-served warm-cache — must produce the same
+//     content fingerprint for the same design: bitstream digest, netlist
+//     cell count and resource usage, routed edge count, wirelength and
+//     SLR crossings. A wrong LUT mask or a dropped route segment that
+//     produces a perfectly loadable bitstream still moves at least one
+//     fingerprint field.
+//   - Behavioral oracle: the resulting bitstream is loaded onto a
+//     modeled board and driven lock-step against the compiled simulator
+//     reference over a seeded stimulus trace, all board-side state
+//     access through configuration frames. A state map whose widths
+//     disagree with the elaborated design truncates readback and
+//     writeback, which no fingerprint of the faulted artifact itself can
+//     reveal (the artifact is self-consistent — it is wrong about the
+//     hardware).
+//
+// A consistently renamed map (two registers' addresses swapped in both
+// the bitstream and the logic-location metadata) is behaviorally
+// invisible by construction — the board indexes frames with the same map
+// the debugger reads — which is exactly why the fingerprint layer
+// compares against independently compiled references rather than only
+// checking the faulted artifact against itself.
+package synthcheck
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"zoomie/internal/fpga"
+	"zoomie/internal/gen"
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+	"zoomie/internal/toolchain"
+)
+
+// fingerprint is the content identity of one compile, the cross-flow
+// comparison unit. Route statistics are included deliberately: routing
+// does not contribute to the bitstream digest (the digest covers
+// placement artifacts), so a dropped route segment is only visible here.
+type fingerprint struct {
+	Digest string
+	Cells  int
+	Usage  string
+	Edges  int
+	Wire   int64
+	Hops   int
+}
+
+func fingerprintOf(res *toolchain.Result) fingerprint {
+	return fingerprint{
+		Digest: res.BitstreamDigest(),
+		Cells:  res.Netlist.TotalCellCount,
+		Usage:  fmt.Sprintf("%v", res.Netlist.TotalUsage),
+		Edges:  len(res.Routing.Edges),
+		Wire:   res.Routing.TotalWirelength,
+		Hops:   res.Routing.SLRCrossings,
+	}
+}
+
+// diff names the first differing field, or "" when equal.
+func (a fingerprint) diff(b fingerprint) string {
+	switch {
+	case a.Usage != b.Usage:
+		return "usage"
+	case a.Cells != b.Cells:
+		return "cells"
+	case a.Digest != b.Digest:
+		return "digest"
+	case a.Edges != b.Edges:
+		return "edges"
+	case a.Wire != b.Wire:
+		return "wirelength"
+	case a.Hops != b.Hops:
+		return "slr-crossings"
+	}
+	return ""
+}
+
+// A traceOp is one stimulus step. Register and memory access uses flat
+// names; the board runner resolves them through the image's state map and
+// configuration frames, the reference runner through the simulator
+// directly.
+type traceOp struct {
+	Kind string // "input", "adv", "peek", "poke", "peekmem", "pokemem"
+	Name string
+	Addr int
+	Val  uint64
+	N    int
+}
+
+func (o traceOp) String() string {
+	switch o.Kind {
+	case "adv":
+		return fmt.Sprintf("adv %d", o.N)
+	case "peekmem", "pokemem":
+		return fmt.Sprintf("%s %s[%d] %#x", o.Kind, o.Name, o.Addr, o.Val)
+	default:
+		return fmt.Sprintf("%s %s %#x", o.Kind, o.Name, o.Val)
+	}
+}
+
+func mask(w int) uint64 {
+	if w >= 64 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << uint(w)) - 1
+}
+
+// buildTrace generates the stimulus for one design: a seeded random
+// prefix (input pokes, clock advances, register reads and writes)
+// followed by the canonical sweep — write all-ones into every register
+// and the edge words of every memory, then read everything back. The
+// sweep is what guarantees a width-truncating map fault diverges: an
+// all-ones pattern survives any correct round-trip and no truncated one.
+func buildTrace(r *rand.Rand, d *gen.Design, nops int) []traceOp {
+	var ops []traceOp
+	for i := 0; i < nops; i++ {
+		switch r.Intn(4) {
+		case 0:
+			in := d.Inputs[r.Intn(len(d.Inputs))]
+			ops = append(ops, traceOp{Kind: "input", Name: in.Name, Val: r.Uint64() & mask(in.Width)})
+		case 1:
+			ops = append(ops, traceOp{Kind: "adv", N: 1 + r.Intn(3)})
+		case 2:
+			rp := d.Regs[r.Intn(len(d.Regs))]
+			ops = append(ops, traceOp{Kind: "peek", Name: rp.Name})
+		default:
+			rp := d.Regs[r.Intn(len(d.Regs))]
+			ops = append(ops, traceOp{Kind: "poke", Name: rp.Name, Val: r.Uint64() & mask(rp.Width)})
+		}
+	}
+	for _, rp := range d.Regs {
+		ops = append(ops, traceOp{Kind: "poke", Name: rp.Name, Val: mask(rp.Width)})
+	}
+	for _, m := range d.Mems {
+		ops = append(ops, traceOp{Kind: "pokemem", Name: m.Name, Addr: 0, Val: mask(m.Width)})
+		ops = append(ops, traceOp{Kind: "pokemem", Name: m.Name, Addr: m.Depth - 1, Val: mask(m.Width)})
+	}
+	for _, rp := range d.Regs {
+		ops = append(ops, traceOp{Kind: "peek", Name: rp.Name})
+	}
+	for _, m := range d.Mems {
+		ops = append(ops, traceOp{Kind: "peekmem", Name: m.Name, Addr: 0})
+		ops = append(ops, traceOp{Kind: "peekmem", Name: m.Name, Addr: m.Depth - 1})
+	}
+	return ops
+}
+
+func errClass(err error) string {
+	if err == nil {
+		return "ok"
+	}
+	return "E<" + err.Error() + ">"
+}
+
+// getBits and putBits mirror the board's frame bit packing; the oracle
+// is the host-software side of the logic-location contract and must
+// implement its own view of it.
+func getBits(frame []uint32, off, width int) uint64 {
+	var v uint64
+	for i := 0; i < width; i++ {
+		bit := off + i
+		if frame[bit/32]>>uint(bit%32)&1 != 0 {
+			v |= 1 << uint(i)
+		}
+	}
+	return v
+}
+
+func putBits(frame []uint32, off, width int, v uint64) {
+	for i := 0; i < width; i++ {
+		bit := off + i
+		if v>>uint(i)&1 != 0 {
+			frame[bit/32] |= 1 << uint(bit%32)
+		} else {
+			frame[bit/32] &^= 1 << uint(bit%32)
+		}
+	}
+}
+
+// boardRun executes the trace against a board configured with the image,
+// every register and memory access through frame reads and writes — the
+// bitstream-level view a real debugger has.
+func boardRun(img *fpga.Image, ops []traceOp) []string {
+	b := fpga.NewBoard(img.Device)
+	if err := b.Configure(img); err != nil {
+		return []string{"configure " + errClass(err)}
+	}
+	b.StartClock()
+	recs := make([]string, 0, len(ops))
+	rec := func(i int, op traceOp, format string, args ...any) {
+		recs = append(recs, fmt.Sprintf("%03d %s -> ", i, op)+fmt.Sprintf(format, args...))
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case "input":
+			rec(i, op, "%s", errClass(b.Sim.Poke(op.Name, op.Val)))
+		case "adv":
+			b.Advance(op.N)
+			rec(i, op, "ok")
+		case "peek":
+			loc, ok := img.Map.Reg(op.Name)
+			if !ok {
+				rec(i, op, "E<unmapped reg>")
+				continue
+			}
+			data, err := b.ReadFrame(loc.Addr.SLR, loc.Addr.Frame)
+			if err != nil {
+				rec(i, op, "%s", errClass(err))
+				continue
+			}
+			rec(i, op, "%#x ok", getBits(data, loc.Addr.Bit, loc.Width))
+		case "poke":
+			loc, ok := img.Map.Reg(op.Name)
+			if !ok {
+				rec(i, op, "E<unmapped reg>")
+				continue
+			}
+			data, err := b.ReadFrame(loc.Addr.SLR, loc.Addr.Frame)
+			if err != nil {
+				rec(i, op, "%s", errClass(err))
+				continue
+			}
+			putBits(data, loc.Addr.Bit, loc.Width, op.Val)
+			rec(i, op, "%s", errClass(b.WriteFrame(loc.Addr.SLR, loc.Addr.Frame, data)))
+		case "peekmem":
+			loc, ok := img.Map.Mem(op.Name)
+			if !ok {
+				rec(i, op, "E<unmapped mem>")
+				continue
+			}
+			addr := loc.WordAddr(op.Addr)
+			data, err := b.ReadFrame(addr.SLR, addr.Frame)
+			if err != nil {
+				rec(i, op, "%s", errClass(err))
+				continue
+			}
+			rec(i, op, "%#x ok", getBits(data, addr.Bit, loc.Width))
+		case "pokemem":
+			loc, ok := img.Map.Mem(op.Name)
+			if !ok {
+				rec(i, op, "E<unmapped mem>")
+				continue
+			}
+			addr := loc.WordAddr(op.Addr)
+			data, err := b.ReadFrame(addr.SLR, addr.Frame)
+			if err != nil {
+				rec(i, op, "%s", errClass(err))
+				continue
+			}
+			putBits(data, addr.Bit, loc.Width, op.Val)
+			rec(i, op, "%s", errClass(b.WriteFrame(addr.SLR, addr.Frame, data)))
+		}
+	}
+	return recs
+}
+
+// refRun executes the trace against a freshly elaborated compiled
+// simulator — the compiler-independent reference behavior.
+func refRun(d *rtl.Design, clocks []sim.ClockSpec, ops []traceOp) ([]string, error) {
+	flat, err := rtl.Elaborate(d)
+	if err != nil {
+		return nil, fmt.Errorf("synthcheck: reference elaborate: %w", err)
+	}
+	s, err := sim.New(flat, clocks)
+	if err != nil {
+		return nil, fmt.Errorf("synthcheck: reference sim: %w", err)
+	}
+	recs := make([]string, 0, len(ops))
+	rec := func(i int, op traceOp, format string, args ...any) {
+		recs = append(recs, fmt.Sprintf("%03d %s -> ", i, op)+fmt.Sprintf(format, args...))
+	}
+	for i, op := range ops {
+		switch op.Kind {
+		case "input", "poke":
+			rec(i, op, "%s", errClass(s.Poke(op.Name, op.Val)))
+		case "adv":
+			s.Run(op.N)
+			rec(i, op, "ok")
+		case "peek":
+			v, err := s.Peek(op.Name)
+			if err != nil {
+				rec(i, op, "%s", errClass(err))
+				continue
+			}
+			rec(i, op, "%#x ok", v)
+		case "peekmem":
+			v, err := s.PeekMem(op.Name, op.Addr)
+			if err != nil {
+				rec(i, op, "%s", errClass(err))
+				continue
+			}
+			rec(i, op, "%#x ok", v)
+		case "pokemem":
+			rec(i, op, "%s", errClass(s.PokeMem(op.Name, op.Addr, op.Val)))
+		}
+	}
+	return recs, nil
+}
+
+// firstDiff returns the index of the first differing record, or -1. A
+// length difference diverges at the shorter length.
+func firstDiff(a, b []string) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	if len(a) != len(b) {
+		return n
+	}
+	return -1
+}
+
+// describeDiff renders one divergence for reports.
+func describeDiff(i int, board, ref []string) string {
+	at := func(rs []string) string {
+		if i < len(rs) {
+			return rs[i]
+		}
+		return "<end>"
+	}
+	return fmt.Sprintf("record %d: board %q ref %q", i, strings.TrimSpace(at(board)), strings.TrimSpace(at(ref)))
+}

@@ -1,0 +1,216 @@
+package synthcheck
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"zoomie/internal/check"
+	"zoomie/internal/gen"
+	"zoomie/internal/hdl"
+)
+
+// Config tunes a campaign. Zero values get sensible defaults; equal
+// configs produce byte-identical Out streams (wall-clock goes to Errw).
+type Config struct {
+	Seed    int64
+	Designs int // generated designs (default 2)
+	Parts   int // child partitions per design (default 4)
+	Ops     int // random stimulus ops before the canonical sweep (default 12)
+
+	// ShrinkBudget caps predicate re-runs while minimizing a diverging
+	// design (default 16); NoShrink disables minimization entirely.
+	ShrinkBudget int
+	NoShrink     bool
+
+	Out  io.Writer // deterministic report (default: discard)
+	Errw io.Writer // timing/diagnostics, non-deterministic (default: discard)
+}
+
+func (c *Config) normalize() {
+	if c.Designs <= 0 {
+		c.Designs = 2
+	}
+	if c.Parts <= 0 {
+		c.Parts = 4
+	}
+	if c.Ops <= 0 {
+		c.Ops = 12
+	}
+	if c.ShrinkBudget <= 0 {
+		c.ShrinkBudget = 16
+	}
+	if c.Out == nil {
+		c.Out = io.Discard
+	}
+	if c.Errw == nil {
+		c.Errw = io.Discard
+	}
+}
+
+// KindStat aggregates one mutant kind across the campaign.
+type KindStat struct {
+	Kind    string
+	Flow    string
+	Applied int
+	Killed  int
+}
+
+// Repro is a minimized design that still triggers a fault's divergence.
+type Repro struct {
+	Design  int
+	Kind    string
+	Parts   []string // surviving child instances
+	Modules int      // module count of the shrunk design (top included)
+	HDL     string   // zrtl text of the shrunk design
+}
+
+// Summary is a finished campaign.
+type Summary struct {
+	Designs     int
+	Flows       int
+	Mutants     int // applied, scoreable mutants
+	Killed      int
+	Skipped     int // kinds whose precondition a design could not meet
+	Divergences int // clean-pass divergences (real toolchain bugs)
+	Kinds       []KindStat
+	Repros      []Repro
+	Elapsed     time.Duration
+}
+
+// KillRate returns killed/applied; a campaign with nothing scoreable
+// counts as fully killed.
+func (s *Summary) KillRate() float64 {
+	if s.Mutants == 0 {
+		return 1.0
+	}
+	return float64(s.Killed) / float64(s.Mutants)
+}
+
+// Ok reports whether the campaign proved what it set out to prove: every
+// applied mutant killed and no clean-flow divergence.
+func (s *Summary) Ok() bool {
+	return s.Killed == s.Mutants && s.Divergences == 0
+}
+
+func shortHex(s string) string {
+	if len(s) > 12 {
+		return s[:12]
+	}
+	return s
+}
+
+// Run executes the campaign: per design, the clean differential pass
+// over all four flows, then every planned mutant, then minimization of
+// the first killed mutant's design. Returned errors are infrastructure
+// failures; toolchain misbehavior lands in the Summary instead.
+func Run(cfg Config) (*Summary, error) {
+	cfg.normalize()
+	start := time.Now()
+	sum := &Summary{Designs: cfg.Designs, Flows: flowCount}
+	stats := make(map[string]*KindStat)
+	stat := func(m *mutant) *KindStat {
+		ks, ok := stats[m.Kind]
+		if !ok {
+			ks = &KindStat{Kind: m.Kind, Flow: m.Flow}
+			stats[m.Kind] = ks
+		}
+		return ks
+	}
+
+	root := rand.New(rand.NewSource(cfg.Seed))
+	order := make([]string, 0, 16)
+	for di := 0; di < cfg.Designs; di++ {
+		hd := gen.RandomHierDesign(root, cfg.Parts)
+		env, err := newCaseEnv(cfg, hd)
+		if err != nil {
+			return nil, err
+		}
+		divs, err := cleanCheck(env)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Fprintf(cfg.Out, "design %d parts=%d cells=%d fp=%s clean: flows=%d divergences=%d\n",
+			di, len(hd.Parts), env.fp.Cells, shortHex(env.fp.Digest), flowCount, len(divs))
+		for _, dv := range divs {
+			sum.Divergences++
+			fmt.Fprintf(cfg.Out, "  DIVERGENCE %s\n", dv)
+		}
+
+		var shrinkTarget *mutant
+		for _, m := range catalog(env) {
+			if _, seen := stats[m.Kind]; !seen {
+				order = append(order, m.Kind)
+			}
+			ks := stat(m)
+			applied, killed, via, err := runMutant(env, m)
+			if err != nil {
+				return nil, err
+			}
+			if !applied {
+				sum.Skipped++
+				fmt.Fprintf(cfg.Out, "  skip kind=%s flow=%s part=%s (inapplicable)\n", m.Kind, m.Flow, m.Part)
+				continue
+			}
+			sum.Mutants++
+			ks.Applied++
+			if killed {
+				sum.Killed++
+				ks.Killed++
+				fmt.Fprintf(cfg.Out, "  kill kind=%s flow=%s part=%s via=%s\n", m.Kind, m.Flow, m.Part, via)
+				if shrinkTarget == nil && m.Part != "" {
+					shrinkTarget = m
+				}
+			} else {
+				fmt.Fprintf(cfg.Out, "  SURVIVED kind=%s flow=%s part=%s\n", m.Kind, m.Flow, m.Part)
+			}
+		}
+
+		if shrinkTarget != nil && !cfg.NoShrink {
+			rep := shrinkRepro(cfg, env, shrinkTarget, di)
+			sum.Repros = append(sum.Repros, rep)
+			fmt.Fprintf(cfg.Out, "  repro kind=%s modules=%d parts=%s\n",
+				rep.Kind, rep.Modules, strings.Join(rep.Parts, ","))
+		}
+	}
+
+	// Kinds in first-seen order.
+	for _, k := range order {
+		sum.Kinds = append(sum.Kinds, *stats[k])
+	}
+
+	sum.Elapsed = time.Since(start)
+	fmt.Fprintf(cfg.Out, "synthcheck seed=%d designs=%d kinds=%d mutants=%d killed=%d skipped=%d divergences=%d rate=%.3f\n",
+		cfg.Seed, sum.Designs, len(sum.Kinds), sum.Mutants, sum.Killed, sum.Skipped, sum.Divergences, sum.KillRate())
+	fmt.Fprintf(cfg.Errw, "synthcheck: elapsed %s\n", sum.Elapsed.Round(time.Millisecond))
+	return sum, nil
+}
+
+// shrinkRepro minimizes the design that a killed mutant diverges on:
+// child instances are removed greedily (check.ShrinkSlice over the kept
+// index set) while the mutant still applies AND still gets killed. The
+// mutant's hooks resolve victims by name, so subsets lacking the victim
+// partition stop diverging — the shrinker is thereby forced to keep it.
+func shrinkRepro(cfg Config, env *caseEnv, m *mutant, designIdx int) Repro {
+	hd := env.hd
+	diverges := func(keep []int) bool {
+		sub := gen.HierDesignSubset(hd.BaseSeed, hd.NParts, keep)
+		subEnv, err := newCaseEnv(cfg, sub)
+		if err != nil {
+			return false
+		}
+		applied, killed, _, err := runMutant(subEnv, m)
+		return err == nil && applied && killed
+	}
+	best := check.ShrinkSlice(hd.Kept, diverges, cfg.ShrinkBudget)
+	sub := gen.HierDesignSubset(hd.BaseSeed, hd.NParts, best)
+	return Repro{
+		Design:  designIdx,
+		Kind:    m.Kind,
+		Parts:   sub.Parts,
+		Modules: 1 + len(sub.Mods),
+		HDL:     hdl.Print(sub.RTL),
+	}
+}

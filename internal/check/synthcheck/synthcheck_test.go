@@ -1,0 +1,216 @@
+package synthcheck
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"zoomie/internal/gen"
+	"zoomie/internal/hdl"
+	"zoomie/internal/toolchain"
+)
+
+// The clean differential pass over every flow must be divergence-free:
+// monolithic, vendor-incremental (unchanged and edited), VTI and
+// farm-served compiles all fingerprint-match and behave like the
+// reference simulator.
+func TestCleanOracleNoDivergence(t *testing.T) {
+	cfg := Config{Seed: 11, Designs: 1, Parts: 3, Ops: 10}
+	cfg.normalize()
+	hd := gen.RandomHierDesign(rand.New(rand.NewSource(cfg.Seed)), cfg.Parts)
+	env, err := newCaseEnv(cfg, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	divs, err := cleanCheck(env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(divs) != 0 {
+		t.Fatalf("clean flows diverged: %v", divs)
+	}
+}
+
+// The full campaign: every planned mutant kind applies at least once and
+// every applied mutant is killed — kill rate 1.000 — across at least 8
+// kinds and all four flows.
+func TestCampaignKillsEverything(t *testing.T) {
+	var out bytes.Buffer
+	sum, err := Run(Config{Seed: 7, Designs: 2, Parts: 4, Out: &out})
+	if err != nil {
+		t.Fatalf("campaign: %v\n%s", err, out.String())
+	}
+	if sum.Divergences != 0 {
+		t.Errorf("clean divergences: %d\n%s", sum.Divergences, out.String())
+	}
+	if len(sum.Kinds) < 8 {
+		t.Errorf("only %d mutant kinds, want >= 8", len(sum.Kinds))
+	}
+	flows := make(map[string]bool)
+	for _, ks := range sum.Kinds {
+		if ks.Applied == 0 {
+			t.Errorf("kind %s never applied", ks.Kind)
+		}
+		if ks.Killed != ks.Applied {
+			t.Errorf("kind %s: killed %d of %d applied\n%s", ks.Kind, ks.Killed, ks.Applied, out.String())
+		}
+		flows[ks.Flow] = true
+	}
+	for _, f := range []string{FlowMono, FlowIncr, FlowVTI, FlowFarm} {
+		if !flows[f] {
+			t.Errorf("no mutant exercised flow %s", f)
+		}
+	}
+	if sum.KillRate() != 1.0 {
+		t.Errorf("kill rate %.3f, want 1.000\n%s", sum.KillRate(), out.String())
+	}
+	if len(sum.Repros) == 0 {
+		t.Error("no repro produced")
+	}
+	for _, rep := range sum.Repros {
+		if rep.Modules > 3 {
+			t.Errorf("repro for %s has %d modules, want <= 3", rep.Kind, rep.Modules)
+		}
+	}
+}
+
+// Shrinking a multi-partition design must keep the partition the fault
+// was planted in: subsets without the victim cannot diverge (the hooks
+// no-op), so the minimized design must still contain it — and the
+// minimized repro must parse back through the HDL front end.
+func TestShrinkPreservesVictimPartition(t *testing.T) {
+	cfg := Config{Seed: 21, Designs: 1, Parts: 5, Ops: 8}
+	cfg.normalize()
+	hd := gen.RandomHierDesign(rand.New(rand.NewSource(cfg.Seed)), cfg.Parts)
+	env, err := newCaseEnv(cfg, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *mutant
+	for _, m := range catalog(env) {
+		if m.Kind == "synth-ffwidth" {
+			target = m
+		}
+	}
+	if target == nil {
+		t.Fatal("no synth-ffwidth mutant planned")
+	}
+	applied, killed, _, err := runMutant(env, target)
+	if err != nil || !applied || !killed {
+		t.Fatalf("full-design mutant: applied=%v killed=%v err=%v", applied, killed, err)
+	}
+	rep := shrinkRepro(cfg, env, target, 0)
+	found := false
+	for _, p := range rep.Parts {
+		if p == target.Part {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("shrunk design lost victim partition %s: kept %v", target.Part, rep.Parts)
+	}
+	if rep.Modules > 3 {
+		t.Errorf("repro has %d modules, want <= 3 (parts %v)", rep.Modules, rep.Parts)
+	}
+	if _, err := hdl.Parse(rep.HDL); err != nil {
+		t.Errorf("repro HDL does not parse: %v", err)
+	}
+}
+
+// A mutant whose victim partition is removed from the design must report
+// itself inapplicable rather than silently surviving.
+func TestMutantInapplicableWithoutVictim(t *testing.T) {
+	cfg := Config{Seed: 21, Designs: 1, Parts: 3}
+	cfg.normalize()
+	hd := gen.RandomHierDesign(rand.New(rand.NewSource(cfg.Seed)), cfg.Parts)
+	env, err := newCaseEnv(cfg, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var target *mutant
+	for _, m := range catalog(env) {
+		if m.Kind == "place-statemapdrop" {
+			target = m
+		}
+	}
+	if target == nil {
+		t.Fatal("no place-statemapdrop mutant planned")
+	}
+	// Rebuild the design without the victim partition.
+	var keep []int
+	for i, p := range hd.Parts {
+		if p != target.Part {
+			keep = append(keep, hd.Kept[i])
+		}
+	}
+	sub := gen.HierDesignSubset(hd.BaseSeed, hd.NParts, keep)
+	subEnv, err := newCaseEnv(cfg, sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied, killed, _, err := runMutant(subEnv, target)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if applied || killed {
+		t.Fatalf("victimless subset: applied=%v killed=%v, want false/false", applied, killed)
+	}
+}
+
+// The behavioral layer alone — boards driven lock-step against the
+// reference over configuration frames — catches a state map whose widths
+// disagree with the hardware, even when the artifact is internally
+// consistent enough to build an image.
+func TestBehavioralOracleCatchesWidthTruncation(t *testing.T) {
+	cfg := Config{Seed: 33, Designs: 1, Parts: 2}
+	cfg.normalize()
+	hd := gen.RandomHierDesign(rand.New(rand.NewSource(cfg.Seed)), cfg.Parts)
+	env, err := newCaseEnv(cfg, hd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sanity: the clean image tracks the reference.
+	if i := firstDiff(boardRun(env.mono.Image, env.trace), env.ref); i >= 0 {
+		t.Fatalf("clean image diverges at %d", i)
+	}
+	// Corrupt one register's mapped width (keeping its name and address)
+	// and rebuild the image: only behavior can see this.
+	pl := env.mono.Placement
+	idx := -1
+	for i := range pl.StateMap.Regs {
+		if pl.StateMap.Regs[i].Width >= 2 {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no multi-bit register")
+	}
+	pl.StateMap.Regs[idx].Width--
+	defer func() { pl.StateMap.Regs[idx].Width++ }()
+	img, err := toolchain.BuildImage(env.hd.RTL, pl, env.opts.WithDefaults())
+	if err != nil {
+		t.Fatalf("corrupted image still builds in this scenario, got error: %v", err)
+	}
+	if i := firstDiff(boardRun(img, env.trace), env.ref); i < 0 {
+		t.Fatal("width-truncated state map not caught by behavioral lock-step")
+	}
+}
+
+// Equal configs must produce byte-identical reports.
+func TestRunDeterministic(t *testing.T) {
+	var a, b bytes.Buffer
+	if _, err := Run(Config{Seed: 5, Designs: 1, Parts: 3, Out: &a}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(Config{Seed: 5, Designs: 1, Parts: 3, Out: &b}); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("non-deterministic report:\n--- a ---\n%s\n--- b ---\n%s", a.String(), b.String())
+	}
+	if !strings.Contains(a.String(), "rate=") {
+		t.Fatalf("report missing rate line:\n%s", a.String())
+	}
+}

@@ -37,6 +37,11 @@ const PartitionName = "mut"
 type Config struct {
 	// StoreCap bounds the checkpoint store (entries; <= 0 = unbounded).
 	StoreCap int
+	// Store, when non-nil, supplies the shared checkpoint store and
+	// StoreCap is ignored. The toolchain self-checker injects wrapped
+	// stores here to prove the farm's content addressing is itself under
+	// test (a wrapper serving stale netlists must be caught).
+	Store synth.Store
 	// Speculate pre-warms the first debug edit of a freshly compiled
 	// design: after an initial compile finishes, the farm recompiles edit
 	// tag 1 of its partition on its own dime, so the client's first real
@@ -314,7 +319,7 @@ type Stats struct {
 // Farm is the compile service.
 type Farm struct {
 	cfg   Config
-	store *synth.MemStore
+	store synth.Store
 
 	mu     sync.Mutex
 	jobs   map[uint64]*Job
@@ -329,9 +334,13 @@ func New(cfg Config) *Farm {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	store := cfg.Store
+	if store == nil {
+		store = synth.NewMemStore(cfg.StoreCap)
+	}
 	return &Farm{
 		cfg:   cfg,
-		store: synth.NewMemStore(cfg.StoreCap),
+		store: store,
 		jobs:  make(map[uint64]*Job),
 		byKey: make(map[string]*Job),
 	}
@@ -623,6 +632,21 @@ func partitionPath(spec Spec, d *rtl.Design) string {
 		}
 	}
 	return ""
+}
+
+// ApplyEdit applies the canonical tag-th debug edit to a design, exactly
+// as the farm does before a recompile. Exported for the toolchain
+// self-checker, which must reproduce the edit out-of-band to build its
+// cold reference compile and behavioral metadata.
+func ApplyEdit(d *rtl.Design, path string, tag int) error {
+	return editDesign(d, path, tag)
+}
+
+// ResolvePartition returns the debug-partition instance path a spec
+// resolves to for the given built design — the same resolution submit
+// performs.
+func ResolvePartition(spec Spec, d *rtl.Design) string {
+	return partitionPath(spec, d)
 }
 
 // editDesign applies the canonical tag-th debug edit in place: tag extra

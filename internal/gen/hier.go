@@ -1,0 +1,191 @@
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"zoomie/internal/rtl"
+	"zoomie/internal/sim"
+)
+
+// HierDesign is a generated hierarchical design: a top module plus a set
+// of structurally distinct child modules, each instantiated exactly once
+// and chained input-to-output through the top. It is the workload of the
+// toolchain self-checker: every child is a placement partition, so
+// toolchain faults can be aimed at one partition and design shrinking can
+// remove instances one at a time.
+//
+// The construction is seed-stable per child: child i is generated from a
+// rand derived only from (BaseSeed, i), and the top's own draws do not
+// depend on which children are kept. Rebuilding with a subset of the
+// child indices therefore reproduces the surviving children bit for bit —
+// the property design shrinking rests on.
+type HierDesign struct {
+	*Design
+	BaseSeed int64
+	NParts   int           // children the full design was generated with
+	Kept     []int         // child indices present, ascending
+	Parts    []string      // instance names ("u<i>"), parallel to Kept
+	Mods     []*rtl.Module // child modules, parallel to Kept
+}
+
+// Rebuild regenerates an identical copy of the design (fresh module
+// pointers, same content). The farm's Build callback uses it: content
+// addressing, not pointer identity, is the sharing mechanism.
+func (hd *HierDesign) Rebuild() *HierDesign {
+	return buildHier(hd.BaseSeed, hd.NParts, hd.Kept)
+}
+
+// RandomHierDesign generates a hierarchical design with nparts children.
+func RandomHierDesign(r *rand.Rand, nparts int) *HierDesign {
+	if nparts < 1 {
+		nparts = 1
+	}
+	keep := make([]int, nparts)
+	for i := range keep {
+		keep[i] = i
+	}
+	return buildHier(r.Int63(), nparts, keep)
+}
+
+// HierDesignSubset rebuilds the design identified by (baseSeed, nparts)
+// keeping only the listed child indices — the design-shrinking primitive.
+func HierDesignSubset(baseSeed int64, nparts int, keep []int) *HierDesign {
+	return buildHier(baseSeed, nparts, keep)
+}
+
+// childWidth is child i's anchor register width. It is distinct per child
+// by construction: a stale checkpoint served for the wrong module always
+// changes at least one mapped register width, so the equivalence oracle's
+// state-map fingerprint (and the truncating readback it implies) is
+// guaranteed to notice.
+func childWidth(i int) int { return 4 + i%56 }
+
+// hierChild builds child module i from its own derived rand.
+func hierChild(baseSeed int64, i int) (*rtl.Module, []Port, []Mem) {
+	cr := rand.New(rand.NewSource(baseSeed ^ int64(i+1)*0x9E3779B97F4A7C))
+	m := rtl.NewModule(fmt.Sprintf("leaf%d", i))
+	g := &designGen{r: cr, m: m}
+	a := m.Input("a", 8)
+	b := m.Input("b", 8)
+	g.pool = append(g.pool, a, b)
+
+	var regs []Port
+	r0 := m.Reg("r0", childWidth(i), "clk", cr.Uint64())
+	g.pool = append(g.pool, r0)
+	regSigs := []*rtl.Signal{r0}
+	for k := 1; k <= 1+i%3; k++ {
+		rk := m.Reg(fmt.Sprintf("r%d", k), 2+cr.Intn(20), "clk", cr.Uint64())
+		regSigs = append(regSigs, rk)
+		g.pool = append(g.pool, rk)
+	}
+	for _, s := range regSigs {
+		regs = append(regs, Port{Name: s.Name, Width: s.Width})
+	}
+
+	var mems []Mem
+	if i%2 == 1 {
+		mem := m.Mem("m0", 4+i%28, 8+cr.Intn(8))
+		g.mems = append(g.mems, mem)
+		mems = append(mems, Mem{Name: mem.Name, Width: mem.Width, Depth: mem.Depth})
+	}
+
+	// Identity constant: even two children with coincidentally identical
+	// random bodies keep distinct digests and distinct netlists.
+	id := m.Wire("id", 32)
+	m.Connect(id, rtl.C(uint64(i)*0x9E3779B9+1, 32))
+
+	for k := 0; k < 2+i%2; k++ {
+		w := g.width()
+		g.pool = append(g.pool, g.wire(w, g.expr(1+cr.Intn(2), w)))
+	}
+	y := m.Output("y", 8)
+	m.Connect(y, fit(g.expr(2, 8), 8))
+
+	for _, s := range regSigs {
+		m.SetNext(s, g.expr(2, s.Width))
+		if cr.Intn(2) == 0 {
+			m.SetEnable(s, g.expr(1, 1))
+		}
+	}
+	for _, mem := range g.mems {
+		mem.Write("clk", g.expr(1, 1+cr.Intn(4)), g.expr(2, mem.Width), g.expr(1, 1))
+	}
+	return m, regs, mems
+}
+
+func buildHier(baseSeed int64, nparts int, keep []int) *HierDesign {
+	tr := rand.New(rand.NewSource(baseSeed))
+	top := rtl.NewModule("htop")
+	hd := &HierDesign{
+		Design:   &Design{Clocks: []sim.ClockSpec{{Name: "clk", Period: 1}}},
+		BaseSeed: baseSeed,
+		NParts:   nparts,
+		Kept:     append([]int(nil), keep...),
+	}
+	in0 := top.Input("in0", 16)
+	in1 := top.Input("in1", 8)
+	hd.Inputs = []Port{{Name: "in0", Width: 16}, {Name: "in1", Width: 8}}
+
+	// The top's own draws happen before any child is built, so subsets
+	// keep the static partition identical.
+	tr0 := top.Reg("tr0", 12, "clk", tr.Uint64())
+	hd.Regs = append(hd.Regs, Port{Name: "tr0", Width: 12})
+
+	chain := fit(rtl.S(in0), 8)
+	for _, i := range keep {
+		child, regs, mems := hierChild(baseSeed, i)
+		name := fmt.Sprintf("u%d", i)
+		inst := top.Instantiate(name, child)
+		inst.ConnectInput("a", chain)
+		inst.ConnectInput("b", rtl.S(in1))
+		w := top.Wire(fmt.Sprintf("cw%d", i), 8)
+		inst.ConnectOutput("y", w)
+		chain = rtl.S(w)
+		hd.Parts = append(hd.Parts, name)
+		hd.Mods = append(hd.Mods, child)
+		for _, p := range regs {
+			hd.Regs = append(hd.Regs, Port{Name: name + "." + p.Name, Width: p.Width})
+		}
+		for _, m := range mems {
+			hd.Mems = append(hd.Mems, Mem{Name: name + "." + m.Name, Width: m.Width, Depth: m.Depth})
+		}
+	}
+	top.SetNext(tr0, rtl.Xor(fit(chain, 12), fit(rtl.S(in1), 12)))
+	out0 := top.Output("out0", 8)
+	top.Connect(out0, chain)
+	out1 := top.Output("out1", 12)
+	top.Connect(out1, rtl.S(tr0))
+	hd.Outputs = []Port{{Name: "out0", Width: 8}, {Name: "out1", Width: 12}}
+	hd.RTL = rtl.NewDesign("htop", top)
+	return hd
+}
+
+// RandomEdit applies a seeded debug-style edit to the named child: a new
+// probe register mirroring existing child state, the "minor change to
+// expose signals" a debugging engineer iterates with. It is the edit
+// generator the vendor-incremental flow coverage compiles against; the
+// design metadata is updated so stimulus traces exercise the new state.
+func (hd *HierDesign) RandomEdit(r *rand.Rand, part string) error {
+	var m *rtl.Module
+	for i, p := range hd.Parts {
+		if p == part {
+			m = hd.Mods[i]
+		}
+	}
+	if m == nil {
+		return fmt.Errorf("gen: no child instance %q", part)
+	}
+	w := 1 + r.Intn(16)
+	name := fmt.Sprintf("dbg%d", len(m.Registers))
+	probe := m.Reg(name, w, "clk", r.Uint64())
+	g := &designGen{r: r, m: m}
+	for _, s := range m.Signals {
+		if s.Kind == rtl.KindInput || s.Kind == rtl.KindReg {
+			g.pool = append(g.pool, s)
+		}
+	}
+	m.SetNext(probe, g.expr(1, w))
+	hd.Regs = append(hd.Regs, Port{Name: part + "." + name, Width: w})
+	return nil
+}

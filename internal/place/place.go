@@ -84,10 +84,18 @@ func (p *Placement) DebugSLR(partition string) int {
 	return rs[0].SLR
 }
 
+// Hook observes — and may mutate — a finished placement before it is
+// returned. Hooks model legalization bugs for the toolchain self-checker:
+// swapped state-map nets, shifted bit offsets, dropped map entries, cells
+// leaked across partition boundaries. A hook that needs to no-op (its
+// victim absent from this design) simply returns without touching p.
+type Hook func(p *Placement)
+
 // Place places the netlist onto the device. Iterated partitions are
 // placed first, all on one SLR; static logic fills remaining space on all
-// SLRs. Passing no specs places the whole design as static.
-func Place(net *synth.ModuleNetlist, dev *fpga.Device, specs []PartitionSpec) (*Placement, error) {
+// SLRs. Passing no specs places the whole design as static. Trailing
+// hooks, if any, run in order on the finished placement.
+func Place(net *synth.ModuleNetlist, dev *fpga.Device, specs []PartitionSpec, hooks ...Hook) (*Placement, error) {
 	if err := validateSpecs(specs); err != nil {
 		return nil, err
 	}
@@ -175,7 +183,65 @@ func Place(net *synth.ModuleNetlist, dev *fpga.Device, specs []PartitionSpec) (*
 			return nil, err
 		}
 	}
+	for _, h := range hooks {
+		h(p)
+	}
 	return p, nil
+}
+
+// SwapRegAddrs exchanges the frame addresses of two placed registers in
+// the state map, keeping each register's width — the shape of a
+// legalization pass swapping two nets. It refuses (returning false) if
+// either register is unplaced or a swapped register would span its frame.
+func (p *Placement) SwapRegAddrs(a, b string) bool {
+	sm := p.StateMap
+	ia, ib := -1, -1
+	for i := range sm.Regs {
+		switch sm.Regs[i].Name {
+		case a:
+			ia = i
+		case b:
+			ib = i
+		}
+	}
+	if ia < 0 || ib < 0 || ia == ib {
+		return false
+	}
+	ra, rb := sm.Regs[ia], sm.Regs[ib]
+	if ra.Addr == rb.Addr ||
+		rb.Addr.Bit+ra.Width > fpga.FrameBits ||
+		ra.Addr.Bit+rb.Width > fpga.FrameBits {
+		return false
+	}
+	sm.Regs[ia].Addr, sm.Regs[ib].Addr = rb.Addr, ra.Addr
+	return true
+}
+
+// DropReg removes one register from the state map, rebuilding it through
+// the exported fpga API (the map's name index is private to fpga).
+// Reports whether the register was present.
+func (p *Placement) DropReg(name string) bool {
+	old := p.StateMap
+	found := false
+	sm := fpga.NewStateMap()
+	for _, r := range old.Regs {
+		if r.Name == name {
+			found = true
+			continue
+		}
+		if err := sm.AddReg(r); err != nil {
+			return false
+		}
+	}
+	for _, m := range old.Mems {
+		if err := sm.AddMem(m); err != nil {
+			return false
+		}
+	}
+	if found {
+		p.StateMap = sm
+	}
+	return found
 }
 
 func validateSpecs(specs []PartitionSpec) error {

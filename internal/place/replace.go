@@ -12,8 +12,9 @@ import (
 // placement; the changed partition is re-placed from scratch inside its
 // reserved region. The change must be confined to the declared partition —
 // a cell appearing or moving anywhere else is an error, matching VTI's
-// contract that recompilation scope is declared up front.
-func Replace(prev *Placement, net *synth.ModuleNetlist, specs []PartitionSpec, changed string) (*Placement, int64, error) {
+// contract that recompilation scope is declared up front. Trailing hooks
+// run on the finished placement, mirroring Place.
+func Replace(prev *Placement, net *synth.ModuleNetlist, specs []PartitionSpec, changed string, hooks ...Hook) (*Placement, int64, error) {
 	spec, ok := lookupSpec(specs, changed)
 	if !ok {
 		return nil, 0, fmt.Errorf("place: no partition %q", changed)
@@ -108,6 +109,9 @@ func Replace(prev *Placement, net *synth.ModuleNetlist, specs []PartitionSpec, c
 				return nil, 0, err
 			}
 		}
+	}
+	for _, h := range hooks {
+		h(p)
 	}
 	return p, p.WorkUnits, nil
 }

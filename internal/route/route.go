@@ -43,9 +43,15 @@ type Result struct {
 // loaded beyond it are congested.
 const ChannelCapacity = 48
 
+// Hook observes — and may mutate — a finished routing result before it
+// is returned. The toolchain self-checker uses it to model router bugs
+// such as dropped route segments (see Result.DropEdge).
+type Hook func(r *Result)
+
 // Route routes all cell fanins of the placed netlist. Fanins without a
 // placed producer (top-level inputs) are skipped; they are chip IOs.
-func Route(net *synth.ModuleNetlist, pl *place.Placement) (*Result, error) {
+// Trailing hooks, if any, run in order on the finished result.
+func Route(net *synth.ModuleNetlist, pl *place.Placement, hooks ...Hook) (*Result, error) {
 	r := &Result{edgesByTo: make(map[string][]int)}
 	load := make(map[place.TilePos]int)
 	var err error
@@ -92,7 +98,29 @@ func Route(net *synth.ModuleNetlist, pl *place.Placement) (*Result, error) {
 			r.OverCongested++
 		}
 	}
+	for _, h := range hooks {
+		h(r)
+	}
 	return r, nil
+}
+
+// DropEdge removes the i-th routed edge together with its wirelength,
+// crossing and work accounting, reindexing the consumer lookup. Channel
+// load is deliberately left charged — a router that loses a segment after
+// resource reservation would not give the channel back either.
+func (r *Result) DropEdge(i int) {
+	if i < 0 || i >= len(r.Edges) {
+		return
+	}
+	e := r.Edges[i]
+	r.Edges = append(r.Edges[:i], r.Edges[i+1:]...)
+	r.TotalWirelength -= int64(e.Dist)
+	r.SLRCrossings -= e.SLRHops
+	r.WorkUnits -= int64(1 + e.Dist/16)
+	r.edgesByTo = make(map[string][]int, len(r.edgesByTo))
+	for idx := range r.Edges {
+		r.edgesByTo[r.Edges[idx].To] = append(r.edgesByTo[r.Edges[idx].To], idx)
+	}
 }
 
 // FaninEdges returns the routed edges terminating at the named cell.

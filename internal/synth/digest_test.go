@@ -37,6 +37,29 @@ func TestDigestEqualForIndependentParses(t *testing.T) {
 	}
 }
 
+// TestDigestCoversBodyConstants is the synthcheck-era regression: two
+// modules with identical structure (same ports, registers, operator
+// tree) differing only in a literal constant inside the body must
+// digest differently — a checkpoint keyed on shape alone would serve
+// the wrong netlist.
+func TestDigestCoversBodyConstants(t *testing.T) {
+	build := func(k uint64) *rtl.Module {
+		m := rtl.NewModule("konst")
+		a := m.Input("a", 8)
+		q := m.Output("q", 8)
+		r := m.Reg("r", 8, "clk", 0)
+		m.SetNext(r, rtl.Add(rtl.S(a), rtl.C(k, 8)))
+		m.Connect(q, rtl.S(r))
+		return m
+	}
+	if ModuleDigest(build(3)) == ModuleDigest(build(5)) {
+		t.Error("body constant change did not change the digest")
+	}
+	if ModuleDigest(build(3)) != ModuleDigest(build(3)) {
+		t.Error("equal-constant modules digest differently")
+	}
+}
+
 func TestDigestCoversRegisterInit(t *testing.T) {
 	m1 := buildAdderLeaf(false)
 	m2 := buildAdderLeaf(false)

@@ -73,9 +73,26 @@ type Cache struct {
 	byModule map[*rtl.Module]*ModuleNetlist
 	fromHit  map[*rtl.Module]bool
 	dg       *digester
+	hook     NetlistHook
 	mapped   int
 	hits     int
 	misses   int
+}
+
+// NetlistHook observes — and may mutate — a freshly mapped module netlist
+// before resource accounting runs and before the checkpoint is saved to
+// the store. It fires only on store misses: checkpoints served from the
+// store are returned untouched, exactly as a buggy techmapping pass would
+// corrupt new work while leaving old artifacts alone. The toolchain
+// self-checker uses it to plant seeded semantic faults (wrong LUT mask,
+// dropped fanin) inside synthesis.
+type NetlistHook func(m *rtl.Module, n *ModuleNetlist)
+
+// SetNetlistHook installs (or, with nil, clears) the cache's netlist hook.
+func (c *Cache) SetNetlistHook(h NetlistHook) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hook = h
 }
 
 // NewCache returns a cache over a fresh private unbounded store.
@@ -194,6 +211,9 @@ func (c *Cache) module(m *rtl.Module) (*ModuleNetlist, error) {
 	for _, mem := range m.Memories {
 		cell := mapMemory(mem)
 		n.Cells = append(n.Cells, cell)
+	}
+	if c.hook != nil {
+		c.hook(m, n)
 	}
 	for _, cell := range n.Cells {
 		n.LocalUsage.Add(cell.Res)

@@ -74,6 +74,11 @@ type Options struct {
 	// for compile-time experiments at scales no one intends to execute.
 	SkipImage bool
 
+	// Inject, when non-nil, arms seeded fault hooks inside the passes —
+	// the toolchain self-checker's mutation seam. Production compiles
+	// leave it nil.
+	Inject *Inject
+
 	Cost  CostModel
 	Delay timing.DelayModel
 }
@@ -207,7 +212,7 @@ func compile(ctx context.Context, d *rtl.Design, opts Options, flow string, reus
 	if err := phaseGate(ctx, "synth"); err != nil {
 		return nil, err
 	}
-	net, err := synth.Synthesize(d)
+	net, err := synthesize(d, opts)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: synthesis: %w", err)
 	}
@@ -220,7 +225,7 @@ func compile(ctx context.Context, d *rtl.Design, opts Options, flow string, reus
 	if err := phaseGate(ctx, "place"); err != nil {
 		return nil, err
 	}
-	pl, err := place.Place(net, opts.Device, opts.Partitions)
+	pl, err := place.Place(net, opts.Device, opts.Partitions, opts.PlaceHooks()...)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: placement: %w", err)
 	}
@@ -235,7 +240,7 @@ func compile(ctx context.Context, d *rtl.Design, opts Options, flow string, reus
 	if err := phaseGate(ctx, "route"); err != nil {
 		return nil, err
 	}
-	rt, err := route.Route(net, pl)
+	rt, err := route.Route(net, pl, opts.RouteHooks()...)
 	if err != nil {
 		return nil, fmt.Errorf("toolchain: routing: %w", err)
 	}

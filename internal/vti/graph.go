@@ -80,7 +80,14 @@ func CompileCtx(ctx context.Context, d *rtl.Design, opts toolchain.Options, co C
 	opts = opts.WithDefaults()
 	cache := co.Cache
 	if cache == nil {
-		cache = synth.NewCache()
+		if opts.Inject != nil && opts.Inject.Store != nil {
+			cache = synth.NewCacheWith(opts.Inject.Store)
+		} else {
+			cache = synth.NewCache()
+		}
+	}
+	if opts.Inject != nil && opts.Inject.Synth != nil {
+		cache.SetNetlistHook(opts.Inject.Synth)
 	}
 
 	out := &toolchain.Result{Design: d, Options: opts}
@@ -169,7 +176,7 @@ func CompileCtx(ctx context.Context, d *rtl.Design, opts toolchain.Options, co C
 	if err := enter(ctx, co.OnPhase, PhasePlace); err != nil {
 		return nil, err
 	}
-	pl, err := place.Place(net, opts.Device, opts.Partitions)
+	pl, err := place.Place(net, opts.Device, opts.Partitions, opts.PlaceHooks()...)
 	if err != nil {
 		return nil, fmt.Errorf("vti: placement: %w", err)
 	}
@@ -181,7 +188,7 @@ func CompileCtx(ctx context.Context, d *rtl.Design, opts toolchain.Options, co C
 	if err := enter(ctx, co.OnPhase, PhaseRoute); err != nil {
 		return nil, err
 	}
-	rt, err := route.Route(net, pl)
+	rt, err := route.Route(net, pl, opts.RouteHooks()...)
 	if err != nil {
 		return nil, fmt.Errorf("vti: routing: %w", err)
 	}
@@ -260,6 +267,9 @@ func (r *Result) RecompileCtx(ctx context.Context, newDesign *rtl.Design, partit
 		return nil, err
 	}
 	cache := r.cacheOrNew()
+	if opts.Inject != nil && opts.Inject.Synth != nil {
+		cache.SetNetlistHook(opts.Inject.Synth)
+	}
 	before := cacheSize(cache)
 	var wg sync.WaitGroup
 	var errMu sync.Mutex
@@ -306,7 +316,7 @@ func (r *Result) RecompileCtx(ctx context.Context, newDesign *rtl.Design, partit
 	if err := enter(ctx, ro.OnPhase, PhasePlace); err != nil {
 		return nil, err
 	}
-	pl, placeWork, err := place.Replace(r.Placement, net, r.Specs, partition)
+	pl, placeWork, err := place.Replace(r.Placement, net, r.Specs, partition, opts.PlaceHooks()...)
 	if err != nil {
 		return nil, fmt.Errorf("vti: placement: %w", err)
 	}
@@ -321,7 +331,7 @@ func (r *Result) RecompileCtx(ctx context.Context, newDesign *rtl.Design, partit
 	if err := enter(ctx, ro.OnPhase, PhaseRoute); err != nil {
 		return nil, err
 	}
-	rt, err := route.Route(net, pl)
+	rt, err := route.Route(net, pl, opts.RouteHooks()...)
 	if err != nil {
 		return nil, fmt.Errorf("vti: routing: %w", err)
 	}
